@@ -1,0 +1,61 @@
+//! Ablation: sensitivity of the UNC-versus-INV crossover to the latency
+//! constants the paper does not publish.
+//!
+//! The paper's qualitative claim — UNC wins at short write runs, INV
+//! wins at long ones — should survive any reasonable choice of memory
+//! access time and router hop delay. This bench sweeps both and
+//! reports the smallest write-run length `a` at which INV fetch_and_add
+//! beats UNC fetch_and_add.
+
+use atomic_dsm::experiments::counters::measure_bar_on;
+use atomic_dsm::experiments::{BarSpec, CounterKind};
+use atomic_dsm::sim::MachineConfig;
+use atomic_dsm::{Primitive, SyncPolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn crossover(mem_access: u64, hop_delay: u64) -> Option<f64> {
+    let mut mcfg = MachineConfig::with_nodes(16);
+    mcfg.params.mem_access = mem_access;
+    mcfg.params.hop_delay = hop_delay;
+    let unc = BarSpec::new(SyncPolicy::Unc, Primitive::FetchPhi);
+    let inv = BarSpec::new(SyncPolicy::Inv, Primitive::FetchPhi);
+    for a in [1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 10.0] {
+        let u = measure_bar_on(mcfg.clone(), CounterKind::LockFree, &unc, 1, a, 16);
+        let i = measure_bar_on(mcfg.clone(), CounterKind::LockFree, &inv, 1, a, 16);
+        if i.avg_cycles < u.avg_cycles {
+            return Some(a);
+        }
+    }
+    None
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n== Ablation: write-run length where INV overtakes UNC (fetch_and_add, c=1) ==");
+    let mut rows = vec![vec![
+        "mem_access".to_string(),
+        "hop_delay".to_string(),
+        "INV wins from a >=".to_string(),
+    ]];
+    for mem in [10u64, 20, 40] {
+        for hop in [1u64, 2, 4] {
+            let x = crossover(mem, hop);
+            rows.push(vec![
+                mem.to_string(),
+                hop.to_string(),
+                x.map_or("never (a<=10)".into(), |a| format!("{a}")),
+            ]);
+        }
+    }
+    println!("{}", atomic_dsm::stats::render_table(&rows));
+
+    c.bench_function("ablation_latency/crossover_default_params", |b| {
+        b.iter(|| crossover(20, 2))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

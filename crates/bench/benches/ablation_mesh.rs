@@ -1,0 +1,47 @@
+//! Ablation: the paper's entry/exit-contention network model versus a
+//! cycle-accurate flit-level wormhole router, on synthetic traffic.
+//!
+//! Quantifies what the paper's simplification ("contention ... though
+//! not at internal nodes") leaves out: under hotspot traffic the two
+//! agree (the bottleneck IS the ejection port); under heavy uniform
+//! traffic the flit model sees additional in-network blocking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsm_bench::{replay_flit_model, replay_latency_model, traffic_trace, TrafficPattern};
+
+fn bench(c: &mut Criterion) {
+    println!("\n== Ablation: latency-model vs flit-level mesh (mean latency, cycles) ==");
+    let mut rows = vec![vec![
+        "pattern".to_string(),
+        "latency model".to_string(),
+        "flit-level".to_string(),
+    ]];
+    for (name, p) in [
+        ("uniform", TrafficPattern::Uniform),
+        ("hotspot", TrafficPattern::Hotspot),
+        ("neighbor", TrafficPattern::Neighbor),
+    ] {
+        let trace = traffic_trace(p, 64, 2000, 42);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", replay_latency_model(&trace, 64)),
+            format!("{:.1}", replay_flit_model(&trace, 64)),
+        ]);
+    }
+    println!("{}", atomic_dsm::stats::render_table(&rows));
+
+    let trace = traffic_trace(TrafficPattern::Uniform, 64, 1000, 42);
+    c.bench_function("ablation_mesh/latency_model_1k_msgs", |b| {
+        b.iter(|| replay_latency_model(&trace, 64))
+    });
+    c.bench_function("ablation_mesh/flit_model_1k_msgs", |b| {
+        b.iter(|| replay_flit_model(&trace, 64))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Ablation: the four §3.1 memory-side LL/SC reservation schemes under
+//! a contended UNC lock-free counter.
+
+use atomic_dsm::protocol::LlscScheme;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsm_bench::llsc_counter_with_scheme;
+
+fn bench(c: &mut Criterion) {
+    println!("\n== Ablation: LL/SC reservation schemes (16 procs x 50 increments, UNC) ==");
+    let mut rows =
+        vec![vec!["scheme".to_string(), "cycles".to_string(), "messages".to_string()]];
+    for (name, scheme) in [
+        ("bit-vector", LlscScheme::BitVector),
+        ("linked-list(pool=8)", LlscScheme::LinkedList),
+        ("limited-2", LlscScheme::Limited(2)),
+        ("limited-4", LlscScheme::Limited(4)),
+        ("serial-number", LlscScheme::SerialNumber),
+    ] {
+        let (cycles, msgs) = llsc_counter_with_scheme(16, 50, scheme);
+        rows.push(vec![name.to_string(), cycles.to_string(), msgs.to_string()]);
+    }
+    println!("{}", atomic_dsm::stats::render_table(&rows));
+
+    c.bench_function("ablation_reservations/serial_number", |b| {
+        b.iter(|| llsc_counter_with_scheme(8, 20, LlscScheme::SerialNumber))
+    });
+    c.bench_function("ablation_reservations/bit_vector", |b| {
+        b.iter(|| llsc_counter_with_scheme(8, 20, LlscScheme::BitVector))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

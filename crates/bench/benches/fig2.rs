@@ -1,0 +1,32 @@
+//! Bench target for Figure 2: contention histograms of the three
+//! applications under each coherence policy.
+
+use atomic_dsm::experiments::{apps, BarSpec};
+use atomic_dsm::{Primitive, SyncPolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsm_bench::scale;
+
+fn bench(c: &mut Criterion) {
+    let s = scale(false);
+    let runs = apps::fig2(&s);
+    println!("\n== Figure 2: contention histograms (p={}) ==", s.procs);
+    println!("{}", apps::render_fig2(&runs));
+
+    let small = atomic_dsm::experiments::Scale { procs: 8, rounds: 8, tc_size: 8, wires: 16, tasks: 16 };
+    c.bench_function("fig2/tclosure_unc_8p", |b| {
+        b.iter(|| {
+            apps::run_app(
+                apps::App::TransitiveClosure,
+                &BarSpec::new(SyncPolicy::Unc, Primitive::FetchPhi),
+                &small,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

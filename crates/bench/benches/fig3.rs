@@ -1,0 +1,29 @@
+//! Bench target for Figure 3: average cycles per counter update for
+//! the LockFree synthetic application, across the full bar set.
+
+use atomic_dsm::experiments::{counters, paper_bars, BarSpec, CounterKind};
+use atomic_dsm::{Primitive, SyncPolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsm_bench::scale;
+
+fn bench(c: &mut Criterion) {
+    let s = scale(false);
+    let kind = CounterKind::LockFree;
+    let graphs = counters::run_figure(kind, &paper_bars(), &s);
+    println!("\n== Figure 3: {} counter, avg cycles/update (p={}) ==", kind.label(), s.procs);
+    println!("{}", counters::render(kind, &graphs));
+
+    let small = atomic_dsm::experiments::Scale { procs: 8, rounds: 8, tc_size: 8, wires: 8, tasks: 8 };
+    c.bench_function("fig3/inv_cas_c8", |b| {
+        b.iter(|| {
+            counters::measure_bar(kind, &BarSpec::new(SyncPolicy::Inv, Primitive::Cas), 8, 1.0, &small)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench target for Figure 6: total elapsed cycles of the three
+//! applications across the implementation bar set.
+
+use atomic_dsm::experiments::{apps, paper_bars, BarSpec};
+use atomic_dsm::{Primitive, SyncPolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsm_bench::scale;
+
+fn bench(c: &mut Criterion) {
+    let s = scale(false);
+    let runs = apps::fig6(&paper_bars(), &s);
+    println!("\n== Figure 6: total elapsed cycles per application (p={}) ==", s.procs);
+    println!("{}", apps::render_fig6(&runs));
+
+    let small = atomic_dsm::experiments::Scale { procs: 8, rounds: 8, tc_size: 8, wires: 16, tasks: 16 };
+    c.bench_function("fig6/cholesky_inv_cas", |b| {
+        b.iter(|| {
+            apps::run_app(apps::App::Cholesky, &BarSpec::new(SyncPolicy::Inv, Primitive::Cas), &small)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

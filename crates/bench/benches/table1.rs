@@ -1,0 +1,31 @@
+//! Bench target for Table 1: serialized network messages for stores.
+//!
+//! Prints the regenerated table, then measures the cost of the seven
+//! directory-state micro-experiments.
+
+use atomic_dsm::experiments::table1;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut rows = vec![vec!["scenario".to_string(), "paper".to_string(), "measured".to_string()]];
+    for r in table1::run() {
+        rows.push(vec![r.scenario.to_string(), r.paper.to_string(), r.measured.to_string()]);
+    }
+    println!("\n== Table 1: serialized network messages for stores ==");
+    println!("{}", atomic_dsm::stats::render_table(&rows));
+
+    c.bench_function("table1/micro_experiments", |b| {
+        b.iter(|| {
+            let rows = table1::run();
+            assert!(rows.iter().all(|r| r.measured == r.paper));
+            rows
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! Regenerates the paper's tables and figures from the simulator.
+//!
+//! ```sh
+//! cargo run --release -p dsm-bench --bin figures -- all
+//! cargo run --release -p dsm-bench --bin figures -- fig3 --paper      # 64 processors
+//! cargo run --release -p dsm-bench --bin figures -- table1 fig6
+//! cargo run --release -p dsm-bench --bin figures -- all --csv out/    # also write CSV
+//! ```
+//!
+//! Artifacts: `table1`, `fig2`–`fig6`, `scaling`, `all`.
+//! `--paper` runs at the paper's 64-processor scale (slower); the
+//! default is a 16-processor scale with the same shape. `--csv DIR`
+//! additionally writes one CSV file per artifact into DIR; `--bars`
+//! renders each counter graph as an ASCII bar chart (the paper's
+//! figures are bar charts).
+
+use atomic_dsm::experiments::{apps, counters, paper_bars, scaling, table1, CounterKind};
+use dsm_bench::scale;
+use std::path::PathBuf;
+
+fn write_csv(dir: &Option<PathBuf>, name: &str, rows: &[Vec<String>]) {
+    let Some(dir) = dir else { return };
+    std::fs::create_dir_all(dir).expect("create csv output dir");
+    let path = dir.join(format!("{name}.csv"));
+    std::fs::write(&path, atomic_dsm::stats::render_csv(rows)).expect("write csv");
+    eprintln!("wrote {}", path.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper = args.iter().any(|a| a == "--paper");
+    let bars_mode = args.iter().any(|a| a == "--bars");
+    let csv_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let mut skip_next = false;
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--csv" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .map(String::as_str)
+        .collect();
+    let wanted: Vec<&str> = if wanted.is_empty() || wanted.contains(&"all") {
+        vec!["table1", "fig2", "fig3", "fig4", "fig5", "fig6", "scaling"]
+    } else {
+        wanted
+    };
+    let s = scale(paper);
+    println!(
+        "# atomic-dsm figure harness — {} processors ({} scale)\n",
+        s.procs,
+        if s.procs == 64 { "paper" } else { "quick" }
+    );
+
+    for artifact in wanted {
+        match artifact {
+            "table1" => {
+                println!("## Table 1 — serialized network messages for stores\n");
+                let mut rows = vec![vec![
+                    "scenario".to_string(),
+                    "paper".to_string(),
+                    "measured".to_string(),
+                ]];
+                for r in table1::run() {
+                    rows.push(vec![
+                        r.scenario.to_string(),
+                        r.paper.to_string(),
+                        r.measured.to_string(),
+                    ]);
+                }
+                println!("{}", atomic_dsm::stats::render_table(&rows));
+                write_csv(&csv_dir, "table1", &rows);
+            }
+            "fig2" => {
+                println!("## Figure 2 — contention histograms (p={})\n", s.procs);
+                let runs = apps::fig2(&s);
+                println!("{}", apps::render_fig2(&runs));
+                let mut rows = vec![vec![
+                    "app".to_string(),
+                    "policy".to_string(),
+                    "level".to_string(),
+                    "percentage".to_string(),
+                ]];
+                for r in &runs {
+                    for (level, _) in r.contention.iter() {
+                        rows.push(vec![
+                            r.app.label().to_string(),
+                            r.bar.policy.label().to_string(),
+                            level.to_string(),
+                            format!("{:.4}", r.contention.percentage(level)),
+                        ]);
+                    }
+                }
+                write_csv(&csv_dir, "fig2", &rows);
+            }
+            f @ ("fig3" | "fig4" | "fig5") => {
+                let kind = match f {
+                    "fig3" => CounterKind::LockFree,
+                    "fig4" => CounterKind::TtsLock,
+                    _ => CounterKind::McsLock,
+                };
+                println!(
+                    "## Figure {} — average cycles per {} counter update (p={})\n",
+                    &f[3..],
+                    kind.label(),
+                    s.procs
+                );
+                let graphs = counters::run_figure(kind, &paper_bars(), &s);
+                println!("{}", counters::render(kind, &graphs));
+                if bars_mode {
+                    for g in &graphs {
+                        let title = if g.contention == 1 {
+                            format!("p={} c=1 a={}", s.procs, g.write_run)
+                        } else {
+                            format!("p={} c={}", s.procs, g.contention)
+                        };
+                        println!("{title}");
+                        let data: Vec<(String, f64)> =
+                            g.points.iter().map(|p| (p.bar.label(), p.avg_cycles)).collect();
+                        println!("{}", atomic_dsm::stats::render_bar_chart(&data, 50));
+                    }
+                }
+                let mut rows = vec![vec![
+                    "implementation".to_string(),
+                    "contention".to_string(),
+                    "write_run".to_string(),
+                    "avg_cycles".to_string(),
+                ]];
+                for g in &graphs {
+                    for p in &g.points {
+                        rows.push(vec![
+                            p.bar.label(),
+                            g.contention.to_string(),
+                            g.write_run.to_string(),
+                            format!("{:.2}", p.avg_cycles),
+                        ]);
+                    }
+                }
+                write_csv(&csv_dir, f, &rows);
+            }
+            "fig6" => {
+                println!("## Figure 6 — total elapsed cycles per application (p={})\n", s.procs);
+                let runs = apps::fig6(&paper_bars(), &s);
+                println!("{}", apps::render_fig6(&runs));
+                let mut rows = vec![vec![
+                    "app".to_string(),
+                    "implementation".to_string(),
+                    "total_cycles".to_string(),
+                ]];
+                for r in &runs {
+                    rows.push(vec![
+                        r.app.label().to_string(),
+                        r.bar.label(),
+                        r.cycles.to_string(),
+                    ]);
+                }
+                write_csv(&csv_dir, "fig6", &rows);
+            }
+            "scaling" => {
+                println!("## Scaling sweep — fully contended lock-free counter, 2..64 processors\n");
+                let lines = scaling::run_scaling(CounterKind::LockFree, s.rounds.min(32));
+                println!("{}", scaling::render(&lines));
+                let mut rows = vec![vec![
+                    "implementation".to_string(),
+                    "procs".to_string(),
+                    "avg_cycles".to_string(),
+                ]];
+                for line in &lines {
+                    for (p, pt) in &line.points {
+                        rows.push(vec![
+                            line.bar.label(),
+                            p.to_string(),
+                            format!("{:.2}", pt.avg_cycles),
+                        ]);
+                    }
+                }
+                write_csv(&csv_dir, "scaling", &rows);
+            }
+            other => {
+                eprintln!(
+                    "unknown artifact `{other}` (try: table1 fig2 fig3 fig4 fig5 fig6 scaling all)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

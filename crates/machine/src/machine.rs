@@ -1,0 +1,594 @@
+//! The machine simulator: processors + cache controllers + home nodes +
+//! network, driven by a discrete-event loop.
+
+use crate::program::{Action, ProcCtx, Program};
+use crate::stats::MachineStats;
+use dsm_mesh::{LatencyNetwork, Mesh};
+use dsm_protocol::{
+    AddressMap, CacheNode, CacheState, DirState, HomeNode, MemOp, Msg, OpOutcome, OpResult,
+    Outbox, SyncConfig, Value,
+};
+use dsm_sim::{Addr, Cycle, EventQueue, MachineConfig, NodeId, ProcId, SimRng};
+use std::fmt;
+
+/// Error returned when a run hits its cycle limit or deadlocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The cycle limit was reached with processors still active.
+    CycleLimit {
+        /// The limit that was exhausted.
+        limit: Cycle,
+        /// Processors that had not terminated.
+        active: usize,
+    },
+    /// The event queue drained while processors were still blocked —
+    /// a protocol or program bug.
+    Deadlock {
+        /// Time of the last processed event.
+        at: Cycle,
+        /// Processors that had not terminated.
+        active: usize,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::CycleLimit { limit, active } => {
+                write!(f, "cycle limit {limit} reached with {active} processors active")
+            }
+            RunError::Deadlock { at, active } => {
+                write!(f, "deadlock at {at}: {active} processors blocked with no pending events")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Simulated time at which the last processor terminated.
+    pub cycles: Cycle,
+    /// Total discrete events processed.
+    pub events: u64,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// A message arrived at its destination's network exit.
+    Deliver(Msg),
+    /// A server (memory module or cache controller) finished processing
+    /// a message.
+    Process(Msg),
+    /// A processor is ready for its next program step.
+    ProcStep(ProcId),
+    /// A processor's outstanding operation completed.
+    OpDone(ProcId, OpOutcome),
+}
+
+struct ProcState {
+    program: Box<dyn Program>,
+    rng: SimRng,
+    done: bool,
+    blocked: bool,
+    waiting_barrier: Option<u32>,
+    last: Option<OpResult>,
+    last_chain: Option<u32>,
+    /// (op, issue time, tracked-as-sync) of the outstanding operation.
+    current: Option<(MemOp, Cycle, bool)>,
+}
+
+/// Builder for a [`Machine`].
+///
+/// # Example
+///
+/// ```
+/// use dsm_machine::{Action, MachineBuilder, ProcCtx};
+/// use dsm_protocol::MemOp;
+/// use dsm_sim::{Addr, MachineConfig};
+///
+/// let mut b = MachineBuilder::new(MachineConfig::with_nodes(4));
+/// for _ in 0..4 {
+///     b.add_program(|ctx: &mut ProcCtx<'_>| {
+///         if ctx.last.is_none() {
+///             Action::Op(MemOp::Load { addr: Addr::new(64) })
+///         } else {
+///             Action::Done
+///         }
+///     });
+/// }
+/// let mut machine = b.build();
+/// let report = machine.run(dsm_sim::Cycle::new(100_000)).unwrap();
+/// assert!(report.cycles > dsm_sim::Cycle::ZERO);
+/// ```
+pub struct MachineBuilder {
+    cfg: MachineConfig,
+    map: AddressMap,
+    programs: Vec<Box<dyn Program>>,
+    init: Vec<(Addr, Value)>,
+    llsc_pool: usize,
+}
+
+impl MachineBuilder {
+    /// Starts building a machine with the given configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        cfg.validate().expect("invalid machine configuration");
+        let line_size = cfg.params.line_size;
+        MachineBuilder {
+            cfg,
+            map: AddressMap::new(line_size),
+            programs: Vec::new(),
+            init: Vec::new(),
+            llsc_pool: 256,
+        }
+    }
+
+    /// Registers the line containing `addr` as a synchronization line.
+    pub fn register_sync(&mut self, addr: Addr, config: SyncConfig) -> &mut Self {
+        self.map.register(addr, config);
+        self
+    }
+
+    /// Initializes a word of memory before the run.
+    pub fn init_word(&mut self, addr: Addr, value: Value) -> &mut Self {
+        self.init.push((addr, value));
+        self
+    }
+
+    /// Sets the linked-list reservation free-pool size per home node.
+    pub fn llsc_pool(&mut self, entries: usize) -> &mut Self {
+        self.llsc_pool = entries;
+        self
+    }
+
+    /// Adds the program for the next processor (programs are assigned in
+    /// order: the first added runs on processor 0).
+    pub fn add_program<P: Program + 'static>(&mut self, program: P) -> &mut Self {
+        self.programs.push(Box::new(program));
+        self
+    }
+
+    /// Builds the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of programs does not equal the number of
+    /// nodes.
+    pub fn build(self) -> Machine {
+        assert_eq!(
+            self.programs.len(),
+            self.cfg.nodes as usize,
+            "one program per processor is required ({} programs for {} nodes)",
+            self.programs.len(),
+            self.cfg.nodes
+        );
+        let mesh = Mesh::new(&self.cfg);
+        let net = LatencyNetwork::new(mesh, self.cfg.params.clone());
+        let mut seed_rng = SimRng::new(self.cfg.seed);
+        let procs: Vec<ProcState> = self
+            .programs
+            .into_iter()
+            .map(|program| ProcState {
+                program,
+                rng: seed_rng.fork(0xFACE),
+                done: false,
+                blocked: false,
+                waiting_barrier: None,
+                last: None,
+                last_chain: None,
+                current: None,
+            })
+            .collect();
+        let mut homes = Vec::with_capacity(self.cfg.nodes as usize);
+        let mut caches = Vec::with_capacity(self.cfg.nodes as usize);
+        for n in 0..self.cfg.nodes {
+            homes.push(HomeNode::new(
+                NodeId::new(n),
+                self.cfg.params.line_size,
+                self.llsc_pool,
+            ));
+            let mut cc = CacheNode::new(NodeId::new(n), self.cfg.params.line_size, self.cfg.cache);
+            cc.set_nodes(self.cfg.nodes);
+            caches.push(cc);
+        }
+        let mut machine = Machine {
+            now: Cycle::ZERO,
+            events: EventQueue::new(),
+            net,
+            homes,
+            caches,
+            procs,
+            mem_busy: vec![Cycle::ZERO; self.cfg.nodes as usize],
+            cache_busy: vec![Cycle::ZERO; self.cfg.nodes as usize],
+            stats: MachineStats::new(),
+            active: self.cfg.nodes as usize,
+            events_processed: 0,
+            trace: None,
+            map: self.map,
+            cfg: self.cfg,
+        };
+        for (addr, value) in self.init {
+            machine.poke_word(addr, value);
+        }
+        for p in 0..machine.cfg.nodes {
+            machine.events.push(Cycle::ZERO, Event::ProcStep(ProcId::new(p)));
+        }
+        machine
+    }
+}
+
+/// The simulated 64-node DSM multiprocessor.
+///
+/// Construct with [`MachineBuilder`], then [`run`](Machine::run).
+pub struct Machine {
+    cfg: MachineConfig,
+    map: AddressMap,
+    now: Cycle,
+    events: EventQueue<Event>,
+    net: LatencyNetwork,
+    homes: Vec<HomeNode>,
+    caches: Vec<CacheNode>,
+    procs: Vec<ProcState>,
+    /// Per-node memory-module server availability.
+    mem_busy: Vec<Cycle>,
+    /// Per-node cache-controller server availability.
+    cache_busy: Vec<Cycle>,
+    stats: MachineStats,
+    active: usize,
+    events_processed: u64,
+    /// Optional message-trace ring buffer (debugging aid).
+    trace: Option<(usize, std::collections::VecDeque<String>)>,
+}
+
+impl Machine {
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Network statistics.
+    pub fn network_stats(&self) -> &dsm_mesh::NetworkStats {
+        self.net.stats()
+    }
+
+    /// Writes a word directly into its home memory (initialization /
+    /// between quiescent phases only).
+    pub fn poke_word(&mut self, addr: Addr, value: Value) {
+        let home = addr.line(self.cfg.params.line_size).home(self.cfg.nodes);
+        self.homes[home.index()].poke_word(addr, value);
+    }
+
+    /// Reads the current logical value of a word: the owner's cached
+    /// copy if the line is dirty, otherwise home memory. Only meaningful
+    /// when the machine is quiescent.
+    pub fn read_word(&self, addr: Addr) -> Value {
+        let line = addr.line(self.cfg.params.line_size);
+        let home = line.home(self.cfg.nodes);
+        if let DirState::Dirty(owner) = self.homes[home.index()].dir_state(line) {
+            if let Some(v) = self.caches[owner.index()].peek_word(addr) {
+                return v;
+            }
+        }
+        self.homes[home.index()].peek_word(addr)
+    }
+
+    /// Runs until every processor terminates or `limit` is reached.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::CycleLimit`] if the limit was reached first, or
+    /// [`RunError::Deadlock`] if the event queue drained with blocked
+    /// processors (a protocol/program bug).
+    pub fn run(&mut self, limit: Cycle) -> Result<RunReport, RunError> {
+        while self.active > 0 {
+            let Some((at, event)) = self.events.pop() else {
+                return Err(RunError::Deadlock { at: self.now, active: self.active });
+            };
+            debug_assert!(at >= self.now, "time ran backwards");
+            if at > limit {
+                return Err(RunError::CycleLimit { limit, active: self.active });
+            }
+            self.now = at;
+            self.events_processed += 1;
+            self.dispatch(event);
+        }
+        let finished = self.now;
+        // Drain in-flight traffic (e.g. final write-backs) so the
+        // machine is quiescent: read_word and validate_coherence see the
+        // committed state.
+        while let Some((at, event)) = self.events.pop() {
+            if at > limit {
+                return Err(RunError::CycleLimit { limit, active: 0 });
+            }
+            self.now = at;
+            self.events_processed += 1;
+            self.dispatch(event);
+        }
+        Ok(RunReport { cycles: finished, events: self.events_processed })
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::ProcStep(p) => self.proc_step(p),
+            Event::OpDone(p, outcome) => self.op_done(p, outcome),
+            Event::Deliver(msg) => self.deliver(msg),
+            Event::Process(msg) => self.process(msg),
+        }
+    }
+
+    /// Enables a message-trace ring buffer holding the last `capacity`
+    /// sends, each formatted as `time src->dst line kind`. Useful when
+    /// debugging protocol behaviour in tests.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some((capacity, std::collections::VecDeque::with_capacity(capacity)));
+    }
+
+    /// The trace entries recorded so far (oldest first); empty unless
+    /// [`enable_trace`](Machine::enable_trace) was called.
+    pub fn trace(&self) -> impl Iterator<Item = &str> {
+        self.trace.iter().flat_map(|(_, q)| q.iter().map(String::as_str))
+    }
+
+    /// Routes freshly emitted messages into the network.
+    fn route(&mut self, msgs: Vec<Msg>) {
+        for msg in msgs {
+            if let Some((cap, q)) = &mut self.trace {
+                if q.len() == *cap {
+                    q.pop_front();
+                }
+                q.push_back(format!(
+                    "{} {}->{} {} {:?}",
+                    self.now,
+                    msg.src,
+                    msg.dst,
+                    msg.line,
+                    std::mem::discriminant(&msg.kind)
+                ));
+            }
+            self.stats.msgs.count(msg.kind.class());
+            let flits = msg.flits(&self.cfg.params);
+            let deliver_at = self.net.send(self.now, msg.src, msg.dst, flits);
+            self.events.push(deliver_at, Event::Deliver(msg));
+        }
+    }
+
+    fn proc_step(&mut self, p: ProcId) {
+        let state = &mut self.procs[p.index()];
+        if state.done || state.blocked || state.waiting_barrier.is_some() {
+            return;
+        }
+        let action = {
+            let mut ctx = ProcCtx {
+                proc: p,
+                now: self.now,
+                last: state.last.take(),
+                last_chain: state.last_chain.take(),
+                rng: &mut state.rng,
+            };
+            state.program.step(&mut ctx)
+        };
+        match action {
+            Action::Compute(cycles) => {
+                self.events.push(self.now + cycles, Event::ProcStep(p));
+            }
+            Action::Barrier(id) => {
+                self.procs[p.index()].waiting_barrier = Some(id);
+                self.try_release_barrier();
+            }
+            Action::Done => {
+                self.procs[p.index()].done = true;
+                self.active -= 1;
+                self.try_release_barrier();
+            }
+            Action::Op(op) => self.issue_op(p, op),
+        }
+    }
+
+    fn issue_op(&mut self, p: ProcId, op: MemOp) {
+        let is_sync = self.map.is_sync(op.addr());
+        if is_sync {
+            self.stats.contention.begin(op.addr().as_u64(), p.as_u32());
+        }
+        self.procs[p.index()].current = Some((op, self.now, is_sync));
+        let mut out = Outbox::new();
+        let completed = self.caches[p.index()].start_op(op, &self.map, &mut out);
+        self.route(out.drain());
+        match completed {
+            Some(outcome) => {
+                let latency = self.cfg.params.cache_hit;
+                self.events.push(self.now + latency, Event::OpDone(p, outcome));
+                self.procs[p.index()].blocked = true;
+            }
+            None => {
+                self.procs[p.index()].blocked = true;
+            }
+        }
+    }
+
+    fn op_done(&mut self, p: ProcId, outcome: OpOutcome) {
+        let (op, issued, is_sync) =
+            self.procs[p.index()].current.take().expect("completion without an op");
+        let latency = (self.now - issued).as_u64() as f64;
+        self.stats.ops += 1;
+        self.stats.op_latency.add(latency);
+        if outcome.local {
+            self.stats.local_ops += 1;
+        }
+        if is_sync {
+            self.stats.sync_ops += 1;
+            self.stats.sync_latency.add(latency);
+            self.stats.sync_latency_hist.record((latency / 10.0) as usize);
+            self.stats.msgs.record_chain(outcome.chain);
+            self.stats.contention.end(op.addr().as_u64(), p.as_u32());
+            self.stats.write_runs.access(
+                op.addr().as_u64(),
+                p.as_u32(),
+                op.is_write() && outcome.result.succeeded(),
+            );
+        }
+        let state = &mut self.procs[p.index()];
+        state.blocked = false;
+        state.last = Some(outcome.result);
+        state.last_chain = Some(outcome.chain);
+        self.events.push(self.now + self.cfg.params.issue, Event::ProcStep(p));
+    }
+
+    fn deliver(&mut self, msg: Msg) {
+        // Choose the server and its occupancy.
+        let node = msg.dst.index();
+        let (busy, service) = if msg.kind.home_bound() {
+            (&mut self.mem_busy[node], self.cfg.params.dir_access + self.cfg.params.mem_access)
+        } else {
+            (&mut self.cache_busy[node], self.cfg.params.cache_ctrl)
+        };
+        let start = self.now.max(*busy);
+        let finish = start + service;
+        *busy = finish;
+        self.events.push(finish, Event::Process(msg));
+    }
+
+    fn process(&mut self, msg: Msg) {
+        let node = msg.dst.index();
+        let mut out = Outbox::new();
+        if msg.kind.home_bound() {
+            self.homes[node].handle(msg, &self.map, &mut out);
+            self.route(out.drain());
+        } else {
+            let proc = ProcId::new(msg.dst.as_u32());
+            let completed = self.caches[node].handle(msg, &mut out);
+            self.route(out.drain());
+            if let Some(outcome) = completed {
+                self.events.push(self.now, Event::OpDone(proc, outcome));
+            }
+        }
+    }
+
+    /// Releases the barrier if every non-terminated processor has
+    /// arrived (constant-time barrier: everyone resumes *now*).
+    fn try_release_barrier(&mut self) {
+        let mut waiting = 0;
+        let mut id: Option<u32> = None;
+        for s in &self.procs {
+            if s.done {
+                continue;
+            }
+            match s.waiting_barrier {
+                Some(b) => {
+                    if let Some(prev) = id {
+                        assert_eq!(prev, b, "processors waiting at different barriers");
+                    }
+                    id = Some(b);
+                    waiting += 1;
+                }
+                None => return, // someone is still running
+            }
+        }
+        if waiting == 0 {
+            return;
+        }
+        for (i, s) in self.procs.iter_mut().enumerate() {
+            if !s.done && s.waiting_barrier.is_some() {
+                s.waiting_barrier = None;
+                self.events.push(self.now, Event::ProcStep(ProcId::new(i as u32)));
+            }
+        }
+    }
+
+    /// Checks coherence invariants. Only valid when the machine is
+    /// quiescent (after [`run`](Machine::run) returns successfully).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant:
+    /// single-writer/multiple-reader, directory/cache agreement, and
+    /// value agreement between shared copies and memory.
+    pub fn validate_coherence(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        let mut copies: HashMap<dsm_sim::LineAddr, Vec<(NodeId, CacheState)>> = HashMap::new();
+        for (i, cache) in self.caches.iter().enumerate() {
+            for (line, state) in cache.cached_lines() {
+                copies.entry(line).or_default().push((NodeId::new(i as u32), state));
+            }
+        }
+        for (line, holders) in &copies {
+            let exclusives: Vec<NodeId> = holders
+                .iter()
+                .filter(|(_, s)| *s == CacheState::Exclusive)
+                .map(|(n, _)| *n)
+                .collect();
+            if exclusives.len() > 1 {
+                return Err(format!("line {line}: multiple exclusive copies {exclusives:?}"));
+            }
+            if exclusives.len() == 1 && holders.len() > 1 {
+                return Err(format!(
+                    "line {line}: exclusive copy at {} coexists with shared copies",
+                    exclusives[0]
+                ));
+            }
+            let home = line.home(self.cfg.nodes);
+            let dir = self.homes[home.index()].dir_state(*line);
+            match (&dir, exclusives.first()) {
+                (DirState::Dirty(owner), Some(e)) if owner == e => {}
+                (DirState::Dirty(owner), _) => {
+                    return Err(format!(
+                        "line {line}: directory says dirty at {owner} but cache state disagrees"
+                    ));
+                }
+                (DirState::Shared(sharers), None) => {
+                    for (n, _) in holders {
+                        if !sharers.contains(*n) {
+                            return Err(format!(
+                                "line {line}: {n} holds a shared copy unknown to the directory"
+                            ));
+                        }
+                    }
+                    // Shared copies must match memory.
+                    let base = line.base(self.cfg.params.line_size);
+                    for w in 0..(self.cfg.params.line_size / 8) {
+                        let addr = base + w * 8;
+                        let mem = self.homes[home.index()].peek_word(addr);
+                        for (n, _) in holders {
+                            let cached = self.caches[n.index()]
+                                .peek_word(addr)
+                                .expect("holder has the line");
+                            if cached != mem {
+                                return Err(format!(
+                                    "line {line} word {w}: {n} caches {cached}, memory has {mem}"
+                                ));
+                            }
+                        }
+                    }
+                }
+                (DirState::Uncached, None) => {
+                    // Silently evicted shared copies leave stale sharers,
+                    // never stale cached copies; a cached copy with an
+                    // Uncached directory is a bug.
+                    return Err(format!("line {line}: cached copies but directory is uncached"));
+                }
+                (DirState::Shared(_), Some(e)) => {
+                    return Err(format!(
+                        "line {line}: directory says shared but {e} holds it exclusively"
+                    ));
+                }
+                (DirState::Uncached, Some(e)) => {
+                    return Err(format!(
+                        "line {line}: directory says uncached but {e} holds it exclusively"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,69 @@
+//! Machine-level instrumentation.
+
+use dsm_stats::{ChainStats, ContentionTracker, Histogram, OnlineMean, WriteRunTracker};
+
+/// Everything the machine measures during a run.
+///
+/// * `msgs` — per-class message counts plus the serialized-chain length
+///   of every completed synchronization operation (Table 1);
+/// * `contention` — contention level sampled at the beginning of each
+///   atomic access (Figure 2);
+/// * `write_runs` — write-run-length tracking of sync locations (§4.2);
+/// * `sync_latency` — end-to-end cycles of sync operations;
+/// * counters for completed operations.
+#[derive(Debug, Default)]
+pub struct MachineStats {
+    /// Message counts and serialized-chain statistics.
+    pub msgs: ChainStats,
+    /// Contention histogram over synchronization variables.
+    pub contention: ContentionTracker,
+    /// Write-run tracking over synchronization variables.
+    pub write_runs: WriteRunTracker,
+    /// Latency (cycles) of completed synchronization operations.
+    pub sync_latency: OnlineMean,
+    /// Latency (cycles) of all completed operations.
+    pub op_latency: OnlineMean,
+    /// Total operations completed.
+    pub ops: u64,
+    /// Synchronization operations completed.
+    pub sync_ops: u64,
+    /// Operations satisfied entirely in the local cache.
+    pub local_ops: u64,
+    /// Histogram of sync-op latencies (bucketed by 10 cycles).
+    pub sync_latency_hist: Histogram,
+}
+
+impl MachineStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fraction of operations that completed locally, in `[0, 1]`.
+    pub fn local_fraction(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.local_ops as f64 / self.ops as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_fraction_handles_zero() {
+        let s = MachineStats::new();
+        assert_eq!(s.local_fraction(), 0.0);
+    }
+
+    #[test]
+    fn local_fraction_computes() {
+        let mut s = MachineStats::new();
+        s.ops = 4;
+        s.local_ops = 3;
+        assert_eq!(s.local_fraction(), 0.75);
+    }
+}

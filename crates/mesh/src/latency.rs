@@ -1,0 +1,260 @@
+//! The paper-faithful network model: wormhole wire latency plus
+//! entry/exit queue contention.
+//!
+//! The paper states that its simulator models "contention at the entry
+//! and exit of the network (though not at internal nodes)". We reproduce
+//! exactly that: each node has one injection (entry) port and one
+//! ejection (exit) port, each of which can carry one flit per
+//! [`flit_cycle`](dsm_sim::SimParams::flit_cycle); the wires and routers
+//! between them are contention-free and add pipelined wormhole latency
+//! `hops * hop_delay + flits * flit_cycle`.
+//!
+//! Delivery between the same (source, destination) pair is FIFO —
+//! wormhole routing with deterministic XY paths cannot reorder messages
+//! on the same path — and the model enforces this explicitly.
+
+use crate::topology::Mesh;
+use dsm_sim::{Cycle, NodeId, SimParams};
+
+/// Aggregate counters maintained by [`LatencyNetwork`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total flits sent.
+    pub flits: u64,
+    /// Total cycles messages spent waiting for a busy entry port.
+    pub entry_wait: u64,
+    /// Total cycles messages spent waiting for a busy exit port.
+    pub exit_wait: u64,
+    /// Total end-to-end latency summed over all messages.
+    pub total_latency: u64,
+}
+
+impl NetworkStats {
+    /// Mean end-to-end message latency in cycles, or 0 if no messages.
+    pub fn mean_latency(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.messages as f64
+        }
+    }
+}
+
+/// The entry/exit-contention network model used for all paper results.
+///
+/// [`send`](LatencyNetwork::send) computes the delivery time of a message
+/// immediately; the caller (the machine simulator) schedules the delivery
+/// event itself. Because the machine processes events in time order,
+/// every call observes all earlier traffic, and the computed times are
+/// deterministic.
+///
+/// # Example
+///
+/// ```
+/// use dsm_mesh::{LatencyNetwork, Mesh};
+/// use dsm_sim::{Cycle, MachineConfig, NodeId, SimParams};
+///
+/// let cfg = MachineConfig::with_nodes(4);
+/// let mut net = LatencyNetwork::new(Mesh::new(&cfg), cfg.params.clone());
+/// let a = net.send(Cycle::ZERO, NodeId::new(0), NodeId::new(3), 2);
+/// let b = net.send(Cycle::ZERO, NodeId::new(0), NodeId::new(3), 2);
+/// assert!(b > a, "the second message queues behind the first at the entry port");
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyNetwork {
+    mesh: Mesh,
+    params: SimParams,
+    /// Time at which each node's injection port becomes free.
+    entry_free: Vec<Cycle>,
+    /// Time at which each node's ejection port becomes free.
+    exit_free: Vec<Cycle>,
+    /// Last delivery time per (src, dst) pair, to enforce FIFO.
+    last_delivery: Vec<Cycle>,
+    stats: NetworkStats,
+}
+
+impl LatencyNetwork {
+    /// Creates a quiescent network.
+    pub fn new(mesh: Mesh, params: SimParams) -> Self {
+        let n = mesh.nodes() as usize;
+        LatencyNetwork {
+            mesh,
+            params,
+            entry_free: vec![Cycle::ZERO; n],
+            exit_free: vec![Cycle::ZERO; n],
+            last_delivery: vec![Cycle::ZERO; n * n],
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// Returns the mesh this network runs on.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Returns the accumulated statistics.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Resets the statistics (the port/FIFO state is kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = NetworkStats::default();
+    }
+
+    /// Sends a `flits`-flit message from `src` to `dst` at time `now` and
+    /// returns its delivery time at `dst`.
+    ///
+    /// Local messages (`src == dst`) bypass the network and are delivered
+    /// after one flit time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flits` is zero or a node is out of range.
+    pub fn send(&mut self, now: Cycle, src: NodeId, dst: NodeId, flits: u64) -> Cycle {
+        assert!(flits > 0, "a message must carry at least one flit");
+        let p = &self.params;
+        self.stats.messages += 1;
+        self.stats.flits += flits;
+
+        if src == dst {
+            let t = now + p.flit_cycle;
+            self.stats.total_latency += p.flit_cycle;
+            return t;
+        }
+
+        let occupancy = flits * p.flit_cycle;
+
+        // Entry port: serialize injections from this node.
+        let entry = &mut self.entry_free[src.index()];
+        let depart = now.max(*entry);
+        self.stats.entry_wait += (depart - now).as_u64();
+        *entry = depart + occupancy;
+
+        // Wire: pipelined wormhole — head flit takes hop_delay per hop,
+        // the tail follows `flits` flit-times behind.
+        let hops = self.mesh.hops(src, dst) as u64;
+        let wire_arrival = depart + hops * p.hop_delay + occupancy;
+
+        // Exit port: serialize ejections into this node.
+        let exit = &mut self.exit_free[dst.index()];
+        let delivered = wire_arrival.max(*exit);
+        self.stats.exit_wait += (delivered - wire_arrival).as_u64();
+        *exit = delivered + occupancy;
+
+        // FIFO per (src, dst): a later message on the same path can never
+        // overtake an earlier one.
+        let slot = &mut self.last_delivery[src.index() * self.mesh.nodes() as usize + dst.index()];
+        let delivered = if delivered <= *slot { *slot + 1 } else { delivered };
+        *slot = delivered;
+
+        self.stats.total_latency += (delivered - now).as_u64();
+        delivered
+    }
+
+    /// The uncontended latency of a `flits`-flit message between two
+    /// nodes — the lower bound [`send`](Self::send) approaches on an idle
+    /// network.
+    pub fn base_latency(&self, src: NodeId, dst: NodeId, flits: u64) -> Cycle {
+        let p = &self.params;
+        if src == dst {
+            return Cycle::new(p.flit_cycle);
+        }
+        let hops = self.mesh.hops(src, dst) as u64;
+        Cycle::new(hops * p.hop_delay + flits * p.flit_cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_sim::MachineConfig;
+
+    fn net() -> LatencyNetwork {
+        let cfg = MachineConfig::with_nodes(16);
+        LatencyNetwork::new(Mesh::new(&cfg), cfg.params.clone())
+    }
+
+    #[test]
+    fn idle_latency_matches_base() {
+        let mut n = net();
+        let (s, d) = (NodeId::new(0), NodeId::new(15));
+        let t = n.send(Cycle::ZERO, s, d, 6);
+        assert_eq!(t, n.base_latency(s, d, 6));
+        // 6 hops * 2 + 6 flits * 1 = 18
+        assert_eq!(t, Cycle::new(18));
+    }
+
+    #[test]
+    fn entry_port_serializes_injections() {
+        let mut n = net();
+        let s = NodeId::new(0);
+        let t1 = n.send(Cycle::ZERO, s, NodeId::new(3), 4);
+        let t2 = n.send(Cycle::ZERO, s, NodeId::new(12), 4);
+        // Second message departs 4 flit-cycles later.
+        assert_eq!(t2, t1 + 4);
+        assert_eq!(n.stats().entry_wait, 4);
+    }
+
+    #[test]
+    fn exit_port_serializes_ejections() {
+        let mut n = net();
+        let d = NodeId::new(5);
+        // Two sources equidistant from d inject simultaneously.
+        let t1 = n.send(Cycle::ZERO, NodeId::new(4), d, 4);
+        let t2 = n.send(Cycle::ZERO, NodeId::new(6), d, 4);
+        assert_eq!(t2, t1 + 4);
+        assert!(n.stats().exit_wait >= 4);
+    }
+
+    #[test]
+    fn same_pair_delivery_is_fifo() {
+        let mut n = net();
+        let (s, d) = (NodeId::new(0), NodeId::new(15));
+        // A long message followed immediately by a short one: the short
+        // one must not overtake.
+        let t1 = n.send(Cycle::ZERO, s, d, 16);
+        let t2 = n.send(Cycle::new(1), s, d, 1);
+        assert!(t2 > t1, "FIFO violated: {t2} <= {t1}");
+    }
+
+    #[test]
+    fn local_delivery_is_fast() {
+        let mut n = net();
+        let t = n.send(Cycle::new(100), NodeId::new(7), NodeId::new(7), 6);
+        assert_eq!(t, Cycle::new(101));
+    }
+
+    #[test]
+    fn monotone_in_time() {
+        let mut n = net();
+        let mut last = Cycle::ZERO;
+        for i in 0..50u64 {
+            let t = n.send(Cycle::new(i * 3), NodeId::new(0), NodeId::new(15), 2);
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut n = net();
+        n.send(Cycle::ZERO, NodeId::new(0), NodeId::new(1), 2);
+        n.send(Cycle::ZERO, NodeId::new(0), NodeId::new(2), 2);
+        let s = n.stats().clone();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.flits, 4);
+        assert!(s.mean_latency() > 0.0);
+        n.reset_stats();
+        assert_eq!(n.stats().messages, 0);
+        assert_eq!(n.stats().mean_latency(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_flit_message_rejected() {
+        net().send(Cycle::ZERO, NodeId::new(0), NodeId::new(1), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! 2-D wormhole mesh interconnect models.
+//!
+//! The HPCA '95 paper simulates "a 2-D worm-hole mesh network" where
+//! "memory and network latencies reflect the effect of memory contention
+//! and of contention at the entry and exit of the network (though not at
+//! internal nodes)". This crate provides:
+//!
+//! * [`Mesh`] — topology and dimension-ordered (XY) routing ([`topology`]);
+//! * [`LatencyNetwork`] — the paper-faithful model: pipelined wormhole
+//!   wire latency plus queueing contention at each node's network entry
+//!   and exit ports ([`latency`]);
+//! * [`FlitNetwork`] — a cycle-accurate flit-level wormhole router with
+//!   credit-based flow control, used as an ablation to quantify what the
+//!   paper's simplification ignores ([`wormhole`]).
+//!
+//! # Example
+//!
+//! ```
+//! use dsm_mesh::{LatencyNetwork, Mesh};
+//! use dsm_sim::{Cycle, MachineConfig, NodeId};
+//!
+//! let cfg = MachineConfig::default();
+//! let mesh = Mesh::new(&cfg);
+//! let mut net = LatencyNetwork::new(mesh, cfg.params.clone());
+//! let arrival = net.send(Cycle::ZERO, NodeId::new(0), NodeId::new(63), 6);
+//! assert!(arrival > Cycle::ZERO);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod latency;
+pub mod topology;
+pub mod wormhole;
+
+pub use latency::{LatencyNetwork, NetworkStats};
+pub use topology::Mesh;
+pub use wormhole::{FlitNetwork, FlitNetworkParams};

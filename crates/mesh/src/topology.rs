@@ -1,0 +1,262 @@
+//! Mesh geometry and dimension-ordered routing.
+
+use dsm_sim::{MachineConfig, NodeId};
+
+/// The geometry of a 2-D mesh: node coordinates and XY routes.
+///
+/// Routing is dimension-ordered ("XY"): a message first travels along the
+/// X dimension to the destination column, then along Y to the destination
+/// row. Dimension-ordered routing on a mesh is deterministic and
+/// deadlock-free, and because every (src, dst) pair has exactly one path,
+/// messages between the same pair of nodes can never overtake each other
+/// — a property the coherence protocol relies on.
+///
+/// # Example
+///
+/// ```
+/// use dsm_mesh::Mesh;
+/// use dsm_sim::{MachineConfig, NodeId};
+///
+/// let mesh = Mesh::new(&MachineConfig::with_nodes(16)); // 4x4
+/// assert_eq!(mesh.hops(NodeId::new(0), NodeId::new(15)), 6);
+/// let route = mesh.route(NodeId::new(0), NodeId::new(5));
+/// assert_eq!(route, vec![NodeId::new(0), NodeId::new(1), NodeId::new(5)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mesh {
+    width: u32,
+    height: u32,
+}
+
+/// One of the four mesh directions (plus local delivery), used by the
+/// flit-level router to name output ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Toward larger X.
+    East,
+    /// Toward smaller X.
+    West,
+    /// Toward larger Y.
+    North,
+    /// Toward smaller Y.
+    South,
+    /// Delivered to the local node.
+    Local,
+}
+
+impl Mesh {
+    /// Builds the mesh described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid (see [`MachineConfig::validate`]).
+    pub fn new(cfg: &MachineConfig) -> Self {
+        cfg.validate().expect("invalid machine configuration");
+        let (w, h) = cfg.mesh_dims();
+        Mesh { width: w, height: h }
+    }
+
+    /// Builds a mesh directly from its dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn with_dims(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be positive");
+        Mesh { width, height }
+    }
+
+    /// Mesh width (number of columns).
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Mesh height (number of rows).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total node count.
+    pub fn nodes(&self) -> u32 {
+        self.width * self.height
+    }
+
+    /// Returns the (x, y) coordinates of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn coords(&self, node: NodeId) -> (u32, u32) {
+        assert!(node.as_u32() < self.nodes(), "node {node} out of range");
+        (node.as_u32() % self.width, node.as_u32() / self.width)
+    }
+
+    /// Returns the node at coordinates (x, y).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the mesh.
+    pub fn node_at(&self, x: u32, y: u32) -> NodeId {
+        assert!(x < self.width && y < self.height, "({x},{y}) outside mesh");
+        NodeId::new(y * self.width + x)
+    }
+
+    /// Manhattan distance between two nodes, in hops.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// Returns the full XY route from `src` to `dst`, inclusive of both
+    /// endpoints.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let (mut x, mut y) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        let mut path = vec![src];
+        while x != dx {
+            x = if x < dx { x + 1 } else { x - 1 };
+            path.push(self.node_at(x, y));
+        }
+        while y != dy {
+            y = if y < dy { y + 1 } else { y - 1 };
+            path.push(self.node_at(x, y));
+        }
+        path
+    }
+
+    /// Returns the output port a router at `here` uses to move a packet
+    /// toward `dst` under XY routing.
+    pub fn next_direction(&self, here: NodeId, dst: NodeId) -> Direction {
+        let (x, y) = self.coords(here);
+        let (dx, dy) = self.coords(dst);
+        if x < dx {
+            Direction::East
+        } else if x > dx {
+            Direction::West
+        } else if y < dy {
+            Direction::North
+        } else if y > dy {
+            Direction::South
+        } else {
+            Direction::Local
+        }
+    }
+
+    /// Iterates over all node identifiers.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes()).map(NodeId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mesh4x4() -> Mesh {
+        Mesh::with_dims(4, 4)
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let m = mesh4x4();
+        for n in m.iter() {
+            let (x, y) = m.coords(n);
+            assert_eq!(m.node_at(x, y), n);
+        }
+    }
+
+    #[test]
+    fn route_is_x_then_y() {
+        let m = mesh4x4();
+        // 0 = (0,0), 14 = (2,3): go east twice, then north three times.
+        let r = m.route(NodeId::new(0), NodeId::new(14));
+        assert_eq!(
+            r,
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(6),
+                NodeId::new(10),
+                NodeId::new(14)
+            ]
+        );
+    }
+
+    #[test]
+    fn self_route_is_trivial() {
+        let m = mesh4x4();
+        assert_eq!(m.route(NodeId::new(5), NodeId::new(5)), vec![NodeId::new(5)]);
+        assert_eq!(m.next_direction(NodeId::new(5), NodeId::new(5)), Direction::Local);
+    }
+
+    #[test]
+    fn directions_point_the_right_way() {
+        let m = mesh4x4();
+        let c = NodeId::new(5); // (1,1)
+        assert_eq!(m.next_direction(c, NodeId::new(6)), Direction::East);
+        assert_eq!(m.next_direction(c, NodeId::new(4)), Direction::West);
+        assert_eq!(m.next_direction(c, NodeId::new(9)), Direction::North);
+        assert_eq!(m.next_direction(c, NodeId::new(1)), Direction::South);
+        // X is corrected before Y.
+        assert_eq!(m.next_direction(c, NodeId::new(10)), Direction::East);
+    }
+
+    #[test]
+    fn from_machine_config() {
+        let m = Mesh::new(&dsm_sim::MachineConfig::default());
+        assert_eq!((m.width(), m.height()), (8, 8));
+        assert_eq!(m.nodes(), 64);
+    }
+
+    proptest! {
+        #[test]
+        fn route_length_equals_manhattan_distance(
+            w in 1u32..9, h in 1u32..9, a in 0u32..64, b in 0u32..64
+        ) {
+            let m = Mesh::with_dims(w, h);
+            let (a, b) = (a % m.nodes(), b % m.nodes());
+            let (a, b) = (NodeId::new(a), NodeId::new(b));
+            let route = m.route(a, b);
+            prop_assert_eq!(route.len() as u32 - 1, m.hops(a, b));
+            prop_assert_eq!(route[0], a);
+            prop_assert_eq!(*route.last().unwrap(), b);
+        }
+
+        #[test]
+        fn consecutive_route_nodes_are_adjacent(
+            a in 0u32..16, b in 0u32..16
+        ) {
+            let m = Mesh::with_dims(4, 4);
+            let route = m.route(NodeId::new(a), NodeId::new(b));
+            for pair in route.windows(2) {
+                prop_assert_eq!(m.hops(pair[0], pair[1]), 1);
+            }
+        }
+
+        #[test]
+        fn following_next_direction_reaches_destination(
+            a in 0u32..36, b in 0u32..36
+        ) {
+            let m = Mesh::with_dims(6, 6);
+            let dst = NodeId::new(b);
+            let mut here = NodeId::new(a);
+            let mut steps = 0;
+            while here != dst {
+                let (x, y) = m.coords(here);
+                here = match m.next_direction(here, dst) {
+                    Direction::East => m.node_at(x + 1, y),
+                    Direction::West => m.node_at(x - 1, y),
+                    Direction::North => m.node_at(x, y + 1),
+                    Direction::South => m.node_at(x, y - 1),
+                    Direction::Local => unreachable!("not yet at destination"),
+                };
+                steps += 1;
+                prop_assert!(steps <= 12, "route too long");
+            }
+            prop_assert_eq!(steps, m.hops(NodeId::new(a), dst));
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! A two-pass assembler for the mini-MINT ISA.
+//!
+//! Syntax: one instruction per line; `name:` defines a label (possibly
+//! on its own line); `;` or `#` starts a comment. Registers are
+//! `r0`–`r15`; immediates are decimal or `0x`-prefixed hex.
+//!
+//! ```text
+//! ; lock-free counter: r1 = &counter, r2 = iterations
+//! loop:
+//!     li   r3, 1
+//!     faa  r4, r1, r3     ; r4 = fetch_and_add(counter, 1)
+//!     addi r2, r2, -1
+//!     bne  r2, r0, loop
+//!     halt
+//! ```
+
+use crate::isa::{Inst, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let rest = tok
+        .strip_prefix('r')
+        .ok_or_else(|| err(line, format!("expected a register, got `{tok}`")))?;
+    let n: u8 = rest
+        .parse()
+        .map_err(|_| err(line, format!("expected a register, got `{tok}`")))?;
+    if (n as usize) < Reg::COUNT {
+        Ok(Reg(n))
+    } else {
+        Err(err(line, format!("register r{n} out of range (r0-r15)")))
+    }
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let (neg, t) = match tok.strip_prefix('-') {
+        Some(t) => (true, t),
+        None => (false, tok),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        t.parse::<i64>()
+    }
+    .map_err(|_| err(line, format!("expected an immediate, got `{tok}`")))?;
+    Ok(if neg { -v } else { v })
+}
+
+/// Assembles `source` into a program.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered: unknown mnemonics, bad
+/// operands, duplicate or undefined labels.
+pub fn assemble(source: &str) -> Result<Vec<Inst>, AsmError> {
+    // Pass 1: strip comments, collect labels and raw statements.
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut stmts: Vec<(usize, Vec<String>)> = Vec::new(); // (line_no, tokens)
+    for (i, raw) in source.lines().enumerate() {
+        let line_no = i + 1;
+        let code = raw.split([';', '#']).next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        let mut rest = code;
+        while let Some(colon) = rest.find(':') {
+            let (label, after) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err(line_no, format!("malformed label `{label}:`")));
+            }
+            if labels.insert(label.to_string(), stmts.len()).is_some() {
+                return Err(err(line_no, format!("duplicate label `{label}`")));
+            }
+            rest = after[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let mut tokens: Vec<String> = Vec::new();
+        let mut parts = rest.split_whitespace();
+        tokens.push(parts.next().expect("non-empty").to_lowercase());
+        let operands: String = parts.collect::<Vec<_>>().join(" ");
+        for op in operands.split(',') {
+            let op = op.trim();
+            if !op.is_empty() {
+                tokens.push(op.to_string());
+            }
+        }
+        stmts.push((line_no, tokens));
+    }
+
+    // Pass 2: encode.
+    let target = |name: &str, line: usize| -> Result<usize, AsmError> {
+        labels
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(line, format!("undefined label `{name}`")))
+    };
+    let mut prog = Vec::with_capacity(stmts.len());
+    for (line, toks) in &stmts {
+        let line = *line;
+        let op = toks[0].as_str();
+        let args = &toks[1..];
+        let want = |n: usize| -> Result<(), AsmError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(err(line, format!("`{op}` expects {n} operand(s), got {}", args.len())))
+            }
+        };
+        let r = |i: usize| parse_reg(&args[i], line);
+        let inst = match op {
+            "li" => {
+                want(2)?;
+                Inst::Li { rd: r(0)?, imm: parse_imm(&args[1], line)? as u64 }
+            }
+            "add" => {
+                want(3)?;
+                Inst::Add { rd: r(0)?, ra: r(1)?, rb: r(2)? }
+            }
+            "addi" => {
+                want(3)?;
+                Inst::Addi { rd: r(0)?, ra: r(1)?, imm: parse_imm(&args[2], line)? }
+            }
+            "sub" => {
+                want(3)?;
+                Inst::Sub { rd: r(0)?, ra: r(1)?, rb: r(2)? }
+            }
+            "and" => {
+                want(3)?;
+                Inst::And { rd: r(0)?, ra: r(1)?, rb: r(2)? }
+            }
+            "or" => {
+                want(3)?;
+                Inst::Or { rd: r(0)?, ra: r(1)?, rb: r(2)? }
+            }
+            "xor" => {
+                want(3)?;
+                Inst::Xor { rd: r(0)?, ra: r(1)?, rb: r(2)? }
+            }
+            "slli" => {
+                want(3)?;
+                let sh = parse_imm(&args[2], line)?;
+                if !(0..64).contains(&sh) {
+                    return Err(err(line, format!("shift amount {sh} out of range")));
+                }
+                Inst::Slli { rd: r(0)?, ra: r(1)?, imm: sh as u8 }
+            }
+            "ld" => {
+                want(2)?;
+                Inst::Ld { rd: r(0)?, ra: r(1)? }
+            }
+            "st" => {
+                want(2)?;
+                Inst::St { rs: r(0)?, ra: r(1)? }
+            }
+            "lx" => {
+                want(2)?;
+                Inst::Lx { rd: r(0)?, ra: r(1)? }
+            }
+            "ll" => {
+                want(2)?;
+                Inst::Ll { rd: r(0)?, ra: r(1)? }
+            }
+            "sc" => {
+                want(3)?;
+                Inst::Sc { rd: r(0)?, rs: r(1)?, ra: r(2)? }
+            }
+            "cas" => {
+                want(4)?;
+                Inst::Cas { rd: r(0)?, ra: r(1)?, re: r(2)?, rn: r(3)? }
+            }
+            "faa" => {
+                want(3)?;
+                Inst::Faa { rd: r(0)?, ra: r(1)?, rb: r(2)? }
+            }
+            "fas" => {
+                want(3)?;
+                Inst::Fas { rd: r(0)?, ra: r(1)?, rb: r(2)? }
+            }
+            "tas" => {
+                want(2)?;
+                Inst::Tas { rd: r(0)?, ra: r(1)? }
+            }
+            "drop" => {
+                want(1)?;
+                Inst::Drop { ra: r(0)? }
+            }
+            "delay" => {
+                want(1)?;
+                Inst::Delay { ra: r(0)? }
+            }
+            "delayi" => {
+                want(1)?;
+                Inst::Delayi { imm: parse_imm(&args[0], line)? as u64 }
+            }
+            "rnd" => {
+                want(2)?;
+                Inst::Rnd { rd: r(0)?, ra: r(1)? }
+            }
+            "bar" => {
+                want(1)?;
+                Inst::Bar { imm: parse_imm(&args[0], line)? as u32 }
+            }
+            "beq" => {
+                want(3)?;
+                Inst::Beq { ra: r(0)?, rb: r(1)?, target: target(&args[2], line)? }
+            }
+            "bne" => {
+                want(3)?;
+                Inst::Bne { ra: r(0)?, rb: r(1)?, target: target(&args[2], line)? }
+            }
+            "blt" => {
+                want(3)?;
+                Inst::Blt { ra: r(0)?, rb: r(1)?, target: target(&args[2], line)? }
+            }
+            "j" => {
+                want(1)?;
+                Inst::J { target: target(&args[0], line)? }
+            }
+            "halt" => {
+                want(0)?;
+                Inst::Halt
+            }
+            other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+        };
+        prog.push(inst);
+    }
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_counter_loop() {
+        let prog = assemble(
+            "
+            ; simple counter
+            li   r3, 1
+        loop:
+            faa  r4, r1, r3
+            addi r2, r2, -1
+            bne  r2, r0, loop
+            halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 5);
+        assert_eq!(prog[0], Inst::Li { rd: Reg(3), imm: 1 });
+        assert_eq!(prog[3], Inst::Bne { ra: Reg(2), rb: Reg(0), target: 1 });
+        assert_eq!(prog[4], Inst::Halt);
+    }
+
+    #[test]
+    fn labels_on_their_own_line_and_inline() {
+        let prog = assemble("a:\n b: li r1, 7\n j a\n j b").unwrap();
+        assert_eq!(prog[1], Inst::J { target: 0 });
+        assert_eq!(prog[2], Inst::J { target: 0 });
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let prog = assemble("li r1, 0x40\n addi r2, r2, -3").unwrap();
+        assert_eq!(prog[0], Inst::Li { rd: Reg(1), imm: 0x40 });
+        assert_eq!(prog[1], Inst::Addi { rd: Reg(2), ra: Reg(2), imm: -3 });
+    }
+
+    #[test]
+    fn comments_with_both_styles() {
+        let prog = assemble("li r1, 1 ; one\n li r2, 2 # two").unwrap();
+        assert_eq!(prog.len(), 2);
+    }
+
+    #[test]
+    fn error_unknown_mnemonic() {
+        let e = assemble("frobnicate r1").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("unknown mnemonic"));
+    }
+
+    #[test]
+    fn error_undefined_label() {
+        let e = assemble("j nowhere").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+    }
+
+    #[test]
+    fn error_duplicate_label() {
+        let e = assemble("x:\nx:\nhalt").unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+    }
+
+    #[test]
+    fn error_bad_register() {
+        assert!(assemble("li r16, 0").is_err());
+        assert!(assemble("li x3, 0").is_err());
+    }
+
+    #[test]
+    fn error_wrong_arity() {
+        let e = assemble("add r1, r2").unwrap_err();
+        assert!(e.message.contains("expects 3"));
+    }
+}

@@ -1,0 +1,392 @@
+//! The CPU interpreter: runs an assembled program as a machine
+//! [`Program`], issuing one shared-memory operation at a time and
+//! charging one cycle per executed ALU instruction (batched into
+//! `Compute` actions), exactly the shape of an execution-driven
+//! simulation front end.
+
+use crate::isa::{Inst, Reg};
+use dsm_machine::{Action, ProcCtx, Program};
+use dsm_protocol::{MemOp, OpResult, PhiOp};
+use dsm_sim::Addr;
+
+/// A mini-MINT CPU executing one assembled program.
+///
+/// # Example
+///
+/// ```
+/// use dsm_mint::{assemble, Cpu};
+/// use dsm_machine::MachineBuilder;
+/// use dsm_sim::{Cycle, MachineConfig};
+///
+/// let prog = assemble("li r1, 0x40\n li r2, 7\n st r2, r1\n halt").unwrap();
+/// let mut b = MachineBuilder::new(MachineConfig::with_nodes(1));
+/// b.add_program(Cpu::new(prog));
+/// let mut m = b.build();
+/// m.run(Cycle::new(100_000)).unwrap();
+/// assert_eq!(m.read_word(dsm_sim::Addr::new(0x40)), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    prog: Vec<Inst>,
+    regs: [u64; Reg::COUNT],
+    pc: usize,
+    /// Serial number captured by the last `ll` (serial-number scheme).
+    ll_serial: Option<u64>,
+    /// Destination register(s) of the in-flight memory op.
+    pending: Option<Pending>,
+    halted: bool,
+    /// Total instructions retired (for IPC-style statistics).
+    pub retired: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Pending {
+    Load { rd: Reg },
+    LoadLinked { rd: Reg },
+    Store,
+    ScFlag { rd: Reg },
+    CasObserved { rd: Reg },
+    Fetched { rd: Reg },
+}
+
+impl Cpu {
+    /// Creates a CPU at `pc = 0` with all registers zero.
+    pub fn new(prog: Vec<Inst>) -> Self {
+        Cpu {
+            prog,
+            regs: [0; Reg::COUNT],
+            pc: 0,
+            ll_serial: None,
+            pending: None,
+            halted: false,
+            retired: 0,
+        }
+    }
+
+    /// Pre-sets a register (argument passing, like MINT's command line).
+    pub fn with_reg(mut self, r: Reg, value: u64) -> Self {
+        self.set(r, value);
+        self
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.0 as usize]
+    }
+
+    /// `true` once the program has executed `halt`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    fn set(&mut self, r: Reg, v: u64) {
+        if r != Reg::ZERO {
+            self.regs[r.0 as usize] = v;
+        }
+    }
+
+    fn get(&self, r: Reg) -> u64 {
+        self.regs[r.0 as usize]
+    }
+
+    fn retire_result(&mut self, result: OpResult) {
+        let pending = self.pending.take().expect("memory result without a pending op");
+        match (pending, result) {
+            (Pending::Load { rd }, OpResult::Loaded { value, .. })
+            | (Pending::Load { rd }, OpResult::Fetched { old: value }) => self.set(rd, value),
+            (Pending::LoadLinked { rd }, OpResult::Loaded { value, serial, .. }) => {
+                self.set(rd, value);
+                self.ll_serial = serial;
+            }
+            (Pending::Store, _) => {}
+            (Pending::ScFlag { rd }, OpResult::ScDone { success }) => {
+                self.set(rd, u64::from(success))
+            }
+            (Pending::CasObserved { rd }, OpResult::CasDone { observed, .. }) => {
+                self.set(rd, observed)
+            }
+            (Pending::Fetched { rd }, OpResult::Fetched { old }) => self.set(rd, old),
+            (p, r) => panic!("mismatched memory result {r:?} for pending {p:?}"),
+        }
+    }
+}
+
+impl Program for Cpu {
+    fn step(&mut self, ctx: &mut ProcCtx<'_>) -> Action {
+        if let Some(result) = ctx.last.take() {
+            if self.pending.is_some() {
+                self.retire_result(result);
+            }
+        }
+        let mut alu_cycles: u64 = 0;
+        loop {
+            if self.halted {
+                return Action::Done;
+            }
+            let Some(&inst) = self.prog.get(self.pc) else {
+                // Falling off the end halts, like returning from main.
+                self.halted = true;
+                return Action::Done;
+            };
+            self.pc += 1;
+            self.retired += 1;
+
+            // Memory instructions issue an operation; everything else
+            // executes inline for one accumulated cycle.
+            if inst.is_memory() {
+                let action = match inst {
+                    Inst::Ld { rd, ra } => {
+                        self.pending = Some(Pending::Load { rd });
+                        MemOp::Load { addr: Addr::new(self.get(ra)) }
+                    }
+                    Inst::Lx { rd, ra } => {
+                        self.pending = Some(Pending::Load { rd });
+                        MemOp::LoadExclusive { addr: Addr::new(self.get(ra)) }
+                    }
+                    Inst::St { rs, ra } => {
+                        self.pending = Some(Pending::Store);
+                        MemOp::Store { addr: Addr::new(self.get(ra)), value: self.get(rs) }
+                    }
+                    Inst::Ll { rd, ra } => {
+                        self.pending = Some(Pending::LoadLinked { rd });
+                        MemOp::LoadLinked { addr: Addr::new(self.get(ra)) }
+                    }
+                    Inst::Sc { rd, rs, ra } => {
+                        self.pending = Some(Pending::ScFlag { rd });
+                        MemOp::StoreConditional {
+                            addr: Addr::new(self.get(ra)),
+                            value: self.get(rs),
+                            serial: self.ll_serial.take(),
+                        }
+                    }
+                    Inst::Cas { rd, ra, re, rn } => {
+                        self.pending = Some(Pending::CasObserved { rd });
+                        MemOp::Cas {
+                            addr: Addr::new(self.get(ra)),
+                            expected: self.get(re),
+                            new: self.get(rn),
+                        }
+                    }
+                    Inst::Faa { rd, ra, rb } => {
+                        self.pending = Some(Pending::Fetched { rd });
+                        MemOp::FetchPhi {
+                            addr: Addr::new(self.get(ra)),
+                            op: PhiOp::Add(self.get(rb)),
+                        }
+                    }
+                    Inst::Fas { rd, ra, rb } => {
+                        self.pending = Some(Pending::Fetched { rd });
+                        MemOp::FetchPhi {
+                            addr: Addr::new(self.get(ra)),
+                            op: PhiOp::Store(self.get(rb)),
+                        }
+                    }
+                    Inst::Tas { rd, ra } => {
+                        self.pending = Some(Pending::Fetched { rd });
+                        MemOp::FetchPhi { addr: Addr::new(self.get(ra)), op: PhiOp::TestAndSet }
+                    }
+                    Inst::Drop { ra } => {
+                        self.pending = Some(Pending::Store);
+                        MemOp::DropCopy { addr: Addr::new(self.get(ra)) }
+                    }
+                    _ => unreachable!("is_memory covers exactly these"),
+                };
+                // ALU work preceding the access costs its cycles first;
+                // the issue itself is charged by the machine.
+                if alu_cycles > 0 {
+                    // Rewind: we'll re-execute this instruction after the
+                    // compute completes.
+                    self.pc -= 1;
+                    self.retired -= 1;
+                    self.pending = None;
+                    return Action::Compute(alu_cycles);
+                }
+                return Action::Op(action);
+            }
+
+            match inst {
+                Inst::Li { rd, imm } => self.set(rd, imm),
+                Inst::Add { rd, ra, rb } => self.set(rd, self.get(ra).wrapping_add(self.get(rb))),
+                Inst::Addi { rd, ra, imm } => {
+                    self.set(rd, self.get(ra).wrapping_add_signed(imm))
+                }
+                Inst::Sub { rd, ra, rb } => self.set(rd, self.get(ra).wrapping_sub(self.get(rb))),
+                Inst::And { rd, ra, rb } => self.set(rd, self.get(ra) & self.get(rb)),
+                Inst::Or { rd, ra, rb } => self.set(rd, self.get(ra) | self.get(rb)),
+                Inst::Xor { rd, ra, rb } => self.set(rd, self.get(ra) ^ self.get(rb)),
+                Inst::Slli { rd, ra, imm } => self.set(rd, self.get(ra) << imm),
+                Inst::Rnd { rd, ra } => {
+                    let bound = self.get(ra).max(1);
+                    let v = ctx.rng.range(bound);
+                    self.set(rd, v);
+                }
+                Inst::Beq { ra, rb, target } => {
+                    if self.get(ra) == self.get(rb) {
+                        self.pc = target;
+                    }
+                }
+                Inst::Bne { ra, rb, target } => {
+                    if self.get(ra) != self.get(rb) {
+                        self.pc = target;
+                    }
+                }
+                Inst::Blt { ra, rb, target } => {
+                    if self.get(ra) < self.get(rb) {
+                        self.pc = target;
+                    }
+                }
+                Inst::J { target } => self.pc = target,
+                Inst::Delay { ra } => {
+                    let cycles = alu_cycles + self.get(ra);
+                    return Action::Compute(cycles.max(1));
+                }
+                Inst::Delayi { imm } => {
+                    let cycles = alu_cycles + imm;
+                    return Action::Compute(cycles.max(1));
+                }
+                Inst::Bar { imm } => {
+                    // Pending ALU cycles are folded into the wait.
+                    return Action::Barrier(imm);
+                }
+                Inst::Halt => {
+                    self.halted = true;
+                    return Action::Done;
+                }
+                _ => unreachable!("memory instructions handled above"),
+            }
+            alu_cycles += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use dsm_machine::MachineBuilder;
+    use dsm_sim::{Cycle, MachineConfig};
+
+    fn run_solo(src: &str) -> dsm_machine::Machine {
+        let prog = assemble(src).unwrap();
+        let mut b = MachineBuilder::new(MachineConfig::with_nodes(1));
+        b.add_program(Cpu::new(prog));
+        let mut m = b.build();
+        m.run(Cycle::new(10_000_000)).unwrap();
+        m
+    }
+
+    #[test]
+    fn arithmetic_and_store() {
+        let m = run_solo(
+            "
+            li r1, 0x40
+            li r2, 5
+            li r3, 7
+            add r4, r2, r3
+            sub r5, r4, r2      ; 7
+            xor r5, r5, r4      ; 7 ^ 12 = 11
+            st r5, r1
+            halt
+            ",
+        );
+        assert_eq!(m.read_word(Addr::new(0x40)), 7 ^ 12);
+    }
+
+    #[test]
+    fn loops_and_branches() {
+        // Sum 1..=10 into memory.
+        let m = run_solo(
+            "
+            li r1, 0x40
+            li r2, 10      ; i
+            li r3, 0       ; sum
+        loop:
+            add r3, r3, r2
+            addi r2, r2, -1
+            bne r2, r0, loop
+            st r3, r1
+            halt
+            ",
+        );
+        assert_eq!(m.read_word(Addr::new(0x40)), 55);
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let m = run_solo(
+            "
+            li r1, 0x40
+            li r2, 42
+            st r2, r1
+            ld r3, r1
+            addi r4, r3, 1
+            li r1, 0x80
+            st r4, r1
+            halt
+            ",
+        );
+        assert_eq!(m.read_word(Addr::new(0x80)), 43);
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let m = run_solo(
+            "
+            li r0, 99
+            li r1, 0x40
+            st r0, r1
+            halt
+            ",
+        );
+        assert_eq!(m.read_word(Addr::new(0x40)), 0);
+    }
+
+    #[test]
+    fn ll_sc_and_cas_solo() {
+        let m = run_solo(
+            "
+            li r1, 0x40
+            ll r2, r1          ; r2 = 0
+            addi r3, r2, 5
+            sc r4, r3, r1      ; mem = 5, r4 = 1
+            li r5, 5
+            li r6, 9
+            cas r7, r1, r5, r6 ; observed 5 == expected 5 -> mem = 9
+            halt
+            ",
+        );
+        assert_eq!(m.read_word(Addr::new(0x40)), 9);
+    }
+
+    #[test]
+    fn slli_shifts() {
+        let m = run_solo("li r1, 0x40\nli r2, 3\nslli r3, r2, 4\nst r3, r1\nhalt");
+        assert_eq!(m.read_word(Addr::new(0x40)), 48);
+    }
+
+    #[test]
+    fn rnd_is_bounded() {
+        let m = run_solo(
+            "
+            li r1, 0x40
+            li r2, 8
+            rnd r3, r2
+            blt r3, r2, ok
+            li r4, 999       ; out of range marker
+            st r4, r1
+            halt
+        ok:
+            li r4, 1
+            st r4, r1
+            halt
+            ",
+        );
+        assert_eq!(m.read_word(Addr::new(0x40)), 1);
+    }
+
+    #[test]
+    fn falling_off_the_end_halts() {
+        let m = run_solo("li r1, 1");
+        let _ = m; // completed without deadlock
+    }
+}

@@ -1,0 +1,187 @@
+//! Disassembler: renders programs back to assembly text that
+//! re-assembles to the identical program (round-trip property-tested).
+
+use crate::isa::{Inst, Reg};
+use std::collections::BTreeSet;
+
+fn label_for(target: usize) -> String {
+    format!("L{target}")
+}
+
+/// Renders `prog` as assembly text.
+///
+/// Branch targets become `L<index>` labels. The output re-assembles to
+/// exactly the same instruction sequence.
+pub fn disassemble(prog: &[Inst]) -> String {
+    // Collect every branch target so labels are emitted where needed.
+    let mut targets: BTreeSet<usize> = BTreeSet::new();
+    for inst in prog {
+        match *inst {
+            Inst::Beq { target, .. }
+            | Inst::Bne { target, .. }
+            | Inst::Blt { target, .. }
+            | Inst::J { target } => {
+                targets.insert(target);
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    for (i, inst) in prog.iter().enumerate() {
+        if targets.contains(&i) {
+            out.push_str(&label_for(i));
+            out.push_str(":\n");
+        }
+        out.push_str("    ");
+        out.push_str(&render(inst));
+        out.push('\n');
+    }
+    // A label may point one past the last instruction (e.g. a forward
+    // branch to the end); pad with a halt so it stays addressable.
+    if targets.contains(&prog.len()) {
+        out.push_str(&label_for(prog.len()));
+        out.push_str(":\n    halt\n");
+    }
+    out
+}
+
+fn render(inst: &Inst) -> String {
+    fn r3(op: &str, rd: Reg, ra: Reg, rb: Reg) -> String {
+        format!("{op} {rd}, {ra}, {rb}")
+    }
+    match *inst {
+        Inst::Li { rd, imm } => format!("li {rd}, {}", imm as i64),
+        Inst::Add { rd, ra, rb } => r3("add", rd, ra, rb),
+        Inst::Addi { rd, ra, imm } => format!("addi {rd}, {ra}, {imm}"),
+        Inst::Sub { rd, ra, rb } => r3("sub", rd, ra, rb),
+        Inst::And { rd, ra, rb } => r3("and", rd, ra, rb),
+        Inst::Or { rd, ra, rb } => r3("or", rd, ra, rb),
+        Inst::Xor { rd, ra, rb } => r3("xor", rd, ra, rb),
+        Inst::Slli { rd, ra, imm } => format!("slli {rd}, {ra}, {imm}"),
+        Inst::Ld { rd, ra } => format!("ld {rd}, {ra}"),
+        Inst::St { rs, ra } => format!("st {rs}, {ra}"),
+        Inst::Lx { rd, ra } => format!("lx {rd}, {ra}"),
+        Inst::Ll { rd, ra } => format!("ll {rd}, {ra}"),
+        Inst::Sc { rd, rs, ra } => format!("sc {rd}, {rs}, {ra}"),
+        Inst::Cas { rd, ra, re, rn } => format!("cas {rd}, {ra}, {re}, {rn}"),
+        Inst::Faa { rd, ra, rb } => r3("faa", rd, ra, rb),
+        Inst::Fas { rd, ra, rb } => r3("fas", rd, ra, rb),
+        Inst::Tas { rd, ra } => format!("tas {rd}, {ra}"),
+        Inst::Drop { ra } => format!("drop {ra}"),
+        Inst::Delay { ra } => format!("delay {ra}"),
+        Inst::Delayi { imm } => format!("delayi {imm}"),
+        Inst::Rnd { rd, ra } => format!("rnd {rd}, {ra}"),
+        Inst::Bar { imm } => format!("bar {imm}"),
+        Inst::Beq { ra, rb, target } => format!("beq {ra}, {rb}, {}", label_for(target)),
+        Inst::Bne { ra, rb, target } => format!("bne {ra}, {rb}, {}", label_for(target)),
+        Inst::Blt { ra, rb, target } => format!("blt {ra}, {rb}, {}", label_for(target)),
+        Inst::J { target } => format!("j {}", label_for(target)),
+        Inst::Halt => "halt".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use proptest::prelude::*;
+    use proptest::strategy::ValueTree;
+
+    #[test]
+    fn round_trips_a_real_program() {
+        let src = "
+        again:
+            ll r5, r1
+            addi r6, r5, 1
+            sc r7, r6, r1
+            beq r7, r0, again
+            addi r2, r2, -1
+            bne r2, r0, again
+            halt
+        ";
+        let prog = assemble(src).unwrap();
+        let text = disassemble(&prog);
+        let again = assemble(&text).unwrap();
+        assert_eq!(prog, again, "disassembly:\n{text}");
+    }
+
+    #[test]
+    fn renders_forward_edge_label() {
+        use crate::isa::Reg;
+        // A jump one past the end gets a synthetic trailing halt.
+        let prog = vec![Inst::J { target: 1 }];
+        let text = disassemble(&prog);
+        assert!(text.contains("L1:"));
+        let again = assemble(&text).unwrap();
+        assert_eq!(again[0], Inst::J { target: 1 });
+        let _ = Reg(0);
+    }
+
+    fn arb_reg() -> impl Strategy<Value = crate::isa::Reg> {
+        (0u8..16).prop_map(crate::isa::Reg)
+    }
+
+    fn arb_inst(len: usize) -> impl Strategy<Value = Inst> {
+        let t = 0..=len; // branch targets may point one past the end
+        prop_oneof![
+            (arb_reg(), any::<u32>()).prop_map(|(rd, imm)| Inst::Li { rd, imm: imm as u64 }),
+            (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, ra, rb)| Inst::Add { rd, ra, rb }),
+            (arb_reg(), arb_reg(), -1000i64..1000)
+                .prop_map(|(rd, ra, imm)| Inst::Addi { rd, ra, imm }),
+            (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, ra, rb)| Inst::Xor { rd, ra, rb }),
+            (arb_reg(), arb_reg(), 0u8..64).prop_map(|(rd, ra, imm)| Inst::Slli { rd, ra, imm }),
+            (arb_reg(), arb_reg()).prop_map(|(rd, ra)| Inst::Ld { rd, ra }),
+            (arb_reg(), arb_reg()).prop_map(|(rs, ra)| Inst::St { rs, ra }),
+            (arb_reg(), arb_reg()).prop_map(|(rd, ra)| Inst::Ll { rd, ra }),
+            (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs, ra)| Inst::Sc { rd, rs, ra }),
+            (arb_reg(), arb_reg(), arb_reg(), arb_reg())
+                .prop_map(|(rd, ra, re, rn)| Inst::Cas { rd, ra, re, rn }),
+            (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, ra, rb)| Inst::Faa { rd, ra, rb }),
+            (arb_reg(), arb_reg()).prop_map(|(rd, ra)| Inst::Tas { rd, ra }),
+            arb_reg().prop_map(|ra| Inst::Drop { ra }),
+            (0u64..10_000).prop_map(|imm| Inst::Delayi { imm }),
+            (0u32..8).prop_map(|imm| Inst::Bar { imm }),
+            (arb_reg(), arb_reg(), t.clone())
+                .prop_map(|(ra, rb, target)| Inst::Beq { ra, rb, target }),
+            (arb_reg(), arb_reg(), t.clone())
+                .prop_map(|(ra, rb, target)| Inst::Bne { ra, rb, target }),
+            t.prop_map(|target| Inst::J { target }),
+            Just(Inst::Halt),
+        ]
+    }
+
+    proptest! {
+        /// assemble(disassemble(p)) == p for arbitrary programs.
+        #[test]
+        fn round_trip_holds_for_random_programs(
+            len in 1usize..24,
+            seed in any::<u64>(),
+        ) {
+            // Build a deterministic random program of `len` instructions
+            // (targets bounded by len).
+            let mut runner = proptest::test_runner::TestRunner::deterministic();
+            let mut prog = Vec::with_capacity(len);
+            let mut s = seed;
+            for _ in 0..len {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let tree = arb_inst(len).new_tree(&mut runner).unwrap();
+                let inst = tree.current();
+                let _ = s;
+                prog.push(inst);
+            }
+            let text = disassemble(&prog);
+            let again = assemble(&text).map_err(|e| {
+                TestCaseError::fail(format!("reassembly failed: {e}\n{text}"))
+            })?;
+            // The synthetic trailing halt (for end-of-program labels) is
+            // the only allowed difference.
+            prop_assert!(
+                again.len() == prog.len() || again.len() == prog.len() + 1,
+                "length changed: {} -> {}\n{text}",
+                prog.len(),
+                again.len()
+            );
+            prop_assert_eq!(&again[..prog.len()], &prog[..], "program changed:\n{}", text);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! The instruction set of the mini-MINT front end.
+//!
+//! A small load-store RISC in the spirit of the MIPS-II subset MINT
+//! interpreted for the paper, extended (as the paper's simulator was)
+//! with `fetch_and_Φ`, `compare_and_swap`, `load_exclusive` and
+//! `drop_copy`. Sixteen 64-bit registers; `r0` reads as zero and
+//! ignores writes.
+
+/// A register name (`r0`–`r15`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The hardwired-zero register.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Number of architectural registers.
+    pub const COUNT: usize = 16;
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One instruction. Branch/jump targets are instruction indices
+/// (resolved from labels by the assembler).
+///
+/// Field conventions throughout: `rd` destination, `ra`/`rb` sources
+/// (with `ra` holding the byte address for memory forms), `rs` store
+/// data, `re`/`rn` CAS expected/new, `imm` an immediate, `target` a
+/// resolved instruction index.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inst {
+    /// `rd = imm`
+    Li { rd: Reg, imm: u64 },
+    /// `rd = ra + rb`
+    Add { rd: Reg, ra: Reg, rb: Reg },
+    /// `rd = ra + imm`
+    Addi { rd: Reg, ra: Reg, imm: i64 },
+    /// `rd = ra - rb`
+    Sub { rd: Reg, ra: Reg, rb: Reg },
+    /// `rd = ra & rb`
+    And { rd: Reg, ra: Reg, rb: Reg },
+    /// `rd = ra | rb`
+    Or { rd: Reg, ra: Reg, rb: Reg },
+    /// `rd = ra ^ rb`
+    Xor { rd: Reg, ra: Reg, rb: Reg },
+    /// `rd = ra << imm`
+    Slli { rd: Reg, ra: Reg, imm: u8 },
+
+    /// `rd = mem[ra]` (ordinary load)
+    Ld { rd: Reg, ra: Reg },
+    /// `mem[ra] = rs` (ordinary store)
+    St { rs: Reg, ra: Reg },
+    /// `rd = mem[ra]`, acquiring exclusive access (`load_exclusive`)
+    Lx { rd: Reg, ra: Reg },
+    /// `rd = mem[ra]`, placing a reservation (`load_linked`)
+    Ll { rd: Reg, ra: Reg },
+    /// `mem[ra] = rs` if the reservation holds; `rd = 1/0`
+    Sc { rd: Reg, rs: Reg, ra: Reg },
+    /// `rd = old value`; `mem[ra] = rn` iff `old == re`
+    /// (`compare_and_swap`; compare `rd` with `re` to learn the outcome)
+    Cas { rd: Reg, ra: Reg, re: Reg, rn: Reg },
+    /// `rd = fetch_and_add(mem[ra], rb)`
+    Faa { rd: Reg, ra: Reg, rb: Reg },
+    /// `rd = fetch_and_store(mem[ra], rb)` (atomic swap)
+    Fas { rd: Reg, ra: Reg, rb: Reg },
+    /// `rd = test_and_set(mem[ra])`
+    Tas { rd: Reg, ra: Reg },
+    /// `drop_copy(mem[ra])`
+    Drop { ra: Reg },
+
+    /// Stall for `ra` cycles (models local computation)
+    Delay { ra: Reg },
+    /// Stall for `imm` cycles
+    Delayi { imm: u64 },
+    /// `rd = uniform random in [0, ra)` (backoff jitter)
+    Rnd { rd: Reg, ra: Reg },
+    /// Constant-time barrier with id `imm`
+    Bar { imm: u32 },
+
+    /// Branch to `target` if `ra == rb`
+    Beq { ra: Reg, rb: Reg, target: usize },
+    /// Branch to `target` if `ra != rb`
+    Bne { ra: Reg, rb: Reg, target: usize },
+    /// Branch to `target` if `ra < rb` (unsigned)
+    Blt { ra: Reg, rb: Reg, target: usize },
+    /// Unconditional jump
+    J { target: usize },
+    /// Terminate the program
+    Halt,
+}
+
+impl Inst {
+    /// `true` if this instruction issues a shared-memory operation.
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Inst::Ld { .. }
+                | Inst::St { .. }
+                | Inst::Lx { .. }
+                | Inst::Ll { .. }
+                | Inst::Sc { .. }
+                | Inst::Cas { .. }
+                | Inst::Faa { .. }
+                | Inst::Fas { .. }
+                | Inst::Tas { .. }
+                | Inst::Drop { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_classification() {
+        assert!(Inst::Ld { rd: Reg(1), ra: Reg(2) }.is_memory());
+        assert!(Inst::Cas { rd: Reg(1), ra: Reg(2), re: Reg(3), rn: Reg(4) }.is_memory());
+        assert!(!Inst::Add { rd: Reg(1), ra: Reg(2), rb: Reg(3) }.is_memory());
+        assert!(!Inst::Bar { imm: 0 }.is_memory());
+        assert!(!Inst::Halt.is_memory());
+    }
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(format!("{}", Reg(7)), "r7");
+        assert_eq!(Reg::ZERO, Reg(0));
+    }
+}

@@ -1,0 +1,109 @@
+//! Address-space configuration: which lines are synchronization lines
+//! and which policy/variant applies to them.
+
+use crate::types::SyncConfig;
+use dsm_sim::{Addr, LineAddr};
+use std::collections::HashMap;
+
+/// Maps cache lines to their synchronization configuration.
+///
+/// Lines without an entry are ordinary data and use the base
+/// write-invalidate protocol (as in the paper: "the base cache
+/// coherence protocol — used for all data not accessed by atomic
+/// primitives in all experiments — is a write-invalidate protocol").
+///
+/// # Example
+///
+/// ```
+/// use dsm_protocol::{AddressMap, SyncConfig, SyncPolicy};
+/// use dsm_sim::Addr;
+///
+/// let mut map = AddressMap::new(32);
+/// let counter = Addr::new(0x1000);
+/// map.register(counter, SyncConfig { policy: SyncPolicy::Unc, ..Default::default() });
+/// assert_eq!(map.config_for(counter).policy, SyncPolicy::Unc);
+/// assert!(map.is_sync(counter));
+/// assert!(!map.is_sync(Addr::new(0x2000)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressMap {
+    line_size: u64,
+    sync: HashMap<LineAddr, SyncConfig>,
+}
+
+impl AddressMap {
+    /// Creates an empty map for a machine with `line_size`-byte lines.
+    pub fn new(line_size: u64) -> Self {
+        AddressMap { line_size, sync: HashMap::new() }
+    }
+
+    /// The line size this map was built for.
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    /// Marks the line containing `addr` as a synchronization line with
+    /// the given configuration.
+    ///
+    /// Registering the same line twice replaces the configuration (the
+    /// whole line shares one policy).
+    pub fn register(&mut self, addr: Addr, config: SyncConfig) {
+        self.sync.insert(addr.line(self.line_size), config);
+    }
+
+    /// The configuration for the line containing `addr` (default
+    /// [`SyncConfig`] — base INV — if unregistered).
+    pub fn config_for(&self, addr: Addr) -> SyncConfig {
+        self.config_for_line(addr.line(self.line_size))
+    }
+
+    /// The configuration for `line`.
+    pub fn config_for_line(&self, line: LineAddr) -> SyncConfig {
+        self.sync.get(&line).copied().unwrap_or_default()
+    }
+
+    /// `true` if the line containing `addr` was registered as a
+    /// synchronization line.
+    pub fn is_sync(&self, addr: Addr) -> bool {
+        self.sync.contains_key(&addr.line(self.line_size))
+    }
+
+    /// `true` if `line` was registered as a synchronization line.
+    pub fn is_sync_line(&self, line: LineAddr) -> bool {
+        self.sync.contains_key(&line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SyncPolicy;
+
+    #[test]
+    fn whole_line_shares_the_config() {
+        let mut m = AddressMap::new(32);
+        m.register(Addr::new(0x100), SyncConfig { policy: SyncPolicy::Upd, ..Default::default() });
+        // Another word in the same 32-byte line.
+        assert_eq!(m.config_for(Addr::new(0x118)).policy, SyncPolicy::Upd);
+        // The next line is unaffected.
+        assert_eq!(m.config_for(Addr::new(0x120)).policy, SyncPolicy::Inv);
+        assert!(!m.is_sync(Addr::new(0x120)));
+    }
+
+    #[test]
+    fn reregistering_replaces() {
+        let mut m = AddressMap::new(32);
+        let a = Addr::new(0);
+        m.register(a, SyncConfig { policy: SyncPolicy::Unc, ..Default::default() });
+        m.register(a, SyncConfig { policy: SyncPolicy::Inv, ..Default::default() });
+        assert_eq!(m.config_for(a).policy, SyncPolicy::Inv);
+    }
+
+    #[test]
+    fn default_for_unregistered_is_base_inv() {
+        let m = AddressMap::new(32);
+        let c = m.config_for(Addr::new(0x40));
+        assert_eq!(c.policy, SyncPolicy::Inv);
+        assert!(!m.is_sync_line(LineAddr::new(2)));
+    }
+}

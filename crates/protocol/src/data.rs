@@ -1,0 +1,99 @@
+//! Cache-line data payloads.
+
+use crate::types::Value;
+use dsm_sim::Addr;
+
+/// The data contents of one cache line, as an array of 64-bit words.
+///
+/// Lines travel inside coherence messages and live in caches and memory
+/// modules. All atomic primitives operate on single words within a line.
+///
+/// # Example
+///
+/// ```
+/// use dsm_protocol::LineData;
+/// use dsm_sim::Addr;
+///
+/// let mut line = LineData::zeroed(32);
+/// line.set_word(Addr::new(0x48), 7); // offset 8 within a 32-byte line
+/// assert_eq!(line.word(Addr::new(0x48)), 7);
+/// assert_eq!(line.word(Addr::new(0x40)), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LineData {
+    words: Vec<Value>,
+    line_size: u64,
+}
+
+impl LineData {
+    /// Creates an all-zero line of `line_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is not a positive multiple of 8.
+    pub fn zeroed(line_size: u64) -> Self {
+        assert!(line_size > 0 && line_size.is_multiple_of(8), "line size must be a multiple of 8 bytes");
+        LineData { words: vec![0; (line_size / 8) as usize], line_size }
+    }
+
+    /// The line size in bytes.
+    pub fn size(&self) -> u64 {
+        self.line_size
+    }
+
+    /// Number of words in the line.
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    fn index(&self, addr: Addr) -> usize {
+        let off = addr.offset_in_line(self.line_size);
+        debug_assert_eq!(off % 8, 0, "atomic operations must be word-aligned");
+        (off / 8) as usize
+    }
+
+    /// Reads the word containing `addr`.
+    pub fn word(&self, addr: Addr) -> Value {
+        self.words[self.index(addr)]
+    }
+
+    /// Writes the word containing `addr`.
+    pub fn set_word(&mut self, addr: Addr, value: Value) {
+        let i = self.index(addr);
+        self.words[i] = value;
+    }
+
+    /// Immutable view of all words.
+    pub fn words(&self) -> &[Value] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_line() {
+        let l = LineData::zeroed(32);
+        assert_eq!(l.size(), 32);
+        assert_eq!(l.word_count(), 4);
+        assert!(l.words().iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn word_addressing_uses_offset_in_line() {
+        let mut l = LineData::zeroed(32);
+        // 0x100 and 0x120 map to the same offset in different lines.
+        l.set_word(Addr::new(0x100), 11);
+        assert_eq!(l.word(Addr::new(0x120)), 11);
+        l.set_word(Addr::new(0x118), 22);
+        assert_eq!(l.words(), &[11, 0, 0, 22]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn bad_line_size_rejected() {
+        let _ = LineData::zeroed(20);
+    }
+}

@@ -1,0 +1,110 @@
+//! Directory entries kept at each home node.
+
+use crate::msg::Msg;
+use crate::nodeset::NodeSet;
+use dsm_sim::NodeId;
+use std::collections::VecDeque;
+
+/// The stable directory state of one line.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum DirState {
+    /// No cached copies; memory is current.
+    #[default]
+    Uncached,
+    /// Read-only copies at the member nodes; memory is current.
+    Shared(NodeSet),
+    /// One (possibly dirty) exclusive copy at the owner.
+    Dirty(NodeId),
+}
+
+impl DirState {
+    /// The owner, if the line is dirty.
+    pub fn owner(&self) -> Option<NodeId> {
+        match self {
+            DirState::Dirty(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The sharer set, if the line is shared.
+    pub fn sharers(&self) -> Option<&NodeSet> {
+        match self {
+            DirState::Shared(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Why the directory is busy (an intervention is outstanding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusyKind {
+    /// A read miss was forwarded to the owner.
+    GetS,
+    /// A write/exclusive miss was forwarded to the owner.
+    GetX,
+    /// An INVd/INVs compare-and-swap was forwarded to the owner.
+    Cas {
+        /// Deny or Share variant.
+        variant: crate::types::CasVariant,
+    },
+}
+
+/// In-flight intervention bookkeeping for a busy line.
+#[derive(Debug, Clone)]
+pub struct Busy {
+    /// What kind of request is being served.
+    pub kind: BusyKind,
+    /// The message that triggered the intervention (kept whole so the
+    /// reply can be built from it when the owner responds).
+    pub request: Msg,
+    /// A crossing write-back from the old owner has arrived.
+    pub got_writeback: bool,
+    /// The owner NAKed the intervention (it had already written back).
+    pub got_nak: bool,
+}
+
+/// One line's directory entry: stable state plus the busy/waiter
+/// machinery that serializes transactions per line ("queued memory").
+#[derive(Debug, Clone, Default)]
+pub struct DirEntry {
+    /// Stable state.
+    pub state: DirState,
+    /// Outstanding intervention, if any.
+    pub busy: Option<Busy>,
+    /// Requests queued behind the busy transaction, FIFO.
+    pub waiters: VecDeque<Msg>,
+}
+
+impl DirEntry {
+    /// `true` if a transaction is in flight for this line.
+    pub fn is_busy(&self) -> bool {
+        self.busy.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_uncached_and_idle() {
+        let e = DirEntry::default();
+        assert_eq!(e.state, DirState::Uncached);
+        assert!(!e.is_busy());
+        assert!(e.waiters.is_empty());
+    }
+
+    #[test]
+    fn accessors() {
+        let d = DirState::Dirty(NodeId::new(3));
+        assert_eq!(d.owner(), Some(NodeId::new(3)));
+        assert!(d.sharers().is_none());
+
+        let s = DirState::Shared(NodeSet::singleton(NodeId::new(1)));
+        assert!(s.owner().is_none());
+        assert_eq!(s.sharers().unwrap().len(), 1);
+
+        assert!(DirState::Uncached.owner().is_none());
+        assert!(DirState::Uncached.sharers().is_none());
+    }
+}

@@ -1,0 +1,429 @@
+//! Coherence protocol messages.
+//!
+//! All coherence traffic flows between cache controllers and home nodes
+//! (plus home-directed interventions to owners and sharers). There are
+//! no cache-to-cache data transfers: intervention replies route through
+//! the home node, which is what gives the "4 serialized messages for a
+//! store to a remote exclusive line" of Table 1.
+
+use crate::data::LineData;
+use crate::types::{CasVariant, OpResult, PhiOp, Value};
+use dsm_sim::{Addr, LineAddr, NodeId, ProcId};
+use dsm_stats::MsgClass;
+
+/// An operation executed at the memory module (UNC and UPD policies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemAtomicOp {
+    /// Read a word (UNC loads).
+    Load,
+    /// Write a word.
+    Store {
+        /// Value to store.
+        value: Value,
+    },
+    /// Fetch-and-Φ.
+    Phi {
+        /// The Φ function.
+        op: PhiOp,
+    },
+    /// Compare-and-swap.
+    Cas {
+        /// Expected value.
+        expected: Value,
+        /// Replacement value.
+        new: Value,
+    },
+    /// Load-linked: read and set a reservation.
+    Ll,
+    /// Store-conditional: check the reservation, then write.
+    Sc {
+        /// Value to store on success.
+        value: Value,
+        /// Expected serial number (serial-number scheme only).
+        serial: Option<u64>,
+    },
+}
+
+impl MemAtomicOp {
+    /// Whether a *successful* execution writes memory.
+    pub fn writes(self) -> bool {
+        matches!(
+            self,
+            MemAtomicOp::Store { .. }
+                | MemAtomicOp::Phi { .. }
+                | MemAtomicOp::Cas { .. }
+                | MemAtomicOp::Sc { .. }
+        )
+    }
+}
+
+/// The kind (and payload) of a coherence message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MsgKind {
+    // ---- cache -> home requests ----
+    /// Request a shared copy.
+    GetS,
+    /// Request an exclusive copy. `from_shared` is set when the
+    /// requester holds (or held) a shared copy and hopes for a data-less
+    /// upgrade.
+    GetX {
+        /// Requester currently holds a shared copy.
+        from_shared: bool,
+    },
+    /// Execute an operation at the memory module (UNC/UPD policies).
+    AtomicMem {
+        /// The operation to execute.
+        op: MemAtomicOp,
+    },
+    /// INVd/INVs compare-and-swap: compare at home (or owner).
+    CasHome {
+        /// Expected value.
+        expected: Value,
+        /// Replacement value.
+        new: Value,
+        /// Deny or Share behaviour on failure.
+        variant: CasVariant,
+    },
+    /// INV-policy store-conditional issued from a shared copy.
+    ScInv,
+    /// Write back a dirty line (eviction or `drop_copy`).
+    WriteBack {
+        /// The line contents.
+        data: LineData,
+    },
+    /// Notify the home that a shared copy was dropped (`drop_copy`).
+    DropShared,
+
+    // ---- home -> requester replies ----
+    /// Shared data reply.
+    DataS {
+        /// The line contents.
+        data: LineData,
+    },
+    /// Exclusive data reply; the requester must additionally collect
+    /// `acks` invalidation acknowledgments.
+    DataX {
+        /// The line contents.
+        data: LineData,
+        /// Invalidation acks the requester must collect.
+        acks: u32,
+    },
+    /// Exclusive granted without data (requester's shared copy is
+    /// current); collect `acks` acknowledgments.
+    UpgradeAck {
+        /// Invalidation acks the requester must collect.
+        acks: u32,
+    },
+    /// INVd/INVs compare succeeded: exclusive granted; apply the swap
+    /// locally.
+    CasGrant {
+        /// Line contents (`None` when the requester's shared copy is
+        /// current).
+        data: Option<LineData>,
+        /// Invalidation acks the requester must collect.
+        acks: u32,
+        /// The observed (matching) value.
+        observed: Value,
+    },
+    /// INVd/INVs compare failed.
+    CasFail {
+        /// The value actually observed.
+        observed: Value,
+        /// INVs: a read-only copy; INVd: `None`.
+        share_data: Option<LineData>,
+    },
+    /// Reply to an [`MsgKind::AtomicMem`] request.
+    AtomicReply {
+        /// Result to deliver to the processor.
+        result: OpResult,
+        /// Update acks the requester must collect (UPD policy).
+        acks: u32,
+        /// New line contents for the requester's cached copy (UPD).
+        data: Option<LineData>,
+    },
+    /// Reply to an [`MsgKind::ScInv`] request.
+    ScInvReply {
+        /// Whether the store-conditional succeeded.
+        success: bool,
+        /// Invalidation acks the requester must collect on success.
+        acks: u32,
+    },
+
+    // ---- home -> third party ----
+    /// Invalidate your copy; ack to `requester`.
+    Inv {
+        /// Node to acknowledge.
+        requester: NodeId,
+    },
+    /// Write-update: replace your copy with `data`; ack to `requester`.
+    Update {
+        /// New line contents.
+        data: LineData,
+        /// Node to acknowledge.
+        requester: NodeId,
+    },
+    /// Intervention: downgrade your exclusive copy to shared and send
+    /// the data back to the home.
+    FwdGetS,
+    /// Intervention: invalidate your exclusive copy and send the data
+    /// back to the home.
+    FwdGetX,
+    /// Intervention: compare locally (INVd/INVs CAS against a dirty
+    /// owner).
+    FwdCas {
+        /// Expected value.
+        expected: Value,
+        /// Replacement value.
+        new: Value,
+        /// Word being compared.
+        addr: Addr,
+        /// Deny or Share behaviour on failure.
+        variant: CasVariant,
+    },
+
+    // ---- owner -> home intervention responses ----
+    /// Owner invalidated itself; here is the line.
+    XferData {
+        /// The line contents.
+        data: LineData,
+    },
+    /// Owner downgraded to shared; here is the line (sharing
+    /// write-back).
+    SwbData {
+        /// The line contents.
+        data: LineData,
+    },
+    /// Owner's local compare failed.
+    OwnerCasFail {
+        /// The value actually observed.
+        observed: Value,
+        /// The line contents (needed by INVs to give the requester a
+        /// copy; also refreshes memory).
+        data: LineData,
+        /// INVd: owner kept its exclusive copy.
+        kept_exclusive: bool,
+    },
+    /// Owner no longer has the line (it is being written back).
+    FwdNak,
+
+    // ---- third party -> requester ----
+    /// Invalidation acknowledgment.
+    InvAck,
+    /// Update acknowledgment.
+    UpdAck,
+}
+
+impl MsgKind {
+    /// Payload bytes carried (over and above the header/command flits).
+    pub fn payload_bytes(&self, line_size: u64) -> u64 {
+        match self {
+            MsgKind::GetS
+            | MsgKind::GetX { .. }
+            | MsgKind::ScInv
+            | MsgKind::DropShared
+            | MsgKind::UpgradeAck { .. }
+            | MsgKind::ScInvReply { .. }
+            | MsgKind::Inv { .. }
+            | MsgKind::FwdGetS
+            | MsgKind::FwdGetX
+            | MsgKind::FwdNak
+            | MsgKind::InvAck
+            | MsgKind::UpdAck => 0,
+            MsgKind::CasHome { .. } | MsgKind::FwdCas { .. } => 16,
+            MsgKind::AtomicMem { op } => match op {
+                MemAtomicOp::Load | MemAtomicOp::Ll => 0,
+                MemAtomicOp::Store { .. } | MemAtomicOp::Phi { .. } => 8,
+                MemAtomicOp::Cas { .. } => 16,
+                MemAtomicOp::Sc { serial, .. } => {
+                    // The serial-number scheme widens the message (§3.1).
+                    if serial.is_some() {
+                        16
+                    } else {
+                        8
+                    }
+                }
+            },
+            MsgKind::WriteBack { .. }
+            | MsgKind::DataS { .. }
+            | MsgKind::DataX { .. }
+            | MsgKind::XferData { .. }
+            | MsgKind::SwbData { .. }
+            | MsgKind::Update { .. } => line_size,
+            MsgKind::CasGrant { data, .. } => {
+                8 + data.as_ref().map_or(0, |_| line_size)
+            }
+            MsgKind::CasFail { share_data, .. } => {
+                8 + share_data.as_ref().map_or(0, |_| line_size)
+            }
+            MsgKind::OwnerCasFail { .. } => 8 + line_size,
+            MsgKind::AtomicReply { data, result, .. } => {
+                let serial_extra = match result {
+                    OpResult::Loaded { serial: Some(_), .. } => 8,
+                    _ => 0,
+                };
+                8 + serial_extra + data.as_ref().map_or(0, |_| line_size)
+            }
+        }
+    }
+
+    /// Whether the destination processes this message at its memory
+    /// module / directory (home-bound) rather than its cache controller.
+    pub fn home_bound(&self) -> bool {
+        matches!(
+            self,
+            MsgKind::GetS
+                | MsgKind::GetX { .. }
+                | MsgKind::AtomicMem { .. }
+                | MsgKind::CasHome { .. }
+                | MsgKind::ScInv
+                | MsgKind::WriteBack { .. }
+                | MsgKind::DropShared
+                | MsgKind::XferData { .. }
+                | MsgKind::SwbData { .. }
+                | MsgKind::OwnerCasFail { .. }
+                | MsgKind::FwdNak
+        )
+    }
+
+    /// The reporting class of this message.
+    pub fn class(&self) -> MsgClass {
+        match self {
+            MsgKind::GetS
+            | MsgKind::GetX { .. }
+            | MsgKind::AtomicMem { .. }
+            | MsgKind::CasHome { .. }
+            | MsgKind::ScInv => MsgClass::Request,
+            MsgKind::DataS { .. }
+            | MsgKind::DataX { .. }
+            | MsgKind::UpgradeAck { .. }
+            | MsgKind::CasGrant { .. }
+            | MsgKind::CasFail { .. }
+            | MsgKind::AtomicReply { .. }
+            | MsgKind::ScInvReply { .. } => MsgClass::Reply,
+            MsgKind::FwdGetS | MsgKind::FwdGetX | MsgKind::FwdCas { .. } => MsgClass::Forward,
+            MsgKind::Inv { .. } => MsgClass::Invalidate,
+            MsgKind::Update { .. } => MsgClass::Update,
+            MsgKind::InvAck | MsgKind::UpdAck => MsgClass::Ack,
+            MsgKind::WriteBack { .. }
+            | MsgKind::DropShared
+            | MsgKind::XferData { .. }
+            | MsgKind::SwbData { .. }
+            | MsgKind::OwnerCasFail { .. } => MsgClass::WriteBack,
+            MsgKind::FwdNak => MsgClass::Nak,
+        }
+    }
+}
+
+/// A coherence message in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Msg {
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// The cache line concerned.
+    pub line: LineAddr,
+    /// The word address the original operation targets.
+    pub addr: Addr,
+    /// The processor whose operation this message serves.
+    pub proc: ProcId,
+    /// Serialized messages on the critical path, including this one.
+    pub chain: u32,
+    /// Kind and payload.
+    pub kind: MsgKind,
+}
+
+impl Msg {
+    /// Total flits of this message under `params`.
+    pub fn flits(&self, params: &dsm_sim::SimParams) -> u64 {
+        params.flits_for_payload(self.kind.payload_bytes(params.line_size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> LineData {
+        LineData::zeroed(32)
+    }
+
+    #[test]
+    fn control_messages_have_no_payload() {
+        assert_eq!(MsgKind::GetS.payload_bytes(32), 0);
+        assert_eq!(MsgKind::InvAck.payload_bytes(32), 0);
+        assert_eq!(MsgKind::FwdNak.payload_bytes(32), 0);
+    }
+
+    #[test]
+    fn data_messages_carry_the_line() {
+        assert_eq!(MsgKind::DataS { data: line() }.payload_bytes(32), 32);
+        assert_eq!(MsgKind::WriteBack { data: line() }.payload_bytes(32), 32);
+        assert_eq!(
+            MsgKind::CasFail { observed: 0, share_data: Some(line()) }.payload_bytes(32),
+            40
+        );
+        assert_eq!(MsgKind::CasFail { observed: 0, share_data: None }.payload_bytes(32), 8);
+    }
+
+    #[test]
+    fn serial_number_scheme_widens_sc_messages() {
+        let plain = MsgKind::AtomicMem { op: MemAtomicOp::Sc { value: 1, serial: None } };
+        let serial = MsgKind::AtomicMem { op: MemAtomicOp::Sc { value: 1, serial: Some(7) } };
+        assert!(serial.payload_bytes(32) > plain.payload_bytes(32));
+
+        let reply_plain = MsgKind::AtomicReply {
+            result: OpResult::Loaded { value: 0, serial: None, reserved: true },
+            acks: 0,
+            data: None,
+        };
+        let reply_serial = MsgKind::AtomicReply {
+            result: OpResult::Loaded { value: 0, serial: Some(3), reserved: true },
+            acks: 0,
+            data: None,
+        };
+        assert!(reply_serial.payload_bytes(32) > reply_plain.payload_bytes(32));
+    }
+
+    #[test]
+    fn home_bound_classification() {
+        assert!(MsgKind::GetS.home_bound());
+        assert!(MsgKind::WriteBack { data: line() }.home_bound());
+        assert!(MsgKind::FwdNak.home_bound());
+        assert!(!MsgKind::DataS { data: line() }.home_bound());
+        assert!(!MsgKind::Inv { requester: NodeId::new(0) }.home_bound());
+        assert!(!MsgKind::InvAck.home_bound());
+    }
+
+    #[test]
+    fn classes_cover_request_reply_forward() {
+        assert_eq!(MsgKind::GetS.class(), MsgClass::Request);
+        assert_eq!(MsgKind::UpgradeAck { acks: 0 }.class(), MsgClass::Reply);
+        assert_eq!(MsgKind::FwdGetX.class(), MsgClass::Forward);
+        assert_eq!(MsgKind::Inv { requester: NodeId::new(1) }.class(), MsgClass::Invalidate);
+        assert_eq!(MsgKind::UpdAck.class(), MsgClass::Ack);
+    }
+
+    #[test]
+    fn flit_count_uses_params() {
+        let p = dsm_sim::SimParams::default();
+        let m = Msg {
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+            line: LineAddr::new(0),
+            addr: Addr::new(0),
+            proc: ProcId::new(0),
+            chain: 1,
+            kind: MsgKind::DataS { data: line() },
+        };
+        assert_eq!(m.flits(&p), p.flits_for_payload(32));
+    }
+
+    #[test]
+    fn mem_atomic_write_classification() {
+        assert!(MemAtomicOp::Store { value: 1 }.writes());
+        assert!(MemAtomicOp::Sc { value: 1, serial: None }.writes());
+        assert!(!MemAtomicOp::Load.writes());
+        assert!(!MemAtomicOp::Ll.writes());
+    }
+}

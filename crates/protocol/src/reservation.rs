@@ -1,0 +1,405 @@
+//! LL/SC reservation bookkeeping.
+//!
+//! For cache-based (INV) implementations each processor has a single
+//! reservation bit and address register ([`CacheReservation`]), as on
+//! the MIPS R4000. For memory-based (UNC/UPD) implementations, §3.1 of
+//! the paper offers four schemes for keeping per-location reservations
+//! at the home node; [`ReservationStore`] implements all of them:
+//!
+//! * a **bit vector** per line (one bit per processor);
+//! * a **linked list** of reserving processors drawn from a bounded free
+//!   pool maintained by the protocol;
+//! * a **limited** count of reservations (beyond-limit `load_linked`s
+//!   return a failure indicator so their `store_conditional`s can fail
+//!   locally without network traffic);
+//! * a **serial number** per line, incremented by every write;
+//!   `store_conditional` carries the expected serial number, which also
+//!   enables *bare* SC without a preceding LL.
+
+use crate::types::LlscScheme;
+use dsm_sim::{LineAddr, ProcId};
+use std::collections::HashMap;
+
+/// The single cache-side reservation of one processor (INV policy).
+///
+/// # Example
+///
+/// ```
+/// use dsm_protocol::CacheReservation;
+/// use dsm_sim::LineAddr;
+///
+/// let mut r = CacheReservation::default();
+/// r.set(LineAddr::new(4));
+/// assert!(r.valid_for(LineAddr::new(4)));
+/// r.invalidate_line(LineAddr::new(4)); // e.g. an invalidation arrived
+/// assert!(!r.valid_for(LineAddr::new(4)));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheReservation {
+    line: Option<LineAddr>,
+}
+
+impl CacheReservation {
+    /// Places a reservation on `line` (displacing any previous one —
+    /// processors have one reservation register).
+    pub fn set(&mut self, line: LineAddr) {
+        self.line = Some(line);
+    }
+
+    /// `true` if a valid reservation for `line` is held.
+    pub fn valid_for(&self, line: LineAddr) -> bool {
+        self.line == Some(line)
+    }
+
+    /// Clears the reservation unconditionally (context switch, SC).
+    pub fn clear(&mut self) {
+        self.line = None;
+    }
+
+    /// Clears the reservation if it names `line` (invalidation,
+    /// eviction, `drop_copy`, loss of ownership).
+    pub fn invalidate_line(&mut self, line: LineAddr) {
+        if self.line == Some(line) {
+            self.line = None;
+        }
+    }
+}
+
+/// Result of a memory-side `load_linked`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlGrant {
+    /// Serial number returned to the processor (serial-number scheme).
+    pub serial: Option<u64>,
+    /// Whether a reservation was actually recorded. Beyond-limit LLs
+    /// under [`LlscScheme::Limited`] (or a full free pool under
+    /// [`LlscScheme::LinkedList`]) return `false`, so the corresponding
+    /// SC can fail locally without network traffic.
+    pub reserved: bool,
+}
+
+#[derive(Debug, Clone)]
+enum LineResv {
+    BitVector(crate::nodeset::NodeSet),
+    /// Indices into the shared free pool would be the hardware reality;
+    /// we model the list as the ordered vector of processors plus the
+    /// pool accounting in the store.
+    LinkedList(Vec<ProcId>),
+    Limited(Vec<ProcId>),
+    Serial(u64),
+}
+
+/// Memory-side reservations for all lines homed at one node.
+///
+/// # Example
+///
+/// ```
+/// use dsm_protocol::{LlscScheme, ReservationStore};
+/// use dsm_sim::{LineAddr, ProcId};
+///
+/// let mut store = ReservationStore::new(64);
+/// let line = LineAddr::new(7);
+/// let g = store.load_linked(line, ProcId::new(3), LlscScheme::BitVector);
+/// assert!(g.reserved);
+/// assert!(store.check_sc(line, ProcId::new(3), None, LlscScheme::BitVector));
+/// // The successful SC cleared every reservation on the line.
+/// assert!(!store.check_sc(line, ProcId::new(3), None, LlscScheme::BitVector));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReservationStore {
+    lines: HashMap<LineAddr, LineResv>,
+    /// Free-pool capacity for the linked-list scheme (total list nodes
+    /// available across all lines homed here).
+    pool_capacity: usize,
+    pool_used: usize,
+}
+
+impl ReservationStore {
+    /// Creates a store with a linked-list free pool of `pool_capacity`
+    /// entries.
+    pub fn new(pool_capacity: usize) -> Self {
+        ReservationStore { lines: HashMap::new(), pool_capacity, pool_used: 0 }
+    }
+
+    /// Records a `load_linked` by `proc` on `line` under `scheme` and
+    /// returns what the reply should carry.
+    pub fn load_linked(&mut self, line: LineAddr, proc: ProcId, scheme: LlscScheme) -> LlGrant {
+        match scheme {
+            LlscScheme::BitVector => {
+                let e = self
+                    .lines
+                    .entry(line)
+                    .or_insert_with(|| LineResv::BitVector(crate::nodeset::NodeSet::new()));
+                let LineResv::BitVector(set) = e else {
+                    panic!("line {line} switched reservation schemes");
+                };
+                set.insert(dsm_sim::NodeId::new(proc.as_u32()));
+                LlGrant { serial: None, reserved: true }
+            }
+            LlscScheme::LinkedList => {
+                let e = self.lines.entry(line).or_insert_with(|| LineResv::LinkedList(Vec::new()));
+                let LineResv::LinkedList(list) = e else {
+                    panic!("line {line} switched reservation schemes");
+                };
+                if list.contains(&proc) {
+                    return LlGrant { serial: None, reserved: true };
+                }
+                if self.pool_used >= self.pool_capacity {
+                    // Free pool exhausted: the reservation is dropped and
+                    // the LL reply says so.
+                    return LlGrant { serial: None, reserved: false };
+                }
+                self.pool_used += 1;
+                list.push(proc);
+                LlGrant { serial: None, reserved: true }
+            }
+            LlscScheme::Limited(k) => {
+                let e = self.lines.entry(line).or_insert_with(|| LineResv::Limited(Vec::new()));
+                let LineResv::Limited(list) = e else {
+                    panic!("line {line} switched reservation schemes");
+                };
+                if list.contains(&proc) {
+                    return LlGrant { serial: None, reserved: true };
+                }
+                if list.len() >= k as usize {
+                    return LlGrant { serial: None, reserved: false };
+                }
+                list.push(proc);
+                LlGrant { serial: None, reserved: true }
+            }
+            LlscScheme::SerialNumber => {
+                let e = self.lines.entry(line).or_insert(LineResv::Serial(0));
+                let LineResv::Serial(s) = e else {
+                    panic!("line {line} switched reservation schemes");
+                };
+                LlGrant { serial: Some(*s), reserved: true }
+            }
+        }
+    }
+
+    /// Checks (and on success consumes) the reservation for a
+    /// `store_conditional` by `proc`. `serial` carries the expected
+    /// serial number under [`LlscScheme::SerialNumber`].
+    ///
+    /// A successful SC also clears all other reservations on the line
+    /// (it is a write); the caller needs no separate
+    /// [`on_write`](Self::on_write).
+    pub fn check_sc(
+        &mut self,
+        line: LineAddr,
+        proc: ProcId,
+        serial: Option<u64>,
+        scheme: LlscScheme,
+    ) -> bool {
+        match scheme {
+            LlscScheme::BitVector => {
+                let ok = matches!(
+                    self.lines.get(&line),
+                    Some(LineResv::BitVector(set)) if set.contains(dsm_sim::NodeId::new(proc.as_u32()))
+                );
+                if ok {
+                    self.on_write(line, scheme);
+                }
+                ok
+            }
+            LlscScheme::LinkedList => {
+                let ok = matches!(
+                    self.lines.get(&line),
+                    Some(LineResv::LinkedList(list)) if list.contains(&proc)
+                );
+                if ok {
+                    self.on_write(line, scheme);
+                }
+                ok
+            }
+            LlscScheme::Limited(_) => {
+                let ok = matches!(
+                    self.lines.get(&line),
+                    Some(LineResv::Limited(list)) if list.contains(&proc)
+                );
+                if ok {
+                    self.on_write(line, scheme);
+                }
+                ok
+            }
+            LlscScheme::SerialNumber => {
+                let current = match self.lines.get(&line) {
+                    Some(LineResv::Serial(s)) => *s,
+                    None => 0,
+                    Some(_) => panic!("line {line} switched reservation schemes"),
+                };
+                let ok = serial == Some(current);
+                if ok {
+                    self.on_write(line, scheme);
+                }
+                ok
+            }
+        }
+    }
+
+    /// Records an ordinary write to `line`: clears reservations (bumping
+    /// the serial number under the serial-number scheme).
+    pub fn on_write(&mut self, line: LineAddr, scheme: LlscScheme) {
+        match scheme {
+            LlscScheme::SerialNumber => {
+                let e = self.lines.entry(line).or_insert(LineResv::Serial(0));
+                if let LineResv::Serial(s) = e {
+                    *s = s.wrapping_add(1);
+                }
+            }
+            LlscScheme::LinkedList => {
+                if let Some(LineResv::LinkedList(list)) = self.lines.get_mut(&line) {
+                    self.pool_used -= list.len();
+                    list.clear();
+                }
+            }
+            _ => {
+                if let Some(r) = self.lines.get_mut(&line) {
+                    match r {
+                        LineResv::BitVector(set) => set.clear(),
+                        LineResv::Limited(list) => list.clear(),
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// Current serial number of `line` (serial-number scheme), for bare
+    /// store-conditionals issued without a preceding LL.
+    pub fn serial(&self, line: LineAddr) -> u64 {
+        match self.lines.get(&line) {
+            Some(LineResv::Serial(s)) => *s,
+            _ => 0,
+        }
+    }
+
+    /// Linked-list pool entries currently in use (for tests/metrics).
+    pub fn pool_used(&self) -> usize {
+        self.pool_used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: LineAddr = LineAddr::new(3);
+    const P0: ProcId = ProcId::new(0);
+    const P1: ProcId = ProcId::new(1);
+    const P2: ProcId = ProcId::new(2);
+
+    #[test]
+    fn cache_reservation_lifecycle() {
+        let mut r = CacheReservation::default();
+        assert!(!r.valid_for(L));
+        r.set(L);
+        assert!(r.valid_for(L));
+        // A new LL displaces the old reservation.
+        r.set(LineAddr::new(9));
+        assert!(!r.valid_for(L));
+        assert!(r.valid_for(LineAddr::new(9)));
+        r.invalidate_line(L); // unrelated line: no effect
+        assert!(r.valid_for(LineAddr::new(9)));
+        r.clear();
+        assert!(!r.valid_for(LineAddr::new(9)));
+    }
+
+    #[test]
+    fn bitvector_basic_ll_sc() {
+        let mut s = ReservationStore::new(0);
+        assert!(s.load_linked(L, P0, LlscScheme::BitVector).reserved);
+        assert!(s.load_linked(L, P1, LlscScheme::BitVector).reserved);
+        // P0's SC succeeds and clears P1's reservation too.
+        assert!(s.check_sc(L, P0, None, LlscScheme::BitVector));
+        assert!(!s.check_sc(L, P1, None, LlscScheme::BitVector));
+    }
+
+    #[test]
+    fn bitvector_cleared_by_ordinary_write() {
+        let mut s = ReservationStore::new(0);
+        s.load_linked(L, P0, LlscScheme::BitVector);
+        s.on_write(L, LlscScheme::BitVector);
+        assert!(!s.check_sc(L, P0, None, LlscScheme::BitVector));
+    }
+
+    #[test]
+    fn sc_without_ll_fails() {
+        let mut s = ReservationStore::new(0);
+        assert!(!s.check_sc(L, P0, None, LlscScheme::BitVector));
+        assert!(!s.check_sc(L, P0, None, LlscScheme::Limited(4)));
+    }
+
+    #[test]
+    fn limited_scheme_caps_reservations() {
+        let mut s = ReservationStore::new(0);
+        assert!(s.load_linked(L, P0, LlscScheme::Limited(2)).reserved);
+        assert!(s.load_linked(L, P1, LlscScheme::Limited(2)).reserved);
+        // Third processor is beyond the limit.
+        let g = s.load_linked(L, P2, LlscScheme::Limited(2)).reserved;
+        assert!(!g, "beyond-limit LL must report failure");
+        // Re-LL by an already reserved processor is fine.
+        assert!(s.load_linked(L, P0, LlscScheme::Limited(2)).reserved);
+        assert!(s.check_sc(L, P1, None, LlscScheme::Limited(2)));
+        // The successful SC cleared the rest.
+        assert!(!s.check_sc(L, P0, None, LlscScheme::Limited(2)));
+    }
+
+    #[test]
+    fn linked_list_pool_exhaustion() {
+        let mut s = ReservationStore::new(2);
+        assert!(s.load_linked(L, P0, LlscScheme::LinkedList).reserved);
+        assert!(s.load_linked(LineAddr::new(4), P1, LlscScheme::LinkedList).reserved);
+        assert_eq!(s.pool_used(), 2);
+        // Pool is exhausted; the next LL fails to reserve.
+        assert!(!s.load_linked(L, P2, LlscScheme::LinkedList).reserved);
+        // A write releases line L's entries back to the pool.
+        s.on_write(L, LlscScheme::LinkedList);
+        assert_eq!(s.pool_used(), 1);
+        assert!(s.load_linked(L, P2, LlscScheme::LinkedList).reserved);
+    }
+
+    #[test]
+    fn serial_numbers_advance_on_writes() {
+        let mut s = ReservationStore::new(0);
+        let g = s.load_linked(L, P0, LlscScheme::SerialNumber);
+        assert_eq!(g.serial, Some(0));
+        assert!(g.reserved);
+        // SC with the right serial succeeds and bumps the serial.
+        assert!(s.check_sc(L, P0, Some(0), LlscScheme::SerialNumber));
+        assert_eq!(s.serial(L), 1);
+        // Stale serial now fails.
+        assert!(!s.check_sc(L, P0, Some(0), LlscScheme::SerialNumber));
+        // Bare SC by a different processor with the current serial works.
+        assert!(s.check_sc(L, P1, Some(1), LlscScheme::SerialNumber));
+        assert_eq!(s.serial(L), 2);
+    }
+
+    #[test]
+    fn serial_scheme_detects_aba() {
+        // The value can return to its original, but the serial number
+        // cannot: this is the paper's fix for the pointer/ABA problem.
+        let mut s = ReservationStore::new(0);
+        let g = s.load_linked(L, P0, LlscScheme::SerialNumber);
+        // Two intervening writes restore the "same value" in memory.
+        s.on_write(L, LlscScheme::SerialNumber);
+        s.on_write(L, LlscScheme::SerialNumber);
+        assert!(!s.check_sc(L, P0, g.serial, LlscScheme::SerialNumber));
+    }
+
+    #[test]
+    fn serial_none_fails() {
+        let mut s = ReservationStore::new(0);
+        s.load_linked(L, P0, LlscScheme::SerialNumber);
+        assert!(!s.check_sc(L, P0, None, LlscScheme::SerialNumber));
+    }
+
+    #[test]
+    fn lines_are_independent() {
+        let mut s = ReservationStore::new(16);
+        s.load_linked(L, P0, LlscScheme::BitVector);
+        s.load_linked(LineAddr::new(8), P0, LlscScheme::BitVector);
+        s.on_write(L, LlscScheme::BitVector);
+        assert!(!s.check_sc(L, P0, None, LlscScheme::BitVector));
+        assert!(s.check_sc(LineAddr::new(8), P0, None, LlscScheme::BitVector));
+    }
+}

@@ -1,0 +1,291 @@
+//! Machine and timing configuration.
+//!
+//! The defaults describe the machine simulated in the paper: a 64-node
+//! (8×8) mesh with 32-byte cache lines and queued memory modules. The
+//! paper does not publish its exact latency constants, so the timing
+//! defaults here use DASH-era magnitudes; every constant is configurable
+//! so the benchmark harness can sweep them.
+
+use crate::ids::NodeId;
+
+/// Latency and sizing parameters for the simulated hardware.
+///
+/// All times are in processor clock cycles; all sizes in bytes.
+///
+/// # Example
+///
+/// ```
+/// use dsm_sim::SimParams;
+///
+/// let p = SimParams::default();
+/// assert_eq!(p.line_size, 32);
+/// // A 32-byte data message: header + command flits + 4 data flits.
+/// assert_eq!(p.flits_for_payload(32), 6);
+/// assert_eq!(p.flits_for_payload(0), 2); // control message
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimParams {
+    /// Cache line size in bytes (paper: 32).
+    pub line_size: u64,
+    /// Cycles for a load/store that hits in the local cache.
+    pub cache_hit: u64,
+    /// Cache-controller occupancy for handling a protocol action.
+    pub cache_ctrl: u64,
+    /// DRAM access time at a memory module (read or write of one line).
+    pub mem_access: u64,
+    /// Directory lookup/update time at the home node.
+    pub dir_access: u64,
+    /// Per-hop router delay in the mesh.
+    pub hop_delay: u64,
+    /// Flit width in bytes (payloads are divided into flits of this size).
+    pub flit_bytes: u64,
+    /// Cycles for one flit to cross a link (also the per-flit occupancy of
+    /// a network-interface queue).
+    pub flit_cycle: u64,
+    /// Extra header flits prepended to every message (address, type, ...).
+    pub header_flits: u64,
+    /// Cycles the processor needs to issue an operation.
+    pub issue: u64,
+}
+
+impl SimParams {
+    /// Returns the total flit count of a message carrying `payload` bytes.
+    ///
+    /// A message with no payload (a control message: request, ack,
+    /// invalidation) still carries `header_flits` plus one flit of
+    /// address/command.
+    pub fn flits_for_payload(&self, payload: u64) -> u64 {
+        self.header_flits + 1 + payload.div_ceil(self.flit_bytes)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint, e.g. a
+    /// non-power-of-two line size or a zero flit size.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.line_size.is_power_of_two() {
+            return Err(format!("line_size {} is not a power of two", self.line_size));
+        }
+        if self.flit_bytes == 0 {
+            return Err("flit_bytes must be positive".into());
+        }
+        if self.flit_cycle == 0 {
+            return Err("flit_cycle must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        SimParams {
+            line_size: 32,
+            cache_hit: 1,
+            cache_ctrl: 4,
+            mem_access: 20,
+            dir_access: 4,
+            hop_delay: 2,
+            flit_bytes: 8,
+            flit_cycle: 1,
+            header_flits: 1,
+            issue: 1,
+        }
+    }
+}
+
+/// Geometry of the per-node processor cache.
+///
+/// Synchronization studies touch few distinct lines, so the default cache
+/// is large enough that conflict misses do not perturb the results; the
+/// benchmark harness shrinks it for capacity-pressure ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Number of sets.
+    pub sets: usize,
+    /// Associativity (lines per set).
+    pub ways: usize,
+}
+
+impl CacheParams {
+    /// Total capacity in lines.
+    pub fn lines(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `sets` is not a power of two or either field
+    /// is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sets == 0 || self.ways == 0 {
+            return Err("cache must have at least one set and one way".into());
+        }
+        if !self.sets.is_power_of_two() {
+            return Err(format!("cache sets {} is not a power of two", self.sets));
+        }
+        Ok(())
+    }
+}
+
+impl Default for CacheParams {
+    fn default() -> Self {
+        CacheParams { sets: 256, ways: 4 }
+    }
+}
+
+/// Full description of the simulated machine.
+///
+/// # Example
+///
+/// ```
+/// use dsm_sim::MachineConfig;
+///
+/// let cfg = MachineConfig::default(); // the paper's 64-node machine
+/// assert_eq!(cfg.nodes, 64);
+/// assert_eq!(cfg.mesh_dims(), (8, 8));
+/// cfg.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of nodes (one processor + one memory module each).
+    pub nodes: u32,
+    /// Mesh width; `nodes` must equal `mesh_width * mesh_height`.
+    pub mesh_width: u32,
+    /// Timing and sizing parameters.
+    pub params: SimParams,
+    /// Per-node cache geometry.
+    pub cache: CacheParams,
+    /// Seed for all randomized behaviour (backoff jitter, workloads).
+    pub seed: u64,
+}
+
+impl MachineConfig {
+    /// Creates a configuration for `nodes` processors arranged in the
+    /// squarest possible mesh, with default timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn with_nodes(nodes: u32) -> Self {
+        assert!(nodes > 0, "a machine must have at least one node");
+        let mut w = (nodes as f64).sqrt() as u32;
+        while w > 1 && !nodes.is_multiple_of(w) {
+            w -= 1;
+        }
+        MachineConfig {
+            nodes,
+            mesh_width: w.max(1),
+            params: SimParams::default(),
+            cache: CacheParams::default(),
+            seed: 0x5EED,
+        }
+    }
+
+    /// Returns (width, height) of the mesh.
+    pub fn mesh_dims(&self) -> (u32, u32) {
+        (self.mesh_width, self.nodes / self.mesh_width)
+    }
+
+    /// Returns the (x, y) coordinates of `node` in the mesh.
+    pub fn coords(&self, node: NodeId) -> (u32, u32) {
+        let id = node.as_u32();
+        (id % self.mesh_width, id / self.mesh_width)
+    }
+
+    /// Returns the Manhattan distance in hops between two nodes.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first inconsistency, e.g. a mesh
+    /// width that does not divide the node count.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("machine must have at least one node".into());
+        }
+        if self.mesh_width == 0 || !self.nodes.is_multiple_of(self.mesh_width) {
+            return Err(format!(
+                "mesh width {} does not tile {} nodes",
+                self.mesh_width, self.nodes
+            ));
+        }
+        self.params.validate()?;
+        self.cache.validate()?;
+        Ok(())
+    }
+}
+
+impl Default for MachineConfig {
+    /// The paper's machine: 64 nodes in an 8×8 mesh, 32-byte lines.
+    fn default() -> Self {
+        MachineConfig::with_nodes(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let cfg = MachineConfig::default();
+        assert_eq!(cfg.nodes, 64);
+        assert_eq!(cfg.mesh_dims(), (8, 8));
+        assert_eq!(cfg.params.line_size, 32);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn flit_accounting() {
+        let p = SimParams::default();
+        assert_eq!(p.flits_for_payload(0), 2);
+        assert_eq!(p.flits_for_payload(8), 3);
+        assert_eq!(p.flits_for_payload(32), 6);
+        assert_eq!(p.flits_for_payload(33), 7);
+    }
+
+    #[test]
+    fn coords_and_hops() {
+        let cfg = MachineConfig::default();
+        assert_eq!(cfg.coords(NodeId::new(0)), (0, 0));
+        assert_eq!(cfg.coords(NodeId::new(9)), (1, 1));
+        assert_eq!(cfg.hops(NodeId::new(0), NodeId::new(63)), 14);
+        assert_eq!(cfg.hops(NodeId::new(5), NodeId::new(5)), 0);
+    }
+
+    #[test]
+    fn with_nodes_finds_rectangles() {
+        assert_eq!(MachineConfig::with_nodes(16).mesh_dims(), (4, 4));
+        assert_eq!(MachineConfig::with_nodes(12).mesh_dims(), (3, 4));
+        assert_eq!(MachineConfig::with_nodes(1).mesh_dims(), (1, 1));
+        assert_eq!(MachineConfig::with_nodes(7).mesh_dims(), (1, 7));
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let cfg = MachineConfig { mesh_width: 5, ..MachineConfig::default() };
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = MachineConfig::default();
+        cfg.params.line_size = 24;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = MachineConfig::default();
+        cfg.cache.sets = 3;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = MachineConfig::default();
+        cfg.params.flit_bytes = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

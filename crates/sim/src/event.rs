@@ -1,0 +1,159 @@
+//! A deterministic discrete-event queue.
+
+use crate::time::Cycle;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A priority queue of timestamped events with deterministic ordering.
+///
+/// Events are returned in nondecreasing time order; events scheduled for
+/// the same cycle are returned in the order they were inserted. This
+/// total order makes every simulation run reproducible bit-for-bit from
+/// its inputs, which the experiment harness relies on.
+///
+/// # Example
+///
+/// ```
+/// use dsm_sim::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle::new(3), 'b');
+/// q.push(Cycle::new(1), 'a');
+/// assert_eq!(q.len(), 2);
+/// assert_eq!(q.pop(), Some((Cycle::new(1), 'a')));
+/// assert_eq!(q.pop(), Some((Cycle::new(3), 'b')));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    key: Reverse<(Cycle, u64)>,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Creates an empty queue with room for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
+    }
+
+    /// Schedules `event` to fire at time `at`.
+    pub fn push(&mut self, at: Cycle, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { key: Reverse((at, seq)), event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|e| (e.key.0 .0, e.event))
+    }
+
+    /// Returns the time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.key.0 .0)
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &t in &[9u64, 2, 7, 2, 0, 11] {
+            q.push(Cycle::new(t), t);
+        }
+        let mut out = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            assert_eq!(t.as_u64(), e);
+            out.push(e);
+        }
+        assert_eq!(out, vec![0, 2, 2, 7, 9, 11]);
+    }
+
+    #[test]
+    fn fifo_within_same_cycle() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycle::new(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn peek_len_clear() {
+        let mut q = EventQueue::with_capacity(4);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Cycle::new(8), ());
+        q.push(Cycle::new(3), ());
+        assert_eq!(q.peek_time(), Some(Cycle::new(3)));
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(10), "a");
+        q.push(Cycle::new(20), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        // Push an earlier event after popping; it must come out first.
+        q.push(Cycle::new(15), "c");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+}

@@ -1,0 +1,244 @@
+//! Strongly-typed identifiers for nodes, processors and memory addresses.
+//!
+//! The simulated machine has one processor per node, but the two concepts
+//! are kept distinct: [`NodeId`] names a location in the mesh (cache
+//! controller, memory module, network interface) while [`ProcId`] names a
+//! hardware execution context (the owner of an LL/SC reservation, the
+//! holder of a lock). Byte addresses ([`Addr`]) and cache-line addresses
+//! ([`LineAddr`]) are likewise separate types; converting between them
+//! requires the machine's line size and is therefore explicit.
+
+use std::fmt;
+
+/// Identifies one node of the simulated mesh (0-based).
+///
+/// # Example
+///
+/// ```
+/// use dsm_sim::NodeId;
+/// let n = NodeId::new(13);
+/// assert_eq!(n.index(), 13);
+/// assert_eq!(format!("{n}"), "n13");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from a 0-based index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the 0-based index as `usize`, for table lookups.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw 0-based index.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies one simulated processor (0-based).
+///
+/// In the default configuration there is exactly one processor per node
+/// and the indices coincide, but the types are kept distinct so that
+/// reservation tables (indexed by processor) cannot be confused with
+/// directory sharer vectors (indexed by node).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(u32);
+
+impl ProcId {
+    /// Creates a processor identifier from a 0-based index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        ProcId(index)
+    }
+
+    /// Returns the 0-based index as `usize`, for table lookups.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw 0-based index.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the node hosting this processor (one processor per node).
+    #[inline]
+    pub const fn node(self) -> NodeId {
+        NodeId(self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A byte address in the simulated shared address space.
+///
+/// # Example
+///
+/// ```
+/// use dsm_sim::Addr;
+/// let a = Addr::new(0x1040);
+/// assert_eq!(a.line(32).number(), 0x1040 / 32);
+/// assert_eq!(a.offset_in_line(32), 0);
+/// assert_eq!((a + 8).offset_in_line(32), 8);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte offset.
+    #[inline]
+    pub const fn new(addr: u64) -> Self {
+        Addr(addr)
+    }
+
+    /// Returns the raw byte address.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cache line containing this address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is not a power of two.
+    #[inline]
+    pub fn line(self, line_size: u64) -> LineAddr {
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        LineAddr(self.0 / line_size)
+    }
+
+    /// Returns this address's byte offset within its cache line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is not a power of two.
+    #[inline]
+    pub fn offset_in_line(self, line_size: u64) -> u64 {
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        self.0 & (line_size - 1)
+    }
+}
+
+impl std::ops::Add<u64> for Addr {
+    type Output = Addr;
+    #[inline]
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// A cache-line number (byte address divided by the line size).
+///
+/// Directory entries, cache tags and coherence messages all operate at
+/// line granularity; this type marks values that have already been
+/// shifted down.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a raw line number.
+    #[inline]
+    pub const fn new(line_number: u64) -> Self {
+        LineAddr(line_number)
+    }
+
+    /// Returns the raw line number.
+    #[inline]
+    pub const fn number(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the byte address of the first byte of this line.
+    #[inline]
+    pub const fn base(self, line_size: u64) -> Addr {
+        Addr(self.0 * line_size)
+    }
+
+    /// Returns the home node of this line under round-robin interleaving
+    /// across `nodes` memory modules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    #[inline]
+    pub fn home(self, nodes: u32) -> NodeId {
+        assert!(nodes > 0, "a machine must have at least one node");
+        NodeId((self.0 % nodes as u64) as u32)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_and_proc_ids_round_trip() {
+        let n = NodeId::new(7);
+        assert_eq!(n.index(), 7);
+        assert_eq!(n.as_u32(), 7);
+        let p = ProcId::new(7);
+        assert_eq!(p.node(), n);
+        assert_eq!(format!("{p}"), "p7");
+    }
+
+    #[test]
+    fn addr_line_math() {
+        let a = Addr::new(100);
+        assert_eq!(a.line(32), LineAddr::new(3));
+        assert_eq!(a.offset_in_line(32), 4);
+        assert_eq!(LineAddr::new(3).base(32), Addr::new(96));
+    }
+
+    #[test]
+    fn homes_interleave_round_robin() {
+        for n in 0..256u64 {
+            assert_eq!(LineAddr::new(n).home(64).index(), (n % 64) as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_line_size_rejected() {
+        let _ = Addr::new(0).line(24);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Addr::new(0x20)), "0x20");
+        assert_eq!(format!("{}", LineAddr::new(2)), "L0x2");
+        assert_eq!(format!("{}", NodeId::new(2)), "n2");
+    }
+}

@@ -1,0 +1,51 @@
+//! Discrete-event simulation kernel for the `atomic-dsm` workspace.
+//!
+//! This crate provides the foundation every other crate in the workspace
+//! builds on:
+//!
+//! * strongly-typed identifiers ([`NodeId`], [`ProcId`], [`Addr`],
+//!   [`LineAddr`]) so that node numbers, processor numbers and byte
+//!   addresses can never be confused ([`ids`]);
+//! * a simulated clock measured in [`Cycle`]s ([`time`]);
+//! * a deterministic event queue with stable tie-breaking ([`event`]);
+//! * the latency/size parameter sets that describe the simulated machine
+//!   ([`config`]);
+//! * a small, self-contained deterministic random-number generator
+//!   ([`rng`]).
+//!
+//! The simulated machine follows the HPCA '95 paper "Implementation of
+//! Atomic Primitives on Distributed Shared Memory Multiprocessors"
+//! (Michael & Scott): a 64-node distributed-shared-memory multiprocessor
+//! with directory-based caches, 32-byte blocks, queued memory and a 2-D
+//! wormhole mesh network.
+//!
+//! # Example
+//!
+//! ```
+//! use dsm_sim::{Cycle, EventQueue};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.push(Cycle::new(10), "later");
+//! q.push(Cycle::new(5), "sooner");
+//! q.push(Cycle::new(5), "sooner-but-second");
+//!
+//! let (t, e) = q.pop().unwrap();
+//! assert_eq!((t, e), (Cycle::new(5), "sooner"));
+//! // Ties are broken by insertion order, deterministically.
+//! assert_eq!(q.pop().unwrap().1, "sooner-but-second");
+//! assert_eq!(q.pop().unwrap().1, "later");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod event;
+pub mod ids;
+pub mod rng;
+pub mod time;
+
+pub use config::{CacheParams, MachineConfig, SimParams};
+pub use event::EventQueue;
+pub use ids::{Addr, LineAddr, NodeId, ProcId};
+pub use rng::SimRng;
+pub use time::Cycle;

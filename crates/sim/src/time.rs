@@ -1,0 +1,194 @@
+//! Simulated time, measured in processor clock cycles.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in simulated time (or a duration), measured in clock cycles.
+///
+/// `Cycle` is a transparent wrapper around `u64` that prevents cycle
+/// counts from being mixed up with other integer quantities (addresses,
+/// counts, node numbers). Arithmetic saturates on subtraction is *not*
+/// provided; subtracting a later time from an earlier one panics in debug
+/// builds exactly as `u64` subtraction does, which catches scheduling
+/// bugs early.
+///
+/// # Example
+///
+/// ```
+/// use dsm_sim::Cycle;
+///
+/// let start = Cycle::new(100);
+/// let latency = Cycle::new(20);
+/// assert_eq!(start + latency, Cycle::new(120));
+/// assert_eq!((start + latency) - start, latency);
+/// assert_eq!(Cycle::ZERO.as_u64(), 0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Time zero / the zero duration.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The largest representable time; useful as an "infinite" sentinel.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Creates a cycle count from a raw `u64`.
+    #[inline]
+    pub const fn new(cycles: u64) -> Self {
+        Cycle(cycles)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the later of two times.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two times.
+    #[inline]
+    pub fn min(self, other: Cycle) -> Cycle {
+        Cycle(self.0.min(other.0))
+    }
+
+    /// Returns `self - other`, or [`Cycle::ZERO`] if `other` is later.
+    #[inline]
+    pub fn saturating_sub(self, other: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycle) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        iter.fold(Cycle::ZERO, Add::add)
+    }
+}
+
+impl From<u64> for Cycle {
+    #[inline]
+    fn from(v: u64) -> Cycle {
+        Cycle(v)
+    }
+}
+
+impl From<Cycle> for u64 {
+    #[inline]
+    fn from(c: Cycle) -> u64 {
+        c.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}c", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycle::new(10);
+        let b = Cycle::new(3);
+        assert_eq!(a + b, Cycle::new(13));
+        assert_eq!(a - b, Cycle::new(7));
+        assert_eq!(a + 5, Cycle::new(15));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Cycle::new(13));
+        c -= b;
+        assert_eq!(c, a);
+        c += 2u64;
+        assert_eq!(c, Cycle::new(12));
+    }
+
+    #[test]
+    fn ordering_and_extremes() {
+        assert!(Cycle::ZERO < Cycle::new(1));
+        assert!(Cycle::MAX > Cycle::new(u64::MAX - 1));
+        assert_eq!(Cycle::new(4).max(Cycle::new(9)), Cycle::new(9));
+        assert_eq!(Cycle::new(4).min(Cycle::new(9)), Cycle::new(4));
+    }
+
+    #[test]
+    fn saturating_sub_clamps_to_zero() {
+        assert_eq!(Cycle::new(3).saturating_sub(Cycle::new(10)), Cycle::ZERO);
+        assert_eq!(Cycle::new(10).saturating_sub(Cycle::new(3)), Cycle::new(7));
+    }
+
+    #[test]
+    fn sum_of_cycles() {
+        let total: Cycle = [1u64, 2, 3].iter().map(|&v| Cycle::new(v)).sum();
+        assert_eq!(total, Cycle::new(6));
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let c: Cycle = 42u64.into();
+        let v: u64 = c.into();
+        assert_eq!(v, 42);
+        assert_eq!(format!("{c}"), "42c");
+        assert_eq!(format!("{c:?}"), "Cycle(42)");
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn underflow_panics_in_debug() {
+        let _ = Cycle::new(1) - Cycle::new(2);
+    }
+}

@@ -1,0 +1,188 @@
+//! Text-table and CSV rendering for the figure harness.
+
+/// Renders rows as an aligned, pipe-separated text table.
+///
+/// The first row is treated as the header and separated from the body by
+/// a dashed rule. Empty input renders as an empty string.
+///
+/// # Example
+///
+/// ```
+/// use dsm_stats::render_table;
+///
+/// let t = render_table(&[
+///     vec!["policy".into(), "cycles".into()],
+///     vec!["INV".into(), "142.0".into()],
+/// ]);
+/// assert!(t.contains("policy"));
+/// assert!(t.contains("INV"));
+/// assert!(t.lines().count() == 3);
+/// ```
+pub fn render_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        let mut line = String::new();
+        for (i, w) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = row.get(i).unwrap_or(&empty);
+            if i > 0 {
+                line.push_str(" | ");
+            }
+            line.push_str(&format!("{cell:<w$}"));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        if r == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 3 * (cols.saturating_sub(1));
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders rows as CSV (comma-separated, quoting cells that contain
+/// commas or quotes).
+///
+/// # Example
+///
+/// ```
+/// use dsm_stats::render_csv;
+///
+/// let csv = render_csv(&[vec!["a".into(), "b,c".into()]]);
+/// assert_eq!(csv, "a,\"b,c\"\n");
+/// ```
+pub fn render_csv(rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|c| {
+                if c.contains(',') || c.contains('"') || c.contains('\n') {
+                    format!("\"{}\"", c.replace('"', "\"\""))
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders labelled values as a horizontal ASCII bar chart, scaled to
+/// the largest value — the shape the paper's figures use.
+///
+/// # Example
+///
+/// ```
+/// use dsm_stats::render_bar_chart;
+///
+/// let chart = render_bar_chart(
+///     &[("UNC FAP".into(), 25.0), ("INV CAS".into(), 116.0)],
+///     40,
+/// );
+/// assert!(chart.contains("UNC FAP"));
+/// assert!(chart.lines().count() == 2);
+/// ```
+pub fn render_bar_chart(bars: &[(String, f64)], width: usize) -> String {
+    let max = bars.iter().map(|(_, v)| *v).fold(0.0_f64, f64::max);
+    let label_w = bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in bars {
+        let filled = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} |{} {value:.0}\n",
+            "█".repeat(filled.min(width))
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Vec<String>> {
+        vec![
+            vec!["name".into(), "value".into()],
+            vec!["alpha".into(), "1".into()],
+            vec!["b".into(), "22222".into()],
+        ]
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(&rows());
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The separator appears after the header.
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // "value" column starts at the same offset in every row.
+        let off = lines[0].find("value").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), off);
+        assert_eq!(lines[3].find('2').unwrap(), off);
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        assert_eq!(render_table(&[]), "");
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let t = render_table(&[vec!["a".into(), "b".into()], vec!["only".into()]]);
+        assert!(t.contains("only"));
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let csv = render_csv(&[vec!["x\"y".into(), "plain".into()]]);
+        assert_eq!(csv, "\"x\"\"y\",plain\n");
+    }
+
+    #[test]
+    fn csv_round_trips_simple_rows() {
+        let csv = render_csv(&rows());
+        assert_eq!(csv, "name,value\nalpha,1\nb,22222\n");
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let chart = render_bar_chart(
+            &[("a".into(), 10.0), ("bb".into(), 20.0)],
+            10,
+        );
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // The largest value fills the full width.
+        assert_eq!(lines[1].matches('█').count(), 10);
+        assert_eq!(lines[0].matches('█').count(), 5);
+        // Labels are padded to equal width.
+        assert!(lines[0].starts_with("a  |"));
+        assert!(lines[1].starts_with("bb |"));
+    }
+
+    #[test]
+    fn bar_chart_handles_zero_and_empty() {
+        let chart = render_bar_chart(&[("x".into(), 0.0)], 10);
+        assert!(chart.contains("x |"));
+        assert_eq!(chart.matches('█').count(), 0);
+        assert_eq!(render_bar_chart(&[], 10), "");
+    }
+}

@@ -1,0 +1,119 @@
+//! Shared-memory layout for workloads.
+
+use dsm_sim::{Addr, NodeId};
+
+/// Hands out addresses for shared variables and arrays.
+///
+/// Each scalar gets its own cache line (synchronization variables must
+/// not share lines with unrelated data, or false sharing would distort
+/// the measurements). Lines are interleaved across home nodes by the
+/// machine (`line_number % nodes`), and
+/// [`word_at_home`](ShmAlloc::word_at_home) lets a workload pin a
+/// variable to a specific home node.
+///
+/// # Example
+///
+/// ```
+/// use dsm_sim::NodeId;
+/// use dsm_sync::ShmAlloc;
+///
+/// let mut a = ShmAlloc::new(32, 64);
+/// let x = a.word();
+/// let y = a.word();
+/// assert_ne!(x.line(32), y.line(32), "scalars get distinct lines");
+/// let pinned = a.word_at_home(NodeId::new(5));
+/// assert_eq!(pinned.line(32).home(64), NodeId::new(5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShmAlloc {
+    line_size: u64,
+    nodes: u32,
+    next_line: u64,
+}
+
+impl ShmAlloc {
+    /// Creates an allocator for a machine with the given line size and
+    /// node count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is not a power of two or `nodes` is zero.
+    pub fn new(line_size: u64, nodes: u32) -> Self {
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(nodes > 0, "need at least one node");
+        ShmAlloc { line_size, nodes, next_line: 1 } // line 0 left unused
+    }
+
+    /// Allocates one word on its own fresh cache line.
+    pub fn word(&mut self) -> Addr {
+        let line = self.next_line;
+        self.next_line += 1;
+        Addr::new(line * self.line_size)
+    }
+
+    /// Allocates one word on a fresh line homed at `home`.
+    pub fn word_at_home(&mut self, home: NodeId) -> Addr {
+        let n = self.nodes as u64;
+        let mut line = self.next_line;
+        let target = home.as_u32() as u64;
+        if line % n != target {
+            line += (target + n - line % n) % n;
+        }
+        self.next_line = line + 1;
+        Addr::new(line * self.line_size)
+    }
+
+    /// Allocates a contiguous array of `words` 64-bit words starting on
+    /// a fresh line, returning its base address.
+    pub fn array(&mut self, words: u64) -> Addr {
+        let bytes = words * 8;
+        let lines = bytes.div_ceil(self.line_size).max(1);
+        let line = self.next_line;
+        self.next_line += lines;
+        Addr::new(line * self.line_size)
+    }
+
+    /// The line size this allocator was created with.
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_never_share_lines() {
+        let mut a = ShmAlloc::new(32, 4);
+        let addrs: Vec<Addr> = (0..16).map(|_| a.word()).collect();
+        let mut lines: Vec<u64> = addrs.iter().map(|x| x.line(32).number()).collect();
+        lines.dedup();
+        assert_eq!(lines.len(), 16);
+    }
+
+    #[test]
+    fn pinned_words_land_on_their_home() {
+        let mut a = ShmAlloc::new(32, 8);
+        for n in [0u32, 3, 7, 3, 0] {
+            let addr = a.word_at_home(NodeId::new(n));
+            assert_eq!(addr.line(32).home(8), NodeId::new(n));
+        }
+    }
+
+    #[test]
+    fn arrays_reserve_enough_lines() {
+        let mut a = ShmAlloc::new(32, 4);
+        let base = a.array(8); // 64 bytes = 2 lines
+        let next = a.word();
+        assert!(next.as_u64() >= base.as_u64() + 64);
+    }
+
+    #[test]
+    fn array_of_zero_words_still_advances() {
+        let mut a = ShmAlloc::new(32, 4);
+        let x = a.array(0);
+        let y = a.word();
+        assert_ne!(x.line(32), y.line(32));
+    }
+}

@@ -1,0 +1,117 @@
+//! Bounded exponential backoff with jitter.
+
+use dsm_sim::SimRng;
+
+/// Bounded exponential backoff, as used by the paper's
+/// test-and-test-and-set locks ("with bounded exponential backoff",
+/// after Mellor-Crummey & Scott).
+///
+/// Each failure doubles the backoff window up to `max`; the actual delay
+/// is drawn uniformly from `[1, window]`.
+///
+/// # Example
+///
+/// ```
+/// use dsm_sim::SimRng;
+/// use dsm_sync::Backoff;
+///
+/// let mut rng = SimRng::new(7);
+/// let mut b = Backoff::new(16, 1024);
+/// let first = b.next(&mut rng);
+/// assert!((1..=16).contains(&first));
+/// b.next(&mut rng);
+/// let third = b.next(&mut rng);
+/// assert!(third <= 64);
+/// b.reset();
+/// assert!(b.next(&mut rng) <= 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    initial: u64,
+    max: u64,
+    window: u64,
+}
+
+impl Backoff {
+    /// Creates a backoff with the given initial and maximum windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is zero or exceeds `max`.
+    pub fn new(initial: u64, max: u64) -> Self {
+        assert!(initial > 0, "initial backoff window must be positive");
+        assert!(initial <= max, "initial window must not exceed the bound");
+        Backoff { initial, max, window: initial }
+    }
+
+    /// Draws the next delay and widens the window.
+    pub fn next(&mut self, rng: &mut SimRng) -> u64 {
+        let delay = 1 + rng.range(self.window);
+        self.window = (self.window * 2).min(self.max);
+        delay
+    }
+
+    /// Resets the window after a success.
+    pub fn reset(&mut self) {
+        self.window = self.initial;
+    }
+
+    /// Current window size (for tests).
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+}
+
+impl Default for Backoff {
+    /// The defaults used by the paper-reproduction workloads: 16-cycle
+    /// initial window bounded at 4096 cycles.
+    fn default() -> Self {
+        Backoff::new(16, 4096)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_exponentially_to_bound() {
+        let mut rng = SimRng::new(1);
+        let mut b = Backoff::new(4, 32);
+        assert_eq!(b.window(), 4);
+        b.next(&mut rng);
+        assert_eq!(b.window(), 8);
+        b.next(&mut rng);
+        b.next(&mut rng);
+        assert_eq!(b.window(), 32);
+        b.next(&mut rng);
+        assert_eq!(b.window(), 32, "window is bounded");
+    }
+
+    #[test]
+    fn delays_are_within_window() {
+        let mut rng = SimRng::new(9);
+        let mut b = Backoff::new(8, 8);
+        for _ in 0..100 {
+            let d = b.next(&mut rng);
+            assert!((1..=8).contains(&d));
+        }
+    }
+
+    #[test]
+    fn reset_restores_initial() {
+        let mut rng = SimRng::new(2);
+        let mut b = Backoff::new(2, 64);
+        for _ in 0..10 {
+            b.next(&mut rng);
+        }
+        b.reset();
+        assert_eq!(b.window(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_initial_rejected() {
+        let _ = Backoff::new(0, 8);
+    }
+}

@@ -1,0 +1,90 @@
+//! The primitive axis of the paper's experiments.
+
+/// Which universal/atomic primitive a workload is built on — the FAΦ /
+/// LL-SC / CAS axis of Figures 3–6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Primitive {
+    /// `fetch_and_Φ` (fetch_and_add for counters, test_and_set for TTS
+    /// locks, fetch_and_store for MCS queues).
+    FetchPhi,
+    /// `load_linked` / `store_conditional`, also used to *simulate*
+    /// swap and compare_and_swap where the algorithm needs them.
+    Llsc,
+    /// `compare_and_swap`, also used to simulate swap where needed.
+    Cas,
+}
+
+impl Primitive {
+    /// All primitives in the paper's reporting order.
+    pub const ALL: [Primitive; 3] = [Primitive::FetchPhi, Primitive::Llsc, Primitive::Cas];
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Primitive::FetchPhi => "FAP",
+            Primitive::Llsc => "LLSC",
+            Primitive::Cas => "CAS",
+        }
+    }
+}
+
+impl std::fmt::Display for Primitive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A primitive choice plus the auxiliary-instruction knobs of §3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrimChoice {
+    /// The primitive family.
+    pub prim: Primitive,
+    /// Use `load_exclusive` for the read preceding a CAS ("the intent is
+    /// to make it more likely that compare_and_swap will not have to go
+    /// to memory"). Meaningful only with [`Primitive::Cas`] under the
+    /// INV policy; "load_linked cannot be exclusive: otherwise livelock
+    /// is likely to occur".
+    pub load_exclusive: bool,
+    /// Issue `drop_copy` after each update to self-invalidate the line.
+    pub drop_copy: bool,
+}
+
+impl PrimChoice {
+    /// A plain choice with no auxiliary instructions.
+    pub fn plain(prim: Primitive) -> Self {
+        PrimChoice { prim, load_exclusive: false, drop_copy: false }
+    }
+
+    /// Enables `load_exclusive`.
+    pub fn with_load_exclusive(mut self) -> Self {
+        self.load_exclusive = true;
+        self
+    }
+
+    /// Enables `drop_copy`.
+    pub fn with_drop_copy(mut self) -> Self {
+        self.drop_copy = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Primitive::FetchPhi.label(), "FAP");
+        assert_eq!(Primitive::Llsc.label(), "LLSC");
+        assert_eq!(format!("{}", Primitive::Cas), "CAS");
+    }
+
+    #[test]
+    fn builder_toggles() {
+        let c = PrimChoice::plain(Primitive::Cas).with_load_exclusive().with_drop_copy();
+        assert!(c.load_exclusive);
+        assert!(c.drop_copy);
+        let p = PrimChoice::plain(Primitive::FetchPhi);
+        assert!(!p.load_exclusive && !p.drop_copy);
+    }
+}

@@ -1,0 +1,415 @@
+//! The three synthetic counter applications of Figures 3, 4 and 5.
+//!
+//! "Each processor executes a tight loop, in each iteration of which it
+//! either updates the counter or not, depending on the desired level of
+//! contention. Depending on the desired average write-run length, every
+//! one or more iterations are separated by a constant-time barrier."
+//!
+//! * contention `c` — the number of processors that update the counter
+//!   concurrently in each round;
+//! * write-run `a` — with `c == 1`, the (average) number of consecutive
+//!   updates the round's designated processor performs before the
+//!   barrier hands the counter to the next processor. Fractional values
+//!   (the paper uses 1.5) alternate between ⌊a⌋ and ⌈a⌉.
+
+use crate::driver::SubRunner;
+use crate::locked::{LockKind, LockedIncr};
+use dsm_machine::{Action, Machine, MachineBuilder, ProcCtx, Program};
+use dsm_protocol::{SyncConfig, Value};
+use dsm_sim::{Addr, MachineConfig};
+use dsm_sync::{LockFreeIncr, McsQnode, PrimChoice, ShmAlloc};
+
+/// Which Figure's workload this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterKind {
+    /// Figure 3: lock-free counter (the primitive updates the counter
+    /// directly).
+    LockFree,
+    /// Figure 4: counter protected by a TTS lock with bounded
+    /// exponential backoff.
+    TtsLock,
+    /// Figure 5: counter protected by an MCS lock.
+    McsLock,
+}
+
+impl CounterKind {
+    /// All kinds in figure order.
+    pub const ALL: [CounterKind; 3] =
+        [CounterKind::LockFree, CounterKind::TtsLock, CounterKind::McsLock];
+
+    /// Human-readable name.
+    pub fn label(self) -> &'static str {
+        match self {
+            CounterKind::LockFree => "lock-free",
+            CounterKind::TtsLock => "TTS-lock",
+            CounterKind::McsLock => "MCS-lock",
+        }
+    }
+}
+
+/// Parameters of one synthetic-counter run.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticConfig {
+    /// Which workload (Figure 3/4/5).
+    pub kind: CounterKind,
+    /// Primitive family + auxiliary-instruction knobs.
+    pub choice: PrimChoice,
+    /// Synchronization-line configuration (policy, CAS variant, LL/SC
+    /// scheme).
+    pub sync: SyncConfig,
+    /// Contention level `c` (1 = no contention).
+    pub contention: u32,
+    /// Average write-run length `a` (meaningful when `contention == 1`).
+    pub write_run: f64,
+    /// Number of barrier-separated rounds.
+    pub rounds: u64,
+}
+
+impl SyntheticConfig {
+    /// Updates performed by the designated processor in `round`.
+    fn updates_in_round(&self, round: u64) -> u64 {
+        if self.contention > 1 {
+            return 1;
+        }
+        let floor = self.write_run.floor() as u64;
+        let ceil = self.write_run.ceil() as u64;
+        if floor == ceil || round.is_multiple_of(2) {
+            floor
+        } else {
+            ceil
+        }
+    }
+
+    /// Total counter updates across a whole run on `procs` processors.
+    pub fn total_updates(&self, _procs: u32) -> u64 {
+        (0..self.rounds).map(|r| self.updates_in_round(r) * self.contention as u64).sum()
+    }
+}
+
+/// The address layout of a synthetic run (exposed so tests and the
+/// experiment harness can read the final counter value).
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticLayout {
+    /// The shared counter word.
+    pub counter: Addr,
+    /// The lock word (unused for the lock-free kind).
+    pub lock: Addr,
+}
+
+struct SyntheticProgram {
+    cfg: SyntheticConfig,
+    procs: u32,
+    proc: u32,
+    layout: SyntheticLayout,
+    qnode: McsQnode,
+    round: u64,
+    updates_left: u64,
+    runner: SubRunner,
+    state: St,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum St {
+    RoundStart,
+    Updating,
+    AfterBarrier,
+}
+
+impl SyntheticProgram {
+    fn is_updater(&self) -> bool {
+        let c = self.cfg.contention as u64;
+        let p = self.procs as u64;
+        let me = self.proc as u64;
+        // Round r is served by processors (r*c)..(r*c + c) mod p —
+        // consecutive disjoint groups, so ownership migrates between
+        // rounds (write runs stay at the configured length).
+        let start = (self.round * c) % p;
+        let offset = (me + p - start) % p;
+        offset < c
+    }
+
+    fn start_update(&mut self) {
+        match self.cfg.kind {
+            CounterKind::LockFree => {
+                self.runner.start(LockFreeIncr::new(self.layout.counter, self.cfg.choice));
+            }
+            CounterKind::TtsLock => {
+                self.runner.start(LockedIncr::new(
+                    self.layout.counter,
+                    self.layout.lock,
+                    LockKind::Tts,
+                    self.cfg.choice,
+                    self.qnode,
+                ));
+            }
+            CounterKind::McsLock => {
+                self.runner.start(LockedIncr::new(
+                    self.layout.counter,
+                    self.layout.lock,
+                    LockKind::Mcs,
+                    self.cfg.choice,
+                    self.qnode,
+                ));
+            }
+        }
+    }
+}
+
+impl Program for SyntheticProgram {
+    fn step(&mut self, ctx: &mut ProcCtx<'_>) -> Action {
+        loop {
+            if let Some(action) = self.runner.drive(ctx) {
+                return action;
+            }
+            match self.state {
+                St::RoundStart => {
+                    if self.round == self.cfg.rounds {
+                        return Action::Done;
+                    }
+                    if self.is_updater() {
+                        self.updates_left = self.cfg.updates_in_round(self.round);
+                        self.state = St::Updating;
+                    } else {
+                        self.state = St::AfterBarrier;
+                        return Action::Barrier((self.round % 2) as u32);
+                    }
+                }
+                St::Updating => {
+                    if self.updates_left > 0 {
+                        self.updates_left -= 1;
+                        self.start_update();
+                        continue;
+                    }
+                    self.state = St::AfterBarrier;
+                    return Action::Barrier((self.round % 2) as u32);
+                }
+                St::AfterBarrier => {
+                    self.round += 1;
+                    self.state = St::RoundStart;
+                }
+            }
+        }
+    }
+}
+
+/// Builds a ready-to-run machine for a synthetic-counter experiment.
+///
+/// Returns the machine and the shared-variable layout.
+///
+/// # Example
+///
+/// ```
+/// use dsm_sim::{Cycle, MachineConfig};
+/// use dsm_sync::{PrimChoice, Primitive};
+/// use dsm_workloads::synthetic::{build_synthetic, CounterKind, SyntheticConfig};
+///
+/// let scfg = SyntheticConfig {
+///     kind: CounterKind::LockFree,
+///     choice: PrimChoice::plain(Primitive::FetchPhi),
+///     sync: Default::default(),
+///     contention: 4,
+///     write_run: 1.0,
+///     rounds: 10,
+/// };
+/// let (mut machine, layout) = build_synthetic(MachineConfig::with_nodes(8), &scfg);
+/// machine.run(Cycle::new(10_000_000)).unwrap();
+/// assert_eq!(machine.read_word(layout.counter), scfg.total_updates(8));
+/// ```
+pub fn build_synthetic(
+    mcfg: MachineConfig,
+    scfg: &SyntheticConfig,
+) -> (Machine, SyntheticLayout) {
+    let procs = mcfg.nodes;
+    let mut alloc = ShmAlloc::new(mcfg.params.line_size, procs);
+    let counter = alloc.word();
+    let lock = alloc.word();
+    let qnodes: Vec<McsQnode> =
+        (0..procs).map(|_| McsQnode::at(alloc.array(2))).collect();
+    let layout = SyntheticLayout { counter, lock };
+
+    let mut b = MachineBuilder::new(mcfg);
+    // The synchronization variable: the counter itself (lock-free) or
+    // the lock word; the protected counter is ordinary data.
+    match scfg.kind {
+        CounterKind::LockFree => {
+            b.register_sync(counter, scfg.sync);
+        }
+        CounterKind::TtsLock | CounterKind::McsLock => {
+            b.register_sync(lock, scfg.sync);
+        }
+    }
+    b.init_word(counter, 0 as Value);
+    for p in 0..procs {
+        b.add_program(SyntheticProgram {
+            cfg: *scfg,
+            procs,
+            proc: p,
+            layout,
+            qnode: qnodes[p as usize],
+            round: 0,
+            updates_left: 0,
+            runner: SubRunner::new(),
+            state: St::RoundStart,
+        });
+    }
+    (b.build(), layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_protocol::{CasVariant, LlscScheme, SyncPolicy};
+    use dsm_sim::Cycle;
+    use dsm_sync::Primitive;
+
+    const LIMIT: Cycle = Cycle::new(100_000_000);
+
+    fn run(scfg: &SyntheticConfig, nodes: u32) -> (Machine, SyntheticLayout) {
+        let (mut m, layout) = build_synthetic(MachineConfig::with_nodes(nodes), scfg);
+        m.run(LIMIT).expect("synthetic run completes");
+        (m, layout)
+    }
+
+    fn base(kind: CounterKind, prim: Primitive, policy: SyncPolicy) -> SyntheticConfig {
+        SyntheticConfig {
+            kind,
+            choice: PrimChoice::plain(prim),
+            sync: SyncConfig { policy, ..Default::default() },
+            contention: 1,
+            write_run: 1.0,
+            rounds: 12,
+        }
+    }
+
+    #[test]
+    fn updates_in_round_patterns() {
+        let mut c = base(CounterKind::LockFree, Primitive::FetchPhi, SyncPolicy::Inv);
+        c.write_run = 1.5;
+        assert_eq!(c.updates_in_round(0), 1);
+        assert_eq!(c.updates_in_round(1), 2);
+        assert_eq!(c.total_updates(64), 18); // 6*(1+2)
+        c.write_run = 10.0;
+        assert_eq!(c.updates_in_round(0), 10);
+        c.contention = 4;
+        assert_eq!(c.updates_in_round(1), 1, "with contention the run length is 1");
+        assert_eq!(c.total_updates(64), 48);
+    }
+
+    /// The full matrix of kind × primitive × policy must produce the
+    /// exact expected count — this is the core end-to-end correctness
+    /// test of the whole simulator stack.
+    #[test]
+    fn every_kind_primitive_policy_is_exact() {
+        for kind in CounterKind::ALL {
+            for prim in Primitive::ALL {
+                for policy in SyncPolicy::ALL {
+                    let cfg = base(kind, prim, policy);
+                    let (m, layout) = run(&cfg, 8);
+                    assert_eq!(
+                        m.read_word(layout.counter),
+                        cfg.total_updates(8),
+                        "{} / {} / {}",
+                        kind.label(),
+                        prim.label(),
+                        policy.label()
+                    );
+                    m.validate_coherence().unwrap_or_else(|e| {
+                        panic!("{} / {} / {}: {e}", kind.label(), prim.label(), policy.label())
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contention_case_is_exact() {
+        for c in [2u32, 4, 8] {
+            let mut cfg = base(CounterKind::LockFree, Primitive::Cas, SyncPolicy::Inv);
+            cfg.contention = c;
+            cfg.rounds = 6;
+            let (m, layout) = run(&cfg, 8);
+            assert_eq!(m.read_word(layout.counter), cfg.total_updates(8));
+        }
+    }
+
+    #[test]
+    fn contended_tts_lock_is_exact() {
+        let mut cfg = base(CounterKind::TtsLock, Primitive::FetchPhi, SyncPolicy::Inv);
+        cfg.contention = 8;
+        cfg.rounds = 4;
+        let (m, layout) = run(&cfg, 8);
+        assert_eq!(m.read_word(layout.counter), 32);
+    }
+
+    #[test]
+    fn contended_mcs_lock_is_exact() {
+        for prim in Primitive::ALL {
+            let mut cfg = base(CounterKind::McsLock, prim, SyncPolicy::Inv);
+            cfg.contention = 8;
+            cfg.rounds = 4;
+            let (m, layout) = run(&cfg, 8);
+            assert_eq!(m.read_word(layout.counter), 32, "{prim}");
+        }
+    }
+
+    #[test]
+    fn write_run_is_measured_close_to_configured() {
+        let mut cfg = base(CounterKind::LockFree, Primitive::FetchPhi, SyncPolicy::Inv);
+        cfg.write_run = 3.0;
+        cfg.rounds = 20;
+        let (m, _) = run(&cfg, 8);
+        // The counter location should show write runs of ~3.
+        let runs = m.stats().write_runs.completed().mean();
+        assert!(
+            (2.5..=3.5).contains(&runs),
+            "expected write-run ≈ 3, measured {runs}"
+        );
+    }
+
+    #[test]
+    fn contention_is_measured() {
+        let mut cfg = base(CounterKind::LockFree, Primitive::FetchPhi, SyncPolicy::Unc);
+        cfg.contention = 8;
+        cfg.rounds = 10;
+        let (m, _) = run(&cfg, 8);
+        let h = m.stats().contention.histogram();
+        assert!(h.max_value().unwrap() >= 4, "high contention must be observed");
+    }
+
+    #[test]
+    fn load_exclusive_and_drop_copy_paths_run() {
+        let mut cfg = base(CounterKind::LockFree, Primitive::Cas, SyncPolicy::Inv);
+        cfg.choice = PrimChoice::plain(Primitive::Cas).with_load_exclusive();
+        cfg.contention = 4;
+        cfg.rounds = 6;
+        let (m, layout) = run(&cfg, 8);
+        assert_eq!(m.read_word(layout.counter), cfg.total_updates(8));
+
+        let mut cfg = base(CounterKind::LockFree, Primitive::FetchPhi, SyncPolicy::Inv);
+        cfg.choice = PrimChoice::plain(Primitive::FetchPhi).with_drop_copy();
+        let (m, layout) = run(&cfg, 8);
+        assert_eq!(m.read_word(layout.counter), cfg.total_updates(8));
+    }
+
+    #[test]
+    fn cas_variants_run_exactly() {
+        for variant in [CasVariant::Deny, CasVariant::Share] {
+            let mut cfg = base(CounterKind::LockFree, Primitive::Cas, SyncPolicy::Inv);
+            cfg.sync.cas_variant = variant;
+            cfg.contention = 4;
+            cfg.rounds = 6;
+            let (m, layout) = run(&cfg, 8);
+            assert_eq!(m.read_word(layout.counter), cfg.total_updates(8), "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn llsc_serial_scheme_runs_exactly() {
+        let mut cfg = base(CounterKind::LockFree, Primitive::Llsc, SyncPolicy::Unc);
+        cfg.sync.llsc = LlscScheme::SerialNumber;
+        cfg.contention = 4;
+        cfg.rounds = 6;
+        let (m, layout) = run(&cfg, 8);
+        assert_eq!(m.read_word(layout.counter), cfg.total_updates(8));
+    }
+}

@@ -1,0 +1,454 @@
+//! The Transitive Closure application of Figure 1.
+//!
+//! A Floyd–Warshall-style closure of a boolean adjacency matrix. Work
+//! is self-scheduled: processors claim variable-size chunks of rows
+//! with a lock-free `fetch_and_add` counter (implemented with the
+//! primitive under study), and iterations are separated by the scalable
+//! tree barrier \[20\]. This is the paper's high-contention application:
+//! the barriers make it likely that all processors hit the counter at
+//! once.
+
+use crate::driver::drive_sub;
+use dsm_machine::{Action, Machine, MachineBuilder, ProcCtx, Program};
+use dsm_protocol::{MemOp, OpResult, SyncConfig};
+use dsm_sim::{Addr, MachineConfig, SimRng};
+use dsm_sync::{LockFreeIncr, PrimChoice, ShmAlloc, Step, SubMachine, TreeBarrier, TreeBarrierWait};
+
+/// Parameters of a Transitive Closure run.
+#[derive(Debug, Clone, Copy)]
+pub struct TcConfig {
+    /// Matrix dimension (paper-scale runs use 32–64; tests use 8–16).
+    pub size: u64,
+    /// Primitive used for the chunk counter.
+    pub choice: PrimChoice,
+    /// Synchronization configuration of the counter line.
+    pub sync: SyncConfig,
+    /// Edge density of the random input graph, in `[0, 1]`.
+    pub density: f64,
+    /// Seed for the input graph.
+    pub seed: u64,
+}
+
+/// Shared-memory layout of a Transitive Closure run.
+#[derive(Debug, Clone)]
+pub struct TcLayout {
+    /// The chunk-claim counter (the synchronization variable).
+    pub counter: Addr,
+    /// The termination flag.
+    pub flag: Addr,
+    /// Base of the row-major `size × size` matrix of words.
+    pub ebase: Addr,
+}
+
+impl TcLayout {
+    /// Address of matrix element `E[j][k]`.
+    pub fn element(&self, size: u64, j: u64, k: u64) -> Addr {
+        self.ebase + (j * size + k) * 8
+    }
+}
+
+/// Generates the random input adjacency matrix (reflexive).
+pub fn input_matrix(cfg: &TcConfig) -> Vec<Vec<bool>> {
+    let mut rng = SimRng::new(cfg.seed);
+    let n = cfg.size as usize;
+    let mut m = vec![vec![false; n]; n];
+    for (j, row) in m.iter_mut().enumerate() {
+        for (k, cell) in row.iter_mut().enumerate() {
+            *cell = j == k || rng.chance(cfg.density);
+        }
+    }
+    m
+}
+
+/// Sequentially computes the closure with exactly the parallel
+/// program's update rule, for verification.
+pub fn sequential_closure(input: &[Vec<bool>]) -> Vec<Vec<bool>> {
+    let n = input.len();
+    let mut e: Vec<Vec<bool>> = input.to_vec();
+    for i in 0..n {
+        for j in 0..n {
+            if j != i && e[j][i] {
+                let pivot = e[i].clone();
+                for (k, &p) in pivot.iter().enumerate() {
+                    if p {
+                        e[j][k] = true;
+                    }
+                }
+            }
+        }
+    }
+    e
+}
+
+/// The inner row-chunk update: for each row `j` in the chunk, if
+/// `E[j][i]` then `E[j] |= E[i]`.
+struct RowWork {
+    layout: TcLayout,
+    size: u64,
+    i: u64,
+    j: u64,
+    j_end: u64,
+    k: u64,
+    state: RwState,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RwState {
+    NextJ,
+    WaitCurI,
+    NextK,
+    WaitPivotK,
+    WaitStore,
+}
+
+impl SubMachine for RowWork {
+    fn step(&mut self, last: Option<OpResult>, _rng: &mut SimRng) -> Step {
+        loop {
+            match self.state {
+                RwState::NextJ => {
+                    if self.j >= self.j_end {
+                        return Step::Done;
+                    }
+                    if self.j == self.i {
+                        self.j += 1;
+                        continue;
+                    }
+                    self.state = RwState::WaitCurI;
+                    return Step::Op(MemOp::Load {
+                        addr: self.layout.element(self.size, self.j, self.i),
+                    });
+                }
+                RwState::WaitCurI => {
+                    let v = last.expect("cur[i] read").value().expect("load value");
+                    if v != 0 {
+                        self.k = 0;
+                        self.state = RwState::NextK;
+                    } else {
+                        self.j += 1;
+                        self.state = RwState::NextJ;
+                    }
+                }
+                RwState::NextK => {
+                    if self.k >= self.size {
+                        self.j += 1;
+                        self.state = RwState::NextJ;
+                        continue;
+                    }
+                    self.state = RwState::WaitPivotK;
+                    return Step::Op(MemOp::Load {
+                        addr: self.layout.element(self.size, self.i, self.k),
+                    });
+                }
+                RwState::WaitPivotK => {
+                    let v = last.expect("pivot[k] read").value().expect("load value");
+                    if v != 0 {
+                        self.state = RwState::WaitStore;
+                        return Step::Op(MemOp::Store {
+                            addr: self.layout.element(self.size, self.j, self.k),
+                            value: 1,
+                        });
+                    }
+                    self.k += 1;
+                    self.state = RwState::NextK;
+                }
+                RwState::WaitStore => {
+                    self.k += 1;
+                    self.state = RwState::NextK;
+                }
+            }
+        }
+    }
+}
+
+struct TcProgram {
+    cfg: TcConfig,
+    layout: TcLayout,
+    barrier: TreeBarrier,
+    proc: u32,
+    procs: u32,
+    i: u64,
+    row: u64,
+    rows: u64,
+    episode: u64,
+    fetch_add: Option<LockFreeIncr>,
+    row_work: Option<RowWork>,
+    bar_wait: Option<TreeBarrierWait>,
+    state: TcState,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TcState {
+    IterStart,
+    WaitResetCounter,
+    WaitResetFlag,
+    Bar1,
+    ReadFlag,
+    WaitFlag,
+    FetchAdd,
+    WaitSetFlag,
+    RowWork,
+    Bar2,
+}
+
+impl TcProgram {
+    fn start_barrier(&mut self) {
+        let sense = if self.episode.is_multiple_of(2) { 1 } else { 0 };
+        self.episode += 1;
+        self.bar_wait = Some(self.barrier.wait(self.proc, sense));
+    }
+}
+
+impl Program for TcProgram {
+    fn step(&mut self, ctx: &mut ProcCtx<'_>) -> Action {
+        loop {
+            // Drive whichever fragment is active.
+            if let Some(w) = &mut self.bar_wait {
+                match drive_sub(w, ctx) {
+                    Some(a) => return a,
+                    None => self.bar_wait = None,
+                }
+            }
+            if let Some(f) = &mut self.fetch_add {
+                if let Some(a) = drive_sub(f, ctx) {
+                    return a;
+                }
+                // fetch_and_add finished: this is the claim.
+                let fa = self.fetch_add.take().expect("present");
+                self.row = fa.observed().expect("fetch_and_add observed a value");
+                if self.row >= self.cfg.size {
+                    self.state = TcState::WaitSetFlag;
+                    return Action::Op(MemOp::Store { addr: self.layout.flag, value: 1 });
+                }
+                let work = self.rows.min(self.cfg.size - self.row);
+                self.row_work = Some(RowWork {
+                    layout: self.layout.clone(),
+                    size: self.cfg.size,
+                    i: self.i,
+                    j: self.row,
+                    j_end: self.row + work,
+                    k: 0,
+                    state: RwState::NextJ,
+                });
+                self.state = TcState::RowWork;
+            }
+            if let Some(w) = &mut self.row_work {
+                match drive_sub(w, ctx) {
+                    Some(a) => return a,
+                    None => {
+                        self.row_work = None;
+                        self.state = TcState::ReadFlag;
+                    }
+                }
+            }
+            match self.state {
+                TcState::IterStart => {
+                    if self.i == self.cfg.size {
+                        return Action::Done;
+                    }
+                    if self.proc == 0 {
+                        self.state = TcState::WaitResetCounter;
+                        return Action::Op(MemOp::Store { addr: self.layout.counter, value: 0 });
+                    }
+                    self.state = TcState::Bar1;
+                }
+                TcState::WaitResetCounter => {
+                    self.state = TcState::WaitResetFlag;
+                    return Action::Op(MemOp::Store { addr: self.layout.flag, value: 0 });
+                }
+                TcState::WaitResetFlag => {
+                    self.state = TcState::Bar1;
+                }
+                TcState::Bar1 => {
+                    self.row = 0;
+                    self.rows = 0;
+                    self.start_barrier();
+                    self.state = TcState::ReadFlag;
+                }
+                TcState::ReadFlag => {
+                    self.state = TcState::WaitFlag;
+                    return Action::Op(MemOp::Load { addr: self.layout.flag });
+                }
+                TcState::WaitFlag => {
+                    let flag =
+                        ctx.last.take().expect("flag read result").value().expect("flag read");
+                    if flag != 0 {
+                        self.state = TcState::Bar2;
+                        continue;
+                    }
+                    // rows = ((size-row-rows-1)>>1)/procs + 1, in signed
+                    // arithmetic exactly as in the paper's C code.
+                    let remaining =
+                        self.cfg.size as i64 - self.row as i64 - self.rows as i64 - 1;
+                    let chunk = ((remaining >> 1) / self.procs as i64 + 1).max(1) as u64;
+                    self.rows = chunk;
+                    self.fetch_add =
+                        Some(LockFreeIncr::by(self.layout.counter, self.cfg.choice, chunk));
+                    self.state = TcState::FetchAdd;
+                }
+                TcState::FetchAdd => {
+                    // Handled by the fragment loop above.
+                    unreachable!("fetch_add fragment drives this state");
+                }
+                TcState::WaitSetFlag => {
+                    self.state = TcState::Bar2;
+                }
+                TcState::RowWork => {
+                    unreachable!("row_work fragment drives this state");
+                }
+                TcState::Bar2 => {
+                    self.start_barrier();
+                    self.i += 1;
+                    self.state = TcState::IterStart;
+                }
+            }
+        }
+    }
+}
+
+/// Builds a ready-to-run Transitive Closure machine.
+///
+/// Returns the machine, the layout, and the input matrix (for
+/// verification against [`sequential_closure`]).
+pub fn build_tclosure(mcfg: MachineConfig, cfg: &TcConfig) -> (Machine, TcLayout, Vec<Vec<bool>>) {
+    let procs = mcfg.nodes;
+    let mut alloc = ShmAlloc::new(mcfg.params.line_size, procs);
+    let counter = alloc.word();
+    let flag = alloc.word();
+    let ebase = alloc.array(cfg.size * cfg.size);
+    let barrier = TreeBarrier::layout(&mut alloc, procs);
+    let layout = TcLayout { counter, flag, ebase };
+
+    let input = input_matrix(cfg);
+    let mut b = MachineBuilder::new(mcfg);
+    b.register_sync(counter, cfg.sync);
+    for (addr, v) in barrier.initial_values() {
+        b.init_word(addr, v);
+    }
+    for (j, rowv) in input.iter().enumerate() {
+        for (k, &cell) in rowv.iter().enumerate() {
+            if cell {
+                b.init_word(layout.element(cfg.size, j as u64, k as u64), 1);
+            }
+        }
+    }
+    for p in 0..procs {
+        b.add_program(TcProgram {
+            cfg: *cfg,
+            layout: layout.clone(),
+            barrier: barrier.clone(),
+            proc: p,
+            procs,
+            i: 0,
+            row: 0,
+            rows: 0,
+            episode: 0,
+            fetch_add: None,
+            row_work: None,
+            bar_wait: None,
+            state: TcState::IterStart,
+        });
+    }
+    (b.build(), layout, input)
+}
+
+/// Reads the closure matrix back out of a quiescent machine.
+pub fn read_matrix(m: &Machine, layout: &TcLayout, size: u64) -> Vec<Vec<bool>> {
+    (0..size)
+        .map(|j| (0..size).map(|k| m.read_word(layout.element(size, j, k)) != 0).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_protocol::SyncPolicy;
+    use dsm_sim::Cycle;
+    use dsm_sync::Primitive;
+
+    const LIMIT: Cycle = Cycle::new(500_000_000);
+
+    fn tc_config(prim: Primitive, policy: SyncPolicy, size: u64) -> TcConfig {
+        TcConfig {
+            size,
+            choice: PrimChoice::plain(prim),
+            sync: SyncConfig { policy, ..Default::default() },
+            density: 0.15,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn sequential_closure_is_transitive() {
+        let cfg = tc_config(Primitive::FetchPhi, SyncPolicy::Unc, 10);
+        let input = input_matrix(&cfg);
+        let closure = sequential_closure(&input);
+        let n = input.len();
+        // Closed under composition: a→b and b→c imply a→c.
+        for a in 0..n {
+            for bb in 0..n {
+                if closure[a][bb] {
+                    for (c, &reach) in closure[bb].iter().enumerate() {
+                        if reach {
+                            assert!(closure[a][c], "{a}->{bb}->{c} not closed");
+                        }
+                    }
+                }
+            }
+        }
+        // Contains the input.
+        for j in 0..n {
+            for k in 0..n {
+                if input[j][k] {
+                    assert!(closure[j][k]);
+                }
+            }
+        }
+    }
+
+    fn run_and_verify(prim: Primitive, policy: SyncPolicy, nodes: u32, size: u64) {
+        let cfg = tc_config(prim, policy, size);
+        let (mut m, layout, input) = build_tclosure(MachineConfig::with_nodes(nodes), &cfg);
+        m.run(LIMIT).expect("transitive closure completes");
+        m.validate_coherence().unwrap();
+        let got = read_matrix(&m, &layout, size);
+        let want = sequential_closure(&input);
+        assert_eq!(got, want, "{prim} / {policy}: closure mismatch");
+    }
+
+    #[test]
+    fn parallel_matches_sequential_fap() {
+        run_and_verify(Primitive::FetchPhi, SyncPolicy::Unc, 8, 12);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_cas_inv() {
+        run_and_verify(Primitive::Cas, SyncPolicy::Inv, 8, 12);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_llsc_inv() {
+        run_and_verify(Primitive::Llsc, SyncPolicy::Inv, 8, 12);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_upd() {
+        run_and_verify(Primitive::FetchPhi, SyncPolicy::Upd, 8, 12);
+    }
+
+    #[test]
+    fn single_processor_run_works() {
+        run_and_verify(Primitive::Cas, SyncPolicy::Inv, 1, 8);
+    }
+
+    #[test]
+    fn contention_histogram_shows_bursts() {
+        let cfg = tc_config(Primitive::FetchPhi, SyncPolicy::Unc, 16);
+        let (mut m, _, _) = build_tclosure(MachineConfig::with_nodes(16), &cfg);
+        m.run(LIMIT).unwrap();
+        let h = m.stats().contention.histogram();
+        assert!(h.total() > 0);
+        // Barrier-released processors hit the counter together: some
+        // accesses must observe contention above 2.
+        assert!(h.max_value().unwrap() >= 2, "expected contended counter accesses");
+    }
+}

@@ -1,0 +1,94 @@
+//! Execution-driven simulation, MINT style: the paper's synthetic
+//! lock-free counter written as an *assembly program* and executed by
+//! the mini-MINT CPU interpreter on the simulated DSM machine, once per
+//! primitive family.
+//!
+//! ```sh
+//! cargo run --release --example assembly_workload
+//! ```
+
+use atomic_dsm::machine::MachineBuilder;
+use atomic_dsm::mint::{assemble, Cpu, Reg};
+use atomic_dsm::sim::{Addr, Cycle, MachineConfig};
+use atomic_dsm::{SyncConfig, SyncPolicy};
+
+const FAA: &str = "
+    ; r1 = &counter, r2 = iterations
+    li  r3, 1
+loop:
+    faa r4, r1, r3
+    addi r2, r2, -1
+    bne r2, r0, loop
+    halt
+";
+
+const CAS: &str = "
+    ; load_exclusive + compare_and_swap — the paper's recommendation
+again:
+    lx  r5, r1
+retry:
+    addi r6, r5, 1
+    cas r7, r1, r5, r6
+    beq r7, r5, won
+    add r5, r7, r0
+    j retry
+won:
+    addi r2, r2, -1
+    bne r2, r0, again
+    halt
+";
+
+const LLSC: &str = "
+again:
+    ll  r5, r1
+    addi r6, r5, 1
+    sc  r7, r6, r1
+    beq r7, r0, again
+    addi r2, r2, -1
+    bne r2, r0, again
+    halt
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const PROCS: u32 = 16;
+    const ITERS: u64 = 200;
+    let counter = Addr::new(0x40);
+
+    println!("assembly lock-free counter, {PROCS} CPUs x {ITERS} increments\n");
+    println!(
+        "{:<22} {:<8} {:>12} {:>14} {:>10}",
+        "program", "policy", "cycles", "instructions", "IPC"
+    );
+
+    for (name, src, policy) in [
+        ("fetch_and_add", FAA, SyncPolicy::Unc),
+        ("lx + compare_and_swap", CAS, SyncPolicy::Inv),
+        ("ll / sc", LLSC, SyncPolicy::Inv),
+    ] {
+        let prog = assemble(src)?;
+        let mut b = MachineBuilder::new(MachineConfig::with_nodes(PROCS));
+        b.register_sync(counter, SyncConfig { policy, ..Default::default() });
+        for _ in 0..PROCS {
+            b.add_program(
+                Cpu::new(prog.clone()).with_reg(Reg(1), counter.as_u64()).with_reg(Reg(2), ITERS),
+            );
+        }
+        let mut m = b.build();
+        let report = m.run(Cycle::new(10_000_000_000))?;
+        assert_eq!(m.read_word(counter), PROCS as u64 * ITERS, "{name}: lost updates");
+        // Rough retired-instruction count: ops + local ALU work are both
+        // visible through the machine's op counter and the run report.
+        println!(
+            "{:<22} {:<8} {:>12} {:>14} {:>10.3}",
+            name,
+            policy.label(),
+            report.cycles.as_u64(),
+            m.stats().ops,
+            m.stats().ops as f64 / report.cycles.as_u64() as f64,
+        );
+    }
+
+    println!("\nThe same assembly runs unchanged under any policy; the memory");
+    println!("system underneath is the paper's 64-node DSM machine in miniature.");
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Lock tournament: TTS (with bounded exponential backoff) versus the
+//! MCS queue lock, across primitive families and contention levels.
+//!
+//! Reproduces the qualitative story of Figures 4 and 5: TTS with
+//! backoff holds up well because backoff sheds contention, while MCS
+//! pays queue-maintenance atomics but hands the lock off in FIFO order.
+//!
+//! ```sh
+//! cargo run --release --example lock_tournament
+//! ```
+
+use atomic_dsm::experiments::{counters, BarSpec, CounterKind, Scale};
+use atomic_dsm::{Primitive, SyncPolicy};
+
+fn main() {
+    let scale = Scale { procs: 16, rounds: 24, tc_size: 0, wires: 0, tasks: 0 };
+    let contentions = [1u32, 4, 16];
+
+    println!("average cycles per lock-protected counter update ({} procs)\n", scale.procs);
+    println!(
+        "{:<10} {:<6} {:>10} {:>10} {:>10}",
+        "lock", "prim", "c=1", "c=4", "c=16"
+    );
+
+    for (kind, name) in [(CounterKind::TtsLock, "TTS"), (CounterKind::McsLock, "MCS")] {
+        for prim in Primitive::ALL {
+            let bar = BarSpec::new(SyncPolicy::Inv, prim);
+            let mut cells = Vec::new();
+            for &c in &contentions {
+                let p = counters::measure_bar(kind, &bar, c, 1.0, &scale);
+                cells.push(p.avg_cycles);
+            }
+            println!(
+                "{:<10} {:<6} {:>10.0} {:>10.0} {:>10.0}",
+                name,
+                prim.label(),
+                cells[0],
+                cells[1],
+                cells[2]
+            );
+        }
+    }
+
+    println!("\nNote the FAP column for MCS: without compare_and_swap the release");
+    println!("must use the swap-only variant, which repairs the queue when it");
+    println!("races with a concurrent enqueue (Mellor-Crummey & Scott, Alg. 5).");
+}

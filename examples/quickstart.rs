@@ -1,0 +1,62 @@
+//! Quickstart: simulate 16 processors incrementing one shared counter
+//! with `fetch_and_add` under each of the three coherence policies, and
+//! print what the hardware did.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use atomic_dsm::machine::{Action, MachineBuilder, ProcCtx};
+use atomic_dsm::protocol::{MemOp, PhiOp, SyncConfig, SyncPolicy};
+use atomic_dsm::sim::{Addr, Cycle, MachineConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const PROCS: u32 = 16;
+    const ITERS: u64 = 200;
+    let counter = Addr::new(0x40);
+
+    println!("{PROCS} processors x {ITERS} fetch_and_add(counter, 1) each\n");
+    println!(
+        "{:<8} {:>12} {:>12} {:>10} {:>12} {:>10}",
+        "policy", "cycles", "messages", "msg/op", "mean chain", "local ops"
+    );
+
+    for policy in SyncPolicy::ALL {
+        let mut b = MachineBuilder::new(MachineConfig::with_nodes(PROCS));
+        b.register_sync(counter, SyncConfig { policy, ..Default::default() });
+        for _ in 0..PROCS {
+            let mut left = ITERS;
+            b.add_program(move |ctx: &mut ProcCtx<'_>| {
+                if ctx.last.is_some() {
+                    left -= 1;
+                }
+                if left == 0 {
+                    Action::Done
+                } else {
+                    Action::Op(MemOp::FetchPhi { addr: counter, op: PhiOp::Add(1) })
+                }
+            });
+        }
+        let mut m = b.build();
+        let report = m.run(Cycle::new(1_000_000_000))?;
+
+        // The whole point of an exact simulator: the count is exact.
+        assert_eq!(m.read_word(counter), PROCS as u64 * ITERS);
+        m.validate_coherence().map_err(std::io::Error::other)?;
+
+        let s = m.stats();
+        println!(
+            "{:<8} {:>12} {:>12} {:>10.2} {:>12.2} {:>9.0}%",
+            policy.label(),
+            report.cycles.as_u64(),
+            s.msgs.total_messages(),
+            s.msgs.total_messages() as f64 / s.sync_ops as f64,
+            s.msgs.chains().mean(),
+            100.0 * s.local_fraction(),
+        );
+    }
+
+    println!("\nUNC keeps every op at 2 serialized messages; INV turns repeat");
+    println!("accesses into cache hits; UPD pays update fan-out on every write.");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Runs the paper's Figure 1 application — parallel transitive closure
+//! with a lock-free self-scheduling counter and a scalable tree barrier
+//! — under each primitive, verifies the result against a sequential
+//! closure, and reports speed and counter contention.
+//!
+//! ```sh
+//! cargo run --release --example transitive_closure
+//! ```
+
+use atomic_dsm::sim::{Cycle, MachineConfig};
+use atomic_dsm::sync::{PrimChoice, Primitive};
+use atomic_dsm::workloads::tclosure::{
+    build_tclosure, read_matrix, sequential_closure, TcConfig,
+};
+use atomic_dsm::{SyncConfig, SyncPolicy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let procs = 16;
+    let size = 24;
+
+    println!("transitive closure of a {size}x{size} random digraph on {procs} processors\n");
+    println!(
+        "{:<6} {:<8} {:>12} {:>10} {:>16}",
+        "prim", "policy", "cycles", "msgs/op", "contention>=4"
+    );
+
+    for prim in Primitive::ALL {
+        for policy in [SyncPolicy::Unc, SyncPolicy::Inv] {
+            let cfg = TcConfig {
+                size,
+                choice: PrimChoice::plain(prim),
+                sync: SyncConfig { policy, ..Default::default() },
+                density: 0.12,
+                seed: 2026,
+            };
+            let (mut m, layout, input) = build_tclosure(MachineConfig::with_nodes(procs), &cfg);
+            let report = m.run(Cycle::new(50_000_000_000))?;
+            m.validate_coherence().map_err(std::io::Error::other)?;
+
+            let got = read_matrix(&m, &layout, size);
+            assert_eq!(got, sequential_closure(&input), "wrong closure!");
+
+            let s = m.stats();
+            let h = s.contention.histogram();
+            let high = 100.0 - h.cumulative_percentage(3);
+            println!(
+                "{:<6} {:<8} {:>12} {:>10.2} {:>15.1}%",
+                prim.label(),
+                policy.label(),
+                report.cycles.as_u64(),
+                s.msgs.total_messages() as f64 / s.sync_ops.max(1) as f64,
+                high,
+            );
+        }
+    }
+
+    println!("\nEvery run verified against the sequential closure. The barrier-");
+    println!("driven phases make most counter accesses highly contended, which");
+    println!("is exactly why the paper recommends UNC fetch_and_add for counters.");
+    Ok(())
+}

@@ -1,0 +1,108 @@
+//! Runs the workloads with deliberately tiny caches so that capacity
+//! evictions (write-backs of dirty lines, silent drops of shared lines,
+//! reservation loss) interleave with every protocol transaction. All
+//! results must stay exact and coherent.
+
+use atomic_dsm::sim::{CacheParams, Cycle, MachineConfig};
+use atomic_dsm::sync::{PrimChoice, Primitive};
+use atomic_dsm::workloads::synthetic::{build_synthetic, CounterKind, SyntheticConfig};
+use atomic_dsm::workloads::wire_route::{build_wire_route, WireRouteConfig};
+use atomic_dsm::{SyncConfig, SyncPolicy};
+
+const LIMIT: Cycle = Cycle::new(5_000_000_000);
+
+fn tiny_cache_config(nodes: u32) -> MachineConfig {
+    let mut cfg = MachineConfig::with_nodes(nodes);
+    // 8 lines per cache: far smaller than any working set here.
+    cfg.cache = CacheParams { sets: 8, ways: 1 };
+    cfg
+}
+
+#[test]
+fn synthetic_counters_survive_tiny_caches() {
+    for kind in CounterKind::ALL {
+        for prim in Primitive::ALL {
+            let scfg = SyntheticConfig {
+                kind,
+                choice: PrimChoice::plain(prim),
+                sync: SyncConfig { policy: SyncPolicy::Inv, ..Default::default() },
+                contention: 4,
+                write_run: 1.0,
+                rounds: 8,
+            };
+            let (mut m, layout) = build_synthetic(tiny_cache_config(8), &scfg);
+            m.run(LIMIT).unwrap_or_else(|e| {
+                panic!("{}/{}: {e}", kind.label(), prim.label())
+            });
+            assert_eq!(
+                m.read_word(layout.counter),
+                scfg.total_updates(8),
+                "{}/{}",
+                kind.label(),
+                prim.label()
+            );
+            m.validate_coherence()
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", kind.label(), prim.label()));
+        }
+    }
+}
+
+#[test]
+fn llsc_reservations_survive_eviction() {
+    // LL/SC with a cache so small that the reserved line is regularly
+    // evicted between LL and SC: the SC must fail (never succeed
+    // wrongly) and the loop must still make progress.
+    let scfg = SyntheticConfig {
+        kind: CounterKind::LockFree,
+        choice: PrimChoice::plain(Primitive::Llsc),
+        sync: SyncConfig { policy: SyncPolicy::Inv, ..Default::default() },
+        contention: 8,
+        write_run: 1.0,
+        rounds: 12,
+    };
+    let mut cfg = tiny_cache_config(8);
+    cfg.cache = CacheParams { sets: 2, ways: 1 }; // brutally small
+    let (mut m, layout) = build_synthetic(cfg, &scfg);
+    m.run(LIMIT).unwrap();
+    assert_eq!(m.read_word(layout.counter), scfg.total_updates(8));
+    m.validate_coherence().unwrap();
+}
+
+#[test]
+fn wire_route_survives_tiny_caches() {
+    let cfg = WireRouteConfig {
+        wires: 24,
+        regions: 8,
+        route_len: 3,
+        cells_per_visit: 4,
+        cells_per_region: 16,
+        choice: PrimChoice::plain(Primitive::Cas),
+        sync: SyncConfig { policy: SyncPolicy::Inv, ..Default::default() },
+        seed: 3,
+        compute_per_wire: 0,
+    };
+    let (mut m, layout) = build_wire_route(tiny_cache_config(8), &cfg);
+    m.run(LIMIT).unwrap();
+    m.validate_coherence().unwrap();
+    assert_eq!(layout.total_cost(&m, &cfg), cfg.expected_total());
+}
+
+#[test]
+fn upd_counters_survive_tiny_caches() {
+    // UPD shared copies get silently evicted; updates to absent lines
+    // must still be acknowledged and reads re-fetch fresh data.
+    let scfg = SyntheticConfig {
+        kind: CounterKind::LockFree,
+        choice: PrimChoice::plain(Primitive::Cas),
+        sync: SyncConfig { policy: SyncPolicy::Upd, ..Default::default() },
+        contention: 8,
+        write_run: 1.0,
+        rounds: 10,
+    };
+    let mut cfg = tiny_cache_config(8);
+    cfg.cache = CacheParams { sets: 2, ways: 2 };
+    let (mut m, layout) = build_synthetic(cfg, &scfg);
+    m.run(LIMIT).unwrap();
+    assert_eq!(m.read_word(layout.counter), scfg.total_updates(8));
+    m.validate_coherence().unwrap();
+}

@@ -1,0 +1,256 @@
+//! End-to-end LL/SC semantics through the full machine: reservations,
+//! intervening writes, the ABA/pointer problem, bare store-conditionals
+//! and the limited-reservation local-failure optimization.
+
+use atomic_dsm::machine::{Action, MachineBuilder, ProcCtx};
+use atomic_dsm::protocol::{LlscScheme, MemOp, OpResult, SyncConfig, SyncPolicy};
+use atomic_dsm::sim::{Addr, Cycle, MachineConfig};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const X: Addr = Addr::new(0x40);
+const LIMIT: Cycle = Cycle::new(10_000_000);
+
+/// P0 does LL(x); P1 stores x; P0 then does SC — which must fail, under
+/// both cache-side (INV) and memory-side (UNC) reservations.
+#[test]
+fn sc_fails_after_intervening_remote_write() {
+    for policy in [SyncPolicy::Inv, SyncPolicy::Unc] {
+        let outcome: Rc<RefCell<Option<bool>>> = Rc::new(RefCell::new(None));
+        let mut b = MachineBuilder::new(MachineConfig::with_nodes(2));
+        b.register_sync(X, SyncConfig { policy, ..Default::default() });
+
+        let out = Rc::clone(&outcome);
+        let mut stage = 0;
+        b.add_program(move |ctx: &mut ProcCtx<'_>| {
+            stage += 1;
+            match stage {
+                1 => Action::Op(MemOp::LoadLinked { addr: X }),
+                2 => Action::Barrier(0), // let P1 write
+                3 => Action::Barrier(1),
+                4 => {
+                    let serial = None;
+                    Action::Op(MemOp::StoreConditional { addr: X, value: 7, serial })
+                }
+                5 => {
+                    let OpResult::ScDone { success } = ctx.result() else { panic!() };
+                    *out.borrow_mut() = Some(success);
+                    Action::Done
+                }
+                _ => unreachable!(),
+            }
+        });
+        let mut stage = 0;
+        b.add_program(move |_: &mut ProcCtx<'_>| {
+            stage += 1;
+            match stage {
+                1 => Action::Barrier(0),
+                2 => Action::Op(MemOp::Store { addr: X, value: 5 }),
+                3 => Action::Barrier(1),
+                4 => Action::Done,
+                _ => unreachable!(),
+            }
+        });
+        let mut m = b.build();
+        m.run(LIMIT).unwrap();
+        assert_eq!(
+            *outcome.borrow(),
+            Some(false),
+            "{policy}: SC after an intervening write must fail"
+        );
+        assert_eq!(m.read_word(X), 5, "{policy}: the SC must not have written");
+    }
+}
+
+/// The ABA problem: a location is written away from and back to its
+/// original value between LL and SC. A plain reservation-bit scheme
+/// correctly fails the SC; CAS would wrongly succeed — and the
+/// serial-number scheme gives SC the same protection while permitting
+/// bare SCs.
+#[test]
+fn aba_fails_sc_but_fools_cas() {
+    // Part 1: SC fails under ABA (bit-vector reservations, UNC).
+    let sc_result: Rc<RefCell<Option<bool>>> = Rc::new(RefCell::new(None));
+    let cas_result: Rc<RefCell<Option<bool>>> = Rc::new(RefCell::new(None));
+    let mut b = MachineBuilder::new(MachineConfig::with_nodes(2));
+    b.register_sync(X, SyncConfig { policy: SyncPolicy::Unc, ..Default::default() });
+    b.init_word(X, 1);
+
+    let sc_out = Rc::clone(&sc_result);
+    let cas_out = Rc::clone(&cas_result);
+    let mut stage = 0;
+    b.add_program(move |ctx: &mut ProcCtx<'_>| {
+        stage += 1;
+        match stage {
+            1 => Action::Op(MemOp::LoadLinked { addr: X }), // reads 1
+            2 => Action::Barrier(0),                        // P1 does 1 -> 2 -> 1
+            3 => Action::Barrier(1),
+            4 => Action::Op(MemOp::StoreConditional { addr: X, value: 9, serial: None }),
+            5 => {
+                let OpResult::ScDone { success } = ctx.result() else { panic!() };
+                *sc_out.borrow_mut() = Some(success);
+                // Now try CAS with the originally observed value 1.
+                Action::Op(MemOp::Cas { addr: X, expected: 1, new: 9 })
+            }
+            6 => {
+                let OpResult::CasDone { success, .. } = ctx.result() else { panic!() };
+                *cas_out.borrow_mut() = Some(success);
+                Action::Done
+            }
+            _ => unreachable!(),
+        }
+    });
+    let mut stage = 0;
+    b.add_program(move |_: &mut ProcCtx<'_>| {
+        stage += 1;
+        match stage {
+            1 => Action::Barrier(0),
+            2 => Action::Op(MemOp::Store { addr: X, value: 2 }),
+            3 => Action::Op(MemOp::Store { addr: X, value: 1 }), // back to 1: ABA
+            4 => Action::Barrier(1),
+            5 => Action::Done,
+            _ => unreachable!(),
+        }
+    });
+    let mut m = b.build();
+    m.run(LIMIT).unwrap();
+    assert_eq!(*sc_result.borrow(), Some(false), "SC must detect the ABA writes");
+    assert_eq!(
+        *cas_result.borrow(),
+        Some(true),
+        "CAS cannot detect ABA — this is §2.2's pointer problem"
+    );
+}
+
+/// Bare store-conditional with the serial-number scheme: a processor
+/// that learns (value, serial) indirectly can SC without a preceding
+/// LL — the §3.1 optimization that saves the MCS release an access.
+#[test]
+fn bare_sc_with_serial_numbers() {
+    let result: Rc<RefCell<Vec<bool>>> = Rc::new(RefCell::new(Vec::new()));
+    let mut b = MachineBuilder::new(MachineConfig::with_nodes(2));
+    b.register_sync(
+        X,
+        SyncConfig { policy: SyncPolicy::Unc, llsc: LlscScheme::SerialNumber, ..Default::default() },
+    );
+    let out = Rc::clone(&result);
+    let mut stage = 0;
+    b.add_program(move |ctx: &mut ProcCtx<'_>| {
+        stage += 1;
+        match stage {
+            // A bare SC with the initial serial number (0): succeeds.
+            1 => Action::Op(MemOp::StoreConditional { addr: X, value: 11, serial: Some(0) }),
+            2 => {
+                let OpResult::ScDone { success } = ctx.result() else { panic!() };
+                out.borrow_mut().push(success);
+                // A bare SC with a stale serial: fails.
+                Action::Op(MemOp::StoreConditional { addr: X, value: 22, serial: Some(0) })
+            }
+            3 => {
+                let OpResult::ScDone { success } = ctx.result() else { panic!() };
+                out.borrow_mut().push(success);
+                Action::Done
+            }
+            _ => unreachable!(),
+        }
+    });
+    b.add_program(|_: &mut ProcCtx<'_>| Action::Done);
+    let mut m = b.build();
+    m.run(LIMIT).unwrap();
+    assert_eq!(*result.borrow(), vec![true, false]);
+    assert_eq!(m.read_word(X), 11);
+}
+
+/// Beyond-limit load_linked under the limited-k scheme reports
+/// `reserved == false`, and the paper's point is that the doomed SC can
+/// then "fail locally without causing any network traffic".
+#[test]
+fn beyond_limit_ll_reports_failure_indicator() {
+    let flags: Rc<RefCell<Vec<bool>>> = Rc::new(RefCell::new(Vec::new()));
+    let mut b = MachineBuilder::new(MachineConfig::with_nodes(4));
+    b.register_sync(
+        X,
+        SyncConfig { policy: SyncPolicy::Unc, llsc: LlscScheme::Limited(2), ..Default::default() },
+    );
+    for p in 0..4u32 {
+        let flags = Rc::clone(&flags);
+        let mut stage = 0;
+        b.add_program(move |ctx: &mut ProcCtx<'_>| {
+            stage += 1;
+            match stage {
+                // Serialize the LLs with barriers so the reservation
+                // order is deterministic: procs 0 and 1 get slots.
+                1 => {
+                    if p == 0 {
+                        Action::Op(MemOp::LoadLinked { addr: X })
+                    } else {
+                        Action::Compute(1)
+                    }
+                }
+                2 => {
+                    if let Some(OpResult::Loaded { reserved, .. }) = ctx.last {
+                        flags.borrow_mut().push(reserved);
+                    }
+                    Action::Barrier(0)
+                }
+                3 => {
+                    if p == 1 {
+                        Action::Op(MemOp::LoadLinked { addr: X })
+                    } else {
+                        Action::Compute(1)
+                    }
+                }
+                4 => {
+                    if let Some(OpResult::Loaded { reserved, .. }) = ctx.last {
+                        flags.borrow_mut().push(reserved);
+                    }
+                    Action::Barrier(1)
+                }
+                5 => {
+                    if p == 2 {
+                        Action::Op(MemOp::LoadLinked { addr: X })
+                    } else {
+                        Action::Compute(1)
+                    }
+                }
+                6 => {
+                    if let Some(OpResult::Loaded { reserved, .. }) = ctx.last {
+                        flags.borrow_mut().push(reserved);
+                    }
+                    Action::Done
+                }
+                _ => unreachable!(),
+            }
+        });
+    }
+    let mut m = b.build();
+    m.run(LIMIT).unwrap();
+    // p0 and p1 reserved; p2 was beyond the limit. (Each proc records
+    // only its own LL's flag; barriers order them 0, 1, 2.)
+    assert_eq!(*flags.borrow(), vec![true, true, false]);
+}
+
+/// A failed local SC (no reservation) must not generate any network
+/// traffic under the INV implementation.
+#[test]
+fn local_sc_failure_is_traffic_free() {
+    let mut b = MachineBuilder::new(MachineConfig::with_nodes(2));
+    b.register_sync(X, SyncConfig { policy: SyncPolicy::Inv, ..Default::default() });
+    let mut stage = 0;
+    b.add_program(move |ctx: &mut ProcCtx<'_>| {
+        stage += 1;
+        match stage {
+            1 => Action::Op(MemOp::StoreConditional { addr: X, value: 1, serial: None }),
+            2 => {
+                assert_eq!(ctx.result(), OpResult::ScDone { success: false });
+                assert_eq!(ctx.last_chain, Some(0), "failed SC must be local");
+                Action::Done
+            }
+            _ => unreachable!(),
+        }
+    });
+    b.add_program(|_: &mut ProcCtx<'_>| Action::Done);
+    let mut m = b.build();
+    m.run(LIMIT).unwrap();
+    assert_eq!(m.stats().msgs.total_messages(), 0, "no messages at all were needed");
+}

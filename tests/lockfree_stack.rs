@@ -1,0 +1,131 @@
+//! End-to-end lock-free stack runs on the full machine: concurrent
+//! pushes and pops across processors must neither lose nor duplicate
+//! nodes, under both safe head disciplines (LL/SC and counted CAS) and
+//! every coherence policy.
+
+use atomic_dsm::machine::{Action, MachineBuilder, ProcCtx};
+use atomic_dsm::sim::{Addr, Cycle, MachineConfig};
+use atomic_dsm::sync::stack::{unpack_node, StackPop, StackPrim, StackPush};
+use atomic_dsm::sync::{ShmAlloc, Step, SubMachine};
+use atomic_dsm::{SyncConfig, SyncPolicy};
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+const LIMIT: Cycle = Cycle::new(5_000_000_000);
+
+fn run_stress(prim: StackPrim, policy: SyncPolicy, nodes: u32, per_proc: u64) {
+    let mut alloc = ShmAlloc::new(32, nodes);
+    let top = alloc.word();
+    let node_addrs: Vec<Vec<Addr>> = (0..nodes)
+        .map(|_| (0..per_proc).map(|_| alloc.array(2)).collect())
+        .collect();
+
+    let popped: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let mut b = MachineBuilder::new(MachineConfig::with_nodes(nodes));
+    b.register_sync(top, SyncConfig { policy, ..Default::default() });
+
+    for p in 0..nodes {
+        let my_nodes = node_addrs[p as usize].clone();
+        let popped = Rc::clone(&popped);
+        let mut round = 0usize;
+        let mut pushing = true;
+        let mut push: Option<StackPush> = None;
+        let mut pop: Option<StackPop> = None;
+        b.add_program(move |ctx: &mut ProcCtx<'_>| loop {
+            if let Some(m) = &mut push {
+                match m.step(ctx.last.take(), ctx.rng) {
+                    Step::Op(op) => return Action::Op(op),
+                    Step::Compute(c) => return Action::Compute(c),
+                    Step::Done => push = None,
+                }
+            }
+            if let Some(m) = &mut pop {
+                match m.step(ctx.last.take(), ctx.rng) {
+                    Step::Op(op) => return Action::Op(op),
+                    Step::Compute(c) => return Action::Compute(c),
+                    Step::Done => {
+                        if let Some(n) = m.popped() {
+                            popped.borrow_mut().push(n);
+                        }
+                        pop = None;
+                    }
+                }
+            }
+            if round == my_nodes.len() {
+                return Action::Done;
+            }
+            if pushing {
+                pushing = false;
+                push = Some(StackPush::new(top, my_nodes[round], prim));
+            } else {
+                pushing = true;
+                round += 1;
+                pop = Some(StackPop::new(top, prim));
+            }
+        });
+    }
+
+    let mut m = b.build();
+    m.run(LIMIT).expect("stack stress completes");
+    m.validate_coherence().unwrap();
+
+    // Walk the remaining stack.
+    let mut remaining = Vec::new();
+    let mut cursor = match prim {
+        StackPrim::CasCounted => unpack_node(m.read_word(top)),
+        _ => m.read_word(top),
+    };
+    while cursor != 0 {
+        remaining.push(cursor);
+        assert!(remaining.len() <= (nodes as usize) * per_proc as usize + 1, "stack has a cycle!");
+        cursor = m.read_word(Addr::new(cursor));
+    }
+
+    // Conservation: every node appears exactly once, in `popped` or on
+    // the stack.
+    let all_nodes: HashSet<u64> =
+        node_addrs.iter().flatten().map(|a| a.as_u64()).collect();
+    let mut seen = HashSet::new();
+    for &n in popped.borrow().iter().chain(remaining.iter()) {
+        assert!(all_nodes.contains(&n), "{prim:?}/{policy}: unknown node {n:#x}");
+        assert!(seen.insert(n), "{prim:?}/{policy}: node {n:#x} duplicated!");
+    }
+    assert_eq!(
+        seen.len(),
+        all_nodes.len(),
+        "{prim:?}/{policy}: nodes lost ({} of {})",
+        seen.len(),
+        all_nodes.len()
+    );
+}
+
+#[test]
+fn llsc_stack_conserves_nodes_inv() {
+    run_stress(StackPrim::Llsc, SyncPolicy::Inv, 8, 12);
+}
+
+#[test]
+fn llsc_stack_conserves_nodes_unc() {
+    run_stress(StackPrim::Llsc, SyncPolicy::Unc, 8, 12);
+}
+
+#[test]
+fn counted_cas_stack_conserves_nodes_inv() {
+    run_stress(StackPrim::CasCounted, SyncPolicy::Inv, 8, 12);
+}
+
+#[test]
+fn counted_cas_stack_conserves_nodes_unc() {
+    run_stress(StackPrim::CasCounted, SyncPolicy::Unc, 8, 12);
+}
+
+#[test]
+fn counted_cas_stack_conserves_nodes_upd() {
+    run_stress(StackPrim::CasCounted, SyncPolicy::Upd, 8, 12);
+}
+
+#[test]
+fn bigger_llsc_stack_stress() {
+    run_stress(StackPrim::Llsc, SyncPolicy::Inv, 16, 16);
+}

@@ -1,0 +1,194 @@
+//! Integration tests encoding the paper's §4.3 findings as executable
+//! assertions, at a reduced (16-processor) scale with the same shape.
+//!
+//! Each test quotes the claim it checks. Claims that are sensitive to
+//! the exact latency constants (which the paper does not publish) are
+//! recorded in EXPERIMENTS.md instead of being asserted here.
+
+use atomic_dsm::experiments::counters::measure_bar;
+use atomic_dsm::experiments::{BarSpec, CounterKind, Scale};
+use atomic_dsm::protocol::CasVariant;
+use atomic_dsm::{Primitive, SyncPolicy};
+
+fn scale() -> Scale {
+    Scale { procs: 16, rounds: 24, tc_size: 0, wires: 0, tasks: 0 }
+}
+
+fn cost(kind: CounterKind, bar: BarSpec, c: u32, a: f64) -> f64 {
+    measure_bar(kind, &bar, c, a, &scale()).avg_cycles
+}
+
+/// "In the case of no contention with short write runs, UNC
+/// implementations of the three primitives are competitive with, and
+/// sometimes better than, the corresponding cached implementations,
+/// even with an average write-run length as large as 2."
+#[test]
+fn unc_competitive_at_short_write_runs() {
+    for prim in Primitive::ALL {
+        let unc = cost(CounterKind::LockFree, BarSpec::new(SyncPolicy::Unc, prim), 1, 1.0);
+        let inv = cost(CounterKind::LockFree, BarSpec::new(SyncPolicy::Inv, prim), 1, 1.0);
+        assert!(
+            unc <= inv * 1.1,
+            "{prim}: UNC ({unc:.0}) should be competitive with INV ({inv:.0}) at a=1"
+        );
+    }
+}
+
+/// "On the other hand, as write-run length increases, INV increasingly
+/// outperforms UNC and UPD, because subsequent accesses in a run are
+/// all hits."
+#[test]
+fn inv_wins_at_long_write_runs() {
+    for prim in Primitive::ALL {
+        let inv1 = cost(CounterKind::LockFree, BarSpec::new(SyncPolicy::Inv, prim), 1, 1.0);
+        let inv10 = cost(CounterKind::LockFree, BarSpec::new(SyncPolicy::Inv, prim), 1, 10.0);
+        let unc10 = cost(CounterKind::LockFree, BarSpec::new(SyncPolicy::Unc, prim), 1, 10.0);
+        let upd10 = cost(CounterKind::LockFree, BarSpec::new(SyncPolicy::Upd, prim), 1, 10.0);
+        assert!(inv10 < inv1, "{prim}: INV must get cheaper as runs lengthen");
+        assert!(inv10 < unc10, "{prim}: INV ({inv10:.0}) must beat UNC ({unc10:.0}) at a=10");
+        assert!(inv10 <= upd10, "{prim}: INV ({inv10:.0}) must beat UPD ({upd10:.0}) at a=10");
+    }
+}
+
+/// "UNC fetch_and_add yields superior performance over the other
+/// primitives and implementations, especially with contention."
+#[test]
+fn unc_fetch_and_add_dominates_contended_counters() {
+    let champion = cost(CounterKind::LockFree, BarSpec::new(SyncPolicy::Unc, Primitive::FetchPhi), 16, 1.0);
+    for prim in [Primitive::Llsc, Primitive::Cas] {
+        for policy in SyncPolicy::ALL {
+            let other = cost(CounterKind::LockFree, BarSpec::new(policy, prim), 16, 1.0);
+            assert!(
+                champion < other,
+                "UNC FAP ({champion:.0}) must beat {policy} {} ({other:.0}) at c=16",
+                prim.label()
+            );
+        }
+    }
+}
+
+/// "Among the INV universal primitives, compare_and_swap almost always
+/// benefits from load_exclusive … load_exclusive helps minimize the
+/// failure rate of compare_and_swap as contention increases."
+#[test]
+fn load_exclusive_helps_inv_cas_under_contention() {
+    let plain = BarSpec::new(SyncPolicy::Inv, Primitive::Cas);
+    let lx = BarSpec { load_exclusive: true, ..plain };
+    let plain_c = cost(CounterKind::LockFree, plain, 16, 1.0);
+    let lx_c = cost(CounterKind::LockFree, lx, 16, 1.0);
+    assert!(
+        lx_c < plain_c * 1.05,
+        "CAS+lx ({lx_c:.0}) should not lose to plain CAS ({plain_c:.0}) at c=16"
+    );
+}
+
+/// "The performance of the INVd and INVs implementations of
+/// compare_and_swap is almost always equal to or worse than that of
+/// compare_and_swap or compare_and_swap/load_exclusive."
+#[test]
+fn invd_invs_do_not_beat_cas_with_load_exclusive() {
+    let lx = BarSpec { load_exclusive: true, ..BarSpec::new(SyncPolicy::Inv, Primitive::Cas) };
+    let lx_c = cost(CounterKind::LockFree, lx, 16, 1.0);
+    for variant in [CasVariant::Deny, CasVariant::Share] {
+        let v = BarSpec { cas_variant: variant, ..BarSpec::new(SyncPolicy::Inv, Primitive::Cas) };
+        let v_c = cost(CounterKind::LockFree, v, 16, 1.0);
+        assert!(
+            lx_c <= v_c * 1.05,
+            "{variant:?} ({v_c:.0}) should not beat CAS+lx ({lx_c:.0}); extra comparators \
+             in memory are not warranted"
+        );
+    }
+}
+
+/// "As for UPD universal primitives, compare_and_swap is always better
+/// than load_linked/store_conditional, as … load_linked requests have
+/// to go to memory even if the datum is cached locally."
+#[test]
+fn upd_cas_beats_upd_llsc() {
+    for (c, a) in [(1u32, 2.0), (1, 3.0), (4, 1.0), (8, 1.0)] {
+        let cas = cost(CounterKind::LockFree, BarSpec::new(SyncPolicy::Upd, Primitive::Cas), c, a);
+        let llsc = cost(CounterKind::LockFree, BarSpec::new(SyncPolicy::Upd, Primitive::Llsc), c, a);
+        assert!(
+            cas <= llsc,
+            "c={c} a={a}: UPD CAS ({cas:.0}) must not lose to UPD LL/SC ({llsc:.0})"
+        );
+    }
+}
+
+/// "With an INV policy and an average write-run length of one with no
+/// contention, drop_copy improves the performance of fetch_and_Φ and
+/// compare_and_swap/load_exclusive."
+#[test]
+fn drop_copy_helps_inv_at_write_run_one() {
+    for base in [
+        BarSpec::new(SyncPolicy::Inv, Primitive::FetchPhi),
+        BarSpec { load_exclusive: true, ..BarSpec::new(SyncPolicy::Inv, Primitive::Cas) },
+    ] {
+        let without = cost(CounterKind::LockFree, base, 1, 1.0);
+        let with = cost(CounterKind::LockFree, BarSpec { drop_copy: true, ..base }, 1, 1.0);
+        assert!(
+            with < without,
+            "{}: drop_copy must help at c=1 a=1 ({without:.0} -> {with:.0})",
+            base.label()
+        );
+    }
+}
+
+/// …and the flip side: with long write runs drop_copy throws away
+/// exactly the locality INV benefits from.
+#[test]
+fn drop_copy_hurts_inv_at_long_write_runs() {
+    let base = BarSpec::new(SyncPolicy::Inv, Primitive::FetchPhi);
+    let without = cost(CounterKind::LockFree, base, 1, 10.0);
+    let with = cost(CounterKind::LockFree, BarSpec { drop_copy: true, ..base }, 1, 10.0);
+    assert!(
+        with > without,
+        "drop_copy must hurt at a=10 ({without:.0} -> {with:.0})"
+    );
+}
+
+/// "With an UPD policy, drop_copy always improves performance, because
+/// it reduces the number of useless updates and in most cases reduces
+/// the number of serialized messages for a write from 3 to 2."
+#[test]
+fn drop_copy_helps_upd_without_contention() {
+    for prim in [Primitive::Cas, Primitive::Llsc] {
+        for a in [1.0, 2.0, 3.0] {
+            let base = BarSpec::new(SyncPolicy::Upd, prim);
+            let without = cost(CounterKind::LockFree, base, 1, a);
+            let with = cost(CounterKind::LockFree, BarSpec { drop_copy: true, ..base }, 1, a);
+            assert!(
+                with <= without,
+                "{} a={a}: drop_copy must help UPD ({without:.0} -> {with:.0})",
+                prim.label()
+            );
+        }
+    }
+}
+
+/// The overall recommendation of §5: CAS in the cache controllers with
+/// write-invalidate plus load_exclusive gives good performance both
+/// without contention (long runs benefit from caching) and with it.
+#[test]
+fn recommended_configuration_is_never_terrible() {
+    let rec = BarSpec { load_exclusive: true, ..BarSpec::new(SyncPolicy::Inv, Primitive::Cas) };
+    for (c, a) in [(1u32, 1.0), (1, 10.0), (4, 1.0), (16, 1.0)] {
+        let rec_c = cost(CounterKind::LockFree, rec, c, a);
+        // Compare against every other universal-primitive bar.
+        for bar in [
+            BarSpec::new(SyncPolicy::Unc, Primitive::Cas),
+            BarSpec::new(SyncPolicy::Unc, Primitive::Llsc),
+            BarSpec::new(SyncPolicy::Upd, Primitive::Cas),
+            BarSpec::new(SyncPolicy::Upd, Primitive::Llsc),
+            BarSpec::new(SyncPolicy::Inv, Primitive::Llsc),
+        ] {
+            let other = cost(CounterKind::LockFree, bar, c, a);
+            assert!(
+                rec_c <= other * 1.6,
+                "c={c} a={a}: recommended INV CAS+lx ({rec_c:.0}) should be within 60% of \
+                 {} ({other:.0})",
+                bar.label()
+            );
+        }
+    }
+}

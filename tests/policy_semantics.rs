@@ -1,0 +1,245 @@
+//! Machine-level checks of the defining behaviours of each coherence
+//! policy — the mechanisms behind the paper's §4.3 explanations.
+
+use atomic_dsm::machine::{Action, MachineBuilder, ProcCtx};
+use atomic_dsm::protocol::{MemOp, PhiOp, SyncConfig, SyncPolicy};
+use atomic_dsm::sim::{Addr, Cycle, MachineConfig};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const X: Addr = Addr::new(0x40);
+const LIMIT: Cycle = Cycle::new(10_000_000);
+
+/// UPD's selling point: "a high read hit rate, even in the case of
+/// alternating accesses by different processors". P0 reads, P1 writes,
+/// P0 reads again — under UPD the second read is a local hit with the
+/// *new* value; under INV it is a miss.
+#[test]
+fn upd_keeps_read_copies_fresh_and_local() {
+    for (policy, expect_hit) in [(SyncPolicy::Upd, true), (SyncPolicy::Inv, false)] {
+        let second_read_chain: Rc<RefCell<Option<u32>>> = Rc::new(RefCell::new(None));
+        let value_seen: Rc<RefCell<Option<u64>>> = Rc::new(RefCell::new(None));
+        let mut b = MachineBuilder::new(MachineConfig::with_nodes(2));
+        b.register_sync(X, SyncConfig { policy, ..Default::default() });
+
+        let chain_out = Rc::clone(&second_read_chain);
+        let value_out = Rc::clone(&value_seen);
+        let mut stage = 0;
+        b.add_program(move |ctx: &mut ProcCtx<'_>| {
+            stage += 1;
+            match stage {
+                1 => Action::Op(MemOp::Load { addr: X }), // allocate a copy
+                2 => Action::Barrier(0),                  // P1 writes 7
+                3 => Action::Barrier(1),
+                4 => Action::Op(MemOp::Load { addr: X }),
+                5 => {
+                    *chain_out.borrow_mut() = ctx.last_chain;
+                    *value_out.borrow_mut() = ctx.last.and_then(|r| r.value());
+                    Action::Done
+                }
+                _ => unreachable!(),
+            }
+        });
+        let mut stage = 0;
+        b.add_program(move |_: &mut ProcCtx<'_>| {
+            stage += 1;
+            match stage {
+                1 => Action::Barrier(0),
+                2 => Action::Op(MemOp::Store { addr: X, value: 7 }),
+                3 => Action::Barrier(1),
+                4 => Action::Done,
+                _ => unreachable!(),
+            }
+        });
+        let mut m = b.build();
+        m.run(LIMIT).unwrap();
+        assert_eq!(*value_seen.borrow(), Some(7), "{policy}: reader must see the new value");
+        let chain = second_read_chain.borrow().expect("read completed");
+        if expect_hit {
+            assert_eq!(chain, 0, "UPD second read must hit locally (update was pushed)");
+        } else {
+            assert!(chain >= 2, "INV second read must miss (copy was invalidated)");
+        }
+    }
+}
+
+/// Loads to a remote-dirty line route through the home: 4 serialized
+/// messages (the read analogue of Table 1's remote-exclusive store).
+#[test]
+fn read_of_remote_dirty_line_takes_four_messages() {
+    let chain: Rc<RefCell<Option<u32>>> = Rc::new(RefCell::new(None));
+    let mut b = MachineBuilder::new(MachineConfig::with_nodes(4));
+    b.register_sync(X, SyncConfig { policy: SyncPolicy::Inv, ..Default::default() });
+
+    // P0 dirties the line.
+    let mut stage = 0;
+    b.add_program(move |_: &mut ProcCtx<'_>| {
+        stage += 1;
+        match stage {
+            1 => Action::Op(MemOp::Store { addr: X, value: 3 }),
+            2 => Action::Barrier(0),
+            3 => Action::Done,
+            _ => unreachable!(),
+        }
+    });
+    // P1 reads it.
+    let chain_out = Rc::clone(&chain);
+    let mut stage = 0;
+    b.add_program(move |ctx: &mut ProcCtx<'_>| {
+        stage += 1;
+        match stage {
+            1 => Action::Barrier(0),
+            2 => Action::Op(MemOp::Load { addr: X }),
+            3 => {
+                assert_eq!(ctx.last.and_then(|r| r.value()), Some(3));
+                *chain_out.borrow_mut() = ctx.last_chain;
+                Action::Done
+            }
+            _ => unreachable!(),
+        }
+    });
+    for _ in 2..4 {
+        let mut stage = 0;
+        b.add_program(move |_: &mut ProcCtx<'_>| {
+            stage += 1;
+            match stage {
+                1 => Action::Barrier(0),
+                2 => Action::Done,
+                _ => unreachable!(),
+            }
+        });
+    }
+    let mut m = b.build();
+    m.run(LIMIT).unwrap();
+    assert_eq!(
+        chain.borrow().expect("read completed"),
+        4,
+        "requester -> home -> owner -> home -> requester"
+    );
+}
+
+/// UNC lines must never occupy cache space: after thousands of UNC
+/// accesses the local-op count stays zero.
+#[test]
+fn unc_never_hits() {
+    let mut b = MachineBuilder::new(MachineConfig::with_nodes(2));
+    b.register_sync(X, SyncConfig { policy: SyncPolicy::Unc, ..Default::default() });
+    let mut left = 500;
+    b.add_program(move |_: &mut ProcCtx<'_>| {
+        left -= 1;
+        if left == 0 {
+            Action::Done
+        } else {
+            Action::Op(MemOp::FetchPhi { addr: X, op: PhiOp::Add(1) })
+        }
+    });
+    b.add_program(|_: &mut ProcCtx<'_>| Action::Done);
+    let mut m = b.build();
+    m.run(LIMIT).unwrap();
+    assert_eq!(m.stats().local_ops, 0, "UNC ops can never be cache hits");
+    assert_eq!(m.stats().msgs.chains().mean(), 2.0, "every UNC op is exactly 2 messages");
+}
+
+/// Exclusive ownership migrates: when two processors alternate writes
+/// to one line, each write is a 4-message ownership transfer through
+/// the home.
+#[test]
+fn ownership_ping_pong_is_symmetric() {
+    let chains: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+    let mut b = MachineBuilder::new(MachineConfig::with_nodes(2));
+    b.register_sync(X, SyncConfig { policy: SyncPolicy::Inv, ..Default::default() });
+    for p in 0..2u32 {
+        let chains = Rc::clone(&chains);
+        let mut round = 0u32;
+        // Phases per round: 0 = maybe-write, 1 = barrier, then repeat.
+        let mut phase = 0u8;
+        b.add_program(move |ctx: &mut ProcCtx<'_>| loop {
+            if round == 6 {
+                return Action::Done;
+            }
+            match phase {
+                0 => {
+                    phase = 1;
+                    let my_turn = round.is_multiple_of(2) == (p == 0);
+                    if my_turn {
+                        return Action::Op(MemOp::FetchPhi { addr: X, op: PhiOp::Add(1) });
+                    }
+                }
+                1 => {
+                    if let Some(c) = ctx.last_chain.take() {
+                        chains.borrow_mut().push(c);
+                    }
+                    phase = 2;
+                    return Action::Barrier(round % 2);
+                }
+                _ => {
+                    phase = 0;
+                    round += 1;
+                }
+            }
+        });
+    }
+    let mut m = b.build();
+    m.run(LIMIT).unwrap();
+    assert_eq!(m.read_word(X), 6);
+    let chains = chains.borrow();
+    // The very first write finds the line uncached (chain 2); every
+    // subsequent write must reclaim it from the other owner (chain 4).
+    assert_eq!(chains.len(), 6);
+    assert_eq!(chains[0], 2);
+    assert!(
+        chains[1..].iter().all(|&c| c == 4),
+        "alternating writers must produce 4-message ownership transfers: {chains:?}"
+    );
+}
+
+/// UPD update-fanout atomicity: while a writer's update is still in
+/// flight to a sharer, the *writer's own* completion waits for the
+/// sharer's acknowledgment, so two alternating UPD writers can never
+/// observe each other's writes out of order.
+#[test]
+fn upd_writer_waits_for_update_acks() {
+    let chains: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+    let mut b = MachineBuilder::new(MachineConfig::with_nodes(3));
+    b.register_sync(X, SyncConfig { policy: SyncPolicy::Upd, ..Default::default() });
+    // P2 becomes a sharer first, so every write must fan out an update.
+    let mut stage = 0;
+    b.add_program(move |_: &mut ProcCtx<'_>| {
+        stage += 1;
+        match stage {
+            1 => Action::Op(MemOp::Load { addr: X }),
+            2 => Action::Barrier(0),
+            3 => Action::Done,
+            _ => unreachable!(),
+        }
+    });
+    let chains_out = Rc::clone(&chains);
+    let mut stage = 0;
+    b.add_program(move |ctx: &mut ProcCtx<'_>| {
+        stage += 1;
+        match stage {
+            1 => Action::Barrier(0),
+            2 => Action::Op(MemOp::Store { addr: X, value: 1 }),
+            3 => {
+                chains_out.borrow_mut().push(ctx.last_chain.unwrap());
+                Action::Done
+            }
+            _ => unreachable!(),
+        }
+    });
+    let mut stage = 0;
+    b.add_program(move |_: &mut ProcCtx<'_>| {
+        stage += 1;
+        match stage {
+            1 => Action::Barrier(0),
+            2 => Action::Done,
+            _ => unreachable!(),
+        }
+    });
+    let mut m = b.build();
+    m.run(LIMIT).unwrap();
+    // Table 1: UPD store to cached data = 3 serialized messages
+    // (request -> update -> ack); the writer waited for the ack.
+    assert_eq!(*chains.borrow(), vec![3]);
+    m.validate_coherence().unwrap();
+}
