@@ -9,23 +9,44 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use dsm_bench::dropcopy_pair;
 
 fn bench(c: &mut Criterion) {
-    let s = Scale { procs: 16, rounds: 24, tc_size: 0, wires: 0, tasks: 0 };
+    let s = Scale {
+        procs: 16,
+        rounds: 24,
+        tc_size: 0,
+        wires: 0,
+        tasks: 0,
+    };
     println!("\n== Ablation: drop_copy for INV fetch_and_add (avg cycles/update) ==");
     let mut rows = vec![vec![
         "scenario".to_string(),
         "without".to_string(),
         "with drop_copy".to_string(),
     ]];
-    for (name, cc, a) in
-        [("c=1 a=1", 1u32, 1.0), ("c=1 a=10", 1, 10.0), ("c=4", 4, 1.0), ("c=16", 16, 1.0)]
-    {
+    for (name, cc, a) in [
+        ("c=1 a=1", 1u32, 1.0),
+        ("c=1 a=10", 1, 10.0),
+        ("c=4", 4, 1.0),
+        ("c=16", 16, 1.0),
+    ] {
         let (without, with) = dropcopy_pair(cc, a, &s);
-        rows.push(vec![name.to_string(), format!("{without:.0}"), format!("{with:.0}")]);
+        rows.push(vec![
+            name.to_string(),
+            format!("{without:.0}"),
+            format!("{with:.0}"),
+        ]);
     }
     println!("{}", atomic_dsm::stats::render_table(&rows));
 
-    let small = Scale { procs: 8, rounds: 8, tc_size: 0, wires: 0, tasks: 0 };
-    c.bench_function("ablation_dropcopy/c1_a1", |b| b.iter(|| dropcopy_pair(1, 1.0, &small)));
+    let small = Scale {
+        procs: 8,
+        rounds: 8,
+        tc_size: 0,
+        wires: 0,
+        tasks: 0,
+    };
+    c.bench_function("ablation_dropcopy/c1_a1", |b| {
+        b.iter(|| dropcopy_pair(1, 1.0, &small))
+    });
 }
 
 criterion_group! {

@@ -7,8 +7,11 @@ use dsm_bench::llsc_counter_with_scheme;
 
 fn bench(c: &mut Criterion) {
     println!("\n== Ablation: LL/SC reservation schemes (16 procs x 50 increments, UNC) ==");
-    let mut rows =
-        vec![vec!["scheme".to_string(), "cycles".to_string(), "messages".to_string()]];
+    let mut rows = vec![vec![
+        "scheme".to_string(),
+        "cycles".to_string(),
+        "messages".to_string(),
+    ]];
     for (name, scheme) in [
         ("bit-vector", LlscScheme::BitVector),
         ("linked-list(pool=8)", LlscScheme::LinkedList),

@@ -8,9 +8,7 @@
 //! programs with race conditions, the simulator keeps track of the
 //! values of cached copies…" — §4.1.)
 
-use atomic_dsm::machine::{
-    new_trace, Action, MachineBuilder, ProcCtx, TraceRecorder, TraceReplay,
-};
+use atomic_dsm::machine::{new_trace, Action, MachineBuilder, ProcCtx, TraceRecorder, TraceReplay};
 use atomic_dsm::protocol::{MemOp, OpResult, SyncConfig, SyncPolicy};
 use atomic_dsm::sim::{Addr, Cycle, MachineConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -26,9 +24,11 @@ fn cas_counter(iters: u64) -> impl atomic_dsm::machine::Program {
             loaded = true;
             Action::Op(MemOp::Load { addr: X })
         }
-        (true, Some(OpResult::Loaded { value, .. })) => {
-            Action::Op(MemOp::Cas { addr: X, expected: value, new: value + 1 })
-        }
+        (true, Some(OpResult::Loaded { value, .. })) => Action::Op(MemOp::Cas {
+            addr: X,
+            expected: value,
+            new: value + 1,
+        }),
         (true, Some(OpResult::CasDone { success, observed })) => {
             if success {
                 left -= 1;
@@ -37,7 +37,11 @@ fn cas_counter(iters: u64) -> impl atomic_dsm::machine::Program {
                 }
                 Action::Op(MemOp::Load { addr: X })
             } else {
-                Action::Op(MemOp::Cas { addr: X, expected: observed, new: observed + 1 })
+                Action::Op(MemOp::Cas {
+                    addr: X,
+                    expected: observed,
+                    new: observed + 1,
+                })
             }
         }
         other => panic!("unexpected {other:?}"),
@@ -47,7 +51,13 @@ fn cas_counter(iters: u64) -> impl atomic_dsm::machine::Program {
 fn record_solo(iters: u64) -> Vec<Action> {
     let trace = new_trace();
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(2));
-    b.register_sync(X, SyncConfig { policy: SyncPolicy::Inv, ..Default::default() });
+    b.register_sync(
+        X,
+        SyncConfig {
+            policy: SyncPolicy::Inv,
+            ..Default::default()
+        },
+    );
     b.add_program(TraceRecorder::new(cas_counter(iters), Rc::clone(&trace)));
     b.add_program(|_: &mut ProcCtx<'_>| Action::Done);
     let mut m = b.build();
@@ -61,7 +71,13 @@ fn record_solo(iters: u64) -> Vec<Action> {
 fn compare(procs: u32, iters: u64) -> (u64, u64, u64, u64) {
     let trace = record_solo(iters);
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(procs));
-    b.register_sync(X, SyncConfig { policy: SyncPolicy::Inv, ..Default::default() });
+    b.register_sync(
+        X,
+        SyncConfig {
+            policy: SyncPolicy::Inv,
+            ..Default::default()
+        },
+    );
     for _ in 0..procs {
         b.add_program(TraceReplay::new(trace.clone()));
     }
@@ -70,7 +86,13 @@ fn compare(procs: u32, iters: u64) -> (u64, u64, u64, u64) {
     let replayed = m.read_word(X);
 
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(procs));
-    b.register_sync(X, SyncConfig { policy: SyncPolicy::Inv, ..Default::default() });
+    b.register_sync(
+        X,
+        SyncConfig {
+            policy: SyncPolicy::Inv,
+            ..Default::default()
+        },
+    );
     for _ in 0..procs {
         b.add_program(cas_counter(iters));
     }
@@ -78,7 +100,12 @@ fn compare(procs: u32, iters: u64) -> (u64, u64, u64, u64) {
     let exec_report = m.run(Cycle::new(1_000_000_000)).unwrap();
     assert_eq!(m.read_word(X), procs as u64 * iters);
 
-    (replayed, procs as u64 * iters, replay_report.cycles.as_u64(), exec_report.cycles.as_u64())
+    (
+        replayed,
+        procs as u64 * iters,
+        replay_report.cycles.as_u64(),
+        exec_report.cycles.as_u64(),
+    )
 }
 
 fn bench(c: &mut Criterion) {
@@ -104,7 +131,9 @@ fn bench(c: &mut Criterion) {
     println!("Trace-driven replay loses updates and underestimates cost — the");
     println!("reason the paper's simulator is execution-driven.\n");
 
-    c.bench_function("ablation_tracedriven/compare_8p", |b| b.iter(|| compare(8, 10)));
+    c.bench_function("ablation_tracedriven/compare_8p", |b| {
+        b.iter(|| compare(8, 10))
+    });
 }
 
 criterion_group! {

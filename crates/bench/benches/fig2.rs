@@ -12,7 +12,13 @@ fn bench(c: &mut Criterion) {
     println!("\n== Figure 2: contention histograms (p={}) ==", s.procs);
     println!("{}", apps::render_fig2(&runs));
 
-    let small = atomic_dsm::experiments::Scale { procs: 8, rounds: 8, tc_size: 8, wires: 16, tasks: 16 };
+    let small = atomic_dsm::experiments::Scale {
+        procs: 8,
+        rounds: 8,
+        tc_size: 8,
+        wires: 16,
+        tasks: 16,
+    };
     c.bench_function("fig2/tclosure_unc_8p", |b| {
         b.iter(|| {
             apps::run_app(

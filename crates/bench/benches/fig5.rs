@@ -10,13 +10,29 @@ fn bench(c: &mut Criterion) {
     let s = scale(false);
     let kind = CounterKind::McsLock;
     let graphs = counters::run_figure(kind, &paper_bars(), &s);
-    println!("\n== Figure 5: {} counter, avg cycles/update (p={}) ==", kind.label(), s.procs);
+    println!(
+        "\n== Figure 5: {} counter, avg cycles/update (p={}) ==",
+        kind.label(),
+        s.procs
+    );
     println!("{}", counters::render(kind, &graphs));
 
-    let small = atomic_dsm::experiments::Scale { procs: 8, rounds: 8, tc_size: 8, wires: 8, tasks: 8 };
+    let small = atomic_dsm::experiments::Scale {
+        procs: 8,
+        rounds: 8,
+        tc_size: 8,
+        wires: 8,
+        tasks: 8,
+    };
     c.bench_function("fig5/inv_cas_c8", |b| {
         b.iter(|| {
-            counters::measure_bar(kind, &BarSpec::new(SyncPolicy::Inv, Primitive::Cas), 8, 1.0, &small)
+            counters::measure_bar(
+                kind,
+                &BarSpec::new(SyncPolicy::Inv, Primitive::Cas),
+                8,
+                1.0,
+                &small,
+            )
         })
     });
 }

@@ -9,13 +9,26 @@ use dsm_bench::scale;
 fn bench(c: &mut Criterion) {
     let s = scale(false);
     let runs = apps::fig6(&paper_bars(), &s);
-    println!("\n== Figure 6: total elapsed cycles per application (p={}) ==", s.procs);
+    println!(
+        "\n== Figure 6: total elapsed cycles per application (p={}) ==",
+        s.procs
+    );
     println!("{}", apps::render_fig6(&runs));
 
-    let small = atomic_dsm::experiments::Scale { procs: 8, rounds: 8, tc_size: 8, wires: 16, tasks: 16 };
+    let small = atomic_dsm::experiments::Scale {
+        procs: 8,
+        rounds: 8,
+        tc_size: 8,
+        wires: 16,
+        tasks: 16,
+    };
     c.bench_function("fig6/cholesky_inv_cas", |b| {
         b.iter(|| {
-            apps::run_app(apps::App::Cholesky, &BarSpec::new(SyncPolicy::Inv, Primitive::Cas), &small)
+            apps::run_app(
+                apps::App::Cholesky,
+                &BarSpec::new(SyncPolicy::Inv, Primitive::Cas),
+                &small,
+            )
         })
     });
 }

@@ -7,9 +7,17 @@ use atomic_dsm::experiments::table1;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let mut rows = vec![vec!["scenario".to_string(), "paper".to_string(), "measured".to_string()]];
+    let mut rows = vec![vec![
+        "scenario".to_string(),
+        "paper".to_string(),
+        "measured".to_string(),
+    ]];
     for r in table1::run() {
-        rows.push(vec![r.scenario.to_string(), r.paper.to_string(), r.measured.to_string()]);
+        rows.push(vec![
+            r.scenario.to_string(),
+            r.paper.to_string(),
+            r.measured.to_string(),
+        ]);
     }
     println!("\n== Table 1: serialized network messages for stores ==");
     println!("{}", atomic_dsm::stats::render_table(&rows));

@@ -12,11 +12,14 @@
 //! default is a 16-processor scale with the same shape. `--csv DIR`
 //! additionally writes one CSV file per artifact into DIR; `--bars`
 //! renders each counter graph as an ASCII bar chart (the paper's
-//! figures are bar charts).
+//! figures are bar charts); `--jobs N` pins the experiment runner's
+//! worker count (default: `DSM_JOBS` or the machine's parallelism —
+//! output is identical either way, only wall-clock changes).
 
-use atomic_dsm::experiments::{apps, counters, paper_bars, scaling, table1, CounterKind};
+use atomic_dsm::experiments::{apps, counters, paper_bars, runner, scaling, table1, CounterKind};
 use dsm_bench::scale;
 use std::path::PathBuf;
+use std::time::Instant;
 
 fn write_csv(dir: &Option<PathBuf>, name: &str, rows: &[Vec<String>]) {
     let Some(dir) = dir else { return };
@@ -35,6 +38,17 @@ fn main() {
         .position(|a| a == "--csv")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
+    let jobs: Option<usize> = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| match v.parse::<usize>() {
+            Ok(n) => n.max(1),
+            Err(_) => {
+                eprintln!("--jobs takes a positive integer, got `{v}`");
+                std::process::exit(2);
+            }
+        });
     let mut skip_next = false;
     let wanted: Vec<&str> = args
         .iter()
@@ -43,7 +57,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--csv" {
+            if *a == "--csv" || *a == "--jobs" {
                 skip_next = true;
                 return false;
             }
@@ -63,136 +77,162 @@ fn main() {
         if s.procs == 64 { "paper" } else { "quick" }
     );
 
-    for artifact in wanted {
-        match artifact {
-            "table1" => {
-                println!("## Table 1 — serialized network messages for stores\n");
-                let mut rows = vec![vec![
-                    "scenario".to_string(),
-                    "paper".to_string(),
-                    "measured".to_string(),
-                ]];
-                for r in table1::run() {
-                    rows.push(vec![
-                        r.scenario.to_string(),
-                        r.paper.to_string(),
-                        r.measured.to_string(),
-                    ]);
+    let started = Instant::now();
+    let run_artifacts = || {
+        for &artifact in &wanted {
+            let t = Instant::now();
+            match artifact {
+                "table1" => {
+                    println!("## Table 1 — serialized network messages for stores\n");
+                    let mut rows = vec![vec![
+                        "scenario".to_string(),
+                        "paper".to_string(),
+                        "measured".to_string(),
+                    ]];
+                    for r in table1::run() {
+                        rows.push(vec![
+                            r.scenario.to_string(),
+                            r.paper.to_string(),
+                            r.measured.to_string(),
+                        ]);
+                    }
+                    println!("{}", atomic_dsm::stats::render_table(&rows));
+                    write_csv(&csv_dir, "table1", &rows);
                 }
-                println!("{}", atomic_dsm::stats::render_table(&rows));
-                write_csv(&csv_dir, "table1", &rows);
-            }
-            "fig2" => {
-                println!("## Figure 2 — contention histograms (p={})\n", s.procs);
-                let runs = apps::fig2(&s);
-                println!("{}", apps::render_fig2(&runs));
-                let mut rows = vec![vec![
-                    "app".to_string(),
-                    "policy".to_string(),
-                    "level".to_string(),
-                    "percentage".to_string(),
-                ]];
-                for r in &runs {
-                    for (level, _) in r.contention.iter() {
+                "fig2" => {
+                    println!("## Figure 2 — contention histograms (p={})\n", s.procs);
+                    let runs = apps::fig2(&s);
+                    println!("{}", apps::render_fig2(&runs));
+                    let mut rows = vec![vec![
+                        "app".to_string(),
+                        "policy".to_string(),
+                        "level".to_string(),
+                        "percentage".to_string(),
+                    ]];
+                    for r in &runs {
+                        for (level, _) in r.contention.iter() {
+                            rows.push(vec![
+                                r.app.label().to_string(),
+                                r.bar.policy.label().to_string(),
+                                level.to_string(),
+                                format!("{:.4}", r.contention.percentage(level)),
+                            ]);
+                        }
+                    }
+                    write_csv(&csv_dir, "fig2", &rows);
+                }
+                f @ ("fig3" | "fig4" | "fig5") => {
+                    let kind = match f {
+                        "fig3" => CounterKind::LockFree,
+                        "fig4" => CounterKind::TtsLock,
+                        _ => CounterKind::McsLock,
+                    };
+                    println!(
+                        "## Figure {} — average cycles per {} counter update (p={})\n",
+                        &f[3..],
+                        kind.label(),
+                        s.procs
+                    );
+                    let graphs = counters::run_figure(kind, &paper_bars(), &s);
+                    println!("{}", counters::render(kind, &graphs));
+                    if bars_mode {
+                        for g in &graphs {
+                            let title = if g.contention == 1 {
+                                format!("p={} c=1 a={}", s.procs, g.write_run)
+                            } else {
+                                format!("p={} c={}", s.procs, g.contention)
+                            };
+                            println!("{title}");
+                            let data: Vec<(String, f64)> = g
+                                .points
+                                .iter()
+                                .map(|p| (p.bar.label(), p.avg_cycles))
+                                .collect();
+                            println!("{}", atomic_dsm::stats::render_bar_chart(&data, 50));
+                        }
+                    }
+                    let mut rows = vec![vec![
+                        "implementation".to_string(),
+                        "contention".to_string(),
+                        "write_run".to_string(),
+                        "avg_cycles".to_string(),
+                    ]];
+                    for g in &graphs {
+                        for p in &g.points {
+                            rows.push(vec![
+                                p.bar.label(),
+                                g.contention.to_string(),
+                                g.write_run.to_string(),
+                                format!("{:.2}", p.avg_cycles),
+                            ]);
+                        }
+                    }
+                    write_csv(&csv_dir, f, &rows);
+                }
+                "fig6" => {
+                    println!(
+                        "## Figure 6 — total elapsed cycles per application (p={})\n",
+                        s.procs
+                    );
+                    let runs = apps::fig6(&paper_bars(), &s);
+                    println!("{}", apps::render_fig6(&runs));
+                    let mut rows = vec![vec![
+                        "app".to_string(),
+                        "implementation".to_string(),
+                        "total_cycles".to_string(),
+                    ]];
+                    for r in &runs {
                         rows.push(vec![
                             r.app.label().to_string(),
-                            r.bar.policy.label().to_string(),
-                            level.to_string(),
-                            format!("{:.4}", r.contention.percentage(level)),
+                            r.bar.label(),
+                            r.cycles.to_string(),
                         ]);
                     }
+                    write_csv(&csv_dir, "fig6", &rows);
                 }
-                write_csv(&csv_dir, "fig2", &rows);
-            }
-            f @ ("fig3" | "fig4" | "fig5") => {
-                let kind = match f {
-                    "fig3" => CounterKind::LockFree,
-                    "fig4" => CounterKind::TtsLock,
-                    _ => CounterKind::McsLock,
-                };
-                println!(
-                    "## Figure {} — average cycles per {} counter update (p={})\n",
-                    &f[3..],
-                    kind.label(),
-                    s.procs
-                );
-                let graphs = counters::run_figure(kind, &paper_bars(), &s);
-                println!("{}", counters::render(kind, &graphs));
-                if bars_mode {
-                    for g in &graphs {
-                        let title = if g.contention == 1 {
-                            format!("p={} c=1 a={}", s.procs, g.write_run)
-                        } else {
-                            format!("p={} c={}", s.procs, g.contention)
-                        };
-                        println!("{title}");
-                        let data: Vec<(String, f64)> =
-                            g.points.iter().map(|p| (p.bar.label(), p.avg_cycles)).collect();
-                        println!("{}", atomic_dsm::stats::render_bar_chart(&data, 50));
+                "scaling" => {
+                    println!(
+                        "## Scaling sweep — fully contended lock-free counter, 2..64 processors\n"
+                    );
+                    let lines = scaling::run_scaling(CounterKind::LockFree, s.rounds.min(32));
+                    println!("{}", scaling::render(&lines));
+                    let mut rows = vec![vec![
+                        "implementation".to_string(),
+                        "procs".to_string(),
+                        "avg_cycles".to_string(),
+                    ]];
+                    for line in &lines {
+                        for (p, pt) in &line.points {
+                            rows.push(vec![
+                                line.bar.label(),
+                                p.to_string(),
+                                format!("{:.2}", pt.avg_cycles),
+                            ]);
+                        }
                     }
+                    write_csv(&csv_dir, "scaling", &rows);
                 }
-                let mut rows = vec![vec![
-                    "implementation".to_string(),
-                    "contention".to_string(),
-                    "write_run".to_string(),
-                    "avg_cycles".to_string(),
-                ]];
-                for g in &graphs {
-                    for p in &g.points {
-                        rows.push(vec![
-                            p.bar.label(),
-                            g.contention.to_string(),
-                            g.write_run.to_string(),
-                            format!("{:.2}", p.avg_cycles),
-                        ]);
-                    }
-                }
-                write_csv(&csv_dir, f, &rows);
-            }
-            "fig6" => {
-                println!("## Figure 6 — total elapsed cycles per application (p={})\n", s.procs);
-                let runs = apps::fig6(&paper_bars(), &s);
-                println!("{}", apps::render_fig6(&runs));
-                let mut rows = vec![vec![
-                    "app".to_string(),
-                    "implementation".to_string(),
-                    "total_cycles".to_string(),
-                ]];
-                for r in &runs {
-                    rows.push(vec![
-                        r.app.label().to_string(),
-                        r.bar.label(),
-                        r.cycles.to_string(),
-                    ]);
-                }
-                write_csv(&csv_dir, "fig6", &rows);
-            }
-            "scaling" => {
-                println!("## Scaling sweep — fully contended lock-free counter, 2..64 processors\n");
-                let lines = scaling::run_scaling(CounterKind::LockFree, s.rounds.min(32));
-                println!("{}", scaling::render(&lines));
-                let mut rows = vec![vec![
-                    "implementation".to_string(),
-                    "procs".to_string(),
-                    "avg_cycles".to_string(),
-                ]];
-                for line in &lines {
-                    for (p, pt) in &line.points {
-                        rows.push(vec![
-                            line.bar.label(),
-                            p.to_string(),
-                            format!("{:.2}", pt.avg_cycles),
-                        ]);
-                    }
-                }
-                write_csv(&csv_dir, "scaling", &rows);
-            }
-            other => {
-                eprintln!(
+                other => {
+                    eprintln!(
                     "unknown artifact `{other}` (try: table1 fig2 fig3 fig4 fig5 fig6 scaling all)"
                 );
-                std::process::exit(2);
+                    std::process::exit(2);
+                }
             }
+            eprintln!("[{artifact}: {:.2}s]", t.elapsed().as_secs_f64());
         }
+    };
+    match jobs {
+        Some(n) => runner::with_workers(n, run_artifacts),
+        None => run_artifacts(),
     }
+    let st = runner::stats();
+    eprintln!(
+        "[total: {:.2}s on {} worker(s) — {} jobs simulated, {} cache hits, {} cycles]",
+        started.elapsed().as_secs_f64(),
+        jobs.unwrap_or_else(runner::workers),
+        st.completed,
+        st.cache_hits,
+        st.cycles_simulated
+    );
 }

@@ -37,18 +37,30 @@ pub fn llsc_counter_with_scheme(procs: u32, iters: u64, scheme: LlscScheme) -> (
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(procs));
     b.register_sync(
         counter,
-        SyncConfig { policy: SyncPolicy::Unc, llsc: scheme, ..Default::default() },
+        SyncConfig {
+            policy: SyncPolicy::Unc,
+            llsc: scheme,
+            ..Default::default()
+        },
     );
     b.llsc_pool(procs as usize / 2);
     for _ in 0..procs {
         let mut left = iters;
         b.add_program(move |ctx: &mut ProcCtx<'_>| match ctx.last {
             None => Action::Op(MemOp::LoadLinked { addr: counter }),
-            Some(OpResult::Loaded { value, serial, reserved }) => {
+            Some(OpResult::Loaded {
+                value,
+                serial,
+                reserved,
+            }) => {
                 if !reserved {
                     return Action::Op(MemOp::LoadLinked { addr: counter });
                 }
-                Action::Op(MemOp::StoreConditional { addr: counter, value: value + 1, serial })
+                Action::Op(MemOp::StoreConditional {
+                    addr: counter,
+                    value: value + 1,
+                    serial,
+                })
             }
             Some(OpResult::ScDone { success }) => {
                 if success {
@@ -63,7 +75,9 @@ pub fn llsc_counter_with_scheme(procs: u32, iters: u64, scheme: LlscScheme) -> (
         });
     }
     let mut m = b.build();
-    let report = m.run(Cycle::new(100_000_000_000)).expect("ablation run completes");
+    let report = m
+        .run(Cycle::new(100_000_000_000))
+        .expect("ablation run completes");
     assert_eq!(m.read_word(counter), procs as u64 * iters);
     (report.cycles.as_u64(), m.stats().msgs.total_messages())
 }
@@ -74,7 +88,10 @@ pub fn dropcopy_pair(contention: u32, write_run: f64, s: &Scale) -> (f64, f64) {
     use atomic_dsm::experiments::counters::measure_bar;
     use atomic_dsm::experiments::CounterKind;
     let without = BarSpec::new(SyncPolicy::Inv, Primitive::FetchPhi);
-    let with = BarSpec { drop_copy: true, ..without };
+    let with = BarSpec {
+        drop_copy: true,
+        ..without
+    };
     let a = measure_bar(CounterKind::LockFree, &without, contention, write_run, s);
     let b = measure_bar(CounterKind::LockFree, &with, contention, write_run, s);
     (a.avg_cycles, b.avg_cycles)
@@ -159,7 +176,9 @@ pub fn replay_flit_model(trace: &[(u64, u32, u32, u64)], nodes: u32) -> f64 {
         );
         inject_times.insert(id, t);
     }
-    let deliveries = net.run_until_drained(Cycle::new(100_000_000)).expect("drains");
+    let deliveries = net
+        .run_until_drained(Cycle::new(100_000_000))
+        .expect("drains");
     let total: u64 = deliveries
         .iter()
         .map(|d| d.delivered_at.as_u64() - inject_times[&d.packet])
@@ -216,7 +235,13 @@ mod tests {
 
     #[test]
     fn dropcopy_pair_runs() {
-        let s = Scale { procs: 8, rounds: 8, tc_size: 8, wires: 8, tasks: 8 };
+        let s = Scale {
+            procs: 8,
+            rounds: 8,
+            tc_size: 8,
+            wires: 8,
+            tasks: 8,
+        };
         let (without, with) = dropcopy_pair(1, 1.0, &s);
         assert!(without > 0.0 && with > 0.0);
     }

@@ -5,18 +5,19 @@
 //! Closure under each coherence policy. Figure 6 reports total elapsed
 //! time for the same applications across the implementation bar set.
 
+use crate::experiments::runner::{self, Job, JobOutput};
 use crate::experiments::{BarSpec, Scale};
 use dsm_protocol::SyncPolicy;
-use dsm_stats::Histogram;
 use dsm_sim::{Cycle, MachineConfig};
+use dsm_stats::Histogram;
 use dsm_sync::Primitive;
 use dsm_workloads::{
-    build_cholesky, build_tclosure, build_wire_route, sequential_closure, CholeskyConfig,
-    TcConfig, WireRouteConfig,
+    build_cholesky, build_tclosure, build_wire_route, sequential_closure, CholeskyConfig, TcConfig,
+    WireRouteConfig,
 };
 
 /// The three applications of §4.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum App {
     /// The LocusRoute-analog router kernel.
     WireRoute,
@@ -62,11 +63,21 @@ type OutputCheck = Box<dyn FnOnce(&dsm_machine::Machine)>;
 
 /// Runs one application under one implementation, verifying its output.
 ///
+/// Goes through the experiment [`runner`], so repeated runs of the same
+/// `(app, bar, scale)` point are served from the result cache.
+///
 /// # Panics
 ///
 /// Panics if the run fails or produces a wrong answer.
 pub fn run_app(app: App, bar: &BarSpec, scale: &Scale) -> AppRun {
-    let mcfg = MachineConfig::with_nodes(scale.procs);
+    runner::run_one(&Job::app(app, *bar, *scale)).into_app()
+}
+
+/// Simulates one application run from scratch, with the machine seeded
+/// by `seed` (the job-key fingerprint when called from the [`runner`]).
+pub(crate) fn simulate(app: App, bar: &BarSpec, scale: &Scale, seed: u64) -> AppRun {
+    let mut mcfg = MachineConfig::with_nodes(scale.procs);
+    mcfg.seed = seed;
     let (mut machine, check): (_, OutputCheck) = match app {
         App::WireRoute => {
             let cfg = WireRouteConfig {
@@ -84,7 +95,11 @@ pub fn run_app(app: App, bar: &BarSpec, scale: &Scale) -> AppRun {
             (
                 m,
                 Box::new(move |m| {
-                    assert_eq!(layout.total_cost(m, &cfg), cfg.expected_total(), "wire-route lost updates")
+                    assert_eq!(
+                        layout.total_cost(m, &cfg),
+                        cfg.expected_total(),
+                        "wire-route lost updates"
+                    )
                 }),
             )
         }
@@ -104,7 +119,11 @@ pub fn run_app(app: App, bar: &BarSpec, scale: &Scale) -> AppRun {
             (
                 m,
                 Box::new(move |m| {
-                    assert_eq!(layout.total(m, &cfg), cfg.expected_total(), "cholesky lost updates")
+                    assert_eq!(
+                        layout.total(m, &cfg),
+                        cfg.expected_total(),
+                        "cholesky lost updates"
+                    )
                 }),
             )
         }
@@ -143,25 +162,30 @@ pub fn run_app(app: App, bar: &BarSpec, scale: &Scale) -> AppRun {
 /// coherence policy (using the FAΦ primitive for the lock-free counter,
 /// as the paper's lock implementations do for their lock words).
 pub fn fig2(scale: &Scale) -> Vec<AppRun> {
-    let mut out = Vec::new();
-    for app in App::ALL {
-        for policy in SyncPolicy::ALL {
-            let bar = BarSpec::new(policy, Primitive::FetchPhi);
-            out.push(run_app(app, &bar, scale));
-        }
-    }
-    out
+    let jobs: Vec<Job> = App::ALL
+        .into_iter()
+        .flat_map(|app| {
+            SyncPolicy::ALL
+                .into_iter()
+                .map(move |policy| Job::app(app, BarSpec::new(policy, Primitive::FetchPhi), *scale))
+        })
+        .collect();
+    runner::run_all(&jobs)
+        .into_iter()
+        .map(JobOutput::into_app)
+        .collect()
 }
 
 /// Figure 6: total elapsed time for every application across `bars`.
 pub fn fig6(bars: &[BarSpec], scale: &Scale) -> Vec<AppRun> {
-    let mut out = Vec::new();
-    for app in App::ALL {
-        for bar in bars {
-            out.push(run_app(app, bar, scale));
-        }
-    }
-    out
+    let jobs: Vec<Job> = App::ALL
+        .into_iter()
+        .flat_map(|app| bars.iter().map(move |bar| Job::app(app, *bar, *scale)))
+        .collect();
+    runner::run_all(&jobs)
+        .into_iter()
+        .map(JobOutput::into_app)
+        .collect()
 }
 
 /// Renders Figure 2-style output: one histogram block per run.
@@ -188,7 +212,11 @@ pub fn render_fig6(runs: &[AppRun]) -> String {
         "total cycles".to_string(),
     ]];
     for r in runs {
-        rows.push(vec![r.app.label().into(), r.bar.label(), r.cycles.to_string()]);
+        rows.push(vec![
+            r.app.label().into(),
+            r.bar.label(),
+            r.cycles.to_string(),
+        ]);
     }
     dsm_stats::render_table(&rows)
 }
@@ -198,7 +226,13 @@ mod tests {
     use super::*;
 
     fn tiny() -> Scale {
-        Scale { procs: 8, rounds: 8, tc_size: 8, wires: 16, tasks: 16 }
+        Scale {
+            procs: 8,
+            rounds: 8,
+            tc_size: 8,
+            wires: 16,
+            tasks: 16,
+        }
     }
 
     #[test]
@@ -207,7 +241,11 @@ mod tests {
             let bar = BarSpec::new(SyncPolicy::Inv, Primitive::Cas);
             let run = run_app(app, &bar, &tiny());
             assert!(run.cycles > 0);
-            assert!(run.contention.total() > 0, "{}: no atomic accesses seen", app.label());
+            assert!(
+                run.contention.total() > 0,
+                "{}: no atomic accesses seen",
+                app.label()
+            );
         }
     }
 

@@ -2,6 +2,7 @@
 //! synthetic counter applications, across the full implementation bar
 //! set, for the paper's contention and write-run sweeps.
 
+use crate::experiments::runner::{self, Job, JobOutput};
 use crate::experiments::{BarSpec, Scale};
 use dsm_sim::{Cycle, MachineConfig};
 use dsm_workloads::{build_synthetic, CounterKind, SyntheticConfig};
@@ -51,16 +52,43 @@ pub fn measure_bar(
     write_run: f64,
     scale: &Scale,
 ) -> CounterPoint {
-    measure_bar_on(MachineConfig::with_nodes(scale.procs), kind, bar, contention, write_run, scale.rounds)
+    measure_bar_on(
+        MachineConfig::with_nodes(scale.procs),
+        kind,
+        bar,
+        contention,
+        write_run,
+        scale.rounds,
+    )
 }
 
 /// Like [`measure_bar`], but on an explicit machine configuration —
 /// used by the latency-sweep ablation to vary timing constants.
 ///
+/// Goes through the experiment [`runner`], so repeated measurements of
+/// the same point are served from the result cache.
+///
 /// # Panics
 ///
 /// Panics if the run fails or the final counter value is wrong.
 pub fn measure_bar_on(
+    mcfg: MachineConfig,
+    kind: CounterKind,
+    bar: &BarSpec,
+    contention: u32,
+    write_run: f64,
+    rounds: u64,
+) -> CounterPoint {
+    runner::run_one(&Job::counter(
+        mcfg, kind, *bar, contention, write_run, rounds,
+    ))
+    .into_counter()
+}
+
+/// Simulates one counter point from scratch. Only the [`runner`] calls
+/// this; everything else goes through [`measure_bar`]/[`measure_bar_on`]
+/// so the cache and the per-job seed derivation stay in effect.
+pub(crate) fn simulate(
     mcfg: MachineConfig,
     kind: CounterKind,
     bar: &BarSpec,
@@ -79,7 +107,9 @@ pub fn measure_bar_on(
         rounds,
     };
     let (mut machine, layout) = build_synthetic(mcfg, &scfg);
-    let report = machine.run(Cycle::new(20_000_000_000)).expect("counter run completes");
+    let report = machine
+        .run(Cycle::new(20_000_000_000))
+        .expect("counter run completes");
     let updates = scfg.total_updates(procs);
     assert_eq!(
         machine.read_word(layout.counter),
@@ -95,30 +125,57 @@ pub fn measure_bar_on(
     }
 }
 
-/// Regenerates one full figure (3, 4 or 5): the five no-contention
-/// graphs and the five contention graphs, with `bars` in each.
-pub fn run_figure(kind: CounterKind, bars: &[BarSpec], scale: &Scale) -> Vec<CounterGraph> {
-    let mut graphs = Vec::new();
-    for &a in &WRITE_RUNS {
-        graphs.push(CounterGraph {
-            contention: 1,
-            write_run: a,
-            points: bars.iter().map(|b| measure_bar(kind, b, 1, a, scale)).collect(),
-        });
-    }
+/// The `(c, a)` points of one figure at a given scale: the five
+/// write-run graphs, then the deduplicated clamped contention levels.
+fn figure_points(scale: &Scale) -> Vec<(u32, f64)> {
+    let mut pts: Vec<(u32, f64)> = WRITE_RUNS.iter().map(|&a| (1, a)).collect();
     let mut seen = std::collections::HashSet::new();
     for &c in &CONTENTION {
         let c = c.min(scale.procs);
-        if !seen.insert(c) {
-            continue; // clamped duplicates at small scales
+        if seen.insert(c) {
+            pts.push((c, 1.0)); // clamped duplicates dropped at small scales
         }
-        graphs.push(CounterGraph {
-            contention: c,
-            write_run: 1.0,
-            points: bars.iter().map(|b| measure_bar(kind, b, c, 1.0, scale)).collect(),
-        });
     }
-    graphs
+    pts
+}
+
+/// Regenerates one full figure (3, 4 or 5): the five no-contention
+/// graphs and the five contention graphs, with `bars` in each.
+///
+/// All `graphs × bars` simulation points are collected into one job
+/// list and fanned out across the experiment [`runner`]'s worker pool;
+/// the result is identical at any worker count.
+pub fn run_figure(kind: CounterKind, bars: &[BarSpec], scale: &Scale) -> Vec<CounterGraph> {
+    let points = figure_points(scale);
+    let jobs: Vec<Job> = points
+        .iter()
+        .flat_map(|&(c, a)| {
+            bars.iter().map(move |b| {
+                Job::counter(
+                    MachineConfig::with_nodes(scale.procs),
+                    kind,
+                    *b,
+                    c,
+                    a,
+                    scale.rounds,
+                )
+            })
+        })
+        .collect();
+    let mut results = runner::run_all(&jobs)
+        .into_iter()
+        .map(JobOutput::into_counter);
+    points
+        .into_iter()
+        .map(|(contention, write_run)| CounterGraph {
+            contention,
+            write_run,
+            points: bars
+                .iter()
+                .map(|_| results.next().expect("one result per job"))
+                .collect(),
+        })
+        .collect()
 }
 
 /// Renders a figure as an aligned text table (rows = bars, columns =
@@ -154,7 +211,13 @@ mod tests {
     use dsm_sync::Primitive;
 
     fn tiny() -> Scale {
-        Scale { procs: 8, rounds: 8, tc_size: 8, wires: 16, tasks: 16 }
+        Scale {
+            procs: 8,
+            rounds: 8,
+            tc_size: 8,
+            wires: 16,
+            tasks: 16,
+        }
     }
 
     #[test]

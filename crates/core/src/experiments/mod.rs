@@ -16,6 +16,7 @@
 
 pub mod apps;
 pub mod counters;
+pub mod runner;
 pub mod scaling;
 pub mod table1;
 
@@ -25,7 +26,7 @@ pub use dsm_workloads::CounterKind;
 
 /// Experiment sizing. The paper runs 64 processors; tests and CI-grade
 /// benches use smaller machines with the same shape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Scale {
     /// Number of processors (and nodes).
     pub procs: u32,
@@ -42,17 +43,29 @@ pub struct Scale {
 impl Scale {
     /// The paper's machine: 64 processors.
     pub fn paper() -> Self {
-        Scale { procs: 64, rounds: 64, tc_size: 32, wires: 256, tasks: 192 }
+        Scale {
+            procs: 64,
+            rounds: 64,
+            tc_size: 32,
+            wires: 256,
+            tasks: 192,
+        }
     }
 
     /// A fast configuration for tests and smoke benches.
     pub fn quick() -> Self {
-        Scale { procs: 16, rounds: 16, tc_size: 12, wires: 48, tasks: 32 }
+        Scale {
+            procs: 16,
+            rounds: 16,
+            tc_size: 12,
+            wires: 48,
+            tasks: 32,
+        }
     }
 }
 
 /// One bar of a figure: a primitive implementation choice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BarSpec {
     /// Coherence policy for the synchronization variable(s).
     pub policy: SyncPolicy,
@@ -106,7 +119,11 @@ impl BarSpec {
 
     /// The per-line synchronization configuration this bar implies.
     pub fn sync_config(&self) -> SyncConfig {
-        SyncConfig { policy: self.policy, cas_variant: self.cas_variant, llsc: self.llsc }
+        SyncConfig {
+            policy: self.policy,
+            cas_variant: self.cas_variant,
+            llsc: self.llsc,
+        }
     }
 
     /// The primitive choice this bar implies.
@@ -131,9 +148,18 @@ pub fn paper_bars() -> Vec<BarSpec> {
         bars.push(BarSpec::new(SyncPolicy::Unc, prim));
     }
     for drop_copy in [false, true] {
-        bars.push(BarSpec { drop_copy, ..BarSpec::new(SyncPolicy::Inv, Primitive::FetchPhi) });
-        bars.push(BarSpec { drop_copy, ..BarSpec::new(SyncPolicy::Inv, Primitive::Llsc) });
-        bars.push(BarSpec { drop_copy, ..BarSpec::new(SyncPolicy::Inv, Primitive::Cas) });
+        bars.push(BarSpec {
+            drop_copy,
+            ..BarSpec::new(SyncPolicy::Inv, Primitive::FetchPhi)
+        });
+        bars.push(BarSpec {
+            drop_copy,
+            ..BarSpec::new(SyncPolicy::Inv, Primitive::Llsc)
+        });
+        bars.push(BarSpec {
+            drop_copy,
+            ..BarSpec::new(SyncPolicy::Inv, Primitive::Cas)
+        });
         bars.push(BarSpec {
             drop_copy,
             cas_variant: CasVariant::Deny,
@@ -152,7 +178,10 @@ pub fn paper_bars() -> Vec<BarSpec> {
     }
     for drop_copy in [false, true] {
         for prim in Primitive::ALL {
-            bars.push(BarSpec { drop_copy, ..BarSpec::new(SyncPolicy::Upd, prim) });
+            bars.push(BarSpec {
+                drop_copy,
+                ..BarSpec::new(SyncPolicy::Upd, prim)
+            });
         }
     }
     bars
@@ -162,7 +191,11 @@ pub fn paper_bars() -> Vec<BarSpec> {
 pub fn basic_bars() -> Vec<BarSpec> {
     SyncPolicy::ALL
         .into_iter()
-        .flat_map(|policy| Primitive::ALL.into_iter().map(move |prim| BarSpec::new(policy, prim)))
+        .flat_map(|policy| {
+            Primitive::ALL
+                .into_iter()
+                .map(move |prim| BarSpec::new(policy, prim))
+        })
         .collect()
 }
 

@@ -1,0 +1,589 @@
+//! The deterministic parallel experiment runner and its process-wide
+//! result cache.
+//!
+//! Every figure, table and sweep in [`crate::experiments`] decomposes
+//! into independent simulation *jobs* (one machine, one workload, one
+//! parameter point). This module gives all of them a single execution
+//! path:
+//!
+//! * **Explicit job lists** — a driver collects every [`Job`] it needs
+//!   and hands the whole batch to [`run_all`], instead of simulating
+//!   point-by-point inline.
+//! * **Parallel fan-out** — batches run on a scoped worker pool
+//!   ([`fan_out`]). The worker count comes from the `DSM_JOBS`
+//!   environment variable, falling back to
+//!   [`std::thread::available_parallelism`]; [`with_workers`] overrides
+//!   it programmatically. One worker means plain serial execution on
+//!   the calling thread.
+//! * **Bitwise determinism** — each job derives its machine RNG seed
+//!   from a stable fingerprint of its own key ([`Job::seed`], built on
+//!   [`dsm_sim::StableHasher`]), never from scheduling order, thread
+//!   identity or global state. A sweep therefore produces *identical*
+//!   bytes whether it runs on 1 worker or 64.
+//! * **Memoization** — results are cached for the lifetime of the
+//!   process, keyed by the same job key. Bars shared between Figures
+//!   3/4/5, Figure 6, Table 1, the scaling sweep and the integration
+//!   tests are simulated exactly once per process.
+//!
+//! Progress counters (jobs queued/running/done, cache hits, simulated
+//! cycles) are kept in [`stats`] so long sweeps can report progress;
+//! set `DSM_PROGRESS=1` to have every job completion logged to stderr.
+
+use crate::experiments::apps::{App, AppRun};
+use crate::experiments::counters::CounterPoint;
+use crate::experiments::table1::Table1Row;
+use crate::experiments::{apps, counters, table1, BarSpec, CounterKind, Scale};
+use dsm_protocol::{CasVariant, LlscScheme, SyncPolicy};
+use dsm_sim::{MachineConfig, StableHasher};
+use dsm_sync::Primitive;
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// One simulation point: everything needed to reproduce one machine
+/// run, and nothing else. `Eq`/`Hash` make it the cache key; its
+/// [`seed`](Job::seed) fingerprint makes the run reproducible.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Job {
+    /// A synthetic-counter measurement (Figures 3/4/5, scaling sweep).
+    Counter {
+        /// The simulated machine.
+        mcfg: MachineConfig,
+        /// Which counter application (Figure 3/4/5).
+        kind: CounterKind,
+        /// The implementation bar.
+        bar: BarSpec,
+        /// Contention level `c`, already clamped to the machine size.
+        contention: u32,
+        /// Write-run length `a`, stored as IEEE-754 bits so the key is
+        /// hashable and the f64 round-trips exactly.
+        write_run_bits: u64,
+        /// Barrier-separated rounds.
+        rounds: u64,
+    },
+    /// An application run (Figures 2 and 6).
+    App {
+        /// Which application.
+        app: App,
+        /// The implementation bar.
+        bar: BarSpec,
+        /// The experiment scale.
+        scale: Scale,
+    },
+    /// One Table 1 micro-experiment, by index into the paper's rows.
+    Table1 {
+        /// Scenario index in `0..table1::SCENARIOS`.
+        scenario: usize,
+    },
+}
+
+impl Job {
+    /// A counter job. Canonicalizes `contention` (clamped to the
+    /// machine size, as the drivers do) so equivalent requests share
+    /// one cache entry.
+    pub fn counter(
+        mcfg: MachineConfig,
+        kind: CounterKind,
+        bar: BarSpec,
+        contention: u32,
+        write_run: f64,
+        rounds: u64,
+    ) -> Job {
+        let contention = contention.min(mcfg.nodes).max(1);
+        Job::Counter {
+            mcfg,
+            kind,
+            bar,
+            contention,
+            write_run_bits: write_run.to_bits(),
+            rounds,
+        }
+    }
+
+    /// An application job.
+    pub fn app(app: App, bar: BarSpec, scale: Scale) -> Job {
+        Job::App { app, bar, scale }
+    }
+
+    /// A Table 1 scenario job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scenario` is out of range.
+    pub fn table1(scenario: usize) -> Job {
+        assert!(
+            scenario < table1::SCENARIOS,
+            "table 1 has {} scenarios",
+            table1::SCENARIOS
+        );
+        Job::Table1 { scenario }
+    }
+
+    /// The machine RNG seed for this job: a stable fingerprint of the
+    /// job key. Identical keys always derive identical seeds — on any
+    /// platform, at any worker count, in any scheduling order — so a
+    /// job's result is a pure function of its key.
+    pub fn seed(&self) -> u64 {
+        let mut h = StableHasher::new();
+        self.fingerprint(&mut h);
+        h.finish()
+    }
+
+    /// Feeds every field through `h` in a canonical, explicitly
+    /// enumerated order (std's `Hash` is not stable across releases).
+    fn fingerprint(&self, h: &mut StableHasher) {
+        match self {
+            Job::Counter {
+                mcfg,
+                kind,
+                bar,
+                contention,
+                write_run_bits,
+                rounds,
+            } => {
+                h.write_u8(0);
+                put_machine(h, mcfg);
+                h.write_u8(match kind {
+                    CounterKind::LockFree => 0,
+                    CounterKind::TtsLock => 1,
+                    CounterKind::McsLock => 2,
+                });
+                put_bar(h, bar);
+                h.write_u32(*contention);
+                h.write_u64(*write_run_bits);
+                h.write_u64(*rounds);
+            }
+            Job::App { app, bar, scale } => {
+                h.write_u8(1);
+                h.write_u8(match app {
+                    App::WireRoute => 0,
+                    App::Cholesky => 1,
+                    App::TransitiveClosure => 2,
+                });
+                put_bar(h, bar);
+                h.write_u32(scale.procs);
+                h.write_u64(scale.rounds);
+                h.write_u64(scale.tc_size);
+                h.write_u64(scale.wires);
+                h.write_u64(scale.tasks);
+            }
+            Job::Table1 { scenario } => {
+                h.write_u8(2);
+                h.write_usize(*scenario);
+            }
+        }
+    }
+}
+
+fn put_machine(h: &mut StableHasher, m: &MachineConfig) {
+    h.write_u32(m.nodes);
+    h.write_u32(m.mesh_width);
+    h.write_u64(m.seed);
+    let p = &m.params;
+    for v in [
+        p.line_size,
+        p.cache_hit,
+        p.cache_ctrl,
+        p.mem_access,
+        p.dir_access,
+        p.hop_delay,
+        p.flit_bytes,
+        p.flit_cycle,
+        p.header_flits,
+        p.issue,
+    ] {
+        h.write_u64(v);
+    }
+    h.write_usize(m.cache.sets);
+    h.write_usize(m.cache.ways);
+}
+
+fn put_bar(h: &mut StableHasher, b: &BarSpec) {
+    h.write_u8(match b.policy {
+        SyncPolicy::Inv => 0,
+        SyncPolicy::Upd => 1,
+        SyncPolicy::Unc => 2,
+    });
+    h.write_u8(match b.prim {
+        Primitive::FetchPhi => 0,
+        Primitive::Llsc => 1,
+        Primitive::Cas => 2,
+    });
+    h.write_u8(match b.cas_variant {
+        CasVariant::Plain => 0,
+        CasVariant::Deny => 1,
+        CasVariant::Share => 2,
+    });
+    h.write_u8(u8::from(b.load_exclusive));
+    h.write_u8(u8::from(b.drop_copy));
+    match b.llsc {
+        LlscScheme::BitVector => h.write_u8(0),
+        LlscScheme::LinkedList => h.write_u8(1),
+        LlscScheme::Limited(k) => {
+            h.write_u8(2);
+            h.write_u8(k);
+        }
+        LlscScheme::SerialNumber => h.write_u8(3),
+    }
+}
+
+/// The result of one [`Job`].
+#[derive(Debug, Clone)]
+pub enum JobOutput {
+    /// Result of a [`Job::Counter`].
+    Counter(CounterPoint),
+    /// Result of a [`Job::App`].
+    App(AppRun),
+    /// Result of a [`Job::Table1`].
+    Table1(Table1Row),
+}
+
+impl JobOutput {
+    /// Unwraps a counter result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a counter result.
+    pub fn into_counter(self) -> CounterPoint {
+        match self {
+            JobOutput::Counter(p) => p,
+            other => panic!("expected a counter result, got {other:?}"),
+        }
+    }
+
+    /// Unwraps an application result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not an application result.
+    pub fn into_app(self) -> AppRun {
+        match self {
+            JobOutput::App(r) => r,
+            other => panic!("expected an application result, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a Table 1 row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a Table 1 result.
+    pub fn into_table1(self) -> Table1Row {
+        match self {
+            JobOutput::Table1(r) => r,
+            other => panic!("expected a table-1 result, got {other:?}"),
+        }
+    }
+
+    fn cycles(&self) -> u64 {
+        match self {
+            JobOutput::Counter(p) => p.cycles,
+            JobOutput::App(r) => r.cycles,
+            JobOutput::Table1(_) => 0,
+        }
+    }
+}
+
+/// Simulates one job from scratch (no cache involved).
+fn execute(job: &Job) -> JobOutput {
+    match job {
+        Job::Counter {
+            mcfg,
+            kind,
+            bar,
+            contention,
+            write_run_bits,
+            rounds,
+        } => {
+            let mut mcfg = mcfg.clone();
+            mcfg.seed = job.seed();
+            JobOutput::Counter(counters::simulate(
+                mcfg,
+                *kind,
+                bar,
+                *contention,
+                f64::from_bits(*write_run_bits),
+                *rounds,
+            ))
+        }
+        Job::App { app, bar, scale } => {
+            JobOutput::App(apps::simulate(*app, bar, scale, job.seed()))
+        }
+        // Table 1 micro-machines are fully directed (no randomized
+        // behaviour reaches the measured chain), so the derived seed is
+        // irrelevant to them.
+        Job::Table1 { scenario } => JobOutput::Table1(table1::run_scenario(*scenario)),
+    }
+}
+
+fn cache() -> &'static Mutex<HashMap<Job, JobOutput>> {
+    static CACHE: OnceLock<Mutex<HashMap<Job, JobOutput>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+static JOBS_QUEUED: AtomicU64 = AtomicU64::new(0);
+static JOBS_RUNNING: AtomicU64 = AtomicU64::new(0);
+static JOBS_COMPLETED: AtomicU64 = AtomicU64::new(0);
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CYCLES_SIMULATED: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the runner's lifetime progress counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunnerStats {
+    /// Jobs handed to the worker pool (cache misses only).
+    pub queued: u64,
+    /// Jobs currently simulating.
+    pub running: u64,
+    /// Jobs simulated to completion.
+    pub completed: u64,
+    /// Requests served from the cache without simulating.
+    pub cache_hits: u64,
+    /// Total simulated machine cycles across all completed jobs.
+    pub cycles_simulated: u64,
+}
+
+/// Reads the current progress counters.
+pub fn stats() -> RunnerStats {
+    RunnerStats {
+        queued: JOBS_QUEUED.load(Ordering::Relaxed),
+        running: JOBS_RUNNING.load(Ordering::Relaxed),
+        completed: JOBS_COMPLETED.load(Ordering::Relaxed),
+        cache_hits: CACHE_HITS.load(Ordering::Relaxed),
+        cycles_simulated: CYCLES_SIMULATED.load(Ordering::Relaxed),
+    }
+}
+
+/// Empties the result cache (results are re-simulated on next request).
+/// Intended for tests and serial-vs-parallel timing comparisons; the
+/// progress counters are *not* reset.
+pub fn clear_cache() {
+    cache().lock().expect("runner cache lock").clear();
+}
+
+thread_local! {
+    static WORKER_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The worker count [`run_all`] will use on this thread: the
+/// [`with_workers`] override if active, else `DSM_JOBS` from the
+/// environment, else [`std::thread::available_parallelism`].
+pub fn workers() -> usize {
+    if let Some(n) = WORKER_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("DSM_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `f` with the worker count pinned to `n` on this thread,
+/// restoring the previous setting afterwards (also on panic). This is
+/// how tests compare serial and parallel execution without touching
+/// the process environment.
+pub fn with_workers<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            WORKER_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(WORKER_OVERRIDE.with(|c| c.replace(Some(n))));
+    f()
+}
+
+/// Maps `f` over `items` on a scoped worker pool, preserving input
+/// order in the returned vector.
+///
+/// Work is distributed dynamically (an atomic cursor), so uneven job
+/// costs balance across workers. With `workers <= 1` (or fewer than
+/// two items) everything runs serially on the calling thread.
+///
+/// # Panics
+///
+/// If `f` panics for any item, the panic propagates to the caller once
+/// the pool has stopped — remaining workers abandon the queue instead
+/// of deadlocking, and unfinished items are never observed.
+pub fn fan_out<I, O, F>(items: &[I], workers: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    /// Flags the shared abort switch if dropped during a panic.
+    struct AbortOnPanic<'a>(&'a AtomicBool);
+    impl Drop for AbortOnPanic<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.0.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<O>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(items.len()) {
+            s.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    return;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    return;
+                }
+                let guard = AbortOnPanic(&abort);
+                let out = f(&items[i]);
+                std::mem::forget(guard);
+                *slots[i].lock().expect("result slot lock") = Some(out);
+            });
+        }
+        // A panicking worker makes scope() itself resume the panic here.
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot lock")
+                .expect("every item completed")
+        })
+        .collect()
+}
+
+fn execute_counted(job: &Job) -> JobOutput {
+    JOBS_RUNNING.fetch_add(1, Ordering::Relaxed);
+    let out = execute(job);
+    JOBS_RUNNING.fetch_sub(1, Ordering::Relaxed);
+    JOBS_COMPLETED.fetch_add(1, Ordering::Relaxed);
+    CYCLES_SIMULATED.fetch_add(out.cycles(), Ordering::Relaxed);
+    if std::env::var_os("DSM_PROGRESS").is_some() {
+        let s = stats();
+        eprintln!(
+            "dsm-runner: {}/{} jobs done ({} cache hits, {} cycles simulated)",
+            s.completed, s.queued, s.cache_hits, s.cycles_simulated
+        );
+    }
+    out
+}
+
+/// Runs a batch of jobs — cache first, then parallel fan-out for the
+/// misses — and returns the results in input order.
+///
+/// Duplicate jobs in the batch (and jobs already simulated earlier in
+/// the process) are simulated only once. The output for a given job
+/// list is a pure function of that list: bitwise identical at any
+/// worker count.
+///
+/// # Panics
+///
+/// Panics if any job's simulation fails (wrong counter value, run
+/// limit exceeded); the panic carries the failing job's own message.
+pub fn run_all(jobs: &[Job]) -> Vec<JobOutput> {
+    // Partition into hits and (deduplicated, order-preserving) misses.
+    let mut misses: Vec<Job> = Vec::new();
+    {
+        let cached = cache().lock().expect("runner cache lock");
+        let mut seen: HashSet<&Job> = HashSet::new();
+        for job in jobs {
+            if cached.contains_key(job) {
+                CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            } else if seen.insert(job) {
+                misses.push(job.clone());
+            }
+        }
+    }
+
+    if !misses.is_empty() {
+        JOBS_QUEUED.fetch_add(misses.len() as u64, Ordering::Relaxed);
+        let outputs = fan_out(&misses, workers(), execute_counted);
+        let mut cached = cache().lock().expect("runner cache lock");
+        for (job, out) in misses.into_iter().zip(outputs) {
+            cached.insert(job, out);
+        }
+    }
+
+    let cached = cache().lock().expect("runner cache lock");
+    jobs.iter()
+        .map(|job| cached.get(job).expect("job simulated").clone())
+        .collect()
+}
+
+/// Runs (or fetches) a single job.
+pub fn run_one(job: &Job) -> JobOutput {
+    run_all(std::slice::from_ref(job))
+        .pop()
+        .expect("one job, one result")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::BarSpec;
+
+    fn tiny_counter_job(contention: u32) -> Job {
+        Job::counter(
+            MachineConfig::with_nodes(4),
+            CounterKind::LockFree,
+            BarSpec::new(SyncPolicy::Unc, Primitive::FetchPhi),
+            contention,
+            1.0,
+            4,
+        )
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(tiny_counter_job(1).seed(), tiny_counter_job(1).seed());
+        assert_ne!(tiny_counter_job(1).seed(), tiny_counter_job(2).seed());
+        assert_ne!(tiny_counter_job(1).seed(), Job::table1(0).seed());
+    }
+
+    #[test]
+    fn contention_is_canonicalized() {
+        // c=64 on a 4-node machine is the same point as c=4.
+        assert_eq!(tiny_counter_job(64), tiny_counter_job(4));
+    }
+
+    #[test]
+    fn fan_out_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = fan_out(&items, 8, |&i| i * 2);
+        assert_eq!(doubled, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fan_out_serial_fallback_matches() {
+        let items: Vec<u64> = (0..10).collect();
+        assert_eq!(
+            fan_out(&items, 1, |&i| i + 1),
+            fan_out(&items, 4, |&i| i + 1)
+        );
+    }
+
+    #[test]
+    fn with_workers_overrides_and_restores() {
+        let outer = workers();
+        with_workers(3, || assert_eq!(workers(), 3));
+        assert_eq!(workers(), outer);
+    }
+
+    #[test]
+    fn run_one_hits_cache_on_second_request() {
+        let job = tiny_counter_job(2);
+        clear_cache();
+        let first = run_one(&job).into_counter();
+        let hits_before = stats().cache_hits;
+        let second = run_one(&job).into_counter();
+        assert_eq!(stats().cache_hits, hits_before + 1);
+        assert_eq!(first.avg_cycles.to_bits(), second.avg_cycles.to_bits());
+        assert_eq!(first.cycles, second.cycles);
+    }
+}

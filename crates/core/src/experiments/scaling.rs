@@ -2,11 +2,12 @@
 //! fully-contended counter update as the machine grows from 2 to 64
 //! processors, for the headline implementations.
 
-use crate::experiments::counters::{measure_bar_on, CounterPoint};
+use crate::experiments::counters::CounterPoint;
+use crate::experiments::runner::{self, Job, JobOutput};
 use crate::experiments::{BarSpec, CounterKind};
+use dsm_protocol::SyncPolicy;
 use dsm_sim::MachineConfig;
 use dsm_sync::Primitive;
-use dsm_protocol::SyncPolicy;
 
 /// Processor counts swept.
 pub const PROCS: [u32; 6] = [2, 4, 8, 16, 32, 64];
@@ -26,7 +27,10 @@ pub struct ScalingLine {
 pub fn scaling_bars() -> Vec<BarSpec> {
     vec![
         BarSpec::new(SyncPolicy::Unc, Primitive::FetchPhi),
-        BarSpec { load_exclusive: true, ..BarSpec::new(SyncPolicy::Inv, Primitive::Cas) },
+        BarSpec {
+            load_exclusive: true,
+            ..BarSpec::new(SyncPolicy::Inv, Primitive::Cas)
+        },
         BarSpec::new(SyncPolicy::Inv, Primitive::Cas),
         BarSpec::new(SyncPolicy::Inv, Primitive::Llsc),
         BarSpec::new(SyncPolicy::Unc, Primitive::Llsc),
@@ -35,17 +39,28 @@ pub fn scaling_bars() -> Vec<BarSpec> {
 
 /// Runs the sweep: every processor updates the counter every round
 /// (full contention), `rounds` rounds per size.
+///
+/// All `bars × sizes` points are collected into one job list and fanned
+/// out across the experiment [`runner`]'s worker pool.
 pub fn run_scaling(kind: CounterKind, rounds: u64) -> Vec<ScalingLine> {
-    scaling_bars()
+    let bars = scaling_bars();
+    let jobs: Vec<Job> = bars
+        .iter()
+        .flat_map(|bar| {
+            PROCS.iter().map(move |&p| {
+                Job::counter(MachineConfig::with_nodes(p), kind, *bar, p, 1.0, rounds)
+            })
+        })
+        .collect();
+    let mut results = runner::run_all(&jobs)
         .into_iter()
+        .map(JobOutput::into_counter);
+    bars.into_iter()
         .map(|bar| ScalingLine {
             bar,
             points: PROCS
                 .iter()
-                .map(|&p| {
-                    let mcfg = MachineConfig::with_nodes(p);
-                    (p, measure_bar_on(mcfg, kind, &bar, p, 1.0, rounds))
-                })
+                .map(|&p| (p, results.next().expect("one result per job")))
                 .collect(),
         })
         .collect()
@@ -61,7 +76,11 @@ pub fn render(lines: &[ScalingLine]) -> String {
     }];
     for line in lines {
         let mut row = vec![line.bar.label()];
-        row.extend(line.points.iter().map(|(_, pt)| format!("{:.0}", pt.avg_cycles)));
+        row.extend(
+            line.points
+                .iter()
+                .map(|(_, pt)| format!("{:.0}", pt.avg_cycles)),
+        );
         rows.push(row);
     }
     dsm_stats::render_table(&rows)
@@ -70,6 +89,7 @@ pub fn render(lines: &[ScalingLine]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::counters::measure_bar_on;
 
     #[test]
     fn sweep_runs_and_renders() {
@@ -81,7 +101,10 @@ mod tests {
                 .iter()
                 .map(|&p| {
                     let mcfg = MachineConfig::with_nodes(p);
-                    (p, measure_bar_on(mcfg, CounterKind::LockFree, &bar, p, 1.0, 8))
+                    (
+                        p,
+                        measure_bar_on(mcfg, CounterKind::LockFree, &bar, p, 1.0, 8),
+                    )
                 })
                 .collect(),
         };
@@ -97,8 +120,15 @@ mod tests {
     #[test]
     fn llsc_degrades_faster_than_unc_faa() {
         let cost = |bar: &BarSpec, p: u32| {
-            measure_bar_on(MachineConfig::with_nodes(p), CounterKind::LockFree, bar, p, 1.0, 12)
-                .avg_cycles
+            measure_bar_on(
+                MachineConfig::with_nodes(p),
+                CounterKind::LockFree,
+                bar,
+                p,
+                1.0,
+                12,
+            )
+            .avg_cycles
         };
         let faa = BarSpec::new(SyncPolicy::Unc, Primitive::FetchPhi);
         let llsc = BarSpec::new(SyncPolicy::Unc, Primitive::Llsc);

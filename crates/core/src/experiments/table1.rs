@@ -5,6 +5,7 @@
 //! into the named state and then issues one store, reading the
 //! serialized-chain length of that store from the machine.
 
+use crate::experiments::runner::{self, Job, JobOutput};
 use dsm_machine::{Action, MachineBuilder, ProcCtx};
 use dsm_protocol::{MemOp, SyncConfig, SyncPolicy};
 use dsm_sim::{Addr, Cycle, MachineConfig};
@@ -24,36 +25,66 @@ pub struct Table1Row {
 
 const LINE: Addr = Addr::new(0x40);
 
+/// The number of micro-experiment scenarios (rows of Table 1).
+pub const SCENARIOS: usize = SCENARIO_TABLE.len();
+
+/// One row's recipe: name, paper-reported value, measurement function.
+type Scenario = (&'static str, u32, fn() -> u32);
+
+/// The paper's rows, in order.
+const SCENARIO_TABLE: [Scenario; 7] = [
+    ("UNC", 2, unc),
+    ("INV to cached exclusive", 0, inv_cached_exclusive),
+    ("INV to remote exclusive", 4, inv_remote_exclusive),
+    ("INV to remote shared", 3, inv_remote_shared),
+    ("INV to uncached", 2, inv_uncached),
+    ("UPD to cached", 3, upd_cached),
+    ("UPD to uncached", 2, upd_uncached),
+];
+
+/// Measures one row by index. Only the [`runner`] calls this; use
+/// [`run`] to get the whole table through the cache.
+///
+/// # Panics
+///
+/// Panics if `scenario` is out of range or the micro-machine fails to
+/// complete (a simulator bug).
+pub(crate) fn run_scenario(scenario: usize) -> Table1Row {
+    let (name, paper, measure) = SCENARIO_TABLE[scenario];
+    Table1Row {
+        scenario: name,
+        paper,
+        measured: measure(),
+    }
+}
+
 /// Runs all seven micro-experiments and returns the rows in the paper's
-/// order.
+/// order, fanned out across the experiment [`runner`].
 ///
 /// # Panics
 ///
 /// Panics if any micro-machine fails to complete (a simulator bug).
 pub fn run() -> Vec<Table1Row> {
-    vec![
-        Table1Row { scenario: "UNC", paper: 2, measured: unc() },
-        Table1Row { scenario: "INV to cached exclusive", paper: 0, measured: inv_cached_exclusive() },
-        Table1Row { scenario: "INV to remote exclusive", paper: 4, measured: inv_remote_exclusive() },
-        Table1Row { scenario: "INV to remote shared", paper: 3, measured: inv_remote_shared() },
-        Table1Row { scenario: "INV to uncached", paper: 2, measured: inv_uncached() },
-        Table1Row { scenario: "UPD to cached", paper: 3, measured: upd_cached() },
-        Table1Row { scenario: "UPD to uncached", paper: 2, measured: upd_uncached() },
-    ]
+    let jobs: Vec<Job> = (0..SCENARIOS).map(Job::table1).collect();
+    runner::run_all(&jobs)
+        .into_iter()
+        .map(JobOutput::into_table1)
+        .collect()
 }
 
 /// Builds a 4-node machine where processor 0 optionally primes the line
 /// (`prime0`), then processor 1 optionally primes it (`prime1`), then
 /// processor 1 performs the measured store. Returns the measured chain.
-fn measure(
-    policy: SyncPolicy,
-    prime0: Option<MemOp>,
-    prime1: Option<MemOp>,
-    store_by: u32,
-) -> u32 {
+fn measure(policy: SyncPolicy, prime0: Option<MemOp>, prime1: Option<MemOp>, store_by: u32) -> u32 {
     let chain: Rc<Cell<u32>> = Rc::new(Cell::new(u32::MAX));
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(4));
-    b.register_sync(LINE, SyncConfig { policy, ..Default::default() });
+    b.register_sync(
+        LINE,
+        SyncConfig {
+            policy,
+            ..Default::default()
+        },
+    );
     for p in 0..4u32 {
         let chain = Rc::clone(&chain);
         let mut stage = 0u32;
@@ -82,7 +113,10 @@ fn measure(
                 4 => Action::Barrier(1),
                 5 => {
                     if p == store_by {
-                        Action::Op(MemOp::Store { addr: LINE, value: 99 })
+                        Action::Op(MemOp::Store {
+                            addr: LINE,
+                            value: 99,
+                        })
                     } else {
                         Action::Compute(1)
                     }
@@ -98,7 +132,8 @@ fn measure(
         });
     }
     let mut m = b.build();
-    m.run(Cycle::new(1_000_000)).expect("table-1 micro-run completes");
+    m.run(Cycle::new(1_000_000))
+        .expect("table-1 micro-run completes");
     let c = chain.get();
     assert_ne!(c, u32::MAX, "measured store never ran");
     c
@@ -111,12 +146,28 @@ fn unc() -> u32 {
 fn inv_cached_exclusive() -> u32 {
     // P1 stores first (acquiring exclusive), then the measured store
     // hits locally.
-    measure(SyncPolicy::Inv, None, Some(MemOp::Store { addr: LINE, value: 1 }), 1)
+    measure(
+        SyncPolicy::Inv,
+        None,
+        Some(MemOp::Store {
+            addr: LINE,
+            value: 1,
+        }),
+        1,
+    )
 }
 
 fn inv_remote_exclusive() -> u32 {
     // P0 owns the line exclusively; P1 stores.
-    measure(SyncPolicy::Inv, Some(MemOp::Store { addr: LINE, value: 1 }), None, 1)
+    measure(
+        SyncPolicy::Inv,
+        Some(MemOp::Store {
+            addr: LINE,
+            value: 1,
+        }),
+        None,
+        1,
+    )
 }
 
 fn inv_remote_shared() -> u32 {

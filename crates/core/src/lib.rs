@@ -64,8 +64,8 @@
 pub mod experiments;
 
 pub use dsm_machine as machine;
-pub use dsm_mint as mint;
 pub use dsm_mesh as mesh;
+pub use dsm_mint as mint;
 pub use dsm_protocol as protocol;
 pub use dsm_sim as sim;
 pub use dsm_stats as stats;

@@ -57,7 +57,10 @@ mod tests {
     const LIMIT: Cycle = Cycle::new(50_000_000);
 
     fn config(policy: SyncPolicy) -> SyncConfig {
-        SyncConfig { policy, ..Default::default() }
+        SyncConfig {
+            policy,
+            ..Default::default()
+        }
     }
 
     /// N processors each add 1 to a counter `iters` times with
@@ -74,7 +77,10 @@ mod tests {
                 if remaining == 0 {
                     Action::Done
                 } else {
-                    Action::Op(MemOp::FetchPhi { addr: COUNTER, op: PhiOp::Add(1) })
+                    Action::Op(MemOp::FetchPhi {
+                        addr: COUNTER,
+                        op: PhiOp::Add(1),
+                    })
                 }
             });
         }
@@ -122,7 +128,14 @@ mod tests {
         let nodes = 8;
         let iters = 30u64;
         let mut b = MachineBuilder::new(MachineConfig::with_nodes(nodes));
-        b.register_sync(COUNTER, SyncConfig { policy, cas_variant: variant, ..Default::default() });
+        b.register_sync(
+            COUNTER,
+            SyncConfig {
+                policy,
+                cas_variant: variant,
+                ..Default::default()
+            },
+        );
         for _ in 0..nodes {
             let mut remaining = iters;
             let mut st = St::Idle;
@@ -138,7 +151,11 @@ mod tests {
                 St::WaitLoad => {
                     let value = ctx.result().value().expect("load returns a value");
                     st = St::WaitCas;
-                    Action::Op(MemOp::Cas { addr: COUNTER, expected: value, new: value + 1 })
+                    Action::Op(MemOp::Cas {
+                        addr: COUNTER,
+                        expected: value,
+                        new: value + 1,
+                    })
                 }
                 St::WaitCas => match ctx.result() {
                     OpResult::CasDone { success: true, .. } => {
@@ -153,7 +170,10 @@ mod tests {
                             Action::Op(MemOp::Load { addr: COUNTER })
                         }
                     }
-                    OpResult::CasDone { success: false, observed } => Action::Op(MemOp::Cas {
+                    OpResult::CasDone {
+                        success: false,
+                        observed,
+                    } => Action::Op(MemOp::Cas {
                         addr: COUNTER,
                         expected: observed,
                         new: observed + 1,
@@ -203,13 +223,24 @@ mod tests {
         let nodes = 8;
         let iters = 30u64;
         let mut b = MachineBuilder::new(MachineConfig::with_nodes(nodes));
-        b.register_sync(COUNTER, SyncConfig { policy, llsc: scheme, ..Default::default() });
+        b.register_sync(
+            COUNTER,
+            SyncConfig {
+                policy,
+                llsc: scheme,
+                ..Default::default()
+            },
+        );
         for _ in 0..nodes {
             let mut remaining = iters;
             b.add_program(move |ctx: &mut ProcCtx<'_>| match ctx.last {
                 None => Action::Op(MemOp::LoadLinked { addr: COUNTER }),
                 Some(OpResult::Loaded { value, serial, .. }) => {
-                    Action::Op(MemOp::StoreConditional { addr: COUNTER, value: value + 1, serial })
+                    Action::Op(MemOp::StoreConditional {
+                        addr: COUNTER,
+                        value: value + 1,
+                        serial,
+                    })
                 }
                 Some(OpResult::ScDone { success }) => {
                     if success {
@@ -314,7 +345,10 @@ mod tests {
         let m = fetch_add_total(SyncPolicy::Unc, 4, 5);
         let s = m.stats();
         assert_eq!(s.sync_ops, 20);
-        assert!(s.msgs.chains().mean() >= 2.0, "UNC ops are 2-message chains");
+        assert!(
+            s.msgs.chains().mean() >= 2.0,
+            "UNC ops are 2-message chains"
+        );
         assert!(s.sync_latency.mean() > 0.0);
         assert_eq!(s.contention.histogram().total(), 20);
     }
@@ -332,8 +366,14 @@ mod tests {
             b.add_program(move |ctx: &mut ProcCtx<'_>| {
                 stage += 1;
                 match stage {
-                    1 => Action::Op(MemOp::Store { addr: private, value: p as u64 }),
-                    2 => Action::Op(MemOp::FetchPhi { addr: COUNTER, op: PhiOp::Add(1) }),
+                    1 => Action::Op(MemOp::Store {
+                        addr: private,
+                        value: p as u64,
+                    }),
+                    2 => Action::Op(MemOp::FetchPhi {
+                        addr: COUNTER,
+                        op: PhiOp::Add(1),
+                    }),
                     3 => Action::Op(MemOp::Load { addr: private }),
                     4 => {
                         assert_eq!(ctx.result().value(), Some(p as u64));
@@ -368,7 +408,10 @@ mod tests {
                 if next_is_add {
                     next_is_add = false;
                     adds_done += 1;
-                    Action::Op(MemOp::FetchPhi { addr: COUNTER, op: PhiOp::Add(1) })
+                    Action::Op(MemOp::FetchPhi {
+                        addr: COUNTER,
+                        op: PhiOp::Add(1),
+                    })
                 } else {
                     next_is_add = true;
                     Action::Op(MemOp::DropCopy { addr: COUNTER })
@@ -395,13 +438,20 @@ mod tests {
                     if remaining == 0 {
                         Action::Done
                     } else {
-                        Action::Op(MemOp::FetchPhi { addr: COUNTER, op: PhiOp::Add(1) })
+                        Action::Op(MemOp::FetchPhi {
+                            addr: COUNTER,
+                            op: PhiOp::Add(1),
+                        })
                     }
                 });
             }
             let mut m = b.build();
             let report = m.run(LIMIT).unwrap();
-            (report.cycles, report.events, m.stats().msgs.total_messages())
+            (
+                report.cycles,
+                report.events,
+                m.stats().msgs.total_messages(),
+            )
         };
         assert_eq!(run(), run());
     }
@@ -413,7 +463,9 @@ mod tests {
         let seen = std::rc::Rc::new(std::cell::Cell::new(0u64));
         let seen2 = std::rc::Rc::clone(&seen);
         b.add_program(move |ctx: &mut ProcCtx<'_>| match ctx.last {
-            None => Action::Op(MemOp::Load { addr: Addr::new(0x40) }),
+            None => Action::Op(MemOp::Load {
+                addr: Addr::new(0x40),
+            }),
             Some(r) => {
                 seen2.set(r.value().unwrap());
                 Action::Done
@@ -440,7 +492,10 @@ mod tests {
             if remaining == 0 {
                 Action::Done
             } else {
-                Action::Op(MemOp::FetchPhi { addr: COUNTER, op: PhiOp::Add(1) })
+                Action::Op(MemOp::FetchPhi {
+                    addr: COUNTER,
+                    op: PhiOp::Add(1),
+                })
             }
         });
         b.add_program(|_: &mut ProcCtx<'_>| Action::Done);

@@ -5,8 +5,8 @@ use crate::program::{Action, ProcCtx, Program};
 use crate::stats::MachineStats;
 use dsm_mesh::{LatencyNetwork, Mesh};
 use dsm_protocol::{
-    AddressMap, CacheNode, CacheState, DirState, HomeNode, MemOp, Msg, OpOutcome, OpResult,
-    Outbox, SyncConfig, Value,
+    AddressMap, CacheNode, CacheState, DirState, HomeNode, MemOp, Msg, OpOutcome, OpResult, Outbox,
+    SyncConfig, Value,
 };
 use dsm_sim::{Addr, Cycle, EventQueue, MachineConfig, NodeId, ProcId, SimRng};
 use std::fmt;
@@ -35,10 +35,16 @@ impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RunError::CycleLimit { limit, active } => {
-                write!(f, "cycle limit {limit} reached with {active} processors active")
+                write!(
+                    f,
+                    "cycle limit {limit} reached with {active} processors active"
+                )
             }
             RunError::Deadlock { at, active } => {
-                write!(f, "deadlock at {at}: {active} processors blocked with no pending events")
+                write!(
+                    f,
+                    "deadlock at {at}: {active} processors blocked with no pending events"
+                )
             }
         }
     }
@@ -213,7 +219,9 @@ impl MachineBuilder {
             machine.poke_word(addr, value);
         }
         for p in 0..machine.cfg.nodes {
-            machine.events.push(Cycle::ZERO, Event::ProcStep(ProcId::new(p)));
+            machine
+                .events
+                .push(Cycle::ZERO, Event::ProcStep(ProcId::new(p)));
         }
         machine
     }
@@ -294,11 +302,17 @@ impl Machine {
     pub fn run(&mut self, limit: Cycle) -> Result<RunReport, RunError> {
         while self.active > 0 {
             let Some((at, event)) = self.events.pop() else {
-                return Err(RunError::Deadlock { at: self.now, active: self.active });
+                return Err(RunError::Deadlock {
+                    at: self.now,
+                    active: self.active,
+                });
             };
             debug_assert!(at >= self.now, "time ran backwards");
             if at > limit {
-                return Err(RunError::CycleLimit { limit, active: self.active });
+                return Err(RunError::CycleLimit {
+                    limit,
+                    active: self.active,
+                });
             }
             self.now = at;
             self.events_processed += 1;
@@ -316,7 +330,10 @@ impl Machine {
             self.events_processed += 1;
             self.dispatch(event);
         }
-        Ok(RunReport { cycles: finished, events: self.events_processed })
+        Ok(RunReport {
+            cycles: finished,
+            events: self.events_processed,
+        })
     }
 
     fn dispatch(&mut self, event: Event) {
@@ -332,13 +349,18 @@ impl Machine {
     /// sends, each formatted as `time src->dst line kind`. Useful when
     /// debugging protocol behaviour in tests.
     pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = Some((capacity, std::collections::VecDeque::with_capacity(capacity)));
+        self.trace = Some((
+            capacity,
+            std::collections::VecDeque::with_capacity(capacity),
+        ));
     }
 
     /// The trace entries recorded so far (oldest first); empty unless
     /// [`enable_trace`](Machine::enable_trace) was called.
     pub fn trace(&self) -> impl Iterator<Item = &str> {
-        self.trace.iter().flat_map(|(_, q)| q.iter().map(String::as_str))
+        self.trace
+            .iter()
+            .flat_map(|(_, q)| q.iter().map(String::as_str))
     }
 
     /// Routes freshly emitted messages into the network.
@@ -408,7 +430,8 @@ impl Machine {
         match completed {
             Some(outcome) => {
                 let latency = self.cfg.params.cache_hit;
-                self.events.push(self.now + latency, Event::OpDone(p, outcome));
+                self.events
+                    .push(self.now + latency, Event::OpDone(p, outcome));
                 self.procs[p.index()].blocked = true;
             }
             None => {
@@ -418,8 +441,10 @@ impl Machine {
     }
 
     fn op_done(&mut self, p: ProcId, outcome: OpOutcome) {
-        let (op, issued, is_sync) =
-            self.procs[p.index()].current.take().expect("completion without an op");
+        let (op, issued, is_sync) = self.procs[p.index()]
+            .current
+            .take()
+            .expect("completion without an op");
         let latency = (self.now - issued).as_u64() as f64;
         self.stats.ops += 1;
         self.stats.op_latency.add(latency);
@@ -429,7 +454,9 @@ impl Machine {
         if is_sync {
             self.stats.sync_ops += 1;
             self.stats.sync_latency.add(latency);
-            self.stats.sync_latency_hist.record((latency / 10.0) as usize);
+            self.stats
+                .sync_latency_hist
+                .record((latency / 10.0) as usize);
             self.stats.msgs.record_chain(outcome.chain);
             self.stats.contention.end(op.addr().as_u64(), p.as_u32());
             self.stats.write_runs.access(
@@ -442,14 +469,18 @@ impl Machine {
         state.blocked = false;
         state.last = Some(outcome.result);
         state.last_chain = Some(outcome.chain);
-        self.events.push(self.now + self.cfg.params.issue, Event::ProcStep(p));
+        self.events
+            .push(self.now + self.cfg.params.issue, Event::ProcStep(p));
     }
 
     fn deliver(&mut self, msg: Msg) {
         // Choose the server and its occupancy.
         let node = msg.dst.index();
         let (busy, service) = if msg.kind.home_bound() {
-            (&mut self.mem_busy[node], self.cfg.params.dir_access + self.cfg.params.mem_access)
+            (
+                &mut self.mem_busy[node],
+                self.cfg.params.dir_access + self.cfg.params.mem_access,
+            )
         } else {
             (&mut self.cache_busy[node], self.cfg.params.cache_ctrl)
         };
@@ -501,7 +532,8 @@ impl Machine {
         for (i, s) in self.procs.iter_mut().enumerate() {
             if !s.done && s.waiting_barrier.is_some() {
                 s.waiting_barrier = None;
-                self.events.push(self.now, Event::ProcStep(ProcId::new(i as u32)));
+                self.events
+                    .push(self.now, Event::ProcStep(ProcId::new(i as u32)));
             }
         }
     }
@@ -519,7 +551,10 @@ impl Machine {
         let mut copies: HashMap<dsm_sim::LineAddr, Vec<(NodeId, CacheState)>> = HashMap::new();
         for (i, cache) in self.caches.iter().enumerate() {
             for (line, state) in cache.cached_lines() {
-                copies.entry(line).or_default().push((NodeId::new(i as u32), state));
+                copies
+                    .entry(line)
+                    .or_default()
+                    .push((NodeId::new(i as u32), state));
             }
         }
         for (line, holders) in &copies {
@@ -529,7 +564,9 @@ impl Machine {
                 .map(|(n, _)| *n)
                 .collect();
             if exclusives.len() > 1 {
-                return Err(format!("line {line}: multiple exclusive copies {exclusives:?}"));
+                return Err(format!(
+                    "line {line}: multiple exclusive copies {exclusives:?}"
+                ));
             }
             if exclusives.len() == 1 && holders.len() > 1 {
                 return Err(format!(
@@ -575,7 +612,9 @@ impl Machine {
                     // Silently evicted shared copies leave stale sharers,
                     // never stale cached copies; a cached copy with an
                     // Uncached directory is a bug.
-                    return Err(format!("line {line}: cached copies but directory is uncached"));
+                    return Err(format!(
+                        "line {line}: cached copies but directory is uncached"
+                    ));
                 }
                 (DirState::Shared(_), Some(e)) => {
                     return Err(format!(

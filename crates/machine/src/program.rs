@@ -52,7 +52,8 @@ impl ProcCtx<'_> {
     ///
     /// Panics if the previous action was not an operation.
     pub fn result(&self) -> OpResult {
-        self.last.expect("previous action was not a memory operation")
+        self.last
+            .expect("previous action was not a memory operation")
     }
 }
 
@@ -87,8 +88,13 @@ mod tests {
             Action::Done
         };
         let mut rng = SimRng::new(1);
-        let mut ctx =
-            ProcCtx { proc: ProcId::new(0), now: Cycle::ZERO, last: None, last_chain: None, rng: &mut rng };
+        let mut ctx = ProcCtx {
+            proc: ProcId::new(0),
+            now: Cycle::ZERO,
+            last: None,
+            last_chain: None,
+            rng: &mut rng,
+        };
         // Exercise through the trait to prove the blanket impl works.
         fn run(p: &mut dyn Program, ctx: &mut ProcCtx<'_>) -> Action {
             p.step(ctx)
@@ -102,7 +108,13 @@ mod tests {
     #[should_panic(expected = "not a memory operation")]
     fn result_panics_without_last() {
         let mut rng = SimRng::new(1);
-        let ctx = ProcCtx { proc: ProcId::new(0), now: Cycle::ZERO, last: None, last_chain: None, rng: &mut rng };
+        let ctx = ProcCtx {
+            proc: ProcId::new(0),
+            now: Cycle::ZERO,
+            last: None,
+            last_chain: None,
+            rng: &mut rng,
+        };
         let _ = ctx.result();
     }
 }

@@ -91,7 +91,11 @@ mod tests {
             }
             (Some(u64::MAX), Some(OpResult::Loaded { value, .. })) => {
                 expecting = Some(value);
-                Action::Op(MemOp::Cas { addr: X, expected: value, new: value + 1 })
+                Action::Op(MemOp::Cas {
+                    addr: X,
+                    expected: value,
+                    new: value + 1,
+                })
             }
             (Some(_), Some(OpResult::CasDone { success, observed })) => {
                 if success {
@@ -103,7 +107,11 @@ mod tests {
                     Action::Op(MemOp::Load { addr: X })
                 } else {
                     expecting = Some(observed);
-                    Action::Op(MemOp::Cas { addr: X, expected: observed, new: observed + 1 })
+                    Action::Op(MemOp::Cas {
+                        addr: X,
+                        expected: observed,
+                        new: observed + 1,
+                    })
                 }
             }
             other => panic!("unexpected {other:?}"),
@@ -113,7 +121,13 @@ mod tests {
     fn record_solo(iters: u64) -> Vec<Action> {
         let trace = new_trace();
         let mut b = MachineBuilder::new(MachineConfig::with_nodes(2));
-        b.register_sync(X, SyncConfig { policy: SyncPolicy::Inv, ..Default::default() });
+        b.register_sync(
+            X,
+            SyncConfig {
+                policy: SyncPolicy::Inv,
+                ..Default::default()
+            },
+        );
         b.add_program(TraceRecorder::new(cas_counter(iters), Rc::clone(&trace)));
         b.add_program(|_: &mut ProcCtx<'_>| Action::Done);
         let mut m = b.build();
@@ -139,7 +153,13 @@ mod tests {
         // Replaying the trace in the same (uncontended) conditions is
         // valid and yields the same final state.
         let mut b = MachineBuilder::new(MachineConfig::with_nodes(2));
-        b.register_sync(X, SyncConfig { policy: SyncPolicy::Inv, ..Default::default() });
+        b.register_sync(
+            X,
+            SyncConfig {
+                policy: SyncPolicy::Inv,
+                ..Default::default()
+            },
+        );
         b.add_program(TraceReplay::new(trace));
         b.add_program(|_: &mut ProcCtx<'_>| Action::Done);
         let mut m = b.build();
@@ -162,7 +182,13 @@ mod tests {
 
         // Replay all four concurrently.
         let mut b = MachineBuilder::new(MachineConfig::with_nodes(nodes));
-        b.register_sync(X, SyncConfig { policy: SyncPolicy::Inv, ..Default::default() });
+        b.register_sync(
+            X,
+            SyncConfig {
+                policy: SyncPolicy::Inv,
+                ..Default::default()
+            },
+        );
         for _ in 0..nodes {
             b.add_program(TraceReplay::new(solo_trace.clone()));
         }
@@ -179,7 +205,13 @@ mod tests {
         // Execution-driven processors running the same logic get it
         // exactly right.
         let mut b = MachineBuilder::new(MachineConfig::with_nodes(nodes));
-        b.register_sync(X, SyncConfig { policy: SyncPolicy::Inv, ..Default::default() });
+        b.register_sync(
+            X,
+            SyncConfig {
+                policy: SyncPolicy::Inv,
+                ..Default::default()
+            },
+        );
         for _ in 0..nodes {
             b.add_program(cas_counter(iters));
         }

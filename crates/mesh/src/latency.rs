@@ -147,7 +147,11 @@ impl LatencyNetwork {
         // FIFO per (src, dst): a later message on the same path can never
         // overtake an earlier one.
         let slot = &mut self.last_delivery[src.index() * self.mesh.nodes() as usize + dst.index()];
-        let delivered = if delivered <= *slot { *slot + 1 } else { delivered };
+        let delivered = if delivered <= *slot {
+            *slot + 1
+        } else {
+            delivered
+        };
         *slot = delivered;
 
         self.stats.total_latency += (delivered - now).as_u64();

@@ -53,7 +53,10 @@ impl Mesh {
     pub fn new(cfg: &MachineConfig) -> Self {
         cfg.validate().expect("invalid machine configuration");
         let (w, h) = cfg.mesh_dims();
-        Mesh { width: w, height: h }
+        Mesh {
+            width: w,
+            height: h,
+        }
     }
 
     /// Builds a mesh directly from its dimensions.
@@ -188,8 +191,14 @@ mod tests {
     #[test]
     fn self_route_is_trivial() {
         let m = mesh4x4();
-        assert_eq!(m.route(NodeId::new(5), NodeId::new(5)), vec![NodeId::new(5)]);
-        assert_eq!(m.next_direction(NodeId::new(5), NodeId::new(5)), Direction::Local);
+        assert_eq!(
+            m.route(NodeId::new(5), NodeId::new(5)),
+            vec![NodeId::new(5)]
+        );
+        assert_eq!(
+            m.next_direction(NodeId::new(5), NodeId::new(5)),
+            Direction::Local
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub struct FlitNetworkParams {
 
 impl Default for FlitNetworkParams {
     fn default() -> Self {
-        FlitNetworkParams { buffer_depth: 4, hop_cycles: 2 }
+        FlitNetworkParams {
+            buffer_depth: 4,
+            hop_cycles: 2,
+        }
     }
 }
 
@@ -69,7 +72,11 @@ pub struct StalledError {
 
 impl std::fmt::Display for StalledError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "network failed to drain {} packets within {}", self.in_flight, self.limit)
+        write!(
+            f,
+            "network failed to drain {} packets within {}",
+            self.in_flight, self.limit
+        )
     }
 }
 
@@ -160,8 +167,14 @@ pub struct FlitNetwork {
 impl FlitNetwork {
     /// Creates an empty network.
     pub fn new(mesh: Mesh, params: FlitNetworkParams) -> Self {
-        assert!(params.buffer_depth >= 1, "buffers must hold at least one flit");
-        assert!(params.hop_cycles >= 1, "hop latency must be at least one cycle");
+        assert!(
+            params.buffer_depth >= 1,
+            "buffers must hold at least one flit"
+        );
+        assert!(
+            params.hop_cycles >= 1,
+            "hop latency must be at least one cycle"
+        );
         let routers = (0..mesh.nodes()).map(|_| Router::default()).collect();
         let pending = (0..mesh.nodes()).map(|_| VecDeque::new()).collect();
         FlitNetwork {
@@ -205,7 +218,9 @@ impl FlitNetwork {
             })
             .collect();
         debug_assert!(
-            self.pending[src.index()].back().is_none_or(|(t, _)| *t <= at.as_u64()),
+            self.pending[src.index()]
+                .back()
+                .is_none_or(|(t, _)| *t <= at.as_u64()),
             "injections at a node must be in time order"
         );
         self.pending[src.index()].push_back((at.as_u64(), flit_vec));
@@ -227,7 +242,10 @@ impl FlitNetwork {
         let mut now = 0u64;
         while self.in_flight > 0 {
             if now > max_cycles.as_u64() {
-                return Err(StalledError { in_flight: self.in_flight, limit: max_cycles });
+                return Err(StalledError {
+                    in_flight: self.in_flight,
+                    limit: max_cycles,
+                });
             }
             self.step(now);
             now += 1;
@@ -290,16 +308,14 @@ impl FlitNetwork {
                         // Arbitrate among inputs whose ready head flit is
                         // a Head wanting this output.
                         let start = self.routers[r].rr[out];
-                        (0..PORTS)
-                            .map(|k| (start + k) % PORTS)
-                            .find(|&inp| {
-                                matches!(
-                                    self.routers[r].inputs[inp].front(),
-                                    Some(f) if f.ready_at <= now
-                                        && f.kind.is_head()
-                                        && port_index(self.mesh.next_direction(here, f.dst)) == out
-                                )
-                            })
+                        (0..PORTS).map(|k| (start + k) % PORTS).find(|&inp| {
+                            matches!(
+                                self.routers[r].inputs[inp].front(),
+                                Some(f) if f.ready_at <= now
+                                    && f.kind.is_head()
+                                    && port_index(self.mesh.next_direction(here, f.dst)) == out
+                            )
+                        })
                     }
                 };
                 let Some(inp) = chosen_in else { continue };
@@ -316,8 +332,9 @@ impl FlitNetwork {
                 }
 
                 // Move the flit.
-                let mut flit =
-                    self.routers[r].inputs[inp].pop_front().expect("chosen input has a flit");
+                let mut flit = self.routers[r].inputs[inp]
+                    .pop_front()
+                    .expect("chosen input has a flit");
                 let is_tail = flit.kind.is_tail();
                 let is_head = flit.kind.is_head();
                 if is_head {
@@ -388,7 +405,10 @@ mod tests {
         far.inject(Cycle::ZERO, NodeId::new(0), NodeId::new(15), 4);
         let t_far = far.run_until_drained(Cycle::new(1000)).unwrap()[0].delivered_at;
 
-        assert!(t_far > t_near, "6 hops ({t_far}) must take longer than 1 hop ({t_near})");
+        assert!(
+            t_far > t_near,
+            "6 hops ({t_far}) must take longer than 1 hop ({t_near})"
+        );
     }
 
     #[test]
@@ -396,7 +416,13 @@ mod tests {
         let mut n = net4x4();
         let p = n.inject(Cycle::ZERO, NodeId::new(0), NodeId::new(3), 1);
         let d = n.run_until_drained(Cycle::new(1000)).unwrap();
-        assert_eq!(d, vec![Delivery { packet: p, delivered_at: d[0].delivered_at }]);
+        assert_eq!(
+            d,
+            vec![Delivery {
+                packet: p,
+                delivered_at: d[0].delivered_at
+            }]
+        );
     }
 
     #[test]
@@ -482,6 +508,9 @@ mod tests {
             .find(|d| d.packet == p)
             .unwrap()
             .delivered_at;
-        assert!(t_busy > t_idle, "internal contention should delay the packet");
+        assert!(
+            t_busy > t_idle,
+            "internal contention should delay the packet"
+        );
     }
 }

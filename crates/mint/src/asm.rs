@@ -36,7 +36,10 @@ impl fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err(line: usize, message: impl Into<String>) -> AsmError {
-    AsmError { line, message: message.into() }
+    AsmError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
@@ -127,38 +130,68 @@ pub fn assemble(source: &str) -> Result<Vec<Inst>, AsmError> {
             if args.len() == n {
                 Ok(())
             } else {
-                Err(err(line, format!("`{op}` expects {n} operand(s), got {}", args.len())))
+                Err(err(
+                    line,
+                    format!("`{op}` expects {n} operand(s), got {}", args.len()),
+                ))
             }
         };
         let r = |i: usize| parse_reg(&args[i], line);
         let inst = match op {
             "li" => {
                 want(2)?;
-                Inst::Li { rd: r(0)?, imm: parse_imm(&args[1], line)? as u64 }
+                Inst::Li {
+                    rd: r(0)?,
+                    imm: parse_imm(&args[1], line)? as u64,
+                }
             }
             "add" => {
                 want(3)?;
-                Inst::Add { rd: r(0)?, ra: r(1)?, rb: r(2)? }
+                Inst::Add {
+                    rd: r(0)?,
+                    ra: r(1)?,
+                    rb: r(2)?,
+                }
             }
             "addi" => {
                 want(3)?;
-                Inst::Addi { rd: r(0)?, ra: r(1)?, imm: parse_imm(&args[2], line)? }
+                Inst::Addi {
+                    rd: r(0)?,
+                    ra: r(1)?,
+                    imm: parse_imm(&args[2], line)?,
+                }
             }
             "sub" => {
                 want(3)?;
-                Inst::Sub { rd: r(0)?, ra: r(1)?, rb: r(2)? }
+                Inst::Sub {
+                    rd: r(0)?,
+                    ra: r(1)?,
+                    rb: r(2)?,
+                }
             }
             "and" => {
                 want(3)?;
-                Inst::And { rd: r(0)?, ra: r(1)?, rb: r(2)? }
+                Inst::And {
+                    rd: r(0)?,
+                    ra: r(1)?,
+                    rb: r(2)?,
+                }
             }
             "or" => {
                 want(3)?;
-                Inst::Or { rd: r(0)?, ra: r(1)?, rb: r(2)? }
+                Inst::Or {
+                    rd: r(0)?,
+                    ra: r(1)?,
+                    rb: r(2)?,
+                }
             }
             "xor" => {
                 want(3)?;
-                Inst::Xor { rd: r(0)?, ra: r(1)?, rb: r(2)? }
+                Inst::Xor {
+                    rd: r(0)?,
+                    ra: r(1)?,
+                    rb: r(2)?,
+                }
             }
             "slli" => {
                 want(3)?;
@@ -166,43 +199,79 @@ pub fn assemble(source: &str) -> Result<Vec<Inst>, AsmError> {
                 if !(0..64).contains(&sh) {
                     return Err(err(line, format!("shift amount {sh} out of range")));
                 }
-                Inst::Slli { rd: r(0)?, ra: r(1)?, imm: sh as u8 }
+                Inst::Slli {
+                    rd: r(0)?,
+                    ra: r(1)?,
+                    imm: sh as u8,
+                }
             }
             "ld" => {
                 want(2)?;
-                Inst::Ld { rd: r(0)?, ra: r(1)? }
+                Inst::Ld {
+                    rd: r(0)?,
+                    ra: r(1)?,
+                }
             }
             "st" => {
                 want(2)?;
-                Inst::St { rs: r(0)?, ra: r(1)? }
+                Inst::St {
+                    rs: r(0)?,
+                    ra: r(1)?,
+                }
             }
             "lx" => {
                 want(2)?;
-                Inst::Lx { rd: r(0)?, ra: r(1)? }
+                Inst::Lx {
+                    rd: r(0)?,
+                    ra: r(1)?,
+                }
             }
             "ll" => {
                 want(2)?;
-                Inst::Ll { rd: r(0)?, ra: r(1)? }
+                Inst::Ll {
+                    rd: r(0)?,
+                    ra: r(1)?,
+                }
             }
             "sc" => {
                 want(3)?;
-                Inst::Sc { rd: r(0)?, rs: r(1)?, ra: r(2)? }
+                Inst::Sc {
+                    rd: r(0)?,
+                    rs: r(1)?,
+                    ra: r(2)?,
+                }
             }
             "cas" => {
                 want(4)?;
-                Inst::Cas { rd: r(0)?, ra: r(1)?, re: r(2)?, rn: r(3)? }
+                Inst::Cas {
+                    rd: r(0)?,
+                    ra: r(1)?,
+                    re: r(2)?,
+                    rn: r(3)?,
+                }
             }
             "faa" => {
                 want(3)?;
-                Inst::Faa { rd: r(0)?, ra: r(1)?, rb: r(2)? }
+                Inst::Faa {
+                    rd: r(0)?,
+                    ra: r(1)?,
+                    rb: r(2)?,
+                }
             }
             "fas" => {
                 want(3)?;
-                Inst::Fas { rd: r(0)?, ra: r(1)?, rb: r(2)? }
+                Inst::Fas {
+                    rd: r(0)?,
+                    ra: r(1)?,
+                    rb: r(2)?,
+                }
             }
             "tas" => {
                 want(2)?;
-                Inst::Tas { rd: r(0)?, ra: r(1)? }
+                Inst::Tas {
+                    rd: r(0)?,
+                    ra: r(1)?,
+                }
             }
             "drop" => {
                 want(1)?;
@@ -214,31 +283,52 @@ pub fn assemble(source: &str) -> Result<Vec<Inst>, AsmError> {
             }
             "delayi" => {
                 want(1)?;
-                Inst::Delayi { imm: parse_imm(&args[0], line)? as u64 }
+                Inst::Delayi {
+                    imm: parse_imm(&args[0], line)? as u64,
+                }
             }
             "rnd" => {
                 want(2)?;
-                Inst::Rnd { rd: r(0)?, ra: r(1)? }
+                Inst::Rnd {
+                    rd: r(0)?,
+                    ra: r(1)?,
+                }
             }
             "bar" => {
                 want(1)?;
-                Inst::Bar { imm: parse_imm(&args[0], line)? as u32 }
+                Inst::Bar {
+                    imm: parse_imm(&args[0], line)? as u32,
+                }
             }
             "beq" => {
                 want(3)?;
-                Inst::Beq { ra: r(0)?, rb: r(1)?, target: target(&args[2], line)? }
+                Inst::Beq {
+                    ra: r(0)?,
+                    rb: r(1)?,
+                    target: target(&args[2], line)?,
+                }
             }
             "bne" => {
                 want(3)?;
-                Inst::Bne { ra: r(0)?, rb: r(1)?, target: target(&args[2], line)? }
+                Inst::Bne {
+                    ra: r(0)?,
+                    rb: r(1)?,
+                    target: target(&args[2], line)?,
+                }
             }
             "blt" => {
                 want(3)?;
-                Inst::Blt { ra: r(0)?, rb: r(1)?, target: target(&args[2], line)? }
+                Inst::Blt {
+                    ra: r(0)?,
+                    rb: r(1)?,
+                    target: target(&args[2], line)?,
+                }
             }
             "j" => {
                 want(1)?;
-                Inst::J { target: target(&args[0], line)? }
+                Inst::J {
+                    target: target(&args[0], line)?,
+                }
             }
             "halt" => {
                 want(0)?;
@@ -271,7 +361,14 @@ mod tests {
         .unwrap();
         assert_eq!(prog.len(), 5);
         assert_eq!(prog[0], Inst::Li { rd: Reg(3), imm: 1 });
-        assert_eq!(prog[3], Inst::Bne { ra: Reg(2), rb: Reg(0), target: 1 });
+        assert_eq!(
+            prog[3],
+            Inst::Bne {
+                ra: Reg(2),
+                rb: Reg(0),
+                target: 1
+            }
+        );
         assert_eq!(prog[4], Inst::Halt);
     }
 
@@ -285,8 +382,21 @@ mod tests {
     #[test]
     fn hex_and_negative_immediates() {
         let prog = assemble("li r1, 0x40\n addi r2, r2, -3").unwrap();
-        assert_eq!(prog[0], Inst::Li { rd: Reg(1), imm: 0x40 });
-        assert_eq!(prog[1], Inst::Addi { rd: Reg(2), ra: Reg(2), imm: -3 });
+        assert_eq!(
+            prog[0],
+            Inst::Li {
+                rd: Reg(1),
+                imm: 0x40
+            }
+        );
+        assert_eq!(
+            prog[1],
+            Inst::Addi {
+                rd: Reg(2),
+                ra: Reg(2),
+                imm: -3
+            }
+        );
     }
 
     #[test]

@@ -90,7 +90,10 @@ impl Cpu {
     }
 
     fn retire_result(&mut self, result: OpResult) {
-        let pending = self.pending.take().expect("memory result without a pending op");
+        let pending = self
+            .pending
+            .take()
+            .expect("memory result without a pending op");
         match (pending, result) {
             (Pending::Load { rd }, OpResult::Loaded { value, .. })
             | (Pending::Load { rd }, OpResult::Fetched { old: value }) => self.set(rd, value),
@@ -137,19 +140,28 @@ impl Program for Cpu {
                 let action = match inst {
                     Inst::Ld { rd, ra } => {
                         self.pending = Some(Pending::Load { rd });
-                        MemOp::Load { addr: Addr::new(self.get(ra)) }
+                        MemOp::Load {
+                            addr: Addr::new(self.get(ra)),
+                        }
                     }
                     Inst::Lx { rd, ra } => {
                         self.pending = Some(Pending::Load { rd });
-                        MemOp::LoadExclusive { addr: Addr::new(self.get(ra)) }
+                        MemOp::LoadExclusive {
+                            addr: Addr::new(self.get(ra)),
+                        }
                     }
                     Inst::St { rs, ra } => {
                         self.pending = Some(Pending::Store);
-                        MemOp::Store { addr: Addr::new(self.get(ra)), value: self.get(rs) }
+                        MemOp::Store {
+                            addr: Addr::new(self.get(ra)),
+                            value: self.get(rs),
+                        }
                     }
                     Inst::Ll { rd, ra } => {
                         self.pending = Some(Pending::LoadLinked { rd });
-                        MemOp::LoadLinked { addr: Addr::new(self.get(ra)) }
+                        MemOp::LoadLinked {
+                            addr: Addr::new(self.get(ra)),
+                        }
                     }
                     Inst::Sc { rd, rs, ra } => {
                         self.pending = Some(Pending::ScFlag { rd });
@@ -183,11 +195,16 @@ impl Program for Cpu {
                     }
                     Inst::Tas { rd, ra } => {
                         self.pending = Some(Pending::Fetched { rd });
-                        MemOp::FetchPhi { addr: Addr::new(self.get(ra)), op: PhiOp::TestAndSet }
+                        MemOp::FetchPhi {
+                            addr: Addr::new(self.get(ra)),
+                            op: PhiOp::TestAndSet,
+                        }
                     }
                     Inst::Drop { ra } => {
                         self.pending = Some(Pending::Store);
-                        MemOp::DropCopy { addr: Addr::new(self.get(ra)) }
+                        MemOp::DropCopy {
+                            addr: Addr::new(self.get(ra)),
+                        }
                     }
                     _ => unreachable!("is_memory covers exactly these"),
                 };
@@ -207,9 +224,7 @@ impl Program for Cpu {
             match inst {
                 Inst::Li { rd, imm } => self.set(rd, imm),
                 Inst::Add { rd, ra, rb } => self.set(rd, self.get(ra).wrapping_add(self.get(rb))),
-                Inst::Addi { rd, ra, imm } => {
-                    self.set(rd, self.get(ra).wrapping_add_signed(imm))
-                }
+                Inst::Addi { rd, ra, imm } => self.set(rd, self.get(ra).wrapping_add_signed(imm)),
                 Inst::Sub { rd, ra, rb } => self.set(rd, self.get(ra).wrapping_sub(self.get(rb))),
                 Inst::And { rd, ra, rb } => self.set(rd, self.get(ra) & self.get(rb)),
                 Inst::Or { rd, ra, rb } => self.set(rd, self.get(ra) | self.get(rb)),

@@ -124,27 +124,43 @@ mod tests {
     fn arb_inst(len: usize) -> impl Strategy<Value = Inst> {
         let t = 0..=len; // branch targets may point one past the end
         prop_oneof![
-            (arb_reg(), any::<u32>()).prop_map(|(rd, imm)| Inst::Li { rd, imm: imm as u64 }),
+            (arb_reg(), any::<u32>()).prop_map(|(rd, imm)| Inst::Li {
+                rd,
+                imm: imm as u64
+            }),
             (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, ra, rb)| Inst::Add { rd, ra, rb }),
-            (arb_reg(), arb_reg(), -1000i64..1000)
-                .prop_map(|(rd, ra, imm)| Inst::Addi { rd, ra, imm }),
+            (arb_reg(), arb_reg(), -1000i64..1000).prop_map(|(rd, ra, imm)| Inst::Addi {
+                rd,
+                ra,
+                imm
+            }),
             (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, ra, rb)| Inst::Xor { rd, ra, rb }),
             (arb_reg(), arb_reg(), 0u8..64).prop_map(|(rd, ra, imm)| Inst::Slli { rd, ra, imm }),
             (arb_reg(), arb_reg()).prop_map(|(rd, ra)| Inst::Ld { rd, ra }),
             (arb_reg(), arb_reg()).prop_map(|(rs, ra)| Inst::St { rs, ra }),
             (arb_reg(), arb_reg()).prop_map(|(rd, ra)| Inst::Ll { rd, ra }),
             (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs, ra)| Inst::Sc { rd, rs, ra }),
-            (arb_reg(), arb_reg(), arb_reg(), arb_reg())
-                .prop_map(|(rd, ra, re, rn)| Inst::Cas { rd, ra, re, rn }),
+            (arb_reg(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, ra, re, rn)| Inst::Cas {
+                rd,
+                ra,
+                re,
+                rn
+            }),
             (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, ra, rb)| Inst::Faa { rd, ra, rb }),
             (arb_reg(), arb_reg()).prop_map(|(rd, ra)| Inst::Tas { rd, ra }),
             arb_reg().prop_map(|ra| Inst::Drop { ra }),
             (0u64..10_000).prop_map(|imm| Inst::Delayi { imm }),
             (0u32..8).prop_map(|imm| Inst::Bar { imm }),
-            (arb_reg(), arb_reg(), t.clone())
-                .prop_map(|(ra, rb, target)| Inst::Beq { ra, rb, target }),
-            (arb_reg(), arb_reg(), t.clone())
-                .prop_map(|(ra, rb, target)| Inst::Bne { ra, rb, target }),
+            (arb_reg(), arb_reg(), t.clone()).prop_map(|(ra, rb, target)| Inst::Beq {
+                ra,
+                rb,
+                target
+            }),
+            (arb_reg(), arb_reg(), t.clone()).prop_map(|(ra, rb, target)| Inst::Bne {
+                ra,
+                rb,
+                target
+            }),
             t.prop_map(|target| Inst::J { target }),
             Just(Inst::Halt),
         ]

@@ -119,9 +119,24 @@ mod tests {
 
     #[test]
     fn memory_classification() {
-        assert!(Inst::Ld { rd: Reg(1), ra: Reg(2) }.is_memory());
-        assert!(Inst::Cas { rd: Reg(1), ra: Reg(2), re: Reg(3), rn: Reg(4) }.is_memory());
-        assert!(!Inst::Add { rd: Reg(1), ra: Reg(2), rb: Reg(3) }.is_memory());
+        assert!(Inst::Ld {
+            rd: Reg(1),
+            ra: Reg(2)
+        }
+        .is_memory());
+        assert!(Inst::Cas {
+            rd: Reg(1),
+            ra: Reg(2),
+            re: Reg(3),
+            rn: Reg(4)
+        }
+        .is_memory());
+        assert!(!Inst::Add {
+            rd: Reg(1),
+            ra: Reg(2),
+            rb: Reg(3)
+        }
+        .is_memory());
         assert!(!Inst::Bar { imm: 0 }.is_memory());
         assert!(!Inst::Halt.is_memory());
     }

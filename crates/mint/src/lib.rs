@@ -48,8 +48,8 @@ pub mod disasm;
 pub mod isa;
 
 pub use asm::{assemble, AsmError};
-pub use disasm::disassemble;
 pub use cpu::Cpu;
+pub use disasm::disassemble;
 pub use isa::{Inst, Reg};
 
 #[cfg(test)]
@@ -71,7 +71,13 @@ mod tests {
         let prog = assemble(src).expect("assembles");
         let mut b = MachineBuilder::new(MachineConfig::with_nodes(nodes));
         for &(a, policy) in sync {
-            b.register_sync(a, SyncConfig { policy, ..Default::default() });
+            b.register_sync(
+                a,
+                SyncConfig {
+                    policy,
+                    ..Default::default()
+                },
+            );
         }
         for _ in 0..nodes {
             let mut cpu = Cpu::new(prog.clone());
@@ -187,7 +193,11 @@ mod tests {
             halt
             ",
             8,
-            &[(Reg(1), LOCK.as_u64()), (Reg(8), COUNTER.as_u64()), (Reg(2), 15)],
+            &[
+                (Reg(1), LOCK.as_u64()),
+                (Reg(8), COUNTER.as_u64()),
+                (Reg(2), 15),
+            ],
             &[(LOCK, SyncPolicy::Inv)],
         );
         assert_eq!(m.read_word(COUNTER), 120, "TTS lock lost an update");

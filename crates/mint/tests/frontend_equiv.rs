@@ -26,10 +26,18 @@ fn run_assembly(policy: SyncPolicy) -> Machine {
     )
     .unwrap();
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(PROCS));
-    b.register_sync(COUNTER, SyncConfig { policy, ..Default::default() });
+    b.register_sync(
+        COUNTER,
+        SyncConfig {
+            policy,
+            ..Default::default()
+        },
+    );
     for _ in 0..PROCS {
         b.add_program(
-            Cpu::new(prog.clone()).with_reg(Reg(1), COUNTER.as_u64()).with_reg(Reg(2), ITERS),
+            Cpu::new(prog.clone())
+                .with_reg(Reg(1), COUNTER.as_u64())
+                .with_reg(Reg(2), ITERS),
         );
     }
     let mut m = b.build();
@@ -39,7 +47,13 @@ fn run_assembly(policy: SyncPolicy) -> Machine {
 
 fn run_state_machine(policy: SyncPolicy) -> Machine {
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(PROCS));
-    b.register_sync(COUNTER, SyncConfig { policy, ..Default::default() });
+    b.register_sync(
+        COUNTER,
+        SyncConfig {
+            policy,
+            ..Default::default()
+        },
+    );
     for _ in 0..PROCS {
         let mut left = ITERS;
         b.add_program(move |ctx: &mut ProcCtx<'_>| {
@@ -49,7 +63,10 @@ fn run_state_machine(policy: SyncPolicy) -> Machine {
             if left == 0 {
                 Action::Done
             } else {
-                Action::Op(MemOp::FetchPhi { addr: COUNTER, op: PhiOp::Add(1) })
+                Action::Op(MemOp::FetchPhi {
+                    addr: COUNTER,
+                    op: PhiOp::Add(1),
+                })
             }
         });
     }
@@ -90,7 +107,13 @@ fn both_front_ends_agree_on_memory_behaviour() {
 fn trace_captures_protocol_messages() {
     let prog = assemble("li r3, 1\n faa r4, r1, r3\n halt").unwrap();
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(2));
-    b.register_sync(COUNTER, SyncConfig { policy: SyncPolicy::Unc, ..Default::default() });
+    b.register_sync(
+        COUNTER,
+        SyncConfig {
+            policy: SyncPolicy::Unc,
+            ..Default::default()
+        },
+    );
     b.add_program(Cpu::new(prog).with_reg(Reg(1), COUNTER.as_u64()));
     b.add_program(|_: &mut ProcCtx<'_>| Action::Done);
     let mut m = b.build();

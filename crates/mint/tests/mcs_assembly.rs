@@ -63,7 +63,13 @@ fn assembly_mcs_lock_counter_is_exact() {
         let nodes = 8u32;
         let iters = 20u64;
         let mut b = MachineBuilder::new(MachineConfig::with_nodes(nodes));
-        b.register_sync(tail, SyncConfig { policy, ..Default::default() });
+        b.register_sync(
+            tail,
+            SyncConfig {
+                policy,
+                ..Default::default()
+            },
+        );
         for p in 0..nodes {
             // Each CPU's qnode on its own line, well away from the rest.
             let qnode = 0x1000 + p as u64 * 64;
@@ -98,7 +104,13 @@ fn assembly_mcs_is_fifo_under_load() {
     let nodes = 16u32;
     let iters = 10u64;
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(nodes));
-    b.register_sync(tail, SyncConfig { policy: SyncPolicy::Inv, ..Default::default() });
+    b.register_sync(
+        tail,
+        SyncConfig {
+            policy: SyncPolicy::Inv,
+            ..Default::default()
+        },
+    );
     for p in 0..nodes {
         b.add_program(
             Cpu::new(prog.clone())

@@ -34,7 +34,10 @@ pub struct AddressMap {
 impl AddressMap {
     /// Creates an empty map for a machine with `line_size`-byte lines.
     pub fn new(line_size: u64) -> Self {
-        AddressMap { line_size, sync: HashMap::new() }
+        AddressMap {
+            line_size,
+            sync: HashMap::new(),
+        }
     }
 
     /// The line size this map was built for.
@@ -82,7 +85,13 @@ mod tests {
     #[test]
     fn whole_line_shares_the_config() {
         let mut m = AddressMap::new(32);
-        m.register(Addr::new(0x100), SyncConfig { policy: SyncPolicy::Upd, ..Default::default() });
+        m.register(
+            Addr::new(0x100),
+            SyncConfig {
+                policy: SyncPolicy::Upd,
+                ..Default::default()
+            },
+        );
         // Another word in the same 32-byte line.
         assert_eq!(m.config_for(Addr::new(0x118)).policy, SyncPolicy::Upd);
         // The next line is unaffected.
@@ -94,8 +103,20 @@ mod tests {
     fn reregistering_replaces() {
         let mut m = AddressMap::new(32);
         let a = Addr::new(0);
-        m.register(a, SyncConfig { policy: SyncPolicy::Unc, ..Default::default() });
-        m.register(a, SyncConfig { policy: SyncPolicy::Inv, ..Default::default() });
+        m.register(
+            a,
+            SyncConfig {
+                policy: SyncPolicy::Unc,
+                ..Default::default()
+            },
+        );
+        m.register(
+            a,
+            SyncConfig {
+                policy: SyncPolicy::Inv,
+                ..Default::default()
+            },
+        );
         assert_eq!(m.config_for(a).policy, SyncPolicy::Inv);
     }
 

@@ -66,7 +66,11 @@ impl Cache {
     /// Panics if the geometry is invalid (see [`CacheParams::validate`]).
     pub fn new(params: CacheParams) -> Self {
         params.validate().expect("invalid cache geometry");
-        Cache { sets: vec![Vec::new(); params.sets], ways: params.ways, tick: 0 }
+        Cache {
+            sets: vec![Vec::new(); params.sets],
+            ways: params.ways,
+            tick: 0,
+        }
     }
 
     fn set_index(&self, line: LineAddr) -> usize {
@@ -95,7 +99,9 @@ impl Cache {
 
     /// Returns the resident line without touching LRU state.
     pub fn peek(&self, line: LineAddr) -> Option<&CacheLine> {
-        self.sets[self.set_index(line)].iter().find(|l| l.line == line)
+        self.sets[self.set_index(line)]
+            .iter()
+            .find(|l| l.line == line)
     }
 
     /// Inserts (or overwrites) `line`, evicting the LRU line of a full
@@ -113,14 +119,26 @@ impl Cache {
             return None;
         }
         let evicted = if set.len() >= ways {
-            let (victim_idx, _) =
-                set.iter().enumerate().min_by_key(|(_, l)| l.lru).expect("set is non-empty");
+            let (victim_idx, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .expect("set is non-empty");
             let victim = set.swap_remove(victim_idx);
-            Some(Evicted { line: victim.line, state: victim.state, data: victim.data })
+            Some(Evicted {
+                line: victim.line,
+                state: victim.state,
+                data: victim.data,
+            })
         } else {
             None
         };
-        set.push(CacheLine { line, state, data, lru: tick });
+        set.push(CacheLine {
+            line,
+            state,
+            data,
+            lru: tick,
+        });
         evicted
     }
 
@@ -168,7 +186,13 @@ mod tests {
         assert!(c.is_empty());
         c.insert(LineAddr::new(5), CacheState::Shared, data(9));
         assert_eq!(c.state(LineAddr::new(5)), Some(CacheState::Shared));
-        assert_eq!(c.peek(LineAddr::new(5)).unwrap().data.word(dsm_sim::Addr::new(0)), 9);
+        assert_eq!(
+            c.peek(LineAddr::new(5))
+                .unwrap()
+                .data
+                .word(dsm_sim::Addr::new(0)),
+            9
+        );
         let removed = c.remove(LineAddr::new(5)).unwrap();
         assert_eq!(removed.line, LineAddr::new(5));
         assert!(c.is_empty());
@@ -192,7 +216,9 @@ mod tests {
         c.insert(LineAddr::new(1), CacheState::Shared, data(1));
         // Touch line 0 so line 1 becomes LRU.
         c.get_mut(LineAddr::new(0));
-        let ev = c.insert(LineAddr::new(2), CacheState::Shared, data(2)).unwrap();
+        let ev = c
+            .insert(LineAddr::new(2), CacheState::Shared, data(2))
+            .unwrap();
         assert_eq!(ev.line, LineAddr::new(1));
         assert!(c.state(LineAddr::new(0)).is_some());
         assert!(c.state(LineAddr::new(2)).is_some());
@@ -202,7 +228,9 @@ mod tests {
     fn eviction_returns_dirty_state_and_data() {
         let mut c = cache(1, 1);
         c.insert(LineAddr::new(0), CacheState::Exclusive, data(42));
-        let ev = c.insert(LineAddr::new(1), CacheState::Shared, data(0)).unwrap();
+        let ev = c
+            .insert(LineAddr::new(1), CacheState::Shared, data(0))
+            .unwrap();
         assert_eq!(ev.state, CacheState::Exclusive);
         assert_eq!(ev.data.word(dsm_sim::Addr::new(0)), 42);
     }
@@ -224,7 +252,13 @@ mod tests {
         l.state = CacheState::Exclusive;
         l.data.set_word(dsm_sim::Addr::new(8), 99);
         assert_eq!(c.state(LineAddr::new(3)), Some(CacheState::Exclusive));
-        assert_eq!(c.peek(LineAddr::new(3)).unwrap().data.word(dsm_sim::Addr::new(8)), 99);
+        assert_eq!(
+            c.peek(LineAddr::new(3))
+                .unwrap()
+                .data
+                .word(dsm_sim::Addr::new(8)),
+            99
+        );
     }
 
     #[test]

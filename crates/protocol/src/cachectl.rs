@@ -100,7 +100,9 @@ impl CacheNode {
 
     /// Reads a word from the local cache, if the line is resident.
     pub fn peek_word(&self, addr: Addr) -> Option<crate::types::Value> {
-        self.cache.peek(addr.line(self.line_size)).map(|l| l.data.word(addr))
+        self.cache
+            .peek(addr.line(self.line_size))
+            .map(|l| l.data.word(addr))
     }
 
     /// `true` if an operation is outstanding.
@@ -132,7 +134,11 @@ impl CacheNode {
     }
 
     fn local(result: OpResult) -> Option<OpOutcome> {
-        Some(OpOutcome { result, chain: 0, local: true })
+        Some(OpOutcome {
+            result,
+            chain: 0,
+            local: true,
+        })
     }
 
     /// Installs a line, emitting a write-back if a dirty line is
@@ -156,7 +162,10 @@ impl CacheNode {
     }
 
     fn alloc_mshr(&mut self, op: MemOp) {
-        debug_assert!(self.mshr.is_none(), "processor issued a second outstanding op");
+        debug_assert!(
+            self.mshr.is_none(),
+            "processor issued a second outstanding op"
+        );
         self.mshr = Some(Mshr {
             op,
             line: op.addr().line(self.line_size),
@@ -177,7 +186,10 @@ impl CacheNode {
     ///
     /// Panics if an operation is already outstanding.
     pub fn start_op(&mut self, op: MemOp, map: &AddressMap, out: &mut Outbox) -> Option<OpOutcome> {
-        assert!(self.mshr.is_none(), "processor issued a second outstanding op");
+        assert!(
+            self.mshr.is_none(),
+            "processor issued a second outstanding op"
+        );
         let cfg = map.config_for(op.addr());
         match cfg.policy {
             SyncPolicy::Unc => self.start_unc(op, out),
@@ -215,7 +227,11 @@ impl CacheNode {
             MemOp::Load { .. } | MemOp::LoadExclusive { .. } => {
                 if let Some(l) = self.cache.get_mut(line) {
                     let value = l.data.word(addr);
-                    return Self::local(OpResult::Loaded { value, serial: None, reserved: false });
+                    return Self::local(OpResult::Loaded {
+                        value,
+                        serial: None,
+                        reserved: false,
+                    });
                 }
                 let msg = self.request(addr, MsgKind::GetS);
                 out.send(msg);
@@ -230,21 +246,34 @@ impl CacheNode {
                 Self::local(OpResult::Stored)
             }
             MemOp::Store { value, .. } => {
-                let msg =
-                    self.request(addr, MsgKind::AtomicMem { op: MemAtomicOp::Store { value } });
+                let msg = self.request(
+                    addr,
+                    MsgKind::AtomicMem {
+                        op: MemAtomicOp::Store { value },
+                    },
+                );
                 out.send(msg);
                 self.alloc_mshr(op);
                 None
             }
             MemOp::FetchPhi { op: phi, .. } => {
-                let msg = self.request(addr, MsgKind::AtomicMem { op: MemAtomicOp::Phi { op: phi } });
+                let msg = self.request(
+                    addr,
+                    MsgKind::AtomicMem {
+                        op: MemAtomicOp::Phi { op: phi },
+                    },
+                );
                 out.send(msg);
                 self.alloc_mshr(op);
                 None
             }
             MemOp::Cas { expected, new, .. } => {
-                let msg =
-                    self.request(addr, MsgKind::AtomicMem { op: MemAtomicOp::Cas { expected, new } });
+                let msg = self.request(
+                    addr,
+                    MsgKind::AtomicMem {
+                        op: MemAtomicOp::Cas { expected, new },
+                    },
+                );
                 out.send(msg);
                 self.alloc_mshr(op);
                 None
@@ -252,14 +281,23 @@ impl CacheNode {
             // "Load_linked requests have to go to memory even if the
             // datum is cached, in order to set the reservation" (§3).
             MemOp::LoadLinked { .. } => {
-                let msg = self.request(addr, MsgKind::AtomicMem { op: MemAtomicOp::Ll });
+                let msg = self.request(
+                    addr,
+                    MsgKind::AtomicMem {
+                        op: MemAtomicOp::Ll,
+                    },
+                );
                 out.send(msg);
                 self.alloc_mshr(op);
                 None
             }
             MemOp::StoreConditional { value, serial, .. } => {
-                let msg =
-                    self.request(addr, MsgKind::AtomicMem { op: MemAtomicOp::Sc { value, serial } });
+                let msg = self.request(
+                    addr,
+                    MsgKind::AtomicMem {
+                        op: MemAtomicOp::Sc { value, serial },
+                    },
+                );
                 out.send(msg);
                 self.alloc_mshr(op);
                 None
@@ -275,7 +313,11 @@ impl CacheNode {
             MemOp::Load { .. } => match state {
                 Some(_) => {
                     let value = self.cache.get_mut(line).expect("hit").data.word(addr);
-                    Self::local(OpResult::Loaded { value, serial: None, reserved: false })
+                    Self::local(OpResult::Loaded {
+                        value,
+                        serial: None,
+                        reserved: false,
+                    })
                 }
                 None => {
                     let msg = self.request(addr, MsgKind::GetS);
@@ -288,7 +330,11 @@ impl CacheNode {
                 Some(_) => {
                     let value = self.cache.get_mut(line).expect("hit").data.word(addr);
                     self.resv.set(line);
-                    Self::local(OpResult::Loaded { value, serial: None, reserved: true })
+                    Self::local(OpResult::Loaded {
+                        value,
+                        serial: None,
+                        reserved: true,
+                    })
                 }
                 None => {
                     let msg = self.request(addr, MsgKind::GetS);
@@ -299,7 +345,11 @@ impl CacheNode {
             },
             MemOp::Store { value, .. } => match state {
                 Some(CacheState::Exclusive) => {
-                    self.cache.get_mut(line).expect("hit").data.set_word(addr, value);
+                    self.cache
+                        .get_mut(line)
+                        .expect("hit")
+                        .data
+                        .set_word(addr, value);
                     Self::local(OpResult::Stored)
                 }
                 held => self.miss_for_exclusive(op, held.is_some(), out),
@@ -307,7 +357,11 @@ impl CacheNode {
             MemOp::LoadExclusive { .. } => match state {
                 Some(CacheState::Exclusive) => {
                     let value = self.cache.get_mut(line).expect("hit").data.word(addr);
-                    Self::local(OpResult::Loaded { value, serial: None, reserved: false })
+                    Self::local(OpResult::Loaded {
+                        value,
+                        serial: None,
+                        reserved: false,
+                    })
                 }
                 held => self.miss_for_exclusive(op, held.is_some(), out),
             },
@@ -333,8 +387,14 @@ impl CacheNode {
                 held => match cas {
                     CasVariant::Plain => self.miss_for_exclusive(op, held.is_some(), out),
                     CasVariant::Deny | CasVariant::Share => {
-                        let msg = self
-                            .request(addr, MsgKind::CasHome { expected, new, variant: cas });
+                        let msg = self.request(
+                            addr,
+                            MsgKind::CasHome {
+                                expected,
+                                new,
+                                variant: cas,
+                            },
+                        );
                         out.send(msg);
                         self.alloc_mshr(op);
                         None
@@ -349,7 +409,11 @@ impl CacheNode {
                 self.resv.clear();
                 match state {
                     Some(CacheState::Exclusive) => {
-                        self.cache.get_mut(line).expect("hit").data.set_word(addr, value);
+                        self.cache
+                            .get_mut(line)
+                            .expect("hit")
+                            .data
+                            .set_word(addr, value);
                         Self::local(OpResult::ScDone { success: true })
                     }
                     Some(CacheState::Shared) => {
@@ -473,9 +537,13 @@ impl CacheNode {
                 let l = self.cache.remove(msg.line).expect("resident");
                 out.send(reply(MsgKind::XferData { data: l.data }));
             }
-            MsgKind::FwdCas { expected, addr, variant, .. } => {
-                let observed =
-                    self.cache.peek(msg.line).expect("resident").data.word(addr);
+            MsgKind::FwdCas {
+                expected,
+                addr,
+                variant,
+                ..
+            } => {
+                let observed = self.cache.peek(msg.line).expect("resident").data.word(addr);
                 if observed == expected {
                     self.resv.invalidate_line(msg.line);
                     let l = self.cache.remove(msg.line).expect("resident");
@@ -487,7 +555,11 @@ impl CacheNode {
                         l.state = CacheState::Shared;
                     }
                     let data = l.data.clone();
-                    out.send(reply(MsgKind::OwnerCasFail { observed, data, kept_exclusive }));
+                    out.send(reply(MsgKind::OwnerCasFail {
+                        observed,
+                        data,
+                        kept_exclusive,
+                    }));
                 }
             }
             _ => unreachable!(),
@@ -517,32 +589,51 @@ impl CacheNode {
                 m.acks_needed += acks;
             }
             MsgKind::UpgradeAck { acks } => {
-                let l = self.cache.get_mut(msg.line).expect("upgrade of an absent line");
+                let l = self
+                    .cache
+                    .get_mut(msg.line)
+                    .expect("upgrade of an absent line");
                 l.state = CacheState::Exclusive;
                 let m = self.mshr.as_mut().expect("checked above");
                 m.reply_seen = true;
                 m.acks_needed += acks;
             }
-            MsgKind::CasGrant { data, acks, observed } => {
+            MsgKind::CasGrant {
+                data,
+                acks,
+                observed,
+            } => {
                 match data {
                     Some(d) => self.install(msg.line, CacheState::Exclusive, d, out),
                     None => {
-                        let l = self.cache.get_mut(msg.line).expect("grant without data or copy");
+                        let l = self
+                            .cache
+                            .get_mut(msg.line)
+                            .expect("grant without data or copy");
                         l.state = CacheState::Exclusive;
                     }
                 }
                 let m = self.mshr.as_mut().expect("checked above");
                 m.reply_seen = true;
                 m.acks_needed += acks;
-                m.staged = Some(OpResult::CasDone { success: true, observed });
+                m.staged = Some(OpResult::CasDone {
+                    success: true,
+                    observed,
+                });
             }
-            MsgKind::CasFail { observed, share_data } => {
+            MsgKind::CasFail {
+                observed,
+                share_data,
+            } => {
                 if let Some(d) = share_data {
                     self.install(msg.line, CacheState::Shared, d, out);
                 }
                 let m = self.mshr.as_mut().expect("checked above");
                 m.reply_seen = true;
-                m.staged = Some(OpResult::CasDone { success: false, observed });
+                m.staged = Some(OpResult::CasDone {
+                    success: false,
+                    observed,
+                });
             }
             MsgKind::AtomicReply { result, acks, data } => {
                 if let Some(d) = data {
@@ -555,7 +646,10 @@ impl CacheNode {
             }
             MsgKind::ScInvReply { success, acks } => {
                 if success {
-                    let l = self.cache.get_mut(msg.line).expect("SC upgrade of an absent line");
+                    let l = self
+                        .cache
+                        .get_mut(msg.line)
+                        .expect("SC upgrade of an absent line");
                     l.state = CacheState::Exclusive;
                 }
                 let m = self.mshr.as_mut().expect("checked above");
@@ -614,13 +708,31 @@ impl CacheNode {
                 // that the line is resident with sufficient permission.
                 match m.op {
                     MemOp::Load { .. } | MemOp::LoadExclusive { .. } => {
-                        let value = self.cache.get_mut(m.line).expect("installed").data.word(addr);
-                        OpResult::Loaded { value, serial: None, reserved: false }
+                        let value = self
+                            .cache
+                            .get_mut(m.line)
+                            .expect("installed")
+                            .data
+                            .word(addr);
+                        OpResult::Loaded {
+                            value,
+                            serial: None,
+                            reserved: false,
+                        }
                     }
                     MemOp::LoadLinked { .. } => {
-                        let value = self.cache.get_mut(m.line).expect("installed").data.word(addr);
+                        let value = self
+                            .cache
+                            .get_mut(m.line)
+                            .expect("installed")
+                            .data
+                            .word(addr);
                         self.resv.set(m.line);
-                        OpResult::Loaded { value, serial: None, reserved: true }
+                        OpResult::Loaded {
+                            value,
+                            serial: None,
+                            reserved: true,
+                        }
                     }
                     MemOp::Store { value, .. } => {
                         let l = self.cache.get_mut(m.line).expect("installed");
@@ -655,7 +767,11 @@ impl CacheNode {
         for deferred in m.deferred {
             self.handle_intervention(deferred, out);
         }
-        Some(OpOutcome { result, chain: m.chain, local: false })
+        Some(OpOutcome {
+            result,
+            chain: m.chain,
+            local: false,
+        })
     }
 }
 
@@ -701,19 +817,32 @@ mod tests {
     fn load_miss_then_hit() {
         let mut c = cc();
         let mut out = Outbox::new();
-        assert!(c.start_op(MemOp::Load { addr: A }, &map(), &mut out).is_none());
+        assert!(c
+            .start_op(MemOp::Load { addr: A }, &map(), &mut out)
+            .is_none());
         let sent = out.drain();
         assert_eq!(sent.len(), 1);
         assert!(matches!(sent[0].kind, MsgKind::GetS));
         assert_eq!(sent[0].dst, NodeId::new(2));
 
-        let done = c.handle(reply(MsgKind::DataS { data: data(7) }, 2), &mut out).unwrap();
-        assert_eq!(done.result, OpResult::Loaded { value: 7, serial: None, reserved: false });
+        let done = c
+            .handle(reply(MsgKind::DataS { data: data(7) }, 2), &mut out)
+            .unwrap();
+        assert_eq!(
+            done.result,
+            OpResult::Loaded {
+                value: 7,
+                serial: None,
+                reserved: false
+            }
+        );
         assert_eq!(done.chain, 2);
         assert!(!done.local);
 
         // Second load hits.
-        let done = c.start_op(MemOp::Load { addr: A }, &map(), &mut out).unwrap();
+        let done = c
+            .start_op(MemOp::Load { addr: A }, &map(), &mut out)
+            .unwrap();
         assert!(done.local);
         assert_eq!(done.result.value(), Some(7));
     }
@@ -724,9 +853,20 @@ mod tests {
         let mut out = Outbox::new();
         c.start_op(MemOp::Store { addr: A, value: 3 }, &map(), &mut out);
         out.drain();
-        c.handle(reply(MsgKind::DataX { data: data(0), acks: 0 }, 2), &mut out);
+        c.handle(
+            reply(
+                MsgKind::DataX {
+                    data: data(0),
+                    acks: 0,
+                },
+                2,
+            ),
+            &mut out,
+        );
         // Now exclusive: next store is a pure cache hit.
-        let done = c.start_op(MemOp::Store { addr: A, value: 4 }, &map(), &mut out).unwrap();
+        let done = c
+            .start_op(MemOp::Store { addr: A, value: 4 }, &map(), &mut out)
+            .unwrap();
         assert!(done.local);
         assert_eq!(c.peek_word(A), Some(4));
         assert!(out.drain().is_empty());
@@ -742,18 +882,25 @@ mod tests {
         out.drain();
 
         // Store from shared: GetX{from_shared}.
-        assert!(c.start_op(MemOp::Store { addr: A, value: 9 }, &map(), &mut out).is_none());
+        assert!(c
+            .start_op(MemOp::Store { addr: A, value: 9 }, &map(), &mut out)
+            .is_none());
         let sent = out.drain();
         assert!(matches!(sent[0].kind, MsgKind::GetX { from_shared: true }));
 
         // UpgradeAck with 2 acks pending: not complete yet.
-        assert!(c.handle(reply(MsgKind::UpgradeAck { acks: 2 }, 2), &mut out).is_none());
+        assert!(c
+            .handle(reply(MsgKind::UpgradeAck { acks: 2 }, 2), &mut out)
+            .is_none());
         let mut ack = reply(MsgKind::InvAck, 3);
         ack.src = NodeId::new(3);
         assert!(c.handle(ack.clone(), &mut out).is_none());
         let done = c.handle(ack, &mut out).unwrap();
         assert_eq!(done.result, OpResult::Stored);
-        assert_eq!(done.chain, 3, "Table 1: store to remote shared = 3 serialized messages");
+        assert_eq!(
+            done.chain, 3,
+            "Table 1: store to remote shared = 3 serialized messages"
+        );
         assert_eq!(c.peek_word(A), Some(9));
         assert_eq!(c.cache_state(LINE), Some(CacheState::Exclusive));
     }
@@ -762,9 +909,27 @@ mod tests {
     fn fetch_phi_applies_on_arrival() {
         let mut c = cc();
         let mut out = Outbox::new();
-        c.start_op(MemOp::FetchPhi { addr: A, op: PhiOp::Add(5) }, &map(), &mut out);
+        c.start_op(
+            MemOp::FetchPhi {
+                addr: A,
+                op: PhiOp::Add(5),
+            },
+            &map(),
+            &mut out,
+        );
         out.drain();
-        let done = c.handle(reply(MsgKind::DataX { data: data(10), acks: 0 }, 2), &mut out).unwrap();
+        let done = c
+            .handle(
+                reply(
+                    MsgKind::DataX {
+                        data: data(10),
+                        acks: 0,
+                    },
+                    2,
+                ),
+                &mut out,
+            )
+            .unwrap();
         assert_eq!(done.result, OpResult::Fetched { old: 10 });
         assert_eq!(c.peek_word(A), Some(15));
     }
@@ -775,17 +940,56 @@ mod tests {
         let mut out = Outbox::new();
         c.start_op(MemOp::Store { addr: A, value: 1 }, &map(), &mut out);
         out.drain();
-        c.handle(reply(MsgKind::DataX { data: data(0), acks: 0 }, 2), &mut out);
+        c.handle(
+            reply(
+                MsgKind::DataX {
+                    data: data(0),
+                    acks: 0,
+                },
+                2,
+            ),
+            &mut out,
+        );
 
-        let done =
-            c.start_op(MemOp::Cas { addr: A, expected: 1, new: 2 }, &map(), &mut out).unwrap();
+        let done = c
+            .start_op(
+                MemOp::Cas {
+                    addr: A,
+                    expected: 1,
+                    new: 2,
+                },
+                &map(),
+                &mut out,
+            )
+            .unwrap();
         assert!(done.local);
-        assert_eq!(done.result, OpResult::CasDone { success: true, observed: 1 });
+        assert_eq!(
+            done.result,
+            OpResult::CasDone {
+                success: true,
+                observed: 1
+            }
+        );
         assert_eq!(c.peek_word(A), Some(2));
 
-        let done =
-            c.start_op(MemOp::Cas { addr: A, expected: 1, new: 3 }, &map(), &mut out).unwrap();
-        assert_eq!(done.result, OpResult::CasDone { success: false, observed: 2 });
+        let done = c
+            .start_op(
+                MemOp::Cas {
+                    addr: A,
+                    expected: 1,
+                    new: 3,
+                },
+                &map(),
+                &mut out,
+            )
+            .unwrap();
+        assert_eq!(
+            done.result,
+            OpResult::CasDone {
+                success: false,
+                observed: 2
+            }
+        );
         assert_eq!(c.peek_word(A), Some(2), "failed CAS must not write");
     }
 
@@ -796,15 +1000,37 @@ mod tests {
         // Get exclusive, then LL/SC locally.
         c.start_op(MemOp::LoadExclusive { addr: A }, &map(), &mut out);
         out.drain();
-        c.handle(reply(MsgKind::DataX { data: data(5), acks: 0 }, 2), &mut out);
+        c.handle(
+            reply(
+                MsgKind::DataX {
+                    data: data(5),
+                    acks: 0,
+                },
+                2,
+            ),
+            &mut out,
+        );
 
-        let done = c.start_op(MemOp::LoadLinked { addr: A }, &map(), &mut out).unwrap();
+        let done = c
+            .start_op(MemOp::LoadLinked { addr: A }, &map(), &mut out)
+            .unwrap();
         assert!(done.local);
         assert_eq!(done.result.value(), Some(5));
         let done = c
-            .start_op(MemOp::StoreConditional { addr: A, value: 6, serial: None }, &map(), &mut out)
+            .start_op(
+                MemOp::StoreConditional {
+                    addr: A,
+                    value: 6,
+                    serial: None,
+                },
+                &map(),
+                &mut out,
+            )
             .unwrap();
-        assert!(done.local, "SC on an exclusive reserved line succeeds locally");
+        assert!(
+            done.local,
+            "SC on an exclusive reserved line succeeds locally"
+        );
         assert_eq!(done.result, OpResult::ScDone { success: true });
         assert_eq!(c.peek_word(A), Some(6));
     }
@@ -814,7 +1040,15 @@ mod tests {
         let mut c = cc();
         let mut out = Outbox::new();
         let done = c
-            .start_op(MemOp::StoreConditional { addr: A, value: 6, serial: None }, &map(), &mut out)
+            .start_op(
+                MemOp::StoreConditional {
+                    addr: A,
+                    value: 6,
+                    serial: None,
+                },
+                &map(),
+                &mut out,
+            )
             .unwrap();
         assert!(done.local);
         assert_eq!(done.result, OpResult::ScDone { success: false });
@@ -830,7 +1064,12 @@ mod tests {
         c.handle(reply(MsgKind::DataS { data: data(5) }, 2), &mut out);
 
         // Another node writes: we get an invalidation.
-        let mut inv = reply(MsgKind::Inv { requester: NodeId::new(3) }, 2);
+        let mut inv = reply(
+            MsgKind::Inv {
+                requester: NodeId::new(3),
+            },
+            2,
+        );
         inv.proc = ProcId::new(3);
         c.handle(inv, &mut out);
         let acks = out.drain();
@@ -841,7 +1080,15 @@ mod tests {
         assert_eq!(c.cache_state(LINE), None);
 
         let done = c
-            .start_op(MemOp::StoreConditional { addr: A, value: 6, serial: None }, &map(), &mut out)
+            .start_op(
+                MemOp::StoreConditional {
+                    addr: A,
+                    value: 6,
+                    serial: None,
+                },
+                &map(),
+                &mut out,
+            )
             .unwrap();
         assert_eq!(done.result, OpResult::ScDone { success: false });
     }
@@ -855,12 +1102,29 @@ mod tests {
         c.handle(reply(MsgKind::DataS { data: data(5) }, 2), &mut out);
 
         assert!(c
-            .start_op(MemOp::StoreConditional { addr: A, value: 6, serial: None }, &map(), &mut out)
+            .start_op(
+                MemOp::StoreConditional {
+                    addr: A,
+                    value: 6,
+                    serial: None
+                },
+                &map(),
+                &mut out
+            )
             .is_none());
         let sent = out.drain();
         assert!(matches!(sent[0].kind, MsgKind::ScInv));
 
-        let done = c.handle(reply(MsgKind::ScInvReply { success: true, acks: 0 }, 2), &mut out);
+        let done = c.handle(
+            reply(
+                MsgKind::ScInvReply {
+                    success: true,
+                    acks: 0,
+                },
+                2,
+            ),
+            &mut out,
+        );
         let done = done.unwrap();
         assert_eq!(done.result, OpResult::ScDone { success: true });
         assert_eq!(c.cache_state(LINE), Some(CacheState::Exclusive));
@@ -873,7 +1137,16 @@ mod tests {
         let mut out = Outbox::new();
         c.start_op(MemOp::Store { addr: A, value: 8 }, &map(), &mut out);
         out.drain();
-        c.handle(reply(MsgKind::DataX { data: data(0), acks: 0 }, 2), &mut out);
+        c.handle(
+            reply(
+                MsgKind::DataX {
+                    data: data(0),
+                    acks: 0,
+                },
+                2,
+            ),
+            &mut out,
+        );
 
         let mut fwd = reply(MsgKind::FwdGetX, 2);
         fwd.proc = ProcId::new(3);
@@ -903,16 +1176,34 @@ mod tests {
         let mut out = Outbox::new();
         c.start_op(MemOp::Store { addr: A, value: 8 }, &map(), &mut out);
         out.drain();
-        c.handle(reply(MsgKind::DataX { data: data(0), acks: 0 }, 2), &mut out);
+        c.handle(
+            reply(
+                MsgKind::DataX {
+                    data: data(0),
+                    acks: 0,
+                },
+                2,
+            ),
+            &mut out,
+        );
 
         let fwd = reply(
-            MsgKind::FwdCas { expected: 99, new: 1, addr: A, variant: CasVariant::Deny },
+            MsgKind::FwdCas {
+                expected: 99,
+                new: 1,
+                addr: A,
+                variant: CasVariant::Deny,
+            },
             2,
         );
         c.handle(fwd, &mut out);
         let sent = out.drain();
         match &sent[0].kind {
-            MsgKind::OwnerCasFail { observed, kept_exclusive, .. } => {
+            MsgKind::OwnerCasFail {
+                observed,
+                kept_exclusive,
+                ..
+            } => {
                 assert_eq!(*observed, 8);
                 assert!(kept_exclusive);
             }
@@ -955,11 +1246,31 @@ mod tests {
     fn unc_ops_bypass_the_cache() {
         let mut c = cc();
         let mut m = map();
-        m.register(A, SyncConfig { policy: SyncPolicy::Unc, ..Default::default() });
+        m.register(
+            A,
+            SyncConfig {
+                policy: SyncPolicy::Unc,
+                ..Default::default()
+            },
+        );
         let mut out = Outbox::new();
-        assert!(c.start_op(MemOp::FetchPhi { addr: A, op: PhiOp::Add(1) }, &m, &mut out).is_none());
+        assert!(c
+            .start_op(
+                MemOp::FetchPhi {
+                    addr: A,
+                    op: PhiOp::Add(1)
+                },
+                &m,
+                &mut out
+            )
+            .is_none());
         let sent = out.drain();
-        assert!(matches!(sent[0].kind, MsgKind::AtomicMem { op: MemAtomicOp::Phi { .. } }));
+        assert!(matches!(
+            sent[0].kind,
+            MsgKind::AtomicMem {
+                op: MemAtomicOp::Phi { .. }
+            }
+        ));
 
         let done = c
             .handle(
@@ -983,7 +1294,13 @@ mod tests {
     fn upd_load_allocates_and_updates_apply() {
         let mut c = cc();
         let mut m = map();
-        m.register(A, SyncConfig { policy: SyncPolicy::Upd, ..Default::default() });
+        m.register(
+            A,
+            SyncConfig {
+                policy: SyncPolicy::Upd,
+                ..Default::default()
+            },
+        );
         let mut out = Outbox::new();
         c.start_op(MemOp::Load { addr: A }, &m, &mut out);
         out.drain();
@@ -991,7 +1308,16 @@ mod tests {
         assert_eq!(c.peek_word(A), Some(1));
 
         // An update from another node's write arrives.
-        c.handle(reply(MsgKind::Update { data: data(2), requester: NodeId::new(3) }, 2), &mut out);
+        c.handle(
+            reply(
+                MsgKind::Update {
+                    data: data(2),
+                    requester: NodeId::new(3),
+                },
+                2,
+            ),
+            &mut out,
+        );
         let acks = out.drain();
         assert!(matches!(acks[0].kind, MsgKind::UpdAck));
         assert_eq!(c.peek_word(A), Some(2));
@@ -1006,17 +1332,34 @@ mod tests {
     fn upd_store_goes_to_memory_and_waits_for_acks() {
         let mut c = cc();
         let mut m = map();
-        m.register(A, SyncConfig { policy: SyncPolicy::Upd, ..Default::default() });
+        m.register(
+            A,
+            SyncConfig {
+                policy: SyncPolicy::Upd,
+                ..Default::default()
+            },
+        );
         let mut out = Outbox::new();
-        assert!(c.start_op(MemOp::Store { addr: A, value: 5 }, &m, &mut out).is_none());
+        assert!(c
+            .start_op(MemOp::Store { addr: A, value: 5 }, &m, &mut out)
+            .is_none());
         let sent = out.drain();
-        assert!(matches!(sent[0].kind, MsgKind::AtomicMem { op: MemAtomicOp::Store { .. } }));
+        assert!(matches!(
+            sent[0].kind,
+            MsgKind::AtomicMem {
+                op: MemAtomicOp::Store { .. }
+            }
+        ));
 
         // Reply says one sharer must ack; completion waits.
         assert!(c
             .handle(
                 reply(
-                    MsgKind::AtomicReply { result: OpResult::Stored, acks: 1, data: None },
+                    MsgKind::AtomicReply {
+                        result: OpResult::Stored,
+                        acks: 1,
+                        data: None
+                    },
                     2
                 ),
                 &mut out
@@ -1026,7 +1369,10 @@ mod tests {
         ack.src = NodeId::new(3);
         let done = c.handle(ack, &mut out).unwrap();
         assert_eq!(done.result, OpResult::Stored);
-        assert_eq!(done.chain, 3, "Table 1: UPD store to cached = 3 serialized messages");
+        assert_eq!(
+            done.chain, 3,
+            "Table 1: UPD store to cached = 3 serialized messages"
+        );
     }
 
     #[test]
@@ -1035,9 +1381,20 @@ mod tests {
         let mut out = Outbox::new();
         c.start_op(MemOp::Store { addr: A, value: 8 }, &map(), &mut out);
         out.drain();
-        c.handle(reply(MsgKind::DataX { data: data(0), acks: 0 }, 2), &mut out);
+        c.handle(
+            reply(
+                MsgKind::DataX {
+                    data: data(0),
+                    acks: 0,
+                },
+                2,
+            ),
+            &mut out,
+        );
 
-        let done = c.start_op(MemOp::DropCopy { addr: A }, &map(), &mut out).unwrap();
+        let done = c
+            .start_op(MemOp::DropCopy { addr: A }, &map(), &mut out)
+            .unwrap();
         assert!(done.local);
         let sent = out.drain();
         assert_eq!(sent.len(), 1);
@@ -1066,7 +1423,9 @@ mod tests {
     fn drop_copy_of_absent_line_is_silent() {
         let mut c = cc();
         let mut out = Outbox::new();
-        let done = c.start_op(MemOp::DropCopy { addr: A }, &map(), &mut out).unwrap();
+        let done = c
+            .start_op(MemOp::DropCopy { addr: A }, &map(), &mut out)
+            .unwrap();
         assert!(done.local);
         assert!(out.drain().is_empty());
     }
@@ -1076,10 +1435,24 @@ mod tests {
         for variant in [CasVariant::Deny, CasVariant::Share] {
             let mut c = cc();
             let mut m = map();
-            m.register(A, SyncConfig { cas_variant: variant, ..Default::default() });
+            m.register(
+                A,
+                SyncConfig {
+                    cas_variant: variant,
+                    ..Default::default()
+                },
+            );
             let mut out = Outbox::new();
             assert!(c
-                .start_op(MemOp::Cas { addr: A, expected: 0, new: 1 }, &m, &mut out)
+                .start_op(
+                    MemOp::Cas {
+                        addr: A,
+                        expected: 0,
+                        new: 1
+                    },
+                    &m,
+                    &mut out
+                )
                 .is_none());
             let sent = out.drain();
             match &sent[0].kind {
@@ -1093,14 +1466,43 @@ mod tests {
     fn cas_fail_share_installs_read_only_copy() {
         let mut c = cc();
         let mut m = map();
-        m.register(A, SyncConfig { cas_variant: CasVariant::Share, ..Default::default() });
+        m.register(
+            A,
+            SyncConfig {
+                cas_variant: CasVariant::Share,
+                ..Default::default()
+            },
+        );
         let mut out = Outbox::new();
-        c.start_op(MemOp::Cas { addr: A, expected: 0, new: 1 }, &m, &mut out);
+        c.start_op(
+            MemOp::Cas {
+                addr: A,
+                expected: 0,
+                new: 1,
+            },
+            &m,
+            &mut out,
+        );
         out.drain();
         let done = c
-            .handle(reply(MsgKind::CasFail { observed: 9, share_data: Some(data(9)) }, 2), &mut out)
+            .handle(
+                reply(
+                    MsgKind::CasFail {
+                        observed: 9,
+                        share_data: Some(data(9)),
+                    },
+                    2,
+                ),
+                &mut out,
+            )
             .unwrap();
-        assert_eq!(done.result, OpResult::CasDone { success: false, observed: 9 });
+        assert_eq!(
+            done.result,
+            OpResult::CasDone {
+                success: false,
+                observed: 9
+            }
+        );
         assert_eq!(c.cache_state(LINE), Some(CacheState::Shared));
         assert_eq!(c.peek_word(A), Some(9));
     }
@@ -1109,17 +1511,44 @@ mod tests {
     fn cas_grant_applies_swap() {
         let mut c = cc();
         let mut m = map();
-        m.register(A, SyncConfig { cas_variant: CasVariant::Deny, ..Default::default() });
+        m.register(
+            A,
+            SyncConfig {
+                cas_variant: CasVariant::Deny,
+                ..Default::default()
+            },
+        );
         let mut out = Outbox::new();
-        c.start_op(MemOp::Cas { addr: A, expected: 4, new: 5 }, &m, &mut out);
+        c.start_op(
+            MemOp::Cas {
+                addr: A,
+                expected: 4,
+                new: 5,
+            },
+            &m,
+            &mut out,
+        );
         out.drain();
         let done = c
             .handle(
-                reply(MsgKind::CasGrant { data: Some(data(4)), acks: 0, observed: 4 }, 2),
+                reply(
+                    MsgKind::CasGrant {
+                        data: Some(data(4)),
+                        acks: 0,
+                        observed: 4,
+                    },
+                    2,
+                ),
                 &mut out,
             )
             .unwrap();
-        assert_eq!(done.result, OpResult::CasDone { success: true, observed: 4 });
+        assert_eq!(
+            done.result,
+            OpResult::CasDone {
+                success: true,
+                observed: 4
+            }
+        );
         assert_eq!(c.peek_word(A), Some(5));
         assert_eq!(c.cache_state(LINE), Some(CacheState::Exclusive));
     }
@@ -1135,11 +1564,18 @@ mod tests {
         // Acquire shared, then issue a store (upgrade).
         c.start_op(MemOp::Load { addr: A }, &map(), &mut out);
         c.handle(reply(MsgKind::DataS { data: data(1) }, 2), &mut out);
-        assert!(c.start_op(MemOp::Store { addr: A, value: 2 }, &map(), &mut out).is_none());
+        assert!(c
+            .start_op(MemOp::Store { addr: A, value: 2 }, &map(), &mut out)
+            .is_none());
         out.drain();
 
         // Competing writer's invalidation lands before our reply.
-        let mut inv = reply(MsgKind::Inv { requester: NodeId::new(3) }, 2);
+        let mut inv = reply(
+            MsgKind::Inv {
+                requester: NodeId::new(3),
+            },
+            2,
+        );
         inv.proc = ProcId::new(3);
         assert!(c.handle(inv, &mut out).is_none());
         let acks = out.drain();
@@ -1147,7 +1583,18 @@ mod tests {
         assert_eq!(c.cache_state(LINE), None, "shared copy must be gone");
 
         // The home replies with full data (not an UpgradeAck).
-        let done = c.handle(reply(MsgKind::DataX { data: data(9), acks: 0 }, 4), &mut out).unwrap();
+        let done = c
+            .handle(
+                reply(
+                    MsgKind::DataX {
+                        data: data(9),
+                        acks: 0,
+                    },
+                    4,
+                ),
+                &mut out,
+            )
+            .unwrap();
         assert_eq!(done.result, OpResult::Stored);
         assert_eq!(c.peek_word(A), Some(2), "store applied over fresh data");
         assert_eq!(done.chain, 4);
@@ -1166,8 +1613,15 @@ mod tests {
         c.handle(reply(MsgKind::UpgradeAck { acks: 1 }, 2), &mut out);
         out.drain();
 
-        let fwd =
-            reply(MsgKind::FwdCas { expected: 7, new: 8, addr: A, variant: CasVariant::Deny }, 2);
+        let fwd = reply(
+            MsgKind::FwdCas {
+                expected: 7,
+                new: 8,
+                addr: A,
+                variant: CasVariant::Deny,
+            },
+            2,
+        );
         c.handle(fwd, &mut out);
         assert!(out.drain().is_empty(), "FwdCas must wait for the ack");
 
@@ -1190,7 +1644,12 @@ mod tests {
     fn spurious_inv_is_acked() {
         let mut c = cc();
         let mut out = Outbox::new();
-        let mut inv = reply(MsgKind::Inv { requester: NodeId::new(3) }, 2);
+        let mut inv = reply(
+            MsgKind::Inv {
+                requester: NodeId::new(3),
+            },
+            2,
+        );
         inv.proc = ProcId::new(3);
         assert!(c.handle(inv, &mut out).is_none());
         let sent = out.drain();
@@ -1205,7 +1664,13 @@ mod tests {
     fn update_to_absent_line_is_acked() {
         let mut c = cc();
         let mut out = Outbox::new();
-        let upd = reply(MsgKind::Update { data: data(5), requester: NodeId::new(2) }, 2);
+        let upd = reply(
+            MsgKind::Update {
+                data: data(5),
+                requester: NodeId::new(2),
+            },
+            2,
+        );
         c.handle(upd, &mut out);
         let sent = out.drain();
         assert!(matches!(sent[0].kind, MsgKind::UpdAck));
@@ -1226,7 +1691,18 @@ mod tests {
             ack.src = NodeId::new(n);
             assert!(c.handle(ack, &mut out).is_none(), "must wait for DataX");
         }
-        let done = c.handle(reply(MsgKind::DataX { data: data(0), acks: 2 }, 2), &mut out).unwrap();
+        let done = c
+            .handle(
+                reply(
+                    MsgKind::DataX {
+                        data: data(0),
+                        acks: 2,
+                    },
+                    2,
+                ),
+                &mut out,
+            )
+            .unwrap();
         assert_eq!(done.result, OpResult::Stored);
         assert_eq!(done.chain, 3, "ack chain dominates");
     }
@@ -1245,14 +1721,27 @@ mod tests {
         // A miss to a conflicting line evicts the reserved line.
         let other = Addr::new(0x40 + 32); // next line, same (only) set
         c.start_op(MemOp::Load { addr: other }, &map(), &mut out);
-        let mut d2 = reply(MsgKind::DataS { data: LineData::zeroed(32) }, 2);
+        let mut d2 = reply(
+            MsgKind::DataS {
+                data: LineData::zeroed(32),
+            },
+            2,
+        );
         d2.line = other.line(32);
         d2.addr = other;
         c.handle(d2, &mut out);
         out.drain();
 
         let done = c
-            .start_op(MemOp::StoreConditional { addr: A, value: 9, serial: None }, &map(), &mut out)
+            .start_op(
+                MemOp::StoreConditional {
+                    addr: A,
+                    value: 9,
+                    serial: None,
+                },
+                &map(),
+                &mut out,
+            )
             .unwrap();
         assert_eq!(done.result, OpResult::ScDone { success: false });
         assert!(done.local);

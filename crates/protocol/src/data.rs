@@ -32,8 +32,14 @@ impl LineData {
     ///
     /// Panics if `line_size` is not a positive multiple of 8.
     pub fn zeroed(line_size: u64) -> Self {
-        assert!(line_size > 0 && line_size.is_multiple_of(8), "line size must be a multiple of 8 bytes");
-        LineData { words: vec![0; (line_size / 8) as usize], line_size }
+        assert!(
+            line_size > 0 && line_size.is_multiple_of(8),
+            "line size must be a multiple of 8 bytes"
+        );
+        LineData {
+            words: vec![0; (line_size / 8) as usize],
+            line_size,
+        }
     }
 
     /// The line size in bytes.

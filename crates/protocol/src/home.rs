@@ -115,7 +115,9 @@ impl HomeNode {
 
     /// The directory state of `line` (for tests and invariant checks).
     pub fn dir_state(&self, line: LineAddr) -> DirState {
-        self.dir.get(&line).map_or(DirState::Uncached, |e| e.state.clone())
+        self.dir
+            .get(&line)
+            .map_or(DirState::Uncached, |e| e.state.clone())
     }
 
     /// `true` if `line` has an intervention outstanding.
@@ -135,7 +137,9 @@ impl HomeNode {
 
     fn mem_line(&mut self, line: LineAddr) -> &mut LineData {
         let size = self.line_size;
-        self.mem.entry(line).or_insert_with(|| LineData::zeroed(size))
+        self.mem
+            .entry(line)
+            .or_insert_with(|| LineData::zeroed(size))
     }
 
     fn mem_clone(&mut self, line: LineAddr) -> LineData {
@@ -192,7 +196,11 @@ impl HomeNode {
             | MsgKind::CasHome { .. }
             | MsgKind::ScInv => {
                 if self.is_busy(msg.line) {
-                    self.dir.get_mut(&msg.line).expect("busy entry exists").waiters.push_back(msg);
+                    self.dir
+                        .get_mut(&msg.line)
+                        .expect("busy entry exists")
+                        .waiters
+                        .push_back(msg);
                     return;
                 }
                 self.handle_request(msg, map, out);
@@ -212,15 +220,24 @@ impl HomeNode {
             MsgKind::GetS => self.handle_gets(msg, out),
             MsgKind::GetX { from_shared } => self.handle_getx(msg, from_shared, out),
             MsgKind::AtomicMem { op } => self.handle_atomic_mem(msg, op, map, out),
-            MsgKind::CasHome { expected, new, variant } => {
-                self.handle_cas_home(msg, expected, new, variant, out)
-            }
+            MsgKind::CasHome {
+                expected,
+                new,
+                variant,
+            } => self.handle_cas_home(msg, expected, new, variant, out),
             MsgKind::ScInv => self.handle_sc_inv(msg, out),
             other => unreachable!("not a request: {other:?}"),
         }
     }
 
-    fn begin_intervention(&mut self, msg: Msg, kind: BusyKind, fwd_kind: MsgKind, owner: NodeId, out: &mut Outbox) {
+    fn begin_intervention(
+        &mut self,
+        msg: Msg,
+        kind: BusyKind,
+        fwd_kind: MsgKind,
+        owner: NodeId,
+        out: &mut Outbox,
+    ) {
         debug_assert_ne!(owner, msg.src, "owner re-requesting its own line");
         out.send(Msg {
             src: self.node,
@@ -232,8 +249,12 @@ impl HomeNode {
             kind: fwd_kind,
         });
         let line = msg.line;
-        self.dir.entry(line).or_default().busy =
-            Some(Busy { kind, request: msg, got_writeback: false, got_nak: false });
+        self.dir.entry(line).or_default().busy = Some(Busy {
+            kind,
+            request: msg,
+            got_writeback: false,
+            got_nak: false,
+        });
     }
 
     fn handle_gets(&mut self, msg: Msg, out: &mut Outbox) {
@@ -291,10 +312,19 @@ impl HomeNode {
         variant: CasVariant,
         out: &mut Outbox,
     ) {
-        debug_assert_ne!(variant, CasVariant::Plain, "plain CAS executes in the cache");
+        debug_assert_ne!(
+            variant,
+            CasVariant::Plain,
+            "plain CAS executes in the cache"
+        );
         match self.state_of(msg.line) {
             DirState::Dirty(owner) => {
-                let fwd = MsgKind::FwdCas { expected, new, addr: msg.addr, variant };
+                let fwd = MsgKind::FwdCas {
+                    expected,
+                    new,
+                    addr: msg.addr,
+                    variant,
+                };
                 self.begin_intervention(msg, BusyKind::Cas { variant }, fwd, owner, out);
             }
             state => {
@@ -312,11 +342,18 @@ impl HomeNode {
                     };
                     self.set_state(msg.line, DirState::Dirty(msg.src));
                     self.send_invs(&msg, &others, out);
-                    let data =
-                        if requester_held_copy { None } else { Some(self.mem_clone(msg.line)) };
+                    let data = if requester_held_copy {
+                        None
+                    } else {
+                        Some(self.mem_clone(msg.line))
+                    };
                     let reply = self.reply_to(
                         &msg,
-                        MsgKind::CasGrant { data, acks: others.len() as u32, observed },
+                        MsgKind::CasGrant {
+                            data,
+                            acks: others.len() as u32,
+                            observed,
+                        },
                     );
                     out.send(reply);
                 } else {
@@ -334,7 +371,13 @@ impl HomeNode {
                         }
                         _ => None,
                     };
-                    let reply = self.reply_to(&msg, MsgKind::CasFail { observed, share_data });
+                    let reply = self.reply_to(
+                        &msg,
+                        MsgKind::CasFail {
+                            observed,
+                            share_data,
+                        },
+                    );
                     out.send(reply);
                 }
             }
@@ -347,14 +390,25 @@ impl HomeNode {
                 let others: Vec<NodeId> = sharers.iter().filter(|&n| n != msg.src).collect();
                 self.set_state(msg.line, DirState::Dirty(msg.src));
                 self.send_invs(&msg, &others, out);
-                let reply = self
-                    .reply_to(&msg, MsgKind::ScInvReply { success: true, acks: others.len() as u32 });
+                let reply = self.reply_to(
+                    &msg,
+                    MsgKind::ScInvReply {
+                        success: true,
+                        acks: others.len() as u32,
+                    },
+                );
                 out.send(reply);
             }
             _ => {
                 // Directory says exclusive elsewhere, uncached, or the
                 // requester is no longer a sharer: the SC fails (§3).
-                let reply = self.reply_to(&msg, MsgKind::ScInvReply { success: false, acks: 0 });
+                let reply = self.reply_to(
+                    &msg,
+                    MsgKind::ScInvReply {
+                        success: false,
+                        acks: 0,
+                    },
+                );
                 out.send(reply);
             }
         }
@@ -366,9 +420,14 @@ impl HomeNode {
         let addr = msg.addr;
         let word = self.mem_line(line).word(addr);
         let (result, wrote) = match op {
-            MemAtomicOp::Load => {
-                (OpResult::Loaded { value: word, serial: None, reserved: false }, false)
-            }
+            MemAtomicOp::Load => (
+                OpResult::Loaded {
+                    value: word,
+                    serial: None,
+                    reserved: false,
+                },
+                false,
+            ),
             MemAtomicOp::Store { value } => {
                 self.mem_line(line).set_word(addr, value);
                 self.resv.on_write(line, cfg.llsc);
@@ -384,15 +443,31 @@ impl HomeNode {
                 if word == expected {
                     self.mem_line(line).set_word(addr, new);
                     self.resv.on_write(line, cfg.llsc);
-                    (OpResult::CasDone { success: true, observed: word }, true)
+                    (
+                        OpResult::CasDone {
+                            success: true,
+                            observed: word,
+                        },
+                        true,
+                    )
                 } else {
-                    (OpResult::CasDone { success: false, observed: word }, false)
+                    (
+                        OpResult::CasDone {
+                            success: false,
+                            observed: word,
+                        },
+                        false,
+                    )
                 }
             }
             MemAtomicOp::Ll => {
                 let grant = self.resv.load_linked(line, msg.proc, cfg.llsc);
                 (
-                    OpResult::Loaded { value: word, serial: grant.serial, reserved: grant.reserved },
+                    OpResult::Loaded {
+                        value: word,
+                        serial: grant.serial,
+                        reserved: grant.reserved,
+                    },
                     false,
                 )
             }
@@ -436,27 +511,46 @@ impl HomeNode {
                             addr,
                             proc: msg.proc,
                             chain: msg.chain + 1,
-                            kind: MsgKind::Update { data: data.clone(), requester: msg.src },
+                            kind: MsgKind::Update {
+                                data: data.clone(),
+                                requester: msg.src,
+                            },
                         });
                     }
                 }
-                let data = if requester_cached { Some(self.mem_clone(line)) } else { None };
+                let data = if requester_cached {
+                    Some(self.mem_clone(line))
+                } else {
+                    None
+                };
                 let reply = self.reply_to(&msg, MsgKind::AtomicReply { result, acks, data });
                 out.send(reply);
             }
             SyncPolicy::Unc | SyncPolicy::Inv => {
                 // UNC: caching disabled, plain request/reply. (INV lines
                 // never generate AtomicMem messages.)
-                debug_assert_eq!(cfg.policy, SyncPolicy::Unc, "INV lines execute atomics in caches");
-                let reply =
-                    self.reply_to(&msg, MsgKind::AtomicReply { result, acks: 0, data: None });
+                debug_assert_eq!(
+                    cfg.policy,
+                    SyncPolicy::Unc,
+                    "INV lines execute atomics in caches"
+                );
+                let reply = self.reply_to(
+                    &msg,
+                    MsgKind::AtomicReply {
+                        result,
+                        acks: 0,
+                        data: None,
+                    },
+                );
                 out.send(reply);
             }
         }
     }
 
     fn handle_writeback(&mut self, msg: Msg, map: &AddressMap, out: &mut Outbox) {
-        let MsgKind::WriteBack { data } = msg.kind.clone() else { unreachable!() };
+        let MsgKind::WriteBack { data } = msg.kind.clone() else {
+            unreachable!()
+        };
         *self.mem_line(msg.line) = data;
         if self.is_busy(msg.line) {
             // Crossed with an intervention to the (former) owner.
@@ -496,7 +590,10 @@ impl HomeNode {
 
     fn handle_fwd_nak(&mut self, msg: Msg, map: &AddressMap, out: &mut Outbox) {
         let entry = self.dir.get_mut(&msg.line).expect("NAK for an idle line");
-        let busy = entry.busy.as_mut().expect("NAK without an outstanding intervention");
+        let busy = entry
+            .busy
+            .as_mut()
+            .expect("NAK without an outstanding intervention");
         busy.got_nak = true;
         if busy.got_writeback {
             self.resolve_after_owner_gone(msg.line, map, out);
@@ -572,10 +669,21 @@ impl HomeNode {
                     addr: req.addr,
                     proc: req.proc,
                     chain: msg.chain + 1,
-                    kind: MsgKind::CasGrant { data: Some(data), acks: 0, observed: expected },
+                    kind: MsgKind::CasGrant {
+                        data: Some(data),
+                        acks: 0,
+                        observed: expected,
+                    },
                 });
             }
-            (BusyKind::Cas { .. }, MsgKind::OwnerCasFail { observed, data, kept_exclusive }) => {
+            (
+                BusyKind::Cas { .. },
+                MsgKind::OwnerCasFail {
+                    observed,
+                    data,
+                    kept_exclusive,
+                },
+            ) => {
                 *self.mem_line(msg.line) = data.clone();
                 let share_data = if kept_exclusive {
                     // INVd: owner kept its exclusive copy; requester gets
@@ -597,7 +705,10 @@ impl HomeNode {
                     addr: req.addr,
                     proc: req.proc,
                     chain: msg.chain + 1,
-                    kind: MsgKind::CasFail { observed, share_data },
+                    kind: MsgKind::CasFail {
+                        observed,
+                        share_data,
+                    },
                 });
             }
             (kind, resp) => panic!("owner response {resp:?} does not match intervention {kind:?}"),
@@ -613,7 +724,9 @@ impl HomeNode {
             if entry.is_busy() {
                 return;
             }
-            let Some(next) = entry.waiters.pop_front() else { return };
+            let Some(next) = entry.waiters.pop_front() else {
+                return;
+            };
             self.handle_request(next, map, out);
         }
     }
@@ -680,10 +793,16 @@ mod tests {
         let out = handle(&mut h, req(R1, MsgKind::GetX { from_shared: true }));
         // One Inv to R2, one UpgradeAck to R1.
         assert_eq!(out.len(), 2);
-        let inv = out.iter().find(|m| matches!(m.kind, MsgKind::Inv { .. })).unwrap();
+        let inv = out
+            .iter()
+            .find(|m| matches!(m.kind, MsgKind::Inv { .. }))
+            .unwrap();
         assert_eq!(inv.dst, R2);
         assert_eq!(inv.chain, 2);
-        let ack = out.iter().find(|m| matches!(m.kind, MsgKind::UpgradeAck { .. })).unwrap();
+        let ack = out
+            .iter()
+            .find(|m| matches!(m.kind, MsgKind::UpgradeAck { .. }))
+            .unwrap();
         assert_eq!(ack.dst, R1);
         match ack.kind {
             MsgKind::UpgradeAck { acks } => assert_eq!(acks, 1),
@@ -707,12 +826,20 @@ mod tests {
         assert!(h.is_busy(LINE));
 
         // Owner responds with the line; home replies to R2 with chain 4.
-        let mut xfer = req(R1, MsgKind::XferData { data: LineData::zeroed(32) });
+        let mut xfer = req(
+            R1,
+            MsgKind::XferData {
+                data: LineData::zeroed(32),
+            },
+        );
         xfer.chain = 3;
         let out = handle(&mut h, xfer);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].dst, R2);
-        assert_eq!(out[0].chain, 4, "Table 1: remote exclusive store = 4 serialized messages");
+        assert_eq!(
+            out[0].chain, 4,
+            "Table 1: remote exclusive store = 4 serialized messages"
+        );
         assert!(matches!(out[0].kind, MsgKind::DataX { .. }));
         assert_eq!(h.dir_state(LINE), DirState::Dirty(R2));
         assert!(!h.is_busy(LINE));
@@ -729,7 +856,12 @@ mod tests {
 
         // Owner response releases the queue: reply to R2 AND service of
         // node 3's GetS (a new forward to the new owner R2).
-        let mut xfer = req(R1, MsgKind::XferData { data: LineData::zeroed(32) });
+        let mut xfer = req(
+            R1,
+            MsgKind::XferData {
+                data: LineData::zeroed(32),
+            },
+        );
         xfer.chain = 3;
         let out = handle(&mut h, xfer);
         assert_eq!(out.len(), 2);
@@ -773,7 +905,15 @@ mod tests {
         handle(&mut h, req(R2, MsgKind::GetS));
         let out = handle(&mut h, req(R1, MsgKind::FwdNak));
         assert!(out.is_empty(), "must wait for the write-back");
-        let out = handle(&mut h, req(R1, MsgKind::WriteBack { data: LineData::zeroed(32) }));
+        let out = handle(
+            &mut h,
+            req(
+                R1,
+                MsgKind::WriteBack {
+                    data: LineData::zeroed(32),
+                },
+            ),
+        );
         assert_eq!(out.len(), 1);
         assert!(matches!(out[0].kind, MsgKind::DataS { .. }));
     }
@@ -812,11 +952,22 @@ mod tests {
         h.poke_word(A, 10);
         let out = handle(
             &mut h,
-            req(R1, MsgKind::CasHome { expected: 10, new: 11, variant: CasVariant::Deny }),
+            req(
+                R1,
+                MsgKind::CasHome {
+                    expected: 10,
+                    new: 11,
+                    variant: CasVariant::Deny,
+                },
+            ),
         );
         assert_eq!(out.len(), 1);
         match &out[0].kind {
-            MsgKind::CasGrant { data, acks, observed } => {
+            MsgKind::CasGrant {
+                data,
+                acks,
+                observed,
+            } => {
                 assert!(data.is_some());
                 assert_eq!(*acks, 0);
                 assert_eq!(*observed, 10);
@@ -832,16 +983,30 @@ mod tests {
         h.poke_word(A, 10);
         let out = handle(
             &mut h,
-            req(R1, MsgKind::CasHome { expected: 99, new: 11, variant: CasVariant::Deny }),
+            req(
+                R1,
+                MsgKind::CasHome {
+                    expected: 99,
+                    new: 11,
+                    variant: CasVariant::Deny,
+                },
+            ),
         );
         match &out[0].kind {
-            MsgKind::CasFail { observed, share_data } => {
+            MsgKind::CasFail {
+                observed,
+                share_data,
+            } => {
                 assert_eq!(*observed, 10);
                 assert!(share_data.is_none());
             }
             other => panic!("expected CasFail, got {other:?}"),
         }
-        assert_eq!(h.dir_state(LINE), DirState::Uncached, "INVd: no copy handed out");
+        assert_eq!(
+            h.dir_state(LINE),
+            DirState::Uncached,
+            "INVd: no copy handed out"
+        );
     }
 
     #[test]
@@ -850,7 +1015,14 @@ mod tests {
         h.poke_word(A, 10);
         let out = handle(
             &mut h,
-            req(R1, MsgKind::CasHome { expected: 99, new: 11, variant: CasVariant::Share }),
+            req(
+                R1,
+                MsgKind::CasHome {
+                    expected: 99,
+                    new: 11,
+                    variant: CasVariant::Share,
+                },
+            ),
         );
         match &out[0].kind {
             MsgKind::CasFail { share_data, .. } => assert!(share_data.is_some()),
@@ -868,7 +1040,14 @@ mod tests {
         handle(&mut h, req(R1, MsgKind::GetX { from_shared: false }));
         let out = handle(
             &mut h,
-            req(R2, MsgKind::CasHome { expected: 0, new: 1, variant: CasVariant::Share }),
+            req(
+                R2,
+                MsgKind::CasHome {
+                    expected: 0,
+                    new: 1,
+                    variant: CasVariant::Share,
+                },
+            ),
         );
         assert!(matches!(out[0].kind, MsgKind::FwdCas { .. }));
         assert_eq!(out[0].dst, R1);
@@ -876,14 +1055,21 @@ mod tests {
         // Owner reports failure, keeping nothing (INVs): shared copies.
         let mut fail = req(
             R1,
-            MsgKind::OwnerCasFail { observed: 9, data: LineData::zeroed(32), kept_exclusive: false },
+            MsgKind::OwnerCasFail {
+                observed: 9,
+                data: LineData::zeroed(32),
+                kept_exclusive: false,
+            },
         );
         fail.chain = 3;
         let out = handle(&mut h, fail);
         assert_eq!(out[0].dst, R2);
         assert_eq!(out[0].chain, 4);
         match &out[0].kind {
-            MsgKind::CasFail { observed, share_data } => {
+            MsgKind::CasFail {
+                observed,
+                share_data,
+            } => {
                 assert_eq!(*observed, 9);
                 assert!(share_data.is_some());
             }
@@ -903,7 +1089,10 @@ mod tests {
         handle(&mut h, req(R1, MsgKind::GetS));
         handle(&mut h, req(R2, MsgKind::GetS));
         let out = handle(&mut h, req(R1, MsgKind::ScInv));
-        let reply = out.iter().find(|m| matches!(m.kind, MsgKind::ScInvReply { .. })).unwrap();
+        let reply = out
+            .iter()
+            .find(|m| matches!(m.kind, MsgKind::ScInvReply { .. }))
+            .unwrap();
         match reply.kind {
             MsgKind::ScInvReply { success, acks } => {
                 assert!(success);
@@ -925,18 +1114,38 @@ mod tests {
     fn unc_atomic_fetch_and_add() {
         let mut h = home();
         let mut m = map();
-        m.register(A, crate::types::SyncConfig { policy: SyncPolicy::Unc, ..Default::default() });
+        m.register(
+            A,
+            crate::types::SyncConfig {
+                policy: SyncPolicy::Unc,
+                ..Default::default()
+            },
+        );
         let mut out = Outbox::new();
         h.handle(
-            req(R1, MsgKind::AtomicMem { op: MemAtomicOp::Phi { op: crate::types::PhiOp::Add(5) } }),
+            req(
+                R1,
+                MsgKind::AtomicMem {
+                    op: MemAtomicOp::Phi {
+                        op: crate::types::PhiOp::Add(5),
+                    },
+                },
+            ),
             &m,
             &mut out,
         );
         let msgs = out.drain();
         assert_eq!(msgs.len(), 1);
-        assert_eq!(msgs[0].chain, 2, "Table 1: uncached store = 2 serialized messages");
+        assert_eq!(
+            msgs[0].chain, 2,
+            "Table 1: uncached store = 2 serialized messages"
+        );
         match msgs[0].kind {
-            MsgKind::AtomicReply { result: OpResult::Fetched { old }, acks, .. } => {
+            MsgKind::AtomicReply {
+                result: OpResult::Fetched { old },
+                acks,
+                ..
+            } => {
                 assert_eq!(old, 0);
                 assert_eq!(acks, 0);
             }
@@ -949,7 +1158,13 @@ mod tests {
     fn upd_write_updates_sharers() {
         let mut h = home();
         let mut m = map();
-        m.register(A, crate::types::SyncConfig { policy: SyncPolicy::Upd, ..Default::default() });
+        m.register(
+            A,
+            crate::types::SyncConfig {
+                policy: SyncPolicy::Upd,
+                ..Default::default()
+            },
+        );
         // R1 and R2 read (allocating shared copies) via GetS.
         let mut out = Outbox::new();
         h.handle(req(R1, MsgKind::GetS), &m, &mut out);
@@ -958,12 +1173,27 @@ mod tests {
 
         // R1 stores: R2 gets an Update, R1 gets the reply with new data.
         let mut out = Outbox::new();
-        h.handle(req(R1, MsgKind::AtomicMem { op: MemAtomicOp::Store { value: 8 } }), &m, &mut out);
+        h.handle(
+            req(
+                R1,
+                MsgKind::AtomicMem {
+                    op: MemAtomicOp::Store { value: 8 },
+                },
+            ),
+            &m,
+            &mut out,
+        );
         let msgs = out.drain();
         assert_eq!(msgs.len(), 2);
-        let upd = msgs.iter().find(|x| matches!(x.kind, MsgKind::Update { .. })).unwrap();
+        let upd = msgs
+            .iter()
+            .find(|x| matches!(x.kind, MsgKind::Update { .. }))
+            .unwrap();
         assert_eq!(upd.dst, R2);
-        let reply = msgs.iter().find(|x| matches!(x.kind, MsgKind::AtomicReply { .. })).unwrap();
+        let reply = msgs
+            .iter()
+            .find(|x| matches!(x.kind, MsgKind::AtomicReply { .. }))
+            .unwrap();
         match &reply.kind {
             MsgKind::AtomicReply { acks, data, .. } => {
                 assert_eq!(*acks, 1);
@@ -978,20 +1208,37 @@ mod tests {
     fn upd_failed_cas_sends_no_updates() {
         let mut h = home();
         let mut m = map();
-        m.register(A, crate::types::SyncConfig { policy: SyncPolicy::Upd, ..Default::default() });
+        m.register(
+            A,
+            crate::types::SyncConfig {
+                policy: SyncPolicy::Upd,
+                ..Default::default()
+            },
+        );
         let mut out = Outbox::new();
         h.handle(req(R2, MsgKind::GetS), &m, &mut out);
         out.drain();
         let mut out = Outbox::new();
         h.handle(
-            req(R1, MsgKind::AtomicMem { op: MemAtomicOp::Cas { expected: 9, new: 1 } }),
+            req(
+                R1,
+                MsgKind::AtomicMem {
+                    op: MemAtomicOp::Cas {
+                        expected: 9,
+                        new: 1,
+                    },
+                },
+            ),
             &m,
             &mut out,
         );
         let msgs = out.drain();
         assert_eq!(msgs.len(), 1, "failed CAS must not generate updates");
         match msgs[0].kind {
-            MsgKind::AtomicReply { result: OpResult::CasDone { success, observed }, .. } => {
+            MsgKind::AtomicReply {
+                result: OpResult::CasDone { success, observed },
+                ..
+            } => {
                 assert!(!success);
                 assert_eq!(observed, 0);
             }
@@ -1003,23 +1250,52 @@ mod tests {
     fn unc_ll_sc_round_trip() {
         let mut h = home();
         let mut m = map();
-        m.register(A, crate::types::SyncConfig { policy: SyncPolicy::Unc, ..Default::default() });
+        m.register(
+            A,
+            crate::types::SyncConfig {
+                policy: SyncPolicy::Unc,
+                ..Default::default()
+            },
+        );
         let mut out = Outbox::new();
-        h.handle(req(R1, MsgKind::AtomicMem { op: MemAtomicOp::Ll }), &m, &mut out);
+        h.handle(
+            req(
+                R1,
+                MsgKind::AtomicMem {
+                    op: MemAtomicOp::Ll,
+                },
+            ),
+            &m,
+            &mut out,
+        );
         match out.drain()[0].kind {
-            MsgKind::AtomicReply { result: OpResult::Loaded { reserved, .. }, .. } => {
+            MsgKind::AtomicReply {
+                result: OpResult::Loaded { reserved, .. },
+                ..
+            } => {
                 assert!(reserved)
             }
             ref other => panic!("unexpected {other:?}"),
         }
         let mut out = Outbox::new();
         h.handle(
-            req(R1, MsgKind::AtomicMem { op: MemAtomicOp::Sc { value: 3, serial: None } }),
+            req(
+                R1,
+                MsgKind::AtomicMem {
+                    op: MemAtomicOp::Sc {
+                        value: 3,
+                        serial: None,
+                    },
+                },
+            ),
             &m,
             &mut out,
         );
         match out.drain()[0].kind {
-            MsgKind::AtomicReply { result: OpResult::ScDone { success }, .. } => assert!(success),
+            MsgKind::AtomicReply {
+                result: OpResult::ScDone { success },
+                ..
+            } => assert!(success),
             ref other => panic!("unexpected {other:?}"),
         }
         assert_eq!(h.peek_word(A), 3);
@@ -1027,12 +1303,23 @@ mod tests {
         // A second SC without a fresh LL fails.
         let mut out = Outbox::new();
         h.handle(
-            req(R1, MsgKind::AtomicMem { op: MemAtomicOp::Sc { value: 4, serial: None } }),
+            req(
+                R1,
+                MsgKind::AtomicMem {
+                    op: MemAtomicOp::Sc {
+                        value: 4,
+                        serial: None,
+                    },
+                },
+            ),
             &m,
             &mut out,
         );
         match out.drain()[0].kind {
-            MsgKind::AtomicReply { result: OpResult::ScDone { success }, .. } => assert!(!success),
+            MsgKind::AtomicReply {
+                result: OpResult::ScDone { success },
+                ..
+            } => assert!(!success),
             ref other => panic!("unexpected {other:?}"),
         }
         assert_eq!(h.peek_word(A), 3);

@@ -72,6 +72,4 @@ pub use home::{HomeNode, Outbox};
 pub use msg::{MemAtomicOp, Msg, MsgKind};
 pub use nodeset::NodeSet;
 pub use reservation::{CacheReservation, LlGrant, ReservationStore};
-pub use types::{
-    CasVariant, LlscScheme, MemOp, OpResult, PhiOp, SyncConfig, SyncPolicy, Value,
-};
+pub use types::{CasVariant, LlscScheme, MemOp, OpResult, PhiOp, SyncConfig, SyncPolicy, Value};

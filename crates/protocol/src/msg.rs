@@ -249,16 +249,14 @@ impl MsgKind {
             | MsgKind::XferData { .. }
             | MsgKind::SwbData { .. }
             | MsgKind::Update { .. } => line_size,
-            MsgKind::CasGrant { data, .. } => {
-                8 + data.as_ref().map_or(0, |_| line_size)
-            }
-            MsgKind::CasFail { share_data, .. } => {
-                8 + share_data.as_ref().map_or(0, |_| line_size)
-            }
+            MsgKind::CasGrant { data, .. } => 8 + data.as_ref().map_or(0, |_| line_size),
+            MsgKind::CasFail { share_data, .. } => 8 + share_data.as_ref().map_or(0, |_| line_size),
             MsgKind::OwnerCasFail { .. } => 8 + line_size,
             MsgKind::AtomicReply { data, result, .. } => {
                 let serial_extra = match result {
-                    OpResult::Loaded { serial: Some(_), .. } => 8,
+                    OpResult::Loaded {
+                        serial: Some(_), ..
+                    } => 8,
                     _ => 0,
                 };
                 8 + serial_extra + data.as_ref().map_or(0, |_| line_size)
@@ -360,25 +358,54 @@ mod tests {
         assert_eq!(MsgKind::DataS { data: line() }.payload_bytes(32), 32);
         assert_eq!(MsgKind::WriteBack { data: line() }.payload_bytes(32), 32);
         assert_eq!(
-            MsgKind::CasFail { observed: 0, share_data: Some(line()) }.payload_bytes(32),
+            MsgKind::CasFail {
+                observed: 0,
+                share_data: Some(line())
+            }
+            .payload_bytes(32),
             40
         );
-        assert_eq!(MsgKind::CasFail { observed: 0, share_data: None }.payload_bytes(32), 8);
+        assert_eq!(
+            MsgKind::CasFail {
+                observed: 0,
+                share_data: None
+            }
+            .payload_bytes(32),
+            8
+        );
     }
 
     #[test]
     fn serial_number_scheme_widens_sc_messages() {
-        let plain = MsgKind::AtomicMem { op: MemAtomicOp::Sc { value: 1, serial: None } };
-        let serial = MsgKind::AtomicMem { op: MemAtomicOp::Sc { value: 1, serial: Some(7) } };
+        let plain = MsgKind::AtomicMem {
+            op: MemAtomicOp::Sc {
+                value: 1,
+                serial: None,
+            },
+        };
+        let serial = MsgKind::AtomicMem {
+            op: MemAtomicOp::Sc {
+                value: 1,
+                serial: Some(7),
+            },
+        };
         assert!(serial.payload_bytes(32) > plain.payload_bytes(32));
 
         let reply_plain = MsgKind::AtomicReply {
-            result: OpResult::Loaded { value: 0, serial: None, reserved: true },
+            result: OpResult::Loaded {
+                value: 0,
+                serial: None,
+                reserved: true,
+            },
             acks: 0,
             data: None,
         };
         let reply_serial = MsgKind::AtomicReply {
-            result: OpResult::Loaded { value: 0, serial: Some(3), reserved: true },
+            result: OpResult::Loaded {
+                value: 0,
+                serial: Some(3),
+                reserved: true,
+            },
             acks: 0,
             data: None,
         };
@@ -391,7 +418,10 @@ mod tests {
         assert!(MsgKind::WriteBack { data: line() }.home_bound());
         assert!(MsgKind::FwdNak.home_bound());
         assert!(!MsgKind::DataS { data: line() }.home_bound());
-        assert!(!MsgKind::Inv { requester: NodeId::new(0) }.home_bound());
+        assert!(!MsgKind::Inv {
+            requester: NodeId::new(0)
+        }
+        .home_bound());
         assert!(!MsgKind::InvAck.home_bound());
     }
 
@@ -400,7 +430,13 @@ mod tests {
         assert_eq!(MsgKind::GetS.class(), MsgClass::Request);
         assert_eq!(MsgKind::UpgradeAck { acks: 0 }.class(), MsgClass::Reply);
         assert_eq!(MsgKind::FwdGetX.class(), MsgClass::Forward);
-        assert_eq!(MsgKind::Inv { requester: NodeId::new(1) }.class(), MsgClass::Invalidate);
+        assert_eq!(
+            MsgKind::Inv {
+                requester: NodeId::new(1)
+            }
+            .class(),
+            MsgClass::Invalidate
+        );
         assert_eq!(MsgKind::UpdAck.class(), MsgClass::Ack);
     }
 
@@ -422,7 +458,11 @@ mod tests {
     #[test]
     fn mem_atomic_write_classification() {
         assert!(MemAtomicOp::Store { value: 1 }.writes());
-        assert!(MemAtomicOp::Sc { value: 1, serial: None }.writes());
+        assert!(MemAtomicOp::Sc {
+            value: 1,
+            serial: None
+        }
+        .writes());
         assert!(!MemAtomicOp::Load.writes());
         assert!(!MemAtomicOp::Ll.writes());
     }

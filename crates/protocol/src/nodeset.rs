@@ -86,7 +86,9 @@ impl NodeSet {
     /// Iterates members in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            (0..64).filter(move |b| w & (1u64 << b) != 0).map(move |b| NodeId::new((wi * 64 + b) as u32))
+            (0..64)
+                .filter(move |b| w & (1u64 << b) != 0)
+                .map(move |b| NodeId::new((wi * 64 + b) as u32))
         })
     }
 

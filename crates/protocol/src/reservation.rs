@@ -117,7 +117,11 @@ impl ReservationStore {
     /// Creates a store with a linked-list free pool of `pool_capacity`
     /// entries.
     pub fn new(pool_capacity: usize) -> Self {
-        ReservationStore { lines: HashMap::new(), pool_capacity, pool_used: 0 }
+        ReservationStore {
+            lines: HashMap::new(),
+            pool_capacity,
+            pool_used: 0,
+        }
     }
 
     /// Records a `load_linked` by `proc` on `line` under `scheme` and
@@ -133,45 +137,75 @@ impl ReservationStore {
                     panic!("line {line} switched reservation schemes");
                 };
                 set.insert(dsm_sim::NodeId::new(proc.as_u32()));
-                LlGrant { serial: None, reserved: true }
+                LlGrant {
+                    serial: None,
+                    reserved: true,
+                }
             }
             LlscScheme::LinkedList => {
-                let e = self.lines.entry(line).or_insert_with(|| LineResv::LinkedList(Vec::new()));
+                let e = self
+                    .lines
+                    .entry(line)
+                    .or_insert_with(|| LineResv::LinkedList(Vec::new()));
                 let LineResv::LinkedList(list) = e else {
                     panic!("line {line} switched reservation schemes");
                 };
                 if list.contains(&proc) {
-                    return LlGrant { serial: None, reserved: true };
+                    return LlGrant {
+                        serial: None,
+                        reserved: true,
+                    };
                 }
                 if self.pool_used >= self.pool_capacity {
                     // Free pool exhausted: the reservation is dropped and
                     // the LL reply says so.
-                    return LlGrant { serial: None, reserved: false };
+                    return LlGrant {
+                        serial: None,
+                        reserved: false,
+                    };
                 }
                 self.pool_used += 1;
                 list.push(proc);
-                LlGrant { serial: None, reserved: true }
+                LlGrant {
+                    serial: None,
+                    reserved: true,
+                }
             }
             LlscScheme::Limited(k) => {
-                let e = self.lines.entry(line).or_insert_with(|| LineResv::Limited(Vec::new()));
+                let e = self
+                    .lines
+                    .entry(line)
+                    .or_insert_with(|| LineResv::Limited(Vec::new()));
                 let LineResv::Limited(list) = e else {
                     panic!("line {line} switched reservation schemes");
                 };
                 if list.contains(&proc) {
-                    return LlGrant { serial: None, reserved: true };
+                    return LlGrant {
+                        serial: None,
+                        reserved: true,
+                    };
                 }
                 if list.len() >= k as usize {
-                    return LlGrant { serial: None, reserved: false };
+                    return LlGrant {
+                        serial: None,
+                        reserved: false,
+                    };
                 }
                 list.push(proc);
-                LlGrant { serial: None, reserved: true }
+                LlGrant {
+                    serial: None,
+                    reserved: true,
+                }
             }
             LlscScheme::SerialNumber => {
                 let e = self.lines.entry(line).or_insert(LineResv::Serial(0));
                 let LineResv::Serial(s) = e else {
                     panic!("line {line} switched reservation schemes");
                 };
-                LlGrant { serial: Some(*s), reserved: true }
+                LlGrant {
+                    serial: Some(*s),
+                    reserved: true,
+                }
             }
         }
     }
@@ -348,7 +382,10 @@ mod tests {
     fn linked_list_pool_exhaustion() {
         let mut s = ReservationStore::new(2);
         assert!(s.load_linked(L, P0, LlscScheme::LinkedList).reserved);
-        assert!(s.load_linked(LineAddr::new(4), P1, LlscScheme::LinkedList).reserved);
+        assert!(
+            s.load_linked(LineAddr::new(4), P1, LlscScheme::LinkedList)
+                .reserved
+        );
         assert_eq!(s.pool_used(), 2);
         // Pool is exhausted; the next LL fails to reserve.
         assert!(!s.load_linked(L, P2, LlscScheme::LinkedList).reserved);

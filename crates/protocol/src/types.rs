@@ -311,7 +311,12 @@ mod tests {
     fn memop_classification() {
         let a = Addr::new(64);
         assert!(MemOp::Store { addr: a, value: 1 }.is_write());
-        assert!(MemOp::Cas { addr: a, expected: 0, new: 1 }.is_write());
+        assert!(MemOp::Cas {
+            addr: a,
+            expected: 0,
+            new: 1
+        }
+        .is_write());
         assert!(!MemOp::Load { addr: a }.is_write());
         assert!(!MemOp::LoadLinked { addr: a }.is_write());
         assert!(MemOp::LoadLinked { addr: a }.is_atomic());
@@ -322,11 +327,23 @@ mod tests {
     #[test]
     fn op_result_accessors() {
         assert_eq!(
-            OpResult::Loaded { value: 5, serial: None, reserved: true }.value(),
+            OpResult::Loaded {
+                value: 5,
+                serial: None,
+                reserved: true
+            }
+            .value(),
             Some(5)
         );
         assert_eq!(OpResult::Fetched { old: 7 }.value(), Some(7));
-        assert_eq!(OpResult::CasDone { success: false, observed: 3 }.value(), Some(3));
+        assert_eq!(
+            OpResult::CasDone {
+                success: false,
+                observed: 3
+            }
+            .value(),
+            Some(3)
+        );
         assert_eq!(OpResult::Stored.value(), None);
         assert!(!OpResult::ScDone { success: false }.succeeded());
         assert!(OpResult::Stored.succeeded());

@@ -65,9 +65,18 @@ impl World {
         }
         let procs = scripts
             .into_iter()
-            .map(|script| Proc { script, next: 0, results: Vec::new() })
+            .map(|script| Proc {
+                script,
+                next: 0,
+                results: Vec::new(),
+            })
             .collect();
-        World { home, caches, procs, inflight: Vec::new() }
+        World {
+            home,
+            caches,
+            procs,
+            inflight: Vec::new(),
+        }
     }
 
     /// Starts any processors that are idle and have work left. Local
@@ -155,7 +164,10 @@ impl World {
                 .filter(|(_, s)| *s == CacheState::Exclusive)
                 .map(|(n, _)| *n)
                 .collect();
-            assert!(excl.len() <= 1, "line {line}: two exclusive copies {excl:?}");
+            assert!(
+                excl.len() <= 1,
+                "line {line}: two exclusive copies {excl:?}"
+            );
             if excl.len() == 1 {
                 assert_eq!(holders.len(), 1, "line {line}: E coexists with S");
             }
@@ -164,7 +176,10 @@ impl World {
                     assert_eq!(excl.first().copied(), Some(owner.index()), "line {line}");
                 }
                 DirState::Shared(sharers) => {
-                    assert!(excl.is_empty(), "line {line}: dir Shared but an E copy exists");
+                    assert!(
+                        excl.is_empty(),
+                        "line {line}: dir Shared but an E copy exists"
+                    );
                     for (n, _) in holders {
                         assert!(
                             sharers.contains(NodeId::new(*n as u32)),
@@ -240,11 +255,22 @@ fn explore_all(
 ) -> u64 {
     let mut map = AddressMap::new(LINE_SIZE);
     for &a in sync_addrs {
-        map.register(a, SyncConfig { policy, ..Default::default() });
+        map.register(
+            a,
+            SyncConfig {
+                policy,
+                ..Default::default()
+            },
+        );
     }
     let mut world = World::new(nodes, scripts, init);
     world.kick_procs(&map);
-    let mut ex = Explorer { map, leaves: 0, max_leaves, check };
+    let mut ex = Explorer {
+        map,
+        leaves: 0,
+        max_leaves,
+        check,
+    };
     ex.explore(&world);
     ex.leaves
 }
@@ -260,8 +286,14 @@ fn two_fetch_adds_always_sum_inv() {
     let leaves = explore_all(
         3,
         vec![
-            vec![MemOp::FetchPhi { addr: x, op: PhiOp::Add(1) }],
-            vec![MemOp::FetchPhi { addr: x, op: PhiOp::Add(1) }],
+            vec![MemOp::FetchPhi {
+                addr: x,
+                op: PhiOp::Add(1),
+            }],
+            vec![MemOp::FetchPhi {
+                addr: x,
+                op: PhiOp::Add(1),
+            }],
         ],
         SyncPolicy::Inv,
         &[x],
@@ -281,8 +313,20 @@ fn two_fetch_adds_always_sum_upd() {
     explore_all(
         3,
         vec![
-            vec![MemOp::Load { addr: x }, MemOp::FetchPhi { addr: x, op: PhiOp::Add(1) }],
-            vec![MemOp::Load { addr: x }, MemOp::FetchPhi { addr: x, op: PhiOp::Add(1) }],
+            vec![
+                MemOp::Load { addr: x },
+                MemOp::FetchPhi {
+                    addr: x,
+                    op: PhiOp::Add(1),
+                },
+            ],
+            vec![
+                MemOp::Load { addr: x },
+                MemOp::FetchPhi {
+                    addr: x,
+                    op: PhiOp::Add(1),
+                },
+            ],
         ],
         SyncPolicy::Upd,
         &[x],
@@ -301,8 +345,16 @@ fn exactly_one_cas_wins() {
     explore_all(
         3,
         vec![
-            vec![MemOp::Cas { addr: x, expected: 0, new: 10 }],
-            vec![MemOp::Cas { addr: x, expected: 0, new: 20 }],
+            vec![MemOp::Cas {
+                addr: x,
+                expected: 0,
+                new: 10,
+            }],
+            vec![MemOp::Cas {
+                addr: x,
+                expected: 0,
+                new: 20,
+            }],
         ],
         SyncPolicy::Inv,
         &[x],
@@ -325,7 +377,9 @@ fn exactly_one_cas_wins() {
             // The loser observed the winner's value.
             for (p, &won) in w.procs.iter().zip(&wins) {
                 if !won {
-                    let OpResult::CasDone { observed, .. } = p.results[0] else { panic!() };
+                    let OpResult::CasDone { observed, .. } = p.results[0] else {
+                        panic!()
+                    };
                     assert_eq!(observed, v);
                 }
             }
@@ -341,11 +395,19 @@ fn at_most_one_sc_wins_inv() {
         vec![
             vec![
                 MemOp::LoadLinked { addr: x },
-                MemOp::StoreConditional { addr: x, value: 10, serial: None },
+                MemOp::StoreConditional {
+                    addr: x,
+                    value: 10,
+                    serial: None,
+                },
             ],
             vec![
                 MemOp::LoadLinked { addr: x },
-                MemOp::StoreConditional { addr: x, value: 20, serial: None },
+                MemOp::StoreConditional {
+                    addr: x,
+                    value: 20,
+                    serial: None,
+                },
             ],
         ],
         SyncPolicy::Inv,
@@ -359,9 +421,8 @@ fn at_most_one_sc_wins_inv() {
             // processor's LL already observed the other's stored value.
             let x = homed_addr(3, 1);
             let ll = |p: usize| w.procs[p].results[0].value().unwrap();
-            let sc_ok = |p: usize| {
-                matches!(w.procs[p].results[1], OpResult::ScDone { success: true })
-            };
+            let sc_ok =
+                |p: usize| matches!(w.procs[p].results[1], OpResult::ScDone { success: true });
             let v = w.value_of(x);
             match (sc_ok(0), sc_ok(1)) {
                 (true, true) => {
@@ -397,8 +458,20 @@ fn drop_copy_races_never_lose_the_add() {
     explore_all(
         3,
         vec![
-            vec![MemOp::FetchPhi { addr: x, op: PhiOp::Add(1) }, MemOp::DropCopy { addr: x }],
-            vec![MemOp::FetchPhi { addr: x, op: PhiOp::Add(1) }, MemOp::DropCopy { addr: x }],
+            vec![
+                MemOp::FetchPhi {
+                    addr: x,
+                    op: PhiOp::Add(1),
+                },
+                MemOp::DropCopy { addr: x },
+            ],
+            vec![
+                MemOp::FetchPhi {
+                    addr: x,
+                    op: PhiOp::Add(1),
+                },
+                MemOp::DropCopy { addr: x },
+            ],
         ],
         SyncPolicy::Inv,
         &[x],
@@ -446,10 +519,19 @@ fn mixed_ordinary_and_sync_lines_stay_independent() {
         3,
         vec![
             vec![
-                MemOp::FetchPhi { addr: x, op: PhiOp::Add(1) },
+                MemOp::FetchPhi {
+                    addr: x,
+                    op: PhiOp::Add(1),
+                },
                 MemOp::Store { addr: y, value: 7 },
             ],
-            vec![MemOp::FetchPhi { addr: x, op: PhiOp::Add(1) }, MemOp::Load { addr: y }],
+            vec![
+                MemOp::FetchPhi {
+                    addr: x,
+                    op: PhiOp::Add(1),
+                },
+                MemOp::Load { addr: y },
+            ],
         ],
         SyncPolicy::Unc,
         &[x],
@@ -483,7 +565,11 @@ fn invs_cas_failure_orderings_are_coherent() {
         3,
         vec![
             vec![MemOp::Store { addr: x, value: 5 }],
-            vec![MemOp::Cas { addr: x, expected: 99, new: 1 }],
+            vec![MemOp::Cas {
+                addr: x,
+                expected: 99,
+                new: 1,
+            }],
         ],
         &[],
     );
@@ -498,7 +584,10 @@ fn invs_cas_failure_orderings_are_coherent() {
                 panic!()
             };
             assert!(!success, "CAS with a wrong expected value must fail");
-            assert!(observed == 0 || observed == 5, "observed a torn value {observed}");
+            assert!(
+                observed == 0 || observed == 5,
+                "observed a torn value {observed}"
+            );
             assert_eq!(w.value_of(x), 5);
         },
     };
@@ -522,7 +611,16 @@ fn litmus_message_passing() {
     explore_all(
         3,
         vec![
-            vec![MemOp::Store { addr: data, value: 1 }, MemOp::Store { addr: flag, value: 1 }],
+            vec![
+                MemOp::Store {
+                    addr: data,
+                    value: 1,
+                },
+                MemOp::Store {
+                    addr: flag,
+                    value: 1,
+                },
+            ],
             vec![MemOp::Load { addr: flag }, MemOp::Load { addr: data }],
         ],
         SyncPolicy::Inv,
@@ -559,7 +657,10 @@ fn litmus_store_buffering() {
         |w| {
             let r1 = w.procs[0].results[1].value().unwrap();
             let r2 = w.procs[1].results[1].value().unwrap();
-            assert!(!(r1 == 0 && r2 == 0), "SC violation: both SB loads returned 0");
+            assert!(
+                !(r1 == 0 && r2 == 0),
+                "SC violation: both SB loads returned 0"
+            );
         },
     );
 }
@@ -599,7 +700,16 @@ fn litmus_message_passing_mixed_policies() {
     explore_all(
         3,
         vec![
-            vec![MemOp::Store { addr: data, value: 1 }, MemOp::Store { addr: flag, value: 1 }],
+            vec![
+                MemOp::Store {
+                    addr: data,
+                    value: 1,
+                },
+                MemOp::Store {
+                    addr: flag,
+                    value: 1,
+                },
+            ],
             vec![MemOp::Load { addr: flag }, MemOp::Load { addr: data }],
         ],
         SyncPolicy::Unc,
@@ -609,7 +719,10 @@ fn litmus_message_passing_mixed_policies() {
         |w| {
             let r_flag = w.procs[1].results[0].value().unwrap();
             let r_data = w.procs[1].results[1].value().unwrap();
-            assert!(!(r_flag == 1 && r_data == 0), "SC violation across mixed policies");
+            assert!(
+                !(r_flag == 1 && r_data == 0),
+                "SC violation across mixed policies"
+            );
         },
     );
 }
@@ -633,10 +746,16 @@ fn upd_store_orderings_are_serializable() {
         |w| {
             let x = homed_addr(3, 1);
             let v = w.value_of(x);
-            assert!(v == 10 || v == 20, "final value must be one of the stores: {v}");
+            assert!(
+                v == 10 || v == 20,
+                "final value must be one of the stores: {v}"
+            );
             for p in &w.procs {
                 let seen = p.results[0].value().unwrap();
-                assert!(seen == 0 || seen == 10 || seen == 20, "phantom value {seen}");
+                assert!(
+                    seen == 0 || seen == 10 || seen == 20,
+                    "phantom value {seen}"
+                );
             }
         },
     );
@@ -664,9 +783,17 @@ fn serial_number_sc_orderings() {
                 MemOp::LoadLinked { addr: x },
                 // The CPU threads the returned serial through; here the
                 // initial serial is deterministically 0.
-                MemOp::StoreConditional { addr: x, value: 10, serial: Some(0) },
+                MemOp::StoreConditional {
+                    addr: x,
+                    value: 10,
+                    serial: Some(0),
+                },
             ],
-            vec![MemOp::StoreConditional { addr: x, value: 20, serial: Some(0) }], // bare SC
+            vec![MemOp::StoreConditional {
+                addr: x,
+                value: 20,
+                serial: Some(0),
+            }], // bare SC
         ],
         &[],
     );
@@ -681,7 +808,10 @@ fn serial_number_sc_orderings() {
             let sc1 = matches!(w.procs[1].results[0], OpResult::ScDone { success: true });
             // Both present serial 0; the home serializes them, so
             // exactly one succeeds.
-            assert!(sc0 ^ sc1, "exactly one serial-0 SC must win (got {sc0}, {sc1})");
+            assert!(
+                sc0 ^ sc1,
+                "exactly one serial-0 SC must win (got {sc0}, {sc1})"
+            );
             let v = w.value_of(x);
             assert_eq!(v, if sc0 { 10 } else { 20 });
         },
@@ -709,11 +839,18 @@ fn invd_fwdcas_orderings() {
         3,
         vec![
             // P1 dirties the line (value 5), then drops it.
-            vec![MemOp::Store { addr: x, value: 5 }, MemOp::DropCopy { addr: x }],
+            vec![
+                MemOp::Store { addr: x, value: 5 },
+                MemOp::DropCopy { addr: x },
+            ],
             // P2's CAS expects 5: depending on ordering it is compared
             // at the owner (forwarded) or at the home (after the
             // write-back), or even before P1's store lands.
-            vec![MemOp::Cas { addr: x, expected: 5, new: 9 }],
+            vec![MemOp::Cas {
+                addr: x,
+                expected: 5,
+                new: 9,
+            }],
         ],
         &[],
     );
@@ -724,7 +861,9 @@ fn invd_fwdcas_orderings() {
         max_leaves: 5_000_000,
         check: |w| {
             let x = homed_addr(3, 1);
-            let OpResult::CasDone { success, observed } = w.procs[1].results[0] else { panic!() };
+            let OpResult::CasDone { success, observed } = w.procs[1].results[0] else {
+                panic!()
+            };
             let v = w.value_of(x);
             if success {
                 assert_eq!(observed, 5);
@@ -736,5 +875,9 @@ fn invd_fwdcas_orderings() {
         },
     };
     ex.explore(&world);
-    assert!(ex.leaves >= 3, "expected several orderings, got {}", ex.leaves);
+    assert!(
+        ex.leaves >= 3,
+        "expected several orderings, got {}",
+        ex.leaves
+    );
 }

@@ -23,7 +23,7 @@ use crate::ids::NodeId;
 /// assert_eq!(p.flits_for_payload(32), 6);
 /// assert_eq!(p.flits_for_payload(0), 2); // control message
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SimParams {
     /// Cache line size in bytes (paper: 32).
     pub line_size: u64,
@@ -66,7 +66,10 @@ impl SimParams {
     /// non-power-of-two line size or a zero flit size.
     pub fn validate(&self) -> Result<(), String> {
         if !self.line_size.is_power_of_two() {
-            return Err(format!("line_size {} is not a power of two", self.line_size));
+            return Err(format!(
+                "line_size {} is not a power of two",
+                self.line_size
+            ));
         }
         if self.flit_bytes == 0 {
             return Err("flit_bytes must be positive".into());
@@ -100,7 +103,7 @@ impl Default for SimParams {
 /// Synchronization studies touch few distinct lines, so the default cache
 /// is large enough that conflict misses do not perturb the results; the
 /// benchmark harness shrinks it for capacity-pressure ablations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheParams {
     /// Number of sets.
     pub sets: usize,
@@ -149,7 +152,7 @@ impl Default for CacheParams {
 /// assert_eq!(cfg.mesh_dims(), (8, 8));
 /// cfg.validate().unwrap();
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MachineConfig {
     /// Number of nodes (one processor + one memory module each).
     pub nodes: u32,
@@ -273,7 +276,10 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        let cfg = MachineConfig { mesh_width: 5, ..MachineConfig::default() };
+        let cfg = MachineConfig {
+            mesh_width: 5,
+            ..MachineConfig::default()
+        };
         assert!(cfg.validate().is_err());
 
         let mut cfg = MachineConfig::default();

@@ -56,19 +56,28 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Creates an empty queue with room for `capacity` events.
     pub fn with_capacity(capacity: usize) -> Self {
-        EventQueue { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
     }
 
     /// Schedules `event` to fire at time `at`.
     pub fn push(&mut self, at: Cycle, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { key: Reverse((at, seq)), event });
+        self.heap.push(Entry {
+            key: Reverse((at, seq)),
+            event,
+        });
     }
 
     /// Removes and returns the earliest event, or `None` if empty.

@@ -124,7 +124,10 @@ impl Addr {
     /// Panics if `line_size` is not a power of two.
     #[inline]
     pub fn line(self, line_size: u64) -> LineAddr {
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         LineAddr(self.0 / line_size)
     }
 
@@ -135,7 +138,10 @@ impl Addr {
     /// Panics if `line_size` is not a power of two.
     #[inline]
     pub fn offset_in_line(self, line_size: u64) -> u64 {
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         self.0 & (line_size - 1)
     }
 }

@@ -40,12 +40,14 @@
 
 pub mod config;
 pub mod event;
+pub mod hash;
 pub mod ids;
 pub mod rng;
 pub mod time;
 
 pub use config::{CacheParams, MachineConfig, SimParams};
 pub use event::EventQueue;
+pub use hash::StableHasher;
 pub use ids::{Addr, LineAddr, NodeId, ProcId};
 pub use rng::SimRng;
 pub use time::Cycle;

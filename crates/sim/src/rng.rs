@@ -41,7 +41,9 @@ impl SimRng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        SimRng { s: [next(), next(), next(), next()] }
+        SimRng {
+            s: [next(), next(), next(), next()],
+        }
     }
 
     /// Returns the next 64 random bits.
@@ -133,7 +135,10 @@ mod tests {
             assert!(v < 10);
             seen[v as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all buckets should be hit in 1000 draws");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all buckets should be hit in 1000 draws"
+        );
     }
 
     #[test]
@@ -160,7 +165,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..32).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "a 32-element shuffle should almost surely move something");
+        assert_ne!(
+            v, sorted,
+            "a 32-element shuffle should almost surely move something"
+        );
     }
 
     #[test]

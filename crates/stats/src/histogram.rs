@@ -76,7 +76,12 @@ impl Histogram {
         if self.total == 0 {
             return 0.0;
         }
-        let sum: u64 = self.buckets.iter().enumerate().map(|(v, &c)| v as u64 * c).sum();
+        let sum: u64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as u64 * c)
+            .sum();
         sum as f64 / self.total as f64
     }
 
@@ -96,7 +101,11 @@ impl Histogram {
 
     /// Iterates over `(value, count)` pairs with nonzero counts.
     pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
-        self.buckets.iter().enumerate().filter(|(_, &c)| c > 0).map(|(v, &c)| (v, c))
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v, c))
     }
 
     /// Merges another histogram into this one.

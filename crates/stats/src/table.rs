@@ -164,10 +164,7 @@ mod tests {
 
     #[test]
     fn bar_chart_scales_to_max() {
-        let chart = render_bar_chart(
-            &[("a".into(), 10.0), ("bb".into(), 20.0)],
-            10,
-        );
+        let chart = render_bar_chart(&[("a".into(), 10.0), ("bb".into(), 20.0)], 10);
         let lines: Vec<&str> = chart.lines().collect();
         assert_eq!(lines.len(), 2);
         // The largest value fills the full width.

@@ -39,9 +39,16 @@ impl ShmAlloc {
     ///
     /// Panics if `line_size` is not a power of two or `nodes` is zero.
     pub fn new(line_size: u64, nodes: u32) -> Self {
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(nodes > 0, "need at least one node");
-        ShmAlloc { line_size, nodes, next_line: 1 } // line 0 left unused
+        ShmAlloc {
+            line_size,
+            nodes,
+            next_line: 1,
+        } // line 0 left unused
     }
 
     /// Allocates one word on its own fresh cache line.

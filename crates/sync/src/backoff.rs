@@ -41,7 +41,11 @@ impl Backoff {
     pub fn new(initial: u64, max: u64) -> Self {
         assert!(initial > 0, "initial backoff window must be positive");
         assert!(initial <= max, "initial window must not exceed the bound");
-        Backoff { initial, max, window: initial }
+        Backoff {
+            initial,
+            max,
+            window: initial,
+        }
     }
 
     /// Draws the next delay and widens the window.

@@ -39,9 +39,15 @@ impl TreeBarrier {
     /// Panics if `nprocs` is zero.
     pub fn layout(alloc: &mut ShmAlloc, nprocs: u32) -> Self {
         assert!(nprocs > 0, "barrier needs at least one processor");
-        let childnotready = (0..nprocs).map(|_| alloc.array(ARRIVAL_ARITY as u64)).collect();
+        let childnotready = (0..nprocs)
+            .map(|_| alloc.array(ARRIVAL_ARITY as u64))
+            .collect();
         let parentsense = (0..nprocs).map(|_| alloc.word()).collect();
-        TreeBarrier { nprocs, childnotready, parentsense }
+        TreeBarrier {
+            nprocs,
+            childnotready,
+            parentsense,
+        }
     }
 
     /// Number of participating processors.
@@ -136,7 +142,9 @@ impl SubMachine for TreeBarrierWait {
                         continue;
                     }
                     self.state = WaitState::WaitChild(slot);
-                    return Step::Op(MemOp::Load { addr: self.own_flags + slot as u64 * 8 });
+                    return Step::Op(MemOp::Load {
+                        addr: self.own_flags + slot as u64 * 8,
+                    });
                 }
                 WaitState::WaitChild(slot) => {
                     let v = last.expect("child flag read").value().expect("load value");
@@ -168,7 +176,10 @@ impl SubMachine for TreeBarrierWait {
                     match self.arrival_parent {
                         Some(slot_addr) => {
                             self.state = WaitState::SpinParent;
-                            return Step::Op(MemOp::Store { addr: slot_addr, value: 0 });
+                            return Step::Op(MemOp::Store {
+                                addr: slot_addr,
+                                value: 0,
+                            });
                         }
                         None => {
                             // Root: go straight to waking children.
@@ -179,7 +190,9 @@ impl SubMachine for TreeBarrierWait {
                 }
                 WaitState::SpinParent => {
                     self.state = WaitState::WaitParent;
-                    return Step::Op(MemOp::Load { addr: self.own_sense_word });
+                    return Step::Op(MemOp::Load {
+                        addr: self.own_sense_word,
+                    });
                 }
                 WaitState::WaitParent => {
                     let v = last.expect("sense read").value().expect("load value");
@@ -194,7 +207,10 @@ impl SubMachine for TreeBarrierWait {
                     if (i as usize) < self.wakeup_children.len() {
                         let addr = self.wakeup_children[i as usize];
                         self.state = WaitState::WakeChild(i + 1);
-                        return Step::Op(MemOp::Store { addr, value: self.sense });
+                        return Step::Op(MemOp::Store {
+                            addr,
+                            value: self.sense,
+                        });
                     }
                     self.state = WaitState::Finished;
                     return Step::Done;
@@ -264,8 +280,11 @@ mod tests {
         let nprocs = 10u32;
         let mut alloc = ShmAlloc::new(32, nprocs);
         let b = TreeBarrier::layout(&mut alloc, nprocs);
-        let mut mem: HashMap<u64, u64> =
-            b.initial_values().into_iter().map(|(a, v)| (a.as_u64(), v)).collect();
+        let mut mem: HashMap<u64, u64> = b
+            .initial_values()
+            .into_iter()
+            .map(|(a, v)| (a.as_u64(), v))
+            .collect();
 
         let mut rng = SimRng::new(2);
         let mut waits: Vec<TreeBarrierWait> = (0..nprocs).map(|p| b.wait(p, 1)).collect();

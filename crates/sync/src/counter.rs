@@ -68,7 +68,14 @@ impl LockFreeIncr {
 
     /// Creates an increment by `amount`.
     pub fn by(counter: Addr, choice: PrimChoice, amount: u64) -> Self {
-        LockFreeIncr { counter, choice, amount, state: State::Start, observed: None, retries: 0 }
+        LockFreeIncr {
+            counter,
+            choice,
+            amount,
+            state: State::Start,
+            observed: None,
+            retries: 0,
+        }
     }
 
     /// Resets the sub-machine for another increment.
@@ -89,7 +96,10 @@ impl SubMachine for LockFreeIncr {
             State::Start => match self.choice.prim {
                 Primitive::FetchPhi => {
                     self.state = State::WaitFetch;
-                    Step::Op(MemOp::FetchPhi { addr: self.counter, op: PhiOp::Add(self.amount) })
+                    Step::Op(MemOp::FetchPhi {
+                        addr: self.counter,
+                        op: PhiOp::Add(self.amount),
+                    })
                 }
                 Primitive::Cas => {
                     self.state = State::WaitLoad;
@@ -112,7 +122,10 @@ impl SubMachine for LockFreeIncr {
                 self.finish()
             }
             State::WaitLoad => {
-                let value = last.expect("result of load").value().expect("load carries a value");
+                let value = last
+                    .expect("result of load")
+                    .value()
+                    .expect("load carries a value");
                 self.state = State::WaitCas;
                 Step::Op(MemOp::Cas {
                     addr: self.counter,
@@ -121,11 +134,17 @@ impl SubMachine for LockFreeIncr {
                 })
             }
             State::WaitCas => match last.expect("result of CAS") {
-                OpResult::CasDone { success: true, observed } => {
+                OpResult::CasDone {
+                    success: true,
+                    observed,
+                } => {
                     self.observed = Some(observed);
                     self.finish()
                 }
-                OpResult::CasDone { success: false, observed } => {
+                OpResult::CasDone {
+                    success: false,
+                    observed,
+                } => {
                     // Retry directly with the freshly observed value.
                     self.retries += 1;
                     Step::Op(MemOp::Cas {
@@ -192,12 +211,18 @@ mod tests {
     impl TestMem {
         pub(crate) fn eval(&mut self, op: MemOp) -> OpResult {
             match op {
-                MemOp::Load { .. } | MemOp::LoadExclusive { .. } => {
-                    OpResult::Loaded { value: self.value, serial: None, reserved: false }
-                }
+                MemOp::Load { .. } | MemOp::LoadExclusive { .. } => OpResult::Loaded {
+                    value: self.value,
+                    serial: None,
+                    reserved: false,
+                },
                 MemOp::LoadLinked { .. } => {
                     self.reserved = true;
-                    OpResult::Loaded { value: self.value, serial: None, reserved: true }
+                    OpResult::Loaded {
+                        value: self.value,
+                        serial: None,
+                        reserved: true,
+                    }
                 }
                 MemOp::Store { value, .. } => {
                     self.value = value;
@@ -214,12 +239,21 @@ mod tests {
                         self.fail_first_n -= 1;
                         // Simulate interference: someone else bumped it.
                         self.value += 1;
-                        OpResult::CasDone { success: false, observed }
+                        OpResult::CasDone {
+                            success: false,
+                            observed,
+                        }
                     } else if observed == expected {
                         self.value = new;
-                        OpResult::CasDone { success: true, observed }
+                        OpResult::CasDone {
+                            success: true,
+                            observed,
+                        }
                     } else {
-                        OpResult::CasDone { success: false, observed }
+                        OpResult::CasDone {
+                            success: false,
+                            observed,
+                        }
                     }
                 }
                 MemOp::StoreConditional { value, .. } => {
@@ -242,7 +276,11 @@ mod tests {
 
     #[test]
     fn fap_increment_is_one_op() {
-        let mut mem = TestMem { value: 5, reserved: false, fail_first_n: 0 };
+        let mut mem = TestMem {
+            value: 5,
+            reserved: false,
+            fail_first_n: 0,
+        };
         let mut rng = SimRng::new(1);
         let mut incr = LockFreeIncr::new(Addr::new(32), PrimChoice::plain(Primitive::FetchPhi));
         let ops = drive_sync(&mut incr, &mut rng, 10, |op| mem.eval(op));
@@ -253,7 +291,11 @@ mod tests {
 
     #[test]
     fn cas_increment_retries_until_success() {
-        let mut mem = TestMem { value: 0, reserved: false, fail_first_n: 3 };
+        let mut mem = TestMem {
+            value: 0,
+            reserved: false,
+            fail_first_n: 3,
+        };
         let mut rng = SimRng::new(1);
         let mut incr = LockFreeIncr::new(Addr::new(32), PrimChoice::plain(Primitive::Cas));
         let ops = drive_sync(&mut incr, &mut rng, 100, |op| mem.eval(op));
@@ -266,7 +308,11 @@ mod tests {
 
     #[test]
     fn llsc_increment_retries_with_fresh_ll() {
-        let mut mem = TestMem { value: 7, reserved: false, fail_first_n: 2 };
+        let mut mem = TestMem {
+            value: 7,
+            reserved: false,
+            fail_first_n: 2,
+        };
         let mut rng = SimRng::new(1);
         let mut incr = LockFreeIncr::new(Addr::new(32), PrimChoice::plain(Primitive::Llsc));
         let ops = drive_sync(&mut incr, &mut rng, 100, |op| mem.eval(op));
@@ -277,7 +323,11 @@ mod tests {
 
     #[test]
     fn drop_copy_appends_a_drop() {
-        let mut mem = TestMem { value: 0, reserved: false, fail_first_n: 0 };
+        let mut mem = TestMem {
+            value: 0,
+            reserved: false,
+            fail_first_n: 0,
+        };
         let mut rng = SimRng::new(1);
         let mut incr = LockFreeIncr::new(
             Addr::new(32),
@@ -295,7 +345,11 @@ mod tests {
 
     #[test]
     fn load_exclusive_is_used_when_requested() {
-        let mut mem = TestMem { value: 0, reserved: false, fail_first_n: 0 };
+        let mut mem = TestMem {
+            value: 0,
+            reserved: false,
+            fail_first_n: 0,
+        };
         let mut rng = SimRng::new(1);
         let mut incr = LockFreeIncr::new(
             Addr::new(32),
@@ -313,7 +367,11 @@ mod tests {
 
     #[test]
     fn reset_allows_reuse() {
-        let mut mem = TestMem { value: 0, reserved: false, fail_first_n: 0 };
+        let mut mem = TestMem {
+            value: 0,
+            reserved: false,
+            fail_first_n: 0,
+        };
         let mut rng = SimRng::new(1);
         let mut incr = LockFreeIncr::new(Addr::new(32), PrimChoice::plain(Primitive::FetchPhi));
         drive_sync(&mut incr, &mut rng, 10, |op| mem.eval(op));

@@ -42,7 +42,10 @@ pub struct McsQnode {
 impl McsQnode {
     /// Builds a qnode from its base address (two consecutive words).
     pub fn at(base: Addr) -> Self {
-        McsQnode { next: base, locked: base + 8 }
+        McsQnode {
+            next: base,
+            locked: base + 8,
+        }
     }
 
     /// This node's pointer value.
@@ -87,7 +90,13 @@ impl McsAcquire {
     /// Creates an acquire of `lock` using `qnode` as this processor's
     /// queue node.
     pub fn new(lock: McsLock, qnode: McsQnode, choice: PrimChoice) -> Self {
-        McsAcquire { lock, qnode, choice, state: AcqState::InitNext, enqueue_serial: None }
+        McsAcquire {
+            lock,
+            qnode,
+            choice,
+            state: AcqState::InitNext,
+            enqueue_serial: None,
+        }
     }
 
     /// After a successful LL/SC acquire under the serial-number scheme,
@@ -116,14 +125,20 @@ impl McsAcquire {
             Primitive::Cas => {
                 self.state = AcqState::WaitSwapLoad;
                 if self.choice.load_exclusive {
-                    Step::Op(MemOp::LoadExclusive { addr: self.lock.tail })
+                    Step::Op(MemOp::LoadExclusive {
+                        addr: self.lock.tail,
+                    })
                 } else {
-                    Step::Op(MemOp::Load { addr: self.lock.tail })
+                    Step::Op(MemOp::Load {
+                        addr: self.lock.tail,
+                    })
                 }
             }
             Primitive::Llsc => {
                 self.state = AcqState::WaitSwapLl;
-                Step::Op(MemOp::LoadLinked { addr: self.lock.tail })
+                Step::Op(MemOp::LoadLinked {
+                    addr: self.lock.tail,
+                })
             }
         }
     }
@@ -134,7 +149,10 @@ impl McsAcquire {
         } else {
             self.state = AcqState::LinkPred { pred };
             // pred is the address of the predecessor's `next` word.
-            Step::Op(MemOp::Store { addr: Addr::new(pred), value: self.qnode.id() })
+            Step::Op(MemOp::Store {
+                addr: Addr::new(pred),
+                value: self.qnode.id(),
+            })
         }
     }
 }
@@ -144,11 +162,17 @@ impl SubMachine for McsAcquire {
         match self.state {
             AcqState::InitNext => {
                 self.state = AcqState::InitLocked;
-                Step::Op(MemOp::Store { addr: self.qnode.next, value: 0 })
+                Step::Op(MemOp::Store {
+                    addr: self.qnode.next,
+                    value: 0,
+                })
             }
             AcqState::InitLocked => {
                 self.state = AcqState::SwapStart;
-                Step::Op(MemOp::Store { addr: self.qnode.locked, value: 1 })
+                Step::Op(MemOp::Store {
+                    addr: self.qnode.locked,
+                    value: 1,
+                })
             }
             AcqState::SwapStart => self.start_swap(),
             AcqState::WaitSwapFetch => {
@@ -168,7 +192,10 @@ impl SubMachine for McsAcquire {
             }
             AcqState::WaitSwapCas { expected } => match last.expect("CAS result") {
                 OpResult::CasDone { success: true, .. } => self.swapped(expected),
-                OpResult::CasDone { success: false, observed } => {
+                OpResult::CasDone {
+                    success: false,
+                    observed,
+                } => {
                     self.state = AcqState::WaitSwapCas { expected: observed };
                     Step::Op(MemOp::Cas {
                         addr: self.lock.tail,
@@ -194,17 +221,23 @@ impl SubMachine for McsAcquire {
                 OpResult::ScDone { success: true } => self.swapped(observed),
                 OpResult::ScDone { success: false } => {
                     self.state = AcqState::WaitSwapLl;
-                    Step::Op(MemOp::LoadLinked { addr: self.lock.tail })
+                    Step::Op(MemOp::LoadLinked {
+                        addr: self.lock.tail,
+                    })
                 }
                 other => panic!("expected ScDone, got {other:?}"),
             },
             AcqState::LinkPred { .. } => {
                 self.state = AcqState::SpinLoad;
-                Step::Op(MemOp::Load { addr: self.qnode.locked })
+                Step::Op(MemOp::Load {
+                    addr: self.qnode.locked,
+                })
             }
             AcqState::SpinLoad => {
                 self.state = AcqState::WaitSpin;
-                Step::Op(MemOp::Load { addr: self.qnode.locked })
+                Step::Op(MemOp::Load {
+                    addr: self.qnode.locked,
+                })
             }
             AcqState::WaitSpin => {
                 let v = last.expect("spin read").value().expect("load value");
@@ -254,7 +287,14 @@ enum RelState {
 impl McsRelease {
     /// Creates a release of `lock` from `qnode`.
     pub fn new(lock: McsLock, qnode: McsQnode, choice: PrimChoice) -> Self {
-        McsRelease { lock, qnode, choice, state: RelState::ReadNext, bare_serial: None, bare_sc_hits: 0 }
+        McsRelease {
+            lock,
+            qnode,
+            choice,
+            state: RelState::ReadNext,
+            bare_serial: None,
+            bare_sc_hits: 0,
+        }
     }
 
     /// Enables the §3.1 bare-store-conditional release: `serial` is the
@@ -277,7 +317,10 @@ impl McsRelease {
         self.state = RelState::WaitHandoff;
         // successor points at a qnode's `next` word; its `locked` word
         // is 8 bytes further.
-        Step::Op(MemOp::Store { addr: Addr::new(successor + 8), value: 0 })
+        Step::Op(MemOp::Store {
+            addr: Addr::new(successor + 8),
+            value: 0,
+        })
     }
 
     /// Finishes the release, optionally dropping the cached copy of the
@@ -285,7 +328,9 @@ impl McsRelease {
     fn finish(&mut self) -> Step {
         if self.choice.drop_copy {
             self.state = RelState::DropTail;
-            Step::Op(MemOp::DropCopy { addr: self.lock.tail })
+            Step::Op(MemOp::DropCopy {
+                addr: self.lock.tail,
+            })
         } else {
             Step::Done
         }
@@ -297,7 +342,9 @@ impl SubMachine for McsRelease {
         match self.state {
             RelState::ReadNext => {
                 self.state = RelState::WaitNext;
-                Step::Op(MemOp::Load { addr: self.qnode.next })
+                Step::Op(MemOp::Load {
+                    addr: self.qnode.next,
+                })
             }
             RelState::WaitNext => {
                 let next = last.expect("next read").value().expect("load value");
@@ -326,13 +373,18 @@ impl SubMachine for McsRelease {
                             });
                         }
                         self.state = RelState::WaitLl;
-                        Step::Op(MemOp::LoadLinked { addr: self.lock.tail })
+                        Step::Op(MemOp::LoadLinked {
+                            addr: self.lock.tail,
+                        })
                     }
                     Primitive::FetchPhi => {
                         // Swap-only release (MCS, Algorithm 5): swap nil
                         // in and repair if we raced with an enqueue.
                         self.state = RelState::WaitSwapOut;
-                        Step::Op(MemOp::FetchPhi { addr: self.lock.tail, op: PhiOp::Store(0) })
+                        Step::Op(MemOp::FetchPhi {
+                            addr: self.lock.tail,
+                            op: PhiOp::Store(0),
+                        })
                     }
                 }
             }
@@ -351,7 +403,11 @@ impl SubMachine for McsRelease {
                 };
                 if value == self.qnode.id() {
                     self.state = RelState::WaitSc;
-                    Step::Op(MemOp::StoreConditional { addr: self.lock.tail, value: 0, serial })
+                    Step::Op(MemOp::StoreConditional {
+                        addr: self.lock.tail,
+                        value: 0,
+                        serial,
+                    })
                 } else {
                     // Tail moved on: a successor is linking itself.
                     self.state = RelState::SpinNext;
@@ -368,7 +424,9 @@ impl SubMachine for McsRelease {
                     // A successor enqueued (the serial moved on): fall
                     // back to the ordinary release.
                     self.state = RelState::WaitLl;
-                    Step::Op(MemOp::LoadLinked { addr: self.lock.tail })
+                    Step::Op(MemOp::LoadLinked {
+                        addr: self.lock.tail,
+                    })
                 }
                 other => panic!("expected ScDone, got {other:?}"),
             },
@@ -376,13 +434,17 @@ impl SubMachine for McsRelease {
                 OpResult::ScDone { success: true } => self.finish(),
                 OpResult::ScDone { success: false } => {
                     self.state = RelState::WaitLl;
-                    Step::Op(MemOp::LoadLinked { addr: self.lock.tail })
+                    Step::Op(MemOp::LoadLinked {
+                        addr: self.lock.tail,
+                    })
                 }
                 other => panic!("expected ScDone, got {other:?}"),
             },
             RelState::SpinNext => {
                 self.state = RelState::WaitSpinNext;
-                Step::Op(MemOp::Load { addr: self.qnode.next })
+                Step::Op(MemOp::Load {
+                    addr: self.qnode.next,
+                })
             }
             RelState::WaitSpinNext => {
                 let next = last.expect("spin read").value().expect("load value");
@@ -404,18 +466,25 @@ impl SubMachine for McsRelease {
                 // old != us: processes enqueued after us and we have now
                 // pulled them off the queue. Put them back and hand over.
                 self.state = RelState::WaitUsurperSwap { old_tail: old };
-                Step::Op(MemOp::FetchPhi { addr: self.lock.tail, op: PhiOp::Store(old) })
+                Step::Op(MemOp::FetchPhi {
+                    addr: self.lock.tail,
+                    op: PhiOp::Store(old),
+                })
             }
             RelState::WaitUsurperSwap { .. } => {
                 let OpResult::Fetched { old: usurper } = last.expect("swap result") else {
                     panic!("expected Fetched");
                 };
                 self.state = RelState::FapSpinNext { usurper };
-                Step::Op(MemOp::Load { addr: self.qnode.next })
+                Step::Op(MemOp::Load {
+                    addr: self.qnode.next,
+                })
             }
             RelState::FapSpinNext { usurper } => {
                 self.state = RelState::FapWaitSpinNext { usurper };
-                Step::Op(MemOp::Load { addr: self.qnode.next })
+                Step::Op(MemOp::Load {
+                    addr: self.qnode.next,
+                })
             }
             RelState::FapWaitSpinNext { usurper } => {
                 let next = last.expect("spin read").value().expect("load value");
@@ -427,7 +496,10 @@ impl SubMachine for McsRelease {
                     // An usurper grabbed the lock word while it was nil;
                     // give it our successors by linking them behind it.
                     self.state = RelState::WaitHandoff;
-                    Step::Op(MemOp::Store { addr: Addr::new(usurper), value: next })
+                    Step::Op(MemOp::Store {
+                        addr: Addr::new(usurper),
+                        value: next,
+                    })
                 } else {
                     self.unlock_successor(next)
                 }
@@ -457,12 +529,18 @@ mod tests {
         }
         fn eval(&mut self, op: MemOp) -> OpResult {
             match op {
-                MemOp::Load { addr } | MemOp::LoadExclusive { addr } => {
-                    OpResult::Loaded { value: self.get(addr), serial: None, reserved: false }
-                }
+                MemOp::Load { addr } | MemOp::LoadExclusive { addr } => OpResult::Loaded {
+                    value: self.get(addr),
+                    serial: None,
+                    reserved: false,
+                },
                 MemOp::LoadLinked { addr } => {
                     self.reserved = true;
-                    OpResult::Loaded { value: self.get(addr), serial: None, reserved: true }
+                    OpResult::Loaded {
+                        value: self.get(addr),
+                        serial: None,
+                        reserved: true,
+                    }
                 }
                 MemOp::Store { addr, value } => {
                     self.words.insert(addr.as_u64(), value);
@@ -473,13 +551,23 @@ mod tests {
                     self.words.insert(addr.as_u64(), op.apply(old));
                     OpResult::Fetched { old }
                 }
-                MemOp::Cas { addr, expected, new } => {
+                MemOp::Cas {
+                    addr,
+                    expected,
+                    new,
+                } => {
                     let observed = self.get(addr);
                     if observed == expected {
                         self.words.insert(addr.as_u64(), new);
-                        OpResult::CasDone { success: true, observed }
+                        OpResult::CasDone {
+                            success: true,
+                            observed,
+                        }
                     } else {
-                        OpResult::CasDone { success: false, observed }
+                        OpResult::CasDone {
+                            success: false,
+                            observed,
+                        }
                     }
                 }
                 MemOp::StoreConditional { addr, value, .. } => {
@@ -622,7 +710,11 @@ mod tests {
         // P0 restored the tail to q1 (the original old_tail) and gave
         // the usurper P2 the orphaned successors: q2.next = q1.
         assert_eq!(mem.get(TAIL), q1.id());
-        assert_eq!(mem.get(q2.next), q1.id(), "usurper inherits the orphaned queue");
+        assert_eq!(
+            mem.get(q2.next),
+            q1.id(),
+            "usurper inherits the orphaned queue"
+        );
         assert_eq!(mem.get(q1.locked), 1, "P1 still waits (P2 holds the lock)");
     }
 

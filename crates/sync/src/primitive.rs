@@ -52,7 +52,11 @@ pub struct PrimChoice {
 impl PrimChoice {
     /// A plain choice with no auxiliary instructions.
     pub fn plain(prim: Primitive) -> Self {
-        PrimChoice { prim, load_exclusive: false, drop_copy: false }
+        PrimChoice {
+            prim,
+            load_exclusive: false,
+            drop_copy: false,
+        }
     }
 
     /// Enables `load_exclusive`.
@@ -81,7 +85,9 @@ mod tests {
 
     #[test]
     fn builder_toggles() {
-        let c = PrimChoice::plain(Primitive::Cas).with_load_exclusive().with_drop_copy();
+        let c = PrimChoice::plain(Primitive::Cas)
+            .with_load_exclusive()
+            .with_drop_copy();
         assert!(c.load_exclusive);
         assert!(c.drop_copy);
         let p = PrimChoice::plain(Primitive::FetchPhi);

@@ -81,7 +81,12 @@ impl ReadAcquire {
     /// Panics if `prim` is [`Primitive::FetchPhi`].
     pub fn new(lock: Addr, prim: Primitive) -> Self {
         assert_universal(prim);
-        ReadAcquire { lock, prim, backoff: Backoff::default(), state: RwState::Read }
+        ReadAcquire {
+            lock,
+            prim,
+            backoff: Backoff::default(),
+            state: RwState::Read,
+        }
     }
 }
 
@@ -109,9 +114,17 @@ impl SubMachine for ReadAcquire {
                             OpResult::Loaded { serial, .. } => serial,
                             _ => None,
                         };
-                        Step::Op(MemOp::StoreConditional { addr: self.lock, value: v + 1, serial })
+                        Step::Op(MemOp::StoreConditional {
+                            addr: self.lock,
+                            value: v + 1,
+                            serial,
+                        })
                     }
-                    _ => Step::Op(MemOp::Cas { addr: self.lock, expected: v, new: v + 1 }),
+                    _ => Step::Op(MemOp::Cas {
+                        addr: self.lock,
+                        expected: v,
+                        new: v + 1,
+                    }),
                 }
             }
             RwState::WaitSwap { .. } => match last.expect("swap result") {
@@ -134,7 +147,11 @@ impl ReadRelease {
     /// decrement is a single unconditional `fetch_and_add(-1)`; the
     /// universal primitives use their retry loops.
     pub fn new(lock: Addr, prim: Primitive) -> Self {
-        ReadRelease { lock, prim, state: RwState::Read }
+        ReadRelease {
+            lock,
+            prim,
+            state: RwState::Read,
+        }
     }
 }
 
@@ -144,7 +161,10 @@ impl SubMachine for ReadRelease {
             RwState::Read => match self.prim {
                 Primitive::FetchPhi => {
                     self.state = RwState::WaitFetch;
-                    Step::Op(MemOp::FetchPhi { addr: self.lock, op: PhiOp::Add(u64::MAX) })
+                    Step::Op(MemOp::FetchPhi {
+                        addr: self.lock,
+                        op: PhiOp::Add(u64::MAX),
+                    })
                 }
                 Primitive::Llsc => {
                     self.state = RwState::WaitRead;
@@ -173,9 +193,17 @@ impl SubMachine for ReadRelease {
                             OpResult::Loaded { serial, .. } => serial,
                             _ => None,
                         };
-                        Step::Op(MemOp::StoreConditional { addr: self.lock, value: v - 1, serial })
+                        Step::Op(MemOp::StoreConditional {
+                            addr: self.lock,
+                            value: v - 1,
+                            serial,
+                        })
                     }
-                    _ => Step::Op(MemOp::Cas { addr: self.lock, expected: v, new: v - 1 }),
+                    _ => Step::Op(MemOp::Cas {
+                        addr: self.lock,
+                        expected: v,
+                        new: v - 1,
+                    }),
                 }
             }
             RwState::WaitSwap { .. } => match last.expect("swap result") {
@@ -201,7 +229,12 @@ impl WriteAcquire {
     /// Panics if `prim` is [`Primitive::FetchPhi`].
     pub fn new(lock: Addr, prim: Primitive) -> Self {
         assert_universal(prim);
-        WriteAcquire { lock, prim, backoff: Backoff::default(), state: RwState::Read }
+        WriteAcquire {
+            lock,
+            prim,
+            backoff: Backoff::default(),
+            state: RwState::Read,
+        }
     }
 }
 
@@ -236,7 +269,11 @@ impl SubMachine for WriteAcquire {
                             serial,
                         })
                     }
-                    _ => Step::Op(MemOp::Cas { addr: self.lock, expected: 0, new: WRITER_BIT }),
+                    _ => Step::Op(MemOp::Cas {
+                        addr: self.lock,
+                        expected: 0,
+                        new: WRITER_BIT,
+                    }),
                 }
             }
             RwState::WaitSwap { .. } => match last.expect("swap result") {
@@ -267,7 +304,10 @@ impl SubMachine for WriteRelease {
             Step::Done
         } else {
             self.done = true;
-            Step::Op(MemOp::Store { addr: self.lock, value: 0 })
+            Step::Op(MemOp::Store {
+                addr: self.lock,
+                value: 0,
+            })
         }
     }
 }
@@ -285,12 +325,18 @@ mod tests {
     impl Mem {
         fn eval(&mut self, op: MemOp) -> OpResult {
             match op {
-                MemOp::Load { .. } => {
-                    OpResult::Loaded { value: self.lock, serial: None, reserved: false }
-                }
+                MemOp::Load { .. } => OpResult::Loaded {
+                    value: self.lock,
+                    serial: None,
+                    reserved: false,
+                },
                 MemOp::LoadLinked { .. } => {
                     self.reserved = true;
-                    OpResult::Loaded { value: self.lock, serial: None, reserved: true }
+                    OpResult::Loaded {
+                        value: self.lock,
+                        serial: None,
+                        reserved: true,
+                    }
                 }
                 MemOp::Store { value, .. } => {
                     self.lock = value;
@@ -305,9 +351,15 @@ mod tests {
                     let observed = self.lock;
                     if observed == expected {
                         self.lock = new;
-                        OpResult::CasDone { success: true, observed }
+                        OpResult::CasDone {
+                            success: true,
+                            observed,
+                        }
                     } else {
-                        OpResult::CasDone { success: false, observed }
+                        OpResult::CasDone {
+                            success: false,
+                            observed,
+                        }
                     }
                 }
                 MemOp::StoreConditional { value, .. } => {
@@ -329,7 +381,10 @@ mod tests {
     #[test]
     fn readers_stack_up_and_drain() {
         for prim in [Primitive::Cas, Primitive::Llsc] {
-            let mut mem = Mem { lock: 0, reserved: false };
+            let mut mem = Mem {
+                lock: 0,
+                reserved: false,
+            };
             let mut rng = SimRng::new(1);
             for expected in 1..=3u64 {
                 let mut a = ReadAcquire::new(L, prim);
@@ -346,7 +401,10 @@ mod tests {
 
     #[test]
     fn fetch_add_read_release() {
-        let mut mem = Mem { lock: 2, reserved: false };
+        let mut mem = Mem {
+            lock: 2,
+            reserved: false,
+        };
         let mut rng = SimRng::new(1);
         let mut r = ReadRelease::new(L, Primitive::FetchPhi);
         let ops = drive_sync(&mut r, &mut rng, 100, |op| mem.eval(op));
@@ -356,7 +414,10 @@ mod tests {
 
     #[test]
     fn writer_excludes_and_releases() {
-        let mut mem = Mem { lock: 0, reserved: false };
+        let mut mem = Mem {
+            lock: 0,
+            reserved: false,
+        };
         let mut rng = SimRng::new(1);
         let mut w = WriteAcquire::new(L, Primitive::Cas);
         drive_sync(&mut w, &mut rng, 100, |op| mem.eval(op));
@@ -368,7 +429,10 @@ mod tests {
 
     #[test]
     fn reader_spins_while_writer_holds() {
-        let mut mem = Mem { lock: WRITER_BIT, reserved: false };
+        let mut mem = Mem {
+            lock: WRITER_BIT,
+            reserved: false,
+        };
         let mut rng = SimRng::new(1);
         let mut a = ReadAcquire::new(L, Primitive::Cas);
         let mut reads = 0;
@@ -397,7 +461,10 @@ mod tests {
 
     #[test]
     fn writer_spins_while_readers_present() {
-        let mut mem = Mem { lock: 2, reserved: false };
+        let mut mem = Mem {
+            lock: 2,
+            reserved: false,
+        };
         let mut rng = SimRng::new(1);
         let mut w = WriteAcquire::new(L, Primitive::Llsc);
         let mut reads = 0;

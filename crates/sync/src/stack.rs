@@ -38,7 +38,10 @@ pub enum StackPrim {
 
 /// Packs a generation count and a (32-bit) node address into one word.
 pub fn pack(generation: u32, node: u64) -> u64 {
-    debug_assert!(node <= u32::MAX as u64, "node addresses must fit in 32 bits");
+    debug_assert!(
+        node <= u32::MAX as u64,
+        "node addresses must fit in 32 bits"
+    );
     ((generation as u64) << 32) | node
 }
 
@@ -81,7 +84,13 @@ enum PushState {
 impl StackPush {
     /// Creates a push of the node whose `next` word is at `node`.
     pub fn new(top: Addr, node: Addr, prim: StackPrim) -> Self {
-        StackPush { top, node, prim, state: PushState::ReadTop, retries: 0 }
+        StackPush {
+            top,
+            node,
+            prim,
+            state: PushState::ReadTop,
+            retries: 0,
+        }
     }
 }
 
@@ -125,9 +134,17 @@ impl SubMachine for StackPush {
                         // node line only on machines whose reservations
                         // track a specific address — which this
                         // simulator's do.
-                        Step::Op(MemOp::StoreConditional { addr: self.top, value: new, serial })
+                        Step::Op(MemOp::StoreConditional {
+                            addr: self.top,
+                            value: new,
+                            serial,
+                        })
                     }
-                    _ => Step::Op(MemOp::Cas { addr: self.top, expected: observed, new }),
+                    _ => Step::Op(MemOp::Cas {
+                        addr: self.top,
+                        expected: observed,
+                        new,
+                    }),
                 }
             }
             PushState::WaitSwap { .. } => match last.expect("swap result") {
@@ -171,7 +188,13 @@ enum PopState {
 impl StackPop {
     /// Creates a pop.
     pub fn new(top: Addr, prim: StackPrim) -> Self {
-        StackPop { top, prim, state: PopState::ReadTop, result: None, retries: 0 }
+        StackPop {
+            top,
+            prim,
+            state: PopState::ReadTop,
+            result: None,
+            retries: 0,
+        }
     }
 
     /// The popped node (its `next`-word address), or `None` for an
@@ -203,7 +226,9 @@ impl SubMachine for StackPop {
                     return Step::Done;
                 }
                 self.state = PopState::WaitNext { observed, serial };
-                Step::Op(MemOp::Load { addr: Addr::new(head_node(self.prim, observed)) })
+                Step::Op(MemOp::Load {
+                    addr: Addr::new(head_node(self.prim, observed)),
+                })
             }
             PopState::WaitNext { observed, serial } => {
                 let next = last.expect("next read").value().expect("load value");
@@ -213,10 +238,16 @@ impl SubMachine for StackPop {
                 };
                 self.state = PopState::WaitSwap { observed };
                 match self.prim {
-                    StackPrim::Llsc => {
-                        Step::Op(MemOp::StoreConditional { addr: self.top, value: new, serial })
-                    }
-                    _ => Step::Op(MemOp::Cas { addr: self.top, expected: observed, new }),
+                    StackPrim::Llsc => Step::Op(MemOp::StoreConditional {
+                        addr: self.top,
+                        value: new,
+                        serial,
+                    }),
+                    _ => Step::Op(MemOp::Cas {
+                        addr: self.top,
+                        expected: observed,
+                        new,
+                    }),
                 }
             }
             PopState::WaitSwap { observed } => match last.expect("swap result") {
@@ -253,12 +284,18 @@ mod tests {
         }
         fn eval(&mut self, op: MemOp) -> OpResult {
             match op {
-                MemOp::Load { addr } => {
-                    OpResult::Loaded { value: self.get(addr.as_u64()), serial: None, reserved: false }
-                }
+                MemOp::Load { addr } => OpResult::Loaded {
+                    value: self.get(addr.as_u64()),
+                    serial: None,
+                    reserved: false,
+                },
                 MemOp::LoadLinked { addr } => {
                     self.reserved = Some(addr.as_u64());
-                    OpResult::Loaded { value: self.get(addr.as_u64()), serial: None, reserved: true }
+                    OpResult::Loaded {
+                        value: self.get(addr.as_u64()),
+                        serial: None,
+                        reserved: true,
+                    }
                 }
                 MemOp::Store { addr, value } => {
                     // Any write to the reserved address clears it.
@@ -268,13 +305,23 @@ mod tests {
                     self.words.insert(addr.as_u64(), value);
                     OpResult::Stored
                 }
-                MemOp::Cas { addr, expected, new } => {
+                MemOp::Cas {
+                    addr,
+                    expected,
+                    new,
+                } => {
                     let observed = self.get(addr.as_u64());
                     if observed == expected {
                         self.words.insert(addr.as_u64(), new);
-                        OpResult::CasDone { success: true, observed }
+                        OpResult::CasDone {
+                            success: true,
+                            observed,
+                        }
                     } else {
-                        OpResult::CasDone { success: false, observed }
+                        OpResult::CasDone {
+                            success: false,
+                            observed,
+                        }
                     }
                 }
                 MemOp::StoreConditional { addr, value, .. } => {
@@ -439,7 +486,13 @@ mod tests {
     #[test]
     fn llsc_survives_aba() {
         let (mem, corrupted) = aba_schedule(StackPrim::Llsc);
-        assert!(!corrupted, "the interfering writes must clear the reservation");
-        assert_eq!(head_node(StackPrim::Llsc, mem.get(TOP.as_u64())), node(2).as_u64());
+        assert!(
+            !corrupted,
+            "the interfering writes must clear the reservation"
+        );
+        assert_eq!(
+            head_node(StackPrim::Llsc, mem.get(TOP.as_u64())),
+            node(2).as_u64()
+        );
     }
 }

@@ -76,7 +76,10 @@ mod tests {
             match self.n {
                 0 | 1 => {
                     self.n += 1;
-                    Step::Op(MemOp::FetchPhi { addr: Addr::new(0), op: PhiOp::Add(1) })
+                    Step::Op(MemOp::FetchPhi {
+                        addr: Addr::new(0),
+                        op: PhiOp::Add(1),
+                    })
                 }
                 _ => Step::Done,
             }

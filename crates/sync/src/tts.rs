@@ -67,7 +67,13 @@ impl TtsAcquire {
 
     /// Creates an acquire with a specific backoff configuration.
     pub fn with_backoff(lock: Addr, choice: PrimChoice, backoff: Backoff) -> Self {
-        TtsAcquire { lock, choice, backoff, state: State::Test, attempts_failed: 0 }
+        TtsAcquire {
+            lock,
+            choice,
+            backoff,
+            state: State::Test,
+            attempts_failed: 0,
+        }
     }
 
     /// Resets for a fresh acquisition.
@@ -80,11 +86,18 @@ impl TtsAcquire {
         match self.choice.prim {
             Primitive::FetchPhi => {
                 self.state = State::WaitSet;
-                Step::Op(MemOp::FetchPhi { addr: self.lock, op: PhiOp::TestAndSet })
+                Step::Op(MemOp::FetchPhi {
+                    addr: self.lock,
+                    op: PhiOp::TestAndSet,
+                })
             }
             Primitive::Cas => {
                 self.state = State::WaitSet;
-                Step::Op(MemOp::Cas { addr: self.lock, expected: 0, new: 1 })
+                Step::Op(MemOp::Cas {
+                    addr: self.lock,
+                    expected: 0,
+                    new: 1,
+                })
             }
             Primitive::Llsc => {
                 self.state = State::WaitLl;
@@ -109,7 +122,10 @@ impl SubMachine for TtsAcquire {
                 Step::Op(MemOp::Load { addr: self.lock })
             }
             State::WaitTest => {
-                let value = last.expect("result of test read").value().expect("load value");
+                let value = last
+                    .expect("result of test read")
+                    .value()
+                    .expect("load value");
                 if value == 0 {
                     self.attempt()
                 } else {
@@ -140,7 +156,11 @@ impl SubMachine for TtsAcquire {
                 };
                 if value == 0 {
                     self.state = State::WaitSc;
-                    Step::Op(MemOp::StoreConditional { addr: self.lock, value: 1, serial })
+                    Step::Op(MemOp::StoreConditional {
+                        addr: self.lock,
+                        value: 1,
+                        serial,
+                    })
                 } else {
                     self.failed(rng)
                 }
@@ -166,7 +186,11 @@ pub struct TtsRelease {
 impl TtsRelease {
     /// Creates a release of `lock`.
     pub fn new(lock: Addr, choice: PrimChoice) -> Self {
-        TtsRelease { lock, drop_copy: choice.drop_copy, state: 0 }
+        TtsRelease {
+            lock,
+            drop_copy: choice.drop_copy,
+            state: 0,
+        }
     }
 
     /// Resets for another release.
@@ -180,7 +204,10 @@ impl SubMachine for TtsRelease {
         match self.state {
             0 => {
                 self.state = 1;
-                Step::Op(MemOp::Store { addr: self.lock, value: 0 })
+                Step::Op(MemOp::Store {
+                    addr: self.lock,
+                    value: 0,
+                })
             }
             1 if self.drop_copy => {
                 self.state = 2;
@@ -216,13 +243,24 @@ mod tests {
                     } else {
                         self.lock
                     };
-                    OpResult::Loaded { value: v, serial: None, reserved: false }
+                    OpResult::Loaded {
+                        value: v,
+                        serial: None,
+                        reserved: false,
+                    }
                 }
                 MemOp::LoadLinked { .. } => {
                     self.reserved = true;
-                    OpResult::Loaded { value: self.lock, serial: None, reserved: true }
+                    OpResult::Loaded {
+                        value: self.lock,
+                        serial: None,
+                        reserved: true,
+                    }
                 }
-                MemOp::FetchPhi { op: PhiOp::TestAndSet, .. } => {
+                MemOp::FetchPhi {
+                    op: PhiOp::TestAndSet,
+                    ..
+                } => {
                     let old = self.lock;
                     self.lock = 1;
                     OpResult::Fetched { old }
@@ -231,9 +269,15 @@ mod tests {
                     let observed = self.lock;
                     if observed == expected {
                         self.lock = new;
-                        OpResult::CasDone { success: true, observed }
+                        OpResult::CasDone {
+                            success: true,
+                            observed,
+                        }
                     } else {
-                        OpResult::CasDone { success: false, observed }
+                        OpResult::CasDone {
+                            success: false,
+                            observed,
+                        }
                     }
                 }
                 MemOp::StoreConditional { value, .. } => {
@@ -256,7 +300,11 @@ mod tests {
     }
 
     fn acquire_with(prim: Primitive, busy_reads: u64) -> (LockMem, u64) {
-        let mut mem = LockMem { lock: 0, reserved: false, busy_reads };
+        let mut mem = LockMem {
+            lock: 0,
+            reserved: false,
+            busy_reads,
+        };
         let mut rng = SimRng::new(5);
         let mut acq = TtsAcquire::new(Addr::new(32), PrimChoice::plain(prim));
         let ops = drive_sync(&mut acq, &mut rng, 1000, |op| mem.eval(op));
@@ -281,7 +329,11 @@ mod tests {
 
     #[test]
     fn llsc_acquire_uses_ll_sc_pair() {
-        let mut mem = LockMem { lock: 0, reserved: false, busy_reads: 0 };
+        let mut mem = LockMem {
+            lock: 0,
+            reserved: false,
+            busy_reads: 0,
+        };
         let mut rng = SimRng::new(5);
         let mut acq = TtsAcquire::new(Addr::new(32), PrimChoice::plain(Primitive::Llsc));
         let mut kinds = Vec::new();
@@ -295,7 +347,11 @@ mod tests {
 
     #[test]
     fn release_stores_zero() {
-        let mut mem = LockMem { lock: 1, reserved: false, busy_reads: 0 };
+        let mut mem = LockMem {
+            lock: 1,
+            reserved: false,
+            busy_reads: 0,
+        };
         let mut rng = SimRng::new(5);
         let mut rel = TtsRelease::new(Addr::new(32), PrimChoice::plain(Primitive::Cas));
         let ops = drive_sync(&mut rel, &mut rng, 10, |op| mem.eval(op));
@@ -305,7 +361,11 @@ mod tests {
 
     #[test]
     fn release_with_drop_copy() {
-        let mut mem = LockMem { lock: 1, reserved: false, busy_reads: 0 };
+        let mut mem = LockMem {
+            lock: 1,
+            reserved: false,
+            busy_reads: 0,
+        };
         let mut rng = SimRng::new(5);
         let mut rel = TtsRelease::new(
             Addr::new(32),
@@ -323,13 +383,23 @@ mod tests {
             inner: LockMem,
             raced: bool,
         }
-        let mut mem = Race { inner: LockMem { lock: 0, reserved: false, busy_reads: 0 }, raced: false };
+        let mut mem = Race {
+            inner: LockMem {
+                lock: 0,
+                reserved: false,
+                busy_reads: 0,
+            },
+            raced: false,
+        };
         let mut rng = SimRng::new(5);
         let mut acq = TtsAcquire::new(Addr::new(32), PrimChoice::plain(Primitive::Cas));
         drive_sync(&mut acq, &mut rng, 1000, |op| {
             if matches!(op, MemOp::Cas { .. }) && !mem.raced {
                 mem.raced = true;
-                return OpResult::CasDone { success: false, observed: 1 };
+                return OpResult::CasDone {
+                    success: false,
+                    observed: 1,
+                };
             }
             mem.inner.eval(op)
         });

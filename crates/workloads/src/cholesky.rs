@@ -63,7 +63,11 @@ impl CholeskyLayout {
     pub fn total(&self, m: &Machine, cfg: &CholeskyConfig) -> u64 {
         self.columns
             .iter()
-            .map(|&base| (0..cfg.column_words).map(|c| m.read_word(base + c * 8)).sum::<u64>())
+            .map(|&base| {
+                (0..cfg.column_words)
+                    .map(|c| m.read_word(base + c * 8))
+                    .sum::<u64>()
+            })
             .sum()
     }
 }
@@ -166,30 +170,35 @@ impl Program for CholeskyProgram {
                     self.state = St::ClaimLock;
                     // Desynchronize the initial burst of queue claims.
                     if self.cfg.compute_per_task > 0 {
-                        return Action::Compute(
-                            ctx.rng.range(self.cfg.compute_per_task.max(1)),
-                        );
+                        return Action::Compute(ctx.rng.range(self.cfg.compute_per_task.max(1)));
                     }
                 }
                 St::ClaimLock => {
-                    self.acquire =
-                        Some(TtsAcquire::new(self.layout.queue_lock, self.cfg.choice));
+                    self.acquire = Some(TtsAcquire::new(self.layout.queue_lock, self.cfg.choice));
                 }
                 St::ReadHead => {
                     self.state = St::WaitHead { head: 0 };
-                    return Action::Op(MemOp::Load { addr: self.layout.head });
+                    return Action::Op(MemOp::Load {
+                        addr: self.layout.head,
+                    });
                 }
                 St::WaitHead { .. } => {
-                    let head =
-                        ctx.last.take().expect("head read").value().expect("load value");
+                    let head = ctx
+                        .last
+                        .take()
+                        .expect("head read")
+                        .value()
+                        .expect("load value");
                     self.state = St::WaitHeadStore { head };
-                    return Action::Op(MemOp::Store { addr: self.layout.head, value: head + 1 });
+                    return Action::Op(MemOp::Store {
+                        addr: self.layout.head,
+                        value: head + 1,
+                    });
                 }
                 St::WaitHeadStore { head } => {
                     ctx.last.take();
                     self.state = St::QueueUnlock { head };
-                    self.release =
-                        Some(TtsRelease::new(self.layout.queue_lock, self.cfg.choice));
+                    self.release = Some(TtsRelease::new(self.layout.queue_lock, self.cfg.choice));
                 }
                 St::QueueUnlock { .. } => {
                     unreachable!("release fragment drives this state");
@@ -221,7 +230,12 @@ impl Program for CholeskyProgram {
                     return Action::Op(MemOp::Load { addr });
                 }
                 St::WaitCellLoad => {
-                    let v = ctx.last.take().expect("cell load").value().expect("load value");
+                    let v = ctx
+                        .last
+                        .take()
+                        .expect("cell load")
+                        .value()
+                        .expect("load value");
                     let (col, first) = self.ancestors[self.leg];
                     let addr = self.layout.columns[col as usize] + (first + self.cell) * 8;
                     self.state = St::WaitCellStore;
@@ -244,14 +258,24 @@ impl Program for CholeskyProgram {
 /// Builds a ready-to-run factorization machine.
 pub fn build_cholesky(mcfg: MachineConfig, cfg: &CholeskyConfig) -> (Machine, CholeskyLayout) {
     assert!(cfg.columns > 0, "need at least one column");
-    assert!(cfg.cells_per_update <= cfg.column_words, "update larger than a column");
+    assert!(
+        cfg.cells_per_update <= cfg.column_words,
+        "update larger than a column"
+    );
     let procs = mcfg.nodes;
     let mut alloc = ShmAlloc::new(mcfg.params.line_size, procs);
     let head = alloc.word();
     let queue_lock = alloc.word();
     let column_locks: Vec<Addr> = (0..cfg.columns).map(|_| alloc.word()).collect();
-    let columns: Vec<Addr> = (0..cfg.columns).map(|_| alloc.array(cfg.column_words)).collect();
-    let layout = CholeskyLayout { head, queue_lock, column_locks: column_locks.clone(), columns };
+    let columns: Vec<Addr> = (0..cfg.columns)
+        .map(|_| alloc.array(cfg.column_words))
+        .collect();
+    let layout = CholeskyLayout {
+        head,
+        queue_lock,
+        column_locks: column_locks.clone(),
+        columns,
+    };
 
     let mut b = MachineBuilder::new(mcfg);
     b.register_sync(queue_lock, cfg.sync);
@@ -290,7 +314,10 @@ mod tests {
             column_words: 16,
             cells_per_update: 4,
             choice: PrimChoice::plain(prim),
-            sync: SyncConfig { policy, ..Default::default() },
+            sync: SyncConfig {
+                policy,
+                ..Default::default()
+            },
             seed: 11,
             compute_per_task: 0,
         }

@@ -28,7 +28,9 @@ pub struct SubRunner {
 
 impl std::fmt::Debug for SubRunner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SubRunner").field("active", &self.active.is_some()).finish()
+        f.debug_struct("SubRunner")
+            .field("active", &self.active.is_some())
+            .finish()
     }
 }
 
@@ -88,7 +90,9 @@ mod tests {
                 Step::Done
             } else {
                 self.0 = true;
-                Step::Op(MemOp::Load { addr: Addr::new(32) })
+                Step::Op(MemOp::Load {
+                    addr: Addr::new(32),
+                })
             }
         }
     }
@@ -100,11 +104,20 @@ mod tests {
         r.start(OneOp(false));
         assert!(r.running());
         let mut rng = SimRng::new(1);
-        let mut ctx =
-            ProcCtx { proc: ProcId::new(0), now: Cycle::ZERO, last: None, last_chain: None, rng: &mut rng };
+        let mut ctx = ProcCtx {
+            proc: ProcId::new(0),
+            now: Cycle::ZERO,
+            last: None,
+            last_chain: None,
+            rng: &mut rng,
+        };
         let a = r.drive(&mut ctx);
         assert!(matches!(a, Some(Action::Op(_))));
-        ctx.last = Some(OpResult::Loaded { value: 0, serial: None, reserved: false });
+        ctx.last = Some(OpResult::Loaded {
+            value: 0,
+            serial: None,
+            reserved: false,
+        });
         assert!(r.drive(&mut ctx).is_none());
         assert!(!r.running());
         // Idle runner yields None immediately.

@@ -7,8 +7,7 @@
 use dsm_protocol::{MemOp, OpResult};
 use dsm_sim::{Addr, SimRng};
 use dsm_sync::{
-    McsAcquire, McsLock, McsQnode, McsRelease, PrimChoice, Step, SubMachine, TtsAcquire,
-    TtsRelease,
+    McsAcquire, McsLock, McsQnode, McsRelease, PrimChoice, Step, SubMachine, TtsAcquire, TtsRelease,
 };
 
 /// Which lock protects the counter.
@@ -54,14 +53,27 @@ impl LockedIncr {
     /// Creates an increment of `counter` protected by the lock at
     /// `lock`. `qnode` is this processor's MCS queue node (unused for
     /// TTS, but required so callers can treat both kinds uniformly).
-    pub fn new(counter: Addr, lock: Addr, kind: LockKind, choice: PrimChoice, qnode: McsQnode) -> Self {
+    pub fn new(
+        counter: Addr,
+        lock: Addr,
+        kind: LockKind,
+        choice: PrimChoice,
+        qnode: McsQnode,
+    ) -> Self {
         let phase = match kind {
             LockKind::Tts => LockPhase::AcquireTts(TtsAcquire::new(lock, choice)),
             LockKind::Mcs => {
                 LockPhase::AcquireMcs(McsAcquire::new(McsLock { tail: lock }, qnode, choice))
             }
         };
-        LockedIncr { counter, lock, kind, choice, qnode, phase }
+        LockedIncr {
+            counter,
+            lock,
+            kind,
+            choice,
+            qnode,
+            phase,
+        }
     }
 }
 
@@ -82,9 +94,16 @@ impl SubMachine for LockedIncr {
                     return Step::Op(MemOp::Load { addr: self.counter });
                 }
                 LockPhase::WaitLoad => {
-                    let v = last.take().expect("counter load").value().expect("load value");
+                    let v = last
+                        .take()
+                        .expect("counter load")
+                        .value()
+                        .expect("load value");
                     self.phase = LockPhase::WaitStore;
-                    return Step::Op(MemOp::Store { addr: self.counter, value: v + 1 });
+                    return Step::Op(MemOp::Store {
+                        addr: self.counter,
+                        value: v + 1,
+                    });
                 }
                 LockPhase::WaitStore => {
                     last.take();
@@ -130,12 +149,18 @@ mod tests {
         }
         fn eval(&mut self, op: MemOp) -> OpResult {
             match op {
-                MemOp::Load { addr } | MemOp::LoadExclusive { addr } => {
-                    OpResult::Loaded { value: self.get(addr), serial: None, reserved: false }
-                }
+                MemOp::Load { addr } | MemOp::LoadExclusive { addr } => OpResult::Loaded {
+                    value: self.get(addr),
+                    serial: None,
+                    reserved: false,
+                },
                 MemOp::LoadLinked { addr } => {
                     self.reserved = true;
-                    OpResult::Loaded { value: self.get(addr), serial: None, reserved: true }
+                    OpResult::Loaded {
+                        value: self.get(addr),
+                        serial: None,
+                        reserved: true,
+                    }
                 }
                 MemOp::Store { addr, value } => {
                     self.words.insert(addr.as_u64(), value);
@@ -146,13 +171,23 @@ mod tests {
                     self.words.insert(addr.as_u64(), op.apply(old));
                     OpResult::Fetched { old }
                 }
-                MemOp::Cas { addr, expected, new } => {
+                MemOp::Cas {
+                    addr,
+                    expected,
+                    new,
+                } => {
                     let observed = self.get(addr);
                     if observed == expected {
                         self.words.insert(addr.as_u64(), new);
-                        OpResult::CasDone { success: true, observed }
+                        OpResult::CasDone {
+                            success: true,
+                            observed,
+                        }
                     } else {
-                        OpResult::CasDone { success: false, observed }
+                        OpResult::CasDone {
+                            success: false,
+                            observed,
+                        }
                     }
                 }
                 MemOp::StoreConditional { addr, value, .. } => {

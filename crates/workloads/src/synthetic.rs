@@ -20,7 +20,7 @@ use dsm_sim::{Addr, MachineConfig};
 use dsm_sync::{LockFreeIncr, McsQnode, PrimChoice, ShmAlloc};
 
 /// Which Figure's workload this is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CounterKind {
     /// Figure 3: lock-free counter (the primitive updates the counter
     /// directly).
@@ -34,8 +34,11 @@ pub enum CounterKind {
 
 impl CounterKind {
     /// All kinds in figure order.
-    pub const ALL: [CounterKind; 3] =
-        [CounterKind::LockFree, CounterKind::TtsLock, CounterKind::McsLock];
+    pub const ALL: [CounterKind; 3] = [
+        CounterKind::LockFree,
+        CounterKind::TtsLock,
+        CounterKind::McsLock,
+    ];
 
     /// Human-readable name.
     pub fn label(self) -> &'static str {
@@ -82,7 +85,9 @@ impl SyntheticConfig {
 
     /// Total counter updates across a whole run on `procs` processors.
     pub fn total_updates(&self, _procs: u32) -> u64 {
-        (0..self.rounds).map(|r| self.updates_in_round(r) * self.contention as u64).sum()
+        (0..self.rounds)
+            .map(|r| self.updates_in_round(r) * self.contention as u64)
+            .sum()
     }
 }
 
@@ -131,7 +136,8 @@ impl SyntheticProgram {
     fn start_update(&mut self) {
         match self.cfg.kind {
             CounterKind::LockFree => {
-                self.runner.start(LockFreeIncr::new(self.layout.counter, self.cfg.choice));
+                self.runner
+                    .start(LockFreeIncr::new(self.layout.counter, self.cfg.choice));
             }
             CounterKind::TtsLock => {
                 self.runner.start(LockedIncr::new(
@@ -215,16 +221,12 @@ impl Program for SyntheticProgram {
 /// machine.run(Cycle::new(10_000_000)).unwrap();
 /// assert_eq!(machine.read_word(layout.counter), scfg.total_updates(8));
 /// ```
-pub fn build_synthetic(
-    mcfg: MachineConfig,
-    scfg: &SyntheticConfig,
-) -> (Machine, SyntheticLayout) {
+pub fn build_synthetic(mcfg: MachineConfig, scfg: &SyntheticConfig) -> (Machine, SyntheticLayout) {
     let procs = mcfg.nodes;
     let mut alloc = ShmAlloc::new(mcfg.params.line_size, procs);
     let counter = alloc.word();
     let lock = alloc.word();
-    let qnodes: Vec<McsQnode> =
-        (0..procs).map(|_| McsQnode::at(alloc.array(2))).collect();
+    let qnodes: Vec<McsQnode> = (0..procs).map(|_| McsQnode::at(alloc.array(2))).collect();
     let layout = SyntheticLayout { counter, lock };
 
     let mut b = MachineBuilder::new(mcfg);
@@ -274,7 +276,10 @@ mod tests {
         SyntheticConfig {
             kind,
             choice: PrimChoice::plain(prim),
-            sync: SyncConfig { policy, ..Default::default() },
+            sync: SyncConfig {
+                policy,
+                ..Default::default()
+            },
             contention: 1,
             write_run: 1.0,
             rounds: 12,
@@ -291,7 +296,11 @@ mod tests {
         c.write_run = 10.0;
         assert_eq!(c.updates_in_round(0), 10);
         c.contention = 4;
-        assert_eq!(c.updates_in_round(1), 1, "with contention the run length is 1");
+        assert_eq!(
+            c.updates_in_round(1),
+            1,
+            "with contention the run length is 1"
+        );
         assert_eq!(c.total_updates(64), 48);
     }
 
@@ -314,7 +323,12 @@ mod tests {
                         policy.label()
                     );
                     m.validate_coherence().unwrap_or_else(|e| {
-                        panic!("{} / {} / {}: {e}", kind.label(), prim.label(), policy.label())
+                        panic!(
+                            "{} / {} / {}: {e}",
+                            kind.label(),
+                            prim.label(),
+                            policy.label()
+                        )
                     });
                 }
             }
@@ -373,7 +387,10 @@ mod tests {
         cfg.rounds = 10;
         let (m, _) = run(&cfg, 8);
         let h = m.stats().contention.histogram();
-        assert!(h.max_value().unwrap() >= 4, "high contention must be observed");
+        assert!(
+            h.max_value().unwrap() >= 4,
+            "high contention must be observed"
+        );
     }
 
     #[test]
@@ -399,7 +416,11 @@ mod tests {
             cfg.contention = 4;
             cfg.rounds = 6;
             let (m, layout) = run(&cfg, 8);
-            assert_eq!(m.read_word(layout.counter), cfg.total_updates(8), "{variant:?}");
+            assert_eq!(
+                m.read_word(layout.counter),
+                cfg.total_updates(8),
+                "{variant:?}"
+            );
         }
     }
 

@@ -12,7 +12,9 @@ use crate::driver::drive_sub;
 use dsm_machine::{Action, Machine, MachineBuilder, ProcCtx, Program};
 use dsm_protocol::{MemOp, OpResult, SyncConfig};
 use dsm_sim::{Addr, MachineConfig, SimRng};
-use dsm_sync::{LockFreeIncr, PrimChoice, ShmAlloc, Step, SubMachine, TreeBarrier, TreeBarrierWait};
+use dsm_sync::{
+    LockFreeIncr, PrimChoice, ShmAlloc, Step, SubMachine, TreeBarrier, TreeBarrierWait,
+};
 
 /// Parameters of a Transitive Closure run.
 #[derive(Debug, Clone, Copy)]
@@ -217,7 +219,10 @@ impl Program for TcProgram {
                 self.row = fa.observed().expect("fetch_and_add observed a value");
                 if self.row >= self.cfg.size {
                     self.state = TcState::WaitSetFlag;
-                    return Action::Op(MemOp::Store { addr: self.layout.flag, value: 1 });
+                    return Action::Op(MemOp::Store {
+                        addr: self.layout.flag,
+                        value: 1,
+                    });
                 }
                 let work = self.rows.min(self.cfg.size - self.row);
                 self.row_work = Some(RowWork {
@@ -247,13 +252,19 @@ impl Program for TcProgram {
                     }
                     if self.proc == 0 {
                         self.state = TcState::WaitResetCounter;
-                        return Action::Op(MemOp::Store { addr: self.layout.counter, value: 0 });
+                        return Action::Op(MemOp::Store {
+                            addr: self.layout.counter,
+                            value: 0,
+                        });
                     }
                     self.state = TcState::Bar1;
                 }
                 TcState::WaitResetCounter => {
                     self.state = TcState::WaitResetFlag;
-                    return Action::Op(MemOp::Store { addr: self.layout.flag, value: 0 });
+                    return Action::Op(MemOp::Store {
+                        addr: self.layout.flag,
+                        value: 0,
+                    });
                 }
                 TcState::WaitResetFlag => {
                     self.state = TcState::Bar1;
@@ -266,23 +277,31 @@ impl Program for TcProgram {
                 }
                 TcState::ReadFlag => {
                     self.state = TcState::WaitFlag;
-                    return Action::Op(MemOp::Load { addr: self.layout.flag });
+                    return Action::Op(MemOp::Load {
+                        addr: self.layout.flag,
+                    });
                 }
                 TcState::WaitFlag => {
-                    let flag =
-                        ctx.last.take().expect("flag read result").value().expect("flag read");
+                    let flag = ctx
+                        .last
+                        .take()
+                        .expect("flag read result")
+                        .value()
+                        .expect("flag read");
                     if flag != 0 {
                         self.state = TcState::Bar2;
                         continue;
                     }
                     // rows = ((size-row-rows-1)>>1)/procs + 1, in signed
                     // arithmetic exactly as in the paper's C code.
-                    let remaining =
-                        self.cfg.size as i64 - self.row as i64 - self.rows as i64 - 1;
+                    let remaining = self.cfg.size as i64 - self.row as i64 - self.rows as i64 - 1;
                     let chunk = ((remaining >> 1) / self.procs as i64 + 1).max(1) as u64;
                     self.rows = chunk;
-                    self.fetch_add =
-                        Some(LockFreeIncr::by(self.layout.counter, self.cfg.choice, chunk));
+                    self.fetch_add = Some(LockFreeIncr::by(
+                        self.layout.counter,
+                        self.cfg.choice,
+                        chunk,
+                    ));
                     self.state = TcState::FetchAdd;
                 }
                 TcState::FetchAdd => {
@@ -316,7 +335,11 @@ pub fn build_tclosure(mcfg: MachineConfig, cfg: &TcConfig) -> (Machine, TcLayout
     let flag = alloc.word();
     let ebase = alloc.array(cfg.size * cfg.size);
     let barrier = TreeBarrier::layout(&mut alloc, procs);
-    let layout = TcLayout { counter, flag, ebase };
+    let layout = TcLayout {
+        counter,
+        flag,
+        ebase,
+    };
 
     let input = input_matrix(cfg);
     let mut b = MachineBuilder::new(mcfg);
@@ -354,7 +377,11 @@ pub fn build_tclosure(mcfg: MachineConfig, cfg: &TcConfig) -> (Machine, TcLayout
 /// Reads the closure matrix back out of a quiescent machine.
 pub fn read_matrix(m: &Machine, layout: &TcLayout, size: u64) -> Vec<Vec<bool>> {
     (0..size)
-        .map(|j| (0..size).map(|k| m.read_word(layout.element(size, j, k)) != 0).collect())
+        .map(|j| {
+            (0..size)
+                .map(|k| m.read_word(layout.element(size, j, k)) != 0)
+                .collect()
+        })
         .collect()
 }
 
@@ -371,7 +398,10 @@ mod tests {
         TcConfig {
             size,
             choice: PrimChoice::plain(prim),
-            sync: SyncConfig { policy, ..Default::default() },
+            sync: SyncConfig {
+                policy,
+                ..Default::default()
+            },
             density: 0.15,
             seed: 42,
         }
@@ -449,6 +479,9 @@ mod tests {
         assert!(h.total() > 0);
         // Barrier-released processors hit the counter together: some
         // accesses must observe contention above 2.
-        assert!(h.max_value().unwrap() >= 2, "expected contended counter accesses");
+        assert!(
+            h.max_value().unwrap() >= 2,
+            "expected contended counter accesses"
+        );
     }
 }

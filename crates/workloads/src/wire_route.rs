@@ -70,7 +70,9 @@ impl WireRouteLayout {
         self.costs
             .iter()
             .map(|&base| {
-                (0..cfg.cells_per_region).map(|c| m.read_word(base + c * 8)).sum::<u64>()
+                (0..cfg.cells_per_region)
+                    .map(|c| m.read_word(base + c * 8))
+                    .sum::<u64>()
             })
             .sum()
     }
@@ -82,7 +84,10 @@ fn route_of(cfg: &WireRouteConfig, wire: u64) -> Vec<(u32, u64)> {
     (0..cfg.route_len)
         .map(|_| {
             let region = rng.range(cfg.regions as u64) as u32;
-            let span = cfg.cells_per_region.saturating_sub(cfg.cells_per_visit).max(1);
+            let span = cfg
+                .cells_per_region
+                .saturating_sub(cfg.cells_per_visit)
+                .max(1);
             let first = rng.range(span);
             (region, first)
         })
@@ -169,16 +174,21 @@ impl Program for WireRouteProgram {
                     }
                 }
                 St::ClaimLock => {
-                    self.acquire =
-                        Some(TtsAcquire::new(self.layout.pool_lock, self.cfg.choice));
+                    self.acquire = Some(TtsAcquire::new(self.layout.pool_lock, self.cfg.choice));
                 }
                 St::ReadHead => {
                     self.state = St::WaitHead;
-                    return Action::Op(MemOp::Load { addr: self.layout.counter });
+                    return Action::Op(MemOp::Load {
+                        addr: self.layout.counter,
+                    });
                 }
                 St::WaitHead => {
-                    let wire =
-                        ctx.last.take().expect("head read").value().expect("load value");
+                    let wire = ctx
+                        .last
+                        .take()
+                        .expect("head read")
+                        .value()
+                        .expect("load value");
                     self.state = St::WaitHeadStore { wire };
                     return Action::Op(MemOp::Store {
                         addr: self.layout.counter,
@@ -188,8 +198,7 @@ impl Program for WireRouteProgram {
                 St::WaitHeadStore { wire } => {
                     ctx.last.take();
                     self.state = St::PoolUnlock { wire };
-                    self.release =
-                        Some(TtsRelease::new(self.layout.pool_lock, self.cfg.choice));
+                    self.release = Some(TtsRelease::new(self.layout.pool_lock, self.cfg.choice));
                 }
                 St::PoolUnlock { .. } => {
                     unreachable!("release fragment drives this state");
@@ -221,7 +230,12 @@ impl Program for WireRouteProgram {
                     return Action::Op(MemOp::Load { addr });
                 }
                 St::WaitCellLoad => {
-                    let v = ctx.last.take().expect("cell load").value().expect("load value");
+                    let v = ctx
+                        .last
+                        .take()
+                        .expect("cell load")
+                        .value()
+                        .expect("load value");
                     let (region, first) = self.route[self.leg];
                     let addr = self.layout.costs[region as usize] + (first + self.cell) * 8;
                     self.state = St::WaitCellStore;
@@ -242,11 +256,11 @@ impl Program for WireRouteProgram {
 }
 
 /// Builds a ready-to-run wire-route machine.
-pub fn build_wire_route(
-    mcfg: MachineConfig,
-    cfg: &WireRouteConfig,
-) -> (Machine, WireRouteLayout) {
-    assert!(cfg.regions > 0 && cfg.route_len > 0, "need at least one region per route");
+pub fn build_wire_route(mcfg: MachineConfig, cfg: &WireRouteConfig) -> (Machine, WireRouteLayout) {
+    assert!(
+        cfg.regions > 0 && cfg.route_len > 0,
+        "need at least one region per route"
+    );
     assert!(
         cfg.cells_per_visit <= cfg.cells_per_region,
         "cannot touch more cells than a region has"
@@ -256,8 +270,15 @@ pub fn build_wire_route(
     let counter = alloc.word();
     let pool_lock = alloc.word();
     let locks: Vec<Addr> = (0..cfg.regions).map(|_| alloc.word()).collect();
-    let costs: Vec<Addr> = (0..cfg.regions).map(|_| alloc.array(cfg.cells_per_region)).collect();
-    let layout = WireRouteLayout { counter, pool_lock, locks: locks.clone(), costs };
+    let costs: Vec<Addr> = (0..cfg.regions)
+        .map(|_| alloc.array(cfg.cells_per_region))
+        .collect();
+    let layout = WireRouteLayout {
+        counter,
+        pool_lock,
+        locks: locks.clone(),
+        costs,
+    };
 
     let mut b = MachineBuilder::new(mcfg);
     b.register_sync(pool_lock, cfg.sync);
@@ -296,7 +317,10 @@ mod tests {
             cells_per_visit: 4,
             cells_per_region: 16,
             choice: PrimChoice::plain(prim),
-            sync: SyncConfig { policy, ..Default::default() },
+            sync: SyncConfig {
+                policy,
+                ..Default::default()
+            },
             seed: 7,
             compute_per_wire: 0,
         }

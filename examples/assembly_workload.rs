@@ -67,15 +67,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let prog = assemble(src)?;
         let mut b = MachineBuilder::new(MachineConfig::with_nodes(PROCS));
-        b.register_sync(counter, SyncConfig { policy, ..Default::default() });
+        b.register_sync(
+            counter,
+            SyncConfig {
+                policy,
+                ..Default::default()
+            },
+        );
         for _ in 0..PROCS {
             b.add_program(
-                Cpu::new(prog.clone()).with_reg(Reg(1), counter.as_u64()).with_reg(Reg(2), ITERS),
+                Cpu::new(prog.clone())
+                    .with_reg(Reg(1), counter.as_u64())
+                    .with_reg(Reg(2), ITERS),
             );
         }
         let mut m = b.build();
         let report = m.run(Cycle::new(10_000_000_000))?;
-        assert_eq!(m.read_word(counter), PROCS as u64 * ITERS, "{name}: lost updates");
+        assert_eq!(
+            m.read_word(counter),
+            PROCS as u64 * ITERS,
+            "{name}: lost updates"
+        );
         // Rough retired-instruction count: ops + local ALU work are both
         // visible through the machine's op counter and the run report.
         println!(

@@ -13,10 +13,19 @@ use atomic_dsm::experiments::{counters, BarSpec, CounterKind, Scale};
 use atomic_dsm::{Primitive, SyncPolicy};
 
 fn main() {
-    let scale = Scale { procs: 16, rounds: 24, tc_size: 0, wires: 0, tasks: 0 };
+    let scale = Scale {
+        procs: 16,
+        rounds: 24,
+        tc_size: 0,
+        wires: 0,
+        tasks: 0,
+    };
     let contentions = [1u32, 4, 16];
 
-    println!("average cycles per lock-protected counter update ({} procs)\n", scale.procs);
+    println!(
+        "average cycles per lock-protected counter update ({} procs)\n",
+        scale.procs
+    );
     println!(
         "{:<10} {:<6} {:>10} {:>10} {:>10}",
         "lock", "prim", "c=1", "c=4", "c=16"

@@ -20,13 +20,20 @@ use std::rc::Rc;
 fn stack_run(prim: StackPrim, nodes: u32, per_proc: u64) -> (u64, u64, u64) {
     let mut alloc = ShmAlloc::new(32, nodes);
     let top = alloc.word();
-    let node_addrs: Vec<Vec<Addr>> =
-        (0..nodes).map(|_| (0..per_proc).map(|_| alloc.array(2)).collect()).collect();
+    let node_addrs: Vec<Vec<Addr>> = (0..nodes)
+        .map(|_| (0..per_proc).map(|_| alloc.array(2)).collect())
+        .collect();
     let pops = Rc::new(RefCell::new(0u64));
     let retries = Rc::new(RefCell::new(0u64));
 
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(nodes));
-    b.register_sync(top, SyncConfig { policy: SyncPolicy::Inv, ..Default::default() });
+    b.register_sync(
+        top,
+        SyncConfig {
+            policy: SyncPolicy::Inv,
+            ..Default::default()
+        },
+    );
     for p in 0..nodes {
         let mine = node_addrs[p as usize].clone();
         let pops = Rc::clone(&pops);
@@ -94,7 +101,10 @@ fn main() {
     const OPS: u64 = 50;
 
     println!("Treiber stack: {PROCS} procs x {OPS} push/pop pairs (INV policy)\n");
-    println!("{:<14} {:>12} {:>10} {:>10}", "discipline", "cycles", "pops", "retries");
+    println!(
+        "{:<14} {:>12} {:>10} {:>10}",
+        "discipline", "cycles", "pops", "retries"
+    );
     for (name, prim) in [
         ("CAS counted", StackPrim::CasCounted),
         ("LL/SC", StackPrim::Llsc),

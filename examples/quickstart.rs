@@ -23,7 +23,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for policy in SyncPolicy::ALL {
         let mut b = MachineBuilder::new(MachineConfig::with_nodes(PROCS));
-        b.register_sync(counter, SyncConfig { policy, ..Default::default() });
+        b.register_sync(
+            counter,
+            SyncConfig {
+                policy,
+                ..Default::default()
+            },
+        );
         for _ in 0..PROCS {
             let mut left = ITERS;
             b.add_program(move |ctx: &mut ProcCtx<'_>| {
@@ -33,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 if left == 0 {
                     Action::Done
                 } else {
-                    Action::Op(MemOp::FetchPhi { addr: counter, op: PhiOp::Add(1) })
+                    Action::Op(MemOp::FetchPhi {
+                        addr: counter,
+                        op: PhiOp::Add(1),
+                    })
                 }
             });
         }

@@ -39,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut b = MachineBuilder::new(MachineConfig::with_nodes(PROCS));
         b.register_sync(
             counter,
-            SyncConfig { policy: SyncPolicy::Unc, llsc: scheme, ..Default::default() },
+            SyncConfig {
+                policy: SyncPolicy::Unc,
+                llsc: scheme,
+                ..Default::default()
+            },
         );
         b.llsc_pool(8); // a deliberately small linked-list free pool
         let local_fails = std::rc::Rc::new(std::cell::Cell::new(0u64));
@@ -48,14 +52,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let local_fails = std::rc::Rc::clone(&local_fails);
             b.add_program(move |ctx: &mut ProcCtx<'_>| match ctx.last {
                 None => Action::Op(MemOp::LoadLinked { addr: counter }),
-                Some(OpResult::Loaded { value, serial, reserved: r }) => {
+                Some(OpResult::Loaded {
+                    value,
+                    serial,
+                    reserved: r,
+                }) => {
                     if !r {
                         // A beyond-limit LL: the SC is doomed, so fail it
                         // locally (no network traffic) and retry the LL.
                         local_fails.set(local_fails.get() + 1);
                         return Action::Op(MemOp::LoadLinked { addr: counter });
                     }
-                    Action::Op(MemOp::StoreConditional { addr: counter, value: value + 1, serial })
+                    Action::Op(MemOp::StoreConditional {
+                        addr: counter,
+                        value: value + 1,
+                        serial,
+                    })
                 }
                 Some(OpResult::ScDone { success }) => {
                     if success {

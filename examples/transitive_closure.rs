@@ -9,9 +9,7 @@
 
 use atomic_dsm::sim::{Cycle, MachineConfig};
 use atomic_dsm::sync::{PrimChoice, Primitive};
-use atomic_dsm::workloads::tclosure::{
-    build_tclosure, read_matrix, sequential_closure, TcConfig,
-};
+use atomic_dsm::workloads::tclosure::{build_tclosure, read_matrix, sequential_closure, TcConfig};
 use atomic_dsm::{SyncConfig, SyncPolicy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -29,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let cfg = TcConfig {
                 size,
                 choice: PrimChoice::plain(prim),
-                sync: SyncConfig { policy, ..Default::default() },
+                sync: SyncConfig {
+                    policy,
+                    ..Default::default()
+                },
                 density: 0.12,
                 seed: 2026,
             };

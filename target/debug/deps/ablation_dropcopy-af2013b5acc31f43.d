@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dropcopy-af2013b5acc31f43.d: crates/bench/benches/ablation_dropcopy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dropcopy-af2013b5acc31f43.rmeta: crates/bench/benches/ablation_dropcopy.rs Cargo.toml
+
+crates/bench/benches/ablation_dropcopy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dropcopy-ee862f15ce27d2f6.d: crates/bench/benches/ablation_dropcopy.rs
+
+/root/repo/target/debug/deps/ablation_dropcopy-ee862f15ce27d2f6: crates/bench/benches/ablation_dropcopy.rs
+
+crates/bench/benches/ablation_dropcopy.rs:

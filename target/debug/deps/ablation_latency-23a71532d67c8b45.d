@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_latency-23a71532d67c8b45.d: crates/bench/benches/ablation_latency.rs
+
+/root/repo/target/debug/deps/ablation_latency-23a71532d67c8b45: crates/bench/benches/ablation_latency.rs
+
+crates/bench/benches/ablation_latency.rs:

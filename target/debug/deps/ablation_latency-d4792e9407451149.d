@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_latency-d4792e9407451149.d: crates/bench/benches/ablation_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_latency-d4792e9407451149.rmeta: crates/bench/benches/ablation_latency.rs Cargo.toml
+
+crates/bench/benches/ablation_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_mesh-c66fdf11998ba336.d: crates/bench/benches/ablation_mesh.rs
+
+/root/repo/target/debug/deps/ablation_mesh-c66fdf11998ba336: crates/bench/benches/ablation_mesh.rs
+
+crates/bench/benches/ablation_mesh.rs:

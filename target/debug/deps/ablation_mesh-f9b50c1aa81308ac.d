@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_mesh-f9b50c1aa81308ac.d: crates/bench/benches/ablation_mesh.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_mesh-f9b50c1aa81308ac.rmeta: crates/bench/benches/ablation_mesh.rs Cargo.toml
+
+crates/bench/benches/ablation_mesh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

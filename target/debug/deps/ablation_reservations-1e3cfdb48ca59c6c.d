@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_reservations-1e3cfdb48ca59c6c.d: crates/bench/benches/ablation_reservations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_reservations-1e3cfdb48ca59c6c.rmeta: crates/bench/benches/ablation_reservations.rs Cargo.toml
+
+crates/bench/benches/ablation_reservations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_reservations-b41524f613ae1aca.d: crates/bench/benches/ablation_reservations.rs
+
+/root/repo/target/debug/deps/ablation_reservations-b41524f613ae1aca: crates/bench/benches/ablation_reservations.rs
+
+crates/bench/benches/ablation_reservations.rs:

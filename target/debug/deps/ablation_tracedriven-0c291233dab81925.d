@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_tracedriven-0c291233dab81925.d: crates/bench/benches/ablation_tracedriven.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_tracedriven-0c291233dab81925.rmeta: crates/bench/benches/ablation_tracedriven.rs Cargo.toml
+
+crates/bench/benches/ablation_tracedriven.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

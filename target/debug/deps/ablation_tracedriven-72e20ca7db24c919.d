@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_tracedriven-72e20ca7db24c919.d: crates/bench/benches/ablation_tracedriven.rs
+
+/root/repo/target/debug/deps/ablation_tracedriven-72e20ca7db24c919: crates/bench/benches/ablation_tracedriven.rs
+
+crates/bench/benches/ablation_tracedriven.rs:

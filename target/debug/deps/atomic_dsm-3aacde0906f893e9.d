@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/atomic_dsm-3aacde0906f893e9.d: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/apps.rs crates/core/src/experiments/counters.rs crates/core/src/experiments/runner.rs crates/core/src/experiments/scaling.rs crates/core/src/experiments/table1.rs
+
+/root/repo/target/debug/deps/libatomic_dsm-3aacde0906f893e9.rlib: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/apps.rs crates/core/src/experiments/counters.rs crates/core/src/experiments/runner.rs crates/core/src/experiments/scaling.rs crates/core/src/experiments/table1.rs
+
+/root/repo/target/debug/deps/libatomic_dsm-3aacde0906f893e9.rmeta: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/apps.rs crates/core/src/experiments/counters.rs crates/core/src/experiments/runner.rs crates/core/src/experiments/scaling.rs crates/core/src/experiments/table1.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/apps.rs:
+crates/core/src/experiments/counters.rs:
+crates/core/src/experiments/runner.rs:
+crates/core/src/experiments/scaling.rs:
+crates/core/src/experiments/table1.rs:

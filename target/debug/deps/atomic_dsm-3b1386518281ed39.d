@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/atomic_dsm-3b1386518281ed39.d: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/apps.rs crates/core/src/experiments/counters.rs crates/core/src/experiments/runner.rs crates/core/src/experiments/scaling.rs crates/core/src/experiments/table1.rs
+
+/root/repo/target/debug/deps/atomic_dsm-3b1386518281ed39: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/apps.rs crates/core/src/experiments/counters.rs crates/core/src/experiments/runner.rs crates/core/src/experiments/scaling.rs crates/core/src/experiments/table1.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/apps.rs:
+crates/core/src/experiments/counters.rs:
+crates/core/src/experiments/runner.rs:
+crates/core/src/experiments/scaling.rs:
+crates/core/src/experiments/table1.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/atomic_dsm-5fece0a1a12aa5eb.d: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/apps.rs crates/core/src/experiments/counters.rs crates/core/src/experiments/runner.rs crates/core/src/experiments/scaling.rs crates/core/src/experiments/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libatomic_dsm-5fece0a1a12aa5eb.rmeta: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/apps.rs crates/core/src/experiments/counters.rs crates/core/src/experiments/runner.rs crates/core/src/experiments/scaling.rs crates/core/src/experiments/table1.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/apps.rs:
+crates/core/src/experiments/counters.rs:
+crates/core/src/experiments/runner.rs:
+crates/core/src/experiments/scaling.rs:
+crates/core/src/experiments/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

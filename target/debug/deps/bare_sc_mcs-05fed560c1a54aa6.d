@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bare_sc_mcs-05fed560c1a54aa6.d: crates/core/../../tests/bare_sc_mcs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbare_sc_mcs-05fed560c1a54aa6.rmeta: crates/core/../../tests/bare_sc_mcs.rs Cargo.toml
+
+crates/core/../../tests/bare_sc_mcs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bare_sc_mcs-a893caaabe2ba6a7.d: crates/core/../../tests/bare_sc_mcs.rs
+
+/root/repo/target/debug/deps/bare_sc_mcs-a893caaabe2ba6a7: crates/core/../../tests/bare_sc_mcs.rs
+
+crates/core/../../tests/bare_sc_mcs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capacity_pressure-3921ee389dca2d7d.d: crates/core/../../tests/capacity_pressure.rs
+
+/root/repo/target/debug/deps/capacity_pressure-3921ee389dca2d7d: crates/core/../../tests/capacity_pressure.rs
+
+crates/core/../../tests/capacity_pressure.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/capacity_pressure-5a902643035470d6.d: crates/core/../../tests/capacity_pressure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcapacity_pressure-5a902643035470d6.rmeta: crates/core/../../tests/capacity_pressure.rs Cargo.toml
+
+crates/core/../../tests/capacity_pressure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coherence_stress-1b10f20f84764b18.d: crates/core/../../tests/coherence_stress.rs
+
+/root/repo/target/debug/deps/coherence_stress-1b10f20f84764b18: crates/core/../../tests/coherence_stress.rs
+
+crates/core/../../tests/coherence_stress.rs:

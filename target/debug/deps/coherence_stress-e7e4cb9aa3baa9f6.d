@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coherence_stress-e7e4cb9aa3baa9f6.d: crates/core/../../tests/coherence_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoherence_stress-e7e4cb9aa3baa9f6.rmeta: crates/core/../../tests/coherence_stress.rs Cargo.toml
+
+crates/core/../../tests/coherence_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

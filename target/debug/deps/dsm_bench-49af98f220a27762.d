@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dsm_bench-49af98f220a27762.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsm_bench-49af98f220a27762.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

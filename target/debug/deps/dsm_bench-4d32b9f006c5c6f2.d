@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dsm_bench-4d32b9f006c5c6f2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdsm_bench-4d32b9f006c5c6f2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdsm_bench-4d32b9f006c5c6f2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

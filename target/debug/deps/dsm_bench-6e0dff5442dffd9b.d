@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dsm_bench-6e0dff5442dffd9b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsm_bench-6e0dff5442dffd9b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

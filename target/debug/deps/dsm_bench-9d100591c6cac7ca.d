@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dsm_bench-9d100591c6cac7ca.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dsm_bench-9d100591c6cac7ca: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

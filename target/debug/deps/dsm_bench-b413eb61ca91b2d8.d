@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dsm_bench-b413eb61ca91b2d8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdsm_bench-b413eb61ca91b2d8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdsm_bench-b413eb61ca91b2d8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dsm_bench-c22c06a8e820a0d9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dsm_bench-c22c06a8e820a0d9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

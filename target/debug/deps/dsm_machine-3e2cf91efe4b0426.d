@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dsm_machine-3e2cf91efe4b0426.d: crates/machine/src/lib.rs crates/machine/src/machine.rs crates/machine/src/program.rs crates/machine/src/stats.rs crates/machine/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsm_machine-3e2cf91efe4b0426.rmeta: crates/machine/src/lib.rs crates/machine/src/machine.rs crates/machine/src/program.rs crates/machine/src/stats.rs crates/machine/src/trace.rs Cargo.toml
+
+crates/machine/src/lib.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/program.rs:
+crates/machine/src/stats.rs:
+crates/machine/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

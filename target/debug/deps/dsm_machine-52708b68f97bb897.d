@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dsm_machine-52708b68f97bb897.d: crates/machine/src/lib.rs crates/machine/src/machine.rs crates/machine/src/program.rs crates/machine/src/stats.rs crates/machine/src/trace.rs
+
+/root/repo/target/debug/deps/dsm_machine-52708b68f97bb897: crates/machine/src/lib.rs crates/machine/src/machine.rs crates/machine/src/program.rs crates/machine/src/stats.rs crates/machine/src/trace.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/program.rs:
+crates/machine/src/stats.rs:
+crates/machine/src/trace.rs:

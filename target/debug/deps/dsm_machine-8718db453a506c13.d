@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dsm_machine-8718db453a506c13.d: crates/machine/src/lib.rs crates/machine/src/machine.rs crates/machine/src/program.rs crates/machine/src/stats.rs crates/machine/src/trace.rs
+
+/root/repo/target/debug/deps/libdsm_machine-8718db453a506c13.rlib: crates/machine/src/lib.rs crates/machine/src/machine.rs crates/machine/src/program.rs crates/machine/src/stats.rs crates/machine/src/trace.rs
+
+/root/repo/target/debug/deps/libdsm_machine-8718db453a506c13.rmeta: crates/machine/src/lib.rs crates/machine/src/machine.rs crates/machine/src/program.rs crates/machine/src/stats.rs crates/machine/src/trace.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/program.rs:
+crates/machine/src/stats.rs:
+crates/machine/src/trace.rs:

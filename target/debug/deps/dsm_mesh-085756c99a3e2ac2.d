@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dsm_mesh-085756c99a3e2ac2.d: crates/mesh/src/lib.rs crates/mesh/src/latency.rs crates/mesh/src/topology.rs crates/mesh/src/wormhole.rs
+
+/root/repo/target/debug/deps/libdsm_mesh-085756c99a3e2ac2.rlib: crates/mesh/src/lib.rs crates/mesh/src/latency.rs crates/mesh/src/topology.rs crates/mesh/src/wormhole.rs
+
+/root/repo/target/debug/deps/libdsm_mesh-085756c99a3e2ac2.rmeta: crates/mesh/src/lib.rs crates/mesh/src/latency.rs crates/mesh/src/topology.rs crates/mesh/src/wormhole.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/latency.rs:
+crates/mesh/src/topology.rs:
+crates/mesh/src/wormhole.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dsm_mesh-3788873fa370117d.d: crates/mesh/src/lib.rs crates/mesh/src/latency.rs crates/mesh/src/topology.rs crates/mesh/src/wormhole.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsm_mesh-3788873fa370117d.rmeta: crates/mesh/src/lib.rs crates/mesh/src/latency.rs crates/mesh/src/topology.rs crates/mesh/src/wormhole.rs Cargo.toml
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/latency.rs:
+crates/mesh/src/topology.rs:
+crates/mesh/src/wormhole.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

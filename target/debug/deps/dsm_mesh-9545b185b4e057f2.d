@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dsm_mesh-9545b185b4e057f2.d: crates/mesh/src/lib.rs crates/mesh/src/latency.rs crates/mesh/src/topology.rs crates/mesh/src/wormhole.rs
+
+/root/repo/target/debug/deps/dsm_mesh-9545b185b4e057f2: crates/mesh/src/lib.rs crates/mesh/src/latency.rs crates/mesh/src/topology.rs crates/mesh/src/wormhole.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/latency.rs:
+crates/mesh/src/topology.rs:
+crates/mesh/src/wormhole.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dsm_mint-573faa2f198f053f.d: crates/mint/src/lib.rs crates/mint/src/asm.rs crates/mint/src/cpu.rs crates/mint/src/disasm.rs crates/mint/src/isa.rs
+
+/root/repo/target/debug/deps/libdsm_mint-573faa2f198f053f.rlib: crates/mint/src/lib.rs crates/mint/src/asm.rs crates/mint/src/cpu.rs crates/mint/src/disasm.rs crates/mint/src/isa.rs
+
+/root/repo/target/debug/deps/libdsm_mint-573faa2f198f053f.rmeta: crates/mint/src/lib.rs crates/mint/src/asm.rs crates/mint/src/cpu.rs crates/mint/src/disasm.rs crates/mint/src/isa.rs
+
+crates/mint/src/lib.rs:
+crates/mint/src/asm.rs:
+crates/mint/src/cpu.rs:
+crates/mint/src/disasm.rs:
+crates/mint/src/isa.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dsm_mint-997112598f15265a.d: crates/mint/src/lib.rs crates/mint/src/asm.rs crates/mint/src/cpu.rs crates/mint/src/disasm.rs crates/mint/src/isa.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsm_mint-997112598f15265a.rmeta: crates/mint/src/lib.rs crates/mint/src/asm.rs crates/mint/src/cpu.rs crates/mint/src/disasm.rs crates/mint/src/isa.rs Cargo.toml
+
+crates/mint/src/lib.rs:
+crates/mint/src/asm.rs:
+crates/mint/src/cpu.rs:
+crates/mint/src/disasm.rs:
+crates/mint/src/isa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dsm_mint-a68aa8f08f651c86.d: crates/mint/src/lib.rs crates/mint/src/asm.rs crates/mint/src/cpu.rs crates/mint/src/disasm.rs crates/mint/src/isa.rs
+
+/root/repo/target/debug/deps/dsm_mint-a68aa8f08f651c86: crates/mint/src/lib.rs crates/mint/src/asm.rs crates/mint/src/cpu.rs crates/mint/src/disasm.rs crates/mint/src/isa.rs
+
+crates/mint/src/lib.rs:
+crates/mint/src/asm.rs:
+crates/mint/src/cpu.rs:
+crates/mint/src/disasm.rs:
+crates/mint/src/isa.rs:

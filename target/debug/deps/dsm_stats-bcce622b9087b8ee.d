@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dsm_stats-bcce622b9087b8ee.d: crates/stats/src/lib.rs crates/stats/src/contention.rs crates/stats/src/histogram.rs crates/stats/src/messages.rs crates/stats/src/table.rs crates/stats/src/writerun.rs
+
+/root/repo/target/debug/deps/libdsm_stats-bcce622b9087b8ee.rlib: crates/stats/src/lib.rs crates/stats/src/contention.rs crates/stats/src/histogram.rs crates/stats/src/messages.rs crates/stats/src/table.rs crates/stats/src/writerun.rs
+
+/root/repo/target/debug/deps/libdsm_stats-bcce622b9087b8ee.rmeta: crates/stats/src/lib.rs crates/stats/src/contention.rs crates/stats/src/histogram.rs crates/stats/src/messages.rs crates/stats/src/table.rs crates/stats/src/writerun.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/contention.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/messages.rs:
+crates/stats/src/table.rs:
+crates/stats/src/writerun.rs:

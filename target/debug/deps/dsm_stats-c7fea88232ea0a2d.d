@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dsm_stats-c7fea88232ea0a2d.d: crates/stats/src/lib.rs crates/stats/src/contention.rs crates/stats/src/histogram.rs crates/stats/src/messages.rs crates/stats/src/table.rs crates/stats/src/writerun.rs
+
+/root/repo/target/debug/deps/dsm_stats-c7fea88232ea0a2d: crates/stats/src/lib.rs crates/stats/src/contention.rs crates/stats/src/histogram.rs crates/stats/src/messages.rs crates/stats/src/table.rs crates/stats/src/writerun.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/contention.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/messages.rs:
+crates/stats/src/table.rs:
+crates/stats/src/writerun.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dsm_stats-f8df53fa6a4c808d.d: crates/stats/src/lib.rs crates/stats/src/contention.rs crates/stats/src/histogram.rs crates/stats/src/messages.rs crates/stats/src/table.rs crates/stats/src/writerun.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsm_stats-f8df53fa6a4c808d.rmeta: crates/stats/src/lib.rs crates/stats/src/contention.rs crates/stats/src/histogram.rs crates/stats/src/messages.rs crates/stats/src/table.rs crates/stats/src/writerun.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/contention.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/messages.rs:
+crates/stats/src/table.rs:
+crates/stats/src/writerun.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

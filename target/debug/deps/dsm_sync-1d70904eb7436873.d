@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dsm_sync-1d70904eb7436873.d: crates/sync/src/lib.rs crates/sync/src/alloc.rs crates/sync/src/backoff.rs crates/sync/src/barrier.rs crates/sync/src/counter.rs crates/sync/src/mcs.rs crates/sync/src/primitive.rs crates/sync/src/rwlock.rs crates/sync/src/stack.rs crates/sync/src/submachine.rs crates/sync/src/tts.rs
+
+/root/repo/target/debug/deps/libdsm_sync-1d70904eb7436873.rlib: crates/sync/src/lib.rs crates/sync/src/alloc.rs crates/sync/src/backoff.rs crates/sync/src/barrier.rs crates/sync/src/counter.rs crates/sync/src/mcs.rs crates/sync/src/primitive.rs crates/sync/src/rwlock.rs crates/sync/src/stack.rs crates/sync/src/submachine.rs crates/sync/src/tts.rs
+
+/root/repo/target/debug/deps/libdsm_sync-1d70904eb7436873.rmeta: crates/sync/src/lib.rs crates/sync/src/alloc.rs crates/sync/src/backoff.rs crates/sync/src/barrier.rs crates/sync/src/counter.rs crates/sync/src/mcs.rs crates/sync/src/primitive.rs crates/sync/src/rwlock.rs crates/sync/src/stack.rs crates/sync/src/submachine.rs crates/sync/src/tts.rs
+
+crates/sync/src/lib.rs:
+crates/sync/src/alloc.rs:
+crates/sync/src/backoff.rs:
+crates/sync/src/barrier.rs:
+crates/sync/src/counter.rs:
+crates/sync/src/mcs.rs:
+crates/sync/src/primitive.rs:
+crates/sync/src/rwlock.rs:
+crates/sync/src/stack.rs:
+crates/sync/src/submachine.rs:
+crates/sync/src/tts.rs:

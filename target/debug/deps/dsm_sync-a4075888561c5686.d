@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dsm_sync-a4075888561c5686.d: crates/sync/src/lib.rs crates/sync/src/alloc.rs crates/sync/src/backoff.rs crates/sync/src/barrier.rs crates/sync/src/counter.rs crates/sync/src/mcs.rs crates/sync/src/primitive.rs crates/sync/src/rwlock.rs crates/sync/src/stack.rs crates/sync/src/submachine.rs crates/sync/src/tts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsm_sync-a4075888561c5686.rmeta: crates/sync/src/lib.rs crates/sync/src/alloc.rs crates/sync/src/backoff.rs crates/sync/src/barrier.rs crates/sync/src/counter.rs crates/sync/src/mcs.rs crates/sync/src/primitive.rs crates/sync/src/rwlock.rs crates/sync/src/stack.rs crates/sync/src/submachine.rs crates/sync/src/tts.rs Cargo.toml
+
+crates/sync/src/lib.rs:
+crates/sync/src/alloc.rs:
+crates/sync/src/backoff.rs:
+crates/sync/src/barrier.rs:
+crates/sync/src/counter.rs:
+crates/sync/src/mcs.rs:
+crates/sync/src/primitive.rs:
+crates/sync/src/rwlock.rs:
+crates/sync/src/stack.rs:
+crates/sync/src/submachine.rs:
+crates/sync/src/tts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

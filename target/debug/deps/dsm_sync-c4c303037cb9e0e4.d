@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dsm_sync-c4c303037cb9e0e4.d: crates/sync/src/lib.rs crates/sync/src/alloc.rs crates/sync/src/backoff.rs crates/sync/src/barrier.rs crates/sync/src/counter.rs crates/sync/src/mcs.rs crates/sync/src/primitive.rs crates/sync/src/rwlock.rs crates/sync/src/stack.rs crates/sync/src/submachine.rs crates/sync/src/tts.rs
+
+/root/repo/target/debug/deps/dsm_sync-c4c303037cb9e0e4: crates/sync/src/lib.rs crates/sync/src/alloc.rs crates/sync/src/backoff.rs crates/sync/src/barrier.rs crates/sync/src/counter.rs crates/sync/src/mcs.rs crates/sync/src/primitive.rs crates/sync/src/rwlock.rs crates/sync/src/stack.rs crates/sync/src/submachine.rs crates/sync/src/tts.rs
+
+crates/sync/src/lib.rs:
+crates/sync/src/alloc.rs:
+crates/sync/src/backoff.rs:
+crates/sync/src/barrier.rs:
+crates/sync/src/counter.rs:
+crates/sync/src/mcs.rs:
+crates/sync/src/primitive.rs:
+crates/sync/src/rwlock.rs:
+crates/sync/src/stack.rs:
+crates/sync/src/submachine.rs:
+crates/sync/src/tts.rs:

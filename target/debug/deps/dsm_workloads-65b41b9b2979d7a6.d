@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dsm_workloads-65b41b9b2979d7a6.d: crates/workloads/src/lib.rs crates/workloads/src/cholesky.rs crates/workloads/src/driver.rs crates/workloads/src/locked.rs crates/workloads/src/synthetic.rs crates/workloads/src/tclosure.rs crates/workloads/src/wire_route.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsm_workloads-65b41b9b2979d7a6.rmeta: crates/workloads/src/lib.rs crates/workloads/src/cholesky.rs crates/workloads/src/driver.rs crates/workloads/src/locked.rs crates/workloads/src/synthetic.rs crates/workloads/src/tclosure.rs crates/workloads/src/wire_route.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cholesky.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/locked.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tclosure.rs:
+crates/workloads/src/wire_route.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dsm_workloads-80398f7cb1b2c733.d: crates/workloads/src/lib.rs crates/workloads/src/cholesky.rs crates/workloads/src/driver.rs crates/workloads/src/locked.rs crates/workloads/src/synthetic.rs crates/workloads/src/tclosure.rs crates/workloads/src/wire_route.rs
+
+/root/repo/target/debug/deps/libdsm_workloads-80398f7cb1b2c733.rlib: crates/workloads/src/lib.rs crates/workloads/src/cholesky.rs crates/workloads/src/driver.rs crates/workloads/src/locked.rs crates/workloads/src/synthetic.rs crates/workloads/src/tclosure.rs crates/workloads/src/wire_route.rs
+
+/root/repo/target/debug/deps/libdsm_workloads-80398f7cb1b2c733.rmeta: crates/workloads/src/lib.rs crates/workloads/src/cholesky.rs crates/workloads/src/driver.rs crates/workloads/src/locked.rs crates/workloads/src/synthetic.rs crates/workloads/src/tclosure.rs crates/workloads/src/wire_route.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cholesky.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/locked.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tclosure.rs:
+crates/workloads/src/wire_route.rs:

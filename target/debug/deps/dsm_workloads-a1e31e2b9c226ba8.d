@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dsm_workloads-a1e31e2b9c226ba8.d: crates/workloads/src/lib.rs crates/workloads/src/cholesky.rs crates/workloads/src/driver.rs crates/workloads/src/locked.rs crates/workloads/src/synthetic.rs crates/workloads/src/tclosure.rs crates/workloads/src/wire_route.rs
+
+/root/repo/target/debug/deps/dsm_workloads-a1e31e2b9c226ba8: crates/workloads/src/lib.rs crates/workloads/src/cholesky.rs crates/workloads/src/driver.rs crates/workloads/src/locked.rs crates/workloads/src/synthetic.rs crates/workloads/src/tclosure.rs crates/workloads/src/wire_route.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cholesky.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/locked.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tclosure.rs:
+crates/workloads/src/wire_route.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-10e126e69d2d99c2.d: crates/bench/benches/fig2.rs
+
+/root/repo/target/debug/deps/fig2-10e126e69d2d99c2: crates/bench/benches/fig2.rs
+
+crates/bench/benches/fig2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3-6a11bd0fd68617d9.d: crates/bench/benches/fig3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3-6a11bd0fd68617d9.rmeta: crates/bench/benches/fig3.rs Cargo.toml
+
+crates/bench/benches/fig3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

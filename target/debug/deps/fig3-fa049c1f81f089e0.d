@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-fa049c1f81f089e0.d: crates/bench/benches/fig3.rs
+
+/root/repo/target/debug/deps/fig3-fa049c1f81f089e0: crates/bench/benches/fig3.rs
+
+crates/bench/benches/fig3.rs:

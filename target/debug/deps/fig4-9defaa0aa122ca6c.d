@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-9defaa0aa122ca6c.d: crates/bench/benches/fig4.rs
+
+/root/repo/target/debug/deps/fig4-9defaa0aa122ca6c: crates/bench/benches/fig4.rs
+
+crates/bench/benches/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-80d54c86dc5e1ab4.d: crates/bench/benches/fig5.rs
+
+/root/repo/target/debug/deps/fig5-80d54c86dc5e1ab4: crates/bench/benches/fig5.rs
+
+crates/bench/benches/fig5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6-b62a47d8a005a135.d: crates/bench/benches/fig6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6-b62a47d8a005a135.rmeta: crates/bench/benches/fig6.rs Cargo.toml
+
+crates/bench/benches/fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-ec70ff6a338013a1.d: crates/bench/benches/fig6.rs
+
+/root/repo/target/debug/deps/fig6-ec70ff6a338013a1: crates/bench/benches/fig6.rs
+
+crates/bench/benches/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-4dd8dab62ab6b2ec.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-4dd8dab62ab6b2ec: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

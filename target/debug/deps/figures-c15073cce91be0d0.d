@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-c15073cce91be0d0.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-c15073cce91be0d0: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

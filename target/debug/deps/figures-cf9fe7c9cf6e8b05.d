@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-cf9fe7c9cf6e8b05.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-cf9fe7c9cf6e8b05: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-fdf5ce6adf705216.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-fdf5ce6adf705216: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/frontend_equiv-6d85c56a717fdbdb.d: crates/mint/tests/frontend_equiv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfrontend_equiv-6d85c56a717fdbdb.rmeta: crates/mint/tests/frontend_equiv.rs Cargo.toml
+
+crates/mint/tests/frontend_equiv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

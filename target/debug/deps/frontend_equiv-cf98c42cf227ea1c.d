@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frontend_equiv-cf98c42cf227ea1c.d: crates/mint/tests/frontend_equiv.rs
+
+/root/repo/target/debug/deps/frontend_equiv-cf98c42cf227ea1c: crates/mint/tests/frontend_equiv.rs
+
+crates/mint/tests/frontend_equiv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interleavings-24783ee5f1c5f290.d: crates/protocol/tests/interleavings.rs
+
+/root/repo/target/debug/deps/interleavings-24783ee5f1c5f290: crates/protocol/tests/interleavings.rs
+
+crates/protocol/tests/interleavings.rs:

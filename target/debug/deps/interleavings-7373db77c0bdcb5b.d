@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interleavings-7373db77c0bdcb5b.d: crates/protocol/tests/interleavings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterleavings-7373db77c0bdcb5b.rmeta: crates/protocol/tests/interleavings.rs Cargo.toml
+
+crates/protocol/tests/interleavings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llsc_semantics-b01b36e4244b5c2e.d: crates/core/../../tests/llsc_semantics.rs
+
+/root/repo/target/debug/deps/llsc_semantics-b01b36e4244b5c2e: crates/core/../../tests/llsc_semantics.rs
+
+crates/core/../../tests/llsc_semantics.rs:

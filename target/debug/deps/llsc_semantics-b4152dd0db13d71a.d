@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/llsc_semantics-b4152dd0db13d71a.d: crates/core/../../tests/llsc_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllsc_semantics-b4152dd0db13d71a.rmeta: crates/core/../../tests/llsc_semantics.rs Cargo.toml
+
+crates/core/../../tests/llsc_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lockfree_stack-48ab4773b78dac42.d: crates/core/../../tests/lockfree_stack.rs
+
+/root/repo/target/debug/deps/lockfree_stack-48ab4773b78dac42: crates/core/../../tests/lockfree_stack.rs
+
+crates/core/../../tests/lockfree_stack.rs:

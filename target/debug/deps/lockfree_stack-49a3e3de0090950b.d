@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lockfree_stack-49a3e3de0090950b.d: crates/core/../../tests/lockfree_stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblockfree_stack-49a3e3de0090950b.rmeta: crates/core/../../tests/lockfree_stack.rs Cargo.toml
+
+crates/core/../../tests/lockfree_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

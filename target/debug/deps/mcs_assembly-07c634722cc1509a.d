@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcs_assembly-07c634722cc1509a.d: crates/mint/tests/mcs_assembly.rs
+
+/root/repo/target/debug/deps/mcs_assembly-07c634722cc1509a: crates/mint/tests/mcs_assembly.rs
+
+crates/mint/tests/mcs_assembly.rs:

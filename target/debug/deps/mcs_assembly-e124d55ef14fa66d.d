@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcs_assembly-e124d55ef14fa66d.d: crates/mint/tests/mcs_assembly.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcs_assembly-e124d55ef14fa66d.rmeta: crates/mint/tests/mcs_assembly.rs Cargo.toml
+
+crates/mint/tests/mcs_assembly.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-44fd22a1c44bd1f9.d: crates/core/../../tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-44fd22a1c44bd1f9: crates/core/../../tests/paper_claims.rs
+
+crates/core/../../tests/paper_claims.rs:

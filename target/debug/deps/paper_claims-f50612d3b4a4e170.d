@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_claims-f50612d3b4a4e170.d: crates/core/../../tests/paper_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_claims-f50612d3b4a4e170.rmeta: crates/core/../../tests/paper_claims.rs Cargo.toml
+
+crates/core/../../tests/paper_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/policy_semantics-9ca791bdca859c62.d: crates/core/../../tests/policy_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolicy_semantics-9ca791bdca859c62.rmeta: crates/core/../../tests/policy_semantics.rs Cargo.toml
+
+crates/core/../../tests/policy_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policy_semantics-e66484eda23bf432.d: crates/core/../../tests/policy_semantics.rs
+
+/root/repo/target/debug/deps/policy_semantics-e66484eda23bf432: crates/core/../../tests/policy_semantics.rs
+
+crates/core/../../tests/policy_semantics.rs:

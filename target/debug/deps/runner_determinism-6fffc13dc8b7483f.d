@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runner_determinism-6fffc13dc8b7483f.d: crates/core/../../tests/runner_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/librunner_determinism-6fffc13dc8b7483f.rmeta: crates/core/../../tests/runner_determinism.rs Cargo.toml
+
+crates/core/../../tests/runner_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runner_determinism-a2a5c7b38d4d4150.d: crates/core/../../tests/runner_determinism.rs
+
+/root/repo/target/debug/deps/runner_determinism-a2a5c7b38d4d4150: crates/core/../../tests/runner_determinism.rs
+
+crates/core/../../tests/runner_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rwlock-3eb644f05e95e8ff.d: crates/core/../../tests/rwlock.rs
+
+/root/repo/target/debug/deps/rwlock-3eb644f05e95e8ff: crates/core/../../tests/rwlock.rs
+
+crates/core/../../tests/rwlock.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rwlock-87347cbd32828134.d: crates/core/../../tests/rwlock.rs Cargo.toml
+
+/root/repo/target/debug/deps/librwlock-87347cbd32828134.rmeta: crates/core/../../tests/rwlock.rs Cargo.toml
+
+crates/core/../../tests/rwlock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-fe0544ce95a10626.d: crates/bench/benches/table1.rs
+
+/root/repo/target/debug/deps/table1-fe0544ce95a10626: crates/bench/benches/table1.rs
+
+crates/bench/benches/table1.rs:

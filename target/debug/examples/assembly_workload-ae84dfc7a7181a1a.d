@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/assembly_workload-ae84dfc7a7181a1a.d: crates/core/../../examples/assembly_workload.rs
+
+/root/repo/target/debug/examples/assembly_workload-ae84dfc7a7181a1a: crates/core/../../examples/assembly_workload.rs
+
+crates/core/../../examples/assembly_workload.rs:

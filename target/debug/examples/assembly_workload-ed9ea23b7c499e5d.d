@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/assembly_workload-ed9ea23b7c499e5d.d: crates/core/../../examples/assembly_workload.rs Cargo.toml
+
+/root/repo/target/debug/examples/libassembly_workload-ed9ea23b7c499e5d.rmeta: crates/core/../../examples/assembly_workload.rs Cargo.toml
+
+crates/core/../../examples/assembly_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

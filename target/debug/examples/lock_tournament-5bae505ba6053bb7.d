@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lock_tournament-5bae505ba6053bb7.d: crates/core/../../examples/lock_tournament.rs
+
+/root/repo/target/debug/examples/lock_tournament-5bae505ba6053bb7: crates/core/../../examples/lock_tournament.rs
+
+crates/core/../../examples/lock_tournament.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lock_tournament-cc1012384207448f.d: crates/core/../../examples/lock_tournament.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblock_tournament-cc1012384207448f.rmeta: crates/core/../../examples/lock_tournament.rs Cargo.toml
+
+crates/core/../../examples/lock_tournament.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

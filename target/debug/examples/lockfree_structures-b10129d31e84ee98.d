@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lockfree_structures-b10129d31e84ee98.d: crates/core/../../examples/lockfree_structures.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblockfree_structures-b10129d31e84ee98.rmeta: crates/core/../../examples/lockfree_structures.rs Cargo.toml
+
+crates/core/../../examples/lockfree_structures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

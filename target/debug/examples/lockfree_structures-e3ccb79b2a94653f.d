@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lockfree_structures-e3ccb79b2a94653f.d: crates/core/../../examples/lockfree_structures.rs
+
+/root/repo/target/debug/examples/lockfree_structures-e3ccb79b2a94653f: crates/core/../../examples/lockfree_structures.rs
+
+crates/core/../../examples/lockfree_structures.rs:

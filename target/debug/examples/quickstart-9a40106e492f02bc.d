@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9a40106e492f02bc.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9a40106e492f02bc: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/reservation_schemes-a074f1ba77074324.d: crates/core/../../examples/reservation_schemes.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreservation_schemes-a074f1ba77074324.rmeta: crates/core/../../examples/reservation_schemes.rs Cargo.toml
+
+crates/core/../../examples/reservation_schemes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reservation_schemes-b76f1dcd889f0ad5.d: crates/core/../../examples/reservation_schemes.rs
+
+/root/repo/target/debug/examples/reservation_schemes-b76f1dcd889f0ad5: crates/core/../../examples/reservation_schemes.rs
+
+crates/core/../../examples/reservation_schemes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/transitive_closure-57702aa00cb8cef2.d: crates/core/../../examples/transitive_closure.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtransitive_closure-57702aa00cb8cef2.rmeta: crates/core/../../examples/transitive_closure.rs Cargo.toml
+
+crates/core/../../examples/transitive_closure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

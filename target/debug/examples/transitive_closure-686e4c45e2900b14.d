@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/transitive_closure-686e4c45e2900b14.d: crates/core/../../examples/transitive_closure.rs
+
+/root/repo/target/debug/examples/transitive_closure-686e4c45e2900b14: crates/core/../../examples/transitive_closure.rs
+
+crates/core/../../examples/transitive_closure.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/atomic_dsm-4aaee9d65a74d99a.d: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/apps.rs crates/core/src/experiments/counters.rs crates/core/src/experiments/runner.rs crates/core/src/experiments/scaling.rs crates/core/src/experiments/table1.rs
+
+/root/repo/target/release/deps/libatomic_dsm-4aaee9d65a74d99a.rlib: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/apps.rs crates/core/src/experiments/counters.rs crates/core/src/experiments/runner.rs crates/core/src/experiments/scaling.rs crates/core/src/experiments/table1.rs
+
+/root/repo/target/release/deps/libatomic_dsm-4aaee9d65a74d99a.rmeta: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/apps.rs crates/core/src/experiments/counters.rs crates/core/src/experiments/runner.rs crates/core/src/experiments/scaling.rs crates/core/src/experiments/table1.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/apps.rs:
+crates/core/src/experiments/counters.rs:
+crates/core/src/experiments/runner.rs:
+crates/core/src/experiments/scaling.rs:
+crates/core/src/experiments/table1.rs:

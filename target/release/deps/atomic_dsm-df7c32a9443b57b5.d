@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/atomic_dsm-df7c32a9443b57b5.d: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/apps.rs crates/core/src/experiments/counters.rs crates/core/src/experiments/scaling.rs crates/core/src/experiments/table1.rs
+
+/root/repo/target/release/deps/atomic_dsm-df7c32a9443b57b5: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/apps.rs crates/core/src/experiments/counters.rs crates/core/src/experiments/scaling.rs crates/core/src/experiments/table1.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/apps.rs:
+crates/core/src/experiments/counters.rs:
+crates/core/src/experiments/scaling.rs:
+crates/core/src/experiments/table1.rs:

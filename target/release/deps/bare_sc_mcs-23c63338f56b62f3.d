@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bare_sc_mcs-23c63338f56b62f3.d: crates/core/../../tests/bare_sc_mcs.rs
+
+/root/repo/target/release/deps/bare_sc_mcs-23c63338f56b62f3: crates/core/../../tests/bare_sc_mcs.rs
+
+crates/core/../../tests/bare_sc_mcs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/capacity_pressure-848ee1df0a0b5aa7.d: crates/core/../../tests/capacity_pressure.rs
+
+/root/repo/target/release/deps/capacity_pressure-848ee1df0a0b5aa7: crates/core/../../tests/capacity_pressure.rs
+
+crates/core/../../tests/capacity_pressure.rs:

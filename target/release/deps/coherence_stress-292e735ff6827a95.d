@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coherence_stress-292e735ff6827a95.d: crates/core/../../tests/coherence_stress.rs
+
+/root/repo/target/release/deps/coherence_stress-292e735ff6827a95: crates/core/../../tests/coherence_stress.rs
+
+crates/core/../../tests/coherence_stress.rs:

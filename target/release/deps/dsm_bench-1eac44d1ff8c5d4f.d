@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dsm_bench-1eac44d1ff8c5d4f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/dsm_bench-1eac44d1ff8c5d4f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

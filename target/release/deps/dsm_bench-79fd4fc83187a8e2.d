@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dsm_bench-79fd4fc83187a8e2.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdsm_bench-79fd4fc83187a8e2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdsm_bench-79fd4fc83187a8e2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dsm_bench-8b5cd120a11097ad.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdsm_bench-8b5cd120a11097ad.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdsm_bench-8b5cd120a11097ad.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dsm_machine-4121c731925494bb.d: crates/machine/src/lib.rs crates/machine/src/machine.rs crates/machine/src/program.rs crates/machine/src/stats.rs crates/machine/src/trace.rs
+
+/root/repo/target/release/deps/libdsm_machine-4121c731925494bb.rlib: crates/machine/src/lib.rs crates/machine/src/machine.rs crates/machine/src/program.rs crates/machine/src/stats.rs crates/machine/src/trace.rs
+
+/root/repo/target/release/deps/libdsm_machine-4121c731925494bb.rmeta: crates/machine/src/lib.rs crates/machine/src/machine.rs crates/machine/src/program.rs crates/machine/src/stats.rs crates/machine/src/trace.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/program.rs:
+crates/machine/src/stats.rs:
+crates/machine/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dsm_machine-ba1a07d4ae048549.d: crates/machine/src/lib.rs crates/machine/src/machine.rs crates/machine/src/program.rs crates/machine/src/stats.rs crates/machine/src/trace.rs
+
+/root/repo/target/release/deps/dsm_machine-ba1a07d4ae048549: crates/machine/src/lib.rs crates/machine/src/machine.rs crates/machine/src/program.rs crates/machine/src/stats.rs crates/machine/src/trace.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/program.rs:
+crates/machine/src/stats.rs:
+crates/machine/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dsm_mesh-1f2e30f19c0be99c.d: crates/mesh/src/lib.rs crates/mesh/src/latency.rs crates/mesh/src/topology.rs crates/mesh/src/wormhole.rs
+
+/root/repo/target/release/deps/libdsm_mesh-1f2e30f19c0be99c.rlib: crates/mesh/src/lib.rs crates/mesh/src/latency.rs crates/mesh/src/topology.rs crates/mesh/src/wormhole.rs
+
+/root/repo/target/release/deps/libdsm_mesh-1f2e30f19c0be99c.rmeta: crates/mesh/src/lib.rs crates/mesh/src/latency.rs crates/mesh/src/topology.rs crates/mesh/src/wormhole.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/latency.rs:
+crates/mesh/src/topology.rs:
+crates/mesh/src/wormhole.rs:

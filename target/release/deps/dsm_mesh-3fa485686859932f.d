@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dsm_mesh-3fa485686859932f.d: crates/mesh/src/lib.rs crates/mesh/src/latency.rs crates/mesh/src/topology.rs crates/mesh/src/wormhole.rs
+
+/root/repo/target/release/deps/dsm_mesh-3fa485686859932f: crates/mesh/src/lib.rs crates/mesh/src/latency.rs crates/mesh/src/topology.rs crates/mesh/src/wormhole.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/latency.rs:
+crates/mesh/src/topology.rs:
+crates/mesh/src/wormhole.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dsm_mint-10bc0e5d1d0a2462.d: crates/mint/src/lib.rs crates/mint/src/asm.rs crates/mint/src/cpu.rs crates/mint/src/disasm.rs crates/mint/src/isa.rs
+
+/root/repo/target/release/deps/libdsm_mint-10bc0e5d1d0a2462.rlib: crates/mint/src/lib.rs crates/mint/src/asm.rs crates/mint/src/cpu.rs crates/mint/src/disasm.rs crates/mint/src/isa.rs
+
+/root/repo/target/release/deps/libdsm_mint-10bc0e5d1d0a2462.rmeta: crates/mint/src/lib.rs crates/mint/src/asm.rs crates/mint/src/cpu.rs crates/mint/src/disasm.rs crates/mint/src/isa.rs
+
+crates/mint/src/lib.rs:
+crates/mint/src/asm.rs:
+crates/mint/src/cpu.rs:
+crates/mint/src/disasm.rs:
+crates/mint/src/isa.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dsm_mint-ea134705919b3731.d: crates/mint/src/lib.rs crates/mint/src/asm.rs crates/mint/src/cpu.rs crates/mint/src/disasm.rs crates/mint/src/isa.rs
+
+/root/repo/target/release/deps/dsm_mint-ea134705919b3731: crates/mint/src/lib.rs crates/mint/src/asm.rs crates/mint/src/cpu.rs crates/mint/src/disasm.rs crates/mint/src/isa.rs
+
+crates/mint/src/lib.rs:
+crates/mint/src/asm.rs:
+crates/mint/src/cpu.rs:
+crates/mint/src/disasm.rs:
+crates/mint/src/isa.rs:

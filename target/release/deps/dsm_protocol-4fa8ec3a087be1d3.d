@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dsm_protocol-4fa8ec3a087be1d3.d: crates/protocol/src/lib.rs crates/protocol/src/addrmap.rs crates/protocol/src/cache.rs crates/protocol/src/cachectl.rs crates/protocol/src/data.rs crates/protocol/src/directory.rs crates/protocol/src/home.rs crates/protocol/src/msg.rs crates/protocol/src/nodeset.rs crates/protocol/src/reservation.rs crates/protocol/src/types.rs
+
+/root/repo/target/release/deps/dsm_protocol-4fa8ec3a087be1d3: crates/protocol/src/lib.rs crates/protocol/src/addrmap.rs crates/protocol/src/cache.rs crates/protocol/src/cachectl.rs crates/protocol/src/data.rs crates/protocol/src/directory.rs crates/protocol/src/home.rs crates/protocol/src/msg.rs crates/protocol/src/nodeset.rs crates/protocol/src/reservation.rs crates/protocol/src/types.rs
+
+crates/protocol/src/lib.rs:
+crates/protocol/src/addrmap.rs:
+crates/protocol/src/cache.rs:
+crates/protocol/src/cachectl.rs:
+crates/protocol/src/data.rs:
+crates/protocol/src/directory.rs:
+crates/protocol/src/home.rs:
+crates/protocol/src/msg.rs:
+crates/protocol/src/nodeset.rs:
+crates/protocol/src/reservation.rs:
+crates/protocol/src/types.rs:

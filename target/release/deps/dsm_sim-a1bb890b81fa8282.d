@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dsm_sim-a1bb890b81fa8282.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/dsm_sim-a1bb890b81fa8282: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/event.rs:
+crates/sim/src/ids.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dsm_stats-277450ae8971aab6.d: crates/stats/src/lib.rs crates/stats/src/contention.rs crates/stats/src/histogram.rs crates/stats/src/messages.rs crates/stats/src/table.rs crates/stats/src/writerun.rs
+
+/root/repo/target/release/deps/dsm_stats-277450ae8971aab6: crates/stats/src/lib.rs crates/stats/src/contention.rs crates/stats/src/histogram.rs crates/stats/src/messages.rs crates/stats/src/table.rs crates/stats/src/writerun.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/contention.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/messages.rs:
+crates/stats/src/table.rs:
+crates/stats/src/writerun.rs:

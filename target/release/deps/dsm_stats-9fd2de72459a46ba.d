@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dsm_stats-9fd2de72459a46ba.d: crates/stats/src/lib.rs crates/stats/src/contention.rs crates/stats/src/histogram.rs crates/stats/src/messages.rs crates/stats/src/table.rs crates/stats/src/writerun.rs
+
+/root/repo/target/release/deps/libdsm_stats-9fd2de72459a46ba.rlib: crates/stats/src/lib.rs crates/stats/src/contention.rs crates/stats/src/histogram.rs crates/stats/src/messages.rs crates/stats/src/table.rs crates/stats/src/writerun.rs
+
+/root/repo/target/release/deps/libdsm_stats-9fd2de72459a46ba.rmeta: crates/stats/src/lib.rs crates/stats/src/contention.rs crates/stats/src/histogram.rs crates/stats/src/messages.rs crates/stats/src/table.rs crates/stats/src/writerun.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/contention.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/messages.rs:
+crates/stats/src/table.rs:
+crates/stats/src/writerun.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dsm_sync-d428767c9e6a79a0.d: crates/sync/src/lib.rs crates/sync/src/alloc.rs crates/sync/src/backoff.rs crates/sync/src/barrier.rs crates/sync/src/counter.rs crates/sync/src/mcs.rs crates/sync/src/primitive.rs crates/sync/src/rwlock.rs crates/sync/src/stack.rs crates/sync/src/submachine.rs crates/sync/src/tts.rs
+
+/root/repo/target/release/deps/dsm_sync-d428767c9e6a79a0: crates/sync/src/lib.rs crates/sync/src/alloc.rs crates/sync/src/backoff.rs crates/sync/src/barrier.rs crates/sync/src/counter.rs crates/sync/src/mcs.rs crates/sync/src/primitive.rs crates/sync/src/rwlock.rs crates/sync/src/stack.rs crates/sync/src/submachine.rs crates/sync/src/tts.rs
+
+crates/sync/src/lib.rs:
+crates/sync/src/alloc.rs:
+crates/sync/src/backoff.rs:
+crates/sync/src/barrier.rs:
+crates/sync/src/counter.rs:
+crates/sync/src/mcs.rs:
+crates/sync/src/primitive.rs:
+crates/sync/src/rwlock.rs:
+crates/sync/src/stack.rs:
+crates/sync/src/submachine.rs:
+crates/sync/src/tts.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dsm_workloads-6535901150ef7a16.d: crates/workloads/src/lib.rs crates/workloads/src/cholesky.rs crates/workloads/src/driver.rs crates/workloads/src/locked.rs crates/workloads/src/synthetic.rs crates/workloads/src/tclosure.rs crates/workloads/src/wire_route.rs
+
+/root/repo/target/release/deps/dsm_workloads-6535901150ef7a16: crates/workloads/src/lib.rs crates/workloads/src/cholesky.rs crates/workloads/src/driver.rs crates/workloads/src/locked.rs crates/workloads/src/synthetic.rs crates/workloads/src/tclosure.rs crates/workloads/src/wire_route.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cholesky.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/locked.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tclosure.rs:
+crates/workloads/src/wire_route.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dsm_workloads-a1d1ad0e29d2be9a.d: crates/workloads/src/lib.rs crates/workloads/src/cholesky.rs crates/workloads/src/driver.rs crates/workloads/src/locked.rs crates/workloads/src/synthetic.rs crates/workloads/src/tclosure.rs crates/workloads/src/wire_route.rs
+
+/root/repo/target/release/deps/libdsm_workloads-a1d1ad0e29d2be9a.rlib: crates/workloads/src/lib.rs crates/workloads/src/cholesky.rs crates/workloads/src/driver.rs crates/workloads/src/locked.rs crates/workloads/src/synthetic.rs crates/workloads/src/tclosure.rs crates/workloads/src/wire_route.rs
+
+/root/repo/target/release/deps/libdsm_workloads-a1d1ad0e29d2be9a.rmeta: crates/workloads/src/lib.rs crates/workloads/src/cholesky.rs crates/workloads/src/driver.rs crates/workloads/src/locked.rs crates/workloads/src/synthetic.rs crates/workloads/src/tclosure.rs crates/workloads/src/wire_route.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cholesky.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/locked.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tclosure.rs:
+crates/workloads/src/wire_route.rs:

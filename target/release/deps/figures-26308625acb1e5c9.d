@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-26308625acb1e5c9.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-26308625acb1e5c9: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

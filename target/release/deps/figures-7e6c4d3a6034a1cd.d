@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-7e6c4d3a6034a1cd.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-7e6c4d3a6034a1cd: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-e3bc77d02487b8fc.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-e3bc77d02487b8fc: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

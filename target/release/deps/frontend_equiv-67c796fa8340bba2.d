@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/frontend_equiv-67c796fa8340bba2.d: crates/mint/tests/frontend_equiv.rs
+
+/root/repo/target/release/deps/frontend_equiv-67c796fa8340bba2: crates/mint/tests/frontend_equiv.rs
+
+crates/mint/tests/frontend_equiv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/interleavings-77408d46dcb4e9d2.d: crates/protocol/tests/interleavings.rs
+
+/root/repo/target/release/deps/interleavings-77408d46dcb4e9d2: crates/protocol/tests/interleavings.rs
+
+crates/protocol/tests/interleavings.rs:

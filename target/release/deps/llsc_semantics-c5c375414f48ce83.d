@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/llsc_semantics-c5c375414f48ce83.d: crates/core/../../tests/llsc_semantics.rs
+
+/root/repo/target/release/deps/llsc_semantics-c5c375414f48ce83: crates/core/../../tests/llsc_semantics.rs
+
+crates/core/../../tests/llsc_semantics.rs:

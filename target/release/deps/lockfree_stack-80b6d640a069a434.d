@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lockfree_stack-80b6d640a069a434.d: crates/core/../../tests/lockfree_stack.rs
+
+/root/repo/target/release/deps/lockfree_stack-80b6d640a069a434: crates/core/../../tests/lockfree_stack.rs
+
+crates/core/../../tests/lockfree_stack.rs:

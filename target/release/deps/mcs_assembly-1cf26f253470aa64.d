@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mcs_assembly-1cf26f253470aa64.d: crates/mint/tests/mcs_assembly.rs
+
+/root/repo/target/release/deps/mcs_assembly-1cf26f253470aa64: crates/mint/tests/mcs_assembly.rs
+
+crates/mint/tests/mcs_assembly.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-5242a1893d5da626.d: crates/core/../../tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-5242a1893d5da626: crates/core/../../tests/paper_claims.rs
+
+crates/core/../../tests/paper_claims.rs:

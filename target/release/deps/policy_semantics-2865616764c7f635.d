@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/policy_semantics-2865616764c7f635.d: crates/core/../../tests/policy_semantics.rs
+
+/root/repo/target/release/deps/policy_semantics-2865616764c7f635: crates/core/../../tests/policy_semantics.rs
+
+crates/core/../../tests/policy_semantics.rs:

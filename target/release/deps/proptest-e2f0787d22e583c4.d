@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-e2f0787d22e583c4.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-e2f0787d22e583c4: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rwlock-0431dd92194f0cbf.d: crates/core/../../tests/rwlock.rs
+
+/root/repo/target/release/deps/rwlock-0431dd92194f0cbf: crates/core/../../tests/rwlock.rs
+
+crates/core/../../tests/rwlock.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-2e401b0ba2726de7.d: crates/bench/benches/table1.rs
+
+/root/repo/target/release/deps/table1-2e401b0ba2726de7: crates/bench/benches/table1.rs
+
+crates/bench/benches/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/assembly_workload-c54ebaa947d7ee91.d: crates/core/../../examples/assembly_workload.rs
+
+/root/repo/target/release/examples/assembly_workload-c54ebaa947d7ee91: crates/core/../../examples/assembly_workload.rs
+
+crates/core/../../examples/assembly_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/lock_tournament-9ba8d5d8cb9ec8b2.d: crates/core/../../examples/lock_tournament.rs
+
+/root/repo/target/release/examples/lock_tournament-9ba8d5d8cb9ec8b2: crates/core/../../examples/lock_tournament.rs
+
+crates/core/../../examples/lock_tournament.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/lockfree_structures-5ccec6362f53e2d0.d: crates/core/../../examples/lockfree_structures.rs
+
+/root/repo/target/release/examples/lockfree_structures-5ccec6362f53e2d0: crates/core/../../examples/lockfree_structures.rs
+
+crates/core/../../examples/lockfree_structures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8bd8237ae14c65e8.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8bd8237ae14c65e8: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/reservation_schemes-d19316cfb027e9ae.d: crates/core/../../examples/reservation_schemes.rs
+
+/root/repo/target/release/examples/reservation_schemes-d19316cfb027e9ae: crates/core/../../examples/reservation_schemes.rs
+
+crates/core/../../examples/reservation_schemes.rs:

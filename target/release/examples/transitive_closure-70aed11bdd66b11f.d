@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/transitive_closure-70aed11bdd66b11f.d: crates/core/../../examples/transitive_closure.rs
+
+/root/repo/target/release/examples/transitive_closure-70aed11bdd66b11f: crates/core/../../examples/transitive_closure.rs
+
+crates/core/../../examples/transitive_closure.rs:

@@ -70,13 +70,25 @@ fn run(nodes: u32, active: u32, iters: u64, bare: bool) -> (u64, u64, u64) {
                 1 => acq = Some(McsAcquire::new(McsLock { tail: LOCK }, qnode, choice)),
                 2 => return Action::Op(MemOp::Load { addr: COUNTER }),
                 3 => {
-                    let v = ctx.last.take().expect("counter read").value().expect("value");
-                    return Action::Op(MemOp::Store { addr: COUNTER, value: v + 1 });
+                    let v = ctx
+                        .last
+                        .take()
+                        .expect("counter read")
+                        .value()
+                        .expect("value");
+                    return Action::Op(MemOp::Store {
+                        addr: COUNTER,
+                        value: v + 1,
+                    });
                 }
                 4 => {
                     ctx.last.take();
                     let r = McsRelease::new(McsLock { tail: LOCK }, qnode, choice);
-                    rel = Some(if bare { r.with_bare_serial(serial.take()) } else { r });
+                    rel = Some(if bare {
+                        r.with_bare_serial(serial.take())
+                    } else {
+                        r
+                    });
                 }
                 5 => {
                     stage = 0;
@@ -95,7 +107,11 @@ fn run(nodes: u32, active: u32, iters: u64, bare: bool) -> (u64, u64, u64) {
     let mut m = b.build();
     m.run(Cycle::new(10_000_000_000)).expect("completes");
     m.validate_coherence().unwrap();
-    assert_eq!(m.read_word(COUNTER), active as u64 * iters, "lock lost an update");
+    assert_eq!(
+        m.read_word(COUNTER),
+        active as u64 * iters,
+        "lock lost an update"
+    );
     let hits = *bare_hits.borrow();
     (m.stats().msgs.total_messages(), m.stats().sync_ops, hits)
 }
@@ -109,9 +125,16 @@ fn bare_sc_release_saves_exactly_one_access_uncontended() {
     let (msgs_plain, ops_plain, hits_plain) = run(2, 1, iters, false);
     let (msgs_bare, ops_bare, hits_bare) = run(2, 1, iters, true);
     assert_eq!(hits_plain, 0);
-    assert_eq!(hits_bare, iters, "every uncontended release takes the fast path");
+    assert_eq!(
+        hits_bare, iters,
+        "every uncontended release takes the fast path"
+    );
     assert_eq!(ops_plain, 4 * iters);
-    assert_eq!(ops_bare, 3 * iters, "the paper's promised one-access saving");
+    assert_eq!(
+        ops_bare,
+        3 * iters,
+        "the paper's promised one-access saving"
+    );
     assert_eq!(
         msgs_plain - msgs_bare,
         2 * iters,
@@ -124,7 +147,10 @@ fn bare_sc_still_helps_with_mild_contention() {
     let iters = 10;
     let (_, ops_plain, _) = run(4, 4, iters, false);
     let (_, ops_bare, hits_bare) = run(4, 4, iters, true);
-    assert!(hits_bare > 0, "spaced-out releases should hit the fast path");
+    assert!(
+        hits_bare > 0,
+        "spaced-out releases should hit the fast path"
+    );
     assert!(
         ops_bare < ops_plain,
         "bare SC must reduce lock-line accesses ({ops_bare} vs {ops_plain})"

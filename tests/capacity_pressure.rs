@@ -25,15 +25,17 @@ fn synthetic_counters_survive_tiny_caches() {
             let scfg = SyntheticConfig {
                 kind,
                 choice: PrimChoice::plain(prim),
-                sync: SyncConfig { policy: SyncPolicy::Inv, ..Default::default() },
+                sync: SyncConfig {
+                    policy: SyncPolicy::Inv,
+                    ..Default::default()
+                },
                 contention: 4,
                 write_run: 1.0,
                 rounds: 8,
             };
             let (mut m, layout) = build_synthetic(tiny_cache_config(8), &scfg);
-            m.run(LIMIT).unwrap_or_else(|e| {
-                panic!("{}/{}: {e}", kind.label(), prim.label())
-            });
+            m.run(LIMIT)
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", kind.label(), prim.label()));
             assert_eq!(
                 m.read_word(layout.counter),
                 scfg.total_updates(8),
@@ -55,7 +57,10 @@ fn llsc_reservations_survive_eviction() {
     let scfg = SyntheticConfig {
         kind: CounterKind::LockFree,
         choice: PrimChoice::plain(Primitive::Llsc),
-        sync: SyncConfig { policy: SyncPolicy::Inv, ..Default::default() },
+        sync: SyncConfig {
+            policy: SyncPolicy::Inv,
+            ..Default::default()
+        },
         contention: 8,
         write_run: 1.0,
         rounds: 12,
@@ -77,7 +82,10 @@ fn wire_route_survives_tiny_caches() {
         cells_per_visit: 4,
         cells_per_region: 16,
         choice: PrimChoice::plain(Primitive::Cas),
-        sync: SyncConfig { policy: SyncPolicy::Inv, ..Default::default() },
+        sync: SyncConfig {
+            policy: SyncPolicy::Inv,
+            ..Default::default()
+        },
         seed: 3,
         compute_per_wire: 0,
     };
@@ -94,7 +102,10 @@ fn upd_counters_survive_tiny_caches() {
     let scfg = SyntheticConfig {
         kind: CounterKind::LockFree,
         choice: PrimChoice::plain(Primitive::Cas),
-        sync: SyncConfig { policy: SyncPolicy::Upd, ..Default::default() },
+        sync: SyncConfig {
+            policy: SyncPolicy::Upd,
+            ..Default::default()
+        },
         contention: 8,
         write_run: 1.0,
         rounds: 10,

@@ -23,7 +23,9 @@ fn random_mix_machine(
     seed: u64,
 ) -> (Machine, Vec<Addr>) {
     assert_eq!(policies.len(), counters);
-    let addrs: Vec<Addr> = (0..counters).map(|i| Addr::new(0x1000 + i as u64 * 64)).collect();
+    let addrs: Vec<Addr> = (0..counters)
+        .map(|i| Addr::new(0x1000 + i as u64 * 64))
+        .collect();
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(nodes));
     for (i, &a) in addrs.iter().enumerate() {
         b.register_sync(
@@ -35,7 +37,11 @@ fn random_mix_machine(
                     1 => CasVariant::Deny,
                     _ => CasVariant::Share,
                 },
-                llsc: if i % 2 == 0 { LlscScheme::BitVector } else { LlscScheme::SerialNumber },
+                llsc: if i % 2 == 0 {
+                    LlscScheme::BitVector
+                } else {
+                    LlscScheme::SerialNumber
+                },
             },
         );
     }
@@ -65,13 +71,19 @@ fn random_mix_machine(
                 // fetch_and_add: one op.
                 (0, 0, _) => {
                     phase = 1;
-                    Action::Op(MemOp::FetchPhi { addr, op: PhiOp::Add(1) })
+                    Action::Op(MemOp::FetchPhi {
+                        addr,
+                        op: PhiOp::Add(1),
+                    })
                 }
                 (0, 1, _) => {
                     phase = 0;
                     idx += 1;
                     // Noise between updates.
-                    Action::Op(MemOp::Store { addr: noise, value: idx as u64 })
+                    Action::Op(MemOp::Store {
+                        addr: noise,
+                        value: idx as u64,
+                    })
                 }
                 // CAS loop.
                 (1, 0, _) => {
@@ -80,7 +92,11 @@ fn random_mix_machine(
                 }
                 (1, 1, Some(OpResult::Loaded { value, .. })) => {
                     phase = 2;
-                    Action::Op(MemOp::Cas { addr, expected: value, new: value + 1 })
+                    Action::Op(MemOp::Cas {
+                        addr,
+                        expected: value,
+                        new: value + 1,
+                    })
                 }
                 (1, 2, Some(OpResult::CasDone { success, observed })) => {
                     if success {
@@ -88,7 +104,11 @@ fn random_mix_machine(
                         idx += 1;
                         Action::Op(MemOp::Load { addr: noise })
                     } else {
-                        Action::Op(MemOp::Cas { addr, expected: observed, new: observed + 1 })
+                        Action::Op(MemOp::Cas {
+                            addr,
+                            expected: observed,
+                            new: observed + 1,
+                        })
                     }
                 }
                 // LL/SC loop.
@@ -99,7 +119,11 @@ fn random_mix_machine(
                 (2, 1, Some(OpResult::Loaded { value, serial, .. })) => {
                     phase = 2;
                     pending_serial = serial;
-                    Action::Op(MemOp::StoreConditional { addr, value: value + 1, serial })
+                    Action::Op(MemOp::StoreConditional {
+                        addr,
+                        value: value + 1,
+                        serial,
+                    })
                 }
                 (2, 2, Some(OpResult::ScDone { success })) => {
                     let _ = pending_serial;
@@ -120,7 +144,13 @@ fn random_mix_machine(
     (m, addrs)
 }
 
-fn run_mix(nodes: u32, counters: usize, iters: u64, policies: Vec<SyncPolicy>, seed: u64) -> (u64, u64) {
+fn run_mix(
+    nodes: u32,
+    counters: usize,
+    iters: u64,
+    policies: Vec<SyncPolicy>,
+    seed: u64,
+) -> (u64, u64) {
     let (mut m, addrs) = random_mix_machine(nodes, counters, iters, policies, seed);
     let report = m.run(LIMIT).expect("mix completes");
     m.validate_coherence().expect("coherent");

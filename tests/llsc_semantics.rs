@@ -18,7 +18,13 @@ fn sc_fails_after_intervening_remote_write() {
     for policy in [SyncPolicy::Inv, SyncPolicy::Unc] {
         let outcome: Rc<RefCell<Option<bool>>> = Rc::new(RefCell::new(None));
         let mut b = MachineBuilder::new(MachineConfig::with_nodes(2));
-        b.register_sync(X, SyncConfig { policy, ..Default::default() });
+        b.register_sync(
+            X,
+            SyncConfig {
+                policy,
+                ..Default::default()
+            },
+        );
 
         let out = Rc::clone(&outcome);
         let mut stage = 0;
@@ -30,10 +36,16 @@ fn sc_fails_after_intervening_remote_write() {
                 3 => Action::Barrier(1),
                 4 => {
                     let serial = None;
-                    Action::Op(MemOp::StoreConditional { addr: X, value: 7, serial })
+                    Action::Op(MemOp::StoreConditional {
+                        addr: X,
+                        value: 7,
+                        serial,
+                    })
                 }
                 5 => {
-                    let OpResult::ScDone { success } = ctx.result() else { panic!() };
+                    let OpResult::ScDone { success } = ctx.result() else {
+                        panic!()
+                    };
                     *out.borrow_mut() = Some(success);
                     Action::Done
                 }
@@ -73,7 +85,13 @@ fn aba_fails_sc_but_fools_cas() {
     let sc_result: Rc<RefCell<Option<bool>>> = Rc::new(RefCell::new(None));
     let cas_result: Rc<RefCell<Option<bool>>> = Rc::new(RefCell::new(None));
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(2));
-    b.register_sync(X, SyncConfig { policy: SyncPolicy::Unc, ..Default::default() });
+    b.register_sync(
+        X,
+        SyncConfig {
+            policy: SyncPolicy::Unc,
+            ..Default::default()
+        },
+    );
     b.init_word(X, 1);
 
     let sc_out = Rc::clone(&sc_result);
@@ -85,15 +103,27 @@ fn aba_fails_sc_but_fools_cas() {
             1 => Action::Op(MemOp::LoadLinked { addr: X }), // reads 1
             2 => Action::Barrier(0),                        // P1 does 1 -> 2 -> 1
             3 => Action::Barrier(1),
-            4 => Action::Op(MemOp::StoreConditional { addr: X, value: 9, serial: None }),
+            4 => Action::Op(MemOp::StoreConditional {
+                addr: X,
+                value: 9,
+                serial: None,
+            }),
             5 => {
-                let OpResult::ScDone { success } = ctx.result() else { panic!() };
+                let OpResult::ScDone { success } = ctx.result() else {
+                    panic!()
+                };
                 *sc_out.borrow_mut() = Some(success);
                 // Now try CAS with the originally observed value 1.
-                Action::Op(MemOp::Cas { addr: X, expected: 1, new: 9 })
+                Action::Op(MemOp::Cas {
+                    addr: X,
+                    expected: 1,
+                    new: 9,
+                })
             }
             6 => {
-                let OpResult::CasDone { success, .. } = ctx.result() else { panic!() };
+                let OpResult::CasDone { success, .. } = ctx.result() else {
+                    panic!()
+                };
                 *cas_out.borrow_mut() = Some(success);
                 Action::Done
             }
@@ -114,7 +144,11 @@ fn aba_fails_sc_but_fools_cas() {
     });
     let mut m = b.build();
     m.run(LIMIT).unwrap();
-    assert_eq!(*sc_result.borrow(), Some(false), "SC must detect the ABA writes");
+    assert_eq!(
+        *sc_result.borrow(),
+        Some(false),
+        "SC must detect the ABA writes"
+    );
     assert_eq!(
         *cas_result.borrow(),
         Some(true),
@@ -131,7 +165,11 @@ fn bare_sc_with_serial_numbers() {
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(2));
     b.register_sync(
         X,
-        SyncConfig { policy: SyncPolicy::Unc, llsc: LlscScheme::SerialNumber, ..Default::default() },
+        SyncConfig {
+            policy: SyncPolicy::Unc,
+            llsc: LlscScheme::SerialNumber,
+            ..Default::default()
+        },
     );
     let out = Rc::clone(&result);
     let mut stage = 0;
@@ -139,15 +177,27 @@ fn bare_sc_with_serial_numbers() {
         stage += 1;
         match stage {
             // A bare SC with the initial serial number (0): succeeds.
-            1 => Action::Op(MemOp::StoreConditional { addr: X, value: 11, serial: Some(0) }),
+            1 => Action::Op(MemOp::StoreConditional {
+                addr: X,
+                value: 11,
+                serial: Some(0),
+            }),
             2 => {
-                let OpResult::ScDone { success } = ctx.result() else { panic!() };
+                let OpResult::ScDone { success } = ctx.result() else {
+                    panic!()
+                };
                 out.borrow_mut().push(success);
                 // A bare SC with a stale serial: fails.
-                Action::Op(MemOp::StoreConditional { addr: X, value: 22, serial: Some(0) })
+                Action::Op(MemOp::StoreConditional {
+                    addr: X,
+                    value: 22,
+                    serial: Some(0),
+                })
             }
             3 => {
-                let OpResult::ScDone { success } = ctx.result() else { panic!() };
+                let OpResult::ScDone { success } = ctx.result() else {
+                    panic!()
+                };
                 out.borrow_mut().push(success);
                 Action::Done
             }
@@ -170,7 +220,11 @@ fn beyond_limit_ll_reports_failure_indicator() {
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(4));
     b.register_sync(
         X,
-        SyncConfig { policy: SyncPolicy::Unc, llsc: LlscScheme::Limited(2), ..Default::default() },
+        SyncConfig {
+            policy: SyncPolicy::Unc,
+            llsc: LlscScheme::Limited(2),
+            ..Default::default()
+        },
     );
     for p in 0..4u32 {
         let flags = Rc::clone(&flags);
@@ -235,12 +289,22 @@ fn beyond_limit_ll_reports_failure_indicator() {
 #[test]
 fn local_sc_failure_is_traffic_free() {
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(2));
-    b.register_sync(X, SyncConfig { policy: SyncPolicy::Inv, ..Default::default() });
+    b.register_sync(
+        X,
+        SyncConfig {
+            policy: SyncPolicy::Inv,
+            ..Default::default()
+        },
+    );
     let mut stage = 0;
     b.add_program(move |ctx: &mut ProcCtx<'_>| {
         stage += 1;
         match stage {
-            1 => Action::Op(MemOp::StoreConditional { addr: X, value: 1, serial: None }),
+            1 => Action::Op(MemOp::StoreConditional {
+                addr: X,
+                value: 1,
+                serial: None,
+            }),
             2 => {
                 assert_eq!(ctx.result(), OpResult::ScDone { success: false });
                 assert_eq!(ctx.last_chain, Some(0), "failed SC must be local");
@@ -252,5 +316,9 @@ fn local_sc_failure_is_traffic_free() {
     b.add_program(|_: &mut ProcCtx<'_>| Action::Done);
     let mut m = b.build();
     m.run(LIMIT).unwrap();
-    assert_eq!(m.stats().msgs.total_messages(), 0, "no messages at all were needed");
+    assert_eq!(
+        m.stats().msgs.total_messages(),
+        0,
+        "no messages at all were needed"
+    );
 }

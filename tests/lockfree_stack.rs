@@ -23,7 +23,13 @@ fn run_stress(prim: StackPrim, policy: SyncPolicy, nodes: u32, per_proc: u64) {
 
     let popped: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(nodes));
-    b.register_sync(top, SyncConfig { policy, ..Default::default() });
+    b.register_sync(
+        top,
+        SyncConfig {
+            policy,
+            ..Default::default()
+        },
+    );
 
     for p in 0..nodes {
         let my_nodes = node_addrs[p as usize].clone();
@@ -78,17 +84,22 @@ fn run_stress(prim: StackPrim, policy: SyncPolicy, nodes: u32, per_proc: u64) {
     };
     while cursor != 0 {
         remaining.push(cursor);
-        assert!(remaining.len() <= (nodes as usize) * per_proc as usize + 1, "stack has a cycle!");
+        assert!(
+            remaining.len() <= (nodes as usize) * per_proc as usize + 1,
+            "stack has a cycle!"
+        );
         cursor = m.read_word(Addr::new(cursor));
     }
 
     // Conservation: every node appears exactly once, in `popped` or on
     // the stack.
-    let all_nodes: HashSet<u64> =
-        node_addrs.iter().flatten().map(|a| a.as_u64()).collect();
+    let all_nodes: HashSet<u64> = node_addrs.iter().flatten().map(|a| a.as_u64()).collect();
     let mut seen = HashSet::new();
     for &n in popped.borrow().iter().chain(remaining.iter()) {
-        assert!(all_nodes.contains(&n), "{prim:?}/{policy}: unknown node {n:#x}");
+        assert!(
+            all_nodes.contains(&n),
+            "{prim:?}/{policy}: unknown node {n:#x}"
+        );
         assert!(seen.insert(n), "{prim:?}/{policy}: node {n:#x} duplicated!");
     }
     assert_eq!(

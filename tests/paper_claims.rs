@@ -11,7 +11,13 @@ use atomic_dsm::protocol::CasVariant;
 use atomic_dsm::{Primitive, SyncPolicy};
 
 fn scale() -> Scale {
-    Scale { procs: 16, rounds: 24, tc_size: 0, wires: 0, tasks: 0 }
+    Scale {
+        procs: 16,
+        rounds: 24,
+        tc_size: 0,
+        wires: 0,
+        tasks: 0,
+    }
 }
 
 fn cost(kind: CounterKind, bar: BarSpec, c: u32, a: f64) -> f64 {
@@ -25,8 +31,18 @@ fn cost(kind: CounterKind, bar: BarSpec, c: u32, a: f64) -> f64 {
 #[test]
 fn unc_competitive_at_short_write_runs() {
     for prim in Primitive::ALL {
-        let unc = cost(CounterKind::LockFree, BarSpec::new(SyncPolicy::Unc, prim), 1, 1.0);
-        let inv = cost(CounterKind::LockFree, BarSpec::new(SyncPolicy::Inv, prim), 1, 1.0);
+        let unc = cost(
+            CounterKind::LockFree,
+            BarSpec::new(SyncPolicy::Unc, prim),
+            1,
+            1.0,
+        );
+        let inv = cost(
+            CounterKind::LockFree,
+            BarSpec::new(SyncPolicy::Inv, prim),
+            1,
+            1.0,
+        );
         assert!(
             unc <= inv * 1.1,
             "{prim}: UNC ({unc:.0}) should be competitive with INV ({inv:.0}) at a=1"
@@ -40,13 +56,42 @@ fn unc_competitive_at_short_write_runs() {
 #[test]
 fn inv_wins_at_long_write_runs() {
     for prim in Primitive::ALL {
-        let inv1 = cost(CounterKind::LockFree, BarSpec::new(SyncPolicy::Inv, prim), 1, 1.0);
-        let inv10 = cost(CounterKind::LockFree, BarSpec::new(SyncPolicy::Inv, prim), 1, 10.0);
-        let unc10 = cost(CounterKind::LockFree, BarSpec::new(SyncPolicy::Unc, prim), 1, 10.0);
-        let upd10 = cost(CounterKind::LockFree, BarSpec::new(SyncPolicy::Upd, prim), 1, 10.0);
-        assert!(inv10 < inv1, "{prim}: INV must get cheaper as runs lengthen");
-        assert!(inv10 < unc10, "{prim}: INV ({inv10:.0}) must beat UNC ({unc10:.0}) at a=10");
-        assert!(inv10 <= upd10, "{prim}: INV ({inv10:.0}) must beat UPD ({upd10:.0}) at a=10");
+        let inv1 = cost(
+            CounterKind::LockFree,
+            BarSpec::new(SyncPolicy::Inv, prim),
+            1,
+            1.0,
+        );
+        let inv10 = cost(
+            CounterKind::LockFree,
+            BarSpec::new(SyncPolicy::Inv, prim),
+            1,
+            10.0,
+        );
+        let unc10 = cost(
+            CounterKind::LockFree,
+            BarSpec::new(SyncPolicy::Unc, prim),
+            1,
+            10.0,
+        );
+        let upd10 = cost(
+            CounterKind::LockFree,
+            BarSpec::new(SyncPolicy::Upd, prim),
+            1,
+            10.0,
+        );
+        assert!(
+            inv10 < inv1,
+            "{prim}: INV must get cheaper as runs lengthen"
+        );
+        assert!(
+            inv10 < unc10,
+            "{prim}: INV ({inv10:.0}) must beat UNC ({unc10:.0}) at a=10"
+        );
+        assert!(
+            inv10 <= upd10,
+            "{prim}: INV ({inv10:.0}) must beat UPD ({upd10:.0}) at a=10"
+        );
     }
 }
 
@@ -54,7 +99,12 @@ fn inv_wins_at_long_write_runs() {
 /// primitives and implementations, especially with contention."
 #[test]
 fn unc_fetch_and_add_dominates_contended_counters() {
-    let champion = cost(CounterKind::LockFree, BarSpec::new(SyncPolicy::Unc, Primitive::FetchPhi), 16, 1.0);
+    let champion = cost(
+        CounterKind::LockFree,
+        BarSpec::new(SyncPolicy::Unc, Primitive::FetchPhi),
+        16,
+        1.0,
+    );
     for prim in [Primitive::Llsc, Primitive::Cas] {
         for policy in SyncPolicy::ALL {
             let other = cost(CounterKind::LockFree, BarSpec::new(policy, prim), 16, 1.0);
@@ -73,7 +123,10 @@ fn unc_fetch_and_add_dominates_contended_counters() {
 #[test]
 fn load_exclusive_helps_inv_cas_under_contention() {
     let plain = BarSpec::new(SyncPolicy::Inv, Primitive::Cas);
-    let lx = BarSpec { load_exclusive: true, ..plain };
+    let lx = BarSpec {
+        load_exclusive: true,
+        ..plain
+    };
     let plain_c = cost(CounterKind::LockFree, plain, 16, 1.0);
     let lx_c = cost(CounterKind::LockFree, lx, 16, 1.0);
     assert!(
@@ -87,10 +140,16 @@ fn load_exclusive_helps_inv_cas_under_contention() {
 /// compare_and_swap or compare_and_swap/load_exclusive."
 #[test]
 fn invd_invs_do_not_beat_cas_with_load_exclusive() {
-    let lx = BarSpec { load_exclusive: true, ..BarSpec::new(SyncPolicy::Inv, Primitive::Cas) };
+    let lx = BarSpec {
+        load_exclusive: true,
+        ..BarSpec::new(SyncPolicy::Inv, Primitive::Cas)
+    };
     let lx_c = cost(CounterKind::LockFree, lx, 16, 1.0);
     for variant in [CasVariant::Deny, CasVariant::Share] {
-        let v = BarSpec { cas_variant: variant, ..BarSpec::new(SyncPolicy::Inv, Primitive::Cas) };
+        let v = BarSpec {
+            cas_variant: variant,
+            ..BarSpec::new(SyncPolicy::Inv, Primitive::Cas)
+        };
         let v_c = cost(CounterKind::LockFree, v, 16, 1.0);
         assert!(
             lx_c <= v_c * 1.05,
@@ -106,8 +165,18 @@ fn invd_invs_do_not_beat_cas_with_load_exclusive() {
 #[test]
 fn upd_cas_beats_upd_llsc() {
     for (c, a) in [(1u32, 2.0), (1, 3.0), (4, 1.0), (8, 1.0)] {
-        let cas = cost(CounterKind::LockFree, BarSpec::new(SyncPolicy::Upd, Primitive::Cas), c, a);
-        let llsc = cost(CounterKind::LockFree, BarSpec::new(SyncPolicy::Upd, Primitive::Llsc), c, a);
+        let cas = cost(
+            CounterKind::LockFree,
+            BarSpec::new(SyncPolicy::Upd, Primitive::Cas),
+            c,
+            a,
+        );
+        let llsc = cost(
+            CounterKind::LockFree,
+            BarSpec::new(SyncPolicy::Upd, Primitive::Llsc),
+            c,
+            a,
+        );
         assert!(
             cas <= llsc,
             "c={c} a={a}: UPD CAS ({cas:.0}) must not lose to UPD LL/SC ({llsc:.0})"
@@ -122,10 +191,21 @@ fn upd_cas_beats_upd_llsc() {
 fn drop_copy_helps_inv_at_write_run_one() {
     for base in [
         BarSpec::new(SyncPolicy::Inv, Primitive::FetchPhi),
-        BarSpec { load_exclusive: true, ..BarSpec::new(SyncPolicy::Inv, Primitive::Cas) },
+        BarSpec {
+            load_exclusive: true,
+            ..BarSpec::new(SyncPolicy::Inv, Primitive::Cas)
+        },
     ] {
         let without = cost(CounterKind::LockFree, base, 1, 1.0);
-        let with = cost(CounterKind::LockFree, BarSpec { drop_copy: true, ..base }, 1, 1.0);
+        let with = cost(
+            CounterKind::LockFree,
+            BarSpec {
+                drop_copy: true,
+                ..base
+            },
+            1,
+            1.0,
+        );
         assert!(
             with < without,
             "{}: drop_copy must help at c=1 a=1 ({without:.0} -> {with:.0})",
@@ -140,7 +220,15 @@ fn drop_copy_helps_inv_at_write_run_one() {
 fn drop_copy_hurts_inv_at_long_write_runs() {
     let base = BarSpec::new(SyncPolicy::Inv, Primitive::FetchPhi);
     let without = cost(CounterKind::LockFree, base, 1, 10.0);
-    let with = cost(CounterKind::LockFree, BarSpec { drop_copy: true, ..base }, 1, 10.0);
+    let with = cost(
+        CounterKind::LockFree,
+        BarSpec {
+            drop_copy: true,
+            ..base
+        },
+        1,
+        10.0,
+    );
     assert!(
         with > without,
         "drop_copy must hurt at a=10 ({without:.0} -> {with:.0})"
@@ -156,7 +244,15 @@ fn drop_copy_helps_upd_without_contention() {
         for a in [1.0, 2.0, 3.0] {
             let base = BarSpec::new(SyncPolicy::Upd, prim);
             let without = cost(CounterKind::LockFree, base, 1, a);
-            let with = cost(CounterKind::LockFree, BarSpec { drop_copy: true, ..base }, 1, a);
+            let with = cost(
+                CounterKind::LockFree,
+                BarSpec {
+                    drop_copy: true,
+                    ..base
+                },
+                1,
+                a,
+            );
             assert!(
                 with <= without,
                 "{} a={a}: drop_copy must help UPD ({without:.0} -> {with:.0})",
@@ -171,7 +267,10 @@ fn drop_copy_helps_upd_without_contention() {
 /// without contention (long runs benefit from caching) and with it.
 #[test]
 fn recommended_configuration_is_never_terrible() {
-    let rec = BarSpec { load_exclusive: true, ..BarSpec::new(SyncPolicy::Inv, Primitive::Cas) };
+    let rec = BarSpec {
+        load_exclusive: true,
+        ..BarSpec::new(SyncPolicy::Inv, Primitive::Cas)
+    };
     for (c, a) in [(1u32, 1.0), (1, 10.0), (4, 1.0), (16, 1.0)] {
         let rec_c = cost(CounterKind::LockFree, rec, c, a);
         // Compare against every other universal-primitive bar.

@@ -20,7 +20,13 @@ fn upd_keeps_read_copies_fresh_and_local() {
         let second_read_chain: Rc<RefCell<Option<u32>>> = Rc::new(RefCell::new(None));
         let value_seen: Rc<RefCell<Option<u64>>> = Rc::new(RefCell::new(None));
         let mut b = MachineBuilder::new(MachineConfig::with_nodes(2));
-        b.register_sync(X, SyncConfig { policy, ..Default::default() });
+        b.register_sync(
+            X,
+            SyncConfig {
+                policy,
+                ..Default::default()
+            },
+        );
 
         let chain_out = Rc::clone(&second_read_chain);
         let value_out = Rc::clone(&value_seen);
@@ -53,12 +59,22 @@ fn upd_keeps_read_copies_fresh_and_local() {
         });
         let mut m = b.build();
         m.run(LIMIT).unwrap();
-        assert_eq!(*value_seen.borrow(), Some(7), "{policy}: reader must see the new value");
+        assert_eq!(
+            *value_seen.borrow(),
+            Some(7),
+            "{policy}: reader must see the new value"
+        );
         let chain = second_read_chain.borrow().expect("read completed");
         if expect_hit {
-            assert_eq!(chain, 0, "UPD second read must hit locally (update was pushed)");
+            assert_eq!(
+                chain, 0,
+                "UPD second read must hit locally (update was pushed)"
+            );
         } else {
-            assert!(chain >= 2, "INV second read must miss (copy was invalidated)");
+            assert!(
+                chain >= 2,
+                "INV second read must miss (copy was invalidated)"
+            );
         }
     }
 }
@@ -69,7 +85,13 @@ fn upd_keeps_read_copies_fresh_and_local() {
 fn read_of_remote_dirty_line_takes_four_messages() {
     let chain: Rc<RefCell<Option<u32>>> = Rc::new(RefCell::new(None));
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(4));
-    b.register_sync(X, SyncConfig { policy: SyncPolicy::Inv, ..Default::default() });
+    b.register_sync(
+        X,
+        SyncConfig {
+            policy: SyncPolicy::Inv,
+            ..Default::default()
+        },
+    );
 
     // P0 dirties the line.
     let mut stage = 0;
@@ -123,21 +145,34 @@ fn read_of_remote_dirty_line_takes_four_messages() {
 #[test]
 fn unc_never_hits() {
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(2));
-    b.register_sync(X, SyncConfig { policy: SyncPolicy::Unc, ..Default::default() });
+    b.register_sync(
+        X,
+        SyncConfig {
+            policy: SyncPolicy::Unc,
+            ..Default::default()
+        },
+    );
     let mut left = 500;
     b.add_program(move |_: &mut ProcCtx<'_>| {
         left -= 1;
         if left == 0 {
             Action::Done
         } else {
-            Action::Op(MemOp::FetchPhi { addr: X, op: PhiOp::Add(1) })
+            Action::Op(MemOp::FetchPhi {
+                addr: X,
+                op: PhiOp::Add(1),
+            })
         }
     });
     b.add_program(|_: &mut ProcCtx<'_>| Action::Done);
     let mut m = b.build();
     m.run(LIMIT).unwrap();
     assert_eq!(m.stats().local_ops, 0, "UNC ops can never be cache hits");
-    assert_eq!(m.stats().msgs.chains().mean(), 2.0, "every UNC op is exactly 2 messages");
+    assert_eq!(
+        m.stats().msgs.chains().mean(),
+        2.0,
+        "every UNC op is exactly 2 messages"
+    );
 }
 
 /// Exclusive ownership migrates: when two processors alternate writes
@@ -147,7 +182,13 @@ fn unc_never_hits() {
 fn ownership_ping_pong_is_symmetric() {
     let chains: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(2));
-    b.register_sync(X, SyncConfig { policy: SyncPolicy::Inv, ..Default::default() });
+    b.register_sync(
+        X,
+        SyncConfig {
+            policy: SyncPolicy::Inv,
+            ..Default::default()
+        },
+    );
     for p in 0..2u32 {
         let chains = Rc::clone(&chains);
         let mut round = 0u32;
@@ -162,7 +203,10 @@ fn ownership_ping_pong_is_symmetric() {
                     phase = 1;
                     let my_turn = round.is_multiple_of(2) == (p == 0);
                     if my_turn {
-                        return Action::Op(MemOp::FetchPhi { addr: X, op: PhiOp::Add(1) });
+                        return Action::Op(MemOp::FetchPhi {
+                            addr: X,
+                            op: PhiOp::Add(1),
+                        });
                     }
                 }
                 1 => {
@@ -201,7 +245,13 @@ fn ownership_ping_pong_is_symmetric() {
 fn upd_writer_waits_for_update_acks() {
     let chains: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(3));
-    b.register_sync(X, SyncConfig { policy: SyncPolicy::Upd, ..Default::default() });
+    b.register_sync(
+        X,
+        SyncConfig {
+            policy: SyncPolicy::Upd,
+            ..Default::default()
+        },
+    );
     // P2 becomes a sharer first, so every write must fan out an update.
     let mut stage = 0;
     b.add_program(move |_: &mut ProcCtx<'_>| {

@@ -1,0 +1,177 @@
+//! Regression tests for the parallel experiment runner's headline
+//! guarantees: results are bitwise identical at any worker count, the
+//! cache returns exactly what a fresh simulation returns, job keys
+//! hash stably, and a panicking job fails the run instead of
+//! deadlocking the pool.
+
+use atomic_dsm::experiments::runner::{self, Job};
+use atomic_dsm::experiments::{
+    apps, basic_bars, counters, scaling, table1, BarSpec, CounterKind, Scale,
+};
+use dsm_protocol::SyncPolicy;
+use dsm_sim::MachineConfig;
+use dsm_sync::Primitive;
+use std::sync::{Mutex, MutexGuard};
+
+/// The cache and progress counters are process-wide, so tests that
+/// clear the cache or assert on stat deltas must not interleave when
+/// the harness runs tests on parallel threads.
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    EXCLUSIVE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn tiny() -> Scale {
+    Scale {
+        procs: 8,
+        rounds: 8,
+        tc_size: 8,
+        wires: 16,
+        tasks: 16,
+    }
+}
+
+/// The tentpole guarantee: an entire figure sweep renders to the exact
+/// same bytes whether the runner uses 1 worker or 8. Per-job seeds come
+/// from the job key, never from scheduling, so parallelism cannot leak
+/// into results.
+#[test]
+fn figure_sweep_is_bitwise_identical_across_worker_counts() {
+    let _guard = exclusive();
+    let bars = basic_bars();
+    let scale = tiny();
+    let serial = runner::with_workers(1, || {
+        runner::clear_cache();
+        let graphs = counters::run_figure(CounterKind::LockFree, &bars, &scale);
+        counters::render(CounterKind::LockFree, &graphs)
+    });
+    let parallel = runner::with_workers(8, || {
+        runner::clear_cache();
+        let graphs = counters::run_figure(CounterKind::LockFree, &bars, &scale);
+        counters::render(CounterKind::LockFree, &graphs)
+    });
+    assert_eq!(serial, parallel, "worker count changed figure output");
+}
+
+/// Same guarantee for the table and the scaling sweep renderers.
+#[test]
+fn table_and_scaling_are_identical_across_worker_counts() {
+    let _guard = exclusive();
+    let run = |workers: usize| {
+        runner::with_workers(workers, || {
+            runner::clear_cache();
+            let table: Vec<_> = table1::run();
+            let lines = scaling::run_scaling(CounterKind::LockFree, 4);
+            (format!("{table:?}"), scaling::render(&lines))
+        })
+    };
+    assert_eq!(run(1), run(8), "worker count changed table/scaling output");
+}
+
+/// Cached results are bitwise what a fresh simulation produces: run a
+/// point, clear the cache, run it again, and compare every field.
+#[test]
+fn cached_point_equals_freshly_simulated_point() {
+    let _guard = exclusive();
+    let job = Job::counter(
+        MachineConfig::with_nodes(4),
+        CounterKind::TtsLock,
+        BarSpec::new(SyncPolicy::Inv, Primitive::Llsc),
+        4,
+        2.0,
+        4,
+    );
+    let first = runner::run_one(&job).into_counter();
+    let hits = runner::stats().cache_hits;
+    let cached = runner::run_one(&job).into_counter();
+    assert!(
+        runner::stats().cache_hits > hits,
+        "second request missed the cache"
+    );
+    runner::clear_cache();
+    let fresh = runner::run_one(&job).into_counter();
+    for (a, b) in [(&first, &cached), (&first, &fresh)] {
+        assert_eq!(a.avg_cycles.to_bits(), b.avg_cycles.to_bits());
+        assert_eq!(a.updates, b.updates);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.bar, b.bar);
+    }
+}
+
+/// Application runs are deterministic through the runner too.
+#[test]
+fn app_run_is_reproducible() {
+    let _guard = exclusive();
+    let bar = BarSpec::new(SyncPolicy::Inv, Primitive::FetchPhi);
+    let a = runner::with_workers(2, || {
+        runner::clear_cache();
+        apps::run_app(apps::App::TransitiveClosure, &bar, &tiny())
+    });
+    runner::clear_cache();
+    let b = apps::run_app(apps::App::TransitiveClosure, &bar, &tiny());
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.write_run.to_bits(), b.write_run.to_bits());
+}
+
+/// Job keys: equal inputs hash equal (and hit the cache); different
+/// inputs produce different keys and different derived seeds.
+#[test]
+fn job_keys_and_seeds_distinguish_inputs() {
+    let _guard = exclusive();
+    let base = |wr: f64, c: u32| {
+        Job::counter(
+            MachineConfig::with_nodes(8),
+            CounterKind::LockFree,
+            BarSpec::new(SyncPolicy::Unc, Primitive::FetchPhi),
+            c,
+            wr,
+            8,
+        )
+    };
+    assert_eq!(base(1.5, 2), base(1.5, 2));
+    assert_eq!(base(1.5, 2).seed(), base(1.5, 2).seed());
+    assert_ne!(base(1.5, 2), base(2.0, 2));
+    assert_ne!(base(1.5, 2).seed(), base(2.0, 2).seed());
+    assert_ne!(base(1.5, 2).seed(), base(1.5, 4).seed());
+    // Different job families never collide on the key.
+    assert_ne!(base(1.0, 2).seed(), Job::table1(0).seed());
+
+    // Equal keys share one cache entry.
+    runner::clear_cache();
+    let before = runner::stats();
+    runner::run_all(&[base(1.5, 2), base(1.5, 2), base(1.5, 2)]);
+    let after = runner::stats();
+    assert_eq!(
+        after.completed - before.completed,
+        1,
+        "duplicate jobs re-simulated"
+    );
+    assert_eq!(
+        after.cache_hits - before.cache_hits,
+        0,
+        "in-batch duplicates are deduped, not hits"
+    );
+    runner::run_one(&base(1.5, 2));
+    assert_eq!(runner::stats().cache_hits - after.cache_hits, 1);
+}
+
+/// A panicking job must fail the whole run (propagating the panic) and
+/// must not deadlock or hang the worker pool.
+#[test]
+fn panicking_job_fails_the_run_without_deadlock() {
+    let items: Vec<u32> = (0..64).collect();
+    let result = std::panic::catch_unwind(|| {
+        runner::fan_out(&items, 4, |&i| {
+            assert!(i != 17, "injected failure");
+            i * 2
+        })
+    });
+    assert!(result.is_err(), "worker panic must propagate to the caller");
+
+    // The pool is still usable after a failed run.
+    let ok = runner::fan_out(&items, 4, |&i| i + 1);
+    assert_eq!(ok.len(), items.len());
+}

@@ -27,7 +27,13 @@ fn run(prim: Primitive, policy: SyncPolicy, writers: u32, readers: u32, iters: u
     let torn: Rc<RefCell<Vec<(u64, u64)>>> = Rc::new(RefCell::new(Vec::new()));
     let reads_done = Rc::new(RefCell::new(0u64));
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(nodes));
-    b.register_sync(lock, SyncConfig { policy, ..Default::default() });
+    b.register_sync(
+        lock,
+        SyncConfig {
+            policy,
+            ..Default::default()
+        },
+    );
 
     enum Frag {
         RA(ReadAcquire),
@@ -67,8 +73,18 @@ fn run(prim: Primitive, policy: SyncPolicy, writers: u32, readers: u32, iters: u
             if is_writer {
                 match stage {
                     1 => frag = Frag::WA(WriteAcquire::new(lock, prim)),
-                    2 => return Action::Op(MemOp::Store { addr: d1, value: left }),
-                    3 => return Action::Op(MemOp::Store { addr: d2, value: left }),
+                    2 => {
+                        return Action::Op(MemOp::Store {
+                            addr: d1,
+                            value: left,
+                        })
+                    }
+                    3 => {
+                        return Action::Op(MemOp::Store {
+                            addr: d2,
+                            value: left,
+                        })
+                    }
                     4 => frag = Frag::WR(WriteRelease::new(lock)),
                     5 => {
                         stage = 0;

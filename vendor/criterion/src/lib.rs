@@ -1,0 +1,133 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The workspace must build with no network access, so the Criterion
+//! benches link against this tiny harness instead of the real crate. It
+//! implements the API surface the benches use — [`Criterion`],
+//! [`Bencher::iter`], [`criterion_group!`] and [`criterion_main!`] — and
+//! reports mean/min/max wall-clock time per iteration to stdout. It does
+//! no statistical analysis, warm-up scheduling or HTML reporting.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver: collects samples and prints a summary line.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark function and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let times: Vec<Duration> = b.samples;
+        let total: Duration = times.iter().sum();
+        let mean = total / times.len().max(1) as u32;
+        let min = times.iter().min().copied().unwrap_or_default();
+        let max = times.iter().max().copied().unwrap_or_default();
+        println!(
+            "bench {id}: mean {mean:?}  min {min:?}  max {max:?}  ({} samples)",
+            times.len()
+        );
+        self
+    }
+}
+
+/// Passed to benchmark closures; times one routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` and records the sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.samples.push(start.elapsed());
+        drop(black_box(out));
+    }
+}
+
+/// Declares a group of benchmark functions, as in the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("test/add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_records_each_iteration() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut count = 0u32;
+        c.bench_function("test/count", |b| {
+            b.iter(|| count += 1);
+        });
+        assert_eq!(count, 5);
+    }
+}

@@ -1,0 +1,573 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The workspace must build and test with no network access, so instead
+//! of pulling the real `proptest` from a registry we vendor this small
+//! reimplementation of the API surface the tests actually use:
+//!
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//!   header) generating `#[test]` functions that run a body over many
+//!   randomly sampled inputs;
+//! * the [`strategy::Strategy`] trait with integer-range, tuple,
+//!   [`strategy::Just`], `prop_map`, [`prop_oneof!`],
+//!   [`collection::vec`] and [`sample::select`] strategies;
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * a deterministic [`test_runner::TestRunner`] with
+//!   [`strategy::ValueTree`] sampling.
+//!
+//! Differences from the real crate: sampling is always deterministic
+//! (fixed seed, so failures reproduce exactly), there is no shrinking,
+//! and the default case count is 32.
+
+#![warn(missing_docs)]
+
+/// Strategy trait, combinators and value trees.
+pub mod strategy {
+    use crate::test_runner::{TestRng, TestRunner};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A sampled value wrapper; the only [`ValueTree`] implementation
+    /// (no shrinking).
+    #[derive(Debug, Clone)]
+    pub struct Sampled<T>(pub T);
+
+    /// A tree of possible values; here just the sampled value itself.
+    pub trait ValueTree {
+        /// The value type.
+        type Value;
+        /// Returns the current (sampled) value.
+        fn current(&self) -> Self::Value;
+    }
+
+    impl<T: Clone> ValueTree for Sampled<T> {
+        type Value = T;
+        fn current(&self) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Generates random values of an associated type.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Samples one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Samples one value wrapped in a [`ValueTree`].
+        ///
+        /// # Errors
+        ///
+        /// Never fails in this implementation; the `Result` mirrors the
+        /// real proptest signature.
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<Sampled<Self::Value>, String>
+        where
+            Self: Sized,
+        {
+            Ok(Sampled(self.sample(runner.rng())))
+        }
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternative strategies; built by
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<V> {
+        arms: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// Creates a union of the given alternatives.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let idx = rng.below(self.arms.len() as u64) as usize;
+            self.arms[idx].sample(rng)
+        }
+    }
+
+    /// Boxes a strategy arm for [`Union`] (used by `prop_oneof!`).
+    pub fn arm<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128) - (self.start as i128);
+                    assert!(span > 0, "empty range strategy");
+                    (self.start as i128 + rng.below(span as u64) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                    assert!(span > 0, "empty range strategy");
+                    (*self.start() as i128 + rng.below(span as u64) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A half-open range of collection sizes (mirrors proptest's
+    /// `SizeRange`, which is what makes `vec(s, 1..200)` infer `usize`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                start: *r.start(),
+                end: r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                start: n,
+                end: n + 1,
+            }
+        }
+    }
+
+    /// A strategy producing `Vec`s whose length is drawn from `size`
+    /// and whose elements are drawn from `element`.
+    pub struct VecStrategy<E> {
+        element: E,
+        size: SizeRange,
+    }
+
+    /// Vectors of values from `element` with lengths from `size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is an empty range.
+    pub fn vec<E: Strategy>(element: E, size: impl Into<SizeRange>) -> VecStrategy<E> {
+        let size = size.into();
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<E: Strategy> Strategy for VecStrategy<E> {
+        type Value = Vec<E::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<E::Value> {
+            let len =
+                self.size.start + rng.below((self.size.end - self.size.start) as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Strategies that sample from explicit value lists.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniformly selects one of the given values.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Uniform choice from a non-empty vector of values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select() needs at least one value");
+        Select(values)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        /// Samples an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation)]
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// A strategy producing arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Deterministic test driver.
+pub mod test_runner {
+    /// SplitMix64: small, fast, deterministic.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Returns a uniform value in `0..bound`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `bound` is zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below() bound must be positive");
+            // Multiply-shift; bias is irrelevant for test-input sampling.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+
+    /// Number of cases (and, in the real crate, much more).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// How many random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    /// A test-case failure (produced by `prop_assert!` or returned
+    /// explicitly).
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The property does not hold.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+            }
+        }
+    }
+
+    /// The result type property bodies implicitly return.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Drives strategies with a deterministic RNG.
+    #[derive(Debug, Clone)]
+    pub struct TestRunner {
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// A runner with a fixed, documented seed: every run samples the
+        /// same sequence.
+        pub fn deterministic() -> Self {
+            TestRunner {
+                rng: TestRng(0x0DD0_5EED_CAFE_F00D),
+            }
+        }
+
+        /// The runner's RNG.
+        pub fn rng(&mut self) -> &mut TestRng {
+            &mut self.rng
+        }
+    }
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy, ValueTree};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// The `prop::` path alias (`prop::sample::select`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Declares property tests: one or more `#[test] fn name(arg in strategy, ..) { body }`
+/// items, each run over many sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::deterministic();
+                for case in 0..cfg.cases {
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $(let $arg = $crate::strategy::Strategy::sample(&($strat), runner.rng());)+
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!("property failed at case {case}: {e}");
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Uniform choice among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::arm($arm)),+])
+    };
+}
+
+/// Like `assert!` but fails the property (with the sampled inputs
+/// reported) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!` but fails the property instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`: {}", l, r, format!($($fmt)*)),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..200 {
+            let v = Strategy::sample(&(3u32..17), runner.rng());
+            assert!((3..17).contains(&v));
+            let w = Strategy::sample(&(0usize..=4), runner.rng());
+            assert!(w <= 4);
+            let s = Strategy::sample(&(-5i64..5), runner.rng());
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let sample_all = || {
+            let mut runner = TestRunner::deterministic();
+            (0..32)
+                .map(|_| Strategy::sample(&(0u64..1000), runner.rng()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sample_all(), sample_all());
+    }
+
+    proptest! {
+        #[test]
+        fn macro_generates_working_tests(a in 0u32..10, b in any::<bool>()) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, b);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_header_is_accepted(v in prop::collection::vec(0usize..3, 1..8)) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+        }
+    }
+
+    #[test]
+    fn oneof_map_and_select() {
+        let mut runner = TestRunner::deterministic();
+        let s = prop_oneof![Just(1u32), (10u32..20).prop_map(|v| v * 2), Just(5u32)];
+        for _ in 0..100 {
+            let v = s.sample(runner.rng());
+            assert!(v == 1 || v == 5 || (20..40).contains(&v));
+        }
+        let sel = prop::sample::select(vec!["a", "b"]);
+        let tree = sel.new_tree(&mut runner).unwrap();
+        let v = tree.current();
+        assert!(v == "a" || v == "b");
+    }
+}
