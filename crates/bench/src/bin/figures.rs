@@ -14,7 +14,11 @@
 //! renders each counter graph as an ASCII bar chart (the paper's
 //! figures are bar charts); `--jobs N` pins the experiment runner's
 //! worker count (default: `DSM_JOBS` or the machine's parallelism —
-//! output is identical either way, only wall-clock changes).
+//! output is identical either way, only wall-clock changes);
+//! `--faults[=SPEC]` turns on deterministic fault injection and
+//! `--paranoid` runs the protocol invariant checker after every
+//! transition (see EXPERIMENTS.md — both off by default, leaving every
+//! artifact byte-identical to a faults-free build).
 
 use atomic_dsm::experiments::{apps, counters, paper_bars, runner, scaling, table1, CounterKind};
 use dsm_bench::scale;
@@ -33,6 +37,26 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paper = args.iter().any(|a| a == "--paper");
     let bars_mode = args.iter().any(|a| a == "--bars");
+    // Robustness knobs: `--faults[=SPEC]` turns deterministic fault
+    // injection on for every simulated machine (SPEC is `light`, `heavy`
+    // or a key=value list, see dsm_sim::FaultConfig::from_spec);
+    // `--paranoid` runs the protocol invariant checker after every
+    // transition. Both ride on the env overrides the machine builder
+    // honors, so they reach every job without new plumbing. With
+    // neither flag, artifacts are byte-identical to a faults-free build.
+    for a in &args {
+        if a == "--paranoid" {
+            std::env::set_var("DSM_PARANOID", "1");
+        } else if a == "--faults" {
+            std::env::set_var("DSM_FAULTS", "light");
+        } else if let Some(spec) = a.strip_prefix("--faults=") {
+            if let Err(e) = atomic_dsm::sim::FaultConfig::from_spec(spec) {
+                eprintln!("--faults: {e}");
+                std::process::exit(2);
+            }
+            std::env::set_var("DSM_FAULTS", spec);
+        }
+    }
     let csv_dir: Option<PathBuf> = args
         .iter()
         .position(|a| a == "--csv")

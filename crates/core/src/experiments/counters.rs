@@ -88,14 +88,20 @@ pub fn measure_bar_on(
 /// Simulates one counter point from scratch. Only the [`runner`] calls
 /// this; everything else goes through [`measure_bar`]/[`measure_bar_on`]
 /// so the cache and the per-job seed derivation stay in effect.
-pub(crate) fn simulate(
+///
+/// # Errors
+///
+/// Returns the run's failure diagnostic (deadlock, livelock, protocol
+/// error, invariant violation, cycle limit) or a lost-update report if
+/// the final counter value is wrong.
+pub(crate) fn try_simulate(
     mcfg: MachineConfig,
     kind: CounterKind,
     bar: &BarSpec,
     contention: u32,
     write_run: f64,
     rounds: u64,
-) -> CounterPoint {
+) -> Result<CounterPoint, String> {
     let procs = mcfg.nodes;
     let contention = contention.min(procs);
     let scfg = SyntheticConfig {
@@ -109,20 +115,21 @@ pub(crate) fn simulate(
     let (mut machine, layout) = build_synthetic(mcfg, &scfg);
     let report = machine
         .run(Cycle::new(20_000_000_000))
-        .expect("counter run completes");
+        .map_err(|e| format!("{}: {e}", bar.label()))?;
     let updates = scfg.total_updates(procs);
-    assert_eq!(
-        machine.read_word(layout.counter),
-        updates,
-        "{}: counter lost updates",
-        bar.label()
-    );
-    CounterPoint {
+    let counted = machine.read_word(layout.counter);
+    if counted != updates {
+        return Err(format!(
+            "{}: counter lost updates ({counted} of {updates})",
+            bar.label()
+        ));
+    }
+    Ok(CounterPoint {
         bar: *bar,
         avg_cycles: report.cycles.as_u64() as f64 / updates as f64,
         updates,
         cycles: report.cycles.as_u64(),
-    }
+    })
 }
 
 /// The `(c, a)` points of one figure at a given scale: the five

@@ -285,8 +285,33 @@ impl JobOutput {
     }
 }
 
+/// A failed [`Job`], rendered for reporting: which job failed and the
+/// run's own diagnostic (deadlock, livelock, protocol error, invariant
+/// violation, lost updates, ...).
+///
+/// Failures are cached like successes, so a failing job is still
+/// simulated only once per process, and one bad job never aborts the
+/// worker pool — every sibling in the batch completes and reports its
+/// own `Result`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// A rendering of the failing job's key.
+    pub job: String,
+    /// The failure diagnostic, from the machine's [`RunError`]
+    /// (`dsm_machine`) or the experiment's own final-state check.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} failed: {}", self.job, self.message)
+    }
+}
+
+impl std::error::Error for JobError {}
+
 /// Simulates one job from scratch (no cache involved).
-fn execute(job: &Job) -> JobOutput {
+fn try_execute(job: &Job) -> Result<JobOutput, JobError> {
     match job {
         Job::Counter {
             mcfg,
@@ -298,27 +323,34 @@ fn execute(job: &Job) -> JobOutput {
         } => {
             let mut mcfg = mcfg.clone();
             mcfg.seed = job.seed();
-            JobOutput::Counter(counters::simulate(
+            counters::try_simulate(
                 mcfg,
                 *kind,
                 bar,
                 *contention,
                 f64::from_bits(*write_run_bits),
                 *rounds,
-            ))
+            )
+            .map(JobOutput::Counter)
+            .map_err(|message| JobError {
+                job: format!("{job:?}"),
+                message,
+            })
         }
         Job::App { app, bar, scale } => {
-            JobOutput::App(apps::simulate(*app, bar, scale, job.seed()))
+            Ok(JobOutput::App(apps::simulate(*app, bar, scale, job.seed())))
         }
         // Table 1 micro-machines are fully directed (no randomized
         // behaviour reaches the measured chain), so the derived seed is
         // irrelevant to them.
-        Job::Table1 { scenario } => JobOutput::Table1(table1::run_scenario(*scenario)),
+        Job::Table1 { scenario } => Ok(JobOutput::Table1(table1::run_scenario(*scenario))),
     }
 }
 
-fn cache() -> &'static Mutex<HashMap<Job, JobOutput>> {
-    static CACHE: OnceLock<Mutex<HashMap<Job, JobOutput>>> = OnceLock::new();
+type JobResult = Result<JobOutput, JobError>;
+
+fn cache() -> &'static Mutex<HashMap<Job, JobResult>> {
+    static CACHE: OnceLock<Mutex<HashMap<Job, JobResult>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
@@ -458,12 +490,14 @@ where
         .collect()
 }
 
-fn execute_counted(job: &Job) -> JobOutput {
+fn try_execute_counted(job: &Job) -> JobResult {
     JOBS_RUNNING.fetch_add(1, Ordering::Relaxed);
-    let out = execute(job);
+    let out = try_execute(job);
     JOBS_RUNNING.fetch_sub(1, Ordering::Relaxed);
     JOBS_COMPLETED.fetch_add(1, Ordering::Relaxed);
-    CYCLES_SIMULATED.fetch_add(out.cycles(), Ordering::Relaxed);
+    if let Ok(out) = &out {
+        CYCLES_SIMULATED.fetch_add(out.cycles(), Ordering::Relaxed);
+    }
     if std::env::var_os("DSM_PROGRESS").is_some() {
         let s = stats();
         eprintln!(
@@ -475,18 +509,15 @@ fn execute_counted(job: &Job) -> JobOutput {
 }
 
 /// Runs a batch of jobs — cache first, then parallel fan-out for the
-/// misses — and returns the results in input order.
+/// misses — and returns each job's own `Result` in input order.
 ///
 /// Duplicate jobs in the batch (and jobs already simulated earlier in
 /// the process) are simulated only once. The output for a given job
 /// list is a pure function of that list: bitwise identical at any
-/// worker count.
-///
-/// # Panics
-///
-/// Panics if any job's simulation fails (wrong counter value, run
-/// limit exceeded); the panic carries the failing job's own message.
-pub fn run_all(jobs: &[Job]) -> Vec<JobOutput> {
+/// worker count. A failing job (deadlock, livelock, protocol error,
+/// invariant violation, lost updates — typically under fault injection)
+/// reports a [`JobError`] in its slot without aborting its siblings.
+pub fn try_run_all(jobs: &[Job]) -> Vec<JobResult> {
     // Partition into hits and (deduplicated, order-preserving) misses.
     let mut misses: Vec<Job> = Vec::new();
     {
@@ -503,7 +534,7 @@ pub fn run_all(jobs: &[Job]) -> Vec<JobOutput> {
 
     if !misses.is_empty() {
         JOBS_QUEUED.fetch_add(misses.len() as u64, Ordering::Relaxed);
-        let outputs = fan_out(&misses, workers(), execute_counted);
+        let outputs = fan_out(&misses, workers(), try_execute_counted);
         let mut cached = cache().lock().expect("runner cache lock");
         for (job, out) in misses.into_iter().zip(outputs) {
             cached.insert(job, out);
@@ -516,7 +547,32 @@ pub fn run_all(jobs: &[Job]) -> Vec<JobOutput> {
         .collect()
 }
 
+/// Like [`try_run_all`], but panics on the first failed job — the
+/// contract the artifact drivers want, where any failure is a bug.
+///
+/// # Panics
+///
+/// Panics if any job's simulation fails (wrong counter value, run
+/// limit exceeded); the panic carries the failing job's own message.
+pub fn run_all(jobs: &[Job]) -> Vec<JobOutput> {
+    try_run_all(jobs)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+        .collect()
+}
+
+/// Runs (or fetches) a single job, reporting failure as a [`JobError`].
+pub fn try_run_one(job: &Job) -> JobResult {
+    try_run_all(std::slice::from_ref(job))
+        .pop()
+        .expect("one job, one result")
+}
+
 /// Runs (or fetches) a single job.
+///
+/// # Panics
+///
+/// Panics if the job's simulation fails, carrying its diagnostic.
 pub fn run_one(job: &Job) -> JobOutput {
     run_all(std::slice::from_ref(job))
         .pop()

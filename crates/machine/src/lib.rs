@@ -42,7 +42,7 @@ pub mod program;
 pub mod stats;
 pub mod trace;
 
-pub use machine::{Machine, MachineBuilder, RunError, RunReport};
+pub use machine::{Machine, MachineBuilder, ProcDump, RunError, RunReport};
 pub use program::{Action, ProcCtx, Program};
 pub use stats::MachineStats;
 pub use trace::{new_trace, TraceRecorder, TraceReplay};

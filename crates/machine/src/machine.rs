@@ -5,13 +5,51 @@ use crate::program::{Action, ProcCtx, Program};
 use crate::stats::MachineStats;
 use dsm_mesh::{LatencyNetwork, Mesh};
 use dsm_protocol::{
-    AddressMap, CacheNode, CacheState, DirState, HomeNode, MemOp, Msg, OpOutcome, OpResult, Outbox,
+    check_invariants, check_line, AddressMap, CacheNode, CacheState, DirState, HomeNode,
+    InvariantViolation, MemOp, Msg, OpOutcome, OpResult, Outbox, ProtocolError, ProtocolErrorKind,
     SyncConfig, Value,
 };
-use dsm_sim::{Addr, Cycle, EventQueue, MachineConfig, NodeId, ProcId, SimRng};
+use dsm_sim::{
+    Addr, Cycle, EventQueue, FaultConfig, FaultEvent, FaultInjector, LineAddr, MachineConfig,
+    NodeId, ProcId, SimRng,
+};
 use std::fmt;
 
-/// Error returned when a run hits its cycle limit or deadlocks.
+/// The state of one processor at the moment a run failed, for deadlock
+/// and livelock diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcDump {
+    /// Which processor.
+    pub proc: ProcId,
+    /// The outstanding memory operation, if the processor was blocked on
+    /// one.
+    pub op: Option<MemOp>,
+    /// The target address of that operation.
+    pub addr: Option<Addr>,
+    /// When the outstanding operation was issued.
+    pub issued: Option<Cycle>,
+    /// The barrier the processor was waiting at, if any.
+    pub barrier: Option<u32>,
+}
+
+impl fmt::Display for ProcDump {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.proc)?;
+        match (self.op, self.issued) {
+            (Some(op), Some(at)) => write!(f, " blocked on {op:?} issued at {at}")?,
+            (Some(op), None) => write!(f, " blocked on {op:?}")?,
+            _ => {}
+        }
+        if let Some(b) = self.barrier {
+            write!(f, " waiting at barrier {b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when a run cannot complete: cycle limit, deadlock,
+/// livelock, a protocol-state error, or (in paranoid mode) a violated
+/// protocol invariant.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunError {
     /// The cycle limit was reached with processors still active.
@@ -28,6 +66,34 @@ pub enum RunError {
         at: Cycle,
         /// Processors that had not terminated.
         active: usize,
+        /// Per-processor blocked-on state at the moment of deadlock.
+        procs: Vec<ProcDump>,
+    },
+    /// Events kept firing but no memory operation retired for a full
+    /// watchdog window ([`FaultConfig::watchdog`] cycles) while at least
+    /// one processor had an operation outstanding.
+    Livelock {
+        /// Time at which the watchdog fired.
+        at: Cycle,
+        /// The retirement-progress window that elapsed, in cycles.
+        window: u64,
+        /// Per-processor blocked-on state when the watchdog fired.
+        procs: Vec<ProcDump>,
+    },
+    /// A protocol engine reached a state it cannot legally handle.
+    Protocol {
+        /// Time of the offending transition.
+        at: Cycle,
+        /// The structured protocol diagnostic.
+        error: ProtocolError,
+    },
+    /// Paranoid mode found a protocol invariant violated after a
+    /// transition (or the quiescence sweep failed at run end).
+    Invariant {
+        /// Time of the check that failed.
+        at: Cycle,
+        /// The first violation found.
+        violation: InvariantViolation,
     },
 }
 
@@ -40,12 +106,28 @@ impl fmt::Display for RunError {
                     "cycle limit {limit} reached with {active} processors active"
                 )
             }
-            RunError::Deadlock { at, active } => {
+            RunError::Deadlock { at, active, procs } => {
                 write!(
                     f,
                     "deadlock at {at}: {active} processors blocked with no pending events"
-                )
+                )?;
+                for p in procs
+                    .iter()
+                    .filter(|p| p.op.is_some() || p.barrier.is_some())
+                {
+                    write!(f, "; {p}")?;
+                }
+                Ok(())
             }
+            RunError::Livelock { at, window, procs } => {
+                write!(f, "livelock at {at}: no op retired for {window} cycles")?;
+                for p in procs.iter().filter(|p| p.op.is_some()) {
+                    write!(f, "; {p}")?;
+                }
+                Ok(())
+            }
+            RunError::Protocol { at, error } => write!(f, "at {at}: {error}"),
+            RunError::Invariant { at, violation } => write!(f, "at {at}: {violation}"),
         }
     }
 }
@@ -158,10 +240,17 @@ impl MachineBuilder {
 
     /// Builds the machine.
     ///
+    /// When the configuration carries no fault settings, the
+    /// environment variables `DSM_FAULTS` (a
+    /// [`FaultConfig::from_spec`] string) and `DSM_PARANOID=1` are
+    /// honored as overrides, so a whole test suite can be run under
+    /// fault injection or paranoid invariant checking without code
+    /// changes. An explicit [`MachineConfig::faults`] always wins.
+    ///
     /// # Panics
     ///
     /// Panics if the number of programs does not equal the number of
-    /// nodes.
+    /// nodes, or if `DSM_FAULTS` holds a malformed spec.
     pub fn build(self) -> Machine {
         assert_eq!(
             self.programs.len(),
@@ -170,6 +259,16 @@ impl MachineBuilder {
             self.programs.len(),
             self.cfg.nodes
         );
+        let mut faults = self.cfg.faults.clone();
+        if !faults.is_active() {
+            if let Ok(spec) = std::env::var("DSM_FAULTS") {
+                faults = FaultConfig::from_spec(&spec)
+                    .unwrap_or_else(|e| panic!("invalid DSM_FAULTS spec: {e}"));
+            }
+            if std::env::var("DSM_PARANOID").is_ok_and(|v| v == "1") {
+                faults.paranoid = true;
+            }
+        }
         let mesh = Mesh::new(&self.cfg);
         let net = LatencyNetwork::new(mesh, self.cfg.params.clone());
         let mut seed_rng = SimRng::new(self.cfg.seed);
@@ -187,6 +286,9 @@ impl MachineBuilder {
                 current: None,
             })
             .collect();
+        let injector = faults
+            .any_faults()
+            .then(|| FaultInjector::new(faults.clone(), seed_rng.fork(0xFA17)));
         let mut homes = Vec::with_capacity(self.cfg.nodes as usize);
         let mut caches = Vec::with_capacity(self.cfg.nodes as usize);
         for n in 0..self.cfg.nodes {
@@ -213,6 +315,12 @@ impl MachineBuilder {
             events_processed: 0,
             trace: None,
             map: self.map,
+            injector,
+            paranoid: faults.paranoid,
+            watchdog: faults.watchdog,
+            last_retire: Cycle::ZERO,
+            injected_evictions: 0,
+            injected_wipes: 0,
             cfg: self.cfg,
         };
         for (addr, value) in self.init {
@@ -248,6 +356,18 @@ pub struct Machine {
     events_processed: u64,
     /// Optional message-trace ring buffer (debugging aid).
     trace: Option<(usize, std::collections::VecDeque<String>)>,
+    /// Deterministic fault injector, present only when faults are on.
+    injector: Option<FaultInjector>,
+    /// Run the invariant checker after every protocol transition.
+    paranoid: bool,
+    /// Livelock watchdog window in cycles (0 = off).
+    watchdog: u64,
+    /// Last time a memory operation retired (watchdog bookkeeping).
+    last_retire: Cycle,
+    /// Evictions forced by the fault injector.
+    injected_evictions: u64,
+    /// Reservation wipes forced by the fault injector.
+    injected_wipes: u64,
 }
 
 impl Machine {
@@ -296,15 +416,21 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// [`RunError::CycleLimit`] if the limit was reached first, or
+    /// [`RunError::CycleLimit`] if the limit was reached first,
     /// [`RunError::Deadlock`] if the event queue drained with blocked
-    /// processors (a protocol/program bug).
+    /// processors (a protocol/program bug), [`RunError::Livelock`] if the
+    /// watchdog window elapsed without an op retiring,
+    /// [`RunError::Protocol`] if a protocol engine reached an illegal
+    /// state, or [`RunError::Invariant`] if paranoid checking found a
+    /// violated invariant.
     pub fn run(&mut self, limit: Cycle) -> Result<RunReport, RunError> {
+        self.last_retire = self.now;
         while self.active > 0 {
             let Some((at, event)) = self.events.pop() else {
                 return Err(RunError::Deadlock {
                     at: self.now,
                     active: self.active,
+                    procs: self.proc_dumps(),
                 });
             };
             debug_assert!(at >= self.now, "time ran backwards");
@@ -316,7 +442,9 @@ impl Machine {
             }
             self.now = at;
             self.events_processed += 1;
-            self.dispatch(event);
+            self.poll_faults();
+            self.check_watchdog()?;
+            self.dispatch(event)?;
         }
         let finished = self.now;
         // Drain in-flight traffic (e.g. final write-backs) so the
@@ -328,7 +456,10 @@ impl Machine {
             }
             self.now = at;
             self.events_processed += 1;
-            self.dispatch(event);
+            self.dispatch(event)?;
+        }
+        if self.paranoid {
+            self.quiescence_check(finished)?;
         }
         Ok(RunReport {
             cycles: finished,
@@ -336,11 +467,149 @@ impl Machine {
         })
     }
 
-    fn dispatch(&mut self, event: Event) {
+    /// Applies the window faults due at the current time, if any.
+    fn poll_faults(&mut self) {
+        let fired = match &mut self.injector {
+            Some(inj) => inj.poll(self.now.as_u64(), self.cfg.nodes),
+            None => return,
+        };
+        for fault in fired {
+            match fault {
+                FaultEvent::EvictLine { node } => {
+                    let mut out = Outbox::new();
+                    if self.caches[node.index()].inject_evict(&mut out).is_some() {
+                        self.injected_evictions += 1;
+                    }
+                    self.route(out.drain());
+                }
+                FaultEvent::WipeReservations { node } => {
+                    self.homes[node.index()].wipe_reservations();
+                    self.injected_wipes += 1;
+                }
+            }
+        }
+    }
+
+    /// Fails the run if events keep firing but no operation has retired
+    /// for a full watchdog window while at least one is outstanding.
+    fn check_watchdog(&mut self) -> Result<(), RunError> {
+        if self.watchdog == 0 {
+            return Ok(());
+        }
+        if !self.procs.iter().any(|s| s.current.is_some()) {
+            // Nothing outstanding (compute/barrier phases): progress is
+            // the program's business, not the protocol's.
+            self.last_retire = self.now;
+            return Ok(());
+        }
+        if (self.now - self.last_retire).as_u64() > self.watchdog {
+            return Err(RunError::Livelock {
+                at: self.now,
+                window: self.watchdog,
+                procs: self.proc_dumps(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Snapshots every processor's blocked-on state for diagnostics.
+    fn proc_dumps(&self) -> Vec<ProcDump> {
+        self.procs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ProcDump {
+                proc: ProcId::new(i as u32),
+                op: s.current.map(|(op, _, _)| op),
+                addr: s.current.map(|(op, _, _)| op.addr()),
+                issued: s.current.map(|(_, at, _)| at),
+                barrier: s.waiting_barrier,
+            })
+            .collect()
+    }
+
+    /// Full paranoid sweep once the machine is quiescent: every global
+    /// invariant, message conservation (no half-done transaction may
+    /// survive a drained event queue), then the coherence oracle.
+    fn quiescence_check(&self, at: Cycle) -> Result<(), RunError> {
+        if let Some(violation) = check_invariants(&self.caches, &self.homes, &self.map)
+            .into_iter()
+            .next()
+        {
+            return Err(RunError::Invariant { at, violation });
+        }
+        for (i, cache) in self.caches.iter().enumerate() {
+            if cache.busy() {
+                return Err(RunError::Invariant {
+                    at,
+                    violation: InvariantViolation {
+                        invariant: "message-conservation",
+                        line: cache.pending_line(),
+                        nodes: vec![NodeId::new(i as u32)],
+                        detail: "cache still has an outstanding request at quiescence".into(),
+                    },
+                });
+            }
+        }
+        for (i, home) in self.homes.iter().enumerate() {
+            if home.busy_lines() > 0 || home.queued_requests() > 0 {
+                return Err(RunError::Invariant {
+                    at,
+                    violation: InvariantViolation {
+                        invariant: "message-conservation",
+                        line: None,
+                        nodes: vec![NodeId::new(i as u32)],
+                        detail: format!(
+                            "home still busy at quiescence ({} busy lines, {} queued requests)",
+                            home.busy_lines(),
+                            home.queued_requests()
+                        ),
+                    },
+                });
+            }
+        }
+        if let Err(detail) = self.validate_coherence() {
+            return Err(RunError::Invariant {
+                at,
+                violation: InvariantViolation {
+                    invariant: "coherence",
+                    line: None,
+                    nodes: Vec::new(),
+                    detail,
+                },
+            });
+        }
+        Ok(())
+    }
+
+    /// How many faults the injector has applied so far, as
+    /// `(forced evictions, reservation wipes)`.
+    pub fn injected_faults(&self) -> (u64, u64) {
+        (self.injected_evictions, self.injected_wipes)
+    }
+
+    /// Runs the per-transition invariant checker over the whole machine
+    /// on demand (independent of paranoid mode).
+    pub fn check_invariants(&self) -> Vec<InvariantViolation> {
+        check_invariants(&self.caches, &self.homes, &self.map)
+    }
+
+    /// Test-only corruption hook: illegally promotes a Shared copy of
+    /// `line` at `node` to Exclusive, bypassing the protocol. Returns
+    /// whether the corruption was applied. Exists so tests can prove the
+    /// paranoid checker reports corruption as a structured diagnostic.
+    #[doc(hidden)]
+    pub fn corrupt_promote_shared(&mut self, node: NodeId, line: LineAddr) -> bool {
+        self.caches[node.index()].corrupt_promote_shared(line)
+    }
+
+    fn dispatch(&mut self, event: Event) -> Result<(), RunError> {
         match event {
             Event::ProcStep(p) => self.proc_step(p),
             Event::OpDone(p, outcome) => self.op_done(p, outcome),
-            Event::Deliver(msg) => self.deliver(msg),
+            Event::Deliver(msg) => {
+                self.deliver(msg);
+                Ok(())
+            }
             Event::Process(msg) => self.process(msg),
         }
     }
@@ -381,15 +650,22 @@ impl Machine {
             }
             self.stats.msgs.count(msg.kind.class());
             let flits = msg.flits(&self.cfg.params);
-            let deliver_at = self.net.send(self.now, msg.src, msg.dst, flits);
+            let deliver_at = match &mut self.injector {
+                Some(inj) => {
+                    let extra = inj.jitter();
+                    self.net
+                        .send_jittered(self.now, msg.src, msg.dst, flits, extra)
+                }
+                None => self.net.send(self.now, msg.src, msg.dst, flits),
+            };
             self.events.push(deliver_at, Event::Deliver(msg));
         }
     }
 
-    fn proc_step(&mut self, p: ProcId) {
+    fn proc_step(&mut self, p: ProcId) -> Result<(), RunError> {
         let state = &mut self.procs[p.index()];
         if state.done || state.blocked || state.waiting_barrier.is_some() {
-            return;
+            return Ok(());
         }
         let action = {
             let mut ctx = ProcCtx {
@@ -414,18 +690,24 @@ impl Machine {
                 self.active -= 1;
                 self.try_release_barrier();
             }
-            Action::Op(op) => self.issue_op(p, op),
+            Action::Op(op) => self.issue_op(p, op)?,
         }
+        Ok(())
     }
 
-    fn issue_op(&mut self, p: ProcId, op: MemOp) {
+    fn issue_op(&mut self, p: ProcId, op: MemOp) -> Result<(), RunError> {
         let is_sync = self.map.is_sync(op.addr());
         if is_sync {
             self.stats.contention.begin(op.addr().as_u64(), p.as_u32());
         }
         self.procs[p.index()].current = Some((op, self.now, is_sync));
         let mut out = Outbox::new();
-        let completed = self.caches[p.index()].start_op(op, &self.map, &mut out);
+        let completed = self.caches[p.index()]
+            .start_op(op, &self.map, &mut out)
+            .map_err(|error| RunError::Protocol {
+                at: self.now,
+                error,
+            })?;
         self.route(out.drain());
         match completed {
             Some(outcome) => {
@@ -438,13 +720,20 @@ impl Machine {
                 self.procs[p.index()].blocked = true;
             }
         }
+        Ok(())
     }
 
-    fn op_done(&mut self, p: ProcId, outcome: OpOutcome) {
-        let (op, issued, is_sync) = self.procs[p.index()]
-            .current
-            .take()
-            .expect("completion without an op");
+    fn op_done(&mut self, p: ProcId, outcome: OpOutcome) -> Result<(), RunError> {
+        let Some((op, issued, is_sync)) = self.procs[p.index()].current.take() else {
+            return Err(RunError::Protocol {
+                at: self.now,
+                error: ProtocolError::new(
+                    ProtocolErrorKind::MissingRequest,
+                    format!("operation completion at {p} with no operation outstanding"),
+                ),
+            });
+        };
+        self.last_retire = self.now;
         let latency = (self.now - issued).as_u64() as f64;
         self.stats.ops += 1;
         self.stats.op_latency.add(latency);
@@ -471,6 +760,7 @@ impl Machine {
         state.last_chain = Some(outcome.chain);
         self.events
             .push(self.now + self.cfg.params.issue, Event::ProcStep(p));
+        Ok(())
     }
 
     fn deliver(&mut self, msg: Msg) {
@@ -490,20 +780,44 @@ impl Machine {
         self.events.push(finish, Event::Process(msg));
     }
 
-    fn process(&mut self, msg: Msg) {
+    fn process(&mut self, msg: Msg) -> Result<(), RunError> {
         let node = msg.dst.index();
+        let line = msg.line;
         let mut out = Outbox::new();
         if msg.kind.home_bound() {
-            self.homes[node].handle(msg, &self.map, &mut out);
+            self.homes[node]
+                .handle(msg, &self.map, &mut out)
+                .map_err(|error| RunError::Protocol {
+                    at: self.now,
+                    error,
+                })?;
             self.route(out.drain());
         } else {
             let proc = ProcId::new(msg.dst.as_u32());
-            let completed = self.caches[node].handle(msg, &mut out);
+            let completed =
+                self.caches[node]
+                    .handle(msg, &mut out)
+                    .map_err(|error| RunError::Protocol {
+                        at: self.now,
+                        error,
+                    })?;
             self.route(out.drain());
             if let Some(outcome) = completed {
                 self.events.push(self.now, Event::OpDone(proc, outcome));
             }
         }
+        if self.paranoid {
+            if let Some(violation) = check_line(&self.caches, &self.homes, &self.map, line)
+                .into_iter()
+                .next()
+            {
+                return Err(RunError::Invariant {
+                    at: self.now,
+                    violation,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Releases the barrier if every non-terminated processor has

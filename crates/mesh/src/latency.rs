@@ -29,6 +29,10 @@ pub struct NetworkStats {
     pub exit_wait: u64,
     /// Total end-to-end latency summed over all messages.
     pub total_latency: u64,
+    /// Total extra delay cycles added by fault injection
+    /// ([`send_jittered`](LatencyNetwork::send_jittered)); 0 unless a
+    /// fault injector is active.
+    pub injected_delay: u64,
 }
 
 impl NetworkStats {
@@ -120,8 +124,20 @@ impl LatencyNetwork {
         self.stats.flits += flits;
 
         if src == dst {
+            // Local messages bypass the ports, but not FIFO: a jittered
+            // send (`send_jittered`) can push a local delivery past a
+            // later undelayed one, and reordering a home's grant against
+            // its own intervention to the co-located cache is not
+            // protocol-legal. Clamp strict inversions only — without
+            // jitter, delivery times are monotone in send times and
+            // equal-time deliveries pop in push order, so this never
+            // fires and fault-free runs are untouched.
             let t = now + p.flit_cycle;
-            self.stats.total_latency += p.flit_cycle;
+            let slot =
+                &mut self.last_delivery[src.index() * self.mesh.nodes() as usize + dst.index()];
+            let t = if t < *slot { *slot + 1 } else { t };
+            *slot = t;
+            self.stats.total_latency += (t - now).as_u64();
             return t;
         }
 
@@ -156,6 +172,28 @@ impl LatencyNetwork {
 
         self.stats.total_latency += (delivered - now).as_u64();
         delivered
+    }
+
+    /// Like [`send`](Self::send), but holds the message at the source for
+    /// `extra` additional cycles before it contends for the entry port —
+    /// the fault injector's network-delay hook. All contention, FIFO and
+    /// statistics rules still apply at the delayed departure time, so the
+    /// perturbation is protocol-legal. With `extra == 0` this is exactly
+    /// `send`, which keeps faults-off runs byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flits` is zero or a node is out of range.
+    pub fn send_jittered(
+        &mut self,
+        now: Cycle,
+        src: NodeId,
+        dst: NodeId,
+        flits: u64,
+        extra: u64,
+    ) -> Cycle {
+        self.stats.injected_delay += extra;
+        self.send(now + extra, src, dst, flits)
     }
 
     /// The uncontended latency of a `flits`-flit message between two
@@ -260,5 +298,30 @@ mod tests {
     #[should_panic(expected = "at least one flit")]
     fn zero_flit_message_rejected() {
         net().send(Cycle::ZERO, NodeId::new(0), NodeId::new(1), 0);
+    }
+
+    #[test]
+    fn zero_jitter_is_bit_identical_to_send() {
+        let mut a = net();
+        let mut b = net();
+        for i in 0..20u64 {
+            let src = NodeId::new((i % 16) as u32);
+            let dst = NodeId::new(((i * 7) % 16) as u32);
+            let ta = a.send(Cycle::new(i * 2), src, dst, 3);
+            let tb = b.send_jittered(Cycle::new(i * 2), src, dst, 3, 0);
+            assert_eq!(ta, tb);
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(b.stats().injected_delay, 0);
+    }
+
+    #[test]
+    fn jitter_delays_delivery_and_is_counted() {
+        let mut n = net();
+        let (s, d) = (NodeId::new(0), NodeId::new(15));
+        let base = n.base_latency(s, d, 2);
+        let t = n.send_jittered(Cycle::ZERO, s, d, 2, 10);
+        assert_eq!(t, Cycle::new(10) + base.as_u64());
+        assert_eq!(n.stats().injected_delay, 10);
     }
 }

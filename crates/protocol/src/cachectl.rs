@@ -6,8 +6,9 @@
 //! invalidations, updates and forwarded interventions at any time.
 
 use crate::addrmap::AddressMap;
-use crate::cache::{Cache, CacheState};
+use crate::cache::{Cache, CacheLine, CacheState};
 use crate::data::LineData;
+use crate::error::{ProtocolError, ProtocolErrorKind};
 use crate::home::Outbox;
 use crate::msg::{MemAtomicOp, Msg, MsgKind};
 use crate::reservation::CacheReservation;
@@ -56,7 +57,9 @@ struct Mshr {
 /// cc.set_nodes(4);
 /// let mut out = Outbox::new();
 /// // A load miss emits a GetS to the line's home node.
-/// let done = cc.start_op(MemOp::Load { addr: Addr::new(0x40) }, &map, &mut out);
+/// let done = cc
+///     .start_op(MemOp::Load { addr: Addr::new(0x40) }, &map, &mut out)
+///     .unwrap();
 /// assert!(done.is_none());
 /// assert_eq!(out.msgs.len(), 1);
 /// ```
@@ -113,6 +116,95 @@ impl CacheNode {
     /// Iterates over resident lines (for invariant sweeps).
     pub fn cached_lines(&self) -> impl Iterator<Item = (LineAddr, CacheState)> + '_ {
         self.cache.iter().map(|l| (l.line, l.state))
+    }
+
+    /// The line reserved by the local processor's last LL, if any (for
+    /// invariant sweeps).
+    pub fn reserved_line(&self) -> Option<LineAddr> {
+        self.resv.line()
+    }
+
+    /// The line the outstanding operation targets, if any.
+    pub fn pending_line(&self) -> Option<LineAddr> {
+        self.mshr.as_ref().map(|m| m.line)
+    }
+
+    /// MSHR progress of the outstanding operation, if any:
+    /// `(reply_seen, acks_got, acks_needed)` (for invariant sweeps).
+    pub fn mshr_progress(&self) -> Option<(bool, u32, u32)> {
+        self.mshr
+            .as_ref()
+            .map(|m| (m.reply_seen, m.acks_got, m.acks_needed))
+    }
+
+    /// Fault-injection hook: displaces one resident line as if evicted
+    /// by capacity pressure. Prefers an exclusive victim (exercising the
+    /// write-back and intervention-NAK races) and never touches the line
+    /// of the outstanding operation. Exclusive victims are written back;
+    /// shared victims are dropped silently, exactly as
+    /// [`Cache::insert`]-driven displacement would. Returns the evicted
+    /// line, or `None` if no line was eligible.
+    pub fn inject_evict(&mut self, out: &mut Outbox) -> Option<LineAddr> {
+        let skip = self.mshr.as_ref().map(|m| m.line);
+        let mut victim: Option<LineAddr> = None;
+        for (line, state) in self.cached_lines() {
+            if Some(line) == skip {
+                continue;
+            }
+            if state == CacheState::Exclusive {
+                victim = Some(line);
+                break;
+            }
+            if victim.is_none() {
+                victim = Some(line);
+            }
+        }
+        let line = victim?;
+        self.resv.invalidate_line(line);
+        let l = self.cache.remove(line).expect("victim is resident");
+        if l.state == CacheState::Exclusive {
+            out.send(Msg {
+                src: self.node,
+                dst: self.home_of(line),
+                line,
+                addr: line.base(self.line_size),
+                proc: self.proc,
+                chain: 1,
+                kind: MsgKind::WriteBack { data: l.data },
+            });
+        }
+        Some(line)
+    }
+
+    /// Test-only corruption hook: illegally promotes a shared line to
+    /// exclusive without telling the directory, manufacturing a
+    /// single-writer violation for the paranoid invariant checker to
+    /// catch. Returns `true` if the line was resident and shared.
+    #[doc(hidden)]
+    pub fn corrupt_promote_shared(&mut self, line: LineAddr) -> bool {
+        match self.cache.get_mut(line) {
+            Some(l) if l.state == CacheState::Shared => {
+                l.state = CacheState::Exclusive;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn err(&self, kind: ProtocolErrorKind, line: LineAddr, detail: String) -> ProtocolError {
+        ProtocolError::new(kind, detail).on_line(line).at(self.node)
+    }
+
+    /// The resident line `line`, or a
+    /// [`MissingLine`](ProtocolErrorKind::MissingLine) error carrying
+    /// `detail`.
+    fn resident(&mut self, line: LineAddr, detail: &str) -> Result<&mut CacheLine, ProtocolError> {
+        let node = self.node;
+        self.cache.get_mut(line).ok_or_else(|| {
+            ProtocolError::new(ProtocolErrorKind::MissingLine, detail)
+                .on_line(line)
+                .at(node)
+        })
     }
 
     fn home_of(&self, line: LineAddr) -> NodeId {
@@ -182,20 +274,30 @@ impl CacheNode {
     /// locally; otherwise a request was emitted and the processor blocks
     /// until [`handle`](Self::handle) reports completion.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if an operation is already outstanding.
-    pub fn start_op(&mut self, op: MemOp, map: &AddressMap, out: &mut Outbox) -> Option<OpOutcome> {
-        assert!(
-            self.mshr.is_none(),
-            "processor issued a second outstanding op"
-        );
+    /// Fails with a [`ProtocolError`] if an operation is already
+    /// outstanding or the controller reaches a state the protocol
+    /// forbids.
+    pub fn start_op(
+        &mut self,
+        op: MemOp,
+        map: &AddressMap,
+        out: &mut Outbox,
+    ) -> Result<Option<OpOutcome>, ProtocolError> {
+        if self.mshr.is_some() {
+            return Err(self.err(
+                ProtocolErrorKind::DoubleIssue,
+                op.addr().line(self.line_size),
+                "processor issued a second outstanding op".to_string(),
+            ));
+        }
         let cfg = map.config_for(op.addr());
-        match cfg.policy {
+        Ok(match cfg.policy {
             SyncPolicy::Unc => self.start_unc(op, out),
             SyncPolicy::Upd => self.start_upd(op, out),
-            SyncPolicy::Inv => self.start_inv(op, cfg.cas_variant, out),
-        }
+            SyncPolicy::Inv => self.start_inv(op, cfg.cas_variant, out)?,
+        })
     }
 
     fn start_unc(&mut self, op: MemOp, out: &mut Outbox) -> Option<OpOutcome> {
@@ -305,14 +407,22 @@ impl CacheNode {
         }
     }
 
-    fn start_inv(&mut self, op: MemOp, cas: CasVariant, out: &mut Outbox) -> Option<OpOutcome> {
+    fn start_inv(
+        &mut self,
+        op: MemOp,
+        cas: CasVariant,
+        out: &mut Outbox,
+    ) -> Result<Option<OpOutcome>, ProtocolError> {
         let addr = op.addr();
         let line = addr.line(self.line_size);
         let state = self.cache.state(line);
-        match op {
+        Ok(match op {
             MemOp::Load { .. } => match state {
                 Some(_) => {
-                    let value = self.cache.get_mut(line).expect("hit").data.word(addr);
+                    let value = self
+                        .resident(line, "load hit on an absent line")?
+                        .data
+                        .word(addr);
                     Self::local(OpResult::Loaded {
                         value,
                         serial: None,
@@ -328,7 +438,10 @@ impl CacheNode {
             },
             MemOp::LoadLinked { .. } => match state {
                 Some(_) => {
-                    let value = self.cache.get_mut(line).expect("hit").data.word(addr);
+                    let value = self
+                        .resident(line, "LL hit on an absent line")?
+                        .data
+                        .word(addr);
                     self.resv.set(line);
                     Self::local(OpResult::Loaded {
                         value,
@@ -345,9 +458,7 @@ impl CacheNode {
             },
             MemOp::Store { value, .. } => match state {
                 Some(CacheState::Exclusive) => {
-                    self.cache
-                        .get_mut(line)
-                        .expect("hit")
+                    self.resident(line, "store hit on an absent line")?
                         .data
                         .set_word(addr, value);
                     Self::local(OpResult::Stored)
@@ -356,7 +467,10 @@ impl CacheNode {
             },
             MemOp::LoadExclusive { .. } => match state {
                 Some(CacheState::Exclusive) => {
-                    let value = self.cache.get_mut(line).expect("hit").data.word(addr);
+                    let value = self
+                        .resident(line, "load_exclusive hit on an absent line")?
+                        .data
+                        .word(addr);
                     Self::local(OpResult::Loaded {
                         value,
                         serial: None,
@@ -367,7 +481,7 @@ impl CacheNode {
             },
             MemOp::FetchPhi { op: phi, .. } => match state {
                 Some(CacheState::Exclusive) => {
-                    let l = self.cache.get_mut(line).expect("hit");
+                    let l = self.resident(line, "fetch_phi hit on an absent line")?;
                     let old = l.data.word(addr);
                     l.data.set_word(addr, phi.apply(old));
                     Self::local(OpResult::Fetched { old })
@@ -376,7 +490,7 @@ impl CacheNode {
             },
             MemOp::Cas { expected, new, .. } => match state {
                 Some(CacheState::Exclusive) => {
-                    let l = self.cache.get_mut(line).expect("hit");
+                    let l = self.resident(line, "CAS hit on an absent line")?;
                     let observed = l.data.word(addr);
                     let success = observed == expected;
                     if success {
@@ -404,14 +518,12 @@ impl CacheNode {
             MemOp::StoreConditional { value, .. } => {
                 if !self.resv.valid_for(line) {
                     // Fails locally without any network traffic.
-                    return Self::local(OpResult::ScDone { success: false });
+                    return Ok(Self::local(OpResult::ScDone { success: false }));
                 }
                 self.resv.clear();
                 match state {
                     Some(CacheState::Exclusive) => {
-                        self.cache
-                            .get_mut(line)
-                            .expect("hit")
+                        self.resident(line, "SC hit on an absent line")?
                             .data
                             .set_word(addr, value);
                         Self::local(OpResult::ScDone { success: true })
@@ -425,8 +537,11 @@ impl CacheNode {
                     None => {
                         // A valid reservation implies a resident line
                         // (losing the line clears the reservation).
-                        debug_assert!(false, "valid reservation without a resident line");
-                        Self::local(OpResult::ScDone { success: false })
+                        return Err(self.err(
+                            ProtocolErrorKind::MissingLine,
+                            line,
+                            "valid reservation without a resident line".to_string(),
+                        ));
                     }
                 }
             }
@@ -442,7 +557,7 @@ impl CacheNode {
                 }
                 Self::local(OpResult::Stored)
             }
-        }
+        })
     }
 
     fn miss_for_exclusive(
@@ -459,11 +574,20 @@ impl CacheNode {
 
     /// Handles an incoming network message. Returns the outcome if it
     /// completed the outstanding processor operation.
-    pub fn handle(&mut self, msg: Msg, out: &mut Outbox) -> Option<OpOutcome> {
+    ///
+    /// # Errors
+    ///
+    /// Fails with a [`ProtocolError`] on any message the protocol state
+    /// machine cannot legally receive in its current state.
+    pub fn handle(
+        &mut self,
+        msg: Msg,
+        out: &mut Outbox,
+    ) -> Result<Option<OpOutcome>, ProtocolError> {
         match &msg.kind {
             MsgKind::Inv { .. } | MsgKind::Update { .. } => {
-                self.handle_sharer_msg(msg, out);
-                None
+                self.handle_sharer_msg(msg, out)?;
+                Ok(None)
             }
             MsgKind::FwdGetS | MsgKind::FwdGetX | MsgKind::FwdCas { .. } => {
                 // Defer the intervention if we are mid-transaction on
@@ -472,17 +596,17 @@ impl CacheNode {
                 if let Some(m) = &mut self.mshr {
                     if m.line == msg.line && m.reply_seen {
                         m.deferred.push(msg);
-                        return None;
+                        return Ok(None);
                     }
                 }
-                self.handle_intervention(msg, out);
-                None
+                self.handle_intervention(msg, out)?;
+                Ok(None)
             }
             _ => self.handle_reply(msg, out),
         }
     }
 
-    fn handle_sharer_msg(&mut self, msg: Msg, out: &mut Outbox) {
+    fn handle_sharer_msg(&mut self, msg: Msg, out: &mut Outbox) -> Result<(), ProtocolError> {
         let (requester, ack_kind) = match &msg.kind {
             MsgKind::Inv { requester } => {
                 self.resv.invalidate_line(msg.line);
@@ -496,7 +620,13 @@ impl CacheNode {
                 }
                 (*requester, MsgKind::UpdAck)
             }
-            _ => unreachable!(),
+            other => {
+                return Err(self.err(
+                    ProtocolErrorKind::UnexpectedMessage,
+                    msg.line,
+                    format!("{other:?} is not a sharer message"),
+                ))
+            }
         };
         out.send(Msg {
             src: self.node,
@@ -507,11 +637,13 @@ impl CacheNode {
             chain: msg.chain + 1,
             kind: ack_kind,
         });
+        Ok(())
     }
 
-    fn handle_intervention(&mut self, msg: Msg, out: &mut Outbox) {
+    fn handle_intervention(&mut self, msg: Msg, out: &mut Outbox) -> Result<(), ProtocolError> {
+        let node = self.node;
         let reply = |kind: MsgKind| Msg {
-            src: self.node,
+            src: node,
             dst: msg.src,
             line: msg.line,
             addr: msg.addr,
@@ -522,19 +654,31 @@ impl CacheNode {
         let Some(state) = self.cache.state(msg.line) else {
             // The line left this cache (write-back in flight): NAK.
             out.send(reply(MsgKind::FwdNak));
-            return;
+            return Ok(());
         };
-        debug_assert_eq!(state, CacheState::Exclusive, "interventions target owners");
+        if state != CacheState::Exclusive {
+            return Err(self.err(
+                ProtocolErrorKind::DirectoryMismatch,
+                msg.line,
+                format!(
+                    "intervention {:?} at a non-owner (state {state:?})",
+                    msg.kind
+                ),
+            ));
+        }
         match msg.kind.clone() {
             MsgKind::FwdGetS => {
-                let l = self.cache.get_mut(msg.line).expect("resident");
+                let l = self.resident(msg.line, "FwdGetS at an owner without the line")?;
                 l.state = CacheState::Shared;
                 let data = l.data.clone();
                 out.send(reply(MsgKind::SwbData { data }));
             }
             MsgKind::FwdGetX => {
                 self.resv.invalidate_line(msg.line);
-                let l = self.cache.remove(msg.line).expect("resident");
+                let l = self
+                    .cache
+                    .remove(msg.line)
+                    .expect("state() checked residency");
                 out.send(reply(MsgKind::XferData { data: l.data }));
             }
             MsgKind::FwdCas {
@@ -543,14 +687,22 @@ impl CacheNode {
                 variant,
                 ..
             } => {
-                let observed = self.cache.peek(msg.line).expect("resident").data.word(addr);
+                let observed = self
+                    .cache
+                    .peek(msg.line)
+                    .expect("state() checked residency")
+                    .data
+                    .word(addr);
                 if observed == expected {
                     self.resv.invalidate_line(msg.line);
-                    let l = self.cache.remove(msg.line).expect("resident");
+                    let l = self
+                        .cache
+                        .remove(msg.line)
+                        .expect("state() checked residency");
                     out.send(reply(MsgKind::XferData { data: l.data }));
                 } else {
                     let kept_exclusive = variant == CasVariant::Deny;
-                    let l = self.cache.get_mut(msg.line).expect("resident");
+                    let l = self.resident(msg.line, "FwdCas at an owner without the line")?;
                     if !kept_exclusive {
                         l.state = CacheState::Shared;
                     }
@@ -562,39 +714,53 @@ impl CacheNode {
                     }));
                 }
             }
-            _ => unreachable!(),
+            other => {
+                return Err(self.err(
+                    ProtocolErrorKind::UnexpectedMessage,
+                    msg.line,
+                    format!("{other:?} is not an intervention"),
+                ))
+            }
         }
+        Ok(())
     }
 
-    fn handle_reply(&mut self, msg: Msg, out: &mut Outbox) -> Option<OpOutcome> {
+    fn handle_reply(
+        &mut self,
+        msg: Msg,
+        out: &mut Outbox,
+    ) -> Result<Option<OpOutcome>, ProtocolError> {
         {
-            let m = self.mshr.as_mut().expect("reply without an outstanding op");
+            let Some(m) = self.mshr.as_mut() else {
+                return Err(self.err(
+                    ProtocolErrorKind::MissingRequest,
+                    msg.line,
+                    format!("reply {:?} without an outstanding op", msg.kind),
+                ));
+            };
             debug_assert_eq!(m.line, msg.line, "reply for the wrong line");
             m.chain = m.chain.max(msg.chain);
         }
         match msg.kind.clone() {
             MsgKind::InvAck | MsgKind::UpdAck => {
-                let m = self.mshr.as_mut().expect("checked above");
+                let m = self.mshr.as_mut().expect("checked at entry");
                 m.acks_got += 1;
             }
             MsgKind::DataS { data } => {
                 self.install(msg.line, CacheState::Shared, data, out);
-                let m = self.mshr.as_mut().expect("checked above");
+                let m = self.mshr.as_mut().expect("checked at entry");
                 m.reply_seen = true;
             }
             MsgKind::DataX { data, acks } => {
                 self.install(msg.line, CacheState::Exclusive, data, out);
-                let m = self.mshr.as_mut().expect("checked above");
+                let m = self.mshr.as_mut().expect("checked at entry");
                 m.reply_seen = true;
                 m.acks_needed += acks;
             }
             MsgKind::UpgradeAck { acks } => {
-                let l = self
-                    .cache
-                    .get_mut(msg.line)
-                    .expect("upgrade of an absent line");
+                let l = self.resident(msg.line, "upgrade of an absent line")?;
                 l.state = CacheState::Exclusive;
-                let m = self.mshr.as_mut().expect("checked above");
+                let m = self.mshr.as_mut().expect("checked at entry");
                 m.reply_seen = true;
                 m.acks_needed += acks;
             }
@@ -606,14 +772,11 @@ impl CacheNode {
                 match data {
                     Some(d) => self.install(msg.line, CacheState::Exclusive, d, out),
                     None => {
-                        let l = self
-                            .cache
-                            .get_mut(msg.line)
-                            .expect("grant without data or copy");
+                        let l = self.resident(msg.line, "CAS grant without data or copy")?;
                         l.state = CacheState::Exclusive;
                     }
                 }
-                let m = self.mshr.as_mut().expect("checked above");
+                let m = self.mshr.as_mut().expect("checked at entry");
                 m.reply_seen = true;
                 m.acks_needed += acks;
                 m.staged = Some(OpResult::CasDone {
@@ -628,7 +791,7 @@ impl CacheNode {
                 if let Some(d) = share_data {
                     self.install(msg.line, CacheState::Shared, d, out);
                 }
-                let m = self.mshr.as_mut().expect("checked above");
+                let m = self.mshr.as_mut().expect("checked at entry");
                 m.reply_seen = true;
                 m.staged = Some(OpResult::CasDone {
                     success: false,
@@ -639,34 +802,39 @@ impl CacheNode {
                 if let Some(d) = data {
                     self.install(msg.line, CacheState::Shared, d, out);
                 }
-                let m = self.mshr.as_mut().expect("checked above");
+                let m = self.mshr.as_mut().expect("checked at entry");
                 m.reply_seen = true;
                 m.acks_needed += acks;
                 m.staged = Some(result);
             }
             MsgKind::ScInvReply { success, acks } => {
                 if success {
-                    let l = self
-                        .cache
-                        .get_mut(msg.line)
-                        .expect("SC upgrade of an absent line");
+                    let l = self.resident(msg.line, "SC upgrade of an absent line")?;
                     l.state = CacheState::Exclusive;
                 }
-                let m = self.mshr.as_mut().expect("checked above");
+                let m = self.mshr.as_mut().expect("checked at entry");
                 m.reply_seen = true;
                 m.acks_needed += acks;
                 m.staged = Some(OpResult::ScDone { success });
             }
-            other => panic!("cache controller received unexpected reply {other:?}"),
+            other => {
+                return Err(self.err(
+                    ProtocolErrorKind::UnexpectedMessage,
+                    msg.line,
+                    format!("cache controller received unexpected reply {other:?}"),
+                ))
+            }
         }
         self.try_complete(out)
     }
 
-    fn try_complete(&mut self, out: &mut Outbox) -> Option<OpOutcome> {
+    fn try_complete(&mut self, out: &mut Outbox) -> Result<Option<OpOutcome>, ProtocolError> {
         {
-            let m = self.mshr.as_ref()?;
+            let Some(m) = self.mshr.as_ref() else {
+                return Ok(None);
+            };
             if !m.reply_seen || m.acks_got < m.acks_needed {
-                return None;
+                return Ok(None);
             }
         }
         let m = self.mshr.take().expect("checked above");
@@ -709,9 +877,7 @@ impl CacheNode {
                 match m.op {
                     MemOp::Load { .. } | MemOp::LoadExclusive { .. } => {
                         let value = self
-                            .cache
-                            .get_mut(m.line)
-                            .expect("installed")
+                            .resident(m.line, "completing load of an absent line")?
                             .data
                             .word(addr);
                         OpResult::Loaded {
@@ -722,9 +888,7 @@ impl CacheNode {
                     }
                     MemOp::LoadLinked { .. } => {
                         let value = self
-                            .cache
-                            .get_mut(m.line)
-                            .expect("installed")
+                            .resident(m.line, "completing LL of an absent line")?
                             .data
                             .word(addr);
                         self.resv.set(m.line);
@@ -735,20 +899,20 @@ impl CacheNode {
                         }
                     }
                     MemOp::Store { value, .. } => {
-                        let l = self.cache.get_mut(m.line).expect("installed");
+                        let l = self.resident(m.line, "completing store of an absent line")?;
                         debug_assert_eq!(l.state, CacheState::Exclusive);
                         l.data.set_word(addr, value);
                         OpResult::Stored
                     }
                     MemOp::FetchPhi { op: phi, .. } => {
-                        let l = self.cache.get_mut(m.line).expect("installed");
+                        let l = self.resident(m.line, "completing fetch_phi of an absent line")?;
                         debug_assert_eq!(l.state, CacheState::Exclusive);
                         let old = l.data.word(addr);
                         l.data.set_word(addr, phi.apply(old));
                         OpResult::Fetched { old }
                     }
                     MemOp::Cas { expected, new, .. } => {
-                        let l = self.cache.get_mut(m.line).expect("installed");
+                        let l = self.resident(m.line, "completing CAS of an absent line")?;
                         debug_assert_eq!(l.state, CacheState::Exclusive);
                         let observed = l.data.word(addr);
                         let success = observed == expected;
@@ -758,20 +922,24 @@ impl CacheNode {
                         OpResult::CasDone { success, observed }
                     }
                     MemOp::StoreConditional { .. } | MemOp::DropCopy { .. } => {
-                        unreachable!("these ops never take the plain-reply path")
+                        return Err(self.err(
+                            ProtocolErrorKind::UnexpectedMessage,
+                            m.line,
+                            format!("{:?} never takes the plain-reply path", m.op),
+                        ))
                     }
                 }
             }
         };
         // Serve interventions that arrived during the ack wait.
         for deferred in m.deferred {
-            self.handle_intervention(deferred, out);
+            self.handle_intervention(deferred, out)?;
         }
-        Some(OpOutcome {
+        Ok(Some(OpOutcome {
             result,
             chain: m.chain,
             local: false,
-        })
+        }))
     }
 }
 
@@ -819,6 +987,7 @@ mod tests {
         let mut out = Outbox::new();
         assert!(c
             .start_op(MemOp::Load { addr: A }, &map(), &mut out)
+            .unwrap()
             .is_none());
         let sent = out.drain();
         assert_eq!(sent.len(), 1);
@@ -827,6 +996,7 @@ mod tests {
 
         let done = c
             .handle(reply(MsgKind::DataS { data: data(7) }, 2), &mut out)
+            .unwrap()
             .unwrap();
         assert_eq!(
             done.result,
@@ -842,6 +1012,7 @@ mod tests {
         // Second load hits.
         let done = c
             .start_op(MemOp::Load { addr: A }, &map(), &mut out)
+            .unwrap()
             .unwrap();
         assert!(done.local);
         assert_eq!(done.result.value(), Some(7));
@@ -851,7 +1022,8 @@ mod tests {
     fn store_hit_exclusive_is_local() {
         let mut c = cc();
         let mut out = Outbox::new();
-        c.start_op(MemOp::Store { addr: A, value: 3 }, &map(), &mut out);
+        c.start_op(MemOp::Store { addr: A, value: 3 }, &map(), &mut out)
+            .unwrap();
         out.drain();
         c.handle(
             reply(
@@ -862,10 +1034,12 @@ mod tests {
                 2,
             ),
             &mut out,
-        );
+        )
+        .unwrap();
         // Now exclusive: next store is a pure cache hit.
         let done = c
             .start_op(MemOp::Store { addr: A, value: 4 }, &map(), &mut out)
+            .unwrap()
             .unwrap();
         assert!(done.local);
         assert_eq!(c.peek_word(A), Some(4));
@@ -877,13 +1051,16 @@ mod tests {
         let mut c = cc();
         let mut out = Outbox::new();
         // Acquire shared first.
-        c.start_op(MemOp::Load { addr: A }, &map(), &mut out);
-        c.handle(reply(MsgKind::DataS { data: data(0) }, 2), &mut out);
+        c.start_op(MemOp::Load { addr: A }, &map(), &mut out)
+            .unwrap();
+        c.handle(reply(MsgKind::DataS { data: data(0) }, 2), &mut out)
+            .unwrap();
         out.drain();
 
         // Store from shared: GetX{from_shared}.
         assert!(c
             .start_op(MemOp::Store { addr: A, value: 9 }, &map(), &mut out)
+            .unwrap()
             .is_none());
         let sent = out.drain();
         assert!(matches!(sent[0].kind, MsgKind::GetX { from_shared: true }));
@@ -891,11 +1068,12 @@ mod tests {
         // UpgradeAck with 2 acks pending: not complete yet.
         assert!(c
             .handle(reply(MsgKind::UpgradeAck { acks: 2 }, 2), &mut out)
+            .unwrap()
             .is_none());
         let mut ack = reply(MsgKind::InvAck, 3);
         ack.src = NodeId::new(3);
-        assert!(c.handle(ack.clone(), &mut out).is_none());
-        let done = c.handle(ack, &mut out).unwrap();
+        assert!(c.handle(ack.clone(), &mut out).unwrap().is_none());
+        let done = c.handle(ack, &mut out).unwrap().unwrap();
         assert_eq!(done.result, OpResult::Stored);
         assert_eq!(
             done.chain, 3,
@@ -916,7 +1094,8 @@ mod tests {
             },
             &map(),
             &mut out,
-        );
+        )
+        .unwrap();
         out.drain();
         let done = c
             .handle(
@@ -929,6 +1108,7 @@ mod tests {
                 ),
                 &mut out,
             )
+            .unwrap()
             .unwrap();
         assert_eq!(done.result, OpResult::Fetched { old: 10 });
         assert_eq!(c.peek_word(A), Some(15));
@@ -938,7 +1118,8 @@ mod tests {
     fn local_cas_on_exclusive_line() {
         let mut c = cc();
         let mut out = Outbox::new();
-        c.start_op(MemOp::Store { addr: A, value: 1 }, &map(), &mut out);
+        c.start_op(MemOp::Store { addr: A, value: 1 }, &map(), &mut out)
+            .unwrap();
         out.drain();
         c.handle(
             reply(
@@ -949,7 +1130,8 @@ mod tests {
                 2,
             ),
             &mut out,
-        );
+        )
+        .unwrap();
 
         let done = c
             .start_op(
@@ -961,6 +1143,7 @@ mod tests {
                 &map(),
                 &mut out,
             )
+            .unwrap()
             .unwrap();
         assert!(done.local);
         assert_eq!(
@@ -982,6 +1165,7 @@ mod tests {
                 &map(),
                 &mut out,
             )
+            .unwrap()
             .unwrap();
         assert_eq!(
             done.result,
@@ -998,7 +1182,8 @@ mod tests {
         let mut c = cc();
         let mut out = Outbox::new();
         // Get exclusive, then LL/SC locally.
-        c.start_op(MemOp::LoadExclusive { addr: A }, &map(), &mut out);
+        c.start_op(MemOp::LoadExclusive { addr: A }, &map(), &mut out)
+            .unwrap();
         out.drain();
         c.handle(
             reply(
@@ -1009,10 +1194,12 @@ mod tests {
                 2,
             ),
             &mut out,
-        );
+        )
+        .unwrap();
 
         let done = c
             .start_op(MemOp::LoadLinked { addr: A }, &map(), &mut out)
+            .unwrap()
             .unwrap();
         assert!(done.local);
         assert_eq!(done.result.value(), Some(5));
@@ -1026,6 +1213,7 @@ mod tests {
                 &map(),
                 &mut out,
             )
+            .unwrap()
             .unwrap();
         assert!(
             done.local,
@@ -1049,6 +1237,7 @@ mod tests {
                 &map(),
                 &mut out,
             )
+            .unwrap()
             .unwrap();
         assert!(done.local);
         assert_eq!(done.result, OpResult::ScDone { success: false });
@@ -1059,9 +1248,11 @@ mod tests {
     fn invalidation_clears_reservation_and_fails_sc() {
         let mut c = cc();
         let mut out = Outbox::new();
-        c.start_op(MemOp::LoadLinked { addr: A }, &map(), &mut out);
+        c.start_op(MemOp::LoadLinked { addr: A }, &map(), &mut out)
+            .unwrap();
         out.drain();
-        c.handle(reply(MsgKind::DataS { data: data(5) }, 2), &mut out);
+        c.handle(reply(MsgKind::DataS { data: data(5) }, 2), &mut out)
+            .unwrap();
 
         // Another node writes: we get an invalidation.
         let mut inv = reply(
@@ -1071,7 +1262,7 @@ mod tests {
             2,
         );
         inv.proc = ProcId::new(3);
-        c.handle(inv, &mut out);
+        c.handle(inv, &mut out).unwrap();
         let acks = out.drain();
         assert_eq!(acks.len(), 1);
         assert!(matches!(acks[0].kind, MsgKind::InvAck));
@@ -1089,6 +1280,7 @@ mod tests {
                 &map(),
                 &mut out,
             )
+            .unwrap()
             .unwrap();
         assert_eq!(done.result, OpResult::ScDone { success: false });
     }
@@ -1097,9 +1289,11 @@ mod tests {
     fn sc_from_shared_goes_to_home() {
         let mut c = cc();
         let mut out = Outbox::new();
-        c.start_op(MemOp::LoadLinked { addr: A }, &map(), &mut out);
+        c.start_op(MemOp::LoadLinked { addr: A }, &map(), &mut out)
+            .unwrap();
         out.drain();
-        c.handle(reply(MsgKind::DataS { data: data(5) }, 2), &mut out);
+        c.handle(reply(MsgKind::DataS { data: data(5) }, 2), &mut out)
+            .unwrap();
 
         assert!(c
             .start_op(
@@ -1111,20 +1305,23 @@ mod tests {
                 &map(),
                 &mut out
             )
+            .unwrap()
             .is_none());
         let sent = out.drain();
         assert!(matches!(sent[0].kind, MsgKind::ScInv));
 
-        let done = c.handle(
-            reply(
-                MsgKind::ScInvReply {
-                    success: true,
-                    acks: 0,
-                },
-                2,
-            ),
-            &mut out,
-        );
+        let done = c
+            .handle(
+                reply(
+                    MsgKind::ScInvReply {
+                        success: true,
+                        acks: 0,
+                    },
+                    2,
+                ),
+                &mut out,
+            )
+            .unwrap();
         let done = done.unwrap();
         assert_eq!(done.result, OpResult::ScDone { success: true });
         assert_eq!(c.cache_state(LINE), Some(CacheState::Exclusive));
@@ -1135,7 +1332,8 @@ mod tests {
     fn fwd_getx_hands_over_the_line() {
         let mut c = cc();
         let mut out = Outbox::new();
-        c.start_op(MemOp::Store { addr: A, value: 8 }, &map(), &mut out);
+        c.start_op(MemOp::Store { addr: A, value: 8 }, &map(), &mut out)
+            .unwrap();
         out.drain();
         c.handle(
             reply(
@@ -1146,11 +1344,12 @@ mod tests {
                 2,
             ),
             &mut out,
-        );
+        )
+        .unwrap();
 
         let mut fwd = reply(MsgKind::FwdGetX, 2);
         fwd.proc = ProcId::new(3);
-        c.handle(fwd, &mut out);
+        c.handle(fwd, &mut out).unwrap();
         let sent = out.drain();
         assert_eq!(sent.len(), 1);
         match &sent[0].kind {
@@ -1165,7 +1364,7 @@ mod tests {
     fn fwd_to_absent_line_naks() {
         let mut c = cc();
         let mut out = Outbox::new();
-        c.handle(reply(MsgKind::FwdGetS, 2), &mut out);
+        c.handle(reply(MsgKind::FwdGetS, 2), &mut out).unwrap();
         let sent = out.drain();
         assert!(matches!(sent[0].kind, MsgKind::FwdNak));
     }
@@ -1174,7 +1373,8 @@ mod tests {
     fn fwd_cas_failure_deny_keeps_line() {
         let mut c = cc();
         let mut out = Outbox::new();
-        c.start_op(MemOp::Store { addr: A, value: 8 }, &map(), &mut out);
+        c.start_op(MemOp::Store { addr: A, value: 8 }, &map(), &mut out)
+            .unwrap();
         out.drain();
         c.handle(
             reply(
@@ -1185,7 +1385,8 @@ mod tests {
                 2,
             ),
             &mut out,
-        );
+        )
+        .unwrap();
 
         let fwd = reply(
             MsgKind::FwdCas {
@@ -1196,7 +1397,7 @@ mod tests {
             },
             2,
         );
-        c.handle(fwd, &mut out);
+        c.handle(fwd, &mut out).unwrap();
         let sent = out.drain();
         match &sent[0].kind {
             MsgKind::OwnerCasFail {
@@ -1217,21 +1418,25 @@ mod tests {
         let mut c = cc();
         let mut out = Outbox::new();
         // Upgrade in progress with one ack pending.
-        c.start_op(MemOp::Load { addr: A }, &map(), &mut out);
-        c.handle(reply(MsgKind::DataS { data: data(0) }, 2), &mut out);
-        c.start_op(MemOp::Store { addr: A, value: 9 }, &map(), &mut out);
-        c.handle(reply(MsgKind::UpgradeAck { acks: 1 }, 2), &mut out);
+        c.start_op(MemOp::Load { addr: A }, &map(), &mut out)
+            .unwrap();
+        c.handle(reply(MsgKind::DataS { data: data(0) }, 2), &mut out)
+            .unwrap();
+        c.start_op(MemOp::Store { addr: A, value: 9 }, &map(), &mut out)
+            .unwrap();
+        c.handle(reply(MsgKind::UpgradeAck { acks: 1 }, 2), &mut out)
+            .unwrap();
         out.drain();
 
         // A forward arrives before the ack: it must wait.
-        c.handle(reply(MsgKind::FwdGetX, 2), &mut out);
+        c.handle(reply(MsgKind::FwdGetX, 2), &mut out).unwrap();
         assert!(out.drain().is_empty(), "intervention must be deferred");
 
         // The ack arrives: the store completes AND the deferred forward
         // is served with the *new* data.
         let mut ack = reply(MsgKind::InvAck, 3);
         ack.src = NodeId::new(3);
-        let done = c.handle(ack, &mut out).unwrap();
+        let done = c.handle(ack, &mut out).unwrap().unwrap();
         assert_eq!(done.result, OpResult::Stored);
         let sent = out.drain();
         assert_eq!(sent.len(), 1);
@@ -1263,6 +1468,7 @@ mod tests {
                 &m,
                 &mut out
             )
+            .unwrap()
             .is_none());
         let sent = out.drain();
         assert!(matches!(
@@ -1284,6 +1490,7 @@ mod tests {
                 ),
                 &mut out,
             )
+            .unwrap()
             .unwrap();
         assert_eq!(done.result, OpResult::Fetched { old: 4 });
         assert_eq!(done.chain, 2);
@@ -1302,9 +1509,10 @@ mod tests {
             },
         );
         let mut out = Outbox::new();
-        c.start_op(MemOp::Load { addr: A }, &m, &mut out);
+        c.start_op(MemOp::Load { addr: A }, &m, &mut out).unwrap();
         out.drain();
-        c.handle(reply(MsgKind::DataS { data: data(1) }, 2), &mut out);
+        c.handle(reply(MsgKind::DataS { data: data(1) }, 2), &mut out)
+            .unwrap();
         assert_eq!(c.peek_word(A), Some(1));
 
         // An update from another node's write arrives.
@@ -1317,13 +1525,17 @@ mod tests {
                 2,
             ),
             &mut out,
-        );
+        )
+        .unwrap();
         let acks = out.drain();
         assert!(matches!(acks[0].kind, MsgKind::UpdAck));
         assert_eq!(c.peek_word(A), Some(2));
 
         // Subsequent read hits with the updated value.
-        let done = c.start_op(MemOp::Load { addr: A }, &m, &mut out).unwrap();
+        let done = c
+            .start_op(MemOp::Load { addr: A }, &m, &mut out)
+            .unwrap()
+            .unwrap();
         assert_eq!(done.result.value(), Some(2));
         assert!(done.local);
     }
@@ -1342,6 +1554,7 @@ mod tests {
         let mut out = Outbox::new();
         assert!(c
             .start_op(MemOp::Store { addr: A, value: 5 }, &m, &mut out)
+            .unwrap()
             .is_none());
         let sent = out.drain();
         assert!(matches!(
@@ -1364,10 +1577,11 @@ mod tests {
                 ),
                 &mut out
             )
+            .unwrap()
             .is_none());
         let mut ack = reply(MsgKind::UpdAck, 3);
         ack.src = NodeId::new(3);
-        let done = c.handle(ack, &mut out).unwrap();
+        let done = c.handle(ack, &mut out).unwrap().unwrap();
         assert_eq!(done.result, OpResult::Stored);
         assert_eq!(
             done.chain, 3,
@@ -1379,7 +1593,8 @@ mod tests {
     fn drop_copy_writes_back_exclusive_lines() {
         let mut c = cc();
         let mut out = Outbox::new();
-        c.start_op(MemOp::Store { addr: A, value: 8 }, &map(), &mut out);
+        c.start_op(MemOp::Store { addr: A, value: 8 }, &map(), &mut out)
+            .unwrap();
         out.drain();
         c.handle(
             reply(
@@ -1390,10 +1605,12 @@ mod tests {
                 2,
             ),
             &mut out,
-        );
+        )
+        .unwrap();
 
         let done = c
             .start_op(MemOp::DropCopy { addr: A }, &map(), &mut out)
+            .unwrap()
             .unwrap();
         assert!(done.local);
         let sent = out.drain();
@@ -1409,11 +1626,14 @@ mod tests {
     fn drop_copy_notifies_for_shared_lines() {
         let mut c = cc();
         let mut out = Outbox::new();
-        c.start_op(MemOp::Load { addr: A }, &map(), &mut out);
+        c.start_op(MemOp::Load { addr: A }, &map(), &mut out)
+            .unwrap();
         out.drain();
-        c.handle(reply(MsgKind::DataS { data: data(0) }, 2), &mut out);
+        c.handle(reply(MsgKind::DataS { data: data(0) }, 2), &mut out)
+            .unwrap();
 
-        c.start_op(MemOp::DropCopy { addr: A }, &map(), &mut out);
+        c.start_op(MemOp::DropCopy { addr: A }, &map(), &mut out)
+            .unwrap();
         let sent = out.drain();
         assert!(matches!(sent[0].kind, MsgKind::DropShared));
         assert_eq!(c.cache_state(LINE), None);
@@ -1425,6 +1645,7 @@ mod tests {
         let mut out = Outbox::new();
         let done = c
             .start_op(MemOp::DropCopy { addr: A }, &map(), &mut out)
+            .unwrap()
             .unwrap();
         assert!(done.local);
         assert!(out.drain().is_empty());
@@ -1453,6 +1674,7 @@ mod tests {
                     &m,
                     &mut out
                 )
+                .unwrap()
                 .is_none());
             let sent = out.drain();
             match &sent[0].kind {
@@ -1482,7 +1704,8 @@ mod tests {
             },
             &m,
             &mut out,
-        );
+        )
+        .unwrap();
         out.drain();
         let done = c
             .handle(
@@ -1495,6 +1718,7 @@ mod tests {
                 ),
                 &mut out,
             )
+            .unwrap()
             .unwrap();
         assert_eq!(
             done.result,
@@ -1527,7 +1751,8 @@ mod tests {
             },
             &m,
             &mut out,
-        );
+        )
+        .unwrap();
         out.drain();
         let done = c
             .handle(
@@ -1541,6 +1766,7 @@ mod tests {
                 ),
                 &mut out,
             )
+            .unwrap()
             .unwrap();
         assert_eq!(
             done.result,
@@ -1562,10 +1788,13 @@ mod tests {
         let mut c = cc();
         let mut out = Outbox::new();
         // Acquire shared, then issue a store (upgrade).
-        c.start_op(MemOp::Load { addr: A }, &map(), &mut out);
-        c.handle(reply(MsgKind::DataS { data: data(1) }, 2), &mut out);
+        c.start_op(MemOp::Load { addr: A }, &map(), &mut out)
+            .unwrap();
+        c.handle(reply(MsgKind::DataS { data: data(1) }, 2), &mut out)
+            .unwrap();
         assert!(c
             .start_op(MemOp::Store { addr: A, value: 2 }, &map(), &mut out)
+            .unwrap()
             .is_none());
         out.drain();
 
@@ -1577,7 +1806,7 @@ mod tests {
             2,
         );
         inv.proc = ProcId::new(3);
-        assert!(c.handle(inv, &mut out).is_none());
+        assert!(c.handle(inv, &mut out).unwrap().is_none());
         let acks = out.drain();
         assert!(matches!(acks[0].kind, MsgKind::InvAck));
         assert_eq!(c.cache_state(LINE), None, "shared copy must be gone");
@@ -1594,6 +1823,7 @@ mod tests {
                 ),
                 &mut out,
             )
+            .unwrap()
             .unwrap();
         assert_eq!(done.result, OpResult::Stored);
         assert_eq!(c.peek_word(A), Some(2), "store applied over fresh data");
@@ -1607,10 +1837,14 @@ mod tests {
     fn deferred_fwd_cas_sees_completed_value() {
         let mut c = cc();
         let mut out = Outbox::new();
-        c.start_op(MemOp::Load { addr: A }, &map(), &mut out);
-        c.handle(reply(MsgKind::DataS { data: data(0) }, 2), &mut out);
-        c.start_op(MemOp::Store { addr: A, value: 7 }, &map(), &mut out);
-        c.handle(reply(MsgKind::UpgradeAck { acks: 1 }, 2), &mut out);
+        c.start_op(MemOp::Load { addr: A }, &map(), &mut out)
+            .unwrap();
+        c.handle(reply(MsgKind::DataS { data: data(0) }, 2), &mut out)
+            .unwrap();
+        c.start_op(MemOp::Store { addr: A, value: 7 }, &map(), &mut out)
+            .unwrap();
+        c.handle(reply(MsgKind::UpgradeAck { acks: 1 }, 2), &mut out)
+            .unwrap();
         out.drain();
 
         let fwd = reply(
@@ -1622,12 +1856,12 @@ mod tests {
             },
             2,
         );
-        c.handle(fwd, &mut out);
+        c.handle(fwd, &mut out).unwrap();
         assert!(out.drain().is_empty(), "FwdCas must wait for the ack");
 
         let mut ack = reply(MsgKind::InvAck, 3);
         ack.src = NodeId::new(3);
-        let done = c.handle(ack, &mut out).unwrap();
+        let done = c.handle(ack, &mut out).unwrap().unwrap();
         assert_eq!(done.result, OpResult::Stored);
         // The deferred compare now sees 7 and succeeds: line handed over.
         let sent = out.drain();
@@ -1651,7 +1885,7 @@ mod tests {
             2,
         );
         inv.proc = ProcId::new(3);
-        assert!(c.handle(inv, &mut out).is_none());
+        assert!(c.handle(inv, &mut out).unwrap().is_none());
         let sent = out.drain();
         assert_eq!(sent.len(), 1);
         assert!(matches!(sent[0].kind, MsgKind::InvAck));
@@ -1671,7 +1905,7 @@ mod tests {
             },
             2,
         );
-        c.handle(upd, &mut out);
+        c.handle(upd, &mut out).unwrap();
         let sent = out.drain();
         assert!(matches!(sent[0].kind, MsgKind::UpdAck));
         assert_eq!(c.cache_state(LINE), None);
@@ -1683,13 +1917,17 @@ mod tests {
     fn early_acks_do_not_complete_before_data() {
         let mut c = cc();
         let mut out = Outbox::new();
-        c.start_op(MemOp::Store { addr: A, value: 1 }, &map(), &mut out);
+        c.start_op(MemOp::Store { addr: A, value: 1 }, &map(), &mut out)
+            .unwrap();
         out.drain();
         // Two acks arrive first (sharers answered quickly).
         for n in [3u32, 0] {
             let mut ack = reply(MsgKind::InvAck, 3);
             ack.src = NodeId::new(n);
-            assert!(c.handle(ack, &mut out).is_none(), "must wait for DataX");
+            assert!(
+                c.handle(ack, &mut out).unwrap().is_none(),
+                "must wait for DataX"
+            );
         }
         let done = c
             .handle(
@@ -1702,6 +1940,7 @@ mod tests {
                 ),
                 &mut out,
             )
+            .unwrap()
             .unwrap();
         assert_eq!(done.result, OpResult::Stored);
         assert_eq!(done.chain, 3, "ack chain dominates");
@@ -1714,13 +1953,16 @@ mod tests {
         let mut c = CacheNode::new(ME, 32, CacheParams { sets: 1, ways: 1 });
         c.set_nodes(NODES);
         let mut out = Outbox::new();
-        c.start_op(MemOp::LoadLinked { addr: A }, &map(), &mut out);
-        c.handle(reply(MsgKind::DataS { data: data(5) }, 2), &mut out);
+        c.start_op(MemOp::LoadLinked { addr: A }, &map(), &mut out)
+            .unwrap();
+        c.handle(reply(MsgKind::DataS { data: data(5) }, 2), &mut out)
+            .unwrap();
         out.drain();
 
         // A miss to a conflicting line evicts the reserved line.
         let other = Addr::new(0x40 + 32); // next line, same (only) set
-        c.start_op(MemOp::Load { addr: other }, &map(), &mut out);
+        c.start_op(MemOp::Load { addr: other }, &map(), &mut out)
+            .unwrap();
         let mut d2 = reply(
             MsgKind::DataS {
                 data: LineData::zeroed(32),
@@ -1729,7 +1971,7 @@ mod tests {
         );
         d2.line = other.line(32);
         d2.addr = other;
-        c.handle(d2, &mut out);
+        c.handle(d2, &mut out).unwrap();
         out.drain();
 
         let done = c
@@ -1742,6 +1984,7 @@ mod tests {
                 &map(),
                 &mut out,
             )
+            .unwrap()
             .unwrap();
         assert_eq!(done.result, OpResult::ScDone { success: false });
         assert!(done.local);

@@ -1,0 +1,144 @@
+//! Structured protocol-error reporting.
+//!
+//! A healthy protocol never produces these values: every variant
+//! describes a state the coherence machinery must not reach (a reply
+//! with no outstanding request, a message kind a node cannot handle, a
+//! directory record contradicting an owner's response). They used to be
+//! `panic!`/`unreachable!` sites; surfacing them as data lets the
+//! machine abort one run with a diagnosable [`ProtocolError`] instead of
+//! killing the whole experiment process, which is what the fault
+//! injector and paranoid invariant checker rely on.
+//!
+//! # Example
+//!
+//! ```
+//! use dsm_protocol::{ProtocolError, ProtocolErrorKind};
+//! use dsm_sim::{LineAddr, NodeId};
+//!
+//! let e = ProtocolError::new(ProtocolErrorKind::MissingLine, "upgrade of an absent line")
+//!     .on_line(LineAddr::new(2))
+//!     .at(NodeId::new(5));
+//! assert_eq!(e.kind, ProtocolErrorKind::MissingLine);
+//! assert!(e.to_string().contains("line L0x2"));
+//! ```
+
+use dsm_sim::{LineAddr, NodeId};
+use std::fmt;
+
+/// Classification of a protocol-level failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolErrorKind {
+    /// A node received a message kind it never handles.
+    UnexpectedMessage,
+    /// A reply or response arrived with no matching outstanding request
+    /// (no MSHR at a cache, no busy directory entry at a home).
+    MissingRequest,
+    /// A processor issued an operation while another was outstanding.
+    DoubleIssue,
+    /// A line the protocol state machine requires to be resident is
+    /// absent from the cache.
+    MissingLine,
+    /// Directory state contradicts a message or a cache's view (e.g. a
+    /// writeback from a non-owner, an owner response that does not match
+    /// the recorded intervention).
+    DirectoryMismatch,
+    /// A line's memory-side reservations switched LL/SC schemes.
+    SchemeMismatch,
+}
+
+impl ProtocolErrorKind {
+    fn label(self) -> &'static str {
+        match self {
+            ProtocolErrorKind::UnexpectedMessage => "unexpected message",
+            ProtocolErrorKind::MissingRequest => "missing outstanding request",
+            ProtocolErrorKind::DoubleIssue => "double issue",
+            ProtocolErrorKind::MissingLine => "missing cache line",
+            ProtocolErrorKind::DirectoryMismatch => "directory mismatch",
+            ProtocolErrorKind::SchemeMismatch => "reservation scheme mismatch",
+        }
+    }
+}
+
+/// A structured description of an illegal protocol state or transition.
+///
+/// Carries the offending block address and node when known, so a failed
+/// run can be traced to a specific directory entry and cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// What class of rule was broken.
+    pub kind: ProtocolErrorKind,
+    /// The node at which the error was detected, if known.
+    pub node: Option<NodeId>,
+    /// The cache line involved, if known.
+    pub line: Option<LineAddr>,
+    /// Human-readable specifics (message kind, states observed, ...).
+    pub detail: String,
+}
+
+impl ProtocolError {
+    /// Creates an error with no location attached yet.
+    pub fn new(kind: ProtocolErrorKind, detail: impl Into<String>) -> Self {
+        ProtocolError {
+            kind,
+            node: None,
+            line: None,
+            detail: detail.into(),
+        }
+    }
+
+    /// Attaches the cache line the error concerns.
+    #[must_use]
+    pub fn on_line(mut self, line: LineAddr) -> Self {
+        self.line = Some(line);
+        self
+    }
+
+    /// Attaches the node at which the error was detected.
+    #[must_use]
+    pub fn at(mut self, node: NodeId) -> Self {
+        self.node = Some(node);
+        self
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error")?;
+        if let Some(node) = self.node {
+            write!(f, " at node {node}")?;
+        }
+        if let Some(line) = self.line {
+            write!(f, ", line {line}")?;
+        }
+        write!(f, ": {}: {}", self.kind.label(), self.detail)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location_and_kind() {
+        let e = ProtocolError::new(
+            ProtocolErrorKind::DirectoryMismatch,
+            "writeback from sharer",
+        )
+        .on_line(LineAddr::new(9))
+        .at(NodeId::new(3));
+        let s = e.to_string();
+        assert!(s.contains("node n3"), "{s}");
+        assert!(s.contains("line L0x9"), "{s}");
+        assert!(s.contains("directory mismatch"), "{s}");
+        assert!(s.contains("writeback from sharer"), "{s}");
+    }
+
+    #[test]
+    fn display_without_location() {
+        let e = ProtocolError::new(ProtocolErrorKind::UnexpectedMessage, "Inv at a home node");
+        let s = e.to_string();
+        assert!(s.starts_with("protocol error: unexpected message"), "{s}");
+    }
+}

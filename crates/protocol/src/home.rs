@@ -12,6 +12,7 @@
 use crate::addrmap::AddressMap;
 use crate::data::LineData;
 use crate::directory::{Busy, BusyKind, DirEntry, DirState};
+use crate::error::{ProtocolError, ProtocolErrorKind};
 use crate::msg::{MemAtomicOp, Msg, MsgKind};
 use crate::nodeset::NodeSet;
 use crate::reservation::ReservationStore;
@@ -69,7 +70,8 @@ impl Outbox {
 ///     },
 ///     &map,
 ///     &mut out,
-/// );
+/// )
+/// .unwrap();
 /// // An uncached line yields an immediate shared-data reply.
 /// assert!(matches!(out.msgs[0].kind, MsgKind::DataS { .. }));
 /// assert_eq!(out.msgs[0].chain, 2);
@@ -135,6 +137,23 @@ impl HomeNode {
         &self.resv
     }
 
+    /// Number of lines with an intervention outstanding (for the
+    /// quiescence conservation check: all must resolve by run end).
+    pub fn busy_lines(&self) -> usize {
+        self.dir.values().filter(|e| e.is_busy()).count()
+    }
+
+    /// Iterates over all directory entries (for invariant sweeps).
+    pub fn dir_lines(&self) -> impl Iterator<Item = (LineAddr, &DirEntry)> {
+        self.dir.iter().map(|(l, e)| (*l, e))
+    }
+
+    /// Forcibly invalidates every memory-side LL/SC reservation held
+    /// here — the fault injector's reservation-storm hook.
+    pub fn wipe_reservations(&mut self) {
+        self.resv.invalidate_all();
+    }
+
     fn mem_line(&mut self, line: LineAddr) -> &mut LineData {
         let size = self.line_size;
         self.mem
@@ -180,14 +199,26 @@ impl HomeNode {
         }
     }
 
+    /// A protocol error detected at this home, tagged with its location.
+    fn err(&self, kind: ProtocolErrorKind, line: LineAddr, detail: String) -> ProtocolError {
+        ProtocolError::new(kind, detail).on_line(line).at(self.node)
+    }
+
     /// Handles one incoming message, emitting any responses into `out`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on protocol violations (e.g. a write-back from a node the
-    /// directory does not consider the owner), which indicate simulator
-    /// bugs rather than recoverable conditions.
-    pub fn handle(&mut self, msg: Msg, map: &AddressMap, out: &mut Outbox) {
+    /// Returns a [`ProtocolError`] on protocol violations (e.g. a
+    /// write-back from a node the directory does not consider the owner,
+    /// or a response with no outstanding intervention), which indicate
+    /// simulator bugs or injected corruption rather than recoverable
+    /// conditions; the machine aborts the run with a diagnostic.
+    pub fn handle(
+        &mut self,
+        msg: Msg,
+        map: &AddressMap,
+        out: &mut Outbox,
+    ) -> Result<(), ProtocolError> {
         debug_assert_eq!(msg.dst, self.node, "message routed to the wrong home");
         match &msg.kind {
             MsgKind::GetS
@@ -196,38 +227,66 @@ impl HomeNode {
             | MsgKind::CasHome { .. }
             | MsgKind::ScInv => {
                 if self.is_busy(msg.line) {
+                    let line = msg.line;
+                    let node = self.node;
                     self.dir
-                        .get_mut(&msg.line)
-                        .expect("busy entry exists")
+                        .get_mut(&line)
+                        .ok_or_else(|| {
+                            ProtocolError::new(
+                                ProtocolErrorKind::MissingRequest,
+                                "busy line has no directory entry",
+                            )
+                            .on_line(line)
+                            .at(node)
+                        })?
                         .waiters
                         .push_back(msg);
-                    return;
+                    return Ok(());
                 }
-                self.handle_request(msg, map, out);
+                self.handle_request(msg, map, out)
             }
             MsgKind::WriteBack { .. } => self.handle_writeback(msg, map, out),
-            MsgKind::DropShared => self.handle_drop_shared(&msg),
+            MsgKind::DropShared => {
+                self.handle_drop_shared(&msg);
+                Ok(())
+            }
             MsgKind::FwdNak => self.handle_fwd_nak(msg, map, out),
             MsgKind::XferData { .. } | MsgKind::SwbData { .. } | MsgKind::OwnerCasFail { .. } => {
                 self.handle_owner_response(msg, map, out)
             }
-            other => panic!("home node received unexpected message kind {other:?}"),
+            other => Err(self.err(
+                ProtocolErrorKind::UnexpectedMessage,
+                msg.line,
+                format!("home node received unexpected message kind {other:?}"),
+            )),
         }
     }
 
-    fn handle_request(&mut self, msg: Msg, map: &AddressMap, out: &mut Outbox) {
+    fn handle_request(
+        &mut self,
+        msg: Msg,
+        map: &AddressMap,
+        out: &mut Outbox,
+    ) -> Result<(), ProtocolError> {
         match msg.kind.clone() {
             MsgKind::GetS => self.handle_gets(msg, out),
             MsgKind::GetX { from_shared } => self.handle_getx(msg, from_shared, out),
-            MsgKind::AtomicMem { op } => self.handle_atomic_mem(msg, op, map, out),
+            MsgKind::AtomicMem { op } => return self.handle_atomic_mem(msg, op, map, out),
             MsgKind::CasHome {
                 expected,
                 new,
                 variant,
             } => self.handle_cas_home(msg, expected, new, variant, out),
             MsgKind::ScInv => self.handle_sc_inv(msg, out),
-            other => unreachable!("not a request: {other:?}"),
+            other => {
+                return Err(self.err(
+                    ProtocolErrorKind::UnexpectedMessage,
+                    msg.line,
+                    format!("queued message is not a request: {other:?}"),
+                ))
+            }
         }
+        Ok(())
     }
 
     fn begin_intervention(
@@ -414,7 +473,13 @@ impl HomeNode {
         }
     }
 
-    fn handle_atomic_mem(&mut self, msg: Msg, op: MemAtomicOp, map: &AddressMap, out: &mut Outbox) {
+    fn handle_atomic_mem(
+        &mut self,
+        msg: Msg,
+        op: MemAtomicOp,
+        map: &AddressMap,
+        out: &mut Outbox,
+    ) -> Result<(), ProtocolError> {
         let cfg = map.config_for_line(msg.line);
         let line = msg.line;
         let addr = msg.addr;
@@ -461,7 +526,10 @@ impl HomeNode {
                 }
             }
             MemAtomicOp::Ll => {
-                let grant = self.resv.load_linked(line, msg.proc, cfg.llsc);
+                let grant = self
+                    .resv
+                    .load_linked(line, msg.proc, cfg.llsc)
+                    .map_err(|e| e.at(self.node))?;
                 (
                     OpResult::Loaded {
                         value: word,
@@ -472,7 +540,10 @@ impl HomeNode {
                 )
             }
             MemAtomicOp::Sc { value, serial } => {
-                let ok = self.resv.check_sc(line, msg.proc, serial, cfg.llsc);
+                let ok = self
+                    .resv
+                    .check_sc(line, msg.proc, serial, cfg.llsc)
+                    .map_err(|e| e.at(self.node))?;
                 if ok {
                     self.mem_line(line).set_word(addr, value);
                 }
@@ -545,36 +616,54 @@ impl HomeNode {
                 out.send(reply);
             }
         }
+        Ok(())
     }
 
-    fn handle_writeback(&mut self, msg: Msg, map: &AddressMap, out: &mut Outbox) {
+    fn handle_writeback(
+        &mut self,
+        msg: Msg,
+        map: &AddressMap,
+        out: &mut Outbox,
+    ) -> Result<(), ProtocolError> {
         let MsgKind::WriteBack { data } = msg.kind.clone() else {
-            unreachable!()
+            return Err(self.err(
+                ProtocolErrorKind::UnexpectedMessage,
+                msg.line,
+                format!("handle_writeback got {:?}", msg.kind),
+            ));
         };
         *self.mem_line(msg.line) = data;
         if self.is_busy(msg.line) {
             // Crossed with an intervention to the (former) owner.
+            let node = self.node;
             let busy = self
                 .dir
                 .get_mut(&msg.line)
-                .expect("busy entry exists")
-                .busy
-                .as_mut()
-                .expect("busy");
+                .and_then(|e| e.busy.as_mut())
+                .ok_or_else(|| {
+                    ProtocolError::new(
+                        ProtocolErrorKind::MissingRequest,
+                        "busy line lost its intervention record",
+                    )
+                    .on_line(msg.line)
+                    .at(node)
+                })?;
             busy.got_writeback = true;
             if busy.got_nak {
-                self.resolve_after_owner_gone(msg.line, map, out);
+                self.resolve_after_owner_gone(msg.line, map, out)?;
             }
-            return;
+            return Ok(());
         }
-        debug_assert_eq!(
-            self.state_of(msg.line),
-            DirState::Dirty(msg.src),
-            "write-back from a non-owner ({} for {})",
-            msg.src,
-            msg.line
-        );
+        let state = self.state_of(msg.line);
+        if state != DirState::Dirty(msg.src) {
+            return Err(self.err(
+                ProtocolErrorKind::DirectoryMismatch,
+                msg.line,
+                format!("write-back from non-owner {} (state {state:?})", msg.src),
+            ));
+        }
         self.set_state(msg.line, DirState::Uncached);
+        Ok(())
     }
 
     fn handle_drop_shared(&mut self, msg: &Msg) {
@@ -588,41 +677,84 @@ impl HomeNode {
         }
     }
 
-    fn handle_fwd_nak(&mut self, msg: Msg, map: &AddressMap, out: &mut Outbox) {
-        let entry = self.dir.get_mut(&msg.line).expect("NAK for an idle line");
-        let busy = entry
-            .busy
-            .as_mut()
-            .expect("NAK without an outstanding intervention");
+    fn handle_fwd_nak(
+        &mut self,
+        msg: Msg,
+        map: &AddressMap,
+        out: &mut Outbox,
+    ) -> Result<(), ProtocolError> {
+        let node = self.node;
+        let busy = self
+            .dir
+            .get_mut(&msg.line)
+            .and_then(|e| e.busy.as_mut())
+            .ok_or_else(|| {
+                ProtocolError::new(
+                    ProtocolErrorKind::MissingRequest,
+                    format!("NAK from {} without an outstanding intervention", msg.src),
+                )
+                .on_line(msg.line)
+                .at(node)
+            })?;
         busy.got_nak = true;
         if busy.got_writeback {
-            self.resolve_after_owner_gone(msg.line, map, out);
+            self.resolve_after_owner_gone(msg.line, map, out)?;
         }
         // Otherwise wait: the owner's write-back is in flight and must
         // arrive (E lines always write back when dropped or evicted).
+        Ok(())
     }
 
     /// The forwarded-to owner turned out to have written the line back:
     /// serve the original request from (now current) memory. The two
     /// extra legs (forward + NAK) count on the request's critical path.
-    fn resolve_after_owner_gone(&mut self, line: LineAddr, map: &AddressMap, out: &mut Outbox) {
-        let entry = self.dir.get_mut(&line).expect("entry exists");
-        let busy = entry.busy.take().expect("resolving a non-busy line");
-        entry.state = DirState::Uncached;
+    fn resolve_after_owner_gone(
+        &mut self,
+        line: LineAddr,
+        map: &AddressMap,
+        out: &mut Outbox,
+    ) -> Result<(), ProtocolError> {
+        let busy = self
+            .dir
+            .get_mut(&line)
+            .and_then(|e| {
+                let busy = e.busy.take()?;
+                e.state = DirState::Uncached;
+                Some(busy)
+            })
+            .ok_or_else(|| {
+                self.err(
+                    ProtocolErrorKind::MissingRequest,
+                    line,
+                    "resolving a non-busy line".into(),
+                )
+            })?;
         let mut request = busy.request;
         request.chain += 2;
-        self.handle_request(request, map, out);
-        self.drain_waiters(line, map, out);
+        self.handle_request(request, map, out)?;
+        self.drain_waiters(line, map, out)
     }
 
-    fn handle_owner_response(&mut self, msg: Msg, map: &AddressMap, out: &mut Outbox) {
+    fn handle_owner_response(
+        &mut self,
+        msg: Msg,
+        map: &AddressMap,
+        out: &mut Outbox,
+    ) -> Result<(), ProtocolError> {
         let busy = self
             .dir
             .get_mut(&msg.line)
-            .expect("owner response for an idle line")
-            .busy
-            .take()
-            .expect("owner response without an intervention");
+            .and_then(|e| e.busy.take())
+            .ok_or_else(|| {
+                self.err(
+                    ProtocolErrorKind::MissingRequest,
+                    msg.line,
+                    format!(
+                        "owner response {:?} from {} without an intervention",
+                        msg.kind, msg.src
+                    ),
+                )
+            })?;
         let req = busy.request;
         match (&busy.kind, msg.kind.clone()) {
             (BusyKind::GetS, MsgKind::SwbData { data }) => {
@@ -658,7 +790,11 @@ impl HomeNode {
                 // Compare succeeded at the owner; requester acquires an
                 // exclusive copy and applies the swap locally.
                 let MsgKind::CasHome { expected, .. } = req.kind else {
-                    unreachable!("CAS busy state holds a CasHome request")
+                    return Err(self.err(
+                        ProtocolErrorKind::DirectoryMismatch,
+                        msg.line,
+                        format!("CAS busy state holds a non-CAS request {:?}", req.kind),
+                    ));
                 };
                 self.set_state(msg.line, DirState::Dirty(req.src));
                 *self.mem_line(msg.line) = data.clone();
@@ -711,23 +847,34 @@ impl HomeNode {
                     },
                 });
             }
-            (kind, resp) => panic!("owner response {resp:?} does not match intervention {kind:?}"),
+            (kind, resp) => {
+                return Err(self.err(
+                    ProtocolErrorKind::DirectoryMismatch,
+                    msg.line,
+                    format!("owner response {resp:?} does not match intervention {kind:?}"),
+                ))
+            }
         }
-        self.drain_waiters(msg.line, map, out);
+        self.drain_waiters(msg.line, map, out)
     }
 
     /// Serves queued requests after a transaction completes; stops if a
     /// served request makes the line busy again.
-    fn drain_waiters(&mut self, line: LineAddr, map: &AddressMap, out: &mut Outbox) {
+    fn drain_waiters(
+        &mut self,
+        line: LineAddr,
+        map: &AddressMap,
+        out: &mut Outbox,
+    ) -> Result<(), ProtocolError> {
         loop {
             let entry = self.dir.entry(line).or_default();
             if entry.is_busy() {
-                return;
+                return Ok(());
             }
             let Some(next) = entry.waiters.pop_front() else {
-                return;
+                return Ok(());
             };
-            self.handle_request(next, map, out);
+            self.handle_request(next, map, out)?;
         }
     }
 }
@@ -765,7 +912,7 @@ mod tests {
 
     fn handle(h: &mut HomeNode, m: Msg) -> Vec<Msg> {
         let mut out = Outbox::new();
-        h.handle(m, &map(), &mut out);
+        h.handle(m, &map(), &mut out).unwrap();
         out.drain()
     }
 
@@ -1133,7 +1280,8 @@ mod tests {
             ),
             &m,
             &mut out,
-        );
+        )
+        .unwrap();
         let msgs = out.drain();
         assert_eq!(msgs.len(), 1);
         assert_eq!(
@@ -1167,8 +1315,8 @@ mod tests {
         );
         // R1 and R2 read (allocating shared copies) via GetS.
         let mut out = Outbox::new();
-        h.handle(req(R1, MsgKind::GetS), &m, &mut out);
-        h.handle(req(R2, MsgKind::GetS), &m, &mut out);
+        h.handle(req(R1, MsgKind::GetS), &m, &mut out).unwrap();
+        h.handle(req(R2, MsgKind::GetS), &m, &mut out).unwrap();
         out.drain();
 
         // R1 stores: R2 gets an Update, R1 gets the reply with new data.
@@ -1182,7 +1330,8 @@ mod tests {
             ),
             &m,
             &mut out,
-        );
+        )
+        .unwrap();
         let msgs = out.drain();
         assert_eq!(msgs.len(), 2);
         let upd = msgs
@@ -1216,7 +1365,7 @@ mod tests {
             },
         );
         let mut out = Outbox::new();
-        h.handle(req(R2, MsgKind::GetS), &m, &mut out);
+        h.handle(req(R2, MsgKind::GetS), &m, &mut out).unwrap();
         out.drain();
         let mut out = Outbox::new();
         h.handle(
@@ -1231,7 +1380,8 @@ mod tests {
             ),
             &m,
             &mut out,
-        );
+        )
+        .unwrap();
         let msgs = out.drain();
         assert_eq!(msgs.len(), 1, "failed CAS must not generate updates");
         match msgs[0].kind {
@@ -1267,7 +1417,8 @@ mod tests {
             ),
             &m,
             &mut out,
-        );
+        )
+        .unwrap();
         match out.drain()[0].kind {
             MsgKind::AtomicReply {
                 result: OpResult::Loaded { reserved, .. },
@@ -1290,7 +1441,8 @@ mod tests {
             ),
             &m,
             &mut out,
-        );
+        )
+        .unwrap();
         match out.drain()[0].kind {
             MsgKind::AtomicReply {
                 result: OpResult::ScDone { success },
@@ -1314,7 +1466,8 @@ mod tests {
             ),
             &m,
             &mut out,
-        );
+        )
+        .unwrap();
         match out.drain()[0].kind {
             MsgKind::AtomicReply {
                 result: OpResult::ScDone { success },

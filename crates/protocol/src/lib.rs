@@ -41,23 +41,30 @@
 //! cc.set_nodes(4);
 //!
 //! let mut out = Outbox::new();
-//! assert!(cc.start_op(MemOp::FetchPhi { addr: counter, op: PhiOp::Add(2) }, &map, &mut out).is_none());
+//! let started = cc
+//!     .start_op(MemOp::FetchPhi { addr: counter, op: PhiOp::Add(2) }, &map, &mut out)
+//!     .unwrap();
+//! assert!(started.is_none());
 //! let req = out.drain().remove(0);
-//! home.handle(req, &map, &mut out);
+//! home.handle(req, &map, &mut out).unwrap();
 //! let reply = out.drain().remove(0);
-//! let done = cc.handle(reply, &mut out).unwrap();
+//! let done = cc.handle(reply, &mut out).unwrap().unwrap();
 //! assert_eq!(done.chain, 2); // Table 1: uncached access = 2 serialized messages
 //! assert_eq!(home.peek_word(counter), 2);
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod addrmap;
 pub mod cache;
 pub mod cachectl;
 pub mod data;
 pub mod directory;
+pub mod error;
 pub mod home;
+pub mod invariant;
 pub mod msg;
 pub mod nodeset;
 pub mod reservation;
@@ -68,7 +75,9 @@ pub use cache::{Cache, CacheState};
 pub use cachectl::{CacheNode, OpOutcome};
 pub use data::LineData;
 pub use directory::{DirEntry, DirState};
+pub use error::{ProtocolError, ProtocolErrorKind};
 pub use home::{HomeNode, Outbox};
+pub use invariant::{check_invariants, check_line, InvariantViolation};
 pub use msg::{MemAtomicOp, Msg, MsgKind};
 pub use nodeset::NodeSet;
 pub use reservation::{CacheReservation, LlGrant, ReservationStore};

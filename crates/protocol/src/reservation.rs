@@ -16,9 +16,20 @@
 //!   `store_conditional` carries the expected serial number, which also
 //!   enables *bare* SC without a preceding LL.
 
+use crate::error::{ProtocolError, ProtocolErrorKind};
 use crate::types::LlscScheme;
 use dsm_sim::{LineAddr, ProcId};
 use std::collections::HashMap;
+
+/// The error every reservation operation returns when a line's records
+/// are found under a different scheme than the request assumes.
+fn scheme_mismatch(line: LineAddr) -> ProtocolError {
+    ProtocolError::new(
+        ProtocolErrorKind::SchemeMismatch,
+        "line switched reservation schemes",
+    )
+    .on_line(line)
+}
 
 /// The single cache-side reservation of one processor (INV policy).
 ///
@@ -63,6 +74,11 @@ impl CacheReservation {
             self.line = None;
         }
     }
+
+    /// The line currently reserved, if any (for the invariant checker).
+    pub fn line(&self) -> Option<LineAddr> {
+        self.line
+    }
 }
 
 /// Result of a memory-side `load_linked`.
@@ -98,11 +114,11 @@ enum LineResv {
 ///
 /// let mut store = ReservationStore::new(64);
 /// let line = LineAddr::new(7);
-/// let g = store.load_linked(line, ProcId::new(3), LlscScheme::BitVector);
+/// let g = store.load_linked(line, ProcId::new(3), LlscScheme::BitVector).unwrap();
 /// assert!(g.reserved);
-/// assert!(store.check_sc(line, ProcId::new(3), None, LlscScheme::BitVector));
+/// assert!(store.check_sc(line, ProcId::new(3), None, LlscScheme::BitVector).unwrap());
 /// // The successful SC cleared every reservation on the line.
-/// assert!(!store.check_sc(line, ProcId::new(3), None, LlscScheme::BitVector));
+/// assert!(!store.check_sc(line, ProcId::new(3), None, LlscScheme::BitVector).unwrap());
 /// ```
 #[derive(Debug, Clone)]
 pub struct ReservationStore {
@@ -126,7 +142,17 @@ impl ReservationStore {
 
     /// Records a `load_linked` by `proc` on `line` under `scheme` and
     /// returns what the reply should carry.
-    pub fn load_linked(&mut self, line: LineAddr, proc: ProcId, scheme: LlscScheme) -> LlGrant {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolErrorKind::SchemeMismatch`] if the line already
+    /// holds reservations under a different scheme.
+    pub fn load_linked(
+        &mut self,
+        line: LineAddr,
+        proc: ProcId,
+        scheme: LlscScheme,
+    ) -> Result<LlGrant, ProtocolError> {
         match scheme {
             LlscScheme::BitVector => {
                 let e = self
@@ -134,13 +160,13 @@ impl ReservationStore {
                     .entry(line)
                     .or_insert_with(|| LineResv::BitVector(crate::nodeset::NodeSet::new()));
                 let LineResv::BitVector(set) = e else {
-                    panic!("line {line} switched reservation schemes");
+                    return Err(scheme_mismatch(line));
                 };
                 set.insert(dsm_sim::NodeId::new(proc.as_u32()));
-                LlGrant {
+                Ok(LlGrant {
                     serial: None,
                     reserved: true,
-                }
+                })
             }
             LlscScheme::LinkedList => {
                 let e = self
@@ -148,28 +174,28 @@ impl ReservationStore {
                     .entry(line)
                     .or_insert_with(|| LineResv::LinkedList(Vec::new()));
                 let LineResv::LinkedList(list) = e else {
-                    panic!("line {line} switched reservation schemes");
+                    return Err(scheme_mismatch(line));
                 };
                 if list.contains(&proc) {
-                    return LlGrant {
+                    return Ok(LlGrant {
                         serial: None,
                         reserved: true,
-                    };
+                    });
                 }
                 if self.pool_used >= self.pool_capacity {
                     // Free pool exhausted: the reservation is dropped and
                     // the LL reply says so.
-                    return LlGrant {
+                    return Ok(LlGrant {
                         serial: None,
                         reserved: false,
-                    };
+                    });
                 }
                 self.pool_used += 1;
                 list.push(proc);
-                LlGrant {
+                Ok(LlGrant {
                     serial: None,
                     reserved: true,
-                }
+                })
             }
             LlscScheme::Limited(k) => {
                 let e = self
@@ -177,35 +203,35 @@ impl ReservationStore {
                     .entry(line)
                     .or_insert_with(|| LineResv::Limited(Vec::new()));
                 let LineResv::Limited(list) = e else {
-                    panic!("line {line} switched reservation schemes");
+                    return Err(scheme_mismatch(line));
                 };
                 if list.contains(&proc) {
-                    return LlGrant {
+                    return Ok(LlGrant {
                         serial: None,
                         reserved: true,
-                    };
+                    });
                 }
                 if list.len() >= k as usize {
-                    return LlGrant {
+                    return Ok(LlGrant {
                         serial: None,
                         reserved: false,
-                    };
+                    });
                 }
                 list.push(proc);
-                LlGrant {
+                Ok(LlGrant {
                     serial: None,
                     reserved: true,
-                }
+                })
             }
             LlscScheme::SerialNumber => {
                 let e = self.lines.entry(line).or_insert(LineResv::Serial(0));
                 let LineResv::Serial(s) = e else {
-                    panic!("line {line} switched reservation schemes");
+                    return Err(scheme_mismatch(line));
                 };
-                LlGrant {
+                Ok(LlGrant {
                     serial: Some(*s),
                     reserved: true,
-                }
+                })
             }
         }
     }
@@ -217,13 +243,18 @@ impl ReservationStore {
     /// A successful SC also clears all other reservations on the line
     /// (it is a write); the caller needs no separate
     /// [`on_write`](Self::on_write).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolErrorKind::SchemeMismatch`] if the line's
+    /// records are held under a different scheme.
     pub fn check_sc(
         &mut self,
         line: LineAddr,
         proc: ProcId,
         serial: Option<u64>,
         scheme: LlscScheme,
-    ) -> bool {
+    ) -> Result<bool, ProtocolError> {
         match scheme {
             LlscScheme::BitVector => {
                 let ok = matches!(
@@ -233,7 +264,7 @@ impl ReservationStore {
                 if ok {
                     self.on_write(line, scheme);
                 }
-                ok
+                Ok(ok)
             }
             LlscScheme::LinkedList => {
                 let ok = matches!(
@@ -243,7 +274,7 @@ impl ReservationStore {
                 if ok {
                     self.on_write(line, scheme);
                 }
-                ok
+                Ok(ok)
             }
             LlscScheme::Limited(_) => {
                 let ok = matches!(
@@ -253,19 +284,19 @@ impl ReservationStore {
                 if ok {
                     self.on_write(line, scheme);
                 }
-                ok
+                Ok(ok)
             }
             LlscScheme::SerialNumber => {
                 let current = match self.lines.get(&line) {
                     Some(LineResv::Serial(s)) => *s,
                     None => 0,
-                    Some(_) => panic!("line {line} switched reservation schemes"),
+                    Some(_) => return Err(scheme_mismatch(line)),
                 };
                 let ok = serial == Some(current);
                 if ok {
                     self.on_write(line, scheme);
                 }
-                ok
+                Ok(ok)
             }
         }
     }
@@ -311,6 +342,44 @@ impl ReservationStore {
     pub fn pool_used(&self) -> usize {
         self.pool_used
     }
+
+    /// Capacity of the linked-list free pool.
+    pub fn pool_capacity(&self) -> usize {
+        self.pool_capacity
+    }
+
+    /// Linked-list entries actually recorded across all lines — must
+    /// always equal [`pool_used`](Self::pool_used); the invariant
+    /// checker verifies the accounting.
+    pub fn pool_entries(&self) -> usize {
+        self.lines
+            .values()
+            .map(|r| match r {
+                LineResv::LinkedList(list) => list.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Forcibly invalidates every reservation held at this node — the
+    /// fault injector's "reservation storm". Bit-vector and list schemes
+    /// drop all reserving processors (releasing linked-list pool
+    /// entries); the serial-number scheme bumps every line's serial so
+    /// outstanding serials go stale. Protocol-legal: LL/SC only promises
+    /// an SC *may* succeed, so spurious reservation loss is allowed.
+    pub fn invalidate_all(&mut self) {
+        for resv in self.lines.values_mut() {
+            match resv {
+                LineResv::BitVector(set) => set.clear(),
+                LineResv::LinkedList(list) => {
+                    self.pool_used -= list.len();
+                    list.clear();
+                }
+                LineResv::Limited(list) => list.clear(),
+                LineResv::Serial(s) => *s = s.wrapping_add(1),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -341,73 +410,115 @@ mod tests {
     #[test]
     fn bitvector_basic_ll_sc() {
         let mut s = ReservationStore::new(0);
-        assert!(s.load_linked(L, P0, LlscScheme::BitVector).reserved);
-        assert!(s.load_linked(L, P1, LlscScheme::BitVector).reserved);
+        assert!(
+            s.load_linked(L, P0, LlscScheme::BitVector)
+                .unwrap()
+                .reserved
+        );
+        assert!(
+            s.load_linked(L, P1, LlscScheme::BitVector)
+                .unwrap()
+                .reserved
+        );
         // P0's SC succeeds and clears P1's reservation too.
-        assert!(s.check_sc(L, P0, None, LlscScheme::BitVector));
-        assert!(!s.check_sc(L, P1, None, LlscScheme::BitVector));
+        assert!(s.check_sc(L, P0, None, LlscScheme::BitVector).unwrap());
+        assert!(!s.check_sc(L, P1, None, LlscScheme::BitVector).unwrap());
     }
 
     #[test]
     fn bitvector_cleared_by_ordinary_write() {
         let mut s = ReservationStore::new(0);
-        s.load_linked(L, P0, LlscScheme::BitVector);
+        s.load_linked(L, P0, LlscScheme::BitVector).unwrap();
         s.on_write(L, LlscScheme::BitVector);
-        assert!(!s.check_sc(L, P0, None, LlscScheme::BitVector));
+        assert!(!s.check_sc(L, P0, None, LlscScheme::BitVector).unwrap());
     }
 
     #[test]
     fn sc_without_ll_fails() {
         let mut s = ReservationStore::new(0);
-        assert!(!s.check_sc(L, P0, None, LlscScheme::BitVector));
-        assert!(!s.check_sc(L, P0, None, LlscScheme::Limited(4)));
+        assert!(!s.check_sc(L, P0, None, LlscScheme::BitVector).unwrap());
+        assert!(!s.check_sc(L, P0, None, LlscScheme::Limited(4)).unwrap());
     }
 
     #[test]
     fn limited_scheme_caps_reservations() {
         let mut s = ReservationStore::new(0);
-        assert!(s.load_linked(L, P0, LlscScheme::Limited(2)).reserved);
-        assert!(s.load_linked(L, P1, LlscScheme::Limited(2)).reserved);
+        assert!(
+            s.load_linked(L, P0, LlscScheme::Limited(2))
+                .unwrap()
+                .reserved
+        );
+        assert!(
+            s.load_linked(L, P1, LlscScheme::Limited(2))
+                .unwrap()
+                .reserved
+        );
         // Third processor is beyond the limit.
-        let g = s.load_linked(L, P2, LlscScheme::Limited(2)).reserved;
+        let g = s
+            .load_linked(L, P2, LlscScheme::Limited(2))
+            .unwrap()
+            .reserved;
         assert!(!g, "beyond-limit LL must report failure");
         // Re-LL by an already reserved processor is fine.
-        assert!(s.load_linked(L, P0, LlscScheme::Limited(2)).reserved);
-        assert!(s.check_sc(L, P1, None, LlscScheme::Limited(2)));
+        assert!(
+            s.load_linked(L, P0, LlscScheme::Limited(2))
+                .unwrap()
+                .reserved
+        );
+        assert!(s.check_sc(L, P1, None, LlscScheme::Limited(2)).unwrap());
         // The successful SC cleared the rest.
-        assert!(!s.check_sc(L, P0, None, LlscScheme::Limited(2)));
+        assert!(!s.check_sc(L, P0, None, LlscScheme::Limited(2)).unwrap());
     }
 
     #[test]
     fn linked_list_pool_exhaustion() {
         let mut s = ReservationStore::new(2);
-        assert!(s.load_linked(L, P0, LlscScheme::LinkedList).reserved);
+        assert!(
+            s.load_linked(L, P0, LlscScheme::LinkedList)
+                .unwrap()
+                .reserved
+        );
         assert!(
             s.load_linked(LineAddr::new(4), P1, LlscScheme::LinkedList)
+                .unwrap()
                 .reserved
         );
         assert_eq!(s.pool_used(), 2);
         // Pool is exhausted; the next LL fails to reserve.
-        assert!(!s.load_linked(L, P2, LlscScheme::LinkedList).reserved);
+        assert!(
+            !s.load_linked(L, P2, LlscScheme::LinkedList)
+                .unwrap()
+                .reserved
+        );
         // A write releases line L's entries back to the pool.
         s.on_write(L, LlscScheme::LinkedList);
         assert_eq!(s.pool_used(), 1);
-        assert!(s.load_linked(L, P2, LlscScheme::LinkedList).reserved);
+        assert!(
+            s.load_linked(L, P2, LlscScheme::LinkedList)
+                .unwrap()
+                .reserved
+        );
     }
 
     #[test]
     fn serial_numbers_advance_on_writes() {
         let mut s = ReservationStore::new(0);
-        let g = s.load_linked(L, P0, LlscScheme::SerialNumber);
+        let g = s.load_linked(L, P0, LlscScheme::SerialNumber).unwrap();
         assert_eq!(g.serial, Some(0));
         assert!(g.reserved);
         // SC with the right serial succeeds and bumps the serial.
-        assert!(s.check_sc(L, P0, Some(0), LlscScheme::SerialNumber));
+        assert!(s
+            .check_sc(L, P0, Some(0), LlscScheme::SerialNumber)
+            .unwrap());
         assert_eq!(s.serial(L), 1);
         // Stale serial now fails.
-        assert!(!s.check_sc(L, P0, Some(0), LlscScheme::SerialNumber));
+        assert!(!s
+            .check_sc(L, P0, Some(0), LlscScheme::SerialNumber)
+            .unwrap());
         // Bare SC by a different processor with the current serial works.
-        assert!(s.check_sc(L, P1, Some(1), LlscScheme::SerialNumber));
+        assert!(s
+            .check_sc(L, P1, Some(1), LlscScheme::SerialNumber)
+            .unwrap());
         assert_eq!(s.serial(L), 2);
     }
 
@@ -416,27 +527,32 @@ mod tests {
         // The value can return to its original, but the serial number
         // cannot: this is the paper's fix for the pointer/ABA problem.
         let mut s = ReservationStore::new(0);
-        let g = s.load_linked(L, P0, LlscScheme::SerialNumber);
+        let g = s.load_linked(L, P0, LlscScheme::SerialNumber).unwrap();
         // Two intervening writes restore the "same value" in memory.
         s.on_write(L, LlscScheme::SerialNumber);
         s.on_write(L, LlscScheme::SerialNumber);
-        assert!(!s.check_sc(L, P0, g.serial, LlscScheme::SerialNumber));
+        assert!(!s
+            .check_sc(L, P0, g.serial, LlscScheme::SerialNumber)
+            .unwrap());
     }
 
     #[test]
     fn serial_none_fails() {
         let mut s = ReservationStore::new(0);
-        s.load_linked(L, P0, LlscScheme::SerialNumber);
-        assert!(!s.check_sc(L, P0, None, LlscScheme::SerialNumber));
+        s.load_linked(L, P0, LlscScheme::SerialNumber).unwrap();
+        assert!(!s.check_sc(L, P0, None, LlscScheme::SerialNumber).unwrap());
     }
 
     #[test]
     fn lines_are_independent() {
         let mut s = ReservationStore::new(16);
-        s.load_linked(L, P0, LlscScheme::BitVector);
-        s.load_linked(LineAddr::new(8), P0, LlscScheme::BitVector);
+        s.load_linked(L, P0, LlscScheme::BitVector).unwrap();
+        s.load_linked(LineAddr::new(8), P0, LlscScheme::BitVector)
+            .unwrap();
         s.on_write(L, LlscScheme::BitVector);
-        assert!(!s.check_sc(L, P0, None, LlscScheme::BitVector));
-        assert!(s.check_sc(LineAddr::new(8), P0, None, LlscScheme::BitVector));
+        assert!(!s.check_sc(L, P0, None, LlscScheme::BitVector).unwrap());
+        assert!(s
+            .check_sc(LineAddr::new(8), P0, None, LlscScheme::BitVector)
+            .unwrap());
     }
 }

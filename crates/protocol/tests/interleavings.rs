@@ -97,7 +97,7 @@ impl World {
                 }
                 let op = proc.script[proc.next];
                 let mut out = Outbox::new();
-                let done = self.caches[node].start_op(op, map, &mut out);
+                let done = self.caches[node].start_op(op, map, &mut out).unwrap();
                 self.inflight.extend(out.drain());
                 if let Some(outcome) = done {
                     self.procs[p].next += 1;
@@ -135,9 +135,9 @@ impl World {
         let mut out = Outbox::new();
         if msg.kind.home_bound() {
             assert_eq!(node, HOME, "all lines in these scripts are homed at node 0");
-            self.home.handle(msg, map, &mut out);
+            self.home.handle(msg, map, &mut out).unwrap();
         } else {
-            let done = self.caches[node].handle(msg, &mut out);
+            let done = self.caches[node].handle(msg, &mut out).unwrap();
             if let Some(outcome) = done {
                 let p = node - 1;
                 self.procs[p].next += 1;

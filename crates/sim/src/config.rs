@@ -6,6 +6,7 @@
 //! defaults here use DASH-era magnitudes; every constant is configurable
 //! so the benchmark harness can sweep them.
 
+use crate::fault::FaultConfig;
 use crate::ids::NodeId;
 
 /// Latency and sizing parameters for the simulated hardware.
@@ -164,6 +165,10 @@ pub struct MachineConfig {
     pub cache: CacheParams,
     /// Seed for all randomized behaviour (backoff jitter, workloads).
     pub seed: u64,
+    /// Fault injection and self-checking knobs; the default disables
+    /// everything, leaving the simulated machine's behaviour (and every
+    /// derived paper artifact) byte-identical to a faults-free build.
+    pub faults: FaultConfig,
 }
 
 impl MachineConfig {
@@ -185,6 +190,7 @@ impl MachineConfig {
             params: SimParams::default(),
             cache: CacheParams::default(),
             seed: 0x5EED,
+            faults: FaultConfig::default(),
         }
     }
 
@@ -224,6 +230,7 @@ impl MachineConfig {
         }
         self.params.validate()?;
         self.cache.validate()?;
+        self.faults.validate()?;
         Ok(())
     }
 }
@@ -292,6 +299,10 @@ mod tests {
 
         let mut cfg = MachineConfig::default();
         cfg.params.flit_bytes = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = MachineConfig::default();
+        cfg.faults.evict_per_10k = 50_000;
         assert!(cfg.validate().is_err());
     }
 }

@@ -1,0 +1,343 @@
+//! Deterministic fault injection.
+//!
+//! The robustness harness perturbs a run with *protocol-legal* events —
+//! extra network delay, forced capacity evictions (whose writebacks race
+//! with forwarded interventions and provoke NACK storms), and forced
+//! reservation invalidations — so every synchronization algorithm can be
+//! stress-tested without changing the semantics of its reference stream.
+//!
+//! Two rules keep runs reproducible and paper artifacts intact:
+//!
+//! * every fault decision is drawn from a dedicated [`SimRng`] stream
+//!   forked off the machine seed with a distinct salt, so workload and
+//!   backoff streams never observe the injector;
+//! * with [`FaultConfig::default()`] (everything off) the simulator takes
+//!   exactly the code paths it takes without this module, so results are
+//!   byte-identical to a faults-free build.
+//!
+//! # Example
+//!
+//! ```
+//! use dsm_sim::{FaultConfig, FaultInjector, SimRng};
+//!
+//! let cfg = FaultConfig::light();
+//! let mut inj = FaultInjector::new(cfg, SimRng::new(7));
+//! let extra = inj.jitter(); // deterministic: same seed, same stream
+//! assert!(extra <= FaultConfig::light().jitter_max);
+//! ```
+
+use crate::ids::NodeId;
+use crate::rng::SimRng;
+
+/// Probabilities and windows for deterministic fault injection.
+///
+/// Rates are expressed per ten thousand (basis points) so the config
+/// stays `Eq + Hash` and can live inside `MachineConfig`. The default is
+/// everything off: no jitter, no forced evictions, no reservation wipes,
+/// paranoid checking disabled, watchdog disabled.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FaultConfig {
+    /// Chance (per 10 000 messages) that a message is delayed extra cycles.
+    pub jitter_per_10k: u32,
+    /// Maximum extra delay, in cycles, when jitter fires.
+    pub jitter_max: u64,
+    /// Chance (per 10 000 windows) of forcing a capacity eviction at a
+    /// random node. Evicting an exclusive line emits a writeback that
+    /// races with in-flight interventions — the protocol's NAK path.
+    pub evict_per_10k: u32,
+    /// Chance (per 10 000 windows) of wiping all memory-side LL/SC
+    /// reservations at a random home node (a forced invalidation storm).
+    pub wipe_per_10k: u32,
+    /// Cycles between fault windows (eviction/wipe opportunities).
+    pub period: u64,
+    /// Run the protocol invariant checker after every transition.
+    pub paranoid: bool,
+    /// Livelock watchdog: fail the run if events keep firing but no
+    /// processor retires an operation for this many cycles (0 = off).
+    pub watchdog: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            jitter_per_10k: 0,
+            jitter_max: 0,
+            evict_per_10k: 0,
+            wipe_per_10k: 0,
+            period: 1024,
+            paranoid: false,
+            watchdog: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A mild preset: occasional jitter, rare evictions and wipes.
+    pub fn light() -> Self {
+        FaultConfig {
+            jitter_per_10k: 300,
+            jitter_max: 32,
+            evict_per_10k: 2_000,
+            wipe_per_10k: 1_000,
+            period: 2048,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// An aggressive preset: frequent jitter, evictions and wipes.
+    pub fn heavy() -> Self {
+        FaultConfig {
+            jitter_per_10k: 2_000,
+            jitter_max: 128,
+            evict_per_10k: 8_000,
+            wipe_per_10k: 5_000,
+            period: 512,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// True if any fault (jitter, eviction or wipe) can fire.
+    pub fn any_faults(&self) -> bool {
+        self.jitter_per_10k > 0 || self.evict_per_10k > 0 || self.wipe_per_10k > 0
+    }
+
+    /// True if the config changes machine behaviour in any way
+    /// (faults, paranoid checking, or the watchdog).
+    pub fn is_active(&self) -> bool {
+        self.any_faults() || self.paranoid || self.watchdog > 0
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint, e.g. a
+    /// rate above 10 000 or a zero window period with faults enabled.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("jitter_per_10k", self.jitter_per_10k),
+            ("evict_per_10k", self.evict_per_10k),
+            ("wipe_per_10k", self.wipe_per_10k),
+        ] {
+            if rate > 10_000 {
+                return Err(format!("{name} is {rate}, max is 10000"));
+            }
+        }
+        if self.period == 0 && (self.evict_per_10k > 0 || self.wipe_per_10k > 0) {
+            return Err("fault period must be positive when window faults are enabled".into());
+        }
+        if self.jitter_per_10k > 0 && self.jitter_max == 0 {
+            return Err("jitter enabled but jitter_max is 0 cycles".into());
+        }
+        Ok(())
+    }
+
+    /// Parses a spec string: a preset name (`light`, `heavy`) or a
+    /// comma-separated key list — `jitter=300`, `jmax=32`, `evict=2000`,
+    /// `wipe=1000`, `period=2048`, `watchdog=2000000` (rates per 10 000).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown key or unparsable value.
+    pub fn from_spec(spec: &str) -> Result<Self, String> {
+        match spec {
+            "" | "light" => return Ok(FaultConfig::light()),
+            "heavy" => return Ok(FaultConfig::heavy()),
+            _ => {}
+        }
+        let mut cfg = FaultConfig {
+            jitter_max: 32,
+            ..FaultConfig::default()
+        };
+        for part in spec.split(',') {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec item `{part}` is not key=value"))?;
+            let v: u64 = value
+                .parse()
+                .map_err(|_| format!("fault spec value `{value}` for `{key}` is not a number"))?;
+            match key {
+                "jitter" => cfg.jitter_per_10k = v as u32,
+                "jmax" => cfg.jitter_max = v,
+                "evict" => cfg.evict_per_10k = v as u32,
+                "wipe" => cfg.wipe_per_10k = v as u32,
+                "period" => cfg.period = v,
+                "watchdog" => cfg.watchdog = v,
+                other => {
+                    return Err(format!(
+                        "unknown fault spec key `{other}` \
+                         (try jitter/jmax/evict/wipe/period/watchdog)"
+                    ))
+                }
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+/// A window fault the injector asks the machine to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Force a capacity eviction of one resident line at `node`'s cache.
+    EvictLine {
+        /// The cache to pressure.
+        node: NodeId,
+    },
+    /// Invalidate every memory-side LL/SC reservation held at `node`.
+    WipeReservations {
+        /// The home node whose reservation store is wiped.
+        node: NodeId,
+    },
+}
+
+/// Draws fault decisions from a private deterministic stream.
+///
+/// The injector is a pure function of its config, its seed and the
+/// sequence of queries, so identical runs inject identical faults
+/// regardless of host parallelism.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    rng: SimRng,
+    next_window: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector; `rng` should be forked off the machine seed
+    /// with a salt no other component uses.
+    pub fn new(cfg: FaultConfig, rng: SimRng) -> Self {
+        let first = cfg.period.max(1);
+        FaultInjector {
+            cfg,
+            rng,
+            next_window: first,
+        }
+    }
+
+    /// Extra delay (in cycles) to add to the next message, usually 0.
+    pub fn jitter(&mut self) -> u64 {
+        if self.cfg.jitter_per_10k == 0 {
+            return 0;
+        }
+        if self.rng.range(10_000) < u64::from(self.cfg.jitter_per_10k) {
+            1 + self.rng.range(self.cfg.jitter_max.max(1))
+        } else {
+            0
+        }
+    }
+
+    /// Returns the window faults due at simulated time `now`, advancing
+    /// the window clock. At most one eviction and one wipe per window.
+    pub fn poll(&mut self, now: u64, nodes: u32) -> Vec<FaultEvent> {
+        let mut fired = Vec::new();
+        if self.cfg.evict_per_10k == 0 && self.cfg.wipe_per_10k == 0 {
+            return fired;
+        }
+        while now >= self.next_window {
+            self.next_window += self.cfg.period.max(1);
+            if self.rng.range(10_000) < u64::from(self.cfg.evict_per_10k) {
+                fired.push(FaultEvent::EvictLine {
+                    node: NodeId::new(self.rng.range(u64::from(nodes)) as u32),
+                });
+            }
+            if self.rng.range(10_000) < u64::from(self.cfg.wipe_per_10k) {
+                fired.push(FaultEvent::WipeReservations {
+                    node: NodeId::new(self.rng.range(u64::from(nodes)) as u32),
+                });
+            }
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fully_off() {
+        let cfg = FaultConfig::default();
+        assert!(!cfg.any_faults());
+        assert!(!cfg.is_active());
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn presets_validate_and_are_active() {
+        for cfg in [FaultConfig::light(), FaultConfig::heavy()] {
+            cfg.validate().unwrap();
+            assert!(cfg.any_faults());
+            assert!(cfg.is_active());
+        }
+    }
+
+    #[test]
+    fn spec_parsing_round_trips() {
+        assert_eq!(
+            FaultConfig::from_spec("light").unwrap(),
+            FaultConfig::light()
+        );
+        assert_eq!(
+            FaultConfig::from_spec("heavy").unwrap(),
+            FaultConfig::heavy()
+        );
+        let cfg = FaultConfig::from_spec("jitter=5,jmax=9,evict=10,wipe=20,period=64,watchdog=99")
+            .unwrap();
+        assert_eq!(cfg.jitter_per_10k, 5);
+        assert_eq!(cfg.jitter_max, 9);
+        assert_eq!(cfg.evict_per_10k, 10);
+        assert_eq!(cfg.wipe_per_10k, 20);
+        assert_eq!(cfg.period, 64);
+        assert_eq!(cfg.watchdog, 99);
+        assert!(FaultConfig::from_spec("bogus=1").is_err());
+        assert!(FaultConfig::from_spec("jitter").is_err());
+        assert!(FaultConfig::from_spec("jitter=x").is_err());
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut cfg = FaultConfig::light();
+        cfg.jitter_per_10k = 20_000;
+        assert!(cfg.validate().is_err());
+        let mut cfg = FaultConfig::light();
+        cfg.period = 0;
+        assert!(cfg.validate().is_err());
+        let cfg = FaultConfig {
+            jitter_per_10k: 1,
+            jitter_max: 0,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn injector_is_deterministic() {
+        let draw = || {
+            let mut inj = FaultInjector::new(FaultConfig::heavy(), SimRng::new(0xFA11));
+            let jitters: Vec<u64> = (0..64).map(|_| inj.jitter()).collect();
+            let mut faults = Vec::new();
+            for t in (0..20_000).step_by(700) {
+                faults.extend(inj.poll(t, 8));
+            }
+            (jitters, faults)
+        };
+        assert_eq!(draw(), draw());
+        let (jitters, faults) = draw();
+        assert!(jitters.iter().any(|&j| j > 0), "heavy preset must jitter");
+        assert!(
+            jitters
+                .iter()
+                .all(|&j| j <= FaultConfig::heavy().jitter_max),
+            "jitter bounded by jitter_max"
+        );
+        assert!(!faults.is_empty(), "heavy preset must fire window faults");
+    }
+
+    #[test]
+    fn disabled_injector_fires_nothing() {
+        let mut inj = FaultInjector::new(FaultConfig::default(), SimRng::new(1));
+        assert_eq!(inj.jitter(), 0);
+        assert!(inj.poll(1 << 40, 64).is_empty());
+    }
+}

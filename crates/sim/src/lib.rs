@@ -40,6 +40,7 @@
 
 pub mod config;
 pub mod event;
+pub mod fault;
 pub mod hash;
 pub mod ids;
 pub mod rng;
@@ -47,6 +48,7 @@ pub mod time;
 
 pub use config::{CacheParams, MachineConfig, SimParams};
 pub use event::EventQueue;
+pub use fault::{FaultConfig, FaultEvent, FaultInjector};
 pub use hash::StableHasher;
 pub use ids::{Addr, LineAddr, NodeId, ProcId};
 pub use rng::SimRng;

@@ -9,7 +9,7 @@ use atomic_dsm::experiments::{
     apps, basic_bars, counters, scaling, table1, BarSpec, CounterKind, Scale,
 };
 use dsm_protocol::SyncPolicy;
-use dsm_sim::MachineConfig;
+use dsm_sim::{FaultConfig, MachineConfig};
 use dsm_sync::Primitive;
 use std::sync::{Mutex, MutexGuard};
 
@@ -156,6 +156,53 @@ fn job_keys_and_seeds_distinguish_inputs() {
     );
     runner::run_one(&base(1.5, 2));
     assert_eq!(runner::stats().cache_hits - after.cache_hits, 1);
+}
+
+/// Fault-injected sweeps keep the headline guarantee: the same
+/// `FaultConfig` and seed produce byte-identical results whether the
+/// batch runs on 1 worker or 8. The injector draws from its own forked
+/// RNG stream keyed off the job seed, so host scheduling cannot reach
+/// the fault schedule.
+#[test]
+fn fault_injected_sweep_is_identical_across_worker_counts() {
+    let _guard = exclusive();
+    let mut mcfg = MachineConfig::with_nodes(8);
+    mcfg.faults = FaultConfig {
+        paranoid: true,
+        watchdog: 50_000_000,
+        ..FaultConfig::light()
+    };
+    let jobs: Vec<Job> = [1u32, 4, 8]
+        .into_iter()
+        .flat_map(|c| {
+            basic_bars()
+                .into_iter()
+                .map(move |b| (c, b))
+                .collect::<Vec<_>>()
+        })
+        .map(|(c, b)| Job::counter(mcfg.clone(), CounterKind::LockFree, b, c, 1.0, 4))
+        .collect();
+    let run = |workers: usize| {
+        runner::with_workers(workers, || {
+            runner::clear_cache();
+            format!("{:?}", runner::try_run_all(&jobs))
+        })
+    };
+    let serial = run(1);
+    let parallel = run(8);
+    assert_eq!(serial, parallel, "worker count changed faulted results");
+    // The faulted sweep must also differ from the fault-free one in its
+    // cache identity: faults are part of the job key, never a global.
+    let mut plain = jobs[0].clone();
+    if let Job::Counter { mcfg, .. } = &mut plain {
+        mcfg.faults = FaultConfig::default();
+    }
+    assert_ne!(jobs[0], plain, "fault config must distinguish job keys");
+    assert_eq!(
+        jobs[0].seed(),
+        plain.seed(),
+        "faults must not move the seed"
+    );
 }
 
 /// A panicking job must fail the whole run (propagating the panic) and
