@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/dsm_protocol-96ba6222d4953241.d: crates/protocol/src/lib.rs crates/protocol/src/addrmap.rs crates/protocol/src/cache.rs crates/protocol/src/cachectl.rs crates/protocol/src/data.rs crates/protocol/src/directory.rs crates/protocol/src/home.rs crates/protocol/src/msg.rs crates/protocol/src/nodeset.rs crates/protocol/src/reservation.rs crates/protocol/src/types.rs Cargo.toml
+/root/repo/target/debug/deps/dsm_protocol-96ba6222d4953241.d: crates/protocol/src/lib.rs crates/protocol/src/addrmap.rs crates/protocol/src/cache.rs crates/protocol/src/cachectl.rs crates/protocol/src/data.rs crates/protocol/src/directory.rs crates/protocol/src/error.rs crates/protocol/src/home.rs crates/protocol/src/invariant.rs crates/protocol/src/msg.rs crates/protocol/src/nodeset.rs crates/protocol/src/reservation.rs crates/protocol/src/types.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdsm_protocol-96ba6222d4953241.rmeta: crates/protocol/src/lib.rs crates/protocol/src/addrmap.rs crates/protocol/src/cache.rs crates/protocol/src/cachectl.rs crates/protocol/src/data.rs crates/protocol/src/directory.rs crates/protocol/src/home.rs crates/protocol/src/msg.rs crates/protocol/src/nodeset.rs crates/protocol/src/reservation.rs crates/protocol/src/types.rs Cargo.toml
+/root/repo/target/debug/deps/libdsm_protocol-96ba6222d4953241.rmeta: crates/protocol/src/lib.rs crates/protocol/src/addrmap.rs crates/protocol/src/cache.rs crates/protocol/src/cachectl.rs crates/protocol/src/data.rs crates/protocol/src/directory.rs crates/protocol/src/error.rs crates/protocol/src/home.rs crates/protocol/src/invariant.rs crates/protocol/src/msg.rs crates/protocol/src/nodeset.rs crates/protocol/src/reservation.rs crates/protocol/src/types.rs Cargo.toml
 
 crates/protocol/src/lib.rs:
 crates/protocol/src/addrmap.rs:
@@ -8,7 +8,9 @@ crates/protocol/src/cache.rs:
 crates/protocol/src/cachectl.rs:
 crates/protocol/src/data.rs:
 crates/protocol/src/directory.rs:
+crates/protocol/src/error.rs:
 crates/protocol/src/home.rs:
+crates/protocol/src/invariant.rs:
 crates/protocol/src/msg.rs:
 crates/protocol/src/nodeset.rs:
 crates/protocol/src/reservation.rs:

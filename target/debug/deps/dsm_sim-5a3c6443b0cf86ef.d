@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/dsm_sim-5a3c6443b0cf86ef.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/hash.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+/root/repo/target/debug/deps/dsm_sim-5a3c6443b0cf86ef.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/hash.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/time.rs
 
-/root/repo/target/debug/deps/dsm_sim-5a3c6443b0cf86ef: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/hash.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+/root/repo/target/debug/deps/dsm_sim-5a3c6443b0cf86ef: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/hash.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/time.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/config.rs:
 crates/sim/src/event.rs:
+crates/sim/src/fault.rs:
 crates/sim/src/hash.rs:
 crates/sim/src/ids.rs:
 crates/sim/src/rng.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/dsm_sim-851570cc8ed7163a.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/hash.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+/root/repo/target/debug/deps/dsm_sim-851570cc8ed7163a.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/hash.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/time.rs
 
-/root/repo/target/debug/deps/libdsm_sim-851570cc8ed7163a.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/hash.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+/root/repo/target/debug/deps/libdsm_sim-851570cc8ed7163a.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/hash.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/time.rs
 
-/root/repo/target/debug/deps/libdsm_sim-851570cc8ed7163a.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/hash.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+/root/repo/target/debug/deps/libdsm_sim-851570cc8ed7163a.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/hash.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/time.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/config.rs:
 crates/sim/src/event.rs:
+crates/sim/src/fault.rs:
 crates/sim/src/hash.rs:
 crates/sim/src/ids.rs:
 crates/sim/src/rng.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/dsm_sim-aded0c281fa10027.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/hash.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/dsm_sim-aded0c281fa10027.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/hash.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/time.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdsm_sim-aded0c281fa10027.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/hash.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/libdsm_sim-aded0c281fa10027.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/hash.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/time.rs Cargo.toml
 
 crates/sim/src/lib.rs:
 crates/sim/src/config.rs:
 crates/sim/src/event.rs:
+crates/sim/src/fault.rs:
 crates/sim/src/hash.rs:
 crates/sim/src/ids.rs:
 crates/sim/src/rng.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-00e3b7c7072fab46.d: crates/core/../../tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-00e3b7c7072fab46: crates/core/../../tests/fault_injection.rs
+
+crates/core/../../tests/fault_injection.rs:

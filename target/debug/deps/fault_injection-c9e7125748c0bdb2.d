@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_injection-c9e7125748c0bdb2.d: crates/core/../../tests/fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_injection-c9e7125748c0bdb2.rmeta: crates/core/../../tests/fault_injection.rs Cargo.toml
+
+crates/core/../../tests/fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/dsm_protocol-88e3329608553e55.d: crates/protocol/src/lib.rs crates/protocol/src/addrmap.rs crates/protocol/src/cache.rs crates/protocol/src/cachectl.rs crates/protocol/src/data.rs crates/protocol/src/directory.rs crates/protocol/src/home.rs crates/protocol/src/msg.rs crates/protocol/src/nodeset.rs crates/protocol/src/reservation.rs crates/protocol/src/types.rs
+/root/repo/target/release/deps/dsm_protocol-88e3329608553e55.d: crates/protocol/src/lib.rs crates/protocol/src/addrmap.rs crates/protocol/src/cache.rs crates/protocol/src/cachectl.rs crates/protocol/src/data.rs crates/protocol/src/directory.rs crates/protocol/src/error.rs crates/protocol/src/home.rs crates/protocol/src/invariant.rs crates/protocol/src/msg.rs crates/protocol/src/nodeset.rs crates/protocol/src/reservation.rs crates/protocol/src/types.rs
 
-/root/repo/target/release/deps/libdsm_protocol-88e3329608553e55.rlib: crates/protocol/src/lib.rs crates/protocol/src/addrmap.rs crates/protocol/src/cache.rs crates/protocol/src/cachectl.rs crates/protocol/src/data.rs crates/protocol/src/directory.rs crates/protocol/src/home.rs crates/protocol/src/msg.rs crates/protocol/src/nodeset.rs crates/protocol/src/reservation.rs crates/protocol/src/types.rs
+/root/repo/target/release/deps/libdsm_protocol-88e3329608553e55.rlib: crates/protocol/src/lib.rs crates/protocol/src/addrmap.rs crates/protocol/src/cache.rs crates/protocol/src/cachectl.rs crates/protocol/src/data.rs crates/protocol/src/directory.rs crates/protocol/src/error.rs crates/protocol/src/home.rs crates/protocol/src/invariant.rs crates/protocol/src/msg.rs crates/protocol/src/nodeset.rs crates/protocol/src/reservation.rs crates/protocol/src/types.rs
 
-/root/repo/target/release/deps/libdsm_protocol-88e3329608553e55.rmeta: crates/protocol/src/lib.rs crates/protocol/src/addrmap.rs crates/protocol/src/cache.rs crates/protocol/src/cachectl.rs crates/protocol/src/data.rs crates/protocol/src/directory.rs crates/protocol/src/home.rs crates/protocol/src/msg.rs crates/protocol/src/nodeset.rs crates/protocol/src/reservation.rs crates/protocol/src/types.rs
+/root/repo/target/release/deps/libdsm_protocol-88e3329608553e55.rmeta: crates/protocol/src/lib.rs crates/protocol/src/addrmap.rs crates/protocol/src/cache.rs crates/protocol/src/cachectl.rs crates/protocol/src/data.rs crates/protocol/src/directory.rs crates/protocol/src/error.rs crates/protocol/src/home.rs crates/protocol/src/invariant.rs crates/protocol/src/msg.rs crates/protocol/src/nodeset.rs crates/protocol/src/reservation.rs crates/protocol/src/types.rs
 
 crates/protocol/src/lib.rs:
 crates/protocol/src/addrmap.rs:
@@ -10,7 +10,9 @@ crates/protocol/src/cache.rs:
 crates/protocol/src/cachectl.rs:
 crates/protocol/src/data.rs:
 crates/protocol/src/directory.rs:
+crates/protocol/src/error.rs:
 crates/protocol/src/home.rs:
+crates/protocol/src/invariant.rs:
 crates/protocol/src/msg.rs:
 crates/protocol/src/nodeset.rs:
 crates/protocol/src/reservation.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/dsm_sim-820ebdaecc17d860.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/hash.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+/root/repo/target/release/deps/dsm_sim-820ebdaecc17d860.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/hash.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/time.rs
 
-/root/repo/target/release/deps/libdsm_sim-820ebdaecc17d860.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/hash.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+/root/repo/target/release/deps/libdsm_sim-820ebdaecc17d860.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/hash.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/time.rs
 
-/root/repo/target/release/deps/libdsm_sim-820ebdaecc17d860.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/hash.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+/root/repo/target/release/deps/libdsm_sim-820ebdaecc17d860.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/hash.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/time.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/config.rs:
 crates/sim/src/event.rs:
+crates/sim/src/fault.rs:
 crates/sim/src/hash.rs:
 crates/sim/src/ids.rs:
 crates/sim/src/rng.rs:
