@@ -1,0 +1,41 @@
+//! Golden-artifact test: the committed `results_csv/table1.csv` must
+//! be byte-for-byte reproducible from the current engine.
+//!
+//! Table 1 is the cheapest committed artifact (a handful of two-node
+//! micro-experiments), so regenerating it on every test run is an
+//! affordable end-to-end guard: any engine change that silently shifts
+//! simulated results — an event reordered, a latency misaccounted, a
+//! hash iteration leaking into observable state — shows up here as a
+//! diff against the checked-in bytes, not just as a number in a table
+//! nobody re-reads.
+
+use atomic_dsm::experiments::table1;
+use atomic_dsm::stats::render_csv;
+
+#[test]
+fn committed_table1_csv_matches_regenerated_bytes() {
+    let mut rows = vec![vec![
+        "scenario".to_string(),
+        "paper".to_string(),
+        "measured".to_string(),
+    ]];
+    for r in table1::run() {
+        rows.push(vec![
+            r.scenario.to_string(),
+            r.paper.to_string(),
+            r.measured.to_string(),
+        ]);
+    }
+    let regenerated = render_csv(&rows);
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results_csv/table1.csv");
+    let committed = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read committed golden file {path}: {e}"));
+
+    assert_eq!(
+        regenerated, committed,
+        "regenerated Table 1 differs from the committed results_csv/table1.csv; \
+         if the engine change is intentional, regenerate the artifacts with \
+         `cargo run --release -p dsm-bench --bin figures -- all --paper --csv results_csv`"
+    );
+}

@@ -146,14 +146,25 @@ pub struct RunReport {
 #[derive(Debug)]
 enum Event {
     /// A message arrived at its destination's network exit.
-    Deliver(Msg),
+    ///
+    /// Messages are boxed so a queue entry stays pointer-sized: every
+    /// message transits the queue twice (Deliver, then Process) and a
+    /// `Msg` is over a hundred bytes, so by-value events would memcpy
+    /// each message through the heap four extra times.
+    Deliver(Box<Msg>),
     /// A server (memory module or cache controller) finished processing
     /// a message.
-    Process(Msg),
+    Process(Box<Msg>),
     /// A processor is ready for its next program step.
     ProcStep(ProcId),
     /// A processor's outstanding operation completed.
-    OpDone(ProcId, OpOutcome),
+    ///
+    /// Boxed for the same reason as messages: completions outnumber
+    /// every other event in cache-friendly workloads, and a slim queue
+    /// entry halves the bytes the time wheel has to shuffle per event.
+    /// The boxes come from (and return to) a recycling pool, so no
+    /// allocation happens at steady state.
+    OpDone(ProcId, Box<OpOutcome>),
 }
 
 struct ProcState {
@@ -291,19 +302,21 @@ impl MachineBuilder {
             .then(|| FaultInjector::new(faults.clone(), seed_rng.fork(0xFA17)));
         let mut homes = Vec::with_capacity(self.cfg.nodes as usize);
         let mut caches = Vec::with_capacity(self.cfg.nodes as usize);
+        // Each home serves roughly the lines that fit in one node's
+        // cache; each node can have a handful of events in flight
+        // (messages, processor steps, memory completions).
+        let resv_lines = self.cfg.cache.lines();
         for n in 0..self.cfg.nodes {
-            homes.push(HomeNode::new(
-                NodeId::new(n),
-                self.cfg.params.line_size,
-                self.llsc_pool,
-            ));
+            let mut home = HomeNode::new(NodeId::new(n), self.cfg.params.line_size, self.llsc_pool);
+            home.reserve_lines(resv_lines);
+            homes.push(home);
             let mut cc = CacheNode::new(NodeId::new(n), self.cfg.params.line_size, self.cfg.cache);
             cc.set_nodes(self.cfg.nodes);
             caches.push(cc);
         }
         let mut machine = Machine {
             now: Cycle::ZERO,
-            events: EventQueue::new(),
+            events: EventQueue::with_capacity(self.cfg.nodes as usize * 8),
             net,
             homes,
             caches,
@@ -321,6 +334,9 @@ impl MachineBuilder {
             last_retire: Cycle::ZERO,
             injected_evictions: 0,
             injected_wipes: 0,
+            outbox: Outbox::new(),
+            msg_pool: Vec::new(),
+            outcome_pool: Vec::new(),
             cfg: self.cfg,
         };
         for (addr, value) in self.init {
@@ -368,6 +384,24 @@ pub struct Machine {
     injected_evictions: u64,
     /// Reservation wipes forced by the fault injector.
     injected_wipes: u64,
+    /// Reusable outbox: protocol handlers fill it, [`route`](Machine::route)
+    /// drains it in place, and the backing vector's capacity survives
+    /// from event to event instead of being reallocated per dispatch.
+    outbox: Outbox,
+    /// Recycled message boxes: every in-flight message lives in a
+    /// `Box<Msg>` (see [`Event`]), and at steady state the simulator
+    /// would otherwise pay a malloc/free pair per message. Boxes freed
+    /// by [`process`](Machine::process) are reused by
+    /// [`route`](Machine::route). The boxing is the point — these pools
+    /// hold ready-made heap allocations for [`Event`] payloads — so
+    /// clippy's vec_box (which assumes the indirection is accidental)
+    /// does not apply.
+    #[allow(clippy::vec_box)]
+    msg_pool: Vec<Box<Msg>>,
+    /// Recycled completion boxes, same idea as `msg_pool` but for
+    /// [`Event::OpDone`] payloads.
+    #[allow(clippy::vec_box)]
+    outcome_pool: Vec<Box<OpOutcome>>,
 }
 
 impl Machine {
@@ -476,11 +510,12 @@ impl Machine {
         for fault in fired {
             match fault {
                 FaultEvent::EvictLine { node } => {
-                    let mut out = Outbox::new();
+                    let mut out = std::mem::take(&mut self.outbox);
                     if self.caches[node.index()].inject_evict(&mut out).is_some() {
                         self.injected_evictions += 1;
                     }
-                    self.route(out.drain());
+                    self.route(&mut out);
+                    self.outbox = out;
                 }
                 FaultEvent::WipeReservations { node } => {
                     self.homes[node.index()].wipe_reservations();
@@ -605,7 +640,11 @@ impl Machine {
     fn dispatch(&mut self, event: Event) -> Result<(), RunError> {
         match event {
             Event::ProcStep(p) => self.proc_step(p),
-            Event::OpDone(p, outcome) => self.op_done(p, outcome),
+            Event::OpDone(p, outcome) => {
+                let o = *outcome;
+                self.outcome_pool.push(outcome);
+                self.op_done(p, o)
+            }
             Event::Deliver(msg) => {
                 self.deliver(msg);
                 Ok(())
@@ -632,9 +671,10 @@ impl Machine {
             .flat_map(|(_, q)| q.iter().map(String::as_str))
     }
 
-    /// Routes freshly emitted messages into the network.
-    fn route(&mut self, msgs: Vec<Msg>) {
-        for msg in msgs {
+    /// Routes freshly emitted messages into the network, draining the
+    /// outbox in place so its allocation is reusable.
+    fn route(&mut self, out: &mut Outbox) {
+        for msg in out.msgs.drain(..) {
             if let Some((cap, q)) = &mut self.trace {
                 if q.len() == *cap {
                     q.pop_front();
@@ -658,7 +698,14 @@ impl Machine {
                 }
                 None => self.net.send(self.now, msg.src, msg.dst, flits),
             };
-            self.events.push(deliver_at, Event::Deliver(msg));
+            let boxed = match self.msg_pool.pop() {
+                Some(mut b) => {
+                    *b = msg;
+                    b
+                }
+                None => Box::new(msg),
+            };
+            self.events.push(deliver_at, Event::Deliver(boxed));
         }
     }
 
@@ -696,24 +743,28 @@ impl Machine {
     }
 
     fn issue_op(&mut self, p: ProcId, op: MemOp) -> Result<(), RunError> {
-        let is_sync = self.map.is_sync(op.addr());
+        // One map lookup answers both "sync line?" and "which policy?".
+        let sync_cfg = self.map.sync_config_for(op.addr());
+        let is_sync = sync_cfg.is_some();
         if is_sync {
             self.stats.contention.begin(op.addr().as_u64(), p.as_u32());
         }
         self.procs[p.index()].current = Some((op, self.now, is_sync));
-        let mut out = Outbox::new();
+        let mut out = std::mem::take(&mut self.outbox);
         let completed = self.caches[p.index()]
-            .start_op(op, &self.map, &mut out)
+            .start_op_with(op, sync_cfg.unwrap_or_default(), &mut out)
             .map_err(|error| RunError::Protocol {
                 at: self.now,
                 error,
             })?;
-        self.route(out.drain());
+        self.route(&mut out);
+        self.outbox = out;
         match completed {
             Some(outcome) => {
                 let latency = self.cfg.params.cache_hit;
+                let boxed = self.box_outcome(outcome);
                 self.events
-                    .push(self.now + latency, Event::OpDone(p, outcome));
+                    .push(self.now + latency, Event::OpDone(p, boxed));
                 self.procs[p.index()].blocked = true;
             }
             None => {
@@ -763,7 +814,7 @@ impl Machine {
         Ok(())
     }
 
-    fn deliver(&mut self, msg: Msg) {
+    fn deliver(&mut self, msg: Box<Msg>) {
         // Choose the server and its occupancy.
         let node = msg.dst.index();
         let (busy, service) = if msg.kind.home_bound() {
@@ -780,10 +831,41 @@ impl Machine {
         self.events.push(finish, Event::Process(msg));
     }
 
-    fn process(&mut self, msg: Msg) -> Result<(), RunError> {
+    /// Wraps a completion in a (pooled) box for the event queue.
+    fn box_outcome(&mut self, outcome: OpOutcome) -> Box<OpOutcome> {
+        match self.outcome_pool.pop() {
+            Some(mut b) => {
+                *b = outcome;
+                b
+            }
+            None => Box::new(outcome),
+        }
+    }
+
+    /// Moves the message out of its box and returns the box to the
+    /// recycling pool.
+    fn recycle(&mut self, mut msg: Box<Msg>) -> Msg {
+        let taken = std::mem::replace(
+            &mut *msg,
+            Msg {
+                src: NodeId::new(0),
+                dst: NodeId::new(0),
+                line: dsm_sim::LineAddr::new(0),
+                addr: dsm_sim::Addr::new(0),
+                proc: ProcId::new(0),
+                chain: 0,
+                kind: dsm_protocol::MsgKind::GetS,
+            },
+        );
+        self.msg_pool.push(msg);
+        taken
+    }
+
+    fn process(&mut self, msg: Box<Msg>) -> Result<(), RunError> {
         let node = msg.dst.index();
         let line = msg.line;
-        let mut out = Outbox::new();
+        let msg = self.recycle(msg);
+        let mut out = std::mem::take(&mut self.outbox);
         if msg.kind.home_bound() {
             self.homes[node]
                 .handle(msg, &self.map, &mut out)
@@ -791,7 +873,7 @@ impl Machine {
                     at: self.now,
                     error,
                 })?;
-            self.route(out.drain());
+            self.route(&mut out);
         } else {
             let proc = ProcId::new(msg.dst.as_u32());
             let completed =
@@ -801,11 +883,13 @@ impl Machine {
                         at: self.now,
                         error,
                     })?;
-            self.route(out.drain());
+            self.route(&mut out);
             if let Some(outcome) = completed {
-                self.events.push(self.now, Event::OpDone(proc, outcome));
+                let boxed = self.box_outcome(outcome);
+                self.events.push(self.now, Event::OpDone(proc, boxed));
             }
         }
+        self.outbox = out;
         if self.paranoid {
             if let Some(violation) = check_line(&self.caches, &self.homes, &self.map, line)
                 .into_iter()

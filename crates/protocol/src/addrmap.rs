@@ -2,8 +2,8 @@
 //! and which policy/variant applies to them.
 
 use crate::types::SyncConfig;
+use dsm_sim::StableHashMap;
 use dsm_sim::{Addr, LineAddr};
-use std::collections::HashMap;
 
 /// Maps cache lines to their synchronization configuration.
 ///
@@ -28,7 +28,14 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct AddressMap {
     line_size: u64,
-    sync: HashMap<LineAddr, SyncConfig>,
+    sync: StableHashMap<LineAddr, SyncConfig>,
+    /// Inclusive line-number bounds of all registered sync lines
+    /// (`lo > hi` when none). Workloads register a handful of sync
+    /// lines but probe this map on *every* memory operation, so the
+    /// overwhelmingly common data-address case must answer with two
+    /// comparisons, not a hash lookup.
+    lo: LineAddr,
+    hi: LineAddr,
 }
 
 impl AddressMap {
@@ -36,7 +43,9 @@ impl AddressMap {
     pub fn new(line_size: u64) -> Self {
         AddressMap {
             line_size,
-            sync: HashMap::new(),
+            sync: StableHashMap::default(),
+            lo: LineAddr::new(u64::MAX),
+            hi: LineAddr::new(0),
         }
     }
 
@@ -51,7 +60,16 @@ impl AddressMap {
     /// Registering the same line twice replaces the configuration (the
     /// whole line shares one policy).
     pub fn register(&mut self, addr: Addr, config: SyncConfig) {
-        self.sync.insert(addr.line(self.line_size), config);
+        let line = addr.line(self.line_size);
+        self.lo = self.lo.min(line);
+        self.hi = self.hi.max(line);
+        self.sync.insert(line, config);
+    }
+
+    /// `true` if `line` is outside the range any sync line occupies.
+    #[inline]
+    fn out_of_range(&self, line: LineAddr) -> bool {
+        line < self.lo || line > self.hi
     }
 
     /// The configuration for the line containing `addr` (default
@@ -62,18 +80,33 @@ impl AddressMap {
 
     /// The configuration for `line`.
     pub fn config_for_line(&self, line: LineAddr) -> SyncConfig {
+        if self.out_of_range(line) {
+            return SyncConfig::default();
+        }
         self.sync.get(&line).copied().unwrap_or_default()
+    }
+
+    /// The configuration for the line containing `addr`, or `None` if
+    /// the line was never registered (ordinary data). One lookup
+    /// answers both "is this a sync line?" and "with what config?",
+    /// which the machine's issue path asks about every operation.
+    pub fn sync_config_for(&self, addr: Addr) -> Option<SyncConfig> {
+        let line = addr.line(self.line_size);
+        if self.out_of_range(line) {
+            return None;
+        }
+        self.sync.get(&line).copied()
     }
 
     /// `true` if the line containing `addr` was registered as a
     /// synchronization line.
     pub fn is_sync(&self, addr: Addr) -> bool {
-        self.sync.contains_key(&addr.line(self.line_size))
+        self.is_sync_line(addr.line(self.line_size))
     }
 
     /// `true` if `line` was registered as a synchronization line.
     pub fn is_sync_line(&self, line: LineAddr) -> bool {
-        self.sync.contains_key(&line)
+        !self.out_of_range(line) && self.sync.contains_key(&line)
     }
 }
 

@@ -74,7 +74,15 @@ impl Cache {
     }
 
     fn set_index(&self, line: LineAddr) -> usize {
-        (line.number() % self.sets.len() as u64) as usize
+        let n = self.sets.len() as u64;
+        // Set counts are powers of two in every configuration in use;
+        // masking avoids a hardware modulo on each cache probe. The
+        // fallback keeps odd set counts (tests) working.
+        if n.is_power_of_two() {
+            (line.number() & (n - 1)) as usize
+        } else {
+            (line.number() % n) as usize
+        }
     }
 
     /// Returns the state of `line`, or `None` if not resident.
@@ -85,16 +93,24 @@ impl Cache {
 
     /// Returns the resident line, updating its LRU position.
     pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut CacheLine> {
-        self.tick += 1;
-        let tick = self.tick;
         let idx = self.set_index(line);
-        let entry = self.sets[idx].iter_mut().find(|l| l.line == line);
-        if let Some(l) = entry {
-            l.lru = tick;
-            Some(l)
-        } else {
-            None
+        let set = &mut self.sets[idx];
+        let pos = set.iter().position(|l| l.line == line)?;
+        // Tick only on a hit, so a miss-probe leaves LRU state (and
+        // therefore future eviction choices) exactly as if it never
+        // happened — callers may probe speculatively.
+        self.tick += 1;
+        // Move the hit line to slot 0: processors touch the same line
+        // repeatedly (sequential word accesses), so keeping the MRU
+        // line first makes the common re-probe a single tag compare.
+        // Set order carries no meaning — residency is keyed by tag and
+        // eviction by the `lru` stamps — so the swap is unobservable.
+        if pos != 0 {
+            set.swap(0, pos);
         }
+        let l = &mut set[0];
+        l.lru = self.tick;
+        Some(l)
     }
 
     /// Returns the resident line without touching LRU state.

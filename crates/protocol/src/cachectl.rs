@@ -12,7 +12,7 @@ use crate::error::{ProtocolError, ProtocolErrorKind};
 use crate::home::Outbox;
 use crate::msg::{MemAtomicOp, Msg, MsgKind};
 use crate::reservation::CacheReservation;
-use crate::types::{CasVariant, MemOp, OpResult, SyncPolicy};
+use crate::types::{CasVariant, MemOp, OpResult, SyncConfig, SyncPolicy};
 use dsm_sim::{Addr, CacheParams, LineAddr, NodeId, ProcId};
 
 /// The completion record of one processor operation.
@@ -285,6 +285,22 @@ impl CacheNode {
         map: &AddressMap,
         out: &mut Outbox,
     ) -> Result<Option<OpOutcome>, ProtocolError> {
+        self.start_op_with(op, map.config_for(op.addr()), out)
+    }
+
+    /// [`start_op`](Self::start_op) with the line's configuration
+    /// already resolved, so a caller that had to consult the
+    /// [`AddressMap`] anyway does not pay for a second lookup.
+    ///
+    /// # Errors
+    ///
+    /// As for [`start_op`](Self::start_op).
+    pub fn start_op_with(
+        &mut self,
+        op: MemOp,
+        cfg: SyncConfig,
+        out: &mut Outbox,
+    ) -> Result<Option<OpOutcome>, ProtocolError> {
         if self.mshr.is_some() {
             return Err(self.err(
                 ProtocolErrorKind::DoubleIssue,
@@ -292,7 +308,6 @@ impl CacheNode {
                 "processor issued a second outstanding op".to_string(),
             ));
         }
-        let cfg = map.config_for(op.addr());
         Ok(match cfg.policy {
             SyncPolicy::Unc => self.start_unc(op, out),
             SyncPolicy::Upd => self.start_upd(op, out),
@@ -415,47 +430,46 @@ impl CacheNode {
     ) -> Result<Option<OpOutcome>, ProtocolError> {
         let addr = op.addr();
         let line = addr.line(self.line_size);
-        let state = self.cache.state(line);
-        Ok(match op {
-            MemOp::Load { .. } => match state {
-                Some(_) => {
-                    let value = self
-                        .resident(line, "load hit on an absent line")?
-                        .data
-                        .word(addr);
+        // Loads hit in any state, so one LRU-updating probe suffices —
+        // this is the simulator's single most common path. Write-type
+        // ops below still pre-check the state: a shared-state hit takes
+        // the upgrade-miss path and must leave LRU untouched.
+        match op {
+            MemOp::Load { .. } => {
+                return Ok(if let Some(l) = self.cache.get_mut(line) {
+                    let value = l.data.word(addr);
                     Self::local(OpResult::Loaded {
                         value,
                         serial: None,
                         reserved: false,
                     })
-                }
-                None => {
+                } else {
                     let msg = self.request(addr, MsgKind::GetS);
                     out.send(msg);
                     self.alloc_mshr(op);
                     None
-                }
-            },
-            MemOp::LoadLinked { .. } => match state {
-                Some(_) => {
-                    let value = self
-                        .resident(line, "LL hit on an absent line")?
-                        .data
-                        .word(addr);
+                });
+            }
+            MemOp::LoadLinked { .. } => {
+                return Ok(if let Some(l) = self.cache.get_mut(line) {
+                    let value = l.data.word(addr);
                     self.resv.set(line);
                     Self::local(OpResult::Loaded {
                         value,
                         serial: None,
                         reserved: true,
                     })
-                }
-                None => {
+                } else {
                     let msg = self.request(addr, MsgKind::GetS);
                     out.send(msg);
                     self.alloc_mshr(op);
                     None
-                }
-            },
+                });
+            }
+            _ => {}
+        }
+        let state = self.cache.state(line);
+        Ok(match op {
             MemOp::Store { value, .. } => match state {
                 Some(CacheState::Exclusive) => {
                     self.resident(line, "store hit on an absent line")?
@@ -557,6 +571,9 @@ impl CacheNode {
                 }
                 Self::local(OpResult::Stored)
             }
+            MemOp::Load { .. } | MemOp::LoadLinked { .. } => {
+                unreachable!("handled by the single-probe fast path above")
+            }
         })
     }
 
@@ -607,20 +624,20 @@ impl CacheNode {
     }
 
     fn handle_sharer_msg(&mut self, msg: Msg, out: &mut Outbox) -> Result<(), ProtocolError> {
-        let (requester, ack_kind) = match &msg.kind {
+        let (requester, ack_kind) = match msg.kind {
             MsgKind::Inv { requester } => {
                 self.resv.invalidate_line(msg.line);
                 self.cache.remove(msg.line);
-                (*requester, MsgKind::InvAck)
+                (requester, MsgKind::InvAck)
             }
             MsgKind::Update { data, requester } => {
                 if let Some(l) = self.cache.get_mut(msg.line) {
                     debug_assert_eq!(l.state, CacheState::Shared, "UPD lines are never exclusive");
-                    l.data = data.clone();
+                    l.data = data;
                 }
-                (*requester, MsgKind::UpdAck)
+                (requester, MsgKind::UpdAck)
             }
-            other => {
+            ref other => {
                 return Err(self.err(
                     ProtocolErrorKind::UnexpectedMessage,
                     msg.line,
@@ -666,7 +683,7 @@ impl CacheNode {
                 ),
             ));
         }
-        match msg.kind.clone() {
+        match msg.kind {
             MsgKind::FwdGetS => {
                 let l = self.resident(msg.line, "FwdGetS at an owner without the line")?;
                 l.state = CacheState::Shared;
@@ -741,7 +758,7 @@ impl CacheNode {
             debug_assert_eq!(m.line, msg.line, "reply for the wrong line");
             m.chain = m.chain.max(msg.chain);
         }
-        match msg.kind.clone() {
+        match msg.kind {
             MsgKind::InvAck | MsgKind::UpdAck => {
                 let m = self.mshr.as_mut().expect("checked at entry");
                 m.acks_got += 1;

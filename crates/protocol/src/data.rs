@@ -3,10 +3,20 @@
 use crate::types::Value;
 use dsm_sim::Addr;
 
+/// Words stored inline before spilling to the heap. Every configuration
+/// the paper (and this repo's harness) uses has 32-byte lines = 4 words,
+/// so in practice a `LineData` never allocates.
+const INLINE_WORDS: usize = 4;
+
 /// The data contents of one cache line, as an array of 64-bit words.
 ///
 /// Lines travel inside coherence messages and live in caches and memory
-/// modules. All atomic primitives operate on single words within a line.
+/// modules, so they are copied on the simulator's hottest paths. Up to
+/// [`INLINE_WORDS`] words (32-byte lines — every configuration in use)
+/// are stored inline, making `clone` a flat memcpy with no heap
+/// traffic; larger lines spill to a heap vector and keep working.
+///
+/// All atomic primitives operate on single words within a line.
 ///
 /// # Example
 ///
@@ -19,9 +29,13 @@ use dsm_sim::Addr;
 /// assert_eq!(line.word(Addr::new(0x48)), 7);
 /// assert_eq!(line.word(Addr::new(0x40)), 0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub struct LineData {
-    words: Vec<Value>,
+    /// Inline storage, used in full or in part when the line fits.
+    inline: [Value; INLINE_WORDS],
+    /// Heap spill for lines wider than `INLINE_WORDS` words; empty (and
+    /// never allocated) otherwise.
+    spill: Vec<Value>,
     line_size: u64,
 }
 
@@ -36,8 +50,14 @@ impl LineData {
             line_size > 0 && line_size.is_multiple_of(8),
             "line size must be a multiple of 8 bytes"
         );
+        let words = (line_size / 8) as usize;
         LineData {
-            words: vec![0; (line_size / 8) as usize],
+            inline: [0; INLINE_WORDS],
+            spill: if words > INLINE_WORDS {
+                vec![0; words]
+            } else {
+                Vec::new()
+            },
             line_size,
         }
     }
@@ -49,7 +69,7 @@ impl LineData {
 
     /// Number of words in the line.
     pub fn word_count(&self) -> usize {
-        self.words.len()
+        (self.line_size / 8) as usize
     }
 
     fn index(&self, addr: Addr) -> usize {
@@ -60,18 +80,50 @@ impl LineData {
 
     /// Reads the word containing `addr`.
     pub fn word(&self, addr: Addr) -> Value {
-        self.words[self.index(addr)]
+        self.words()[self.index(addr)]
     }
 
     /// Writes the word containing `addr`.
     pub fn set_word(&mut self, addr: Addr, value: Value) {
         let i = self.index(addr);
-        self.words[i] = value;
+        self.words_mut()[i] = value;
     }
 
     /// Immutable view of all words.
     pub fn words(&self) -> &[Value] {
-        &self.words
+        if self.spill.is_empty() {
+            &self.inline[..self.word_count()]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Mutable view of all words.
+    fn words_mut(&mut self) -> &mut [Value] {
+        if self.spill.is_empty() {
+            let n = self.word_count();
+            &mut self.inline[..n]
+        } else {
+            &mut self.spill
+        }
+    }
+}
+
+// Manual impls: equality and hashing must see the logical words only,
+// never unused inline slots, so inline and spilled lines of the same
+// contents behave identically.
+impl PartialEq for LineData {
+    fn eq(&self, other: &Self) -> bool {
+        self.line_size == other.line_size && self.words() == other.words()
+    }
+}
+
+impl Eq for LineData {}
+
+impl std::hash::Hash for LineData {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.line_size.hash(state);
+        self.words().hash(state);
     }
 }
 
@@ -101,5 +153,42 @@ mod tests {
     #[should_panic(expected = "multiple of 8")]
     fn bad_line_size_rejected() {
         let _ = LineData::zeroed(20);
+    }
+
+    #[test]
+    fn small_lines_use_partial_inline_storage() {
+        let mut l = LineData::zeroed(16);
+        assert_eq!(l.word_count(), 2);
+        l.set_word(Addr::new(0x18), 5);
+        assert_eq!(l.words(), &[0, 5]);
+    }
+
+    #[test]
+    fn wide_lines_spill_to_the_heap() {
+        let mut l = LineData::zeroed(64);
+        assert_eq!(l.word_count(), 8);
+        l.set_word(Addr::new(0x38), 9);
+        assert_eq!(l.word(Addr::new(0x38)), 9);
+        assert_eq!(l.words().len(), 8);
+        let copy = l.clone();
+        assert_eq!(copy, l);
+    }
+
+    #[test]
+    fn eq_and_hash_ignore_unused_inline_slots() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut a = LineData::zeroed(32);
+        let mut b = LineData::zeroed(32);
+        a.set_word(Addr::new(0x40), 1);
+        b.set_word(Addr::new(0x40), 1);
+        assert_eq!(a, b);
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+        // Different sizes with the same words differ.
+        assert_ne!(LineData::zeroed(16), LineData::zeroed(32));
     }
 }

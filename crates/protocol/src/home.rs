@@ -17,8 +17,7 @@ use crate::msg::{MemAtomicOp, Msg, MsgKind};
 use crate::nodeset::NodeSet;
 use crate::reservation::ReservationStore;
 use crate::types::{CasVariant, OpResult, SyncPolicy, Value};
-use dsm_sim::{LineAddr, NodeId};
-use std::collections::HashMap;
+use dsm_sim::{LineAddr, NodeId, StableHashMap};
 
 /// Messages emitted by a protocol engine during one handling step.
 ///
@@ -80,8 +79,8 @@ impl Outbox {
 pub struct HomeNode {
     node: NodeId,
     line_size: u64,
-    dir: HashMap<LineAddr, DirEntry>,
-    mem: HashMap<LineAddr, LineData>,
+    dir: StableHashMap<LineAddr, DirEntry>,
+    mem: StableHashMap<LineAddr, LineData>,
     resv: ReservationStore,
 }
 
@@ -95,10 +94,18 @@ impl HomeNode {
         HomeNode {
             node,
             line_size,
-            dir: HashMap::new(),
-            mem: HashMap::new(),
+            dir: StableHashMap::default(),
+            mem: StableHashMap::default(),
             resv: ReservationStore::new(llsc_pool),
         }
+    }
+
+    /// Pre-sizes the directory and memory tables for an expected number
+    /// of distinct resident lines, avoiding rehash-and-grow churn during
+    /// the run's warm-up.
+    pub fn reserve_lines(&mut self, lines: usize) {
+        self.dir.reserve(lines);
+        self.mem.reserve(lines);
     }
 
     /// Reads a word directly from backing memory (for tests and the
@@ -116,10 +123,11 @@ impl HomeNode {
     }
 
     /// The directory state of `line` (for tests and invariant checks).
-    pub fn dir_state(&self, line: LineAddr) -> DirState {
-        self.dir
-            .get(&line)
-            .map_or(DirState::Uncached, |e| e.state.clone())
+    /// Returns a reference — a `Shared` state owns a sharer bitmask, so
+    /// cloning it on every read-only inspection would allocate.
+    pub fn dir_state(&self, line: LineAddr) -> &DirState {
+        static UNCACHED: DirState = DirState::Uncached;
+        self.dir.get(&line).map_or(&UNCACHED, |e| &e.state)
     }
 
     /// `true` if `line` has an intervention outstanding.
@@ -181,8 +189,15 @@ impl HomeNode {
         self.dir.entry(line).or_default().state = state;
     }
 
-    fn state_of(&mut self, line: LineAddr) -> DirState {
-        self.dir.entry(line).or_default().state.clone()
+    /// Moves `line`'s directory state out for in-place modification
+    /// (leaving `Uncached` behind); the caller installs the successor
+    /// state with [`set_state`](Self::set_state). Avoids cloning the
+    /// sharer set on every transition.
+    fn take_state(&mut self, line: LineAddr) -> DirState {
+        std::mem::replace(
+            &mut self.dir.entry(line).or_default().state,
+            DirState::Uncached,
+        )
     }
 
     fn send_invs(&self, msg: &Msg, others: &[NodeId], out: &mut Outbox) {
@@ -268,7 +283,9 @@ impl HomeNode {
         map: &AddressMap,
         out: &mut Outbox,
     ) -> Result<(), ProtocolError> {
-        match msg.kind.clone() {
+        // Request payloads are all-`Copy` — bind them straight off the
+        // message without cloning the enum.
+        match msg.kind {
             MsgKind::GetS => self.handle_gets(msg, out),
             MsgKind::GetX { from_shared } => self.handle_getx(msg, from_shared, out),
             MsgKind::AtomicMem { op } => return self.handle_atomic_mem(msg, op, map, out),
@@ -278,11 +295,11 @@ impl HomeNode {
                 variant,
             } => self.handle_cas_home(msg, expected, new, variant, out),
             MsgKind::ScInv => self.handle_sc_inv(msg, out),
-            other => {
+            _ => {
                 return Err(self.err(
                     ProtocolErrorKind::UnexpectedMessage,
                     msg.line,
-                    format!("queued message is not a request: {other:?}"),
+                    format!("queued message is not a request: {:?}", msg.kind),
                 ))
             }
         }
@@ -317,9 +334,9 @@ impl HomeNode {
     }
 
     fn handle_gets(&mut self, msg: Msg, out: &mut Outbox) {
-        match self.state_of(msg.line) {
+        match *self.dir_state(msg.line) {
             DirState::Uncached | DirState::Shared(_) => {
-                let mut sharers = match self.state_of(msg.line) {
+                let mut sharers = match self.take_state(msg.line) {
                     DirState::Shared(s) => s,
                     _ => NodeSet::new(),
                 };
@@ -336,14 +353,17 @@ impl HomeNode {
     }
 
     fn handle_getx(&mut self, msg: Msg, from_shared: bool, out: &mut Outbox) {
-        match self.state_of(msg.line) {
+        match *self.dir_state(msg.line) {
             DirState::Uncached => {
                 self.set_state(msg.line, DirState::Dirty(msg.src));
                 let data = self.mem_clone(msg.line);
                 let reply = self.reply_to(&msg, MsgKind::DataX { data, acks: 0 });
                 out.send(reply);
             }
-            DirState::Shared(sharers) => {
+            DirState::Shared(_) => {
+                let DirState::Shared(sharers) = self.take_state(msg.line) else {
+                    unreachable!("state changed between inspection and take");
+                };
                 let requester_held_copy = sharers.contains(msg.src);
                 let others: Vec<NodeId> = sharers.iter().filter(|&n| n != msg.src).collect();
                 self.set_state(msg.line, DirState::Dirty(msg.src));
@@ -376,7 +396,7 @@ impl HomeNode {
             CasVariant::Plain,
             "plain CAS executes in the cache"
         );
-        match self.state_of(msg.line) {
+        match *self.dir_state(msg.line) {
             DirState::Dirty(owner) => {
                 let fwd = MsgKind::FwdCas {
                     expected,
@@ -386,13 +406,13 @@ impl HomeNode {
                 };
                 self.begin_intervention(msg, BusyKind::Cas { variant }, fwd, owner, out);
             }
-            state => {
+            _ => {
                 // Memory has the most up-to-date copy: compare here.
                 let observed = self.mem_line(msg.line).word(msg.addr);
                 if observed == expected {
                     // Success: behave like INV — the requester acquires
                     // an exclusive copy and performs the swap locally.
-                    let (requester_held_copy, others) = match state {
+                    let (requester_held_copy, others) = match self.take_state(msg.line) {
                         DirState::Shared(sharers) => (
                             sharers.contains(msg.src),
                             sharers.iter().filter(|&n| n != msg.src).collect(),
@@ -420,7 +440,7 @@ impl HomeNode {
                     // (INVs) without disturbing other caches.
                     let share_data = match variant {
                         CasVariant::Share => {
-                            let mut sharers = match state {
+                            let mut sharers = match self.take_state(msg.line) {
                                 DirState::Shared(s) => s,
                                 _ => NodeSet::new(),
                             };
@@ -444,8 +464,13 @@ impl HomeNode {
     }
 
     fn handle_sc_inv(&mut self, msg: Msg, out: &mut Outbox) {
-        match self.state_of(msg.line) {
-            DirState::Shared(sharers) if sharers.contains(msg.src) => {
+        let succeeds =
+            matches!(self.dir_state(msg.line), DirState::Shared(s) if s.contains(msg.src));
+        match succeeds {
+            true => {
+                let DirState::Shared(sharers) = self.take_state(msg.line) else {
+                    unreachable!("state changed between inspection and take");
+                };
                 let others: Vec<NodeId> = sharers.iter().filter(|&n| n != msg.src).collect();
                 self.set_state(msg.line, DirState::Dirty(msg.src));
                 self.send_invs(&msg, &others, out);
@@ -458,7 +483,7 @@ impl HomeNode {
                 );
                 out.send(reply);
             }
-            _ => {
+            false => {
                 // Directory says exclusive elsewhere, uncached, or the
                 // requester is no longer a sharer: the SC fails (§3).
                 let reply = self.reply_to(
@@ -554,8 +579,8 @@ impl HomeNode {
         match cfg.policy {
             SyncPolicy::Upd => {
                 // UPD lines are never exclusive.
-                debug_assert!(!matches!(self.state_of(line), DirState::Dirty(_)));
-                let mut sharers = match self.state_of(line) {
+                debug_assert!(!matches!(self.dir_state(line), DirState::Dirty(_)));
+                let mut sharers = match self.take_state(line) {
                     DirState::Shared(s) => s,
                     _ => NodeSet::new(),
                 };
@@ -564,12 +589,6 @@ impl HomeNode {
                     sharers.insert(msg.src);
                 }
                 let requester_cached = sharers.contains(msg.src);
-                let state = if sharers.is_empty() {
-                    DirState::Uncached
-                } else {
-                    DirState::Shared(sharers.clone())
-                };
-                self.set_state(line, state);
                 let mut acks = 0;
                 if wrote {
                     let data = self.mem_clone(line);
@@ -594,6 +613,12 @@ impl HomeNode {
                 } else {
                     None
                 };
+                let state = if sharers.is_empty() {
+                    DirState::Uncached
+                } else {
+                    DirState::Shared(sharers)
+                };
+                self.set_state(line, state);
                 let reply = self.reply_to(&msg, MsgKind::AtomicReply { result, acks, data });
                 out.send(reply);
             }
@@ -625,12 +650,15 @@ impl HomeNode {
         map: &AddressMap,
         out: &mut Outbox,
     ) -> Result<(), ProtocolError> {
-        let MsgKind::WriteBack { data } = msg.kind.clone() else {
-            return Err(self.err(
-                ProtocolErrorKind::UnexpectedMessage,
-                msg.line,
-                format!("handle_writeback got {:?}", msg.kind),
-            ));
+        let data = match msg.kind {
+            MsgKind::WriteBack { data } => data,
+            ref other => {
+                return Err(self.err(
+                    ProtocolErrorKind::UnexpectedMessage,
+                    msg.line,
+                    format!("handle_writeback got {other:?}"),
+                ))
+            }
         };
         *self.mem_line(msg.line) = data;
         if self.is_busy(msg.line) {
@@ -654,12 +682,15 @@ impl HomeNode {
             }
             return Ok(());
         }
-        let state = self.state_of(msg.line);
-        if state != DirState::Dirty(msg.src) {
+        if *self.dir_state(msg.line) != DirState::Dirty(msg.src) {
             return Err(self.err(
                 ProtocolErrorKind::DirectoryMismatch,
                 msg.line,
-                format!("write-back from non-owner {} (state {state:?})", msg.src),
+                format!(
+                    "write-back from non-owner {} (state {:?})",
+                    msg.src,
+                    self.dir_state(msg.line)
+                ),
             ));
         }
         self.set_state(msg.line, DirState::Uncached);
@@ -756,7 +787,10 @@ impl HomeNode {
                 )
             })?;
         let req = busy.request;
-        match (&busy.kind, msg.kind.clone()) {
+        // The response payload is moved out of `msg.kind` exactly once:
+        // one (inline, allocation-free) copy refreshes memory, the
+        // original moves on into the reply.
+        match (&busy.kind, msg.kind) {
             (BusyKind::GetS, MsgKind::SwbData { data }) => {
                 // Owner downgraded to shared.
                 let mut sharers = NodeSet::singleton(msg.src);
@@ -955,14 +989,14 @@ mod tests {
             MsgKind::UpgradeAck { acks } => assert_eq!(acks, 1),
             _ => unreachable!(),
         }
-        assert_eq!(h.dir_state(LINE), DirState::Dirty(R1));
+        assert_eq!(h.dir_state(LINE), &DirState::Dirty(R1));
     }
 
     #[test]
     fn getx_on_dirty_forwards_and_routes_through_home() {
         let mut h = home();
         handle(&mut h, req(R1, MsgKind::GetX { from_shared: false }));
-        assert_eq!(h.dir_state(LINE), DirState::Dirty(R1));
+        assert_eq!(h.dir_state(LINE), &DirState::Dirty(R1));
 
         // R2 wants it: home forwards to R1.
         let out = handle(&mut h, req(R2, MsgKind::GetX { from_shared: false }));
@@ -988,7 +1022,7 @@ mod tests {
             "Table 1: remote exclusive store = 4 serialized messages"
         );
         assert!(matches!(out[0].kind, MsgKind::DataX { .. }));
-        assert_eq!(h.dir_state(LINE), DirState::Dirty(R2));
+        assert_eq!(h.dir_state(LINE), &DirState::Dirty(R2));
         assert!(!h.is_busy(LINE));
     }
 
@@ -1072,7 +1106,7 @@ mod tests {
         let mut data = LineData::zeroed(32);
         data.set_word(A, 5);
         handle(&mut h, req(R1, MsgKind::WriteBack { data }));
-        assert_eq!(h.dir_state(LINE), DirState::Uncached);
+        assert_eq!(h.dir_state(LINE), &DirState::Uncached);
         assert_eq!(h.peek_word(A), 5);
     }
 
@@ -1090,7 +1124,7 @@ mod tests {
             other => panic!("expected Shared, got {other:?}"),
         }
         handle(&mut h, req(R2, MsgKind::DropShared));
-        assert_eq!(h.dir_state(LINE), DirState::Uncached);
+        assert_eq!(h.dir_state(LINE), &DirState::Uncached);
     }
 
     #[test]
@@ -1121,7 +1155,7 @@ mod tests {
             }
             other => panic!("expected CasGrant, got {other:?}"),
         }
-        assert_eq!(h.dir_state(LINE), DirState::Dirty(R1));
+        assert_eq!(h.dir_state(LINE), &DirState::Dirty(R1));
     }
 
     #[test]
@@ -1151,7 +1185,7 @@ mod tests {
         }
         assert_eq!(
             h.dir_state(LINE),
-            DirState::Uncached,
+            &DirState::Uncached,
             "INVd: no copy handed out"
         );
     }
@@ -1247,7 +1281,7 @@ mod tests {
             }
             _ => unreachable!(),
         }
-        assert_eq!(h.dir_state(LINE), DirState::Dirty(R1));
+        assert_eq!(h.dir_state(LINE), &DirState::Dirty(R1));
 
         // Non-sharer SC fails (line now exclusive).
         let out = handle(&mut h, req(R2, MsgKind::ScInv));

@@ -18,8 +18,8 @@
 
 use crate::error::{ProtocolError, ProtocolErrorKind};
 use crate::types::LlscScheme;
+use dsm_sim::StableHashMap;
 use dsm_sim::{LineAddr, ProcId};
-use std::collections::HashMap;
 
 /// The error every reservation operation returns when a line's records
 /// are found under a different scheme than the request assumes.
@@ -122,7 +122,7 @@ enum LineResv {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ReservationStore {
-    lines: HashMap<LineAddr, LineResv>,
+    lines: StableHashMap<LineAddr, LineResv>,
     /// Free-pool capacity for the linked-list scheme (total list nodes
     /// available across all lines homed here).
     pool_capacity: usize,
@@ -134,7 +134,7 @@ impl ReservationStore {
     /// entries.
     pub fn new(pool_capacity: usize) -> Self {
         ReservationStore {
-            lines: HashMap::new(),
+            lines: StableHashMap::default(),
             pool_capacity,
             pool_used: 0,
         }

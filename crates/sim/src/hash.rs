@@ -86,6 +86,12 @@ impl StableHasher {
         self.write_bytes(s.as_bytes());
     }
 
+    /// One whole-word FNV-style round, used by the [`std::hash::Hasher`]
+    /// integer fast paths.
+    fn write_u64_fast(&mut self, v: u64) {
+        self.state = (self.state ^ v).wrapping_mul(FNV_PRIME);
+    }
+
     /// Returns the hash of everything fed so far.
     ///
     /// FNV-1a mixes low bits weakly, so the state goes through a
@@ -103,6 +109,66 @@ impl Default for StableHasher {
         StableHasher::new()
     }
 }
+
+impl std::hash::Hasher for StableHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        self.write_bytes(bytes);
+    }
+
+    // Integer fast paths: one full-word xor-multiply round instead of
+    // the byte-at-a-time FNV loop. Map keys on the simulator's hot path
+    // are single integers (`LineAddr`, sync-location words), so this is
+    // the difference between 1 and 8 dependent multiplies per lookup.
+    // The result differs from feeding the same integer through
+    // `write_bytes` — that only matters to table layout, which has no
+    // compatibility contract beyond determinism; seed derivation uses
+    // the inherent `write_*` methods and is unaffected. `finish`'s
+    // SplitMix64 avalanche supplies the bit diffusion FNV's single
+    // round lacks.
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64_fast(v as u64);
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64_fast(v as u64);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write_u64_fast(v);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64_fast(v as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        StableHasher::finish(self)
+    }
+}
+
+/// A [`std::hash::BuildHasher`] producing [`StableHasher`]s, for hash
+/// maps on the simulation hot path.
+///
+/// `std::collections::HashMap`'s default `RandomState` re-seeds SipHash
+/// per process, which is both slow for the small fixed-width keys the
+/// simulator uses (`LineAddr`, `Addr`) and a source of run-to-run
+/// iteration-order variation. This builder is deterministic and cheap:
+/// same keys, same table layout, every run, every platform.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StableBuildHasher;
+
+impl std::hash::BuildHasher for StableBuildHasher {
+    type Hasher = StableHasher;
+
+    fn build_hasher(&self) -> StableHasher {
+        StableHasher::new()
+    }
+}
+
+/// A `HashMap` with deterministic, allocation-cheap hashing — the
+/// drop-in replacement for `std::collections::HashMap` everywhere the
+/// simulator keys on line addresses or words.
+pub type StableHashMap<K, V> = std::collections::HashMap<K, V, StableBuildHasher>;
 
 #[cfg(test)]
 mod tests {
@@ -157,6 +223,45 @@ mod tests {
             StableHasher::new().finish(),
             StableHasher::default().finish()
         );
+    }
+
+    #[test]
+    fn std_hasher_adapter_byte_writes_match_direct_use() {
+        use std::hash::Hasher;
+        let mut direct = StableHasher::new();
+        direct.write_bytes(b"abc");
+        let mut via_std = StableHasher::new();
+        Hasher::write(&mut via_std, b"abc");
+        assert_eq!(StableHasher::finish(&direct), Hasher::finish(&via_std));
+    }
+
+    #[test]
+    fn std_hasher_integer_fast_path_is_deterministic_and_distinct() {
+        use std::hash::Hasher;
+        let hash_u64 = |v: u64| {
+            let mut h = StableHasher::new();
+            Hasher::write_u64(&mut h, v);
+            Hasher::finish(&h)
+        };
+        assert_eq!(hash_u64(7), hash_u64(7));
+        assert_ne!(hash_u64(7), hash_u64(8));
+        // Nearby line addresses (low bits clear) must still spread.
+        let a = hash_u64(0x1000);
+        let b = hash_u64(0x1040);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stable_map_layout_is_deterministic() {
+        let build = |n: u64| {
+            let mut m: StableHashMap<u64, u64> = StableHashMap::default();
+            for i in 0..n {
+                m.insert(i * 64, i);
+            }
+            m.into_iter().collect::<Vec<_>>()
+        };
+        // Same inserts, same iteration order — unlike RandomState.
+        assert_eq!(build(100), build(100));
     }
 
     #[test]

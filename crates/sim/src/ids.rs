@@ -128,7 +128,10 @@ impl Addr {
             line_size.is_power_of_two(),
             "line size must be a power of two"
         );
-        LineAddr(self.0 / line_size)
+        // `line_size` is a runtime value, so spelling this as `/` would
+        // cost a hardware divide on every address-to-line conversion —
+        // and this runs several times per simulated memory operation.
+        LineAddr(self.0 >> line_size.trailing_zeros())
     }
 
     /// Returns this address's byte offset within its cache line.

@@ -49,7 +49,7 @@ pub mod time;
 pub use config::{CacheParams, MachineConfig, SimParams};
 pub use event::EventQueue;
 pub use fault::{FaultConfig, FaultEvent, FaultInjector};
-pub use hash::StableHasher;
+pub use hash::{StableBuildHasher, StableHashMap, StableHasher};
 pub use ids::{Addr, LineAddr, NodeId, ProcId};
 pub use rng::SimRng;
 pub use time::Cycle;

@@ -1,7 +1,7 @@
 //! Contention-level measurement (Figure 2 of the paper).
 
 use crate::Histogram;
-use std::collections::HashMap;
+use dsm_sim::StableHashMap;
 
 /// Measures the level of contention on atomically accessed locations.
 ///
@@ -29,7 +29,7 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default)]
 pub struct ContentionTracker {
     /// Number of processors currently attempting each location.
-    active: HashMap<u64, u32>,
+    active: StableHashMap<u64, u32>,
     histogram: Histogram,
 }
 

@@ -1,7 +1,7 @@
 //! Write-run-length tracking (Eggers & Katz, used in §4.2 of the paper).
 
 use crate::OnlineMean;
-use std::collections::HashMap;
+use dsm_sim::StableHashMap;
 
 /// Tracks the average write-run length of atomically accessed locations.
 ///
@@ -32,7 +32,7 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default)]
 pub struct WriteRunTracker {
     /// Per-location state: (processor of current run, writes in run).
-    current: HashMap<u64, (u32, u64)>,
+    current: StableHashMap<u64, (u32, u64)>,
     runs: OnlineMean,
 }
 
