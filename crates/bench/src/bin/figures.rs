@@ -18,7 +18,11 @@
 //! `--faults[=SPEC]` turns on deterministic fault injection and
 //! `--paranoid` runs the protocol invariant checker after every
 //! transition (see EXPERIMENTS.md — both off by default, leaving every
-//! artifact byte-identical to a faults-free build).
+//! artifact byte-identical to a faults-free build); `--trace[=SPEC]`
+//! captures a structured event trace of every simulated machine
+//! (Perfetto JSON into `traces/` by default — see
+//! `dsm_trace::TraceSpec` for the SPEC grammar). Trace files are
+//! content-addressed and byte-identical across `--jobs` settings.
 
 use atomic_dsm::experiments::{apps, counters, paper_bars, runner, scaling, table1, CounterKind};
 use dsm_bench::scale;
@@ -55,6 +59,14 @@ fn main() {
                 std::process::exit(2);
             }
             std::env::set_var("DSM_FAULTS", spec);
+        } else if a == "--trace" {
+            std::env::set_var("DSM_TRACE", "1");
+        } else if let Some(spec) = a.strip_prefix("--trace=") {
+            if let Err(e) = atomic_dsm::trace::TraceSpec::from_spec(spec) {
+                eprintln!("--trace: {e}");
+                std::process::exit(2);
+            }
+            std::env::set_var("DSM_TRACE", spec);
         }
     }
     let csv_dir: Option<PathBuf> = args

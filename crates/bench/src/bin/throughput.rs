@@ -19,7 +19,11 @@
 //! * `--repeat N`  run each workload `N` times and report the fastest
 //!   wall clock (default 1). The simulated results must be identical
 //!   across repeats — the harness asserts it — so taking the minimum
-//!   only filters out ambient host load.
+//!   only filters out ambient host load;
+//! * `--trace[=SPEC]` capture a structured event trace of every
+//!   workload machine (see `dsm_trace::TraceSpec` for the grammar).
+//!   Tracing costs wall clock, so never pass it when refreshing the
+//!   committed baseline.
 //!
 //! The report is a single JSON object: one entry per workload plus a
 //! `total`, each `{sim_cycles, events, wall_ms, cycles_per_sec,
@@ -199,10 +203,19 @@ fn main() {
                     .expect("--repeat needs a positive integer");
                 assert!(repeat >= 1, "--repeat needs a positive integer");
             }
+            "--trace" => std::env::set_var("DSM_TRACE", "1"),
+            other if other.starts_with("--trace=") => {
+                let spec = &other["--trace=".len()..];
+                if let Err(e) = atomic_dsm::trace::TraceSpec::from_spec(spec) {
+                    eprintln!("--trace: {e}");
+                    std::process::exit(2);
+                }
+                std::env::set_var("DSM_TRACE", spec);
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 eprintln!(
-                    "usage: throughput [--quick] [--out FILE] [--baseline FILE] [--repeat N]"
+                    "usage: throughput [--quick] [--out FILE] [--baseline FILE] [--repeat N] [--trace[=SPEC]]"
                 );
                 std::process::exit(2);
             }

@@ -297,8 +297,9 @@ impl JobOutput {
 pub struct JobError {
     /// A rendering of the failing job's key.
     pub job: String,
-    /// The failure diagnostic, from the machine's [`RunError`]
-    /// (`dsm_machine`) or the experiment's own final-state check.
+    /// The failure diagnostic, from the machine's
+    /// [`RunError`](dsm_machine::RunError) or the experiment's own
+    /// final-state check.
     pub message: String,
 }
 

@@ -27,6 +27,8 @@
 //! * [`workloads`] — the synthetic counter applications and the three
 //!   application kernels;
 //! * [`stats`] — contention/write-run/message instrumentation;
+//! * [`trace`] — structured event tracing (Perfetto JSON + binary ring
+//!   buffer sinks, per-node metrics);
 //! * [`experiments`] — drivers for Table 1 and Figures 2–6.
 //!
 //! ## Quickstart
@@ -70,6 +72,7 @@ pub use dsm_protocol as protocol;
 pub use dsm_sim as sim;
 pub use dsm_stats as stats;
 pub use dsm_sync as sync;
+pub use dsm_trace as trace;
 pub use dsm_workloads as workloads;
 
 pub use dsm_machine::{Machine, MachineBuilder, Program};

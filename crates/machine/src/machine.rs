@@ -13,7 +13,34 @@ use dsm_sim::{
     Addr, Cycle, EventQueue, FaultConfig, FaultEvent, FaultInjector, LineAddr, MachineConfig,
     NodeId, ProcId, SimRng,
 };
+use dsm_trace::{Category, StateLabel, TraceSpec, Tracer};
 use std::fmt;
+use std::path::PathBuf;
+
+/// Converts a directory state into the label-shaped form trace events
+/// carry (`dsm-trace` does not depend on the protocol crate).
+fn dir_label(state: &DirState) -> StateLabel {
+    match state {
+        DirState::Uncached => StateLabel::plain("Uncached"),
+        DirState::Shared(sharers) => StateLabel {
+            name: "Shared",
+            n: sharers.len() as u32,
+        },
+        DirState::Dirty(owner) => StateLabel {
+            name: "Dirty",
+            n: owner.as_u32(),
+        },
+    }
+}
+
+/// Converts a cache-line state (`None` = not resident) into a label.
+fn cache_label(state: Option<CacheState>) -> StateLabel {
+    match state {
+        None => StateLabel::plain("Invalid"),
+        Some(CacheState::Shared) => StateLabel::plain("Shared"),
+        Some(CacheState::Exclusive) => StateLabel::plain("Exclusive"),
+    }
+}
 
 /// The state of one processor at the moment a run failed, for deadlock
 /// and livelock diagnostics.
@@ -208,6 +235,7 @@ pub struct MachineBuilder {
     programs: Vec<Box<dyn Program>>,
     init: Vec<(Addr, Value)>,
     llsc_pool: usize,
+    trace: Option<TraceSpec>,
 }
 
 impl MachineBuilder {
@@ -221,7 +249,17 @@ impl MachineBuilder {
             programs: Vec::new(),
             init: Vec::new(),
             llsc_pool: 256,
+            trace: None,
         }
+    }
+
+    /// Enables structured event tracing for the built machine (see
+    /// [`TraceSpec`] for sink and category selection). An explicit spec
+    /// set here takes precedence over the `DSM_TRACE` environment
+    /// variable.
+    pub fn with_trace(&mut self, spec: TraceSpec) -> &mut Self {
+        self.trace = Some(spec);
+        self
     }
 
     /// Registers the line containing `addr` as a synchronization line.
@@ -257,11 +295,14 @@ impl MachineBuilder {
     /// honored as overrides, so a whole test suite can be run under
     /// fault injection or paranoid invariant checking without code
     /// changes. An explicit [`MachineConfig::faults`] always wins.
+    /// Likewise, when no trace spec was set with
+    /// [`with_trace`](MachineBuilder::with_trace), `DSM_TRACE` (a
+    /// [`TraceSpec::from_spec`] string) enables tracing.
     ///
     /// # Panics
     ///
     /// Panics if the number of programs does not equal the number of
-    /// nodes, or if `DSM_FAULTS` holds a malformed spec.
+    /// nodes, or if `DSM_FAULTS` / `DSM_TRACE` holds a malformed spec.
     pub fn build(self) -> Machine {
         assert_eq!(
             self.programs.len(),
@@ -280,6 +321,13 @@ impl MachineBuilder {
                 faults.paranoid = true;
             }
         }
+        let trace_spec = self.trace.or_else(|| {
+            std::env::var("DSM_TRACE").ok().map(|spec| {
+                TraceSpec::from_spec(&spec)
+                    .unwrap_or_else(|e| panic!("invalid DSM_TRACE spec: {e}"))
+            })
+        });
+        let tracer = trace_spec.map(|spec| Box::new(Tracer::new(&spec, self.cfg.nodes)));
         let mesh = Mesh::new(&self.cfg);
         let net = LatencyNetwork::new(mesh, self.cfg.params.clone());
         let mut seed_rng = SimRng::new(self.cfg.seed);
@@ -327,6 +375,8 @@ impl MachineBuilder {
             active: self.cfg.nodes as usize,
             events_processed: 0,
             trace: None,
+            tracer,
+            trace_files: Vec::new(),
             map: self.map,
             injector,
             paranoid: faults.paranoid,
@@ -372,6 +422,12 @@ pub struct Machine {
     events_processed: u64,
     /// Optional message-trace ring buffer (debugging aid).
     trace: Option<(usize, std::collections::VecDeque<String>)>,
+    /// Structured event tracer (`--trace` / `DSM_TRACE`), boxed so the
+    /// disabled case costs one pointer in the machine and one
+    /// never-taken branch per instrumentation site.
+    tracer: Option<Box<Tracer>>,
+    /// Paths written by the last trace flush.
+    trace_files: Vec<PathBuf>,
     /// Deterministic fault injector, present only when faults are on.
     injector: Option<FaultInjector>,
     /// Run the invariant checker after every protocol transition.
@@ -458,6 +514,18 @@ impl Machine {
     /// state, or [`RunError::Invariant`] if paranoid checking found a
     /// violated invariant.
     pub fn run(&mut self, limit: Cycle) -> Result<RunReport, RunError> {
+        let result = self.run_inner(limit);
+        // Traces are most valuable when a run fails (deadlock, protocol
+        // error), so flush on the error path too. A trace I/O failure
+        // must not masquerade as a simulation failure; report and move
+        // on.
+        if let Err(e) = self.flush_trace() {
+            eprintln!("warning: failed to write trace output: {e}");
+        }
+        result
+    }
+
+    fn run_inner(&mut self, limit: Cycle) -> Result<RunReport, RunError> {
         self.last_retire = self.now;
         while self.active > 0 {
             let Some((at, event)) = self.events.pop() else {
@@ -520,6 +588,11 @@ impl Machine {
                 FaultEvent::WipeReservations { node } => {
                     self.homes[node.index()].wipe_reservations();
                     self.injected_wipes += 1;
+                    if let Some(tracer) = &mut self.tracer {
+                        if tracer.wants(Category::Resv) {
+                            tracer.reservation(self.now, node, "wipe");
+                        }
+                    }
                 }
             }
         }
@@ -671,6 +744,50 @@ impl Machine {
             .flat_map(|(_, q)| q.iter().map(String::as_str))
     }
 
+    /// The structured event tracer, if tracing is enabled (via
+    /// [`MachineBuilder::with_trace`] or `DSM_TRACE`).
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_deref()
+    }
+
+    /// Mutable access to the tracer, e.g. to attach a custom
+    /// [`TraceSink`](dsm_trace::TraceSink) before running.
+    pub fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+        self.tracer.as_deref_mut()
+    }
+
+    /// Attaches a tracer to an already-built machine, replacing any
+    /// existing one. Useful when the machine was constructed by a
+    /// workload builder that offers no [`MachineBuilder::with_trace`]
+    /// hook; attach before [`run`](Machine::run) or the trace will miss
+    /// everything already simulated.
+    pub fn attach_tracer(&mut self, spec: &TraceSpec) {
+        self.tracer = Some(Box::new(Tracer::new(spec, self.cfg.nodes)));
+    }
+
+    /// Writes the attached trace sinks to disk (no-op when tracing is
+    /// off). [`run`](Machine::run) calls this automatically on both the
+    /// success and error paths; calling it again is idempotent because
+    /// file names are content-addressed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the trace files.
+    pub fn flush_trace(&mut self) -> std::io::Result<Vec<PathBuf>> {
+        let Some(tracer) = &self.tracer else {
+            return Ok(Vec::new());
+        };
+        let paths = tracer.finish(self.cfg.seed)?;
+        self.trace_files.clone_from(&paths);
+        Ok(paths)
+    }
+
+    /// Paths written by the most recent trace flush (empty when tracing
+    /// is off).
+    pub fn trace_files(&self) -> &[PathBuf] {
+        &self.trace_files
+    }
+
     /// Routes freshly emitted messages into the network, draining the
     /// outbox in place so its allocation is reusable.
     fn route(&mut self, out: &mut Outbox) {
@@ -698,6 +815,20 @@ impl Machine {
                 }
                 None => self.net.send(self.now, msg.src, msg.dst, flits),
             };
+            if let Some(tracer) = &mut self.tracer {
+                if tracer.wants(Category::Msg) {
+                    tracer.msg_send(
+                        self.now,
+                        msg.src,
+                        msg.dst,
+                        msg.line,
+                        msg.kind.label(),
+                        flits,
+                        self.cfg.hops(msg.src, msg.dst),
+                        deliver_at,
+                    );
+                }
+            }
             let boxed = match self.msg_pool.pop() {
                 Some(mut b) => {
                     *b = msg;
@@ -805,6 +936,53 @@ impl Machine {
                 op.is_write() && outcome.result.succeeded(),
             );
         }
+        if let Some(tracer) = &mut self.tracer {
+            if tracer.wants(Category::Op) {
+                tracer.op(
+                    p,
+                    issued,
+                    self.now,
+                    op.label(),
+                    outcome.local,
+                    outcome.chain,
+                );
+            }
+            if tracer.wants(Category::Retry) {
+                // A failed atomic attempt means the processor's loop
+                // will come around again: the raw material of the
+                // paper's retry-storm analysis.
+                match outcome.result {
+                    OpResult::CasDone { success: false, .. } => {
+                        tracer.retry(self.now, p, "cas-fail");
+                    }
+                    OpResult::ScDone { success: false } => {
+                        tracer.retry(self.now, p, "sc-fail");
+                    }
+                    OpResult::Loaded {
+                        reserved: false, ..
+                    } if matches!(op, MemOp::LoadLinked { .. }) => {
+                        tracer.retry(self.now, p, "ll-unreserved");
+                    }
+                    _ => {}
+                }
+            }
+            if tracer.wants(Category::Resv) {
+                if let (MemOp::LoadLinked { .. }, OpResult::Loaded { reserved, .. }) =
+                    (op, outcome.result)
+                {
+                    let home = op
+                        .addr()
+                        .line(self.cfg.params.line_size)
+                        .home(self.cfg.nodes);
+                    let label = if reserved {
+                        "ll-reserved"
+                    } else {
+                        "ll-unreserved"
+                    };
+                    tracer.reservation(self.now, home, label);
+                }
+            }
+        }
         let state = &mut self.procs[p.index()];
         state.blocked = false;
         state.last = Some(outcome.result);
@@ -828,6 +1006,18 @@ impl Machine {
         let start = self.now.max(*busy);
         let finish = start + service;
         *busy = finish;
+        if let Some(tracer) = &mut self.tracer {
+            if tracer.wants(Category::Msg) {
+                tracer.msg_service(
+                    start,
+                    finish,
+                    msg.src,
+                    msg.dst,
+                    msg.kind.label(),
+                    msg.kind.home_bound(),
+                );
+            }
+        }
         self.events.push(finish, Event::Process(msg));
     }
 
@@ -863,19 +1053,47 @@ impl Machine {
 
     fn process(&mut self, msg: Box<Msg>) -> Result<(), RunError> {
         let node = msg.dst.index();
+        let dst = msg.dst;
         let line = msg.line;
         let msg = self.recycle(msg);
+        // Coherence-state probes bracket the handler call; the flags are
+        // false when tracing is off, so the probes cost nothing then.
+        let want_state = self
+            .tracer
+            .as_ref()
+            .is_some_and(|t| t.wants(Category::State));
+        let want_queue = self
+            .tracer
+            .as_ref()
+            .is_some_and(|t| t.wants(Category::Queue));
         let mut out = std::mem::take(&mut self.outbox);
         if msg.kind.home_bound() {
+            let before = want_state.then(|| dir_label(self.homes[node].dir_state(line)));
             self.homes[node]
                 .handle(msg, &self.map, &mut out)
                 .map_err(|error| RunError::Protocol {
                     at: self.now,
                     error,
                 })?;
+            if let Some(before) = before {
+                let after = dir_label(self.homes[node].dir_state(line));
+                if after != before {
+                    if let Some(tracer) = &mut self.tracer {
+                        tracer.dir_transition(self.now, dst, line, before, after);
+                    }
+                }
+            }
+            if want_queue {
+                let depth =
+                    (self.homes[node].queued_requests() + self.homes[node].busy_lines()) as u64;
+                if let Some(tracer) = &mut self.tracer {
+                    tracer.queue_depth(self.now, dst, depth);
+                }
+            }
             self.route(&mut out);
         } else {
             let proc = ProcId::new(msg.dst.as_u32());
+            let before = want_state.then(|| cache_label(self.caches[node].cache_state(line)));
             let completed =
                 self.caches[node]
                     .handle(msg, &mut out)
@@ -883,6 +1101,14 @@ impl Machine {
                         at: self.now,
                         error,
                     })?;
+            if let Some(before) = before {
+                let after = cache_label(self.caches[node].cache_state(line));
+                if after != before {
+                    if let Some(tracer) = &mut self.tracer {
+                        tracer.cache_transition(self.now, dst, line, before, after);
+                    }
+                }
+            }
             self.route(&mut out);
             if let Some(outcome) = completed {
                 let boxed = self.box_outcome(outcome);

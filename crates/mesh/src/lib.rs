@@ -13,6 +13,16 @@
 //!   credit-based flow control, used as an ablation to quantify what the
 //!   paper's simplification ignores ([`wormhole`]).
 //!
+//! # Observability
+//!
+//! [`LatencyNetwork`] keeps aggregate [`NetworkStats`] (messages, flits,
+//! entry/exit port wait, end-to-end latency). Per-message visibility
+//! lives one layer up: when tracing is enabled (`DSM_TRACE`, see the
+//! `dsm-trace` crate), `dsm-machine` emits a cycle-stamped event for
+//! every `send` — source, destination, hop count, flit count and the
+//! delivery time this model computed — so a Perfetto timeline shows each
+//! message in flight, including the contention delay the ports added.
+//!
 //! # Example
 //!
 //! ```

@@ -12,7 +12,8 @@ const INLINE_WORDS: usize = 4;
 ///
 /// Lines travel inside coherence messages and live in caches and memory
 /// modules, so they are copied on the simulator's hottest paths. Up to
-/// [`INLINE_WORDS`] words (32-byte lines — every configuration in use)
+/// `INLINE_WORDS` (4) words (32-byte lines — every configuration in
+/// use)
 /// are stored inline, making `clone` a flat memcpy with no heap
 /// traffic; larger lines spill to a heap vector and keep working.
 ///

@@ -53,7 +53,7 @@
 //! assert_eq!(home.peek_word(counter), 2);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 

@@ -283,6 +283,38 @@ impl MsgKind {
         )
     }
 
+    /// A short static name for this message kind, used as the slice
+    /// label in trace output (payload-free, unlike `Debug`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            MsgKind::GetS => "GetS",
+            MsgKind::GetX { .. } => "GetX",
+            MsgKind::AtomicMem { .. } => "AtomicMem",
+            MsgKind::CasHome { .. } => "CasHome",
+            MsgKind::ScInv => "ScInv",
+            MsgKind::WriteBack { .. } => "WriteBack",
+            MsgKind::DropShared => "DropShared",
+            MsgKind::DataS { .. } => "DataS",
+            MsgKind::DataX { .. } => "DataX",
+            MsgKind::UpgradeAck { .. } => "UpgradeAck",
+            MsgKind::CasGrant { .. } => "CasGrant",
+            MsgKind::CasFail { .. } => "CasFail",
+            MsgKind::AtomicReply { .. } => "AtomicReply",
+            MsgKind::ScInvReply { .. } => "ScInvReply",
+            MsgKind::Inv { .. } => "Inv",
+            MsgKind::Update { .. } => "Update",
+            MsgKind::FwdGetS => "FwdGetS",
+            MsgKind::FwdGetX => "FwdGetX",
+            MsgKind::FwdCas { .. } => "FwdCas",
+            MsgKind::XferData { .. } => "XferData",
+            MsgKind::SwbData { .. } => "SwbData",
+            MsgKind::OwnerCasFail { .. } => "OwnerCasFail",
+            MsgKind::FwdNak => "FwdNak",
+            MsgKind::InvAck => "InvAck",
+            MsgKind::UpdAck => "UpdAck",
+        }
+    }
+
     /// The reporting class of this message.
     pub fn class(&self) -> MsgClass {
         match self {

@@ -212,6 +212,21 @@ impl MemOp {
                 | MemOp::StoreConditional { .. }
         )
     }
+
+    /// A short static name for this operation, used as the slice label
+    /// in trace output.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemOp::Load { .. } => "Load",
+            MemOp::Store { .. } => "Store",
+            MemOp::LoadExclusive { .. } => "LoadExclusive",
+            MemOp::DropCopy { .. } => "DropCopy",
+            MemOp::FetchPhi { .. } => "FetchPhi",
+            MemOp::Cas { .. } => "Cas",
+            MemOp::LoadLinked { .. } => "LoadLinked",
+            MemOp::StoreConditional { .. } => "StoreConditional",
+        }
+    }
 }
 
 /// The outcome delivered to a processor when its operation completes.

@@ -36,7 +36,7 @@
 //! assert_eq!(q.pop().unwrap().1, "later");
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod event;

@@ -22,12 +22,14 @@
 pub mod contention;
 pub mod histogram;
 pub mod messages;
+pub mod metrics;
 pub mod table;
 pub mod writerun;
 
 pub use contention::ContentionTracker;
 pub use histogram::Histogram;
 pub use messages::{ChainStats, MsgClass};
+pub use metrics::NodeMetrics;
 pub use table::{render_bar_chart, render_csv, render_table};
 pub use writerun::WriteRunTracker;
 

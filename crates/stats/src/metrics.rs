@@ -1,0 +1,152 @@
+//! Per-node runtime metrics, populated by the tracing layer.
+//!
+//! Where the rest of `dsm-stats` aggregates whole-run quantities
+//! (contention, write runs, message chains), [`NodeMetrics`] attributes
+//! activity to *individual nodes*: how many messages each node injected
+//! into the mesh, how long its home directory stayed busy, how deep its
+//! request queue got. The tracing layer (`dsm-trace`) keeps one
+//! `NodeMetrics` per node and updates it as events are recorded, so the
+//! table is available even when no sink writes a file.
+
+use crate::histogram::Histogram;
+use crate::table::render_table;
+
+/// Counters and histograms for one node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeMetrics {
+    /// Messages this node injected into the network.
+    pub msgs_sent: u64,
+    /// Flits this node injected into the network.
+    pub flits_sent: u64,
+    /// Messages serviced by this node's home memory module.
+    pub served_home: u64,
+    /// Messages serviced by this node's cache controller.
+    pub served_cache: u64,
+    /// Network transit cycles of messages sent by this node.
+    pub transit: Histogram,
+    /// Samples of this node's home-queue occupancy.
+    pub queue_depth: Histogram,
+    /// Memory operations retired by this node's processor.
+    pub ops_retired: u64,
+    /// Failed atomic attempts (CAS/SC fails, unreserved LLs) by this
+    /// node's processor.
+    pub retries: u64,
+    /// Directory state transitions at this node's home.
+    pub dir_transitions: u64,
+    /// Cache-line state transitions at this node's cache.
+    pub cache_transitions: u64,
+}
+
+impl NodeMetrics {
+    /// Creates a zeroed metrics record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges another node's metrics into this one (for machine-level
+    /// totals).
+    pub fn merge(&mut self, other: &NodeMetrics) {
+        self.msgs_sent += other.msgs_sent;
+        self.flits_sent += other.flits_sent;
+        self.served_home += other.served_home;
+        self.served_cache += other.served_cache;
+        self.transit.merge(&other.transit);
+        self.queue_depth.merge(&other.queue_depth);
+        self.ops_retired += other.ops_retired;
+        self.retries += other.retries;
+        self.dir_transitions += other.dir_transitions;
+        self.cache_transitions += other.cache_transitions;
+    }
+}
+
+/// Renders a per-node metrics table (one row per node with any
+/// activity, plus a totals row).
+///
+/// # Example
+///
+/// ```
+/// use dsm_stats::metrics::{render_node_metrics, NodeMetrics};
+///
+/// let mut nodes = vec![NodeMetrics::new(); 2];
+/// nodes[0].msgs_sent = 3;
+/// nodes[0].ops_retired = 2;
+/// let table = render_node_metrics(&nodes);
+/// assert!(table.contains("node"));
+/// assert!(table.contains("total"));
+/// ```
+pub fn render_node_metrics(nodes: &[NodeMetrics]) -> String {
+    let mut rows = vec![vec![
+        "node".to_string(),
+        "msgs".to_string(),
+        "flits".to_string(),
+        "srv-home".to_string(),
+        "srv-cache".to_string(),
+        "transit-avg".to_string(),
+        "queue-avg".to_string(),
+        "queue-max".to_string(),
+        "ops".to_string(),
+        "retries".to_string(),
+        "dir-xit".to_string(),
+        "cache-xit".to_string(),
+    ]];
+    let mut total = NodeMetrics::new();
+    for (i, m) in nodes.iter().enumerate() {
+        total.merge(m);
+        if *m == NodeMetrics::default() {
+            continue;
+        }
+        rows.push(metrics_row(&i.to_string(), m));
+    }
+    rows.push(metrics_row("total", &total));
+    render_table(&rows)
+}
+
+fn metrics_row(name: &str, m: &NodeMetrics) -> Vec<String> {
+    vec![
+        name.to_string(),
+        m.msgs_sent.to_string(),
+        m.flits_sent.to_string(),
+        m.served_home.to_string(),
+        m.served_cache.to_string(),
+        format!("{:.1}", m.transit.mean()),
+        format!("{:.2}", m.queue_depth.mean()),
+        m.queue_depth.max_value().unwrap_or(0).to_string(),
+        m.ops_retired.to_string(),
+        m.retries.to_string(),
+        m.dir_transitions.to_string(),
+        m.cache_transitions.to_string(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counters_and_histograms() {
+        let mut a = NodeMetrics::new();
+        a.msgs_sent = 2;
+        a.transit.record(10);
+        let mut b = NodeMetrics::new();
+        b.msgs_sent = 3;
+        b.transit.record(20);
+        b.retries = 1;
+        a.merge(&b);
+        assert_eq!(a.msgs_sent, 5);
+        assert_eq!(a.retries, 1);
+        assert_eq!(a.transit.total(), 2);
+        assert_eq!(a.transit.mean(), 15.0);
+    }
+
+    #[test]
+    fn render_skips_idle_nodes_but_totals_all() {
+        let mut nodes = vec![NodeMetrics::new(); 4];
+        nodes[2].msgs_sent = 7;
+        let table = render_node_metrics(&nodes);
+        assert!(table.contains('2'));
+        assert!(!table.contains("\n1 "));
+        let total_line = table.lines().last().unwrap();
+        assert!(total_line.starts_with("total"));
+        assert!(total_line.contains('7'));
+    }
+}

@@ -1,0 +1,51 @@
+//! Validates Chrome/Perfetto `trace_event` JSON files produced by the
+//! simulator's `--trace` option (used by the CI smoke step).
+//!
+//! Usage: `validate_trace FILE.json [FILE.json ...]`
+//!
+//! Exits nonzero, naming the offending file, if any input fails to
+//! parse or violates the trace_event schema.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: validate_trace FILE.json [FILE.json ...]");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in &args {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match dsm_trace::perfetto::validate(&text) {
+            Ok(summary) => {
+                println!(
+                    "{path}: ok — {} events, {} nodes, {} slices, {} flows \
+                     ({} starts / {} finishes)",
+                    summary.events,
+                    summary.pids,
+                    summary.slices,
+                    summary.flow_starts.min(summary.flow_finishes),
+                    summary.flow_starts,
+                    summary.flow_finishes,
+                );
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,340 @@
+//! The structured event vocabulary every sink consumes.
+//!
+//! A [`TraceEvent`] is a cycle-stamped fact about the simulated machine:
+//! a message entering the network, a server busy interval, a completed
+//! memory operation, a coherence-state transition, a reservation event,
+//! or a queue-occupancy sample. Events carry only plain identifiers and
+//! `&'static str` labels, so recording one never allocates.
+
+use dsm_sim::{Cycle, LineAddr, NodeId, ProcId};
+
+/// A coherence-state label: the state name plus its small integer
+/// argument (sharer count for `Shared`, owner node for `Dirty`, way
+/// count, ...). Kept label-shaped so `dsm-trace` does not depend on the
+/// protocol crate's state enums.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateLabel {
+    /// State name, e.g. `"Shared"`, `"Dirty"`, `"Uncached"`,
+    /// `"Exclusive"`, `"Invalid"`.
+    pub name: &'static str,
+    /// The state's argument: sharer count, owner node number, or 0.
+    pub n: u32,
+}
+
+impl StateLabel {
+    /// A label with no argument.
+    pub const fn plain(name: &'static str) -> Self {
+        StateLabel { name, n: 0 }
+    }
+}
+
+/// One structured, cycle-stamped observation of the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message entered the network ([`Category::Msg`]).
+    MsgSend {
+        /// Send time.
+        at: Cycle,
+        /// Sending node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// The cache line concerned.
+        line: LineAddr,
+        /// Message kind label (e.g. `"GetX"`, `"DataS"`).
+        kind: &'static str,
+        /// Message size in flits.
+        flits: u64,
+        /// Mesh hops from `src` to `dst`.
+        hops: u32,
+        /// When the network will deliver it.
+        deliver_at: Cycle,
+        /// Flow id linking this send to its delivery (and, through the
+        /// per-transaction chain of messages, request to reply).
+        flow: u64,
+    },
+    /// A server (home memory module or cache controller) serviced a
+    /// delivered message ([`Category::Msg`]).
+    MsgService {
+        /// When service began (arrival, or later if the server was
+        /// busy).
+        start: Cycle,
+        /// When service finished.
+        finish: Cycle,
+        /// The serving node.
+        dst: NodeId,
+        /// Message kind label.
+        kind: &'static str,
+        /// `true` if served by the home memory module/directory,
+        /// `false` if by the cache controller.
+        home: bool,
+        /// Flow id matching the [`TraceEvent::MsgSend`].
+        flow: u64,
+    },
+    /// A processor's memory operation retired ([`Category::Op`]).
+    Op {
+        /// The issuing processor.
+        proc: ProcId,
+        /// Issue time.
+        issued: Cycle,
+        /// Retire time.
+        retired: Cycle,
+        /// Operation label (e.g. `"Cas"`, `"LoadLinked"`).
+        label: &'static str,
+        /// Completed without any network traffic.
+        local: bool,
+        /// Serialized network messages on the critical path.
+        chain: u32,
+    },
+    /// A failed atomic attempt the processor will have to retry
+    /// ([`Category::Retry`]): failed CAS, failed SC, unreserved LL.
+    Retry {
+        /// When the failure retired.
+        at: Cycle,
+        /// The retrying processor.
+        proc: ProcId,
+        /// What failed: `"cas-fail"`, `"sc-fail"`, `"ll-unreserved"`.
+        label: &'static str,
+    },
+    /// An LL/SC reservation event ([`Category::Resv`]).
+    Reservation {
+        /// Event time.
+        at: Cycle,
+        /// The node concerned.
+        node: NodeId,
+        /// What happened: `"ll-reserved"`, `"wipe"`, ...
+        label: &'static str,
+    },
+    /// A home-directory state transition ([`Category::State`]).
+    DirTransition {
+        /// Transition time.
+        at: Cycle,
+        /// The home node.
+        node: NodeId,
+        /// The line whose directory entry changed.
+        line: LineAddr,
+        /// State before the transition.
+        from: StateLabel,
+        /// State after the transition.
+        to: StateLabel,
+    },
+    /// A cache-line state transition at a cache controller
+    /// ([`Category::State`]).
+    CacheTransition {
+        /// Transition time.
+        at: Cycle,
+        /// The caching node.
+        node: NodeId,
+        /// The line whose state changed.
+        line: LineAddr,
+        /// State before (`"Invalid"` if not resident).
+        from: StateLabel,
+        /// State after (`"Invalid"` if evicted/invalidated).
+        to: StateLabel,
+    },
+    /// A home-node occupancy sample ([`Category::Queue`]): requests
+    /// parked behind busy lines plus lines mid-transaction.
+    QueueDepth {
+        /// Sample time.
+        at: Cycle,
+        /// The home node.
+        node: NodeId,
+        /// Parked requests + busy lines at that home.
+        depth: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The category this event belongs to.
+    pub fn category(&self) -> Category {
+        match self {
+            TraceEvent::MsgSend { .. } | TraceEvent::MsgService { .. } => Category::Msg,
+            TraceEvent::Op { .. } => Category::Op,
+            TraceEvent::Retry { .. } => Category::Retry,
+            TraceEvent::Reservation { .. } => Category::Resv,
+            TraceEvent::DirTransition { .. } | TraceEvent::CacheTransition { .. } => {
+                Category::State
+            }
+            TraceEvent::QueueDepth { .. } => Category::Queue,
+        }
+    }
+
+    /// The event's timestamp (start time for interval events).
+    pub fn at(&self) -> Cycle {
+        match *self {
+            TraceEvent::MsgSend { at, .. }
+            | TraceEvent::Retry { at, .. }
+            | TraceEvent::Reservation { at, .. }
+            | TraceEvent::DirTransition { at, .. }
+            | TraceEvent::CacheTransition { at, .. }
+            | TraceEvent::QueueDepth { at, .. } => at,
+            TraceEvent::MsgService { start, .. } => start,
+            TraceEvent::Op { issued, .. } => issued,
+        }
+    }
+}
+
+/// An event category, for filtering (`cat:msg+op` in a trace spec).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Message sends and server busy intervals.
+    Msg,
+    /// Completed memory operations.
+    Op,
+    /// Coherence-state transitions (directory and cache).
+    State,
+    /// LL/SC reservation events.
+    Resv,
+    /// Home-node queue-occupancy samples.
+    Queue,
+    /// Failed-attempt (retry) instants.
+    Retry,
+}
+
+impl Category {
+    /// All categories, in spec order.
+    pub const ALL: [Category; 6] = [
+        Category::Msg,
+        Category::Op,
+        Category::State,
+        Category::Resv,
+        Category::Queue,
+        Category::Retry,
+    ];
+
+    /// The spec keyword for this category.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Category::Msg => "msg",
+            Category::Op => "op",
+            Category::State => "state",
+            Category::Resv => "resv",
+            Category::Queue => "queue",
+            Category::Retry => "retry",
+        }
+    }
+
+    fn bit(self) -> u8 {
+        match self {
+            Category::Msg => 1,
+            Category::Op => 2,
+            Category::State => 4,
+            Category::Resv => 8,
+            Category::Queue => 16,
+            Category::Retry => 32,
+        }
+    }
+}
+
+/// A set of enabled [`Category`]s.
+///
+/// # Example
+///
+/// ```
+/// use dsm_trace::{Categories, Category};
+///
+/// let all = Categories::all();
+/// assert!(all.contains(Category::Msg));
+///
+/// let some: Categories = "msg+op".parse().unwrap();
+/// assert!(some.contains(Category::Op));
+/// assert!(!some.contains(Category::State));
+///
+/// assert!("msg+bogus".parse::<Categories>().is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Categories {
+    bits: u8,
+}
+
+impl Categories {
+    /// Every category enabled.
+    pub fn all() -> Self {
+        Categories { bits: 0x3f }
+    }
+
+    /// No category enabled.
+    pub fn none() -> Self {
+        Categories { bits: 0 }
+    }
+
+    /// Enables `cat`, returning the updated set.
+    #[must_use]
+    pub fn with(mut self, cat: Category) -> Self {
+        self.bits |= cat.bit();
+        self
+    }
+
+    /// Whether `cat` is enabled.
+    pub fn contains(self, cat: Category) -> bool {
+        self.bits & cat.bit() != 0
+    }
+}
+
+impl Default for Categories {
+    fn default() -> Self {
+        Categories::all()
+    }
+}
+
+impl std::str::FromStr for Categories {
+    type Err = String;
+
+    /// Parses a `+`-separated category list, e.g. `"msg+state+queue"`.
+    fn from_str(s: &str) -> Result<Self, String> {
+        let mut cats = Categories::none();
+        for word in s.split('+') {
+            let word = word.trim();
+            let cat = Category::ALL
+                .into_iter()
+                .find(|c| c.keyword() == word)
+                .ok_or_else(|| {
+                    format!(
+                        "unknown trace category `{word}` (expected one of \
+                         msg, op, state, resv, queue, retry)"
+                    )
+                })?;
+            cats = cats.with(cat);
+        }
+        Ok(cats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_round_trip() {
+        for cat in Category::ALL {
+            let parsed: Categories = cat.keyword().parse().unwrap();
+            assert!(parsed.contains(cat));
+            for other in Category::ALL {
+                if other != cat {
+                    assert!(!parsed.contains(other));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn event_category_and_time() {
+        let ev = TraceEvent::QueueDepth {
+            at: Cycle::new(7),
+            node: NodeId::new(3),
+            depth: 2,
+        };
+        assert_eq!(ev.category(), Category::Queue);
+        assert_eq!(ev.at(), Cycle::new(7));
+        let op = TraceEvent::Op {
+            proc: ProcId::new(0),
+            issued: Cycle::new(10),
+            retired: Cycle::new(40),
+            label: "Cas",
+            local: false,
+            chain: 4,
+        };
+        assert_eq!(op.category(), Category::Op);
+        assert_eq!(op.at(), Cycle::new(10));
+    }
+}

@@ -1,0 +1,749 @@
+//! Chrome/Perfetto `trace_event` JSON export.
+//!
+//! [`PerfettoSink`] renders the event stream in the [Trace Event
+//! Format] consumed by `chrome://tracing` and [ui.perfetto.dev]: one
+//! *process* per simulated node, with four threads (tracks) per node —
+//! `cpu` (operation slices and retry instants), `cache-ctrl` and
+//! `home` (server busy intervals and state-transition instants), and
+//! `net-out` (message transit slices). Every message carries a flow
+//! (`ph:"s"` at the send, `ph:"f"` at the service interval), so a
+//! request can be followed hop by hop to its reply across the mesh.
+//!
+//! Timestamps are simulated **cycles**, written into the format's `ts`
+//! microsecond field verbatim (1 cycle renders as 1 µs); there is no
+//! wall-clock anywhere in the output, which is what makes traces
+//! byte-identical across hosts and worker counts.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//! [ui.perfetto.dev]: https://ui.perfetto.dev
+
+use crate::event::TraceEvent;
+use crate::sink::TraceSink;
+use std::fmt::Write as _;
+use std::io;
+
+/// Thread (track) ids within a node's process.
+const TID_CPU: u32 = 0;
+const TID_CACHE: u32 = 1;
+const TID_HOME: u32 = 2;
+const TID_NET: u32 = 3;
+
+/// A [`TraceSink`] producing Chrome/Perfetto `trace_event` JSON.
+///
+/// # Example
+///
+/// ```
+/// use dsm_trace::{PerfettoSink, TraceEvent, TraceSink};
+/// use dsm_sim::{Cycle, NodeId, ProcId};
+///
+/// let mut sink = PerfettoSink::new(2);
+/// sink.record(&TraceEvent::Op {
+///     proc: ProcId::new(1),
+///     issued: Cycle::new(10),
+///     retired: Cycle::new(52),
+///     label: "FetchPhi",
+///     local: false,
+///     chain: 2,
+/// });
+/// let json = sink.json();
+/// dsm_trace::perfetto::validate(&json).unwrap();
+/// assert!(json.contains("\"FetchPhi\""));
+/// ```
+#[derive(Debug)]
+pub struct PerfettoSink {
+    entries: String,
+    any: bool,
+}
+
+impl PerfettoSink {
+    /// Creates a sink for a `nodes`-node machine, pre-populating the
+    /// process/thread naming metadata so every track renders with a
+    /// meaningful name.
+    pub fn new(nodes: u32) -> Self {
+        let mut s = PerfettoSink {
+            entries: String::new(),
+            any: false,
+        };
+        for n in 0..nodes {
+            s.push(&format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{n},\
+                 \"args\":{{\"name\":\"node {n}\"}}}}"
+            ));
+            for (tid, name) in [
+                (TID_CPU, "cpu"),
+                (TID_CACHE, "cache-ctrl"),
+                (TID_HOME, "home"),
+                (TID_NET, "net-out"),
+            ] {
+                s.push(&format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{n},\"tid\":{tid},\
+                     \"args\":{{\"name\":\"{name}\"}}}}"
+                ));
+            }
+        }
+        s
+    }
+
+    fn push(&mut self, entry: &str) {
+        if self.any {
+            self.entries.push_str(",\n");
+        }
+        self.entries.push_str(entry);
+        self.any = true;
+    }
+
+    /// The complete JSON document recorded so far.
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
+            self.entries
+        )
+    }
+}
+
+impl TraceSink for PerfettoSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        let mut e = String::with_capacity(128);
+        match *ev {
+            TraceEvent::MsgSend {
+                at,
+                src,
+                dst,
+                line,
+                kind,
+                flits,
+                hops,
+                deliver_at,
+                flow,
+            } => {
+                let ts = at.as_u64();
+                let dur = (deliver_at - at).as_u64();
+                let _ = write!(
+                    e,
+                    "{{\"name\":\"{kind}\",\"cat\":\"msg\",\"ph\":\"X\",\"ts\":{ts},\
+                     \"dur\":{dur},\"pid\":{src},\"tid\":{TID_NET},\
+                     \"args\":{{\"line\":{line},\"dst\":{dst},\"flits\":{flits},\
+                     \"hops\":{hops}}}}}",
+                    src = src.as_u32(),
+                    dst = dst.as_u32(),
+                    line = line.number(),
+                );
+                self.push(&e);
+                e.clear();
+                let _ = write!(
+                    e,
+                    "{{\"name\":\"msg\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{flow},\
+                     \"ts\":{ts},\"pid\":{src},\"tid\":{TID_NET}}}",
+                    src = src.as_u32(),
+                );
+                self.push(&e);
+            }
+            TraceEvent::MsgService {
+                start,
+                finish,
+                dst,
+                kind,
+                home,
+                flow,
+            } => {
+                let tid = if home { TID_HOME } else { TID_CACHE };
+                let ts = start.as_u64();
+                let dur = (finish - start).as_u64();
+                let _ = write!(
+                    e,
+                    "{{\"name\":\"{kind}\",\"cat\":\"msg\",\"ph\":\"X\",\"ts\":{ts},\
+                     \"dur\":{dur},\"pid\":{dst},\"tid\":{tid}}}",
+                    dst = dst.as_u32(),
+                );
+                self.push(&e);
+                e.clear();
+                let _ = write!(
+                    e,
+                    "{{\"name\":\"msg\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\
+                     \"id\":{flow},\"ts\":{ts},\"pid\":{dst},\"tid\":{tid}}}",
+                    dst = dst.as_u32(),
+                );
+                self.push(&e);
+            }
+            TraceEvent::Op {
+                proc,
+                issued,
+                retired,
+                label,
+                local,
+                chain,
+            } => {
+                let _ = write!(
+                    e,
+                    "{{\"name\":\"{label}\",\"cat\":\"op\",\"ph\":\"X\",\
+                     \"ts\":{ts},\"dur\":{dur},\"pid\":{pid},\"tid\":{TID_CPU},\
+                     \"args\":{{\"chain\":{chain},\"local\":{local}}}}}",
+                    ts = issued.as_u64(),
+                    dur = (retired - issued).as_u64(),
+                    pid = proc.as_u32(),
+                );
+                self.push(&e);
+            }
+            TraceEvent::Retry { at, proc, label } => {
+                let _ = write!(
+                    e,
+                    "{{\"name\":\"{label}\",\"cat\":\"retry\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{ts},\"pid\":{pid},\"tid\":{TID_CPU}}}",
+                    ts = at.as_u64(),
+                    pid = proc.as_u32(),
+                );
+                self.push(&e);
+            }
+            TraceEvent::Reservation { at, node, label } => {
+                let _ = write!(
+                    e,
+                    "{{\"name\":\"{label}\",\"cat\":\"resv\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{ts},\"pid\":{pid},\"tid\":{TID_HOME}}}",
+                    ts = at.as_u64(),
+                    pid = node.as_u32(),
+                );
+                self.push(&e);
+            }
+            TraceEvent::DirTransition {
+                at,
+                node,
+                line,
+                from,
+                to,
+            } => {
+                let _ = write!(
+                    e,
+                    "{{\"name\":\"{f}\\u2192{t}\",\"cat\":\"state\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{ts},\"pid\":{pid},\"tid\":{TID_HOME},\
+                     \"args\":{{\"line\":{line},\"from_n\":{fn_},\"to_n\":{tn}}}}}",
+                    f = from.name,
+                    t = to.name,
+                    ts = at.as_u64(),
+                    pid = node.as_u32(),
+                    line = line.number(),
+                    fn_ = from.n,
+                    tn = to.n,
+                );
+                self.push(&e);
+            }
+            TraceEvent::CacheTransition {
+                at,
+                node,
+                line,
+                from,
+                to,
+            } => {
+                let _ = write!(
+                    e,
+                    "{{\"name\":\"{f}\\u2192{t}\",\"cat\":\"state\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{ts},\"pid\":{pid},\"tid\":{TID_CACHE},\
+                     \"args\":{{\"line\":{line},\"from_n\":{fn_},\"to_n\":{tn}}}}}",
+                    f = from.name,
+                    t = to.name,
+                    ts = at.as_u64(),
+                    pid = node.as_u32(),
+                    line = line.number(),
+                    fn_ = from.n,
+                    tn = to.n,
+                );
+                self.push(&e);
+            }
+            TraceEvent::QueueDepth { at, node, depth } => {
+                let _ = write!(
+                    e,
+                    "{{\"name\":\"home occupancy\",\"cat\":\"queue\",\"ph\":\"C\",\
+                     \"ts\":{ts},\"pid\":{pid},\"tid\":{TID_HOME},\
+                     \"args\":{{\"depth\":{depth}}}}}",
+                    ts = at.as_u64(),
+                    pid = node.as_u32(),
+                );
+                self.push(&e);
+            }
+        }
+    }
+
+    fn write_to(&self, w: &mut dyn io::Write) -> io::Result<()> {
+        w.write_all(self.json().as_bytes())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Validation: a dependency-free JSON parser plus trace_event schema
+// checks, used by the `validate_trace` binary, the test suite and CI.
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value (just enough JSON for validation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> String {
+        format!("JSON parse error at byte {}: {what}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            // Surrogate pairs don't occur in our output;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Decode one multi-byte UTF-8 scalar. Validate at
+                    // most 4 bytes — validating the whole remaining
+                    // input per character would be quadratic.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let chunk = &self.bytes[self.pos..end];
+                    let valid = match std::str::from_utf8(chunk) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&chunk[..e.valid_up_to()]).unwrap()
+                        }
+                        Err(_) => return Err(self.err("invalid UTF-8")),
+                    };
+                    let ch = valid.chars().next().ok_or_else(|| self.err("truncated"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a position-annotated message on malformed input.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after document"));
+    }
+    Ok(v)
+}
+
+/// What [`validate`] found in a well-formed trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total `traceEvents` entries (metadata included).
+    pub events: usize,
+    /// Distinct `pid`s (node tracks).
+    pub pids: usize,
+    /// Complete (`ph:"X"`) slices.
+    pub slices: usize,
+    /// Flow starts (`ph:"s"`).
+    pub flow_starts: usize,
+    /// Flow finishes (`ph:"f"`).
+    pub flow_finishes: usize,
+}
+
+/// Validates a Chrome/Perfetto `trace_event` JSON document: parses it,
+/// checks the `traceEvents` envelope, and checks per-phase required
+/// fields (`X` needs `ts`+`dur`+`pid`, flows need `id`, counters need
+/// numeric `args`, ...). Returns counts for reporting.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed event.
+///
+/// # Example
+///
+/// ```
+/// use dsm_trace::perfetto::validate;
+///
+/// let ok = r#"{"traceEvents":[
+///   {"name":"GetX","cat":"msg","ph":"X","ts":5,"dur":11,"pid":0,"tid":3},
+///   {"name":"msg","cat":"flow","ph":"s","id":1,"ts":5,"pid":0,"tid":3}
+/// ]}"#;
+/// let summary = validate(ok).unwrap();
+/// assert_eq!((summary.slices, summary.flow_starts), (1, 1));
+///
+/// assert!(validate(r#"{"traceEvents":[{"ph":"X"}]}"#).is_err());
+/// assert!(validate("not json").is_err());
+/// ```
+pub fn validate(text: &str) -> Result<TraceSummary, String> {
+    let doc = parse_json(text)?;
+    let events = doc.get("traceEvents").ok_or("missing `traceEvents` key")?;
+    let Json::Arr(events) = events else {
+        return Err("`traceEvents` is not an array".into());
+    };
+    let mut pids = std::collections::BTreeSet::new();
+    let mut summary = TraceSummary {
+        events: events.len(),
+        pids: 0,
+        slices: 0,
+        flow_starts: 0,
+        flow_finishes: 0,
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = |what: &str| format!("traceEvents[{i}]: {what}");
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("missing string `ph`"))?;
+        let need_num = |key: &str| {
+            ev.get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| ctx(&format!("phase `{ph}` needs numeric `{key}`")))
+        };
+        let need_name = || {
+            ev.get("name")
+                .and_then(Json::as_str)
+                .map(|_| ())
+                .ok_or_else(|| ctx("missing string `name`"))
+        };
+        match ph {
+            "M" => need_name()?,
+            "X" => {
+                need_name()?;
+                need_num("ts")?;
+                need_num("dur")?;
+                pids.insert(need_num("pid")? as i64);
+                need_num("tid")?;
+                summary.slices += 1;
+            }
+            "i" => {
+                need_name()?;
+                need_num("ts")?;
+                pids.insert(need_num("pid")? as i64);
+            }
+            "s" | "f" => {
+                need_num("id")?;
+                need_num("ts")?;
+                pids.insert(need_num("pid")? as i64);
+                if ph == "s" {
+                    summary.flow_starts += 1;
+                } else {
+                    summary.flow_finishes += 1;
+                }
+            }
+            "C" => {
+                need_name()?;
+                need_num("ts")?;
+                pids.insert(need_num("pid")? as i64);
+                match ev.get("args") {
+                    Some(Json::Obj(fields)) if !fields.is_empty() => {}
+                    _ => return Err(ctx("counter event needs non-empty `args`")),
+                }
+            }
+            other => return Err(ctx(&format!("unsupported phase `{other}`"))),
+        }
+    }
+    summary.pids = pids.len();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_sim::{Cycle, LineAddr, NodeId, ProcId};
+
+    #[test]
+    fn empty_sink_validates() {
+        let sink = PerfettoSink::new(4);
+        let summary = validate(&sink.json()).unwrap();
+        // 5 metadata entries per node.
+        assert_eq!(summary.events, 20);
+        assert_eq!(summary.slices, 0);
+    }
+
+    #[test]
+    fn all_event_kinds_render_and_validate() {
+        use crate::event::StateLabel;
+        let mut sink = PerfettoSink::new(2);
+        sink.record(&TraceEvent::MsgSend {
+            at: Cycle::new(10),
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+            line: LineAddr::new(2),
+            kind: "GetX",
+            flits: 3,
+            hops: 1,
+            deliver_at: Cycle::new(21),
+            flow: 1,
+        });
+        sink.record(&TraceEvent::MsgService {
+            start: Cycle::new(21),
+            finish: Cycle::new(40),
+            dst: NodeId::new(1),
+            kind: "GetX",
+            home: true,
+            flow: 1,
+        });
+        sink.record(&TraceEvent::Op {
+            proc: ProcId::new(0),
+            issued: Cycle::new(10),
+            retired: Cycle::new(60),
+            label: "Cas",
+            local: false,
+            chain: 4,
+        });
+        sink.record(&TraceEvent::Retry {
+            at: Cycle::new(60),
+            proc: ProcId::new(0),
+            label: "cas-fail",
+        });
+        sink.record(&TraceEvent::Reservation {
+            at: Cycle::new(61),
+            node: NodeId::new(1),
+            label: "wipe",
+        });
+        sink.record(&TraceEvent::DirTransition {
+            at: Cycle::new(40),
+            node: NodeId::new(1),
+            line: LineAddr::new(2),
+            from: StateLabel::plain("Uncached"),
+            to: StateLabel {
+                name: "Dirty",
+                n: 0,
+            },
+        });
+        sink.record(&TraceEvent::CacheTransition {
+            at: Cycle::new(40),
+            node: NodeId::new(0),
+            line: LineAddr::new(2),
+            from: StateLabel::plain("Invalid"),
+            to: StateLabel::plain("Exclusive"),
+        });
+        sink.record(&TraceEvent::QueueDepth {
+            at: Cycle::new(40),
+            node: NodeId::new(1),
+            depth: 2,
+        });
+        let summary = validate(&sink.json()).unwrap();
+        assert_eq!(summary.slices, 3); // send, service, op
+        assert_eq!(summary.flow_starts, 1);
+        assert_eq!(summary.flow_finishes, 1);
+        assert_eq!(summary.pids, 2);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = parse_json(r#"{"a":[1,2.5,-3],"b":"x→y","c":{"d":null,"e":true}}"#).unwrap();
+        assert_eq!(v.get("b").unwrap().as_str().unwrap(), "x\u{2192}y");
+        assert_eq!(
+            v.get("a"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(2.5),
+                Json::Num(-3.0)
+            ]))
+        );
+        assert_eq!(v.get("c").unwrap().get("d"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{\"a\":1}x").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn validate_rejects_missing_fields() {
+        assert!(validate(r#"{"traceEvents":[{"name":"x","ph":"X","ts":1}]}"#).is_err());
+        assert!(validate(r#"{"traceEvents":[{"name":"x","ph":"Z"}]}"#).is_err());
+        assert!(validate(r#"{"other":1}"#).is_err());
+        assert!(
+            validate(r#"{"traceEvents":[{"name":"c","ph":"C","ts":1,"pid":0,"args":{}}]}"#)
+                .is_err()
+        );
+    }
+}

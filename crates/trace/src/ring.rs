@@ -1,0 +1,364 @@
+//! A compact binary ring buffer: always-on capture for long runs.
+//!
+//! [`RingSink`] keeps the most recent N events as fixed-width 40-byte
+//! records plus a small label dictionary, so capturing the tail of a
+//! billion-cycle run costs a few megabytes of memory and no I/O until
+//! the run ends. The on-disk format (see [`RingSink::write_to`]) is a
+//! versioned little-endian dump: enough to reconstruct what the machine
+//! was doing just before a failure without paying JSON's size.
+
+use crate::event::TraceEvent;
+use crate::sink::TraceSink;
+use std::io;
+
+/// Magic bytes opening a serialized ring dump.
+pub const RING_MAGIC: &[u8; 8] = b"DSMTRING";
+/// Format version written after the magic.
+pub const RING_VERSION: u32 = 1;
+
+/// Discriminants for [`RingRecord::kind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RecordKind {
+    /// A [`TraceEvent::MsgSend`].
+    MsgSend = 0,
+    /// A [`TraceEvent::MsgService`].
+    MsgService = 1,
+    /// A [`TraceEvent::Op`].
+    Op = 2,
+    /// A [`TraceEvent::Retry`].
+    Retry = 3,
+    /// A [`TraceEvent::Reservation`].
+    Reservation = 4,
+    /// A [`TraceEvent::DirTransition`].
+    DirTransition = 5,
+    /// A [`TraceEvent::CacheTransition`].
+    CacheTransition = 6,
+    /// A [`TraceEvent::QueueDepth`].
+    QueueDepth = 7,
+}
+
+/// One fixed-width ring record. Field meaning depends on
+/// [`kind`](RingRecord::kind):
+///
+/// | kind              | `ts`    | `node` | `label`      | `a`        | `b`                      | `c`        |
+/// |-------------------|---------|--------|--------------|------------|--------------------------|------------|
+/// | `MsgSend`         | send    | src    | msg kind     | line       | `dst<<32 \| flits`       | flow id    |
+/// | `MsgService`      | start   | dst    | msg kind     | finish     | 1 if home else 0         | flow id    |
+/// | `Op`              | issued  | proc   | op label     | retired    | `local<<32 \| chain`     | 0          |
+/// | `Retry`           | at      | proc   | what failed  | 0          | 0                        | 0          |
+/// | `Reservation`     | at      | node   | what         | 0          | 0                        | 0          |
+/// | `DirTransition`   | at      | home   | from-state   | line       | `to_label<<32 \| to_n`   | from `n`   |
+/// | `CacheTransition` | at      | node   | from-state   | line       | `to_label<<32 \| to_n`   | from `n`   |
+/// | `QueueDepth`      | at      | home   | –            | depth      | 0                        | 0          |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingRecord {
+    /// Event timestamp in cycles.
+    pub ts: u64,
+    /// Primary payload word.
+    pub a: u64,
+    /// Secondary payload word.
+    pub b: u64,
+    /// Tertiary payload word.
+    pub c: u64,
+    /// The node or processor index the event is attributed to.
+    pub node: u32,
+    /// Index into the label dictionary ([`RingSink::labels`]).
+    pub label: u16,
+    /// Record discriminant (a [`RecordKind`] value).
+    pub kind: u8,
+}
+
+impl RingRecord {
+    /// Serialized size in bytes.
+    pub const SIZE: usize = 40;
+
+    fn write_le(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.ts.to_le_bytes());
+        out.extend_from_slice(&self.a.to_le_bytes());
+        out.extend_from_slice(&self.b.to_le_bytes());
+        out.extend_from_slice(&self.c.to_le_bytes());
+        out.extend_from_slice(&self.node.to_le_bytes());
+        out.extend_from_slice(&self.label.to_le_bytes());
+        out.push(self.kind);
+        out.push(0); // pad to 40
+    }
+}
+
+/// A [`TraceSink`] retaining the most recent `capacity` events in a
+/// fixed-width binary form.
+#[derive(Debug)]
+pub struct RingSink {
+    buf: Vec<RingRecord>,
+    capacity: usize,
+    /// Next slot to overwrite once the buffer has wrapped.
+    head: usize,
+    wrapped: bool,
+    dropped: u64,
+    labels: Vec<&'static str>,
+}
+
+impl RingSink {
+    /// Creates a ring retaining at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingSink {
+            buf: Vec::with_capacity(capacity.min(1 << 16)),
+            capacity,
+            head: 0,
+            wrapped: false,
+            dropped: 0,
+            labels: Vec::new(),
+        }
+    }
+
+    /// The label dictionary; [`RingRecord::label`] indexes into it.
+    pub fn labels(&self) -> &[&'static str] {
+        &self.labels
+    }
+
+    /// Events overwritten because the ring wrapped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> Vec<RingRecord> {
+        if !self.wrapped {
+            return self.buf.clone();
+        }
+        let mut out = Vec::with_capacity(self.capacity);
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    fn label_idx(&mut self, label: &'static str) -> u16 {
+        // Linear scan: the dictionary holds message-kind and state names,
+        // a few dozen distinct strings at most.
+        if let Some(i) = self.labels.iter().position(|&l| l == label) {
+            return i as u16;
+        }
+        self.labels.push(label);
+        (self.labels.len() - 1) as u16
+    }
+
+    fn push(&mut self, rec: RingRecord) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(rec);
+            self.head = self.buf.len() % self.capacity;
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+            self.wrapped = true;
+            self.dropped += 1;
+        }
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        let rec = match *ev {
+            TraceEvent::MsgSend {
+                at,
+                src,
+                dst,
+                line,
+                kind,
+                flits,
+                deliver_at: _,
+                hops: _,
+                flow,
+            } => RingRecord {
+                ts: at.as_u64(),
+                a: line.number(),
+                b: (u64::from(dst.as_u32()) << 32) | (flits & 0xffff_ffff),
+                c: flow,
+                node: src.as_u32(),
+                label: self.label_idx(kind),
+                kind: RecordKind::MsgSend as u8,
+            },
+            TraceEvent::MsgService {
+                start,
+                finish,
+                dst,
+                kind,
+                home,
+                flow,
+            } => RingRecord {
+                ts: start.as_u64(),
+                a: finish.as_u64(),
+                b: u64::from(home),
+                c: flow,
+                node: dst.as_u32(),
+                label: self.label_idx(kind),
+                kind: RecordKind::MsgService as u8,
+            },
+            TraceEvent::Op {
+                proc,
+                issued,
+                retired,
+                label,
+                local,
+                chain,
+            } => RingRecord {
+                ts: issued.as_u64(),
+                a: retired.as_u64(),
+                b: (u64::from(local) << 32) | u64::from(chain),
+                c: 0,
+                node: proc.as_u32(),
+                label: self.label_idx(label),
+                kind: RecordKind::Op as u8,
+            },
+            TraceEvent::Retry { at, proc, label } => RingRecord {
+                ts: at.as_u64(),
+                a: 0,
+                b: 0,
+                c: 0,
+                node: proc.as_u32(),
+                label: self.label_idx(label),
+                kind: RecordKind::Retry as u8,
+            },
+            TraceEvent::Reservation { at, node, label } => RingRecord {
+                ts: at.as_u64(),
+                a: 0,
+                b: 0,
+                c: 0,
+                node: node.as_u32(),
+                label: self.label_idx(label),
+                kind: RecordKind::Reservation as u8,
+            },
+            TraceEvent::DirTransition {
+                at,
+                node,
+                line,
+                from,
+                to,
+            } => RingRecord {
+                ts: at.as_u64(),
+                a: line.number(),
+                b: (u64::from(self.label_idx(to.name)) << 32) | u64::from(to.n),
+                c: u64::from(from.n),
+                node: node.as_u32(),
+                label: self.label_idx(from.name),
+                kind: RecordKind::DirTransition as u8,
+            },
+            TraceEvent::CacheTransition {
+                at,
+                node,
+                line,
+                from,
+                to,
+            } => RingRecord {
+                ts: at.as_u64(),
+                a: line.number(),
+                b: (u64::from(self.label_idx(to.name)) << 32) | u64::from(to.n),
+                c: u64::from(from.n),
+                node: node.as_u32(),
+                label: self.label_idx(from.name),
+                kind: RecordKind::CacheTransition as u8,
+            },
+            TraceEvent::QueueDepth { at, node, depth } => RingRecord {
+                ts: at.as_u64(),
+                a: depth,
+                b: 0,
+                c: 0,
+                node: node.as_u32(),
+                label: 0,
+                kind: RecordKind::QueueDepth as u8,
+            },
+        };
+        self.push(rec);
+    }
+
+    /// Serializes the ring: `DSMTRING` magic, `u32` version, `u64`
+    /// dropped-event count, `u32` dictionary entry count followed by
+    /// length-prefixed UTF-8 labels, `u64` record count, then the
+    /// records oldest-first, 40 little-endian bytes each.
+    fn write_to(&self, w: &mut dyn io::Write) -> io::Result<()> {
+        let mut out = Vec::new();
+        out.extend_from_slice(RING_MAGIC);
+        out.extend_from_slice(&RING_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.dropped.to_le_bytes());
+        out.extend_from_slice(&(self.labels.len() as u32).to_le_bytes());
+        for label in &self.labels {
+            out.extend_from_slice(&(label.len() as u32).to_le_bytes());
+            out.extend_from_slice(label.as_bytes());
+        }
+        let records = self.records();
+        out.extend_from_slice(&(records.len() as u64).to_le_bytes());
+        for rec in &records {
+            rec.write_le(&mut out);
+        }
+        w.write_all(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_sim::{Cycle, ProcId};
+
+    fn op(issued: u64) -> TraceEvent {
+        TraceEvent::Op {
+            proc: ProcId::new(0),
+            issued: Cycle::new(issued),
+            retired: Cycle::new(issued + 10),
+            label: "Load",
+            local: true,
+            chain: 0,
+        }
+    }
+
+    #[test]
+    fn retains_most_recent_oldest_first() {
+        let mut ring = RingSink::new(4);
+        for i in 0..7 {
+            ring.record(&op(i));
+        }
+        let recs = ring.records();
+        assert_eq!(recs.len(), 4);
+        assert_eq!(
+            recs.iter().map(|r| r.ts).collect::<Vec<_>>(),
+            vec![3, 4, 5, 6]
+        );
+        assert_eq!(ring.dropped(), 3);
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let mut ring = RingSink::new(16);
+        for i in 0..5 {
+            ring.record(&op(i));
+        }
+        assert_eq!(ring.records().len(), 5);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn labels_deduplicate() {
+        let mut ring = RingSink::new(8);
+        ring.record(&op(1));
+        ring.record(&op(2));
+        ring.record(&TraceEvent::Retry {
+            at: Cycle::new(3),
+            proc: ProcId::new(1),
+            label: "cas-fail",
+        });
+        assert_eq!(ring.labels(), &["Load", "cas-fail"]);
+    }
+
+    #[test]
+    fn serialized_layout_is_stable() {
+        let mut ring = RingSink::new(8);
+        ring.record(&op(9));
+        let mut bytes = Vec::new();
+        ring.write_to(&mut bytes).unwrap();
+        assert_eq!(&bytes[..8], RING_MAGIC);
+        // version + dropped + dict count + one 4-char label + record
+        // count + one record.
+        assert_eq!(bytes.len(), 8 + 4 + 8 + 4 + (4 + 4) + 8 + RingRecord::SIZE);
+        let rec_off = bytes.len() - RingRecord::SIZE;
+        assert_eq!(&bytes[rec_off..rec_off + 8], &9u64.to_le_bytes());
+    }
+}

@@ -1,0 +1,209 @@
+//! Parsing of `--trace[=SPEC]` / `DSM_TRACE` specifications.
+
+use crate::event::Categories;
+use std::path::PathBuf;
+
+/// A parsed trace specification: which sinks to attach, where their
+/// output goes, and which event categories to record.
+///
+/// The spec grammar is a comma-separated list of clauses:
+///
+/// * `perfetto` or `perfetto:PATH` — attach the Perfetto JSON sink.
+///   Without a path, files are written into the `traces/` directory
+///   under a deterministic content-addressed name; with a path ending
+///   in `.json`, exactly that file is written; any other path is used
+///   as the output directory.
+/// * `ring`, `ring:CAP`, or `ring:CAP:PATH` — attach the binary ring
+///   buffer, retaining `CAP` events (default 65536).
+/// * `cat:LIST` — record only the `+`-separated categories in `LIST`
+///   (`msg`, `op`, `state`, `resv`, `queue`, `retry`).
+///
+/// The empty string and the bare words `1`, `on`, `default` all mean
+/// "Perfetto sink, every category, default directory" — so
+/// `DSM_TRACE=1` and `--trace` just work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// Attach the Perfetto `trace_event` JSON sink.
+    pub perfetto: bool,
+    /// Perfetto output: a `.json` file path, a directory, or `None` for
+    /// the default `traces/` directory.
+    pub out: Option<PathBuf>,
+    /// Ring-buffer capacity in events, if the ring sink is attached.
+    pub ring: Option<usize>,
+    /// Ring output path (file or directory), if given. When absent,
+    /// the ring follows [`out`](TraceSpec::out) so both files land
+    /// together; only with neither path does it use the default
+    /// directory.
+    pub ring_out: Option<PathBuf>,
+    /// Categories to record.
+    pub cats: Categories,
+}
+
+/// Default ring capacity when `ring` is given without one.
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+impl Default for TraceSpec {
+    /// The spec produced by a bare `--trace`: Perfetto sink, all
+    /// categories, default output directory, no ring.
+    fn default() -> Self {
+        TraceSpec {
+            perfetto: true,
+            out: None,
+            ring: None,
+            ring_out: None,
+            cats: Categories::all(),
+        }
+    }
+}
+
+impl TraceSpec {
+    /// Parses a trace specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on unknown clauses, unknown
+    /// categories, or malformed capacities.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dsm_trace::TraceSpec;
+    ///
+    /// // The common cases: `--trace` / `DSM_TRACE=1`.
+    /// assert_eq!(TraceSpec::from_spec("").unwrap(), TraceSpec::default());
+    /// assert_eq!(TraceSpec::from_spec("on").unwrap(), TraceSpec::default());
+    ///
+    /// // Explicit output file, restricted categories.
+    /// let spec = TraceSpec::from_spec("perfetto:out/run.json,cat:msg+op").unwrap();
+    /// assert_eq!(spec.out.as_deref(), Some(std::path::Path::new("out/run.json")));
+    /// assert!(spec.cats.contains(dsm_trace::Category::Msg));
+    /// assert!(!spec.cats.contains(dsm_trace::Category::State));
+    ///
+    /// // Ring buffer with a capacity, alongside Perfetto.
+    /// let spec = TraceSpec::from_spec("perfetto,ring:1024").unwrap();
+    /// assert_eq!(spec.ring, Some(1024));
+    ///
+    /// // Ring only.
+    /// let spec = TraceSpec::from_spec("ring").unwrap();
+    /// assert!(!spec.perfetto);
+    /// assert_eq!(spec.ring, Some(dsm_trace::spec::DEFAULT_RING_CAPACITY));
+    ///
+    /// // Errors are descriptive.
+    /// assert!(TraceSpec::from_spec("bogus").is_err());
+    /// assert!(TraceSpec::from_spec("cat:msg+nope").is_err());
+    /// assert!(TraceSpec::from_spec("ring:zillion").is_err());
+    /// ```
+    pub fn from_spec(spec: &str) -> Result<TraceSpec, String> {
+        let spec = spec.trim();
+        if matches!(spec, "" | "1" | "on" | "default") {
+            return Ok(TraceSpec::default());
+        }
+        let mut out = TraceSpec {
+            perfetto: false,
+            out: None,
+            ring: None,
+            ring_out: None,
+            cats: Categories::all(),
+        };
+        for clause in spec.split(',') {
+            let clause = clause.trim();
+            let (word, rest) = match clause.split_once(':') {
+                Some((w, r)) => (w, Some(r)),
+                None => (clause, None),
+            };
+            match word {
+                "perfetto" => {
+                    out.perfetto = true;
+                    if let Some(path) = rest {
+                        if path.is_empty() {
+                            return Err("`perfetto:` needs a path after the colon".into());
+                        }
+                        out.out = Some(PathBuf::from(path));
+                    }
+                }
+                "ring" => {
+                    let mut cap = DEFAULT_RING_CAPACITY;
+                    if let Some(rest) = rest {
+                        let (cap_str, path) = match rest.split_once(':') {
+                            Some((c, p)) => (c, Some(p)),
+                            None => (rest, None),
+                        };
+                        cap = cap_str.parse::<usize>().map_err(|_| {
+                            format!("bad ring capacity `{cap_str}` (want an event count)")
+                        })?;
+                        if cap == 0 {
+                            return Err("ring capacity must be at least 1".into());
+                        }
+                        if let Some(path) = path {
+                            if path.is_empty() {
+                                return Err("`ring:CAP:` needs a path after the colon".into());
+                            }
+                            out.ring_out = Some(PathBuf::from(path));
+                        }
+                    }
+                    out.ring = Some(cap);
+                }
+                "cat" => {
+                    let list = rest.ok_or("`cat` needs a `+`-separated list, e.g. `cat:msg+op`")?;
+                    out.cats = list.parse()?;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown trace clause `{other}` (expected `perfetto[:PATH]`, \
+                         `ring[:CAP[:PATH]]`, or `cat:LIST`)"
+                    ));
+                }
+            }
+        }
+        if !out.perfetto && out.ring.is_none() {
+            return Err("trace spec enables no sink (add `perfetto` or `ring`)".into());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Category;
+
+    #[test]
+    fn bare_forms_mean_default() {
+        for s in ["", "1", "on", "default", "  on  "] {
+            assert_eq!(TraceSpec::from_spec(s).unwrap(), TraceSpec::default());
+        }
+    }
+
+    #[test]
+    fn ring_with_cap_and_path() {
+        let spec = TraceSpec::from_spec("ring:512:dump.bin").unwrap();
+        assert_eq!(spec.ring, Some(512));
+        assert_eq!(
+            spec.ring_out.as_deref(),
+            Some(std::path::Path::new("dump.bin"))
+        );
+        assert!(!spec.perfetto);
+    }
+
+    #[test]
+    fn directory_output() {
+        let spec = TraceSpec::from_spec("perfetto:mydir").unwrap();
+        assert_eq!(spec.out.as_deref(), Some(std::path::Path::new("mydir")));
+    }
+
+    #[test]
+    fn categories_restrict() {
+        let spec = TraceSpec::from_spec("perfetto,cat:queue").unwrap();
+        assert!(spec.cats.contains(Category::Queue));
+        assert!(!spec.cats.contains(Category::Msg));
+    }
+
+    #[test]
+    fn errors_are_rejected() {
+        assert!(TraceSpec::from_spec("perfetto:").is_err());
+        assert!(TraceSpec::from_spec("ring:0").is_err());
+        assert!(TraceSpec::from_spec("ring:8:").is_err());
+        assert!(TraceSpec::from_spec("cat").is_err());
+        assert!(TraceSpec::from_spec("cat:msg,nothing").is_err());
+    }
+}

@@ -1,0 +1,516 @@
+//! The [`Tracer`]: the machine-facing front end of the tracing layer.
+//!
+//! A `Tracer` owns the attached sinks, the per-node metrics, and the
+//! flow-id bookkeeping that links a message's send to its delivery (and
+//! thereby request to reply in the viewer). The machine holds an
+//! `Option<Box<Tracer>>`: `None` costs one never-taken branch per
+//! instrumentation site, which is the whole "zero cost when off" story.
+
+use crate::event::{Categories, Category, StateLabel, TraceEvent};
+use crate::perfetto::PerfettoSink;
+use crate::ring::RingSink;
+use crate::sink::TraceSink;
+use crate::spec::TraceSpec;
+use dsm_sim::{Cycle, LineAddr, NodeId, ProcId, StableHashMap, StableHasher};
+use dsm_stats::metrics::{render_node_metrics, NodeMetrics};
+use std::collections::VecDeque;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes concurrently written temp files; never affects final
+/// file names or contents.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Records structured events into the sinks selected by a
+/// [`TraceSpec`], maintains per-node [`NodeMetrics`], and writes the
+/// output files when the run finishes.
+///
+/// Determinism contract: everything a `Tracer` writes is a pure
+/// function of the event sequence it was fed. Flow ids come from a
+/// private monotonic counter, file names embed the run seed and a
+/// [`StableHasher`] digest of the content, and no wall-clock value is
+/// ever recorded — so the same simulation produces byte-identical
+/// trace files whether it runs under `--jobs 1` or `--jobs 8`.
+pub struct Tracer {
+    cats: Categories,
+    perfetto: Option<PerfettoSink>,
+    ring: Option<RingSink>,
+    extra: Vec<Box<dyn TraceSink>>,
+    perfetto_out: Option<PathBuf>,
+    ring_out: Option<PathBuf>,
+    /// Per-(src,dst) queues of in-flight flow ids. The mesh delivers
+    /// messages between any given pair of nodes in FIFO order, so the
+    /// send at the queue's front is always the one being delivered.
+    pair_flows: StableHashMap<u64, VecDeque<u64>>,
+    next_flow: u64,
+    metrics: Vec<NodeMetrics>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("cats", &self.cats)
+            .field("perfetto", &self.perfetto.is_some())
+            .field("ring", &self.ring.is_some())
+            .field("extra_sinks", &self.extra.len())
+            .field("next_flow", &self.next_flow)
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// Creates a tracer for a `nodes`-node machine from a parsed spec.
+    pub fn new(spec: &TraceSpec, nodes: u32) -> Self {
+        Tracer {
+            cats: spec.cats,
+            perfetto: spec.perfetto.then(|| PerfettoSink::new(nodes)),
+            ring: spec.ring.map(RingSink::new),
+            extra: Vec::new(),
+            perfetto_out: spec.out.clone(),
+            // A ring without its own path follows the Perfetto output
+            // (only the extension differs), so one `perfetto:DIR,ring`
+            // spec keeps both files together.
+            ring_out: spec.ring_out.clone().or_else(|| {
+                spec.out.as_ref().map(|p| {
+                    if p.extension().is_some() {
+                        p.with_extension("ring")
+                    } else {
+                        p.clone()
+                    }
+                })
+            }),
+            pair_flows: StableHashMap::default(),
+            next_flow: 0,
+            metrics: vec![NodeMetrics::new(); nodes as usize],
+        }
+    }
+
+    /// Attaches an additional custom sink (receives every enabled
+    /// event, after the built-in sinks).
+    pub fn add_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.extra.push(sink);
+    }
+
+    /// Whether events of `cat` are being recorded. Instrumentation
+    /// sites with any preparation cost (state probes, queue scans)
+    /// check this before doing the work.
+    #[inline]
+    pub fn wants(&self, cat: Category) -> bool {
+        self.cats.contains(cat)
+    }
+
+    fn record(&mut self, ev: &TraceEvent) {
+        if let Some(p) = &mut self.perfetto {
+            p.record(ev);
+        }
+        if let Some(r) = &mut self.ring {
+            r.record(ev);
+        }
+        for s in &mut self.extra {
+            s.record(ev);
+        }
+        self.update_metrics(ev);
+    }
+
+    fn update_metrics(&mut self, ev: &TraceEvent) {
+        fn m(metrics: &mut Vec<NodeMetrics>, idx: usize) -> &mut NodeMetrics {
+            if idx >= metrics.len() {
+                metrics.resize(idx + 1, NodeMetrics::new());
+            }
+            &mut metrics[idx]
+        }
+        match *ev {
+            TraceEvent::MsgSend {
+                at,
+                src,
+                flits,
+                deliver_at,
+                ..
+            } => {
+                let node = m(&mut self.metrics, src.index());
+                node.msgs_sent += 1;
+                node.flits_sent += flits;
+                node.transit.record((deliver_at - at).as_u64() as usize);
+            }
+            TraceEvent::MsgService { dst, home, .. } => {
+                let node = m(&mut self.metrics, dst.index());
+                if home {
+                    node.served_home += 1;
+                } else {
+                    node.served_cache += 1;
+                }
+            }
+            TraceEvent::Op { proc, .. } => {
+                m(&mut self.metrics, proc.node().index()).ops_retired += 1;
+            }
+            TraceEvent::Retry { proc, .. } => {
+                m(&mut self.metrics, proc.node().index()).retries += 1;
+            }
+            TraceEvent::Reservation { .. } => {}
+            TraceEvent::DirTransition { node, .. } => {
+                m(&mut self.metrics, node.index()).dir_transitions += 1;
+            }
+            TraceEvent::CacheTransition { node, .. } => {
+                m(&mut self.metrics, node.index()).cache_transitions += 1;
+            }
+            TraceEvent::QueueDepth { node, depth, .. } => {
+                m(&mut self.metrics, node.index())
+                    .queue_depth
+                    .record(depth as usize);
+            }
+        }
+    }
+
+    fn pair_key(src: NodeId, dst: NodeId) -> u64 {
+        (u64::from(src.as_u32()) << 32) | u64::from(dst.as_u32())
+    }
+
+    /// Records a message entering the network and returns its flow id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn msg_send(
+        &mut self,
+        at: Cycle,
+        src: NodeId,
+        dst: NodeId,
+        line: LineAddr,
+        kind: &'static str,
+        flits: u64,
+        hops: u32,
+        deliver_at: Cycle,
+    ) -> u64 {
+        let flow = self.next_flow;
+        self.next_flow += 1;
+        self.pair_flows
+            .entry(Self::pair_key(src, dst))
+            .or_default()
+            .push_back(flow);
+        self.record(&TraceEvent::MsgSend {
+            at,
+            src,
+            dst,
+            line,
+            kind,
+            flits,
+            hops,
+            deliver_at,
+            flow,
+        });
+        flow
+    }
+
+    /// Records a delivered message being serviced at `dst`. The flow id
+    /// is recovered from the per-pair FIFO the matching
+    /// [`msg_send`](Tracer::msg_send) pushed onto.
+    pub fn msg_service(
+        &mut self,
+        start: Cycle,
+        finish: Cycle,
+        src: NodeId,
+        dst: NodeId,
+        kind: &'static str,
+        home: bool,
+    ) {
+        let flow = self
+            .pair_flows
+            .get_mut(&Self::pair_key(src, dst))
+            .and_then(VecDeque::pop_front)
+            .unwrap_or(u64::MAX);
+        self.record(&TraceEvent::MsgService {
+            start,
+            finish,
+            dst,
+            kind,
+            home,
+            flow,
+        });
+    }
+
+    /// Records a retired memory operation.
+    pub fn op(
+        &mut self,
+        proc: ProcId,
+        issued: Cycle,
+        retired: Cycle,
+        label: &'static str,
+        local: bool,
+        chain: u32,
+    ) {
+        self.record(&TraceEvent::Op {
+            proc,
+            issued,
+            retired,
+            label,
+            local,
+            chain,
+        });
+    }
+
+    /// Records a failed atomic attempt the processor will retry.
+    pub fn retry(&mut self, at: Cycle, proc: ProcId, label: &'static str) {
+        self.record(&TraceEvent::Retry { at, proc, label });
+    }
+
+    /// Records an LL/SC reservation event.
+    pub fn reservation(&mut self, at: Cycle, node: NodeId, label: &'static str) {
+        self.record(&TraceEvent::Reservation { at, node, label });
+    }
+
+    /// Records a directory state transition at `node`'s home module.
+    pub fn dir_transition(
+        &mut self,
+        at: Cycle,
+        node: NodeId,
+        line: LineAddr,
+        from: StateLabel,
+        to: StateLabel,
+    ) {
+        self.record(&TraceEvent::DirTransition {
+            at,
+            node,
+            line,
+            from,
+            to,
+        });
+    }
+
+    /// Records a cache-line state transition at `node`'s cache.
+    pub fn cache_transition(
+        &mut self,
+        at: Cycle,
+        node: NodeId,
+        line: LineAddr,
+        from: StateLabel,
+        to: StateLabel,
+    ) {
+        self.record(&TraceEvent::CacheTransition {
+            at,
+            node,
+            line,
+            from,
+            to,
+        });
+    }
+
+    /// Records a home-queue occupancy sample.
+    pub fn queue_depth(&mut self, at: Cycle, node: NodeId, depth: u64) {
+        self.record(&TraceEvent::QueueDepth { at, node, depth });
+    }
+
+    /// The Perfetto JSON recorded so far, if that sink is attached.
+    pub fn perfetto_json(&self) -> Option<String> {
+        self.perfetto.as_ref().map(PerfettoSink::json)
+    }
+
+    /// The ring sink, if attached.
+    pub fn ring(&self) -> Option<&RingSink> {
+        self.ring.as_ref()
+    }
+
+    /// Per-node metrics accumulated so far.
+    pub fn metrics(&self) -> &[NodeMetrics] {
+        &self.metrics
+    }
+
+    /// Renders the per-node metrics table.
+    pub fn render_metrics(&self) -> String {
+        render_node_metrics(&self.metrics)
+    }
+
+    /// Writes every attached file-backed sink and returns the paths
+    /// written.
+    ///
+    /// File naming is deterministic: unless the spec gave an exact
+    /// file path, output goes to
+    /// `DIR/trace-{seed:016x}-{contenthash:016x}.{ext}` where the
+    /// content hash is a [`StableHasher`] digest of the file's bytes.
+    /// Writes go through a temp file and an atomic rename, so two
+    /// workers finishing the same job concurrently both land the same
+    /// bytes at the same name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory creation or file writes.
+    pub fn finish(&self, seed: u64) -> io::Result<Vec<PathBuf>> {
+        let mut written = Vec::new();
+        if let Some(p) = &self.perfetto {
+            let mut bytes = Vec::new();
+            p.write_to(&mut bytes)?;
+            written.push(write_deterministic(
+                self.perfetto_out.as_deref(),
+                seed,
+                "json",
+                &bytes,
+            )?);
+        }
+        if let Some(r) = &self.ring {
+            let mut bytes = Vec::new();
+            r.write_to(&mut bytes)?;
+            written.push(write_deterministic(
+                self.ring_out.as_deref(),
+                seed,
+                "ring",
+                &bytes,
+            )?);
+        }
+        Ok(written)
+    }
+}
+
+/// Default output directory for content-addressed trace files.
+pub const DEFAULT_TRACE_DIR: &str = "traces";
+
+fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+/// Resolves the final path for one output file: an explicit `.json`
+/// path (or any path with an extension) is used verbatim; anything
+/// else is treated as a directory receiving a content-addressed name.
+fn resolve_path(out: Option<&Path>, seed: u64, ext: &str, bytes: &[u8]) -> PathBuf {
+    match out {
+        Some(p) if p.extension().is_some() => p.to_path_buf(),
+        other => {
+            let dir = other.unwrap_or(Path::new(DEFAULT_TRACE_DIR));
+            dir.join(format!(
+                "trace-{seed:016x}-{:016x}.{ext}",
+                content_hash(bytes)
+            ))
+        }
+    }
+}
+
+fn write_deterministic(
+    out: Option<&Path>,
+    seed: u64,
+    ext: &str,
+    bytes: &[u8],
+) -> io::Result<PathBuf> {
+    let path = resolve_path(out, seed, ext, bytes);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    // Concurrent workers may finish identical jobs at the same time;
+    // each writes its own temp file and the rename is atomic, so the
+    // final path only ever holds complete content.
+    let tmp = path.with_extension(format!(
+        "{ext}.tmp.{}.{}",
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(s: &str) -> TraceSpec {
+        TraceSpec::from_spec(s).unwrap()
+    }
+
+    #[test]
+    fn flows_link_send_to_service_in_fifo_order() {
+        let mut t = Tracer::new(&spec("perfetto"), 2);
+        let a = NodeId::new(0);
+        let b = NodeId::new(1);
+        let line = LineAddr::new(5);
+        let f0 = t.msg_send(Cycle::new(1), a, b, line, "GetX", 1, 1, Cycle::new(10));
+        let f1 = t.msg_send(Cycle::new(2), a, b, line, "GetS", 1, 1, Cycle::new(11));
+        assert_eq!((f0, f1), (0, 1));
+        t.msg_service(Cycle::new(10), Cycle::new(30), a, b, "GetX", true);
+        t.msg_service(Cycle::new(30), Cycle::new(40), a, b, "GetS", true);
+        let json = t.perfetto_json().unwrap();
+        let summary = crate::perfetto::validate(&json).unwrap();
+        assert_eq!(summary.flow_starts, 2);
+        assert_eq!(summary.flow_finishes, 2);
+        // FIFO pairing: first service gets flow 0.
+        let s_pos = json.find("\"ph\":\"f\",\"bp\":\"e\",\"id\":0").unwrap();
+        let s1_pos = json.find("\"ph\":\"f\",\"bp\":\"e\",\"id\":1").unwrap();
+        assert!(s_pos < s1_pos);
+    }
+
+    #[test]
+    fn metrics_accumulate_per_node() {
+        let mut t = Tracer::new(&spec("perfetto"), 4);
+        t.msg_send(
+            Cycle::new(0),
+            NodeId::new(1),
+            NodeId::new(2),
+            LineAddr::new(0),
+            "GetX",
+            3,
+            1,
+            Cycle::new(8),
+        );
+        t.op(
+            ProcId::new(1),
+            Cycle::new(0),
+            Cycle::new(20),
+            "Cas",
+            false,
+            2,
+        );
+        t.retry(Cycle::new(20), ProcId::new(1), "cas-fail");
+        t.queue_depth(Cycle::new(8), NodeId::new(2), 3);
+        let m = t.metrics();
+        assert_eq!(m[1].msgs_sent, 1);
+        assert_eq!(m[1].flits_sent, 3);
+        assert_eq!(m[1].ops_retired, 1);
+        assert_eq!(m[1].retries, 1);
+        assert_eq!(m[2].queue_depth.max_value(), Some(3));
+        assert_eq!(m[0].msgs_sent, 0);
+        assert!(t.render_metrics().contains("total"));
+    }
+
+    #[test]
+    fn categories_gate_via_wants() {
+        let t = Tracer::new(&spec("perfetto,cat:msg"), 2);
+        assert!(t.wants(Category::Msg));
+        assert!(!t.wants(Category::State));
+        assert!(!t.wants(Category::Queue));
+    }
+
+    #[test]
+    fn finish_writes_content_addressed_files() {
+        let dir = std::env::temp_dir().join(format!("dsm-trace-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = Tracer::new(
+            &TraceSpec {
+                perfetto: true,
+                out: Some(dir.clone()),
+                ring: Some(64),
+                ring_out: Some(dir.join("dump.ring")),
+                cats: Categories::all(),
+            },
+            2,
+        );
+        t.op(
+            ProcId::new(0),
+            Cycle::new(0),
+            Cycle::new(5),
+            "Load",
+            true,
+            0,
+        );
+        let paths = t.finish(0xabcd).unwrap();
+        assert_eq!(paths.len(), 2);
+        let name = paths[0].file_name().unwrap().to_str().unwrap();
+        assert!(name.starts_with("trace-000000000000abcd-"));
+        assert!(name.ends_with(".json"));
+        assert_eq!(paths[1], dir.join("dump.ring"));
+        // Same events, same bytes, same name: finishing again is
+        // idempotent.
+        let again = t.finish(0xabcd).unwrap();
+        assert_eq!(paths, again);
+        let json = std::fs::read_to_string(&paths[0]).unwrap();
+        crate::perfetto::validate(&json).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
