@@ -7,7 +7,9 @@
 //! cargo run --release -p dsm-bench --bin figures -- all --csv out/    # also write CSV
 //! ```
 //!
-//! Artifacts: `table1`, `fig2`–`fig6`, `scaling`, `all`.
+//! Artifacts: `table1`, `fig2`–`fig6`, `scaling`, `lockfree`, `all`
+//! (`all` regenerates the committed paper artifacts and deliberately
+//! excludes `lockfree` — request that table by name).
 //! `--paper` runs at the paper's 64-processor scale (slower); the
 //! default is a 16-processor scale with the same shape. `--csv DIR`
 //! additionally writes one CSV file per artifact into DIR; `--bars`
@@ -24,7 +26,9 @@
 //! `dsm_trace::TraceSpec` for the SPEC grammar). Trace files are
 //! content-addressed and byte-identical across `--jobs` settings.
 
-use atomic_dsm::experiments::{apps, counters, paper_bars, runner, scaling, table1, CounterKind};
+use atomic_dsm::experiments::{
+    apps, counters, lockfree, paper_bars, runner, scaling, table1, CounterKind,
+};
 use dsm_bench::scale;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -101,6 +105,9 @@ fn main() {
         })
         .map(String::as_str)
         .collect();
+    // `lockfree` is deliberately NOT part of `all`: the committed
+    // paper artifacts (results_paper.txt, results_csv/) predate the
+    // lock-free tier and must stay byte-identical. Request it by name.
     let wanted: Vec<&str> = if wanted.is_empty() || wanted.contains(&"all") {
         vec!["table1", "fig2", "fig3", "fig4", "fig5", "fig6", "scaling"]
     } else {
@@ -248,9 +255,36 @@ fn main() {
                     }
                     write_csv(&csv_dir, "scaling", &rows);
                 }
+                "lockfree" => {
+                    println!(
+                        "## Lock-free structures — cycles per operation (p={})\n",
+                        s.procs
+                    );
+                    let tables = lockfree::run_tables(&s);
+                    println!("{}", lockfree::render(&tables));
+                    let mut rows = vec![vec![
+                        "structure".to_string(),
+                        "primitive".to_string(),
+                        "policy".to_string(),
+                        "ops".to_string(),
+                        "avg_cycles".to_string(),
+                    ]];
+                    for t in &tables {
+                        for p in &t.points {
+                            rows.push(vec![
+                                t.structure.label().to_string(),
+                                p.prim.label().to_string(),
+                                p.policy.label().to_string(),
+                                p.ops.to_string(),
+                                format!("{:.2}", p.avg_cycles),
+                            ]);
+                        }
+                    }
+                    write_csv(&csv_dir, "lockfree", &rows);
+                }
                 other => {
                     eprintln!(
-                    "unknown artifact `{other}` (try: table1 fig2 fig3 fig4 fig5 fig6 scaling all)"
+                    "unknown artifact `{other}` (try: table1 fig2 fig3 fig4 fig5 fig6 scaling lockfree all)"
                 );
                     std::process::exit(2);
                 }

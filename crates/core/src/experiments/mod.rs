@@ -9,6 +9,7 @@
 //! | Figure 5 (MCS-lock counter) | [`counters::run_figure`] with [`CounterKind::McsLock`] |
 //! | Figure 6 (application elapsed time) | [`apps::fig6`] |
 //! | Scaling sweep (beyond the paper) | [`scaling::run_scaling`] |
+//! | Lock-free structure tables (beyond the paper) | [`lockfree::run_tables`] |
 //!
 //! Absolute cycle counts depend on latency constants the paper does not
 //! publish; the quantities to compare are *shapes*: which bar wins,
@@ -16,6 +17,7 @@
 
 pub mod apps;
 pub mod counters;
+pub mod lockfree;
 pub mod runner;
 pub mod scaling;
 pub mod table1;

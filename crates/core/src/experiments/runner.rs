@@ -31,11 +31,13 @@
 
 use crate::experiments::apps::{App, AppRun};
 use crate::experiments::counters::CounterPoint;
+use crate::experiments::lockfree::LockfreePoint;
 use crate::experiments::table1::Table1Row;
-use crate::experiments::{apps, counters, table1, BarSpec, CounterKind, Scale};
+use crate::experiments::{apps, counters, lockfree, table1, BarSpec, CounterKind, Scale};
 use dsm_protocol::{CasVariant, LlscScheme, SyncPolicy};
 use dsm_sim::{MachineConfig, StableHasher};
-use dsm_sync::Primitive;
+use dsm_sync::{LinkPrim, Primitive};
+use dsm_workloads::LfStructure;
 use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -75,6 +77,24 @@ pub enum Job {
     Table1 {
         /// Scenario index in `0..table1::SCENARIOS`.
         scenario: usize,
+    },
+    /// A lock-free structure benchmark point (queue/list/map under one
+    /// link primitive × coherence policy).
+    Lockfree {
+        /// The simulated machine.
+        mcfg: MachineConfig,
+        /// Which structure.
+        structure: LfStructure,
+        /// Link-word primitive discipline.
+        prim: LinkPrim,
+        /// Coherence policy on every structure line.
+        policy: SyncPolicy,
+        /// Operations per processor.
+        ops_per_proc: u32,
+        /// Key space for set keys.
+        key_space: u64,
+        /// Bucket count (map only; the list always uses 1).
+        buckets: u32,
     },
 }
 
@@ -118,6 +138,33 @@ impl Job {
             table1::SCENARIOS
         );
         Job::Table1 { scenario }
+    }
+
+    /// A lock-free structure job. The map's bucket count is
+    /// canonicalized away for the queue and the list (which ignore it)
+    /// so equivalent requests share one cache entry.
+    pub fn lockfree(
+        mcfg: MachineConfig,
+        structure: LfStructure,
+        prim: LinkPrim,
+        policy: SyncPolicy,
+        ops_per_proc: u32,
+        key_space: u64,
+        buckets: u32,
+    ) -> Job {
+        let buckets = match structure {
+            LfStructure::Map => buckets.max(1),
+            _ => 1,
+        };
+        Job::Lockfree {
+            mcfg,
+            structure,
+            prim,
+            policy,
+            ops_per_proc,
+            key_space,
+            buckets,
+        }
     }
 
     /// The machine RNG seed for this job: a stable fingerprint of the
@@ -171,6 +218,36 @@ impl Job {
             Job::Table1 { scenario } => {
                 h.write_u8(2);
                 h.write_usize(*scenario);
+            }
+            Job::Lockfree {
+                mcfg,
+                structure,
+                prim,
+                policy,
+                ops_per_proc,
+                key_space,
+                buckets,
+            } => {
+                h.write_u8(3);
+                put_machine(h, mcfg);
+                h.write_u8(match structure {
+                    LfStructure::Queue => 0,
+                    LfStructure::List => 1,
+                    LfStructure::Map => 2,
+                });
+                h.write_u8(match prim {
+                    LinkPrim::Llsc => 0,
+                    LinkPrim::EmulLlsc => 1,
+                    LinkPrim::CasPlain => 2,
+                });
+                h.write_u8(match policy {
+                    SyncPolicy::Inv => 0,
+                    SyncPolicy::Upd => 1,
+                    SyncPolicy::Unc => 2,
+                });
+                h.write_u32(*ops_per_proc);
+                h.write_u64(*key_space);
+                h.write_u32(*buckets);
             }
         }
     }
@@ -237,6 +314,8 @@ pub enum JobOutput {
     App(AppRun),
     /// Result of a [`Job::Table1`].
     Table1(Table1Row),
+    /// Result of a [`Job::Lockfree`].
+    Lockfree(LockfreePoint),
 }
 
 impl JobOutput {
@@ -276,11 +355,24 @@ impl JobOutput {
         }
     }
 
+    /// Unwraps a lock-free structure result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a lock-free structure result.
+    pub fn into_lockfree(self) -> LockfreePoint {
+        match self {
+            JobOutput::Lockfree(p) => p,
+            other => panic!("expected a lock-free result, got {other:?}"),
+        }
+    }
+
     fn cycles(&self) -> u64 {
         match self {
             JobOutput::Counter(p) => p.cycles,
             JobOutput::App(r) => r.cycles,
             JobOutput::Table1(_) => 0,
+            JobOutput::Lockfree(p) => p.cycles,
         }
     }
 }
@@ -345,6 +437,32 @@ fn try_execute(job: &Job) -> Result<JobOutput, JobError> {
         // behaviour reaches the measured chain), so the derived seed is
         // irrelevant to them.
         Job::Table1 { scenario } => Ok(JobOutput::Table1(table1::run_scenario(*scenario))),
+        Job::Lockfree {
+            mcfg,
+            structure,
+            prim,
+            policy,
+            ops_per_proc,
+            key_space,
+            buckets,
+        } => {
+            let mut mcfg = mcfg.clone();
+            mcfg.seed = job.seed();
+            lockfree::try_simulate(
+                mcfg,
+                *structure,
+                *prim,
+                *policy,
+                *ops_per_proc,
+                *key_space,
+                *buckets,
+            )
+            .map(JobOutput::Lockfree)
+            .map_err(|message| JobError {
+                job: format!("{job:?}"),
+                message,
+            })
+        }
     }
 }
 

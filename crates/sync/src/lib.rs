@@ -14,7 +14,16 @@
 //!   (Figure 5);
 //! * [`TreeBarrier`] — the scalable tree barrier used by Transitive
 //!   Closure;
+//! * [`lockfree`] — the lock-free data-structure tier (Michael–Scott
+//!   queue, Harris list, bucket hash map) over native or Blelloch–Wei
+//!   emulated LL/SC;
 //! * [`ShmAlloc`] — shared-memory layout helper.
+//!
+//! Naming note: the Michael–Scott *queue* types are exported with an
+//! `Ms` prefix ([`MsQueue`], [`MsEnqueue`], [`MsDequeue`]) and the MCS
+//! *lock* types with an `Mcs` prefix ([`McsLock`], [`McsAcquire`],
+//! [`McsRelease`], [`McsQnode`]); both families stay re-exported here
+//! side by side, and `tests/sync_exports.rs` pins that down.
 
 #![warn(missing_docs)]
 
@@ -22,6 +31,7 @@ pub mod alloc;
 pub mod backoff;
 pub mod barrier;
 pub mod counter;
+pub mod lockfree;
 pub mod mcs;
 pub mod primitive;
 pub mod rwlock;
@@ -33,6 +43,10 @@ pub use alloc::ShmAlloc;
 pub use backoff::Backoff;
 pub use barrier::{TreeBarrier, TreeBarrierWait};
 pub use counter::LockFreeIncr;
+pub use lockfree::list::{HarrisList, ListContains, ListInsert, ListRemove};
+pub use lockfree::map::{BucketMap, MapContains, MapInsert, MapRemove};
+pub use lockfree::queue::{MsDequeue, MsEnqueue, MsQueue};
+pub use lockfree::LinkPrim;
 pub use mcs::{McsAcquire, McsLock, McsQnode, McsRelease};
 pub use primitive::{PrimChoice, Primitive};
 pub use rwlock::{ReadAcquire, ReadRelease, WriteAcquire, WriteRelease};

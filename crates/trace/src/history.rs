@@ -1,0 +1,166 @@
+//! Concurrent-operation histories for linearizability checking.
+//!
+//! A [`History`] is the record a workload harness produces while a
+//! machine runs: one [`HistEvent`] per completed data-structure
+//! operation, stamped with the simulated cycles at which the operation
+//! was invoked (its first memory access was about to issue) and at
+//! which it responded (its sub-machine reported done). The intervals
+//! are what the checker in [`crate::linearize`] consumes: an operation
+//! may take effect at any single instant inside its `[invoked,
+//! responded]` window.
+//!
+//! The recorded interval is a superset of the true critical window, so
+//! checking is *permissive-safe*: a genuinely linearizable execution is
+//! never rejected, while any execution the checker rejects is
+//! non-linearizable under every narrowing of the windows too.
+
+/// An abstract data-structure operation, as invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HistOp {
+    /// Queue: append a value.
+    Enqueue(u64),
+    /// Queue: take the oldest value.
+    Dequeue,
+    /// Stack: push a value.
+    Push(u64),
+    /// Stack: pop the newest value.
+    Pop,
+    /// Set/map: add a key.
+    Insert(u64),
+    /// Set/map: delete a key.
+    Remove(u64),
+    /// Set/map: membership query.
+    Contains(u64),
+}
+
+/// What an operation returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HistRet {
+    /// Completed with nothing to report (enqueue, push).
+    Ok,
+    /// Yielded a value (dequeue, pop).
+    Value(u64),
+    /// Found the container empty (dequeue, pop).
+    Empty,
+    /// Reported success or failure (insert, remove, contains).
+    Bool(bool),
+}
+
+/// One completed operation: who ran it, when, what, and the answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistEvent {
+    /// The invoking processor.
+    pub proc: u32,
+    /// Cycle at which the operation was invoked.
+    pub invoked: u64,
+    /// Cycle at which the operation responded (`>= invoked`).
+    pub responded: u64,
+    /// The operation.
+    pub op: HistOp,
+    /// Its return value.
+    pub ret: HistRet,
+}
+
+/// A complete history: every recorded operation has responded.
+///
+/// Events are kept in recording order; the checker orders them by
+/// cycle stamps, so recording order (which follows each processor's
+/// completion order) carries no hidden information.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct History {
+    events: Vec<HistEvent>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Appends a completed operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event responds before it was invoked.
+    pub fn push(&mut self, event: HistEvent) {
+        assert!(
+            event.responded >= event.invoked,
+            "event responds before invocation: {event:?}"
+        );
+        self.events.push(event);
+    }
+
+    /// The recorded events, in recording order.
+    pub fn events(&self) -> &[HistEvent] {
+        &self.events
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the history as stable, diffable text: one line per
+    /// event, sorted by (invoked, responded, proc) so the rendering is
+    /// independent of recording order.
+    pub fn render(&self) -> String {
+        let mut sorted = self.events.clone();
+        sorted.sort_by_key(|e| (e.invoked, e.responded, e.proc));
+        let mut out = String::new();
+        for e in &sorted {
+            out.push_str(&format!(
+                "p{:02} [{:>12}, {:>12}] {:?} -> {:?}\n",
+                e.proc, e.invoked, e.responded, e.op, e.ret
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(proc: u32, invoked: u64, responded: u64) -> HistEvent {
+        HistEvent {
+            proc,
+            invoked,
+            responded,
+            op: HistOp::Enqueue(proc as u64),
+            ret: HistRet::Ok,
+        }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut h = History::new();
+        assert!(h.is_empty());
+        h.push(ev(0, 5, 10));
+        h.push(ev(1, 0, 3));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.events()[0].proc, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "responds before invocation")]
+    fn rejects_inverted_interval() {
+        History::new().push(ev(0, 10, 5));
+    }
+
+    #[test]
+    fn render_is_recording_order_independent() {
+        let mut a = History::new();
+        a.push(ev(0, 5, 10));
+        a.push(ev(1, 0, 3));
+        let mut b = History::new();
+        b.push(ev(1, 0, 3));
+        b.push(ev(0, 5, 10));
+        assert_eq!(a.render(), b.render());
+        assert!(a.render().starts_with("p01 ["));
+    }
+}

@@ -69,6 +69,8 @@
 #![deny(missing_docs)]
 
 pub mod event;
+pub mod history;
+pub mod linearize;
 pub mod perfetto;
 pub mod ring;
 pub mod sink;
@@ -76,6 +78,10 @@ pub mod spec;
 pub mod tracer;
 
 pub use event::{Categories, Category, StateLabel, TraceEvent};
+pub use history::{HistEvent, HistOp, HistRet, History};
+pub use linearize::{
+    assert_linearizable, check, FifoQueueSpec, LifoStackSpec, Rejection, SeqSpec, SetSpec,
+};
 pub use perfetto::PerfettoSink;
 pub use ring::{RecordKind, RingRecord, RingSink};
 pub use sink::TraceSink;

@@ -1,0 +1,174 @@
+//! Determinism regressions for the lock-free tier, mirroring
+//! `tests/runner_determinism.rs`: benchmark tables must be bitwise
+//! identical at any worker count, history capture must be a pure
+//! function of the job (not of scheduling), and turning tracing on
+//! must not move a single cycle or history byte — recording happens
+//! entirely host-side and issues no memory operations.
+
+use atomic_dsm::experiments::lockfree;
+use atomic_dsm::experiments::runner::{self, Job};
+use atomic_dsm::experiments::Scale;
+use atomic_dsm::protocol::{SyncConfig, SyncPolicy};
+use atomic_dsm::sim::{Cycle, MachineConfig};
+use atomic_dsm::sync::LinkPrim;
+use atomic_dsm::trace::TraceSpec;
+use atomic_dsm::workloads::{build_lockfree, LfConfig, LfStructure};
+use std::sync::{Mutex, MutexGuard};
+
+/// The runner cache and progress counters are process-wide; tests that
+/// clear the cache must not interleave.
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    EXCLUSIVE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn tiny() -> Scale {
+    Scale {
+        procs: 4,
+        rounds: 4,
+        tc_size: 4,
+        wires: 8,
+        tasks: 8,
+    }
+}
+
+fn cfg(structure: LfStructure) -> LfConfig {
+    LfConfig {
+        structure,
+        prim: LinkPrim::EmulLlsc,
+        sync: SyncConfig {
+            policy: SyncPolicy::Inv,
+            ..Default::default()
+        },
+        ops_per_proc: 5,
+        key_space: 8,
+        buckets: 3,
+    }
+}
+
+/// Runs one structure and returns its observable fingerprint: the
+/// rendered history and the elapsed cycle count. `trace` attaches an
+/// in-memory ring tracer before running.
+fn fingerprint(structure: LfStructure, trace: bool) -> (String, u64) {
+    let (mut m, run) = build_lockfree(MachineConfig::with_nodes(4), &cfg(structure));
+    if trace {
+        // Ring sink only (no file output path is ever flushed to the
+        // repo root — target/ is ignored), every category recorded.
+        let spec = TraceSpec::from_spec("ring:4096:target/lockfree-determinism-trace").unwrap();
+        m.attach_tracer(&spec);
+    }
+    let report = m.run(Cycle::new(5_000_000_000)).expect("run completes");
+    let rendered = run.history.borrow().render();
+    (rendered, report.cycles.as_u64())
+}
+
+/// The tentpole guarantee carried over to the new tier: the full
+/// lock-free table sweep renders to the exact same bytes on 1 worker
+/// and on 8.
+#[test]
+fn lockfree_tables_are_bitwise_identical_across_worker_counts() {
+    let _guard = exclusive();
+    let scale = tiny();
+    let run = |workers: usize| {
+        runner::with_workers(workers, || {
+            runner::clear_cache();
+            lockfree::render(&lockfree::run_tables(&scale))
+        })
+    };
+    assert_eq!(run(1), run(8), "worker count changed lock-free tables");
+}
+
+/// History capture is a pure function of the configuration: two
+/// fresh builds of the same machine produce byte-identical rendered
+/// histories and identical cycle counts, for every structure.
+#[test]
+fn history_capture_is_reproducible() {
+    for structure in LfStructure::ALL {
+        let a = fingerprint(structure, false);
+        let b = fingerprint(structure, false);
+        assert_eq!(a, b, "{}: history not reproducible", structure.label());
+    }
+}
+
+/// Tracing is a pure observer of the lock-free tier: attaching a
+/// tracer changes neither the recorded history nor the cycle count.
+/// (History recording itself is host-side and issues no memory
+/// operations, so the benchmark numbers are identical with the
+/// history kept or discarded — this pins the other direction, that
+/// *tracing* cannot perturb the history.)
+#[test]
+fn tracing_changes_neither_history_nor_cycles() {
+    for structure in LfStructure::ALL {
+        let plain = fingerprint(structure, false);
+        let traced = fingerprint(structure, true);
+        assert_eq!(
+            plain,
+            traced,
+            "{}: tracing perturbed the run",
+            structure.label()
+        );
+    }
+}
+
+/// Lock-free job keys: equal inputs give equal keys and seeds,
+/// distinct inputs distinct seeds, and the bucket count is
+/// canonicalized away for the structures that ignore it.
+#[test]
+fn lockfree_job_keys_and_seeds_distinguish_inputs() {
+    let _guard = exclusive();
+    let job = |structure, prim, policy, buckets| {
+        Job::lockfree(
+            MachineConfig::with_nodes(4),
+            structure,
+            prim,
+            policy,
+            5,
+            8,
+            buckets,
+        )
+    };
+    let base = job(LfStructure::Queue, LinkPrim::Llsc, SyncPolicy::Inv, 4);
+    assert_eq!(
+        base,
+        job(LfStructure::Queue, LinkPrim::Llsc, SyncPolicy::Inv, 4)
+    );
+    assert_eq!(
+        base.seed(),
+        job(LfStructure::Queue, LinkPrim::Llsc, SyncPolicy::Inv, 4).seed()
+    );
+    // The queue ignores buckets: different requests, one cache entry.
+    assert_eq!(
+        base,
+        job(LfStructure::Queue, LinkPrim::Llsc, SyncPolicy::Inv, 7)
+    );
+    // The map does not.
+    assert_ne!(
+        job(LfStructure::Map, LinkPrim::Llsc, SyncPolicy::Inv, 4),
+        job(LfStructure::Map, LinkPrim::Llsc, SyncPolicy::Inv, 7)
+    );
+    // Structure, primitive and policy all reach the seed.
+    for other in [
+        job(LfStructure::List, LinkPrim::Llsc, SyncPolicy::Inv, 4),
+        job(LfStructure::Queue, LinkPrim::EmulLlsc, SyncPolicy::Inv, 4),
+        job(LfStructure::Queue, LinkPrim::Llsc, SyncPolicy::Unc, 4),
+    ] {
+        assert_ne!(base.seed(), other.seed());
+    }
+    // And the family tag keeps lock-free jobs off the other families'
+    // cache entries.
+    assert_ne!(base.seed(), Job::table1(0).seed());
+
+    // Duplicate jobs in one batch simulate once.
+    runner::clear_cache();
+    let before = runner::stats();
+    runner::run_all(&[base.clone(), base.clone(), base.clone()]);
+    let after = runner::stats();
+    assert_eq!(
+        after.completed - before.completed,
+        1,
+        "duplicate lock-free jobs re-simulated"
+    );
+}

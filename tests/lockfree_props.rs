@@ -1,0 +1,143 @@
+//! Property-based stress for the lock-free tier: random operation
+//! mixes, machine sizes, seeds and fault schedules for the queue, the
+//! list and the map, asserting on every sample that
+//!
+//! * the run completes coherently (with paranoid invariant checking
+//!   and a watchdog on every faulted case),
+//! * the structure invariants hold — queue value conservation and
+//!   per-producer FIFO, list/map sortedness, home-bucket placement and
+//!   key conservation ([`check_invariants`]),
+//! * the recorded history is accepted by the Wing–Gong checker
+//!   against the sequential specification.
+//!
+//! Workload sizes are chosen so every history fits the checker's
+//! [`MAX_OPS`] cap — nothing is silently truncated.
+
+use atomic_dsm::protocol::{SyncConfig, SyncPolicy};
+use atomic_dsm::sim::{Cycle, FaultConfig, MachineConfig};
+use atomic_dsm::sync::LinkPrim;
+use atomic_dsm::trace::{check, linearize::MAX_OPS, FifoQueueSpec, SetSpec};
+use atomic_dsm::workloads::{build_lockfree, check_invariants, LfConfig, LfStructure};
+use proptest::prelude::*;
+
+const LIMIT: Cycle = Cycle::new(200_000_000);
+
+/// Builds, runs and fully checks one randomized sample.
+#[allow(clippy::too_many_arguments)]
+fn run_sample(
+    structure: LfStructure,
+    prim: LinkPrim,
+    policy: SyncPolicy,
+    nodes: u32,
+    ops_per_proc: u32,
+    key_space: u64,
+    buckets: u32,
+    seed: u64,
+    faults: FaultConfig,
+) {
+    let label = format!(
+        "{}/{}/{}/n{}xo{}",
+        structure.label(),
+        prim,
+        policy.label(),
+        nodes,
+        ops_per_proc
+    );
+    let mut mcfg = MachineConfig::with_nodes(nodes);
+    mcfg.seed = seed;
+    mcfg.faults = faults;
+    let cfg = LfConfig {
+        structure,
+        prim,
+        sync: SyncConfig {
+            policy,
+            ..Default::default()
+        },
+        ops_per_proc,
+        key_space,
+        buckets,
+    };
+    let (mut m, run) = build_lockfree(mcfg, &cfg);
+    m.run(LIMIT).unwrap_or_else(|e| panic!("{label}: {e}"));
+    m.validate_coherence()
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    check_invariants(&m, &cfg, &run).unwrap_or_else(|e| panic!("{label}: {e}"));
+
+    let hist = run.history.borrow();
+    assert!(
+        hist.len() <= MAX_OPS,
+        "{label}: workload sized over the checker cap ({} ops)",
+        hist.len()
+    );
+    let accepted = match structure {
+        LfStructure::Queue => check(&FifoQueueSpec, &hist),
+        LfStructure::List | LfStructure::Map => check(&SetSpec, &hist),
+    };
+    accepted.unwrap_or_else(|r| panic!("{label}: history rejected: {r}"));
+}
+
+fn structures() -> impl Strategy<Value = LfStructure> {
+    prop::sample::select(LfStructure::ALL.to_vec())
+}
+
+fn prims() -> impl Strategy<Value = LinkPrim> {
+    prop::sample::select(LinkPrim::ALL.to_vec())
+}
+
+fn policies() -> impl Strategy<Value = SyncPolicy> {
+    prop::sample::select(vec![SyncPolicy::Inv, SyncPolicy::Unc, SyncPolicy::Upd])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Fault-free random mixes: any structure, primitive, policy,
+    /// machine size, op count, key space and machine seed.
+    #[test]
+    fn random_mixes_are_linearizable(
+        structure in structures(),
+        prim in prims(),
+        policy in policies(),
+        nodes in 2u32..=5,
+        ops_per_proc in 2u32..=8,
+        key_space in 3u64..=12,
+        buckets in 1u32..=5,
+        seed in any::<u64>(),
+    ) {
+        // Queue histories are 2 * nodes * ops_per_proc ops: 5×8×2 = 80
+        // worst case, far under MAX_OPS.
+        run_sample(
+            structure, prim, policy, nodes, ops_per_proc, key_space,
+            buckets, seed, FaultConfig::default(),
+        );
+    }
+
+    /// Fault-injected random mixes, with the schedule itself drawn
+    /// from `FaultConfig::from_spec` strings (the same grammar the CLI
+    /// and `DSM_FAULTS` accept). Paranoid checking and a watchdog ride
+    /// on every sample; wipe rates stay below the starvation regime
+    /// (see `tests/fault_injection.rs` on why heavy is excluded).
+    #[test]
+    fn faulted_mixes_are_linearizable(
+        structure in structures(),
+        prim in prims(),
+        policy in policies(),
+        nodes in 2u32..=4,
+        ops_per_proc in 2u32..=6,
+        seed in any::<u64>(),
+        spec in prop::sample::select(vec![
+            "light",
+            "jitter=800,jmax=48",
+            "evict=4000,period=1024",
+            "jitter=300,jmax=16,evict=2000,wipe=500,period=2048",
+        ]),
+    ) {
+        let mut faults = FaultConfig::from_spec(spec)
+            .unwrap_or_else(|e| panic!("bad spec `{spec}`: {e}"));
+        faults.paranoid = true;
+        faults.watchdog = 10_000_000;
+        run_sample(
+            structure, prim, policy, nodes, ops_per_proc, 8, 3, seed, faults,
+        );
+    }
+}

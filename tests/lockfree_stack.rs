@@ -2,11 +2,20 @@
 //! pushes and pops across processors must neither lose nor duplicate
 //! nodes, under both safe head disciplines (LL/SC and counted CAS) and
 //! every coherence policy.
+//!
+//! Every run also records a complete invocation/response history
+//! (stamped with simulated cycles) and, when it fits the checker's
+//! op cap, replays it through the Wing–Gong linearizability oracle
+//! against [`LifoStackSpec`] — so the stack is held to the same
+//! standard as the queue/list/map tier in `tests/linearizability.rs`,
+//! not just to node conservation.
 
 use atomic_dsm::machine::{Action, MachineBuilder, ProcCtx};
 use atomic_dsm::sim::{Addr, Cycle, MachineConfig};
 use atomic_dsm::sync::stack::{unpack_node, StackPop, StackPrim, StackPush};
 use atomic_dsm::sync::{ShmAlloc, Step, SubMachine};
+use atomic_dsm::trace::linearize::MAX_OPS;
+use atomic_dsm::trace::{assert_linearizable, HistEvent, HistOp, HistRet, History, LifoStackSpec};
 use atomic_dsm::{SyncConfig, SyncPolicy};
 use std::cell::RefCell;
 use std::collections::HashSet;
@@ -22,6 +31,7 @@ fn run_stress(prim: StackPrim, policy: SyncPolicy, nodes: u32, per_proc: u64) {
         .collect();
 
     let popped: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let hist: Rc<RefCell<History>> = Rc::default();
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(nodes));
     b.register_sync(
         top,
@@ -34,8 +44,10 @@ fn run_stress(prim: StackPrim, policy: SyncPolicy, nodes: u32, per_proc: u64) {
     for p in 0..nodes {
         let my_nodes = node_addrs[p as usize].clone();
         let popped = Rc::clone(&popped);
+        let hist = Rc::clone(&hist);
         let mut round = 0usize;
         let mut pushing = true;
+        let mut invoked = 0u64;
         let mut push: Option<StackPush> = None;
         let mut pop: Option<StackPop> = None;
         b.add_program(move |ctx: &mut ProcCtx<'_>| loop {
@@ -43,7 +55,16 @@ fn run_stress(prim: StackPrim, policy: SyncPolicy, nodes: u32, per_proc: u64) {
                 match m.step(ctx.last.take(), ctx.rng) {
                     Step::Op(op) => return Action::Op(op),
                     Step::Compute(c) => return Action::Compute(c),
-                    Step::Done => push = None,
+                    Step::Done => {
+                        hist.borrow_mut().push(HistEvent {
+                            proc: p,
+                            invoked,
+                            responded: ctx.now.as_u64(),
+                            op: HistOp::Push(my_nodes[round].as_u64()),
+                            ret: HistRet::Ok,
+                        });
+                        push = None;
+                    }
                 }
             }
             if let Some(m) = &mut pop {
@@ -51,22 +72,34 @@ fn run_stress(prim: StackPrim, policy: SyncPolicy, nodes: u32, per_proc: u64) {
                     Step::Op(op) => return Action::Op(op),
                     Step::Compute(c) => return Action::Compute(c),
                     Step::Done => {
-                        if let Some(n) = m.popped() {
-                            popped.borrow_mut().push(n);
-                        }
+                        let ret = match m.popped() {
+                            Some(n) => {
+                                popped.borrow_mut().push(n);
+                                HistRet::Value(n)
+                            }
+                            None => HistRet::Empty,
+                        };
+                        hist.borrow_mut().push(HistEvent {
+                            proc: p,
+                            invoked,
+                            responded: ctx.now.as_u64(),
+                            op: HistOp::Pop,
+                            ret,
+                        });
                         pop = None;
+                        round += 1;
                     }
                 }
             }
             if round == my_nodes.len() {
                 return Action::Done;
             }
+            invoked = ctx.now.as_u64();
             if pushing {
                 pushing = false;
                 push = Some(StackPush::new(top, my_nodes[round], prim));
             } else {
                 pushing = true;
-                round += 1;
                 pop = Some(StackPop::new(top, prim));
             }
         });
@@ -109,6 +142,16 @@ fn run_stress(prim: StackPrim, policy: SyncPolicy, nodes: u32, per_proc: u64) {
         seen.len(),
         all_nodes.len()
     );
+
+    // Replay the cycle-stamped history through the linearizability
+    // oracle whenever it fits the checker's cap (the 16×16 stress run
+    // records 512 ops and exercises conservation only).
+    let hist = hist.borrow();
+    assert_eq!(hist.len(), (nodes as usize) * (per_proc as usize) * 2);
+    if hist.len() <= MAX_OPS {
+        let name = format!("stack-{prim:?}-{policy}-n{nodes}");
+        assert_linearizable(&name, &LifoStackSpec, &hist);
+    }
 }
 
 #[test]

@@ -1,0 +1,91 @@
+//! Pins the `dsm-sync` crate-root export surface around the
+//! Michael–Scott queue / MCS lock naming hazard.
+//!
+//! The crate exports two unrelated families whose names are one
+//! letter apart: the MCS *lock* (`McsLock`, `McsQnode`, `McsAcquire`,
+//! `McsRelease`, after Mellor-Crummey & Scott) and the Michael–Scott
+//! *queue* (`MsQueue`, `MsEnqueue`, `MsDequeue`). A careless re-export
+//! (`pub use lockfree::queue::*` next to `pub use mcs::*`, or renaming
+//! the queue types to `Mcs*`) would shadow or collide silently. These
+//! tests import every name from the crate root in one scope — a
+//! collision is a compile error — and pin each root name to its
+//! defining module so a future re-export shuffle cannot quietly swap
+//! one family for the other.
+
+use atomic_dsm::sync;
+use std::any::TypeId;
+
+/// Every root export of both families, imported into one scope.
+/// Shadowing or collision between `Mcs*` and `Ms*` fails to compile.
+#[allow(unused_imports)]
+use atomic_dsm::sync::{
+    BucketMap, HarrisList, LinkPrim, ListContains, ListInsert, ListRemove, MapContains, MapInsert,
+    MapRemove, McsAcquire, McsLock, McsQnode, McsRelease, MsDequeue, MsEnqueue, MsQueue,
+};
+
+/// The root `Ms*` names are the lock-free queue types, not MCS lock
+/// types under a shortened name.
+#[test]
+fn root_ms_names_are_the_queue_module_types() {
+    assert_eq!(
+        TypeId::of::<sync::MsQueue>(),
+        TypeId::of::<sync::lockfree::queue::MsQueue>()
+    );
+    assert_eq!(
+        TypeId::of::<sync::MsEnqueue>(),
+        TypeId::of::<sync::lockfree::queue::MsEnqueue>()
+    );
+    assert_eq!(
+        TypeId::of::<sync::MsDequeue>(),
+        TypeId::of::<sync::lockfree::queue::MsDequeue>()
+    );
+}
+
+/// The root `Mcs*` names are the lock types from `sync::mcs`.
+#[test]
+fn root_mcs_names_are_the_lock_module_types() {
+    assert_eq!(
+        TypeId::of::<sync::McsLock>(),
+        TypeId::of::<sync::mcs::McsLock>()
+    );
+    assert_eq!(
+        TypeId::of::<sync::McsAcquire>(),
+        TypeId::of::<sync::mcs::McsAcquire>()
+    );
+    assert_eq!(
+        TypeId::of::<sync::McsRelease>(),
+        TypeId::of::<sync::mcs::McsRelease>()
+    );
+}
+
+/// The two families are distinct types — nothing aliases across them.
+#[test]
+fn queue_and_lock_families_never_alias() {
+    assert_ne!(TypeId::of::<sync::MsQueue>(), TypeId::of::<sync::McsLock>());
+    assert_ne!(
+        TypeId::of::<sync::MsEnqueue>(),
+        TypeId::of::<sync::McsAcquire>()
+    );
+    assert_ne!(
+        TypeId::of::<sync::MsDequeue>(),
+        TypeId::of::<sync::McsRelease>()
+    );
+}
+
+/// The set/map types and the link-primitive enum are re-exported at
+/// the root and alias their defining modules.
+#[test]
+fn lockfree_set_exports_alias_their_modules() {
+    assert_eq!(
+        TypeId::of::<sync::HarrisList>(),
+        TypeId::of::<sync::lockfree::list::HarrisList>()
+    );
+    assert_eq!(
+        TypeId::of::<sync::BucketMap>(),
+        TypeId::of::<sync::lockfree::map::BucketMap>()
+    );
+    assert_eq!(
+        TypeId::of::<sync::LinkPrim>(),
+        TypeId::of::<sync::lockfree::LinkPrim>()
+    );
+}
