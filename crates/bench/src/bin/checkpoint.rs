@@ -1,0 +1,196 @@
+//! Kill-and-resume driver for the checkpoint/restore layer.
+//!
+//! ```sh
+//! # Uninterrupted run (the golden output):
+//! cargo run -p dsm-bench --bin checkpoint -- run > golden.txt
+//!
+//! # Checkpoint mid-run and die (exit 42), then restore and finish:
+//! cargo run -p dsm-bench --bin checkpoint -- run --snap s.ckpt --pause 50000 --kill
+//! cargo run -p dsm-bench --bin checkpoint -- resume --snap s.ckpt > resumed.txt
+//! diff golden.txt resumed.txt   # byte-identical
+//! ```
+//!
+//! Subcommands:
+//!
+//! * `run [--workload app|counter|lockfree] [--pause N] [--snap FILE]
+//!   [--kill] [--paper]` — runs the workload from scratch. With
+//!   `--pause N` the run checkpoints after N dispatched events; with
+//!   `--snap FILE` the checkpoint is saved there; with `--kill` the
+//!   process exits with code 42 right after saving (simulating a
+//!   crash). Without `--kill` the run resumes in-process to completion.
+//! * `resume --snap FILE` — restores the checkpoint (replaying to the
+//!   pause point and verifying the state digest) and finishes the run.
+//!   A corrupt checkpoint is quarantined and reported (exit 3).
+//!
+//! The result lines printed on stdout are bit-identical between an
+//! uninterrupted run and a kill/resume pair — that is the contract the
+//! CI crash-safety job enforces.
+
+use atomic_dsm::experiments::checkpoint::{self, PauseOutcome};
+use atomic_dsm::experiments::runner::{Job, JobOutput, JobResult};
+use atomic_dsm::experiments::{apps::App, BarSpec, CounterKind};
+use atomic_dsm::protocol::SyncPolicy;
+use atomic_dsm::sync::Primitive;
+use atomic_dsm::MachineConfig;
+use dsm_bench::scale;
+use std::path::Path;
+
+/// Exit code of a deliberate post-checkpoint death (`--kill`).
+const KILLED: i32 = 42;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: checkpoint run [--workload app|counter|lockfree] [--pause N] \
+         [--snap FILE] [--kill] [--paper]\n       checkpoint resume --snap FILE"
+    );
+    std::process::exit(2);
+}
+
+/// The job each workload name maps to. Must be a pure function of the
+/// flags so `run` and a later `resume` agree on the baseline.
+fn job_for(workload: &str, paper: bool) -> Job {
+    let s = scale(paper);
+    match workload {
+        "app" => Job::app(
+            App::TransitiveClosure,
+            BarSpec::new(SyncPolicy::Inv, Primitive::Cas),
+            s,
+        ),
+        "counter" => Job::counter(
+            MachineConfig::with_nodes(s.procs),
+            CounterKind::LockFree,
+            BarSpec::new(SyncPolicy::Inv, Primitive::Cas),
+            s.procs,
+            1.0,
+            s.rounds,
+        ),
+        "lockfree" => Job::lockfree(
+            MachineConfig::with_nodes(s.procs),
+            atomic_dsm::workloads::LfStructure::Queue,
+            atomic_dsm::sync::LinkPrim::Llsc,
+            SyncPolicy::Inv,
+            s.rounds.max(1) as u32,
+            16,
+            4,
+        ),
+        other => {
+            eprintln!("unknown workload `{other}` (try app, counter, lockfree)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Prints the job result in a stable, diff-friendly form. Exit 1 on a
+/// failed simulation.
+fn print_result(result: JobResult) -> ! {
+    match result {
+        Ok(JobOutput::Counter(p)) => {
+            println!(
+                "counter {} updates={} cycles={} avg={:.6}",
+                p.bar.label(),
+                p.updates,
+                p.cycles,
+                p.avg_cycles
+            );
+            std::process::exit(0);
+        }
+        Ok(JobOutput::App(r)) => {
+            println!(
+                "{} [{}] cycles={} write_run={:.6}",
+                r.app.label(),
+                r.bar.label(),
+                r.cycles,
+                r.write_run
+            );
+            print!("{}", r.contention.render());
+            std::process::exit(0);
+        }
+        Ok(JobOutput::Lockfree(p)) => {
+            println!(
+                "{} {} {} ops={} cycles={} avg={:.6}",
+                p.structure.label(),
+                p.prim,
+                p.policy.label(),
+                p.ops,
+                p.cycles,
+                p.avg_cycles
+            );
+            std::process::exit(0);
+        }
+        Ok(JobOutput::Table1(_)) => unreachable!("table-1 jobs are never checkpointed"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let snap = flag_value(&args, "--snap").map(Path::new);
+    match cmd.as_str() {
+        "run" => {
+            let paper = args.iter().any(|a| a == "--paper");
+            let kill = args.iter().any(|a| a == "--kill");
+            let workload = flag_value(&args, "--workload").unwrap_or("app");
+            let pause: u64 = match flag_value(&args, "--pause") {
+                Some(v) => v.parse().unwrap_or_else(|_| {
+                    eprintln!("--pause takes an event count, got `{v}`");
+                    std::process::exit(2);
+                }),
+                None => u64::MAX,
+            };
+            let job = job_for(workload, paper);
+            match checkpoint::run_with_pause(&job, pause) {
+                Ok(PauseOutcome::Paused(paused)) => {
+                    let cp = paused.checkpoint();
+                    eprintln!(
+                        "paused after {} events (cycle {}, digest {:016x})",
+                        cp.events, cp.cycle, cp.digest
+                    );
+                    if let Some(path) = snap {
+                        if let Err(e) = paused.save(path) {
+                            eprintln!("cannot save checkpoint: {e}");
+                            std::process::exit(2);
+                        }
+                        eprintln!("checkpoint saved to {}", path.display());
+                    }
+                    if kill {
+                        eprintln!("dying without finishing (--kill)");
+                        std::process::exit(KILLED);
+                    }
+                    print_result(paused.resume())
+                }
+                Ok(PauseOutcome::Completed(result)) => {
+                    if pause != u64::MAX {
+                        eprintln!("run completed before the pause point");
+                    }
+                    print_result(result)
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        "resume" => {
+            let Some(path) = snap else { usage() };
+            match checkpoint::resume_file(path) {
+                Ok(result) => print_result(result),
+                Err(e) => {
+                    eprintln!("resume failed: {e}");
+                    std::process::exit(3);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -25,6 +25,11 @@
 //! (Perfetto JSON into `traces/` by default — see
 //! `dsm_trace::TraceSpec` for the SPEC grammar). Trace files are
 //! content-addressed and byte-identical across `--jobs` settings.
+//!
+//! `figures repro FILE` replays a minimal reproducer artifact emitted
+//! by the supervision layer (`DSM_REPRO_DIR`): it pins the recorded
+//! fault configuration and minimal fault schedule and reports whether
+//! the recorded deterministic failure recurs.
 
 use atomic_dsm::experiments::{
     apps, counters, lockfree, paper_bars, runner, scaling, table1, CounterKind,
@@ -41,8 +46,59 @@ fn write_csv(dir: &Option<PathBuf>, name: &str, rows: &[Vec<String>]) {
     eprintln!("wrote {}", path.display());
 }
 
+/// `figures repro FILE`: replays a minimal reproducer emitted by the
+/// supervision layer (see `DSM_REPRO_DIR` in EXPERIMENTS.md). Exit 0
+/// when the recorded deterministic failure recurs, 1 when it does not,
+/// 2 on an unreadable artifact.
+fn replay_reproducer(path: &str) -> ! {
+    use atomic_dsm::experiments::repro;
+    let rep = match repro::load(std::path::Path::new(path)) {
+        Ok(rep) => rep,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("job:      {:?}", rep.job);
+    println!(
+        "faults:   {} paranoid={}",
+        rep.faults.to_spec(),
+        rep.faults.paranoid
+    );
+    match (&rep.filter, rep.allowed_faults()) {
+        (Some(ranges), Some(n)) => println!("filter:   {n} fault(s) allowed, ranges {ranges:?}"),
+        _ => println!("filter:   none (all drawn faults apply)"),
+    }
+    println!("recorded: {}", rep.message);
+    match repro::replay(&rep) {
+        Ok(r) if r.reproduced => {
+            println!("replayed: {}", r.message);
+            println!("REPRODUCED");
+            std::process::exit(0);
+        }
+        Ok(r) => {
+            println!("replayed: {}", r.message);
+            println!("NOT REPRODUCED");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("repro: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("repro") {
+        match args.get(1) {
+            Some(path) => replay_reproducer(path),
+            None => {
+                eprintln!("usage: figures repro FILE");
+                std::process::exit(2);
+            }
+        }
+    }
     let paper = args.iter().any(|a| a == "--paper");
     let bars_mode = args.iter().any(|a| a == "--bars");
     // Robustness knobs: `--faults[=SPEC]` turns deterministic fault

@@ -1,0 +1,100 @@
+//! Crash-safety smoke test against the real `checkpoint` binary: run a
+//! workload to completion for a golden transcript, then run it again
+//! with a mid-run checkpoint and a deliberate post-checkpoint death
+//! (exit 42), restore from the saved snapshot in a *fresh process*, and
+//! require the resumed stdout to be byte-identical to the golden run.
+//! This is the same contract the CI crash-safety job enforces, without
+//! needing a shell script.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// Exit code the binary uses for a deliberate post-checkpoint death.
+const KILLED: i32 = 42;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_checkpoint")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("checkpoint binary runs")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dsm-kill-resume-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Golden → kill at an interior event → resume in a new process →
+/// byte-identical stdout, for each checkpointable workload class.
+#[test]
+fn killed_and_resumed_run_matches_uninterrupted_stdout() {
+    for workload in ["counter", "app", "lockfree"] {
+        let dir = scratch(workload);
+        let snap = dir.join("mid.ckpt");
+        let snap = snap.to_str().unwrap();
+
+        let golden = run(&["run", "--workload", workload]);
+        assert!(
+            golden.status.success(),
+            "{workload}: golden run failed: {}",
+            String::from_utf8_lossy(&golden.stderr)
+        );
+        assert!(!golden.stdout.is_empty(), "{workload}: empty golden output");
+
+        let killed = run(&[
+            "run",
+            "--workload",
+            workload,
+            "--pause",
+            "2000",
+            "--snap",
+            snap,
+            "--kill",
+        ]);
+        assert_eq!(
+            killed.status.code(),
+            Some(KILLED),
+            "{workload}: expected the deliberate death code: {}",
+            String::from_utf8_lossy(&killed.stderr)
+        );
+        assert!(
+            killed.stdout.is_empty(),
+            "{workload}: a killed run must print no result"
+        );
+
+        let resumed = run(&["resume", "--snap", snap]);
+        assert!(
+            resumed.status.success(),
+            "{workload}: resume failed: {}",
+            String::from_utf8_lossy(&resumed.stderr)
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&resumed.stdout),
+            String::from_utf8_lossy(&golden.stdout),
+            "{workload}: resumed stdout diverged from the uninterrupted run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Resuming from a missing snapshot reports a structured error (exit 3)
+/// instead of panicking.
+#[test]
+fn resume_from_missing_snapshot_fails_cleanly() {
+    let dir = scratch("missing");
+    let snap = dir.join("nope.ckpt");
+    let out = run(&["resume", "--snap", snap.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("resume failed"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -5,7 +5,7 @@
 //! Closure under each coherence policy. Figure 6 reports total elapsed
 //! time for the same applications across the implementation bar set.
 
-use crate::experiments::runner::{self, Job, JobOutput};
+use crate::experiments::runner::{self, Job, JobOutput, PreparedRun, SimFailure};
 use crate::experiments::{BarSpec, Scale};
 use dsm_protocol::SyncPolicy;
 use dsm_sim::{Cycle, MachineConfig};
@@ -58,8 +58,10 @@ pub struct AppRun {
 
 const RUN_LIMIT: Cycle = Cycle::new(50_000_000_000);
 
-/// Post-run output check installed by each application builder.
-type OutputCheck = Box<dyn FnOnce(&dsm_machine::Machine)>;
+/// Post-run output check installed by each application builder. Reports
+/// a wrong answer as a diagnostic instead of panicking, so a corrupted
+/// run (e.g. under fault injection) stays a recoverable [`SimFailure`].
+type OutputCheck = Box<dyn FnOnce(&dsm_machine::Machine) -> Result<(), String>>;
 
 /// Runs one application under one implementation, verifying its output.
 ///
@@ -73,12 +75,14 @@ pub fn run_app(app: App, bar: &BarSpec, scale: &Scale) -> AppRun {
     runner::run_one(&Job::app(app, *bar, *scale)).into_app()
 }
 
-/// Simulates one application run from scratch, with the machine seeded
-/// by `seed` (the job-key fingerprint when called from the [`runner`]).
-pub(crate) fn simulate(app: App, bar: &BarSpec, scale: &Scale, seed: u64) -> AppRun {
+/// Builds one application run's machine without running it, seeded by
+/// `seed` (the job-key fingerprint when called from the [`runner`]).
+/// The finish stage validates coherence and the application's own
+/// output before assembling the [`AppRun`].
+pub(crate) fn prepare(app: App, bar: &BarSpec, scale: &Scale, seed: u64) -> PreparedRun {
     let mut mcfg = MachineConfig::with_nodes(scale.procs);
     mcfg.seed = seed;
-    let (mut machine, check): (_, OutputCheck) = match app {
+    let (machine, check): (_, OutputCheck) = match app {
         App::WireRoute => {
             let cfg = WireRouteConfig {
                 wires: scale.wires,
@@ -95,11 +99,13 @@ pub(crate) fn simulate(app: App, bar: &BarSpec, scale: &Scale, seed: u64) -> App
             (
                 m,
                 Box::new(move |m| {
-                    assert_eq!(
-                        layout.total_cost(m, &cfg),
-                        cfg.expected_total(),
-                        "wire-route lost updates"
-                    )
+                    let got = layout.total_cost(m, &cfg);
+                    let want = cfg.expected_total();
+                    if got == want {
+                        Ok(())
+                    } else {
+                        Err(format!("wire-route lost updates ({got} of {want})"))
+                    }
                 }),
             )
         }
@@ -119,11 +125,13 @@ pub(crate) fn simulate(app: App, bar: &BarSpec, scale: &Scale, seed: u64) -> App
             (
                 m,
                 Box::new(move |m| {
-                    assert_eq!(
-                        layout.total(m, &cfg),
-                        cfg.expected_total(),
-                        "cholesky lost updates"
-                    )
+                    let got = layout.total(m, &cfg);
+                    let want = cfg.expected_total();
+                    if got == want {
+                        Ok(())
+                    } else {
+                        Err(format!("cholesky lost updates ({got} of {want})"))
+                    }
                 }),
             )
         }
@@ -140,21 +148,37 @@ pub(crate) fn simulate(app: App, bar: &BarSpec, scale: &Scale, seed: u64) -> App
                 m,
                 Box::new(move |m| {
                     let got = dsm_workloads::tclosure::read_matrix(m, &layout, cfg.size);
-                    assert_eq!(got, sequential_closure(&input), "closure mismatch");
+                    if got == sequential_closure(&input) {
+                        Ok(())
+                    } else {
+                        Err("closure mismatch".to_string())
+                    }
                 }),
             )
         }
     };
-    let report = machine.run(RUN_LIMIT).expect("application run completes");
-    machine.validate_coherence().expect("coherent final state");
-    check(&machine);
-    let stats = machine.stats();
-    AppRun {
-        app,
-        bar: *bar,
-        cycles: report.cycles.as_u64(),
-        contention: stats.contention.histogram().clone(),
-        write_run: stats.write_runs.completed().mean(),
+    let app_label = app.label();
+    let bar = *bar;
+    let label = format!("{} [{}]", app_label, bar.label());
+    let err_label = label.clone();
+    PreparedRun {
+        label,
+        machine,
+        limit: RUN_LIMIT,
+        finish: Box::new(move |machine, report| {
+            machine
+                .validate_coherence()
+                .map_err(|e| SimFailure::deterministic(format!("{err_label}: coherence: {e}")))?;
+            check(machine).map_err(|e| SimFailure::deterministic(format!("{err_label}: {e}")))?;
+            let stats = machine.stats();
+            Ok(JobOutput::App(AppRun {
+                app,
+                bar,
+                cycles: report.cycles.as_u64(),
+                contention: stats.contention.histogram().clone(),
+                write_run: stats.write_runs.completed().mean(),
+            }))
+        }),
     }
 }
 

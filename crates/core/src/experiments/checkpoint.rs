@@ -1,0 +1,472 @@
+//! Deterministic checkpoint/restore for experiment jobs.
+//!
+//! A simulated machine holds `Box<dyn Program>` closures, so its state
+//! cannot be serialized byte-for-byte. Instead, a [`Checkpoint`] is a
+//! set of *verified replay coordinates*: the [`Job`] key (from which
+//! the runner rebuilds a bit-identical machine), the number of events
+//! dispatched at the pause point, the simulated time, and a
+//! [`state_digest`](dsm_machine::Machine::state_digest) of the complete
+//! dynamic state. Restoring
+//! rebuilds the machine, replays exactly that many events
+//! ([`dsm_machine::StopRule::AfterEvents`]), and proves it reoccupied
+//! the checkpointed state by digest equality before resuming — so a
+//! resumed run's final artifacts are bit-identical to an uninterrupted
+//! run's, or the restore fails loudly ([`CheckpointError::Diverged`])
+//! and the caller re-runs from scratch.
+//!
+//! On-disk checkpoints use the versioned, checksummed snapshot
+//! container ([`dsm_sim::snapshot`], [`PayloadKind::Checkpoint`]) and
+//! are written atomically (temp file + rename), so a crash mid-write
+//! never leaves a half-checkpoint that could be mistaken for a good
+//! one. A torn or corrupt checkpoint fails its checksum on load;
+//! [`resume_file`] then quarantines it and reports the error instead of
+//! resuming from garbage.
+//!
+//! [`Job::Table1`] jobs are not checkpointable
+//! ([`CheckpointError::Unsupported`]): their directed micro-machines
+//! complete in microseconds and are driven by their own harness.
+
+use crate::experiments::diskcache;
+use crate::experiments::runner::{self, Job, JobResult, PreparedRun, SimFailure};
+use dsm_machine::{RunOutcome, StopRule};
+use dsm_sim::snapshot::{self, ByteReader, ByteWriter, PayloadKind, SnapshotError};
+use std::path::Path;
+
+/// Verified replay coordinates for one paused job run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// The job being run (rebuilding it is a pure function of this key).
+    pub job: Job,
+    /// Events dispatched at the pause point (the replay target).
+    pub events: u64,
+    /// Simulated time at the pause point, in cycles.
+    pub cycle: u64,
+    /// [`Machine::state_digest`](dsm_machine::Machine::state_digest) at
+    /// the pause point — what a restore must reproduce before resuming.
+    pub digest: u64,
+}
+
+/// Why a checkpoint operation failed.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The on-disk container was unreadable, truncated, corrupt, or of
+    /// the wrong version/kind.
+    Snapshot(SnapshotError),
+    /// The job kind cannot be checkpointed (Table 1 micro-machines).
+    Unsupported(String),
+    /// The replay did not reoccupy the checkpointed state: the machine,
+    /// environment, or code changed since the checkpoint was taken.
+    /// Resuming would silently produce different artifacts, so the
+    /// restore refuses; re-run the job from scratch instead.
+    Diverged {
+        /// Events replayed (the checkpoint's pause coordinate).
+        events: u64,
+        /// The digest the checkpoint recorded.
+        expected: u64,
+        /// The digest (or sentinel 0 if the run ended early) found.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Snapshot(e) => write!(f, "checkpoint container: {e}"),
+            CheckpointError::Unsupported(job) => {
+                write!(f, "job {job} cannot be checkpointed")
+            }
+            CheckpointError::Diverged {
+                events,
+                expected,
+                found,
+            } => write!(
+                f,
+                "replay diverged at event {events}: state digest {found:016x}, \
+                 checkpoint recorded {expected:016x} (machine, environment or \
+                 code changed since the checkpoint; re-run from scratch)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<SnapshotError> for CheckpointError {
+    fn from(e: SnapshotError) -> Self {
+        CheckpointError::Snapshot(e)
+    }
+}
+
+/// The result of [`run_with_pause`]: either the run finished before the
+/// pause point fired, or it paused and can be saved/resumed.
+pub enum PauseOutcome {
+    /// The run completed (or failed) before dispatching enough events
+    /// to pause; the job's final result is attached.
+    Completed(JobResult),
+    /// The run paused at the requested event count. Boxed: a paused job
+    /// carries a whole live machine, dwarfing the completed variant.
+    Paused(Box<PausedJob>),
+}
+
+/// A job paused mid-run: holds the live machine plus the checkpoint
+/// describing the pause point. [`save`](PausedJob::save) persists the
+/// checkpoint; [`resume`](PausedJob::resume) finishes the run
+/// in-process.
+pub struct PausedJob {
+    run: PreparedRun,
+    cp: Checkpoint,
+}
+
+impl PausedJob {
+    /// The replay coordinates of the pause point.
+    pub fn checkpoint(&self) -> &Checkpoint {
+        &self.cp
+    }
+
+    /// Persists the checkpoint atomically to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Snapshot`] if the write fails.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        save(path, &self.cp)
+    }
+
+    /// Finishes the run in-process and returns the job's result —
+    /// bit-identical to a run that never paused.
+    pub fn resume(self) -> JobResult {
+        let mut run = self.run;
+        let finish = run.finish;
+        let out = match run.machine.run_until(run.limit, StopRule::None) {
+            Ok(RunOutcome::Done(report)) => finish(&mut run.machine, report),
+            Ok(RunOutcome::Paused(_)) => unreachable!("StopRule::None never pauses"),
+            Err(e) => Err(SimFailure::from_run(&run.label, &e)),
+        };
+        out.map_err(|f| runner::attribute(&self.cp.job, f))
+    }
+}
+
+/// Runs `job` from scratch, pausing once `pause_after_events` events
+/// have been dispatched. Pass `u64::MAX` to run to completion (useful
+/// for drivers that want identical output paths with and without a
+/// pause).
+///
+/// # Errors
+///
+/// [`CheckpointError::Unsupported`] for [`Job::Table1`]. A failing
+/// simulation is *not* an error here — it is reported inside
+/// [`PauseOutcome::Completed`] as the job's own result.
+pub fn run_with_pause(job: &Job, pause_after_events: u64) -> Result<PauseOutcome, CheckpointError> {
+    let Some(mut p) = runner::prepare(job) else {
+        return Err(CheckpointError::Unsupported(format!("{job:?}")));
+    };
+    match p
+        .machine
+        .run_until(p.limit, StopRule::AfterEvents(pause_after_events))
+    {
+        Ok(RunOutcome::Paused(report)) => {
+            let cp = Checkpoint {
+                job: job.clone(),
+                events: report.events,
+                cycle: report.cycles.as_u64(),
+                digest: p.machine.state_digest(),
+            };
+            Ok(PauseOutcome::Paused(Box::new(PausedJob { run: p, cp })))
+        }
+        Ok(RunOutcome::Done(report)) => {
+            let finish = p.finish;
+            Ok(PauseOutcome::Completed(
+                finish(&mut p.machine, report).map_err(|f| runner::attribute(job, f)),
+            ))
+        }
+        Err(e) => Ok(PauseOutcome::Completed(Err(runner::attribute(
+            job,
+            SimFailure::from_run(&p.label, &e),
+        )))),
+    }
+}
+
+/// Persists `cp` atomically to `path` in the snapshot container format.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Snapshot`] if the write fails.
+pub fn save(path: &Path, cp: &Checkpoint) -> Result<(), CheckpointError> {
+    let mut w = ByteWriter::new();
+    w.put_bytes(&diskcache::encode_job(&cp.job));
+    w.put_u64(cp.events);
+    w.put_u64(cp.cycle);
+    w.put_u64(cp.digest);
+    snapshot::write_atomic(path, PayloadKind::Checkpoint, &w.into_bytes())?;
+    Ok(())
+}
+
+/// Loads a checkpoint from `path`, verifying the container's magic,
+/// version, kind and checksum.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Snapshot`] for any container or decoding
+/// failure (the file is left in place; see [`resume_file`] for the
+/// quarantining variant).
+pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
+    let payload = snapshot::read(path, PayloadKind::Checkpoint)?;
+    let mut r = ByteReader::new(&payload);
+    let job = diskcache::decode_job(&r.take_bytes()?)?;
+    let cp = Checkpoint {
+        job,
+        events: r.take_u64()?,
+        cycle: r.take_u64()?,
+        digest: r.take_u64()?,
+    };
+    r.finish()?;
+    Ok(cp)
+}
+
+/// Restores `cp`: rebuilds the machine from the job key, replays
+/// exactly `cp.events` events, verifies the state digest, then resumes
+/// to completion. The returned result is bit-identical to an
+/// uninterrupted run of the same job.
+///
+/// # Errors
+///
+/// [`CheckpointError::Unsupported`] for Table 1 jobs,
+/// [`CheckpointError::Diverged`] if the replay does not reoccupy the
+/// checkpointed state (simulation failures *during* a faithful replay
+/// are the job's own result, not an error).
+pub fn resume(cp: &Checkpoint) -> Result<JobResult, CheckpointError> {
+    let Some(mut p) = runner::prepare(&cp.job) else {
+        return Err(CheckpointError::Unsupported(format!("{:?}", cp.job)));
+    };
+    match p
+        .machine
+        .run_until(p.limit, StopRule::AfterEvents(cp.events))
+    {
+        Ok(RunOutcome::Paused(report)) => {
+            let found = p.machine.state_digest();
+            if report.events != cp.events
+                || report.cycles.as_u64() != cp.cycle
+                || found != cp.digest
+            {
+                return Err(CheckpointError::Diverged {
+                    events: cp.events,
+                    expected: cp.digest,
+                    found,
+                });
+            }
+            Ok(PausedJob {
+                run: p,
+                cp: cp.clone(),
+            }
+            .resume())
+        }
+        // The replay finished (or failed) before reaching the pause
+        // point, yet the original run got past it: divergence.
+        Ok(RunOutcome::Done(report)) => Err(CheckpointError::Diverged {
+            events: report.events,
+            expected: cp.digest,
+            found: 0,
+        }),
+        Err(e) => {
+            // A wall-clock timeout during replay is a transient host
+            // condition, not divergence — report it as the job's result
+            // so the supervisor's retry policy applies.
+            let f = SimFailure::from_run(&p.label, &e);
+            if f.transient {
+                Ok(Err(runner::attribute(&cp.job, f)))
+            } else {
+                Err(CheckpointError::Diverged {
+                    events: cp.events,
+                    expected: cp.digest,
+                    found: p.machine.state_digest(),
+                })
+            }
+        }
+    }
+}
+
+/// Loads and restores a checkpoint file. An unreadable or corrupt file
+/// is moved into a `quarantined/` sibling directory (best-effort) so
+/// the next startup does not trip over it again, and the error is
+/// reported — the caller should fall back to running from scratch.
+///
+/// # Errors
+///
+/// The union of [`load`] and [`resume`] errors.
+pub fn resume_file(path: &Path) -> Result<JobResult, CheckpointError> {
+    match load(path) {
+        Ok(cp) => resume(&cp),
+        Err(e) => {
+            if !matches!(
+                &e,
+                CheckpointError::Snapshot(SnapshotError::Io(io)) if io.kind() == std::io::ErrorKind::NotFound
+            ) {
+                match snapshot::quarantine(path) {
+                    Ok(to) => eprintln!(
+                        "dsm-checkpoint: quarantined corrupt checkpoint {} -> {} ({e})",
+                        path.display(),
+                        to.display()
+                    ),
+                    Err(qe) => eprintln!(
+                        "dsm-checkpoint: corrupt checkpoint {} could not be quarantined: {qe} ({e})",
+                        path.display()
+                    ),
+                }
+            }
+            Err(e)
+        }
+    }
+}
+
+/// Total events an uninterrupted, *successful* run of `job` dispatches.
+/// Tests and drivers use this to place pause points at a genuine
+/// interior event — e.g. `total_events(&job) / 2` — whatever the job's
+/// actual length. Returns `None` for unsupported jobs (Table 1) and for
+/// jobs whose simulation fails: a failing run has no meaningful
+/// interior to checkpoint.
+///
+/// This simulates the job once (without caching), so it costs a full
+/// run; it is a planning tool, not a hot-path query.
+pub fn total_events(job: &Job) -> Option<u64> {
+    let mut p = runner::prepare(job)?;
+    p.machine.run(p.limit).ok().map(|report| report.events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{BarSpec, CounterKind};
+    use dsm_protocol::SyncPolicy;
+    use dsm_sim::MachineConfig;
+    use dsm_sync::Primitive;
+
+    fn tiny_job() -> Job {
+        Job::counter(
+            MachineConfig::with_nodes(4),
+            CounterKind::LockFree,
+            BarSpec::new(SyncPolicy::Inv, Primitive::Cas),
+            4,
+            1.0,
+            4,
+        )
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dsm-ckpt-{}-{name}", std::process::id()))
+    }
+
+    /// Interior-event pause point for a job known to be tiny and
+    /// checkpointable.
+    fn total_events(job: &Job) -> u64 {
+        super::total_events(job).expect("tiny job completes")
+    }
+
+    #[test]
+    fn pause_save_restore_is_bit_identical() {
+        let job = tiny_job();
+        let midpoint = total_events(&job) / 2;
+        assert!(midpoint > 0);
+        let baseline = match run_with_pause(&job, u64::MAX).unwrap() {
+            PauseOutcome::Completed(r) => r,
+            PauseOutcome::Paused(_) => panic!("u64::MAX events must not pause"),
+        };
+        let path = tmp("roundtrip");
+        let paused = match run_with_pause(&job, midpoint).unwrap() {
+            PauseOutcome::Paused(p) => p,
+            PauseOutcome::Completed(_) => panic!("job must pause at its midpoint"),
+        };
+        assert_eq!(paused.checkpoint().events, midpoint);
+        paused.save(&path).unwrap();
+        drop(paused); // simulate the process dying after the checkpoint
+        let resumed = resume_file(&path).unwrap();
+        assert_eq!(
+            format!("{baseline:?}"),
+            format!("{resumed:?}"),
+            "resumed result must be bit-identical to the uninterrupted run"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn in_process_resume_matches_uninterrupted() {
+        let job = tiny_job();
+        let midpoint = total_events(&job) / 2;
+        let baseline = match run_with_pause(&job, u64::MAX).unwrap() {
+            PauseOutcome::Completed(r) => r,
+            PauseOutcome::Paused(_) => unreachable!(),
+        };
+        let resumed = match run_with_pause(&job, midpoint).unwrap() {
+            PauseOutcome::Paused(p) => p.resume(),
+            PauseOutcome::Completed(_) => panic!("job must pause at its midpoint"),
+        };
+        assert_eq!(format!("{baseline:?}"), format!("{resumed:?}"));
+    }
+
+    #[test]
+    fn tampered_digest_is_refused() {
+        let job = tiny_job();
+        let midpoint = total_events(&job) / 2;
+        let paused = match run_with_pause(&job, midpoint).unwrap() {
+            PauseOutcome::Paused(p) => p,
+            PauseOutcome::Completed(_) => unreachable!(),
+        };
+        let mut cp = paused.checkpoint().clone();
+        cp.digest ^= 1;
+        match resume(&cp) {
+            Err(CheckpointError::Diverged { expected, .. }) => assert_eq!(expected, cp.digest),
+            other => panic!("tampered checkpoint must be refused, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_checkpoint_file_is_quarantined() {
+        let dir = tmp("corrupt-dir");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mid.ckpt");
+        let job = tiny_job();
+        let midpoint = total_events(&job) / 2;
+        let paused = match run_with_pause(&job, midpoint).unwrap() {
+            PauseOutcome::Paused(p) => p,
+            PauseOutcome::Completed(_) => unreachable!(),
+        };
+        paused.save(&path).unwrap();
+        // Flip one payload byte: the container checksum must catch it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        match resume_file(&path) {
+            Err(CheckpointError::Snapshot(_)) => {}
+            other => panic!("corrupt file must fail the container check, got {other:?}"),
+        }
+        assert!(
+            !path.exists(),
+            "corrupt checkpoint must be moved out of the way"
+        );
+        assert!(dir.join("quarantined").is_dir());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn table1_is_unsupported() {
+        match run_with_pause(&Job::table1(0), 10) {
+            Err(CheckpointError::Unsupported(_)) => {}
+            _ => panic!("table 1 jobs must be refused"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_disk() {
+        let path = tmp("codec");
+        let cp = Checkpoint {
+            job: tiny_job(),
+            events: 12345,
+            cycle: 67890,
+            digest: 0xDEAD_BEEF_CAFE_F00D,
+        };
+        save(&path, &cp).unwrap();
+        assert_eq!(load(&path).unwrap(), cp);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -2,7 +2,7 @@
 //! synthetic counter applications, across the full implementation bar
 //! set, for the paper's contention and write-run sweeps.
 
-use crate::experiments::runner::{self, Job, JobOutput};
+use crate::experiments::runner::{self, Job, JobOutput, PreparedRun, SimFailure};
 use crate::experiments::{BarSpec, Scale};
 use dsm_sim::{Cycle, MachineConfig};
 use dsm_workloads::{build_synthetic, CounterKind, SyntheticConfig};
@@ -85,23 +85,23 @@ pub fn measure_bar_on(
     .into_counter()
 }
 
-/// Simulates one counter point from scratch. Only the [`runner`] calls
+/// Builds one counter point's machine without running it. Only the
+/// [`runner`] (and the checkpoint layer, through the runner) calls
 /// this; everything else goes through [`measure_bar`]/[`measure_bar_on`]
 /// so the cache and the per-job seed derivation stay in effect.
 ///
-/// # Errors
-///
-/// Returns the run's failure diagnostic (deadlock, livelock, protocol
-/// error, invariant violation, cycle limit) or a lost-update report if
-/// the final counter value is wrong.
-pub(crate) fn try_simulate(
+/// The finish stage reports the run's failure diagnostic (deadlock,
+/// livelock, protocol error, invariant violation, cycle limit) or a
+/// lost-update report if the final counter value is wrong — all
+/// deterministic conditions.
+pub(crate) fn prepare(
     mcfg: MachineConfig,
     kind: CounterKind,
     bar: &BarSpec,
     contention: u32,
     write_run: f64,
     rounds: u64,
-) -> Result<CounterPoint, String> {
+) -> PreparedRun {
     let procs = mcfg.nodes;
     let contention = contention.min(procs);
     let scfg = SyntheticConfig {
@@ -112,24 +112,29 @@ pub(crate) fn try_simulate(
         write_run,
         rounds,
     };
-    let (mut machine, layout) = build_synthetic(mcfg, &scfg);
-    let report = machine
-        .run(Cycle::new(20_000_000_000))
-        .map_err(|e| format!("{}: {e}", bar.label()))?;
+    let (machine, layout) = build_synthetic(mcfg, &scfg);
     let updates = scfg.total_updates(procs);
-    let counted = machine.read_word(layout.counter);
-    if counted != updates {
-        return Err(format!(
-            "{}: counter lost updates ({counted} of {updates})",
-            bar.label()
-        ));
+    let bar = *bar;
+    PreparedRun {
+        label: bar.label(),
+        machine,
+        limit: Cycle::new(20_000_000_000),
+        finish: Box::new(move |machine, report| {
+            let counted = machine.read_word(layout.counter);
+            if counted != updates {
+                return Err(SimFailure::deterministic(format!(
+                    "{}: counter lost updates ({counted} of {updates})",
+                    bar.label()
+                )));
+            }
+            Ok(JobOutput::Counter(CounterPoint {
+                bar,
+                avg_cycles: report.cycles.as_u64() as f64 / updates as f64,
+                updates,
+                cycles: report.cycles.as_u64(),
+            }))
+        }),
     }
-    Ok(CounterPoint {
-        bar: *bar,
-        avg_cycles: report.cycles.as_u64() as f64 / updates as f64,
-        updates,
-        cycles: report.cycles.as_u64(),
-    })
 }
 
 /// The `(c, a)` points of one figure at a given scale: the five

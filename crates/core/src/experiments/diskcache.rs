@@ -1,0 +1,830 @@
+//! The persistent, corruption-tolerant result cache.
+//!
+//! With `DSM_CACHE_DIR` set (or a [`with_cache_dir`] override active),
+//! the experiment [`runner`](super::runner) extends its in-memory memo
+//! to a content-addressed on-disk store: every simulated job's result
+//! is written to `<dir>/<job-fingerprint>-<env-fingerprint>.job` as a
+//! versioned, checksummed [`dsm_sim::snapshot`] container, and later
+//! processes serve the same job from disk instead of re-simulating.
+//!
+//! Robustness properties, in the order they matter:
+//!
+//! * **Atomic writes** — entries are written to a temp file and
+//!   `rename`d into place ([`snapshot::write_atomic`]), so a killed
+//!   writer leaves either no entry or a whole entry, never a torn one
+//!   under the final name.
+//! * **Corruption tolerance** — a torn, bit-flipped, version-skewed or
+//!   otherwise unreadable entry is *quarantined* (moved into a
+//!   `quarantined/` subdirectory for diagnosis) and the job is simply
+//!   re-simulated; corruption is never a panic and never poisons a
+//!   result.
+//! * **Collision safety** — the payload stores the full canonical job
+//!   encoding (including the machine's fault configuration, which the
+//!   seed fingerprint deliberately omits); a fingerprint collision
+//!   decodes to a different job and reads as a miss, not a wrong
+//!   result.
+//! * **Environment binding** — `DSM_FAULTS` and `DSM_PARANOID` change
+//!   machine behaviour without entering the job key, so the file name
+//!   carries a fingerprint of both; runs under different fault
+//!   environments never share entries.
+//! * **Failure policy** — deterministic failures (protocol errors,
+//!   invariant violations, lost updates) persist like successes: they
+//!   are a property of the job key and re-simulating them wastes time.
+//!   Transient failures (wall-clock budget) are never written.
+//!
+//! Table 1 rows are never persisted: their directed micro-machines
+//! regenerate in microseconds and their labels are static strings.
+
+use crate::experiments::apps::{App, AppRun};
+use crate::experiments::counters::CounterPoint;
+use crate::experiments::lockfree::LockfreePoint;
+use crate::experiments::runner::{
+    Job, JobError, JobOutput, JobResult, DISK_HITS, DISK_QUARANTINED, DISK_STORES,
+};
+use crate::experiments::{BarSpec, CounterKind, Scale};
+use dsm_protocol::{CasVariant, LlscScheme, SyncPolicy};
+use dsm_sim::snapshot::{self, ByteReader, ByteWriter, PayloadKind, SnapshotError};
+use dsm_sim::{FaultConfig, MachineConfig, StableHasher};
+use dsm_stats::Histogram;
+use dsm_sync::{LinkPrim, Primitive};
+use dsm_workloads::LfStructure;
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+
+thread_local! {
+    /// `None` = no override (use the environment); `Some(None)` =
+    /// override to disabled; `Some(Some(dir))` = override to `dir`.
+    static DIR_OVERRIDE: RefCell<Option<Option<PathBuf>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with the persistent cache directory pinned on this thread —
+/// `Some(dir)` to point it at `dir`, `None` to disable it regardless of
+/// `DSM_CACHE_DIR` — restoring the previous setting afterwards (also on
+/// panic). This is how tests exercise the store against a scratch
+/// directory without touching the process environment.
+pub fn with_cache_dir<R>(dir: Option<&Path>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Option<PathBuf>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            DIR_OVERRIDE.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let over = Some(dir.map(Path::to_path_buf));
+    let _restore = Restore(DIR_OVERRIDE.with(|c| std::mem::replace(&mut *c.borrow_mut(), over)));
+    f()
+}
+
+/// The active cache directory: the [`with_cache_dir`] override if set,
+/// else `DSM_CACHE_DIR` from the environment; `None` disables the
+/// store entirely (the runner then behaves exactly as before it
+/// existed).
+pub fn dir() -> Option<PathBuf> {
+    if let Some(over) = DIR_OVERRIDE.with(|c| c.borrow().clone()) {
+        return over;
+    }
+    std::env::var_os("DSM_CACHE_DIR")
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
+/// Fingerprint of the ambient environment that changes machine
+/// behaviour without entering the job key: `DSM_FAULTS` (applied at
+/// machine build time) and `DSM_PARANOID`.
+fn env_fingerprint() -> u32 {
+    let mut h = StableHasher::new();
+    h.write_str(&std::env::var("DSM_FAULTS").unwrap_or_default());
+    h.write_u8(u8::from(
+        std::env::var("DSM_PARANOID").is_ok_and(|v| v == "1"),
+    ));
+    (h.finish() & 0xFFFF_FFFF) as u32
+}
+
+/// The entry file name for a canonically encoded job: a 64-bit content
+/// fingerprint of the encoding plus the 32-bit environment fingerprint.
+fn file_name(job_bytes: &[u8]) -> String {
+    let mut h = StableHasher::new();
+    h.write_str("dsm-cache-entry");
+    h.write_bytes(job_bytes);
+    format!("{:016x}-{:08x}.job", h.finish(), env_fingerprint())
+}
+
+/// Looks a job up in the persistent store.
+///
+/// Returns `None` on every miss-like condition: store disabled, a
+/// Table 1 job, no entry on disk, a fingerprint collision with a
+/// different job, or a corrupt entry (which is quarantined first). The
+/// runner re-simulates in all of these cases — corruption can cost
+/// time, never correctness.
+pub(crate) fn load(job: &Job) -> Option<JobResult> {
+    if matches!(job, Job::Table1 { .. }) {
+        return None;
+    }
+    let dir = dir()?;
+    let job_bytes = encode_job(job);
+    let path = dir.join(file_name(&job_bytes));
+    let bytes = match snapshot::read(&path, PayloadKind::CacheEntry) {
+        Ok(b) => b,
+        Err(SnapshotError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(e) => return quarantine_corrupt(&path, &e),
+    };
+    match decode_entry(&bytes, job) {
+        Ok(Some(result)) => {
+            DISK_HITS.fetch_add(1, Ordering::Relaxed);
+            Some(result)
+        }
+        Ok(None) => None, // a different job's entry (fingerprint collision)
+        Err(e) => quarantine_corrupt(&path, &e),
+    }
+}
+
+/// Persists one job's result, if it is persistable: the store must be
+/// enabled, the job must not be Table 1, and the result must not be a
+/// transient failure. Persistence is best-effort — an I/O error is
+/// reported to stderr and the run continues; the entry is simply
+/// re-simulated by the next process.
+pub(crate) fn store(job: &Job, result: &JobResult) {
+    if matches!(job, Job::Table1 { .. }) {
+        return;
+    }
+    if let Err(e) = result {
+        if e.transient {
+            return;
+        }
+    }
+    let Some(dir) = dir() else { return };
+    let job_bytes = encode_job(job);
+    let path = dir.join(file_name(&job_bytes));
+    let payload = encode_entry(&job_bytes, result);
+    match snapshot::write_atomic(&path, PayloadKind::CacheEntry, &payload) {
+        Ok(()) => {
+            DISK_STORES.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(e) => eprintln!(
+            "dsm-runner: could not persist cache entry {}: {e}",
+            path.display()
+        ),
+    }
+}
+
+/// Quarantines a corrupt entry and reports it; always returns `None`
+/// (the caller treats the lookup as a miss and re-simulates).
+fn quarantine_corrupt(path: &Path, why: &SnapshotError) -> Option<JobResult> {
+    DISK_QUARANTINED.fetch_add(1, Ordering::Relaxed);
+    match snapshot::quarantine(path) {
+        Ok(dest) => eprintln!(
+            "dsm-runner: quarantined corrupt cache entry {} -> {} ({why}); re-simulating",
+            path.display(),
+            dest.display()
+        ),
+        Err(e) => eprintln!(
+            "dsm-runner: corrupt cache entry {} ({why}); quarantine failed: {e}; re-simulating",
+            path.display()
+        ),
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Canonical byte encodings.
+//
+// Enum tags deliberately mirror the StableHasher fingerprint tags in
+// the runner, so the two canonical forms of a job can be audited side
+// by side. All integers are little-endian via ByteWriter/ByteReader;
+// layout changes require a FORMAT_VERSION bump in dsm_sim::snapshot.
+// ---------------------------------------------------------------------
+
+fn put_policy(w: &mut ByteWriter, p: SyncPolicy) {
+    w.put_u8(match p {
+        SyncPolicy::Inv => 0,
+        SyncPolicy::Upd => 1,
+        SyncPolicy::Unc => 2,
+    });
+}
+
+fn take_policy(r: &mut ByteReader<'_>) -> Result<SyncPolicy, SnapshotError> {
+    Ok(match r.take_u8()? {
+        0 => SyncPolicy::Inv,
+        1 => SyncPolicy::Upd,
+        2 => SyncPolicy::Unc,
+        t => return Err(bad_tag("sync policy", t)),
+    })
+}
+
+fn bad_tag(what: &str, tag: u8) -> SnapshotError {
+    SnapshotError::Malformed(format!("unknown {what} tag {tag}"))
+}
+
+fn put_bar(w: &mut ByteWriter, b: &BarSpec) {
+    put_policy(w, b.policy);
+    w.put_u8(match b.prim {
+        Primitive::FetchPhi => 0,
+        Primitive::Llsc => 1,
+        Primitive::Cas => 2,
+    });
+    w.put_u8(match b.cas_variant {
+        CasVariant::Plain => 0,
+        CasVariant::Deny => 1,
+        CasVariant::Share => 2,
+    });
+    w.put_bool(b.load_exclusive);
+    w.put_bool(b.drop_copy);
+    match b.llsc {
+        LlscScheme::BitVector => w.put_u8(0),
+        LlscScheme::LinkedList => w.put_u8(1),
+        LlscScheme::Limited(k) => {
+            w.put_u8(2);
+            w.put_u8(k);
+        }
+        LlscScheme::SerialNumber => w.put_u8(3),
+    }
+}
+
+fn take_bar(r: &mut ByteReader<'_>) -> Result<BarSpec, SnapshotError> {
+    let policy = take_policy(r)?;
+    let prim = match r.take_u8()? {
+        0 => Primitive::FetchPhi,
+        1 => Primitive::Llsc,
+        2 => Primitive::Cas,
+        t => return Err(bad_tag("primitive", t)),
+    };
+    let cas_variant = match r.take_u8()? {
+        0 => CasVariant::Plain,
+        1 => CasVariant::Deny,
+        2 => CasVariant::Share,
+        t => return Err(bad_tag("cas variant", t)),
+    };
+    let load_exclusive = r.take_bool()?;
+    let drop_copy = r.take_bool()?;
+    let llsc = match r.take_u8()? {
+        0 => LlscScheme::BitVector,
+        1 => LlscScheme::LinkedList,
+        2 => LlscScheme::Limited(r.take_u8()?),
+        3 => LlscScheme::SerialNumber,
+        t => return Err(bad_tag("llsc scheme", t)),
+    };
+    Ok(BarSpec {
+        policy,
+        prim,
+        cas_variant,
+        load_exclusive,
+        drop_copy,
+        llsc,
+    })
+}
+
+fn put_mcfg(w: &mut ByteWriter, m: &MachineConfig) {
+    w.put_u32(m.nodes);
+    w.put_u32(m.mesh_width);
+    let p = &m.params;
+    for v in [
+        p.line_size,
+        p.cache_hit,
+        p.cache_ctrl,
+        p.mem_access,
+        p.dir_access,
+        p.hop_delay,
+        p.flit_bytes,
+        p.flit_cycle,
+        p.header_flits,
+        p.issue,
+    ] {
+        w.put_u64(v);
+    }
+    w.put_u64(m.cache.sets as u64);
+    w.put_u64(m.cache.ways as u64);
+    w.put_u64(m.seed);
+    // The fault config is spelled out even though the seed fingerprint
+    // omits it: two jobs differing only in faults must never be
+    // mistaken for each other on disk. `paranoid` travels separately —
+    // the spec grammar does not carry it.
+    w.put_str(&m.faults.to_spec());
+    w.put_bool(m.faults.paranoid);
+}
+
+fn take_mcfg(r: &mut ByteReader<'_>) -> Result<MachineConfig, SnapshotError> {
+    let nodes = r.take_u32()?;
+    let mut m = MachineConfig::with_nodes(nodes);
+    m.mesh_width = r.take_u32()?;
+    m.params.line_size = r.take_u64()?;
+    m.params.cache_hit = r.take_u64()?;
+    m.params.cache_ctrl = r.take_u64()?;
+    m.params.mem_access = r.take_u64()?;
+    m.params.dir_access = r.take_u64()?;
+    m.params.hop_delay = r.take_u64()?;
+    m.params.flit_bytes = r.take_u64()?;
+    m.params.flit_cycle = r.take_u64()?;
+    m.params.header_flits = r.take_u64()?;
+    m.params.issue = r.take_u64()?;
+    m.cache.sets = r.take_u64()? as usize;
+    m.cache.ways = r.take_u64()? as usize;
+    m.seed = r.take_u64()?;
+    let spec = r.take_str()?;
+    m.faults = FaultConfig::from_spec(&spec)
+        .map_err(|e| SnapshotError::Malformed(format!("fault spec: {e}")))?;
+    m.faults.paranoid = r.take_bool()?;
+    Ok(m)
+}
+
+fn put_scale(w: &mut ByteWriter, s: &Scale) {
+    w.put_u32(s.procs);
+    w.put_u64(s.rounds);
+    w.put_u64(s.tc_size);
+    w.put_u64(s.wires);
+    w.put_u64(s.tasks);
+}
+
+fn take_scale(r: &mut ByteReader<'_>) -> Result<Scale, SnapshotError> {
+    Ok(Scale {
+        procs: r.take_u32()?,
+        rounds: r.take_u64()?,
+        tc_size: r.take_u64()?,
+        wires: r.take_u64()?,
+        tasks: r.take_u64()?,
+    })
+}
+
+fn put_app(w: &mut ByteWriter, a: App) {
+    w.put_u8(match a {
+        App::WireRoute => 0,
+        App::Cholesky => 1,
+        App::TransitiveClosure => 2,
+    });
+}
+
+fn take_app(r: &mut ByteReader<'_>) -> Result<App, SnapshotError> {
+    Ok(match r.take_u8()? {
+        0 => App::WireRoute,
+        1 => App::Cholesky,
+        2 => App::TransitiveClosure,
+        t => return Err(bad_tag("app", t)),
+    })
+}
+
+/// Encodes a job in its canonical on-disk form (every field, including
+/// the machine's fault configuration). Also the input of the entry
+/// file-name fingerprint.
+pub(crate) fn encode_job(job: &Job) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match job {
+        Job::Counter {
+            mcfg,
+            kind,
+            bar,
+            contention,
+            write_run_bits,
+            rounds,
+        } => {
+            w.put_u8(0);
+            put_mcfg(&mut w, mcfg);
+            w.put_u8(match kind {
+                CounterKind::LockFree => 0,
+                CounterKind::TtsLock => 1,
+                CounterKind::McsLock => 2,
+            });
+            put_bar(&mut w, bar);
+            w.put_u32(*contention);
+            w.put_u64(*write_run_bits);
+            w.put_u64(*rounds);
+        }
+        Job::App { app, bar, scale } => {
+            w.put_u8(1);
+            put_app(&mut w, *app);
+            put_bar(&mut w, bar);
+            put_scale(&mut w, scale);
+        }
+        Job::Table1 { scenario } => {
+            w.put_u8(2);
+            w.put_u64(*scenario as u64);
+        }
+        Job::Lockfree {
+            mcfg,
+            structure,
+            prim,
+            policy,
+            ops_per_proc,
+            key_space,
+            buckets,
+        } => {
+            w.put_u8(3);
+            put_mcfg(&mut w, mcfg);
+            w.put_u8(match structure {
+                LfStructure::Queue => 0,
+                LfStructure::List => 1,
+                LfStructure::Map => 2,
+            });
+            w.put_u8(match prim {
+                LinkPrim::Llsc => 0,
+                LinkPrim::EmulLlsc => 1,
+                LinkPrim::CasPlain => 2,
+            });
+            put_policy(&mut w, *policy);
+            w.put_u32(*ops_per_proc);
+            w.put_u64(*key_space);
+            w.put_u32(*buckets);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a canonical job encoding (the exact inverse of
+/// [`encode_job`]).
+pub(crate) fn decode_job(bytes: &[u8]) -> Result<Job, SnapshotError> {
+    let mut r = ByteReader::new(bytes);
+    let job = match r.take_u8()? {
+        0 => {
+            let mcfg = take_mcfg(&mut r)?;
+            let kind = match r.take_u8()? {
+                0 => CounterKind::LockFree,
+                1 => CounterKind::TtsLock,
+                2 => CounterKind::McsLock,
+                t => return Err(bad_tag("counter kind", t)),
+            };
+            let bar = take_bar(&mut r)?;
+            Job::Counter {
+                mcfg,
+                kind,
+                bar,
+                contention: r.take_u32()?,
+                write_run_bits: r.take_u64()?,
+                rounds: r.take_u64()?,
+            }
+        }
+        1 => Job::App {
+            app: take_app(&mut r)?,
+            bar: take_bar(&mut r)?,
+            scale: take_scale(&mut r)?,
+        },
+        2 => Job::Table1 {
+            scenario: r.take_u64()? as usize,
+        },
+        3 => {
+            let mcfg = take_mcfg(&mut r)?;
+            let structure = match r.take_u8()? {
+                0 => LfStructure::Queue,
+                1 => LfStructure::List,
+                2 => LfStructure::Map,
+                t => return Err(bad_tag("structure", t)),
+            };
+            let prim = match r.take_u8()? {
+                0 => LinkPrim::Llsc,
+                1 => LinkPrim::EmulLlsc,
+                2 => LinkPrim::CasPlain,
+                t => return Err(bad_tag("link primitive", t)),
+            };
+            Job::Lockfree {
+                mcfg,
+                structure,
+                prim,
+                policy: take_policy(&mut r)?,
+                ops_per_proc: r.take_u32()?,
+                key_space: r.take_u64()?,
+                buckets: r.take_u32()?,
+            }
+        }
+        t => return Err(bad_tag("job", t)),
+    };
+    r.finish()?;
+    Ok(job)
+}
+
+fn put_histogram(w: &mut ByteWriter, h: &Histogram) {
+    let pairs: Vec<(usize, u64)> = h.iter().collect();
+    w.put_u64(pairs.len() as u64);
+    for (value, count) in pairs {
+        w.put_u64(value as u64);
+        w.put_u64(count);
+    }
+}
+
+fn take_histogram(r: &mut ByteReader<'_>) -> Result<Histogram, SnapshotError> {
+    let n = r.take_u64()?;
+    let mut h = Histogram::new();
+    for _ in 0..n {
+        let value = r.take_u64()? as usize;
+        let count = r.take_u64()?;
+        h.record_n(value, count);
+    }
+    Ok(h)
+}
+
+fn put_output(w: &mut ByteWriter, out: &JobOutput) {
+    match out {
+        JobOutput::Counter(p) => {
+            w.put_u8(0);
+            put_bar(w, &p.bar);
+            w.put_f64(p.avg_cycles);
+            w.put_u64(p.updates);
+            w.put_u64(p.cycles);
+        }
+        JobOutput::App(a) => {
+            w.put_u8(1);
+            put_app(w, a.app);
+            put_bar(w, &a.bar);
+            w.put_u64(a.cycles);
+            put_histogram(w, &a.contention);
+            w.put_f64(a.write_run);
+        }
+        // Guarded by the Table 1 gate in store(): rows hold static
+        // label strings and are regenerated, never persisted.
+        JobOutput::Table1(_) => unreachable!("table-1 results are never persisted"),
+        JobOutput::Lockfree(p) => {
+            w.put_u8(3);
+            w.put_u8(match p.structure {
+                LfStructure::Queue => 0,
+                LfStructure::List => 1,
+                LfStructure::Map => 2,
+            });
+            w.put_u8(match p.prim {
+                LinkPrim::Llsc => 0,
+                LinkPrim::EmulLlsc => 1,
+                LinkPrim::CasPlain => 2,
+            });
+            put_policy(w, p.policy);
+            w.put_u64(p.ops);
+            w.put_u64(p.cycles);
+            w.put_f64(p.avg_cycles);
+        }
+    }
+}
+
+fn take_output(r: &mut ByteReader<'_>) -> Result<JobOutput, SnapshotError> {
+    Ok(match r.take_u8()? {
+        0 => JobOutput::Counter(CounterPoint {
+            bar: take_bar(r)?,
+            avg_cycles: r.take_f64()?,
+            updates: r.take_u64()?,
+            cycles: r.take_u64()?,
+        }),
+        1 => JobOutput::App(AppRun {
+            app: take_app(r)?,
+            bar: take_bar(r)?,
+            cycles: r.take_u64()?,
+            contention: take_histogram(r)?,
+            write_run: r.take_f64()?,
+        }),
+        3 => {
+            let structure = match r.take_u8()? {
+                0 => LfStructure::Queue,
+                1 => LfStructure::List,
+                2 => LfStructure::Map,
+                t => return Err(bad_tag("structure", t)),
+            };
+            let prim = match r.take_u8()? {
+                0 => LinkPrim::Llsc,
+                1 => LinkPrim::EmulLlsc,
+                2 => LinkPrim::CasPlain,
+                t => return Err(bad_tag("link primitive", t)),
+            };
+            JobOutput::Lockfree(LockfreePoint {
+                structure,
+                prim,
+                policy: take_policy(r)?,
+                ops: r.take_u64()?,
+                cycles: r.take_u64()?,
+                avg_cycles: r.take_f64()?,
+            })
+        }
+        t => return Err(bad_tag("job output", t)),
+    })
+}
+
+/// Encodes one entry payload: the canonical job encoding (for collision
+/// detection on load) followed by the result.
+fn encode_entry(job_bytes: &[u8], result: &JobResult) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_bytes(job_bytes);
+    match result {
+        Ok(out) => {
+            w.put_u8(0);
+            put_output(&mut w, out);
+        }
+        Err(e) => {
+            w.put_u8(1);
+            w.put_str(&e.job);
+            w.put_str(&e.message);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes one entry payload. `Ok(None)` means the entry belongs to a
+/// *different* job (a file-name fingerprint collision) — a cache miss,
+/// not corruption.
+fn decode_entry(bytes: &[u8], want: &Job) -> Result<Option<JobResult>, SnapshotError> {
+    let mut r = ByteReader::new(bytes);
+    let job_bytes = r.take_bytes()?;
+    let stored = decode_job(&job_bytes)?;
+    if stored != *want {
+        return Ok(None);
+    }
+    let result = match r.take_u8()? {
+        0 => Ok(take_output(&mut r)?),
+        1 => Err(JobError {
+            job: r.take_str()?,
+            message: r.take_str()?,
+            // Transient failures are never persisted, so whatever is on
+            // disk is deterministic by construction.
+            transient: false,
+        }),
+        t => return Err(bad_tag("result", t)),
+    };
+    r.finish()?;
+    Ok(Some(result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_protocol::SyncPolicy;
+    use dsm_sync::Primitive;
+
+    fn counter_job(faulty: bool) -> Job {
+        let mut mcfg = MachineConfig::with_nodes(4);
+        if faulty {
+            mcfg.faults = FaultConfig::light();
+        }
+        Job::counter(
+            mcfg,
+            CounterKind::LockFree,
+            BarSpec::new(SyncPolicy::Unc, Primitive::FetchPhi),
+            2,
+            1.5,
+            4,
+        )
+    }
+
+    fn lockfree_job() -> Job {
+        Job::lockfree(
+            MachineConfig::with_nodes(4),
+            LfStructure::Map,
+            LinkPrim::EmulLlsc,
+            SyncPolicy::Upd,
+            4,
+            16,
+            4,
+        )
+    }
+
+    fn app_job() -> Job {
+        Job::app(
+            App::TransitiveClosure,
+            BarSpec::new(SyncPolicy::Inv, Primitive::Cas),
+            Scale::quick(),
+        )
+    }
+
+    #[test]
+    fn job_encoding_round_trips_every_variant() {
+        for job in [
+            counter_job(false),
+            counter_job(true),
+            app_job(),
+            Job::table1(3),
+            lockfree_job(),
+        ] {
+            let bytes = encode_job(&job);
+            assert_eq!(decode_job(&bytes).unwrap(), job, "{job:?}");
+        }
+    }
+
+    #[test]
+    fn fault_config_distinguishes_entries() {
+        // The seed fingerprint deliberately omits faults; the disk
+        // encoding (and therefore the file name) must not.
+        let plain = counter_job(false);
+        let faulty = counter_job(true);
+        assert_eq!(plain.seed(), faulty.seed());
+        assert_ne!(encode_job(&plain), encode_job(&faulty));
+        assert_ne!(
+            file_name(&encode_job(&plain)),
+            file_name(&encode_job(&faulty))
+        );
+    }
+
+    #[test]
+    fn entry_decode_rejects_collisions_as_miss() {
+        let stored_for = counter_job(false);
+        let bytes = encode_entry(
+            &encode_job(&stored_for),
+            &Err(JobError {
+                job: "x".into(),
+                message: "deterministic failure".into(),
+                transient: false,
+            }),
+        );
+        // Same entry asked for by a different job: miss, not corruption.
+        assert!(decode_entry(&bytes, &lockfree_job()).unwrap().is_none());
+        // Asked for by the right job: the stored failure comes back.
+        let back = decode_entry(&bytes, &stored_for).unwrap().unwrap();
+        assert_eq!(back.unwrap_err().message, "deterministic failure");
+    }
+
+    #[test]
+    fn histogram_round_trips_through_entry() {
+        let mut contention = Histogram::new();
+        contention.record_n(1, 40);
+        contention.record_n(3, 7);
+        contention.record_n(9, 1);
+        let job = app_job();
+        let out = JobOutput::App(AppRun {
+            app: App::TransitiveClosure,
+            bar: BarSpec::new(SyncPolicy::Inv, Primitive::Cas),
+            cycles: 123_456,
+            contention: contention.clone(),
+            write_run: 1.25,
+        });
+        let bytes = encode_entry(&encode_job(&job), &Ok(out));
+        let back = decode_entry(&bytes, &job).unwrap().unwrap().unwrap();
+        let JobOutput::App(a) = back else {
+            panic!("expected app output");
+        };
+        assert_eq!(
+            a.contention.iter().collect::<Vec<_>>(),
+            contention.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(a.cycles, 123_456);
+        assert_eq!(a.write_run.to_bits(), 1.25f64.to_bits());
+    }
+
+    #[test]
+    fn store_and_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("dsm-diskcache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        with_cache_dir(Some(&dir), || {
+            let job = counter_job(false);
+            assert!(load(&job).is_none(), "cold store must miss");
+            let out = Ok(JobOutput::Counter(CounterPoint {
+                bar: BarSpec::new(SyncPolicy::Unc, Primitive::FetchPhi),
+                avg_cycles: 41.5,
+                updates: 16,
+                cycles: 664,
+            }));
+            store(&job, &out);
+            let back = load(&job).expect("warm store must hit");
+            let p = back.unwrap().into_counter();
+            assert_eq!(p.cycles, 664);
+            assert_eq!(p.avg_cycles.to_bits(), 41.5f64.to_bits());
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_failures_and_table1_are_never_persisted() {
+        let dir = std::env::temp_dir().join(format!("dsm-diskcache-tr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        with_cache_dir(Some(&dir), || {
+            store(
+                &counter_job(false),
+                &Err(JobError {
+                    job: "j".into(),
+                    message: "wall-clock budget exhausted".into(),
+                    transient: true,
+                }),
+            );
+            store(
+                &Job::table1(0),
+                &Ok(JobOutput::Table1(crate::experiments::table1::run_scenario(
+                    0,
+                ))),
+            );
+            assert!(
+                !dir.exists() || std::fs::read_dir(&dir).unwrap().next().is_none(),
+                "nothing may be written for transient failures or table-1 rows"
+            );
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_and_reads_as_miss() {
+        let dir = std::env::temp_dir().join(format!("dsm-diskcache-q-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        with_cache_dir(Some(&dir), || {
+            let job = counter_job(false);
+            let out = Ok(JobOutput::Counter(CounterPoint {
+                bar: BarSpec::new(SyncPolicy::Unc, Primitive::FetchPhi),
+                avg_cycles: 1.0,
+                updates: 1,
+                cycles: 1,
+            }));
+            store(&job, &out);
+            let path = dir.join(file_name(&encode_job(&job)));
+            // Flip one payload bit on disk.
+            let mut bytes = std::fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x10;
+            std::fs::write(&path, &bytes).unwrap();
+            assert!(load(&job).is_none(), "corrupt entry must read as a miss");
+            assert!(!path.exists(), "corrupt entry must be moved away");
+            assert!(
+                dir.join("quarantined").exists(),
+                "corrupt entry must be quarantined for diagnosis"
+            );
+            // The job can be stored and served again afterwards.
+            store(&job, &out);
+            assert!(load(&job).is_some());
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

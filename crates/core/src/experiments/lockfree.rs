@@ -15,7 +15,7 @@
 //! linearizability checking lives in `tests/linearizability.rs`; this
 //! module is the benchmark surface.
 
-use crate::experiments::runner::{self, Job, JobOutput};
+use crate::experiments::runner::{self, Job, JobOutput, PreparedRun, SimFailure};
 use crate::experiments::Scale;
 use dsm_protocol::{SyncConfig, SyncPolicy};
 use dsm_sim::{Cycle, MachineConfig};
@@ -141,16 +141,16 @@ pub fn render(tables: &[LockfreeTable]) -> String {
     out
 }
 
-/// Simulates one point from scratch. Only the [`runner`] calls this;
+/// Builds one point's machine without running it. Only the [`runner`]
+/// (and the checkpoint layer, through the runner) calls this;
 /// everything else goes through [`measure`]/[`run_tables`] so the
 /// cache and per-job seed derivation stay in effect.
 ///
-/// # Errors
-///
-/// Returns the run's failure diagnostic, a coherence-validation
-/// failure, or a structure-invariant violation.
+/// The finish stage reports the run's failure diagnostic, a
+/// coherence-validation failure, or a structure-invariant violation —
+/// all deterministic conditions.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn try_simulate(
+pub(crate) fn prepare(
     mcfg: MachineConfig,
     structure: LfStructure,
     prim: LinkPrim,
@@ -158,7 +158,7 @@ pub(crate) fn try_simulate(
     ops_per_proc: u32,
     key_space: u64,
     buckets: u32,
-) -> Result<LockfreePoint, String> {
+) -> PreparedRun {
     let label = format!("{} {} {}", structure.label(), prim, policy.label());
     let cfg = LfConfig {
         structure,
@@ -171,23 +171,29 @@ pub(crate) fn try_simulate(
         key_space,
         buckets,
     };
-    let (mut machine, run) = build_lockfree(mcfg, &cfg);
-    let report = machine
-        .run(Cycle::new(20_000_000_000))
-        .map_err(|e| format!("{label}: {e}"))?;
-    machine
-        .validate_coherence()
-        .map_err(|e| format!("{label}: coherence: {e}"))?;
-    check_invariants(&machine, &cfg, &run).map_err(|e| format!("{label}: invariant: {e}"))?;
-    let ops = run.history.borrow().len() as u64;
-    Ok(LockfreePoint {
-        structure,
-        prim,
-        policy,
-        ops,
-        cycles: report.cycles.as_u64(),
-        avg_cycles: report.cycles.as_u64() as f64 / ops as f64,
-    })
+    let (machine, run) = build_lockfree(mcfg, &cfg);
+    let err_label = label.clone();
+    PreparedRun {
+        label,
+        machine,
+        limit: Cycle::new(20_000_000_000),
+        finish: Box::new(move |machine, report| {
+            machine
+                .validate_coherence()
+                .map_err(|e| SimFailure::deterministic(format!("{err_label}: coherence: {e}")))?;
+            check_invariants(machine, &cfg, &run)
+                .map_err(|e| SimFailure::deterministic(format!("{err_label}: invariant: {e}")))?;
+            let ops = run.history.borrow().len() as u64;
+            Ok(JobOutput::Lockfree(LockfreePoint {
+                structure,
+                prim,
+                policy,
+                ops,
+                cycles: report.cycles.as_u64(),
+                avg_cycles: report.cycles.as_u64() as f64 / ops as f64,
+            }))
+        }),
+    }
 }
 
 #[cfg(test)]

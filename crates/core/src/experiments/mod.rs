@@ -16,8 +16,11 @@
 //! where the crossovers fall (see EXPERIMENTS.md).
 
 pub mod apps;
+pub mod checkpoint;
 pub mod counters;
+pub mod diskcache;
 pub mod lockfree;
+pub mod repro;
 pub mod runner;
 pub mod scaling;
 pub mod table1;

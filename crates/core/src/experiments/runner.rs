@@ -23,7 +23,18 @@
 //! * **Memoization** — results are cached for the lifetime of the
 //!   process, keyed by the same job key. Bars shared between Figures
 //!   3/4/5, Figure 6, Table 1, the scaling sweep and the integration
-//!   tests are simulated exactly once per process.
+//!   tests are simulated exactly once per process. With `DSM_CACHE_DIR`
+//!   set, results also persist across processes through the
+//!   corruption-tolerant on-disk store in [`super::diskcache`].
+//! * **Supervision** — failures carry a transient/deterministic
+//!   distinction: wall-clock timeouts ([`dsm_machine::RunError`]'s
+//!   `Timeout`, enabled by `DSM_WALL_LIMIT`) are retried with a bounded
+//!   deterministic backoff (`DSM_RETRIES`) and are never cached, while
+//!   deterministic failures (protocol errors, invariant violations,
+//!   lost updates) cache like successes. With `DSM_REPRO_DIR` set,
+//!   every deterministic failure also emits a failure dump and a
+//!   minimal replayable reproducer (see [`super::repro`]), referenced
+//!   from the error message.
 //!
 //! Progress counters (jobs queued/running/done, cache hits, simulated
 //! cycles) are kept in [`stats`] so long sweeps can report progress;
@@ -33,15 +44,19 @@ use crate::experiments::apps::{App, AppRun};
 use crate::experiments::counters::CounterPoint;
 use crate::experiments::lockfree::LockfreePoint;
 use crate::experiments::table1::Table1Row;
-use crate::experiments::{apps, counters, lockfree, table1, BarSpec, CounterKind, Scale};
+use crate::experiments::{
+    apps, counters, diskcache, lockfree, repro, table1, BarSpec, CounterKind, Scale,
+};
+use dsm_machine::{Machine, RunError, RunReport};
 use dsm_protocol::{CasVariant, LlscScheme, SyncPolicy};
-use dsm_sim::{MachineConfig, StableHasher};
+use dsm_sim::{Cycle, MachineConfig, StableHasher};
 use dsm_sync::{LinkPrim, Primitive};
 use dsm_workloads::LfStructure;
 use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
 
 /// One simulation point: everything needed to reproduce one machine
 /// run, and nothing else. `Eq`/`Hash` make it the cache key; its
@@ -381,18 +396,24 @@ impl JobOutput {
 /// run's own diagnostic (deadlock, livelock, protocol error, invariant
 /// violation, lost updates, ...).
 ///
-/// Failures are cached like successes, so a failing job is still
-/// simulated only once per process, and one bad job never aborts the
-/// worker pool — every sibling in the batch completes and reports its
-/// own `Result`.
+/// *Deterministic* failures are cached like successes, so a failing job
+/// is still simulated only once per process, and one bad job never
+/// aborts the worker pool — every sibling in the batch completes and
+/// reports its own `Result`. *Transient* failures (a host-side
+/// wall-clock budget) are retried and never cached, in memory or on
+/// disk: a slow host must not poison future runs with a stale verdict.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobError {
     /// A rendering of the failing job's key.
     pub job: String,
     /// The failure diagnostic, from the machine's
-    /// [`RunError`](dsm_machine::RunError) or the experiment's own
+    /// [`dsm_machine::RunError`] or the experiment's own
     /// final-state check.
     pub message: String,
+    /// True for host-side conditions (wall-clock budget exhausted) that
+    /// a retry on a less loaded host may clear; false for anything
+    /// reproducible from the job key alone.
+    pub transient: bool,
 }
 
 impl std::fmt::Display for JobError {
@@ -403,8 +424,64 @@ impl std::fmt::Display for JobError {
 
 impl std::error::Error for JobError {}
 
-/// Simulates one job from scratch (no cache involved).
-fn try_execute(job: &Job) -> Result<JobOutput, JobError> {
+/// A simulation failure before job attribution: the diagnostic text
+/// plus whether the condition is transient (host wall-clock budget,
+/// worth retrying) or deterministic (a property of the simulated
+/// machine, cacheable). The experiment modules produce these; the
+/// runner attributes them to a [`Job`] as [`JobError`]s.
+#[derive(Debug)]
+pub(crate) struct SimFailure {
+    /// The failure diagnostic.
+    pub message: String,
+    /// See [`JobError::transient`].
+    pub transient: bool,
+}
+
+impl SimFailure {
+    /// A deterministic failure: reproducible from the job key alone.
+    pub fn deterministic(message: String) -> Self {
+        SimFailure {
+            message,
+            transient: false,
+        }
+    }
+
+    /// Attributes a machine [`RunError`] to `label`, preserving its
+    /// transience (wall-clock timeouts retry; everything else caches).
+    pub fn from_run(label: &str, e: &RunError) -> Self {
+        SimFailure {
+            message: format!("{label}: {e}"),
+            transient: e.is_transient(),
+        }
+    }
+}
+
+/// The completion stage of a [`PreparedRun`]: final-state checks plus
+/// result assembly, consumed exactly once after the machine finishes.
+pub(crate) type FinishFn =
+    Box<dyn FnOnce(&mut Machine, RunReport) -> Result<JobOutput, SimFailure>>;
+
+/// A job's machine built and seeded but not yet run.
+///
+/// [`try_execute`] drives these straight to completion; the checkpoint
+/// layer drives them through [`Machine::run_until`] pauses instead.
+/// Building is a pure function of the job key, so two `PreparedRun`s
+/// for the same job hold bit-identical machines.
+pub(crate) struct PreparedRun {
+    /// Label used to attribute failure diagnostics (e.g. the bar name).
+    pub label: String,
+    /// The freshly built machine, seeded from the job key.
+    pub machine: Machine,
+    /// The run's simulated-cycle budget.
+    pub limit: Cycle,
+    /// Final-state checks plus result assembly.
+    pub finish: FinishFn,
+}
+
+/// Builds the machine for a job without running it. Returns `None` for
+/// [`Job::Table1`]: its directed micro-machines are driven by their own
+/// harness, complete in microseconds, and are never checkpointed.
+pub(crate) fn prepare(job: &Job) -> Option<PreparedRun> {
     match job {
         Job::Counter {
             mcfg,
@@ -416,27 +493,17 @@ fn try_execute(job: &Job) -> Result<JobOutput, JobError> {
         } => {
             let mut mcfg = mcfg.clone();
             mcfg.seed = job.seed();
-            counters::try_simulate(
+            Some(counters::prepare(
                 mcfg,
                 *kind,
                 bar,
                 *contention,
                 f64::from_bits(*write_run_bits),
                 *rounds,
-            )
-            .map(JobOutput::Counter)
-            .map_err(|message| JobError {
-                job: format!("{job:?}"),
-                message,
-            })
+            ))
         }
-        Job::App { app, bar, scale } => {
-            Ok(JobOutput::App(apps::simulate(*app, bar, scale, job.seed())))
-        }
-        // Table 1 micro-machines are fully directed (no randomized
-        // behaviour reaches the measured chain), so the derived seed is
-        // irrelevant to them.
-        Job::Table1 { scenario } => Ok(JobOutput::Table1(table1::run_scenario(*scenario))),
+        Job::App { app, bar, scale } => Some(apps::prepare(*app, bar, scale, job.seed())),
+        Job::Table1 { .. } => None,
         Job::Lockfree {
             mcfg,
             structure,
@@ -448,7 +515,7 @@ fn try_execute(job: &Job) -> Result<JobOutput, JobError> {
         } => {
             let mut mcfg = mcfg.clone();
             mcfg.seed = job.seed();
-            lockfree::try_simulate(
+            Some(lockfree::prepare(
                 mcfg,
                 *structure,
                 *prim,
@@ -456,21 +523,77 @@ fn try_execute(job: &Job) -> Result<JobOutput, JobError> {
                 *ops_per_proc,
                 *key_space,
                 *buckets,
-            )
-            .map(JobOutput::Lockfree)
-            .map_err(|message| JobError {
-                job: format!("{job:?}"),
-                message,
-            })
+            ))
         }
     }
 }
 
-type JobResult = Result<JobOutput, JobError>;
+/// Attributes a [`SimFailure`] to `job`, producing the reportable
+/// [`JobError`]. Shared by the runner, the checkpoint layer and the
+/// reproducer layer so failure rendering stays uniform.
+pub(crate) fn attribute(job: &Job, f: SimFailure) -> JobError {
+    JobError {
+        job: format!("{job:?}"),
+        message: f.message,
+        transient: f.transient,
+    }
+}
+
+/// Simulates one job from scratch (no cache involved). With a
+/// reproducer directory configured, a deterministic failure also emits
+/// a failure dump and a shrunk replayable reproducer, and the error
+/// message references both (see [`super::repro`]).
+fn try_execute(job: &Job, repro_dir: Option<&std::path::Path>) -> Result<JobOutput, JobError> {
+    let result = match prepare(job) {
+        Some(mut p) => {
+            let finish = p.finish;
+            let res = match p.machine.run(p.limit) {
+                Ok(report) => finish(&mut p.machine, report),
+                Err(e) => Err(SimFailure::from_run(&p.label, &e)),
+            };
+            match (res, repro_dir) {
+                (Err(f), Some(dir)) if !f.transient => Err(repro::emit(job, &p.machine, f, dir)),
+                (res, _) => res,
+            }
+        }
+        // Table 1 micro-machines are fully directed (no randomized
+        // behaviour reaches the measured chain), so the derived seed is
+        // irrelevant to them, and they never fail.
+        None => match job {
+            Job::Table1 { scenario } => Ok(JobOutput::Table1(table1::run_scenario(*scenario))),
+            other => unreachable!("prepare() only declines Table1 jobs, got {other:?}"),
+        },
+    };
+    result.map_err(|f| attribute(job, f))
+}
+
+/// The outcome of one job: its output or its own failure report.
+pub type JobResult = Result<JobOutput, JobError>;
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+///
+/// Every value the runner keeps under a mutex (the result cache, the
+/// fan-out result slots) is valid after any partial update — entries
+/// are inserted or replaced whole — so a poisoned lock carries no
+/// torn state. Propagating the poison instead would cascade one
+/// panicking job into failing every later, unrelated experiment in the
+/// process, which is exactly what a crash-safe pipeline must not do.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 fn cache() -> &'static Mutex<HashMap<Job, JobResult>> {
     static CACHE: OnceLock<Mutex<HashMap<Job, JobResult>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// True if a result may enter the caches (memory and disk): successes
+/// and deterministic failures, but never transient host conditions.
+fn cacheable(r: &JobResult) -> bool {
+    match r {
+        Ok(_) => true,
+        Err(e) => !e.transient,
+    }
 }
 
 static JOBS_QUEUED: AtomicU64 = AtomicU64::new(0);
@@ -478,6 +601,10 @@ static JOBS_RUNNING: AtomicU64 = AtomicU64::new(0);
 static JOBS_COMPLETED: AtomicU64 = AtomicU64::new(0);
 static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static CYCLES_SIMULATED: AtomicU64 = AtomicU64::new(0);
+static RETRIES: AtomicU64 = AtomicU64::new(0);
+pub(crate) static DISK_HITS: AtomicU64 = AtomicU64::new(0);
+pub(crate) static DISK_STORES: AtomicU64 = AtomicU64::new(0);
+pub(crate) static DISK_QUARANTINED: AtomicU64 = AtomicU64::new(0);
 
 /// A snapshot of the runner's lifetime progress counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -492,6 +619,14 @@ pub struct RunnerStats {
     pub cache_hits: u64,
     /// Total simulated machine cycles across all completed jobs.
     pub cycles_simulated: u64,
+    /// Transient-failure retries attempted.
+    pub retries: u64,
+    /// Jobs served from the persistent disk cache.
+    pub disk_hits: u64,
+    /// Results persisted to the disk cache.
+    pub disk_stores: u64,
+    /// Corrupt disk-cache entries quarantined (and re-simulated).
+    pub disk_quarantined: u64,
 }
 
 /// Reads the current progress counters.
@@ -502,18 +637,24 @@ pub fn stats() -> RunnerStats {
         completed: JOBS_COMPLETED.load(Ordering::Relaxed),
         cache_hits: CACHE_HITS.load(Ordering::Relaxed),
         cycles_simulated: CYCLES_SIMULATED.load(Ordering::Relaxed),
+        retries: RETRIES.load(Ordering::Relaxed),
+        disk_hits: DISK_HITS.load(Ordering::Relaxed),
+        disk_stores: DISK_STORES.load(Ordering::Relaxed),
+        disk_quarantined: DISK_QUARANTINED.load(Ordering::Relaxed),
     }
 }
 
-/// Empties the result cache (results are re-simulated on next request).
-/// Intended for tests and serial-vs-parallel timing comparisons; the
-/// progress counters are *not* reset.
+/// Empties the in-memory result cache (results are re-simulated, or
+/// re-read from the disk cache, on next request). Intended for tests
+/// and serial-vs-parallel timing comparisons; the progress counters are
+/// *not* reset.
 pub fn clear_cache() {
-    cache().lock().expect("runner cache lock").clear();
+    lock_recover(cache()).clear();
 }
 
 thread_local! {
     static WORKER_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    static RETRY_OVERRIDE: Cell<Option<u32>> = const { Cell::new(None) };
 }
 
 /// The worker count [`run_all`] will use on this thread: the
@@ -544,6 +685,62 @@ pub fn with_workers<R>(n: usize, f: impl FnOnce() -> R) -> R {
     }
     let _restore = Restore(WORKER_OVERRIDE.with(|c| c.replace(Some(n))));
     f()
+}
+
+/// The transient-failure retry budget: the [`with_retries`] override if
+/// active, else `DSM_RETRIES` from the environment, else 2. A budget of
+/// `n` means a transiently failing job is attempted at most `1 + n`
+/// times before its failure is reported (uncached).
+pub fn retry_budget() -> u32 {
+    if let Some(n) = RETRY_OVERRIDE.with(Cell::get) {
+        return n;
+    }
+    std::env::var("DSM_RETRIES")
+        .ok()
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .unwrap_or(2)
+}
+
+/// Runs `f` with the transient-retry budget pinned to `n` on this
+/// thread, restoring the previous setting afterwards (also on panic).
+/// Like [`with_workers`], the override is thread-local: combine it with
+/// `with_workers(1, ..)` so jobs execute on the calling thread.
+pub fn with_retries<R>(n: u32, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<u32>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            RETRY_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(RETRY_OVERRIDE.with(|c| c.replace(Some(n))));
+    f()
+}
+
+/// The deterministic backoff schedule: 25 ms doubling per attempt,
+/// capped at ~1.6 s. A pure function of the attempt number — no
+/// randomness — so supervised runs remain reproducible in wall-clock
+/// shape as well as in results.
+fn backoff_delay(attempt: u32) -> Duration {
+    const BASE_MS: u64 = 25;
+    Duration::from_millis(BASE_MS << attempt.saturating_sub(1).min(6))
+}
+
+/// Runs `run`, retrying transient failures up to `budget` times with
+/// [`backoff_delay`] between attempts. Deterministic failures and
+/// successes return immediately.
+fn retry_transient(budget: u32, mut run: impl FnMut() -> JobResult) -> JobResult {
+    let mut out = run();
+    for attempt in 1..=budget {
+        match &out {
+            Err(e) if e.transient => {
+                RETRIES.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff_delay(attempt));
+                out = run();
+            }
+            _ => break,
+        }
+    }
+    out
 }
 
 /// Maps `f` over `items` on a scoped worker pool, preserving input
@@ -594,7 +791,7 @@ where
                 let guard = AbortOnPanic(&abort);
                 let out = f(&items[i]);
                 std::mem::forget(guard);
-                *slots[i].lock().expect("result slot lock") = Some(out);
+                *lock_recover(&slots[i]) = Some(out);
             });
         }
         // A panicking worker makes scope() itself resume the panic here.
@@ -603,15 +800,19 @@ where
         .into_iter()
         .map(|m| {
             m.into_inner()
-                .expect("slot lock")
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("every item completed")
         })
         .collect()
 }
 
-fn try_execute_counted(job: &Job) -> JobResult {
+fn try_execute_counted(
+    job: &Job,
+    retry_budget: u32,
+    repro_dir: Option<&std::path::Path>,
+) -> JobResult {
     JOBS_RUNNING.fetch_add(1, Ordering::Relaxed);
-    let out = try_execute(job);
+    let out = retry_transient(retry_budget, || try_execute(job, repro_dir));
     JOBS_RUNNING.fetch_sub(1, Ordering::Relaxed);
     JOBS_COMPLETED.fetch_add(1, Ordering::Relaxed);
     if let Ok(out) = &out {
@@ -627,20 +828,24 @@ fn try_execute_counted(job: &Job) -> JobResult {
     out
 }
 
-/// Runs a batch of jobs — cache first, then parallel fan-out for the
-/// misses — and returns each job's own `Result` in input order.
+/// Runs a batch of jobs — memory cache first, then the persistent disk
+/// cache, then parallel fan-out for the remaining misses — and returns
+/// each job's own `Result` in input order.
 ///
 /// Duplicate jobs in the batch (and jobs already simulated earlier in
 /// the process) are simulated only once. The output for a given job
 /// list is a pure function of that list: bitwise identical at any
-/// worker count. A failing job (deadlock, livelock, protocol error,
-/// invariant violation, lost updates — typically under fault injection)
-/// reports a [`JobError`] in its slot without aborting its siblings.
+/// worker count, and whether a result came from a simulation, the
+/// memory cache or the disk cache. A failing job (deadlock, livelock,
+/// protocol error, invariant violation, lost updates — typically under
+/// fault injection) reports a [`JobError`] in its slot without aborting
+/// its siblings; transient failures (wall-clock budget) are retried and
+/// never cached.
 pub fn try_run_all(jobs: &[Job]) -> Vec<JobResult> {
     // Partition into hits and (deduplicated, order-preserving) misses.
     let mut misses: Vec<Job> = Vec::new();
     {
-        let cached = cache().lock().expect("runner cache lock");
+        let cached = lock_recover(cache());
         let mut seen: HashSet<&Job> = HashSet::new();
         for job in jobs {
             if cached.contains_key(job) {
@@ -651,18 +856,54 @@ pub fn try_run_all(jobs: &[Job]) -> Vec<JobResult> {
         }
     }
 
-    if !misses.is_empty() {
-        JOBS_QUEUED.fetch_add(misses.len() as u64, Ordering::Relaxed);
-        let outputs = fan_out(&misses, workers(), try_execute_counted);
-        let mut cached = cache().lock().expect("runner cache lock");
-        for (job, out) in misses.into_iter().zip(outputs) {
-            cached.insert(job, out);
+    // Probe the persistent store for the misses. Disk I/O stays on the
+    // calling thread: entries are read before the fan-out and written
+    // after it, so workers never contend on the filesystem and the
+    // thread-local test overrides (cache dir, retry budget) apply.
+    let mut fresh: HashMap<Job, JobResult> = HashMap::new();
+    let mut to_run: Vec<Job> = Vec::new();
+    for job in misses {
+        match diskcache::load(&job) {
+            Some(result) => {
+                fresh.insert(job, result);
+            }
+            None => to_run.push(job),
         }
     }
 
-    let cached = cache().lock().expect("runner cache lock");
+    if !to_run.is_empty() {
+        JOBS_QUEUED.fetch_add(to_run.len() as u64, Ordering::Relaxed);
+        let budget = retry_budget();
+        let repro_dir = repro::dir();
+        let outputs = fan_out(&to_run, workers(), |job| {
+            try_execute_counted(job, budget, repro_dir.as_deref())
+        });
+        for (job, out) in to_run.into_iter().zip(outputs) {
+            diskcache::store(&job, &out);
+            fresh.insert(job, out);
+        }
+    }
+
+    // Publish cacheable fresh results (simulated or disk-loaded) to the
+    // process-wide memory cache; transient failures stay out of it.
+    {
+        let mut cached = lock_recover(cache());
+        for (job, out) in &fresh {
+            if cacheable(out) {
+                cached.insert(job.clone(), out.clone());
+            }
+        }
+    }
+
+    let cached = lock_recover(cache());
     jobs.iter()
-        .map(|job| cached.get(job).expect("job simulated").clone())
+        .map(|job| {
+            fresh
+                .get(job)
+                .or_else(|| cached.get(job))
+                .expect("job simulated")
+                .clone()
+        })
         .collect()
 }
 
@@ -750,8 +991,16 @@ mod tests {
         assert_eq!(workers(), outer);
     }
 
+    /// Serializes the tests that clear or poison the process-global
+    /// cache, so they do not invalidate each other's entries mid-test.
+    fn cache_test_guard() -> MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        lock_recover(&GUARD)
+    }
+
     #[test]
     fn run_one_hits_cache_on_second_request() {
+        let _serial = cache_test_guard();
         let job = tiny_counter_job(2);
         clear_cache();
         let first = run_one(&job).into_counter();
@@ -760,5 +1009,129 @@ mod tests {
         assert_eq!(stats().cache_hits, hits_before + 1);
         assert_eq!(first.avg_cycles.to_bits(), second.avg_cycles.to_bits());
         assert_eq!(first.cycles, second.cycles);
+    }
+
+    /// Regression test for the poisoned-mutex cascade: a panic while
+    /// holding the cache lock used to poison it, turning every later
+    /// (unrelated) experiment in the process into a panic of its own.
+    /// The runner now recovers the guard and keeps serving.
+    #[test]
+    fn poisoned_cache_lock_recovers() {
+        let _serial = cache_test_guard();
+        let poison = std::panic::catch_unwind(|| {
+            let _guard = lock_recover(cache());
+            panic!("deliberate panic while holding the runner cache lock");
+        });
+        assert!(poison.is_err(), "the poisoning panic must have fired");
+        // Every cache-touching path still works.
+        clear_cache();
+        let p = run_one(&tiny_counter_job(2)).into_counter();
+        assert!(p.cycles > 0);
+        let again = run_one(&tiny_counter_job(2)).into_counter();
+        assert_eq!(p.cycles, again.cycles);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        assert_eq!(backoff_delay(1), Duration::from_millis(25));
+        assert_eq!(backoff_delay(2), Duration::from_millis(50));
+        assert_eq!(backoff_delay(3), Duration::from_millis(100));
+        // The cap: attempts beyond 7 stop doubling.
+        assert_eq!(backoff_delay(7), backoff_delay(100));
+        assert_eq!(backoff_delay(100), Duration::from_millis(25 << 6));
+    }
+
+    fn transient_error() -> JobError {
+        JobError {
+            job: "test".into(),
+            message: "wall-clock budget exhausted".into(),
+            transient: true,
+        }
+    }
+
+    #[test]
+    fn transient_failures_retry_up_to_budget() {
+        let calls = Cell::new(0u32);
+        let out = retry_transient(3, || {
+            calls.set(calls.get() + 1);
+            Err(transient_error())
+        });
+        assert_eq!(calls.get(), 4, "1 attempt + 3 retries");
+        assert!(out.unwrap_err().transient);
+    }
+
+    #[test]
+    fn transient_failure_clearing_mid_retry_succeeds() {
+        let calls = Cell::new(0u32);
+        let out = retry_transient(3, || {
+            calls.set(calls.get() + 1);
+            if calls.get() < 2 {
+                Err(transient_error())
+            } else {
+                Ok(JobOutput::Table1(table1::run_scenario(0)))
+            }
+        });
+        assert_eq!(calls.get(), 2, "success stops the retry loop");
+        assert!(out.is_ok());
+    }
+
+    #[test]
+    fn deterministic_failures_never_retry() {
+        let calls = Cell::new(0u32);
+        let out = retry_transient(5, || {
+            calls.set(calls.get() + 1);
+            Err(JobError {
+                job: "test".into(),
+                message: "invariant violation".into(),
+                transient: false,
+            })
+        });
+        assert_eq!(calls.get(), 1, "deterministic failures are final");
+        assert!(!out.unwrap_err().transient);
+    }
+
+    #[test]
+    fn with_retries_overrides_and_restores() {
+        let outer = retry_budget();
+        with_retries(7, || assert_eq!(retry_budget(), 7));
+        assert_eq!(retry_budget(), outer);
+    }
+
+    #[test]
+    fn transient_failures_are_not_cached() {
+        let job = tiny_counter_job(2);
+        let transient: JobResult = Err(transient_error());
+        let ok_result: JobResult = Ok(JobOutput::Table1(table1::run_scenario(0)));
+        assert!(!cacheable(&transient));
+        assert!(cacheable(&ok_result));
+        assert!(cacheable(&Err(JobError {
+            job: format!("{job:?}"),
+            message: "livelock".into(),
+            transient: false,
+        })));
+    }
+
+    /// The runner round-trips results through the persistent store: a
+    /// second process (simulated here by clearing the memory cache)
+    /// serves the job from disk, byte-identically, without simulating.
+    #[test]
+    fn disk_cache_serves_after_memory_cache_clears() {
+        let _serial = cache_test_guard();
+        let dir = std::env::temp_dir().join(format!("dsm-runner-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        diskcache::with_cache_dir(Some(&dir), || {
+            let job = tiny_counter_job(3);
+            clear_cache();
+            let first = run_one(&job).into_counter();
+            assert!(stats().disk_stores > 0, "result must have been persisted");
+            clear_cache(); // "new process": memory cache gone, disk remains
+            let hits_before = stats().disk_hits;
+            let second = run_one(&job).into_counter();
+            assert!(stats().disk_hits > hits_before, "must be a disk hit");
+            assert_eq!(first.avg_cycles.to_bits(), second.avg_cycles.to_bits());
+            assert_eq!(first.cycles, second.cycles);
+            assert_eq!(first.updates, second.updates);
+        });
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -42,7 +42,9 @@ pub mod program;
 pub mod stats;
 pub mod trace;
 
-pub use machine::{Machine, MachineBuilder, ProcDump, RunError, RunReport};
+pub use machine::{
+    with_fault_config, Machine, MachineBuilder, ProcDump, RunError, RunOutcome, RunReport, StopRule,
+};
 pub use program::{Action, ProcCtx, Program};
 pub use stats::MachineStats;
 pub use trace::{new_trace, TraceRecorder, TraceReplay};

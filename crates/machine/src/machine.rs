@@ -10,12 +10,13 @@ use dsm_protocol::{
     SyncConfig, Value,
 };
 use dsm_sim::{
-    Addr, Cycle, EventQueue, FaultConfig, FaultEvent, FaultInjector, LineAddr, MachineConfig,
-    NodeId, ProcId, SimRng,
+    Addr, Cycle, EventQueue, FaultConfig, FaultEvent, FaultFilter, FaultInjector, FaultRecord,
+    LineAddr, MachineConfig, NodeId, ProcId, SimRng, StableHasher,
 };
 use dsm_trace::{Category, StateLabel, TraceSpec, Tracer};
 use std::fmt;
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 /// Converts a directory state into the label-shaped form trace events
 /// carry (`dsm-trace` does not depend on the protocol crate).
@@ -122,6 +123,31 @@ pub enum RunError {
         /// The first violation found.
         violation: InvariantViolation,
     },
+    /// The host wall-clock budget for this run elapsed before the
+    /// simulation finished. Unlike every other variant this is a
+    /// *transient* host condition, not a property of the simulated
+    /// machine: rerunning the same job on a less loaded host may well
+    /// succeed, so supervisors retry it and never cache it.
+    Timeout {
+        /// Simulated time when the budget check fired.
+        at: Cycle,
+        /// Host milliseconds actually spent.
+        elapsed_ms: u64,
+        /// The wall-clock budget that was exhausted, in milliseconds.
+        limit_ms: u64,
+    },
+}
+
+impl RunError {
+    /// `true` for failures caused by the *host* (wall-clock timeouts)
+    /// rather than by the simulated machine. Transient failures are
+    /// worth retrying and must never be cached or treated as evidence
+    /// of a protocol bug; deterministic failures (deadlock, livelock,
+    /// protocol errors, invariant violations, cycle limits) reproduce
+    /// under replay and are legitimate cache entries and shrink targets.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RunError::Timeout { .. })
+    }
 }
 
 impl fmt::Display for RunError {
@@ -155,6 +181,15 @@ impl fmt::Display for RunError {
             }
             RunError::Protocol { at, error } => write!(f, "at {at}: {error}"),
             RunError::Invariant { at, violation } => write!(f, "at {at}: {violation}"),
+            RunError::Timeout {
+                at,
+                elapsed_ms,
+                limit_ms,
+            } => write!(
+                f,
+                "wall-clock budget exhausted at {at}: {elapsed_ms}ms spent, limit {limit_ms}ms \
+                 (transient host condition — retry)"
+            ),
         }
     }
 }
@@ -168,6 +203,43 @@ pub struct RunReport {
     pub cycles: Cycle,
     /// Total discrete events processed.
     pub events: u64,
+}
+
+/// Where [`Machine::run_until`] should pause, if anywhere.
+///
+/// Pauses happen on event boundaries: the rule is checked after each
+/// dispatched event, so a paused machine holds a state that an
+/// uninterrupted run passes through exactly. That makes
+/// [`StopRule::AfterEvents`] the replay coordinate of the checkpoint
+/// system — rebuilding the same machine and pausing after the same
+/// event count reproduces the paused state bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopRule {
+    /// Never pause (equivalent to [`Machine::run`]).
+    None,
+    /// Pause after the first event dispatched at or beyond this time.
+    PauseAt(Cycle),
+    /// Pause once this many events (counted from machine construction)
+    /// have been dispatched.
+    AfterEvents(u64),
+}
+
+/// What [`Machine::run_until`] returned: a finished run or a pause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every processor terminated and the machine is quiescent.
+    Done(RunReport),
+    /// The stop rule fired; call [`Machine::run_until`] again to resume.
+    Paused(RunReport),
+}
+
+impl RunOutcome {
+    /// The report, whether the run finished or paused.
+    pub fn report(&self) -> RunReport {
+        match *self {
+            RunOutcome::Done(r) | RunOutcome::Paused(r) => r,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -238,6 +310,30 @@ pub struct MachineBuilder {
     trace: Option<TraceSpec>,
 }
 
+thread_local! {
+    static FAULT_OVERRIDE: std::cell::RefCell<Option<FaultConfig>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with every machine built on this thread using exactly
+/// `faults` — overriding both the configuration's own fault settings
+/// and the `DSM_FAULTS`/`DSM_PARANOID` environment. The previous
+/// override (if any) is restored afterwards, also on panic.
+///
+/// Reproducer replay uses this to pin the exact fault settings of the
+/// original failing run without mutating the process environment, which
+/// would race with concurrently building machines on other threads.
+pub fn with_fault_config<R>(faults: FaultConfig, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<FaultConfig>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FAULT_OVERRIDE.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let _restore = Restore(FAULT_OVERRIDE.with(|c| c.borrow_mut().replace(faults)));
+    f()
+}
+
 impl MachineBuilder {
     /// Starts building a machine with the given configuration.
     pub fn new(cfg: MachineConfig) -> Self {
@@ -294,7 +390,9 @@ impl MachineBuilder {
     /// [`FaultConfig::from_spec`] string) and `DSM_PARANOID=1` are
     /// honored as overrides, so a whole test suite can be run under
     /// fault injection or paranoid invariant checking without code
-    /// changes. An explicit [`MachineConfig::faults`] always wins.
+    /// changes. An explicit [`MachineConfig::faults`] always wins, and
+    /// a [`with_fault_config`] override on the building thread wins
+    /// over both (reproducer replay relies on this).
     /// Likewise, when no trace spec was set with
     /// [`with_trace`](MachineBuilder::with_trace), `DSM_TRACE` (a
     /// [`TraceSpec::from_spec`] string) enables tracing.
@@ -303,7 +401,7 @@ impl MachineBuilder {
     ///
     /// Panics if the number of programs does not equal the number of
     /// nodes, or if `DSM_FAULTS` / `DSM_TRACE` holds a malformed spec.
-    pub fn build(self) -> Machine {
+    pub fn build(mut self) -> Machine {
         assert_eq!(
             self.programs.len(),
             self.cfg.nodes as usize,
@@ -312,7 +410,9 @@ impl MachineBuilder {
             self.cfg.nodes
         );
         let mut faults = self.cfg.faults.clone();
-        if !faults.is_active() {
+        if let Some(pinned) = FAULT_OVERRIDE.with(|c| c.borrow().clone()) {
+            faults = pinned;
+        } else if !faults.is_active() {
             if let Ok(spec) = std::env::var("DSM_FAULTS") {
                 faults = FaultConfig::from_spec(&spec)
                     .unwrap_or_else(|e| panic!("invalid DSM_FAULTS spec: {e}"));
@@ -321,6 +421,10 @@ impl MachineBuilder {
                 faults.paranoid = true;
             }
         }
+        // Record the *effective* fault settings on the machine, so the
+        // supervision layer can capture them into reproducer artifacts
+        // regardless of where they came from.
+        self.cfg.faults = faults.clone();
         let trace_spec = self.trace.or_else(|| {
             std::env::var("DSM_TRACE").ok().map(|spec| {
                 TraceSpec::from_spec(&spec)
@@ -384,6 +488,13 @@ impl MachineBuilder {
             last_retire: Cycle::ZERO,
             injected_evictions: 0,
             injected_wipes: 0,
+            injected_corruptions: 0,
+            wall_limit: std::env::var("DSM_WALL_LIMIT")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&ms| ms > 0)
+                .map(Duration::from_millis),
+            paused: false,
             outbox: Outbox::new(),
             msg_pool: Vec::new(),
             outcome_pool: Vec::new(),
@@ -440,6 +551,13 @@ pub struct Machine {
     injected_evictions: u64,
     /// Reservation wipes forced by the fault injector.
     injected_wipes: u64,
+    /// Shared-to-exclusive corruptions forced by the fault injector.
+    injected_corruptions: u64,
+    /// Wall-clock budget per `run`/`run_until` call, if any.
+    wall_limit: Option<Duration>,
+    /// `true` between a stop-rule pause and the resuming call, so the
+    /// resume does not reset watchdog bookkeeping.
+    paused: bool,
     /// Reusable outbox: protocol handlers fill it, [`route`](Machine::route)
     /// drains it in place, and the backing vector's capacity survives
     /// from event to event instead of being reallocated per dispatch.
@@ -514,19 +632,74 @@ impl Machine {
     /// state, or [`RunError::Invariant`] if paranoid checking found a
     /// violated invariant.
     pub fn run(&mut self, limit: Cycle) -> Result<RunReport, RunError> {
-        let result = self.run_inner(limit);
+        match self.run_until(limit, StopRule::None)? {
+            RunOutcome::Done(report) => Ok(report),
+            RunOutcome::Paused(_) => unreachable!("StopRule::None never pauses"),
+        }
+    }
+
+    /// Like [`run`](Machine::run), but pauses when `stop` fires (see
+    /// [`StopRule`]); call again to resume. Because pauses land on event
+    /// boundaries, a paused machine's [`state_digest`](Machine::state_digest)
+    /// equals the digest an uninterrupted run has at the same event
+    /// count — the property the checkpoint/restore layer verifies.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`run`](Machine::run), plus
+    /// [`RunError::Timeout`] when a wall-clock budget
+    /// ([`set_wall_limit`](Machine::set_wall_limit) or `DSM_WALL_LIMIT`)
+    /// elapses before the run finishes or pauses.
+    pub fn run_until(&mut self, limit: Cycle, stop: StopRule) -> Result<RunOutcome, RunError> {
+        let result = self.run_inner(limit, stop);
         // Traces are most valuable when a run fails (deadlock, protocol
         // error), so flush on the error path too. A trace I/O failure
         // must not masquerade as a simulation failure; report and move
         // on.
-        if let Err(e) = self.flush_trace() {
-            eprintln!("warning: failed to write trace output: {e}");
+        if !matches!(result, Ok(RunOutcome::Paused(_))) {
+            if let Err(e) = self.flush_trace() {
+                eprintln!("warning: failed to write trace output: {e}");
+            }
         }
         result
     }
 
-    fn run_inner(&mut self, limit: Cycle) -> Result<RunReport, RunError> {
-        self.last_retire = self.now;
+    /// `true` if `stop` fires at the current event count / time.
+    fn should_pause(&self, stop: StopRule) -> bool {
+        match stop {
+            StopRule::None => false,
+            StopRule::PauseAt(cycle) => self.now >= cycle,
+            StopRule::AfterEvents(n) => self.events_processed >= n,
+        }
+    }
+
+    /// Checks the wall-clock budget (every `WALL_CHECK_MASK + 1` events,
+    /// so the `Instant::now` syscall stays off the hot path).
+    fn check_wall(&self, started: Instant) -> Result<(), RunError> {
+        const WALL_CHECK_MASK: u64 = 8191;
+        let Some(budget) = self.wall_limit else {
+            return Ok(());
+        };
+        if self.events_processed & WALL_CHECK_MASK != 0 {
+            return Ok(());
+        }
+        let elapsed = started.elapsed();
+        if elapsed > budget {
+            return Err(RunError::Timeout {
+                at: self.now,
+                elapsed_ms: elapsed.as_millis() as u64,
+                limit_ms: budget.as_millis() as u64,
+            });
+        }
+        Ok(())
+    }
+
+    fn run_inner(&mut self, limit: Cycle, stop: StopRule) -> Result<RunOutcome, RunError> {
+        let started = Instant::now();
+        if !self.paused {
+            self.last_retire = self.now;
+        }
+        self.paused = false;
         while self.active > 0 {
             let Some((at, event)) = self.events.pop() else {
                 return Err(RunError::Deadlock {
@@ -546,7 +719,15 @@ impl Machine {
             self.events_processed += 1;
             self.poll_faults();
             self.check_watchdog()?;
+            self.check_wall(started)?;
             self.dispatch(event)?;
+            if self.should_pause(stop) {
+                self.paused = true;
+                return Ok(RunOutcome::Paused(RunReport {
+                    cycles: self.now,
+                    events: self.events_processed,
+                }));
+            }
         }
         let finished = self.now;
         // Drain in-flight traffic (e.g. final write-backs) so the
@@ -558,15 +739,31 @@ impl Machine {
             }
             self.now = at;
             self.events_processed += 1;
+            self.check_wall(started)?;
             self.dispatch(event)?;
+            if self.should_pause(stop) {
+                self.paused = true;
+                return Ok(RunOutcome::Paused(RunReport {
+                    cycles: self.now,
+                    events: self.events_processed,
+                }));
+            }
         }
         if self.paranoid {
             self.quiescence_check(finished)?;
         }
-        Ok(RunReport {
+        Ok(RunOutcome::Done(RunReport {
             cycles: finished,
             events: self.events_processed,
-        })
+        }))
+    }
+
+    /// Sets (or clears) the wall-clock budget applied to each
+    /// [`run`](Machine::run) / [`run_until`](Machine::run_until) call,
+    /// overriding the `DSM_WALL_LIMIT` environment variable read at
+    /// build time.
+    pub fn set_wall_limit(&mut self, limit: Option<Duration>) {
+        self.wall_limit = limit;
     }
 
     /// Applies the window faults due at the current time, if any.
@@ -591,6 +788,21 @@ impl Machine {
                     if let Some(tracer) = &mut self.tracer {
                         if tracer.wants(Category::Resv) {
                             tracer.reservation(self.now, node, "wipe");
+                        }
+                    }
+                }
+                FaultEvent::CorruptLine { node } => {
+                    // Promote the first shared resident line (stable
+                    // iteration order, so replays corrupt the same
+                    // line). A cache with no shared line absorbs the
+                    // fault silently.
+                    let victim = self.caches[node.index()]
+                        .cached_lines()
+                        .find(|(_, s)| *s == CacheState::Shared)
+                        .map(|(l, _)| l);
+                    if let Some(line) = victim {
+                        if self.caches[node.index()].corrupt_promote_shared(line) {
+                            self.injected_corruptions += 1;
                         }
                     }
                 }
@@ -690,9 +902,148 @@ impl Machine {
     }
 
     /// How many faults the injector has applied so far, as
-    /// `(forced evictions, reservation wipes)`.
-    pub fn injected_faults(&self) -> (u64, u64) {
-        (self.injected_evictions, self.injected_wipes)
+    /// `(forced evictions, reservation wipes, forced corruptions)`.
+    pub fn injected_faults(&self) -> (u64, u64, u64) {
+        (
+            self.injected_evictions,
+            self.injected_wipes,
+            self.injected_corruptions,
+        )
+    }
+
+    /// The fault schedule applied so far (`None` when faults are off) —
+    /// the raw material of reproducer shrinking.
+    pub fn fault_record(&self) -> Option<&FaultRecord> {
+        self.injector.as_ref().map(FaultInjector::record)
+    }
+
+    /// The *effective* fault configuration this machine was built with:
+    /// the explicit [`MachineConfig::faults`], a [`with_fault_config`]
+    /// override, or the `DSM_FAULTS`/`DSM_PARANOID` environment —
+    /// whichever won at build time. Reproducer artifacts capture this
+    /// so a replay pins identical fault behaviour.
+    pub fn fault_config(&self) -> &FaultConfig {
+        &self.cfg.faults
+    }
+
+    /// Installs (or clears) a candidate-index allow list on the fault
+    /// injector, restricting which drawn faults are *applied* without
+    /// changing the RNG draw sequence. No-op when faults are off.
+    /// Install before running — mid-run installation is sound (queries
+    /// are monotone) but makes the run depend on when the call happened.
+    pub fn set_fault_filter(&mut self, filter: Option<FaultFilter>) {
+        if let Some(inj) = &mut self.injector {
+            inj.set_filter(filter);
+        }
+    }
+
+    /// Total events dispatched since construction — the replay
+    /// coordinate used by checkpoints (see [`StopRule::AfterEvents`]).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// A digest of the machine's complete dynamic state: simulated
+    /// time, the pending event queue, network ports, every cache, home
+    /// directory and memory line, LL/SC reservations, per-processor
+    /// progress and RNG streams, server availability, statistics, and
+    /// fault-injector position.
+    ///
+    /// Two machines built from the same configuration that have
+    /// dispatched the same event sequence produce equal digests; any
+    /// divergence in simulated state changes the digest. This is the
+    /// verification primitive of checkpoint/restore: a restored run
+    /// proves it reoccupied the checkpointed state by digest equality
+    /// before resuming. Diagnostic-only state (tracers, recycling
+    /// pools) is excluded — it cannot influence simulation results.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u64(self.now.as_u64());
+        h.write_u64(self.events_processed);
+        h.write_usize(self.active);
+        self.events.digest_with(&mut h, |event, h| match event {
+            Event::Deliver(m) => {
+                h.write_u8(0);
+                m.digest(h);
+            }
+            Event::Process(m) => {
+                h.write_u8(1);
+                m.digest(h);
+            }
+            Event::ProcStep(p) => {
+                h.write_u8(2);
+                h.write_u32(p.as_u32());
+            }
+            Event::OpDone(p, o) => {
+                h.write_u8(3);
+                h.write_u32(p.as_u32());
+                o.digest(h);
+            }
+        });
+        self.net.digest(&mut h);
+        h.write_usize(self.homes.len());
+        for home in &self.homes {
+            home.digest(&mut h);
+        }
+        for cache in &self.caches {
+            cache.digest(&mut h);
+        }
+        for proc in &self.procs {
+            for w in proc.rng.state() {
+                h.write_u64(w);
+            }
+            h.write_u8(proc.done as u8);
+            h.write_u8(proc.blocked as u8);
+            match proc.waiting_barrier {
+                Some(b) => {
+                    h.write_u8(1);
+                    h.write_u32(b);
+                }
+                None => h.write_u8(0),
+            }
+            match &proc.last {
+                Some(r) => {
+                    h.write_u8(1);
+                    r.digest(&mut h);
+                }
+                None => h.write_u8(0),
+            }
+            match proc.last_chain {
+                Some(c) => {
+                    h.write_u8(1);
+                    h.write_u32(c);
+                }
+                None => h.write_u8(0),
+            }
+            match &proc.current {
+                Some((op, at, sync)) => {
+                    h.write_u8(1);
+                    op.digest(&mut h);
+                    h.write_u64(at.as_u64());
+                    h.write_u8(*sync as u8);
+                }
+                None => h.write_u8(0),
+            }
+        }
+        for c in &self.mem_busy {
+            h.write_u64(c.as_u64());
+        }
+        for c in &self.cache_busy {
+            h.write_u64(c.as_u64());
+        }
+        self.stats.digest(&mut h);
+        h.write_u64(self.last_retire.as_u64());
+        h.write_u64(self.injected_evictions);
+        h.write_u64(self.injected_wipes);
+        h.write_u64(self.injected_corruptions);
+        match &self.injector {
+            Some(inj) => {
+                h.write_u8(1);
+                inj.digest(&mut h);
+            }
+            None => h.write_u8(0),
+        }
+        h.finish()
     }
 
     /// Runs the per-transition invariant checker over the whole machine
@@ -809,7 +1160,7 @@ impl Machine {
             let flits = msg.flits(&self.cfg.params);
             let deliver_at = match &mut self.injector {
                 Some(inj) => {
-                    let extra = inj.jitter();
+                    let extra = inj.jitter(self.now.as_u64());
                     self.net
                         .send_jittered(self.now, msg.src, msg.dst, flits, extra)
                 }

@@ -47,6 +47,19 @@ impl MachineStats {
             self.local_ops as f64 / self.ops as f64
         }
     }
+
+    /// Folds every measurement into a checkpoint digest.
+    pub fn digest(&self, h: &mut dsm_sim::StableHasher) {
+        self.msgs.digest(h);
+        self.contention.digest(h);
+        self.write_runs.digest(h);
+        self.sync_latency.digest(h);
+        self.op_latency.digest(h);
+        h.write_u64(self.ops);
+        h.write_u64(self.sync_ops);
+        h.write_u64(self.local_ops);
+        self.sync_latency_hist.digest(h);
+    }
 }
 
 #[cfg(test)]

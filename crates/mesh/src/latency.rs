@@ -44,6 +44,16 @@ impl NetworkStats {
             self.total_latency as f64 / self.messages as f64
         }
     }
+
+    /// Folds all counters into a checkpoint digest.
+    pub fn digest(&self, h: &mut dsm_sim::StableHasher) {
+        h.write_u64(self.messages);
+        h.write_u64(self.flits);
+        h.write_u64(self.entry_wait);
+        h.write_u64(self.exit_wait);
+        h.write_u64(self.total_latency);
+        h.write_u64(self.injected_delay);
+    }
 }
 
 /// The entry/exit-contention network model used for all paper results.
@@ -194,6 +204,25 @@ impl LatencyNetwork {
     ) -> Cycle {
         self.stats.injected_delay += extra;
         self.send(now + extra, src, dst, flits)
+    }
+
+    /// Folds the network's dynamic state — port busy times, per-pair
+    /// FIFO watermarks, and statistics — into a checkpoint digest. The
+    /// mesh topology and timing parameters are static configuration and
+    /// are excluded: they are fixed by the job being replayed.
+    pub fn digest(&self, h: &mut dsm_sim::StableHasher) {
+        h.write_usize(self.entry_free.len());
+        for c in &self.entry_free {
+            h.write_u64(c.as_u64());
+        }
+        for c in &self.exit_free {
+            h.write_u64(c.as_u64());
+        }
+        h.write_usize(self.last_delivery.len());
+        for c in &self.last_delivery {
+            h.write_u64(c.as_u64());
+        }
+        self.stats.digest(h);
     }
 
     /// The uncontended latency of a `flits`-flit message between two

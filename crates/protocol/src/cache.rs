@@ -180,6 +180,29 @@ impl Cache {
     pub fn iter(&self) -> impl Iterator<Item = &CacheLine> {
         self.sets.iter().flatten()
     }
+
+    /// Folds the full cache state — geometry, LRU clock, and every
+    /// resident line with its LRU stamp — into a checkpoint digest.
+    /// Storage order within a set is hashed as-is: it evolves
+    /// deterministically (MRU swap and `swap_remove` only), so replayed
+    /// runs reproduce it exactly.
+    pub fn digest(&self, h: &mut dsm_sim::StableHasher) {
+        h.write_usize(self.ways);
+        h.write_u64(self.tick);
+        h.write_usize(self.sets.len());
+        for set in &self.sets {
+            h.write_usize(set.len());
+            for l in set {
+                h.write_u64(l.line.number());
+                h.write_u8(match l.state {
+                    CacheState::Shared => 0,
+                    CacheState::Exclusive => 1,
+                });
+                l.data.digest(h);
+                h.write_u64(l.lru);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,15 @@ pub struct OpOutcome {
     pub local: bool,
 }
 
+impl OpOutcome {
+    /// Folds the outcome into a checkpoint digest.
+    pub fn digest(&self, h: &mut dsm_sim::StableHasher) {
+        self.result.digest(h);
+        h.write_u32(self.chain);
+        h.write_u8(self.local as u8);
+    }
+}
+
 /// The single miss-status holding register of a (blocking) processor.
 #[derive(Debug, Clone)]
 struct Mshr {
@@ -42,6 +51,29 @@ struct Mshr {
     /// Interventions that arrived while acknowledgments were still
     /// outstanding; served right after completion.
     deferred: Vec<Msg>,
+}
+
+impl Mshr {
+    /// Folds the in-flight miss record into a checkpoint digest.
+    fn digest(&self, h: &mut dsm_sim::StableHasher) {
+        self.op.digest(h);
+        h.write_u64(self.line.number());
+        h.write_u8(self.reply_seen as u8);
+        h.write_u32(self.acks_needed);
+        h.write_u32(self.acks_got);
+        h.write_u32(self.chain);
+        match &self.staged {
+            Some(r) => {
+                h.write_u8(1);
+                r.digest(h);
+            }
+            None => h.write_u8(0),
+        }
+        h.write_usize(self.deferred.len());
+        for m in &self.deferred {
+            m.digest(h);
+        }
+    }
 }
 
 /// The cache-controller engine of one node.
@@ -188,6 +220,25 @@ impl CacheNode {
                 true
             }
             _ => false,
+        }
+    }
+
+    /// Folds the controller's full state — identity, cache contents,
+    /// LL reservation register, and outstanding MSHR — into a
+    /// checkpoint digest.
+    pub fn digest(&self, h: &mut dsm_sim::StableHasher) {
+        h.write_u32(self.node.as_u32());
+        h.write_u32(self.proc.as_u32());
+        h.write_u64(self.line_size);
+        h.write_u32(self.nodes);
+        self.cache.digest(h);
+        self.resv.digest(h);
+        match &self.mshr {
+            Some(m) => {
+                h.write_u8(1);
+                m.digest(h);
+            }
+            None => h.write_u8(0),
         }
     }
 

@@ -99,6 +99,14 @@ impl LineData {
         }
     }
 
+    /// Folds the line's size and contents into a checkpoint digest.
+    pub fn digest(&self, h: &mut dsm_sim::StableHasher) {
+        h.write_u64(self.line_size);
+        for &w in self.words() {
+            h.write_u64(w);
+        }
+    }
+
     /// Mutable view of all words.
     fn words_mut(&mut self) -> &mut [Value] {
         if self.spill.is_empty() {

@@ -33,6 +33,21 @@ impl DirState {
             _ => None,
         }
     }
+
+    /// Folds the state into a checkpoint digest.
+    pub fn digest(&self, h: &mut dsm_sim::StableHasher) {
+        match self {
+            DirState::Uncached => h.write_u8(0),
+            DirState::Shared(s) => {
+                h.write_u8(1);
+                s.digest(h);
+            }
+            DirState::Dirty(n) => {
+                h.write_u8(2);
+                h.write_u32(n.as_u32());
+            }
+        }
+    }
 }
 
 /// Why the directory is busy (an intervention is outstanding).
@@ -75,10 +90,51 @@ pub struct DirEntry {
     pub waiters: VecDeque<Msg>,
 }
 
+impl BusyKind {
+    /// Folds the kind into a checkpoint digest.
+    pub fn digest(&self, h: &mut dsm_sim::StableHasher) {
+        match self {
+            BusyKind::GetS => h.write_u8(0),
+            BusyKind::GetX => h.write_u8(1),
+            BusyKind::Cas { variant } => {
+                h.write_u8(2);
+                variant.digest(h);
+            }
+        }
+    }
+}
+
+impl Busy {
+    /// Folds the in-flight intervention record into a checkpoint digest.
+    pub fn digest(&self, h: &mut dsm_sim::StableHasher) {
+        self.kind.digest(h);
+        self.request.digest(h);
+        h.write_u8(self.got_writeback as u8);
+        h.write_u8(self.got_nak as u8);
+    }
+}
+
 impl DirEntry {
     /// `true` if a transaction is in flight for this line.
     pub fn is_busy(&self) -> bool {
         self.busy.is_some()
+    }
+
+    /// Folds the entry (stable state, busy record, queued waiters in
+    /// FIFO order) into a checkpoint digest.
+    pub fn digest(&self, h: &mut dsm_sim::StableHasher) {
+        self.state.digest(h);
+        match &self.busy {
+            Some(b) => {
+                h.write_u8(1);
+                b.digest(h);
+            }
+            None => h.write_u8(0),
+        }
+        h.write_usize(self.waiters.len());
+        for w in &self.waiters {
+            w.digest(h);
+        }
     }
 }
 

@@ -162,6 +162,30 @@ impl HomeNode {
         self.resv.invalidate_all();
     }
 
+    /// Folds the home's full state — directory, backing memory, and
+    /// memory-side reservations — into a checkpoint digest. Both tables
+    /// are hashed in sorted line order, so equal states digest equally
+    /// regardless of insertion history.
+    pub fn digest(&self, h: &mut dsm_sim::StableHasher) {
+        h.write_u32(self.node.as_u32());
+        h.write_u64(self.line_size);
+        let mut dir: Vec<(&LineAddr, &DirEntry)> = self.dir.iter().collect();
+        dir.sort_unstable_by_key(|(l, _)| l.number());
+        h.write_usize(dir.len());
+        for (l, e) in dir {
+            h.write_u64(l.number());
+            e.digest(h);
+        }
+        let mut mem: Vec<(&LineAddr, &LineData)> = self.mem.iter().collect();
+        mem.sort_unstable_by_key(|(l, _)| l.number());
+        h.write_usize(mem.len());
+        for (l, d) in mem {
+            h.write_u64(l.number());
+            d.digest(h);
+        }
+        self.resv.digest(h);
+    }
+
     fn mem_line(&mut self, line: LineAddr) -> &mut LineData {
         let size = self.line_size;
         self.mem

@@ -55,6 +55,38 @@ impl MemAtomicOp {
                 | MemAtomicOp::Sc { .. }
         )
     }
+
+    /// Folds the operation into a checkpoint digest.
+    pub fn digest(self, h: &mut dsm_sim::StableHasher) {
+        match self {
+            MemAtomicOp::Load => h.write_u8(0),
+            MemAtomicOp::Store { value } => {
+                h.write_u8(1);
+                h.write_u64(value);
+            }
+            MemAtomicOp::Phi { op } => {
+                h.write_u8(2);
+                op.digest(h);
+            }
+            MemAtomicOp::Cas { expected, new } => {
+                h.write_u8(3);
+                h.write_u64(expected);
+                h.write_u64(new);
+            }
+            MemAtomicOp::Ll => h.write_u8(4),
+            MemAtomicOp::Sc { value, serial } => {
+                h.write_u8(5);
+                h.write_u64(value);
+                match serial {
+                    Some(s) => {
+                        h.write_u8(1);
+                        h.write_u64(s);
+                    }
+                    None => h.write_u8(0),
+                }
+            }
+        }
+    }
 }
 
 /// The kind (and payload) of a coherence message.
@@ -315,6 +347,132 @@ impl MsgKind {
         }
     }
 
+    /// Folds the message kind and its payload into a checkpoint digest.
+    pub fn digest(&self, h: &mut dsm_sim::StableHasher) {
+        fn opt_data(h: &mut dsm_sim::StableHasher, d: &Option<LineData>) {
+            match d {
+                Some(d) => {
+                    h.write_u8(1);
+                    d.digest(h);
+                }
+                None => h.write_u8(0),
+            }
+        }
+        match self {
+            MsgKind::GetS => h.write_u8(0),
+            MsgKind::GetX { from_shared } => {
+                h.write_u8(1);
+                h.write_u8(*from_shared as u8);
+            }
+            MsgKind::AtomicMem { op } => {
+                h.write_u8(2);
+                op.digest(h);
+            }
+            MsgKind::CasHome {
+                expected,
+                new,
+                variant,
+            } => {
+                h.write_u8(3);
+                h.write_u64(*expected);
+                h.write_u64(*new);
+                variant.digest(h);
+            }
+            MsgKind::ScInv => h.write_u8(4),
+            MsgKind::WriteBack { data } => {
+                h.write_u8(5);
+                data.digest(h);
+            }
+            MsgKind::DropShared => h.write_u8(6),
+            MsgKind::DataS { data } => {
+                h.write_u8(7);
+                data.digest(h);
+            }
+            MsgKind::DataX { data, acks } => {
+                h.write_u8(8);
+                data.digest(h);
+                h.write_u32(*acks);
+            }
+            MsgKind::UpgradeAck { acks } => {
+                h.write_u8(9);
+                h.write_u32(*acks);
+            }
+            MsgKind::CasGrant {
+                data,
+                acks,
+                observed,
+            } => {
+                h.write_u8(10);
+                opt_data(h, data);
+                h.write_u32(*acks);
+                h.write_u64(*observed);
+            }
+            MsgKind::CasFail {
+                observed,
+                share_data,
+            } => {
+                h.write_u8(11);
+                h.write_u64(*observed);
+                opt_data(h, share_data);
+            }
+            MsgKind::AtomicReply { result, acks, data } => {
+                h.write_u8(12);
+                result.digest(h);
+                h.write_u32(*acks);
+                opt_data(h, data);
+            }
+            MsgKind::ScInvReply { success, acks } => {
+                h.write_u8(13);
+                h.write_u8(*success as u8);
+                h.write_u32(*acks);
+            }
+            MsgKind::Inv { requester } => {
+                h.write_u8(14);
+                h.write_u32(requester.as_u32());
+            }
+            MsgKind::Update { data, requester } => {
+                h.write_u8(15);
+                data.digest(h);
+                h.write_u32(requester.as_u32());
+            }
+            MsgKind::FwdGetS => h.write_u8(16),
+            MsgKind::FwdGetX => h.write_u8(17),
+            MsgKind::FwdCas {
+                expected,
+                new,
+                addr,
+                variant,
+            } => {
+                h.write_u8(18);
+                h.write_u64(*expected);
+                h.write_u64(*new);
+                h.write_u64(addr.as_u64());
+                variant.digest(h);
+            }
+            MsgKind::XferData { data } => {
+                h.write_u8(19);
+                data.digest(h);
+            }
+            MsgKind::SwbData { data } => {
+                h.write_u8(20);
+                data.digest(h);
+            }
+            MsgKind::OwnerCasFail {
+                observed,
+                data,
+                kept_exclusive,
+            } => {
+                h.write_u8(21);
+                h.write_u64(*observed);
+                data.digest(h);
+                h.write_u8(*kept_exclusive as u8);
+            }
+            MsgKind::FwdNak => h.write_u8(22),
+            MsgKind::InvAck => h.write_u8(23),
+            MsgKind::UpdAck => h.write_u8(24),
+        }
+    }
+
     /// The reporting class of this message.
     pub fn class(&self) -> MsgClass {
         match self {
@@ -367,6 +525,18 @@ impl Msg {
     /// Total flits of this message under `params`.
     pub fn flits(&self, params: &dsm_sim::SimParams) -> u64 {
         params.flits_for_payload(self.kind.payload_bytes(params.line_size))
+    }
+
+    /// Folds the full message (routing header and payload) into a
+    /// checkpoint digest.
+    pub fn digest(&self, h: &mut dsm_sim::StableHasher) {
+        h.write_u32(self.src.as_u32());
+        h.write_u32(self.dst.as_u32());
+        h.write_u64(self.line.number());
+        h.write_u64(self.addr.as_u64());
+        h.write_u32(self.proc.as_u32());
+        h.write_u32(self.chain);
+        self.kind.digest(h);
     }
 }
 

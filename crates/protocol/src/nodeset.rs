@@ -92,6 +92,16 @@ impl NodeSet {
         })
     }
 
+    /// Folds the set's members into a checkpoint digest. Trailing
+    /// all-zero words are not hashed, so equal sets digest equally
+    /// regardless of capacity history.
+    pub fn digest(&self, h: &mut dsm_sim::StableHasher) {
+        h.write_usize(self.len());
+        for n in self.iter() {
+            h.write_u32(n.as_u32());
+        }
+    }
+
     /// The single member, if the set has exactly one.
     pub fn sole_member(&self) -> Option<NodeId> {
         let mut it = self.iter();

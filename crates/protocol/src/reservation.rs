@@ -79,6 +79,17 @@ impl CacheReservation {
     pub fn line(&self) -> Option<LineAddr> {
         self.line
     }
+
+    /// Folds the reservation register into a checkpoint digest.
+    pub fn digest(&self, h: &mut dsm_sim::StableHasher) {
+        match self.line {
+            Some(l) => {
+                h.write_u8(1);
+                h.write_u64(l.number());
+            }
+            None => h.write_u8(0),
+        }
+    }
 }
 
 /// Result of a memory-side `load_linked`.
@@ -359,6 +370,43 @@ impl ReservationStore {
                 _ => 0,
             })
             .sum()
+    }
+
+    /// Folds the store (pool accounting plus every line's records, in
+    /// sorted line order) into a checkpoint digest.
+    pub fn digest(&self, h: &mut dsm_sim::StableHasher) {
+        h.write_usize(self.pool_capacity);
+        h.write_usize(self.pool_used);
+        let mut lines: Vec<(&LineAddr, &LineResv)> = self.lines.iter().collect();
+        lines.sort_unstable_by_key(|(l, _)| l.number());
+        h.write_usize(lines.len());
+        for (l, r) in lines {
+            h.write_u64(l.number());
+            match r {
+                LineResv::BitVector(set) => {
+                    h.write_u8(0);
+                    set.digest(h);
+                }
+                LineResv::LinkedList(list) => {
+                    h.write_u8(1);
+                    h.write_usize(list.len());
+                    for p in list {
+                        h.write_u32(p.as_u32());
+                    }
+                }
+                LineResv::Limited(list) => {
+                    h.write_u8(2);
+                    h.write_usize(list.len());
+                    for p in list {
+                        h.write_u32(p.as_u32());
+                    }
+                }
+                LineResv::Serial(s) => {
+                    h.write_u8(3);
+                    h.write_u64(*s);
+                }
+            }
+        }
     }
 
     /// Forcibly invalidates every reservation held at this node — the

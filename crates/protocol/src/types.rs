@@ -66,6 +66,15 @@ impl CasVariant {
             CasVariant::Share => "INVs",
         }
     }
+
+    /// Folds the variant into a checkpoint digest.
+    pub fn digest(self, h: &mut dsm_sim::StableHasher) {
+        h.write_u8(match self {
+            CasVariant::Plain => 0,
+            CasVariant::Deny => 1,
+            CasVariant::Share => 2,
+        });
+    }
 }
 
 /// The fetch-and-Φ function family (§2.1).
@@ -93,6 +102,19 @@ impl PhiOp {
             PhiOp::TestAndSet => 1,
             PhiOp::And(v) => old & v,
         }
+    }
+
+    /// Folds the operation into a checkpoint digest.
+    pub fn digest(self, h: &mut dsm_sim::StableHasher) {
+        let (tag, operand) = match self {
+            PhiOp::Add(k) => (0u8, k),
+            PhiOp::Store(v) => (1, v),
+            PhiOp::Or(v) => (2, v),
+            PhiOp::TestAndSet => (3, 0),
+            PhiOp::And(v) => (4, v),
+        };
+        h.write_u8(tag);
+        h.write_u64(operand);
     }
 }
 
@@ -227,6 +249,42 @@ impl MemOp {
             MemOp::StoreConditional { .. } => "StoreConditional",
         }
     }
+
+    /// Folds the operation (kind, address and payload) into a checkpoint
+    /// digest.
+    pub fn digest(self, h: &mut dsm_sim::StableHasher) {
+        h.write_u64(self.addr().as_u64());
+        match self {
+            MemOp::Load { .. } => h.write_u8(0),
+            MemOp::Store { value, .. } => {
+                h.write_u8(1);
+                h.write_u64(value);
+            }
+            MemOp::LoadExclusive { .. } => h.write_u8(2),
+            MemOp::DropCopy { .. } => h.write_u8(3),
+            MemOp::FetchPhi { op, .. } => {
+                h.write_u8(4);
+                op.digest(h);
+            }
+            MemOp::Cas { expected, new, .. } => {
+                h.write_u8(5);
+                h.write_u64(expected);
+                h.write_u64(new);
+            }
+            MemOp::LoadLinked { .. } => h.write_u8(6),
+            MemOp::StoreConditional { value, serial, .. } => {
+                h.write_u8(7);
+                h.write_u64(value);
+                match serial {
+                    Some(s) => {
+                        h.write_u8(1);
+                        h.write_u64(s);
+                    }
+                    None => h.write_u8(0),
+                }
+            }
+        }
+    }
 }
 
 /// The outcome delivered to a processor when its operation completes.
@@ -282,6 +340,42 @@ impl OpResult {
         match self {
             OpResult::CasDone { success, .. } | OpResult::ScDone { success } => success,
             _ => true,
+        }
+    }
+
+    /// Folds the result into a checkpoint digest.
+    pub fn digest(self, h: &mut dsm_sim::StableHasher) {
+        match self {
+            OpResult::Loaded {
+                value,
+                serial,
+                reserved,
+            } => {
+                h.write_u8(0);
+                h.write_u64(value);
+                match serial {
+                    Some(s) => {
+                        h.write_u8(1);
+                        h.write_u64(s);
+                    }
+                    None => h.write_u8(0),
+                }
+                h.write_u8(reserved as u8);
+            }
+            OpResult::Stored => h.write_u8(1),
+            OpResult::Fetched { old } => {
+                h.write_u8(2);
+                h.write_u64(old);
+            }
+            OpResult::CasDone { success, observed } => {
+                h.write_u8(3);
+                h.write_u8(success as u8);
+                h.write_u64(observed);
+            }
+            OpResult::ScDone { success } => {
+                h.write_u8(4);
+                h.write_u8(success as u8);
+            }
         }
     }
 }

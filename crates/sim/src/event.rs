@@ -8,6 +8,7 @@
 //! into O(1) deque operations — with a binary-heap fallback for events
 //! beyond the wheel horizon (long compute phases, backoff waits).
 
+use crate::hash::StableHasher;
 use crate::time::Cycle;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -194,6 +195,41 @@ impl<E> EventQueue<E> {
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Feeds the queue's complete pending-event state into `h`, using
+    /// `f` to hash each event payload.
+    ///
+    /// Events are visited in pop order — `(cycle, insertion sequence)`
+    /// — and each is hashed together with its cycle and sequence
+    /// number, so two queues digest equal iff they would pop the
+    /// identical timestamped event stream. The wheel/heap split, the
+    /// window base and bucket layout are implementation details and do
+    /// not enter the digest. The insertion counter *is* included: it
+    /// determines the tie-break order of all future pushes.
+    pub fn digest_with(&self, h: &mut StableHasher, mut f: impl FnMut(&E, &mut StableHasher)) {
+        h.write_u64(self.next_seq);
+        h.write_usize(self.len());
+        if self.wheel_len > 0 {
+            // The window is exactly WHEEL_SIZE cycles wide, so each
+            // bucket holds events of a single cycle and walking the
+            // window in time order visits wheel events in pop order.
+            for i in 0..WHEEL_SIZE as u64 {
+                let t = self.base + i;
+                for (seq, event) in &self.wheel[t as usize & WHEEL_MASK] {
+                    h.write_u64(t);
+                    h.write_u64(*seq);
+                    f(event, h);
+                }
+            }
+        }
+        let mut far: Vec<&Entry<E>> = self.far.iter().collect();
+        far.sort_by_key(|e| e.key.0);
+        for e in far {
+            h.write_u64(e.key.0 .0.as_u64());
+            h.write_u64(e.key.0 .1);
+            f(&e.event, h);
+        }
     }
 
     /// Removes all pending events.

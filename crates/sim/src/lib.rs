@@ -44,12 +44,14 @@ pub mod fault;
 pub mod hash;
 pub mod ids;
 pub mod rng;
+pub mod snapshot;
 pub mod time;
 
 pub use config::{CacheParams, MachineConfig, SimParams};
 pub use event::EventQueue;
-pub use fault::{FaultConfig, FaultEvent, FaultInjector};
+pub use fault::{FaultConfig, FaultEvent, FaultFilter, FaultInjector, FaultRecord, InjectedFault};
 pub use hash::{StableBuildHasher, StableHashMap, StableHasher};
 pub use ids::{Addr, LineAddr, NodeId, ProcId};
 pub use rng::SimRng;
+pub use snapshot::{ByteReader, ByteWriter, PayloadKind, SnapshotError};
 pub use time::Cycle;

@@ -96,6 +96,14 @@ impl SimRng {
         }
     }
 
+    /// Returns the generator's full internal state (the four xoshiro
+    /// words). Two generators with equal state produce identical
+    /// streams forever — this is what state digests and checkpoint
+    /// verification hash.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
     /// Derives an independent generator for a child component.
     ///
     /// Streams derived with distinct `salt` values are statistically

@@ -72,6 +72,26 @@ impl ContentionTracker {
     pub fn in_progress(&self, location: u64) -> u32 {
         self.active.get(&location).copied().unwrap_or(0)
     }
+
+    /// Folds the tracker's state into a checkpoint digest. Locations
+    /// whose in-progress count has returned to zero are skipped, so the
+    /// digest is a function of the observable state, not of which
+    /// locations were ever touched.
+    pub fn digest(&self, h: &mut dsm_sim::StableHasher) {
+        let mut active: Vec<(u64, u32)> = self
+            .active
+            .iter()
+            .filter(|(_, &n)| n > 0)
+            .map(|(&loc, &n)| (loc, n))
+            .collect();
+        active.sort_unstable();
+        h.write_usize(active.len());
+        for (loc, n) in active {
+            h.write_u64(loc);
+            h.write_u32(n);
+        }
+        self.histogram.digest(h);
+    }
 }
 
 #[cfg(test)]

@@ -108,6 +108,18 @@ impl Histogram {
             .map(|(v, &c)| (v, c))
     }
 
+    /// Folds the histogram's contents into a checkpoint digest. Only
+    /// nonzero buckets are hashed, so two histograms that compare equal
+    /// observation-wise digest identically regardless of trailing empty
+    /// buckets.
+    pub fn digest(&self, h: &mut dsm_sim::StableHasher) {
+        h.write_u64(self.total);
+        for (v, c) in self.iter() {
+            h.write_usize(v);
+            h.write_u64(c);
+        }
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (v, c) in other.iter() {

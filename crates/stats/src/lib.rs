@@ -111,6 +111,22 @@ impl OnlineMean {
             self.max = Some(self.max.map_or(m, |s| s.max(m)));
         }
     }
+
+    /// Folds the accumulator's exact state (count, bit-exact sum,
+    /// min/max) into a checkpoint digest.
+    pub fn digest(&self, h: &mut dsm_sim::StableHasher) {
+        h.write_u64(self.count);
+        h.write_f64_bits(self.sum);
+        for bound in [self.min, self.max] {
+            match bound {
+                Some(v) => {
+                    h.write_u8(1);
+                    h.write_f64_bits(v);
+                }
+                None => h.write_u8(0),
+            }
+        }
+    }
 }
 
 #[cfg(test)]

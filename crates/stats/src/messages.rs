@@ -130,6 +130,16 @@ impl ChainStats {
         &self.chain_histogram
     }
 
+    /// Folds the per-class counts and chain statistics into a checkpoint
+    /// digest.
+    pub fn digest(&self, h: &mut dsm_sim::StableHasher) {
+        for &c in &self.counts {
+            h.write_u64(c);
+        }
+        self.chains.digest(h);
+        self.chain_histogram.digest(h);
+    }
+
     /// Merges another instance into this one.
     pub fn merge(&mut self, other: &ChainStats) {
         for i in 0..self.counts.len() {

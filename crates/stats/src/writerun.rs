@@ -94,6 +94,24 @@ impl WriteRunTracker {
     pub fn completed(&self) -> &OnlineMean {
         &self.runs
     }
+
+    /// Folds the tracker's state (in-progress runs plus completed-run
+    /// statistics) into a checkpoint digest.
+    pub fn digest(&self, h: &mut dsm_sim::StableHasher) {
+        let mut current: Vec<(u64, u32, u64)> = self
+            .current
+            .iter()
+            .map(|(&loc, &(owner, count))| (loc, owner, count))
+            .collect();
+        current.sort_unstable();
+        h.write_usize(current.len());
+        for (loc, owner, count) in current {
+            h.write_u64(loc);
+            h.write_u32(owner);
+            h.write_u64(count);
+        }
+        self.runs.digest(h);
+    }
 }
 
 #[cfg(test)]

@@ -123,7 +123,7 @@ fn run_counter(
     policy: SyncPolicy,
     faults: FaultConfig,
     seed: u64,
-) -> (u64, u64, (u64, u64)) {
+) -> (u64, u64, (u64, u64, u64)) {
     let (mut m, counter) = counter_machine(nodes, iters, policy, faults, seed);
     let report = m
         .run(LIMIT)
@@ -167,6 +167,7 @@ proptest! {
             jitter_max: jmax,
             evict_per_10k: evict,
             wipe_per_10k: wipe,
+            corrupt_per_10k: 0,
             period,
             paranoid: true,
             watchdog: 10_000_000,
@@ -215,7 +216,7 @@ fn saturated_schedule_actually_injects() {
         period: 64,
         ..FaultConfig::default()
     };
-    let (_, _, (evictions, wipes)) = run_counter(2, 24, SyncPolicy::Inv, faults, 7);
+    let (_, _, (evictions, wipes, _)) = run_counter(2, 24, SyncPolicy::Inv, faults, 7);
     assert!(evictions > 0, "no evictions applied");
     assert!(wipes > 0, "no reservation wipes applied");
 }

@@ -1,0 +1,225 @@
+//! Job-supervision guarantees, end to end through the runner: host
+//! wall-clock timeouts are typed transient, retried on a bounded
+//! budget, and never cached anywhere; deterministic fault-implicated
+//! failures are auto-shrunk to a minimal reproducer plus a plain-text
+//! dump, both referenced from the failing job's error message; and a
+//! saved reproducer replays the failure in a fresh context.
+
+use atomic_dsm::experiments::runner::{self, Job};
+use atomic_dsm::experiments::{diskcache, repro, BarSpec, CounterKind};
+use atomic_dsm::protocol::SyncPolicy;
+use atomic_dsm::sim::FaultConfig;
+use atomic_dsm::sync::Primitive;
+use atomic_dsm::MachineConfig;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+/// These tests mutate process-global state (the runner's memo and
+/// counters; one test sets `DSM_WALL_LIMIT`), so they serialize.
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    EXCLUSIVE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Restores a mutated environment variable on drop (also on panic).
+struct EnvGuard(&'static str, Option<std::ffi::OsString>);
+
+impl EnvGuard {
+    fn set(key: &'static str, value: &str) -> Self {
+        let prev = std::env::var_os(key);
+        std::env::set_var(key, value);
+        EnvGuard(key, prev)
+    }
+}
+
+impl Drop for EnvGuard {
+    fn drop(&mut self) {
+        match self.1.take() {
+            Some(v) => std::env::set_var(self.0, v),
+            None => std::env::remove_var(self.0),
+        }
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("dsm-supervision-it-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn counter_job(procs: u32, rounds: u64, faults: FaultConfig) -> Job {
+    let mut mcfg = MachineConfig::with_nodes(procs);
+    mcfg.faults = faults;
+    Job::counter(
+        mcfg,
+        CounterKind::LockFree,
+        BarSpec::new(SyncPolicy::Inv, Primitive::Cas),
+        procs,
+        1.0,
+        rounds,
+    )
+}
+
+/// A fault configuration whose jitter provably trips the livelock
+/// watchdog: the watchdog-only baseline passes, but a handful of
+/// injected message delays (up to 4000 cycles against a 1500-cycle
+/// window) stall retirement past the window. Deterministic — same
+/// seed, same stream, same livelock.
+fn doomed_faults() -> FaultConfig {
+    FaultConfig {
+        jitter_per_10k: 500,
+        jitter_max: 4000,
+        watchdog: 1500,
+        period: 64,
+        ..FaultConfig::default()
+    }
+}
+
+/// A wall-clock budget of 1ms fails any non-trivial simulation as a
+/// *transient*, typed timeout: retried on the configured budget, never
+/// cached in memory, never persisted to disk.
+#[test]
+fn wall_clock_timeout_is_transient_retried_and_never_cached() {
+    let _guard = exclusive();
+    let dir = scratch("timeout");
+    std::fs::create_dir_all(&dir).unwrap();
+    // Large enough that the wall check (every 8192 events) fires.
+    let job = counter_job(16, 64, FaultConfig::default());
+    let (err, retries_used, stored) = {
+        let _env = EnvGuard::set("DSM_WALL_LIMIT", "1");
+        diskcache::with_cache_dir(Some(&dir), || {
+            runner::with_retries(2, || {
+                runner::clear_cache();
+                let before = runner::stats().retries;
+                let err = runner::try_run_one(&job).expect_err("1ms budget must time out");
+                let stored = std::fs::read_dir(&dir).unwrap().count();
+                (err, runner::stats().retries - before, stored)
+            })
+        })
+    };
+    assert!(err.transient, "timeout must be typed transient: {err}");
+    assert!(err.message.contains("wall-clock budget exhausted"), "{err}");
+    assert_eq!(
+        retries_used, 2,
+        "transient failure must use the retry budget"
+    );
+    assert_eq!(stored, 0, "a transient failure must never be persisted");
+    // Not poisoned in the in-memory memo either: with the budget gone,
+    // the very same job succeeds.
+    let ok = runner::try_run_one(&job);
+    assert!(ok.is_ok(), "transient failure was cached: {ok:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The headline supervision pipeline: a seeded fault-implicated
+/// livelock fails deterministically, the runner auto-emits a dump and a
+/// ddmin-shrunk reproducer (minimal: exactly one of the applied faults
+/// survives), the error message references both artifacts, and the
+/// saved reproducer replays the failure from disk in one step.
+#[test]
+fn fault_implicated_failure_is_shrunk_to_a_minimal_reproducer() {
+    let _guard = exclusive();
+    // Baseline: the watchdog alone does not fire on this job.
+    let baseline = counter_job(
+        4,
+        4,
+        FaultConfig {
+            watchdog: 1500,
+            ..FaultConfig::default()
+        },
+    );
+    runner::clear_cache();
+    assert!(
+        runner::try_run_one(&baseline).is_ok(),
+        "watchdog-only baseline must pass"
+    );
+
+    let dir = scratch("shrink");
+    let job = counter_job(4, 4, doomed_faults());
+    let err = repro::with_repro_dir(Some(&dir), || {
+        runner::clear_cache();
+        runner::try_run_one(&job).expect_err("jittered job must livelock")
+    });
+    assert!(!err.transient, "a livelock is deterministic, not transient");
+    assert!(err.message.contains("livelock"), "{err}");
+    assert!(err.message.contains("blocked on"), "{err}");
+    assert!(
+        err.message.contains("[reproducer: ") && err.message.contains("dump: "),
+        "error must reference the emitted artifacts: {err}"
+    );
+
+    let stem = format!("{:016x}", job.seed());
+    let dump = std::fs::read_to_string(dir.join(format!("{stem}.dump.txt")))
+        .expect("failure dump emitted");
+    assert!(dump.contains("livelock"), "{dump}");
+    assert!(dump.contains("faults applied:"), "{dump}");
+
+    let rep = repro::load(&dir.join(format!("{stem}.repro"))).expect("reproducer emitted");
+    assert_eq!(
+        rep.allowed_faults(),
+        Some(1),
+        "ddmin must isolate the single culprit delay: {rep:?}"
+    );
+    assert!(rep.message.contains("livelock"), "{rep:?}");
+
+    let replay = repro::replay(&rep).expect("replay runs");
+    assert!(
+        replay.reproduced,
+        "minimal reproducer must reproduce: {}",
+        replay.message
+    );
+    assert!(replay.message.contains("livelock"), "{}", replay.message);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Failures that need no injected faults at all (an impossibly tight
+/// watchdog) still emit a replayable reproducer — with no filter — and
+/// the livelock diagnostic's blocked-processor dump lands in the error
+/// message and the dump file.
+#[test]
+fn faultless_livelock_still_yields_a_replayable_reproducer() {
+    let _guard = exclusive();
+    let dir = scratch("faultless");
+    let job = counter_job(
+        4,
+        4,
+        FaultConfig {
+            watchdog: 1,
+            ..FaultConfig::default()
+        },
+    );
+    let err = repro::with_repro_dir(Some(&dir), || {
+        runner::clear_cache();
+        runner::try_run_one(&job).expect_err("watchdog=1 must livelock")
+    });
+    assert!(err.message.contains("livelock"), "{err}");
+    assert!(err.message.contains("[reproducer: "), "{err}");
+
+    let stem = format!("{:016x}", job.seed());
+    let rep = repro::load(&dir.join(format!("{stem}.repro"))).expect("reproducer emitted");
+    assert_eq!(rep.filter, None, "no faults to filter: {rep:?}");
+    let replay = repro::replay(&rep).expect("replay runs");
+    assert!(replay.reproduced, "{}", replay.message);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Emission is off by default: without a reproducer directory the
+/// failure message carries no artifact references and nothing is
+/// written anywhere.
+#[test]
+fn no_repro_dir_means_no_artifacts() {
+    let _guard = exclusive();
+    let job = counter_job(4, 4, doomed_faults());
+    let err = repro::with_repro_dir(None, || {
+        runner::clear_cache();
+        runner::try_run_one(&job).expect_err("jittered job must livelock")
+    });
+    assert!(
+        !err.message.contains("[reproducer"),
+        "artifacts emitted without a directory: {err}"
+    );
+}
