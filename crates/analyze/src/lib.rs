@@ -1,0 +1,936 @@
+//! Trace analytics over binary ring dumps: where every cycle goes.
+//!
+//! Consumes the span records a [`dsm_trace::Tracer`] writes into ring
+//! files (`cat` must include `span` **and** `msg` — the per-message
+//! phases ride on the message events) and reconstructs one [`Span`]
+//! per injected operation, with its child phases. On top of that it
+//! offers:
+//!
+//! - per-operation latency percentiles ([`Analysis::latency_by_op`]),
+//!   backed by the same [`LatencyHist`] the simulator records, so
+//!   trace-derived and simulator-derived numbers are directly
+//!   comparable;
+//! - an **additive critical-path decomposition**
+//!   ([`Span::decompose`]): network, queueing, directory service,
+//!   invalidation fan-out, forwards, replies, cache service and local
+//!   residual, summing *exactly* to the span's measured latency;
+//! - per-line contention ranking with ASCII timelines
+//!   ([`Analysis::hottest_lines`]);
+//! - LL/SC and CAS retry-chain reconstruction and retry-storm
+//!   detection ([`Analysis::chains`], [`Analysis::retry_storms`]).
+//!
+//! Everything is deterministic: files are processed in file-name
+//! order, every aggregation iterates `BTreeMap`s, and [`Analysis::report`]
+//! output is byte-identical for identical input files regardless of
+//! how many worker threads produced them.
+//!
+//! ```
+//! use dsm_analyze::{Analysis, Span};
+//!
+//! let span = Span {
+//!     id: 1,
+//!     file: 0,
+//!     proc: 0,
+//!     op: "Cas".to_string(),
+//!     line: 0x40,
+//!     begin: 100,
+//!     end: 180,
+//!     outcome: "ok".to_string(),
+//!     phases: vec![],
+//! };
+//! let parts = span.decompose();
+//! // No recorded phases: every cycle is local, and the parts sum to
+//! // the measured latency.
+//! assert_eq!(parts.get("local"), Some(&80));
+//! assert_eq!(parts.values().sum::<u64>(), span.latency());
+//! ```
+
+use dsm_stats::LatencyHist;
+use dsm_trace::{RecordKind, RingFile};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Preferred column order for decomposition components. Components not
+/// listed here (future phase labels) sort after these, alphabetically.
+const COMPONENT_ORDER: [&str; 8] = [
+    "net", "queue", "dir", "inval", "fwd", "reply", "cachesvc", "local",
+];
+
+/// One child phase of a span: a half-open cycle interval attributed to
+/// a phase label (`net`, `queue`, `dir`, `inval`, `fwd`, `reply`,
+/// `cachesvc`) on one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// Phase label (the tracer's, e.g. `net` or `dir`).
+    pub label: String,
+    /// First cycle of the interval.
+    pub start: u64,
+    /// One past the last cycle of the interval.
+    pub end: u64,
+    /// Node the phase ran on (destination node for `net`/`queue`).
+    pub node: u32,
+}
+
+/// One reconstructed operation span: an injected atomic operation from
+/// issue to retirement, with every message phase the tracer attributed
+/// to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Span id as recorded (unique within one trace file).
+    pub id: u64,
+    /// Ordinal of the source file in file-name order (ids are only
+    /// unique per file, so `(file, id)` is the global key).
+    pub file: u32,
+    /// Issuing processor.
+    pub proc: u32,
+    /// Operation label (`Load`, `Cas`, `LoadLinked`, ...).
+    pub op: String,
+    /// Cache-line address the operation targets.
+    pub line: u64,
+    /// Issue cycle.
+    pub begin: u64,
+    /// Retirement cycle.
+    pub end: u64,
+    /// Outcome label: `ok`, `cas-fail`, `sc-fail` or `ll-unreserved`.
+    pub outcome: String,
+    /// Child phases, in trace order.
+    pub phases: Vec<Phase>,
+}
+
+impl Span {
+    /// Measured latency: retirement minus issue, in cycles.
+    pub fn latency(&self) -> u64 {
+        self.end - self.begin
+    }
+
+    /// Whether the operation retired without achieving its update
+    /// (failed CAS or SC, or an LL that lost its reservation).
+    pub fn failed(&self) -> bool {
+        self.outcome != "ok"
+    }
+
+    /// Additive critical-path decomposition of the span.
+    ///
+    /// Child phases overlap (invalidations fan out in parallel; a
+    /// reply's network flight overlaps the home node servicing the
+    /// next request), so naively summing phase durations over-counts.
+    /// Instead the phases are swept in start order behind an advancing
+    /// frontier: each phase contributes only the part of its interval
+    /// past the frontier, clamped to the span. Cycles no phase covers
+    /// (cache lookup, local hit latency) land in `local`.
+    ///
+    /// The contributions are disjoint sub-intervals of
+    /// `[begin, end)`, so the returned components **sum exactly to
+    /// [`latency`](Self::latency)** — asserted by the crate's tests.
+    pub fn decompose(&self) -> BTreeMap<String, u64> {
+        let mut parts: BTreeMap<String, u64> = BTreeMap::new();
+        let mut phases: Vec<&Phase> = self.phases.iter().collect();
+        phases.sort_by_key(|a| (a.start, a.end));
+        let mut frontier = self.begin;
+        for p in phases {
+            let lo = p.start.max(frontier);
+            let hi = p.end.min(self.end);
+            if hi > lo {
+                *parts.entry(p.label.clone()).or_insert(0) += hi - lo;
+                frontier = hi;
+            }
+        }
+        let covered: u64 = parts.values().sum();
+        let local = self.latency() - covered;
+        if local > 0 || parts.is_empty() {
+            parts.insert("local".to_string(), local);
+        }
+        parts
+    }
+}
+
+/// A run of consecutive spans by one processor on one line forming one
+/// logical atomic attempt sequence: an LL is chained to the SC it arms,
+/// and a failed CAS/SC/LL chains to the retry that follows it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chain {
+    /// The processor retrying.
+    pub proc: u32,
+    /// The contended line.
+    pub line: u64,
+    /// Spans in the chain, in issue order.
+    pub spans: Vec<Span>,
+}
+
+impl Chain {
+    /// Total wall-clock extent of the chain, first issue to last
+    /// retirement.
+    pub fn duration(&self) -> u64 {
+        self.spans.last().map_or(0, |s| s.end) - self.spans.first().map_or(0, |s| s.begin)
+    }
+
+    /// Operations that retired without achieving their update.
+    pub fn failures(&self) -> u64 {
+        self.spans.iter().filter(|s| s.failed()).count() as u64
+    }
+
+    /// Cycles spent inside attempts that preceded the final operation —
+    /// the price of retrying.
+    pub fn retry_cycles(&self) -> u64 {
+        let n = self.spans.len().saturating_sub(1);
+        self.spans[..n].iter().map(Span::latency).sum()
+    }
+
+    /// Cycles between attempts (the processor backing off or spinning
+    /// before re-issuing).
+    pub fn backoff_cycles(&self) -> u64 {
+        self.spans.windows(2).map(|w| w[1].begin - w[0].end).sum()
+    }
+
+    /// The final attempt's own latency. `final_cycles + retry_cycles +
+    /// backoff_cycles == duration` exactly.
+    pub fn final_cycles(&self) -> u64 {
+        self.spans.last().map_or(0, |s| s.latency())
+    }
+}
+
+/// Per-line contention summary for [`Analysis::hottest_lines`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineReport {
+    /// The cache-line address.
+    pub line: u64,
+    /// Spans that targeted the line.
+    pub spans: u64,
+    /// Total cycles those spans spent in flight.
+    pub cycles: u64,
+    /// Spans that retired failed (CAS/SC losses, dropped LL
+    /// reservations).
+    pub failures: u64,
+    /// Peak number of simultaneously in-flight spans on the line.
+    pub peak_concurrency: u64,
+    /// ASCII timeline of in-flight span count across the trace window
+    /// (one char per bucket, ` ` = idle, `@` = the line's peak).
+    pub timeline: String,
+}
+
+/// Everything the analyzer reconstructed from a set of ring files.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Completed spans, ordered by `(begin, file, id)`.
+    pub spans: Vec<Span>,
+    /// Spans begun but never ended (operation still in flight when the
+    /// trace stopped, or the `SpanEnd` fell off the ring).
+    pub open_spans: u64,
+    /// `SpanPhase`/`SpanEnd` records whose `SpanBegin` was overwritten
+    /// by ring wrap-around; dropped.
+    pub orphan_records: u64,
+    /// Events the sinks overwrote because the ring wrapped, summed
+    /// over files.
+    pub dropped_events: u64,
+    /// Total ring records read, summed over files.
+    pub records: u64,
+    /// Number of ring files read.
+    pub files: u64,
+}
+
+/// Partial span under reconstruction.
+struct OpenSpan {
+    proc: u32,
+    op: String,
+    line: u64,
+    begin: u64,
+    phases: Vec<Phase>,
+}
+
+impl Analysis {
+    /// Reads and analyzes ring files. Paths are sorted by file name
+    /// (then full path) before reading, so the analysis is independent
+    /// of argument order and of the enumeration order of a directory
+    /// walk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a malformed file surfaces as
+    /// [`io::ErrorKind::InvalidData`] naming the path.
+    pub fn from_files<P: AsRef<Path>>(paths: &[P]) -> io::Result<Analysis> {
+        let mut sorted: Vec<PathBuf> = paths.iter().map(|p| p.as_ref().to_path_buf()).collect();
+        sorted.sort_by(|a, b| a.file_name().cmp(&b.file_name()).then_with(|| a.cmp(b)));
+        let mut rings = Vec::with_capacity(sorted.len());
+        for path in &sorted {
+            let ring = RingFile::load(path)
+                .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+            rings.push(ring);
+        }
+        Ok(Analysis::from_rings(&rings))
+    }
+
+    /// Analyzes already-parsed ring files, in the order given.
+    pub fn from_rings(rings: &[RingFile]) -> Analysis {
+        let mut spans = Vec::new();
+        let mut open_spans = 0u64;
+        let mut orphans = 0u64;
+        let mut dropped = 0u64;
+        let mut records = 0u64;
+        for (file, ring) in rings.iter().enumerate() {
+            let file = file as u32;
+            dropped += ring.dropped;
+            records += ring.records.len() as u64;
+            let mut open: BTreeMap<u64, OpenSpan> = BTreeMap::new();
+            for rec in &ring.records {
+                match RecordKind::from_u8(rec.kind) {
+                    Some(RecordKind::SpanBegin) => {
+                        open.insert(
+                            rec.b,
+                            OpenSpan {
+                                proc: rec.node,
+                                op: ring.label(rec.label).to_string(),
+                                line: rec.a,
+                                begin: rec.ts,
+                                phases: Vec::new(),
+                            },
+                        );
+                    }
+                    Some(RecordKind::SpanPhase) => match open.get_mut(&rec.b) {
+                        Some(s) => s.phases.push(Phase {
+                            label: ring.label(rec.label).to_string(),
+                            start: rec.ts,
+                            end: rec.a,
+                            node: rec.node,
+                        }),
+                        // Late phases for an already-retired span (an
+                        // invalidation ack arriving after the op) are
+                        // clamped to zero by `decompose` anyway; a
+                        // phase with no begin at all is ring loss.
+                        None => orphans += 1,
+                    },
+                    Some(RecordKind::SpanEnd) => match open.remove(&rec.b) {
+                        Some(s) => spans.push(Span {
+                            id: rec.b,
+                            file,
+                            proc: s.proc,
+                            op: s.op,
+                            line: s.line,
+                            begin: s.begin,
+                            end: rec.ts,
+                            outcome: ring.label(rec.label).to_string(),
+                            phases: s.phases,
+                        }),
+                        None => orphans += 1,
+                    },
+                    _ => {}
+                }
+            }
+            open_spans += open.len() as u64;
+        }
+        spans.sort_by_key(|a| (a.begin, a.file, a.id));
+        Analysis {
+            spans,
+            open_spans,
+            orphan_records: orphans,
+            dropped_events: dropped,
+            records,
+            files: rings.len() as u64,
+        }
+    }
+
+    /// Cycle-exact latency histogram per operation label.
+    pub fn latency_by_op(&self) -> BTreeMap<String, LatencyHist> {
+        let mut by_op: BTreeMap<String, LatencyHist> = BTreeMap::new();
+        for s in &self.spans {
+            by_op.entry(s.op.clone()).or_default().record(s.latency());
+        }
+        by_op
+    }
+
+    /// Summed critical-path decomposition per operation label:
+    /// `op -> (span count, component -> cycles)`. Each span's
+    /// components sum to its latency, so each op's components sum to
+    /// that op's total in-flight cycles.
+    pub fn decomposition_by_op(&self) -> BTreeMap<String, (u64, BTreeMap<String, u64>)> {
+        let mut by_op: BTreeMap<String, (u64, BTreeMap<String, u64>)> = BTreeMap::new();
+        for s in &self.spans {
+            let entry = by_op.entry(s.op.clone()).or_default();
+            entry.0 += 1;
+            for (label, cycles) in s.decompose() {
+                *entry.1.entry(label).or_insert(0) += cycles;
+            }
+        }
+        by_op
+    }
+
+    /// The union of decomposition component labels present, in
+    /// `COMPONENT_ORDER` (unknown labels after, alphabetically).
+    pub fn component_labels(&self) -> Vec<String> {
+        let mut seen: Vec<String> = Vec::new();
+        for (_, (_, parts)) in self.decomposition_by_op() {
+            for label in parts.keys() {
+                if !seen.contains(label) {
+                    seen.push(label.clone());
+                }
+            }
+        }
+        seen.sort_by_key(|l| {
+            (
+                COMPONENT_ORDER
+                    .iter()
+                    .position(|c| c == l)
+                    .unwrap_or(COMPONENT_ORDER.len()),
+                l.clone(),
+            )
+        });
+        seen
+    }
+
+    /// Attempt chains: per-processor runs of spans on one line, where
+    /// an LL chains to the operation that follows it on the same line
+    /// (the SC it arms) and any failed operation chains to its retry.
+    /// Ordered by `(proc, first issue cycle)`.
+    pub fn chains(&self) -> Vec<Chain> {
+        let mut per_proc: BTreeMap<u32, Vec<&Span>> = BTreeMap::new();
+        for s in &self.spans {
+            per_proc.entry(s.proc).or_default().push(s);
+        }
+        let mut chains = Vec::new();
+        for (proc, spans) in per_proc {
+            // `self.spans` is begin-sorted and each processor has one
+            // operation in flight at a time, so this slice is already
+            // in issue order.
+            let mut current: Vec<Span> = Vec::new();
+            for s in spans {
+                let continues = current.last().is_some_and(|prev: &Span| {
+                    prev.line == s.line && (prev.failed() || prev.op == "LoadLinked")
+                });
+                if !continues && !current.is_empty() {
+                    chains.push(Chain {
+                        proc,
+                        line: current[0].line,
+                        spans: std::mem::take(&mut current),
+                    });
+                }
+                current.push(s.clone());
+            }
+            if !current.is_empty() {
+                chains.push(Chain {
+                    proc,
+                    line: current[0].line,
+                    spans: current,
+                });
+            }
+        }
+        chains
+    }
+
+    /// Chains with at least `min_failures` failed attempts — the
+    /// retry storms. Sorted worst-first: by failure count, then chain
+    /// duration, then `(proc, line, begin)` to break ties
+    /// deterministically.
+    pub fn retry_storms(&self, min_failures: u64) -> Vec<Chain> {
+        let mut storms: Vec<Chain> = self
+            .chains()
+            .into_iter()
+            .filter(|c| c.failures() >= min_failures.max(1))
+            .collect();
+        storms.sort_by(|a, b| {
+            (b.failures(), b.duration())
+                .cmp(&(a.failures(), a.duration()))
+                .then_with(|| {
+                    (a.proc, a.line, a.spans[0].begin).cmp(&(b.proc, b.line, b.spans[0].begin))
+                })
+        });
+        storms
+    }
+
+    /// The `n` busiest lines by total in-flight cycles, each with an
+    /// ASCII contention timeline across the trace window.
+    pub fn hottest_lines(&self, n: usize) -> Vec<LineReport> {
+        const BUCKETS: usize = 48;
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let window_lo = self.spans.iter().map(|s| s.begin).min().unwrap_or(0);
+        let window_hi = self.spans.iter().map(|s| s.end).max().unwrap_or(0);
+        let width = (window_hi - window_lo).max(1);
+        let mut lines: BTreeMap<u64, (u64, u64, u64, Vec<u64>)> = BTreeMap::new();
+        for s in &self.spans {
+            let e = lines
+                .entry(s.line)
+                .or_insert_with(|| (0, 0, 0, vec![0; BUCKETS]));
+            e.0 += 1;
+            e.1 += s.latency();
+            e.2 += u64::from(s.failed());
+            // Mark every bucket the span's flight interval touches.
+            let lo = ((s.begin - window_lo) as u128 * BUCKETS as u128 / width as u128) as usize;
+            let hi = ((s.end - window_lo) as u128 * BUCKETS as u128 / width as u128) as usize;
+            for b in &mut e.3[lo.min(BUCKETS - 1)..=hi.min(BUCKETS - 1)] {
+                *b += 1;
+            }
+        }
+        let mut reports: Vec<LineReport> = lines
+            .into_iter()
+            .map(|(line, (spans, cycles, failures, buckets))| {
+                let peak = buckets.iter().copied().max().unwrap_or(0);
+                let timeline: String = buckets
+                    .iter()
+                    .map(|&c| {
+                        if c == 0 || peak == 0 {
+                            ' '
+                        } else {
+                            let idx = 1 + (c - 1) as usize * (RAMP.len() - 2) / peak as usize;
+                            RAMP[idx.min(RAMP.len() - 1)] as char
+                        }
+                    })
+                    .collect();
+                LineReport {
+                    line,
+                    spans,
+                    cycles,
+                    failures,
+                    peak_concurrency: peak,
+                    timeline,
+                }
+            })
+            .collect();
+        reports.sort_by(|a, b| {
+            (b.cycles, b.spans)
+                .cmp(&(a.cycles, a.spans))
+                .then_with(|| a.line.cmp(&b.line))
+        });
+        reports.truncate(n);
+        reports
+    }
+
+    /// Latency percentile table rows (header first), CSV-shaped.
+    pub fn latency_rows(&self) -> Vec<Vec<String>> {
+        let mut rows = vec![{
+            let mut h = vec!["op".to_string()];
+            h.extend(LatencyHist::quantile_header());
+            h
+        }];
+        for (op, hist) in self.latency_by_op() {
+            let mut row = vec![op];
+            row.extend(hist.quantile_cells());
+            rows.push(row);
+        }
+        rows
+    }
+
+    /// Decomposition table rows (header first), CSV-shaped: per op,
+    /// span count, total cycles, then one column per component.
+    pub fn decomposition_rows(&self) -> Vec<Vec<String>> {
+        let labels = self.component_labels();
+        let mut header = vec!["op".to_string(), "spans".to_string(), "total".to_string()];
+        header.extend(labels.iter().cloned());
+        let mut rows = vec![header];
+        for (op, (count, parts)) in self.decomposition_by_op() {
+            let total: u64 = parts.values().sum();
+            let mut row = vec![op, count.to_string(), total.to_string()];
+            for label in &labels {
+                row.push(parts.get(label).copied().unwrap_or(0).to_string());
+            }
+            rows.push(row);
+        }
+        rows
+    }
+
+    /// Renders the full deterministic text report: trace summary,
+    /// per-op latency percentiles, critical-path decomposition with
+    /// percentages, hottest lines with contention timelines, and
+    /// retry-chain/storm statistics.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trace: {} file(s), {} record(s), {} span(s) ({} open, {} orphan, {} dropped)\n\n",
+            self.files,
+            self.records,
+            self.spans.len(),
+            self.open_spans,
+            self.orphan_records,
+            self.dropped_events,
+        ));
+        if self.spans.is_empty() {
+            out.push_str(
+                "no operation spans found — was the trace captured with cat including \
+                 `span` and `msg`?\n",
+            );
+            return out;
+        }
+
+        out.push_str("== operation latency (cycles) ==\n");
+        out.push_str(&dsm_stats::render_table(&self.latency_rows()));
+        out.push('\n');
+
+        out.push_str("== critical path: where the cycles go ==\n");
+        let labels = self.component_labels();
+        let mut rows = vec![{
+            let mut h = vec!["op".to_string(), "spans".to_string(), "total".to_string()];
+            h.extend(labels.iter().cloned());
+            h
+        }];
+        for (op, (count, parts)) in self.decomposition_by_op() {
+            let total: u64 = parts.values().sum();
+            let mut row = vec![op, count.to_string(), total.to_string()];
+            for label in &labels {
+                let cycles = parts.get(label).copied().unwrap_or(0);
+                let pct = if total == 0 {
+                    0.0
+                } else {
+                    cycles as f64 * 100.0 / total as f64
+                };
+                row.push(format!("{cycles} ({pct:.1}%)"));
+            }
+            rows.push(row);
+        }
+        out.push_str(&dsm_stats::render_table(&rows));
+        out.push('\n');
+
+        out.push_str("== hottest lines ==\n");
+        for r in self.hottest_lines(8) {
+            out.push_str(&format!(
+                "line {:#x}: {} span(s), {} cycle(s), {} failure(s), peak {} in flight\n",
+                r.line, r.spans, r.cycles, r.failures, r.peak_concurrency
+            ));
+            out.push_str(&format!("  |{}|\n", r.timeline));
+        }
+        out.push('\n');
+
+        let chains = self.chains();
+        let retried: Vec<&Chain> = chains.iter().filter(|c| c.spans.len() > 1).collect();
+        let retry: u64 = retried.iter().map(|c| c.retry_cycles()).sum();
+        let backoff: u64 = retried.iter().map(|c| c.backoff_cycles()).sum();
+        out.push_str("== retry chains ==\n");
+        out.push_str(&format!(
+            "{} chain(s), {} with retries; {} retry cycle(s), {} backoff cycle(s)\n",
+            chains.len(),
+            retried.len(),
+            retry,
+            backoff,
+        ));
+        let storms = self.retry_storms(8);
+        if storms.is_empty() {
+            out.push_str("no retry storms (no chain with 8+ failed attempts)\n");
+        } else {
+            out.push_str(&format!(
+                "{} retry storm(s) (8+ failed attempts):\n",
+                storms.len()
+            ));
+            for c in storms.iter().take(8) {
+                out.push_str(&format!(
+                    "  proc {} line {:#x}: {} attempt(s), {} failure(s), \
+                     cycles [{}, {}) = {} retry + {} backoff + {} final\n",
+                    c.proc,
+                    c.line,
+                    c.spans.len(),
+                    c.failures(),
+                    c.spans[0].begin,
+                    c.spans.last().expect("chain is non-empty").end,
+                    c.retry_cycles(),
+                    c.backoff_cycles(),
+                    c.final_cycles(),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_trace::RingRecord;
+    use proptest::prelude::*;
+
+    /// Builds a RingFile by hand: labels + (kind, ts, a, b, node,
+    /// label-idx) tuples.
+    fn ring(labels: &[&str], recs: &[(RecordKind, u64, u64, u64, u32, u16)]) -> RingFile {
+        RingFile {
+            version: 2,
+            dropped: 0,
+            labels: labels.iter().map(|s| s.to_string()).collect(),
+            records: recs
+                .iter()
+                .map(|&(kind, ts, a, b, node, label)| RingRecord {
+                    ts,
+                    a,
+                    b,
+                    c: 0,
+                    node,
+                    label,
+                    kind: kind as u8,
+                })
+                .collect(),
+        }
+    }
+
+    /// Labels: 0=Cas 1=ok 2=net 3=queue 4=dir 5=cas-fail 6=LoadLinked
+    /// 7=StoreConditional 8=sc-fail 9=inval
+    const LABELS: [&str; 10] = [
+        "Cas",
+        "ok",
+        "net",
+        "queue",
+        "dir",
+        "cas-fail",
+        "LoadLinked",
+        "StoreConditional",
+        "sc-fail",
+        "inval",
+    ];
+
+    fn one_span_ring() -> RingFile {
+        ring(
+            &LABELS,
+            &[
+                // span 1: Cas on line 0x40, proc 2, cycles [100, 180).
+                (RecordKind::SpanBegin, 100, 0x40, 1, 2, 0),
+                // net [105,125) to node 3, queue [125,130), dir [130,150).
+                (RecordKind::SpanPhase, 105, 125, 1, 3, 2),
+                (RecordKind::SpanPhase, 125, 130, 1, 3, 3),
+                (RecordKind::SpanPhase, 130, 150, 1, 3, 4),
+                (RecordKind::SpanEnd, 180, 0, 1, 2, 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn reconstructs_spans_with_phases() {
+        let a = Analysis::from_rings(&[one_span_ring()]);
+        assert_eq!(a.spans.len(), 1);
+        assert_eq!(a.open_spans, 0);
+        assert_eq!(a.orphan_records, 0);
+        let s = &a.spans[0];
+        assert_eq!((s.proc, s.line, s.begin, s.end), (2, 0x40, 100, 180));
+        assert_eq!(s.op, "Cas");
+        assert_eq!(s.outcome, "ok");
+        assert_eq!(s.phases.len(), 3);
+        assert_eq!(s.latency(), 80);
+    }
+
+    #[test]
+    fn decomposition_is_exactly_additive() {
+        let a = Analysis::from_rings(&[one_span_ring()]);
+        let parts = a.spans[0].decompose();
+        assert_eq!(parts.get("net"), Some(&20));
+        assert_eq!(parts.get("queue"), Some(&5));
+        assert_eq!(parts.get("dir"), Some(&20));
+        // 100..105 issue + 150..180 reply-side residual.
+        assert_eq!(parts.get("local"), Some(&35));
+        assert_eq!(parts.values().sum::<u64>(), a.spans[0].latency());
+    }
+
+    #[test]
+    fn overlapping_phases_do_not_double_count() {
+        // Two parallel invalidations [10,40) and [20,50), inside a span
+        // [0,60): the sweep books [10,40) to the first and only the
+        // non-overlapped [40,50) to the second.
+        let f = ring(
+            &LABELS,
+            &[
+                (RecordKind::SpanBegin, 0, 0x80, 7, 0, 0),
+                (RecordKind::SpanPhase, 10, 40, 7, 1, 9),
+                (RecordKind::SpanPhase, 20, 50, 7, 2, 9),
+                (RecordKind::SpanEnd, 60, 0, 7, 0, 1),
+            ],
+        );
+        let a = Analysis::from_rings(&[f]);
+        let parts = a.spans[0].decompose();
+        assert_eq!(parts.get("inval"), Some(&40));
+        assert_eq!(parts.get("local"), Some(&20));
+        assert_eq!(parts.values().sum::<u64>(), 60);
+    }
+
+    #[test]
+    fn late_phases_past_span_end_are_clamped_out() {
+        // An invalidation ack serviced after the op retired: attributed
+        // to the span but clamped to zero contribution.
+        let f = ring(
+            &LABELS,
+            &[
+                (RecordKind::SpanBegin, 0, 0x80, 7, 0, 0),
+                (RecordKind::SpanEnd, 30, 0, 7, 0, 1),
+            ],
+        );
+        let mut a = Analysis::from_rings(&[f]);
+        a.spans[0].phases.push(Phase {
+            label: "inval".to_string(),
+            start: 40,
+            end: 55,
+            node: 1,
+        });
+        let parts = a.spans[0].decompose();
+        assert_eq!(parts.get("inval"), None);
+        assert_eq!(parts.get("local"), Some(&30));
+    }
+
+    #[test]
+    fn orphans_and_open_spans_are_counted_not_fatal() {
+        let f = ring(
+            &LABELS,
+            &[
+                // Phase and end for a begin the ring lost.
+                (RecordKind::SpanPhase, 10, 20, 99, 1, 2),
+                (RecordKind::SpanEnd, 30, 0, 99, 1, 1),
+                // A begin that never ends.
+                (RecordKind::SpanBegin, 40, 0x40, 100, 1, 0),
+            ],
+        );
+        let a = Analysis::from_rings(&[f]);
+        assert_eq!(a.spans.len(), 0);
+        assert_eq!(a.orphan_records, 2);
+        assert_eq!(a.open_spans, 1);
+        // The report still renders.
+        assert!(a.report().contains("0 span(s)"));
+    }
+
+    #[test]
+    fn span_ids_do_not_collide_across_files() {
+        // Both files use span id 1; the analysis must keep both.
+        let a = Analysis::from_rings(&[one_span_ring(), one_span_ring()]);
+        assert_eq!(a.spans.len(), 2);
+        assert_eq!(a.spans[0].file, 0);
+        assert_eq!(a.spans[1].file, 1);
+        let by_op = a.latency_by_op();
+        assert_eq!(by_op["Cas"].total(), 2);
+    }
+
+    #[test]
+    fn latency_percentiles_come_from_span_latencies() {
+        let a = Analysis::from_rings(&[one_span_ring()]);
+        let by_op = a.latency_by_op();
+        assert_eq!(by_op["Cas"].percentile(50, 100), 80);
+        assert_eq!(by_op["Cas"].max(), 80);
+        let rows = a.latency_rows();
+        assert_eq!(rows[0][0], "op");
+        assert_eq!(rows[1][0], "Cas");
+    }
+
+    fn llsc_storm_ring() -> RingFile {
+        // Proc 5 on line 0x100: LL(ok) SC(fail) ×9, then LL(ok) SC(ok).
+        let mut recs = Vec::new();
+        let mut span = 1u64;
+        let mut t = 0u64;
+        for round in 0..10u64 {
+            // LL.
+            recs.push((RecordKind::SpanBegin, t, 0x100, span, 5, 6));
+            recs.push((RecordKind::SpanEnd, t + 10, 0, span, 5, 1));
+            span += 1;
+            t += 12;
+            // SC: fails on every round but the last.
+            let outcome = if round == 9 { 1 } else { 8 };
+            recs.push((RecordKind::SpanBegin, t, 0x100, span, 5, 7));
+            recs.push((RecordKind::SpanEnd, t + 20, 0, span, 5, outcome));
+            span += 1;
+            t += 25;
+        }
+        ring(&LABELS, &recs)
+    }
+
+    #[test]
+    fn llsc_retries_form_one_chain_and_a_storm() {
+        let a = Analysis::from_rings(&[llsc_storm_ring()]);
+        let chains = a.chains();
+        assert_eq!(chains.len(), 1, "LL->SC->retry must chain");
+        let c = &chains[0];
+        assert_eq!(c.spans.len(), 20);
+        assert_eq!(c.failures(), 9);
+        // Additivity of the chain decomposition.
+        assert_eq!(
+            c.retry_cycles() + c.backoff_cycles() + c.final_cycles(),
+            c.duration()
+        );
+        let storms = a.retry_storms(8);
+        assert_eq!(storms.len(), 1);
+        assert_eq!((storms[0].proc, storms[0].line), (5, 0x100));
+        let report = a.report();
+        assert!(report.contains("retry storm"));
+        assert!(report.contains("LoadLinked"));
+    }
+
+    #[test]
+    fn independent_ops_do_not_chain() {
+        // Two successful CASes on different lines, same proc.
+        let f = ring(
+            &LABELS,
+            &[
+                (RecordKind::SpanBegin, 0, 0x40, 1, 0, 0),
+                (RecordKind::SpanEnd, 10, 0, 1, 0, 1),
+                (RecordKind::SpanBegin, 20, 0x80, 2, 0, 0),
+                (RecordKind::SpanEnd, 30, 0, 2, 0, 1),
+            ],
+        );
+        let a = Analysis::from_rings(&[f]);
+        assert_eq!(a.chains().len(), 2);
+        assert!(a.retry_storms(1).is_empty());
+    }
+
+    #[test]
+    fn hottest_lines_rank_by_cycles_and_draw_timelines() {
+        let a = Analysis::from_rings(&[llsc_storm_ring(), one_span_ring()]);
+        let lines = a.hottest_lines(8);
+        assert_eq!(lines[0].line, 0x100, "storm line must rank first");
+        assert!(lines[0].cycles > lines[1].cycles);
+        assert_eq!(lines[1].line, 0x40);
+        assert_eq!(lines[0].timeline.chars().count(), 48);
+        assert!(lines[0].timeline.trim().len() > 1);
+        assert!(lines[0].peak_concurrency >= 1);
+        // Requesting fewer lines truncates.
+        assert_eq!(a.hottest_lines(1).len(), 1);
+    }
+
+    #[test]
+    fn report_is_deterministic_and_complete() {
+        let a = Analysis::from_rings(&[llsc_storm_ring(), one_span_ring()]);
+        let b = Analysis::from_rings(&[llsc_storm_ring(), one_span_ring()]);
+        assert_eq!(a.report(), b.report());
+        let r = a.report();
+        for section in [
+            "operation latency",
+            "critical path",
+            "hottest lines",
+            "retry chains",
+            "p50",
+            "p99",
+        ] {
+            assert!(r.contains(section), "missing `{section}` in:\n{r}");
+        }
+    }
+
+    #[test]
+    fn from_files_sorts_by_file_name_and_reports_bad_files() {
+        let dir = std::env::temp_dir().join(format!("dsm-analyze-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.ring");
+        std::fs::write(&bad, b"not a ring file").unwrap();
+        let err = Analysis::from_files(std::slice::from_ref(&bad)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("bad.ring"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    proptest! {
+        /// The decomposition is additive for arbitrary phase soups:
+        /// any number of phases with any overlap, any clamping.
+        #[test]
+        fn decomposition_always_sums_to_latency(
+            begin in 0u64..1000,
+            len in 1u64..1000,
+            phases in proptest::collection::vec((0u64..2000, 0u64..500, 0usize..4), 0..12),
+        ) {
+            let labels = ["net", "queue", "dir", "inval"];
+            let span = Span {
+                id: 1,
+                file: 0,
+                proc: 0,
+                op: "Cas".to_string(),
+                line: 0x40,
+                begin,
+                end: begin + len,
+                outcome: "ok".to_string(),
+                phases: phases
+                    .into_iter()
+                    .map(|(start, plen, label)| Phase {
+                        label: labels[label].to_string(),
+                        start,
+                        end: start + plen,
+                        node: 0,
+                    })
+                    .collect(),
+            };
+            let parts = span.decompose();
+            prop_assert_eq!(parts.values().sum::<u64>(), span.latency());
+        }
+    }
+}

@@ -7,9 +7,10 @@
 //! cargo run --release -p dsm-bench --bin figures -- all --csv out/    # also write CSV
 //! ```
 //!
-//! Artifacts: `table1`, `fig2`–`fig6`, `scaling`, `lockfree`, `all`
-//! (`all` regenerates the committed paper artifacts and deliberately
-//! excludes `lockfree` — request that table by name).
+//! Artifacts: `table1`, `fig2`–`fig6`, `scaling`, `lockfree`,
+//! `latency`, `metrics`, `all` (`all` regenerates the committed paper
+//! artifacts and deliberately excludes `lockfree`, `latency` and
+//! `metrics` — request those tables by name).
 //! `--paper` runs at the paper's 64-processor scale (slower); the
 //! default is a 16-processor scale with the same shape. `--csv DIR`
 //! additionally writes one CSV file per artifact into DIR; `--bars`
@@ -30,9 +31,17 @@
 //! by the supervision layer (`DSM_REPRO_DIR`): it pins the recorded
 //! fault configuration and minimal fault schedule and reports whether
 //! the recorded deterministic failure recurs.
+//!
+//! `figures analyze FILE...` runs the trace-analytics engine
+//! (`dsm-analyze`) over binary ring dumps captured with
+//! `--trace=ring:...,cat:...` (the categories must include `span` and
+//! `msg`): per-operation latency percentiles, an additive
+//! critical-path decomposition, the hottest lines with contention
+//! timelines, and LL/SC retry-storm detection. `--csv DIR` also
+//! writes `analyze_latency.csv` / `analyze_decomposition.csv`.
 
 use atomic_dsm::experiments::{
-    apps, counters, lockfree, paper_bars, runner, scaling, table1, CounterKind,
+    apps, counters, latency, lockfree, metrics, paper_bars, runner, scaling, table1, CounterKind,
 };
 use dsm_bench::scale;
 use std::path::PathBuf;
@@ -88,6 +97,51 @@ fn replay_reproducer(path: &str) -> ! {
     }
 }
 
+/// `figures analyze FILE... [--csv DIR]`: runs the trace-analytics
+/// engine over binary ring dumps and prints the latency/critical-path
+/// report. Exit 0 on success, 2 on an unreadable file.
+fn analyze_traces(args: &[String]) -> ! {
+    let csv_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let mut skip_next = false;
+    let files: Vec<&String> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--csv" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .collect();
+    if files.is_empty() {
+        eprintln!("usage: figures analyze FILE... [--csv DIR]");
+        std::process::exit(2);
+    }
+    let analysis = match dsm_analyze::Analysis::from_files(&files) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", analysis.report());
+    write_csv(&csv_dir, "analyze_latency", &analysis.latency_rows());
+    write_csv(
+        &csv_dir,
+        "analyze_decomposition",
+        &analysis.decomposition_rows(),
+    );
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("repro") {
@@ -98,6 +152,9 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if args.first().map(String::as_str) == Some("analyze") {
+        analyze_traces(&args[1..]);
     }
     let paper = args.iter().any(|a| a == "--paper");
     let bars_mode = args.iter().any(|a| a == "--bars");
@@ -161,9 +218,10 @@ fn main() {
         })
         .map(String::as_str)
         .collect();
-    // `lockfree` is deliberately NOT part of `all`: the committed
-    // paper artifacts (results_paper.txt, results_csv/) predate the
-    // lock-free tier and must stay byte-identical. Request it by name.
+    // `lockfree`, `latency` and `metrics` are deliberately NOT part of
+    // `all`: the committed paper artifacts (results_paper.txt,
+    // results_csv/) predate them and must stay byte-identical. Request
+    // those tables by name.
     let wanted: Vec<&str> = if wanted.is_empty() || wanted.contains(&"all") {
         vec!["table1", "fig2", "fig3", "fig4", "fig5", "fig6", "scaling"]
     } else {
@@ -338,9 +396,24 @@ fn main() {
                     }
                     write_csv(&csv_dir, "lockfree", &rows);
                 }
+                "latency" => {
+                    println!(
+                        "## Operation latency — cycles per op, p50/p90/p99/p99.9 (p={})\n",
+                        s.procs
+                    );
+                    let rows = latency::run(&s);
+                    println!("{}", latency::render(&rows));
+                    write_csv(&csv_dir, "latency", &latency::csv_rows(&rows));
+                }
+                "metrics" => {
+                    println!("## Per-node mesh/protocol metrics (p={})\n", s.procs);
+                    let runs = metrics::run(&s);
+                    println!("{}", metrics::render(&runs));
+                    write_csv(&csv_dir, "metrics", &metrics::csv_rows(&runs));
+                }
                 other => {
                     eprintln!(
-                    "unknown artifact `{other}` (try: table1 fig2 fig3 fig4 fig5 fig6 scaling lockfree all)"
+                    "unknown artifact `{other}` (try: table1 fig2 fig3 fig4 fig5 fig6 scaling lockfree latency metrics all)"
                 );
                     std::process::exit(2);
                 }

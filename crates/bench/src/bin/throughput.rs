@@ -20,6 +20,11 @@
 //!   wall clock (default 1). The simulated results must be identical
 //!   across repeats — the harness asserts it — so taking the minimum
 //!   only filters out ambient host load;
+//! * `--floor FILE --floor-pct N`  regression gate: exit 1 if this
+//!   run's `total.cycles_per_sec` falls more than `N`% below the
+//!   floor report's (default N = 15). CI points `--floor` at the
+//!   committed `BENCH_throughput.json` so a perf regression fails the
+//!   build while ambient host noise does not;
 //! * `--trace[=SPEC]` capture a structured event trace of every
 //!   workload machine (see `dsm_trace::TraceSpec` for the grammar).
 //!   Tracing costs wall clock, so never pass it when refreshing the
@@ -181,6 +186,8 @@ fn main() {
     let mut quick = false;
     let mut out_path = "BENCH_throughput.json".to_string();
     let mut baseline_path: Option<String> = None;
+    let mut floor_path: Option<String> = None;
+    let mut floor_pct: f64 = 15.0;
     let mut repeat: u32 = 1;
     let mut i = 0;
     while i < args.len() {
@@ -193,6 +200,22 @@ fn main() {
             "--baseline" => {
                 i += 1;
                 baseline_path = Some(args.get(i).expect("--baseline needs a path").clone());
+            }
+            "--floor" => {
+                i += 1;
+                floor_path = Some(args.get(i).expect("--floor needs a path").clone());
+            }
+            "--floor-pct" => {
+                i += 1;
+                floor_pct = args
+                    .get(i)
+                    .expect("--floor-pct needs a percentage")
+                    .parse()
+                    .expect("--floor-pct needs a number");
+                assert!(
+                    (0.0..100.0).contains(&floor_pct),
+                    "--floor-pct needs a percentage in [0, 100)"
+                );
             }
             "--repeat" => {
                 i += 1;
@@ -215,7 +238,8 @@ fn main() {
             other => {
                 eprintln!("unknown flag {other}");
                 eprintln!(
-                    "usage: throughput [--quick] [--out FILE] [--baseline FILE] [--repeat N] [--trace[=SPEC]]"
+                    "usage: throughput [--quick] [--out FILE] [--baseline FILE] [--repeat N] \
+                     [--floor FILE] [--floor-pct N] [--trace[=SPEC]]"
                 );
                 std::process::exit(2);
             }
@@ -299,4 +323,24 @@ fn main() {
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
+
+    if let Some(path) = &floor_path {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read floor {path}: {e}"));
+        let floor_cps = extract_total_field(&text, "cycles_per_sec")
+            .expect("floor file has no total.cycles_per_sec");
+        let allowed = floor_cps * (1.0 - floor_pct / 100.0);
+        let got = total.cycles_per_sec();
+        if got < allowed {
+            eprintln!(
+                "PERF REGRESSION: total {got:.0} cyc/s is more than {floor_pct:.0}% below \
+                 the floor {floor_cps:.0} cyc/s (allowed ≥ {allowed:.0})"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "floor gate ok: {got:.0} cyc/s ≥ {allowed:.0} \
+             ({floor_pct:.0}% slack under floor {floor_cps:.0})"
+        );
+    }
 }

@@ -54,6 +54,8 @@ pub struct AppRun {
     pub contention: Histogram,
     /// Average write-run length of the synchronization variables.
     pub write_run: f64,
+    /// Cycle-exact latency histogram over every operation of the run.
+    pub latency: dsm_stats::LatencyHist,
 }
 
 const RUN_LIMIT: Cycle = Cycle::new(50_000_000_000);
@@ -177,6 +179,7 @@ pub(crate) fn prepare(app: App, bar: &BarSpec, scale: &Scale, seed: u64) -> Prep
                 cycles: report.cycles.as_u64(),
                 contention: stats.contention.histogram().clone(),
                 write_run: stats.write_runs.completed().mean(),
+                latency: stats.op_latency_hist.clone(),
             }))
         }),
     }

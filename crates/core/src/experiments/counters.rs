@@ -26,6 +26,9 @@ pub struct CounterPoint {
     pub updates: u64,
     /// Total elapsed cycles of the run.
     pub cycles: u64,
+    /// Cycle-exact latency histogram over every operation of the run,
+    /// mergeable across jobs for the `figures latency` percentile table.
+    pub latency: dsm_stats::LatencyHist,
 }
 
 /// One graph of a figure: a fixed `(c, a)` point with all its bars.
@@ -132,6 +135,7 @@ pub(crate) fn prepare(
                 avg_cycles: report.cycles.as_u64() as f64 / updates as f64,
                 updates,
                 cycles: report.cycles.as_u64(),
+                latency: machine.stats().op_latency_hist.clone(),
             }))
         }),
     }

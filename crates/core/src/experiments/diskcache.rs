@@ -45,7 +45,7 @@ use crate::experiments::{BarSpec, CounterKind, Scale};
 use dsm_protocol::{CasVariant, LlscScheme, SyncPolicy};
 use dsm_sim::snapshot::{self, ByteReader, ByteWriter, PayloadKind, SnapshotError};
 use dsm_sim::{FaultConfig, MachineConfig, StableHasher};
-use dsm_stats::Histogram;
+use dsm_stats::{Histogram, LatencyHist};
 use dsm_sync::{LinkPrim, Primitive};
 use dsm_workloads::LfStructure;
 use std::cell::RefCell;
@@ -516,6 +516,7 @@ fn put_output(w: &mut ByteWriter, out: &JobOutput) {
             w.put_f64(p.avg_cycles);
             w.put_u64(p.updates);
             w.put_u64(p.cycles);
+            p.latency.encode_into(w);
         }
         JobOutput::App(a) => {
             w.put_u8(1);
@@ -524,6 +525,7 @@ fn put_output(w: &mut ByteWriter, out: &JobOutput) {
             w.put_u64(a.cycles);
             put_histogram(w, &a.contention);
             w.put_f64(a.write_run);
+            a.latency.encode_into(w);
         }
         // Guarded by the Table 1 gate in store(): rows hold static
         // label strings and are regenerated, never persisted.
@@ -544,6 +546,7 @@ fn put_output(w: &mut ByteWriter, out: &JobOutput) {
             w.put_u64(p.ops);
             w.put_u64(p.cycles);
             w.put_f64(p.avg_cycles);
+            p.latency.encode_into(w);
         }
     }
 }
@@ -555,6 +558,7 @@ fn take_output(r: &mut ByteReader<'_>) -> Result<JobOutput, SnapshotError> {
             avg_cycles: r.take_f64()?,
             updates: r.take_u64()?,
             cycles: r.take_u64()?,
+            latency: LatencyHist::decode_from(r)?,
         }),
         1 => JobOutput::App(AppRun {
             app: take_app(r)?,
@@ -562,6 +566,7 @@ fn take_output(r: &mut ByteReader<'_>) -> Result<JobOutput, SnapshotError> {
             cycles: r.take_u64()?,
             contention: take_histogram(r)?,
             write_run: r.take_f64()?,
+            latency: LatencyHist::decode_from(r)?,
         }),
         3 => {
             let structure = match r.take_u8()? {
@@ -583,6 +588,7 @@ fn take_output(r: &mut ByteReader<'_>) -> Result<JobOutput, SnapshotError> {
                 ops: r.take_u64()?,
                 cycles: r.take_u64()?,
                 avg_cycles: r.take_f64()?,
+                latency: LatencyHist::decode_from(r)?,
             })
         }
         t => return Err(bad_tag("job output", t)),
@@ -726,6 +732,10 @@ mod tests {
         contention.record_n(1, 40);
         contention.record_n(3, 7);
         contention.record_n(9, 1);
+        let mut latency = LatencyHist::new();
+        for v in [3, 90, 90, 4096, u64::MAX] {
+            latency.record(v);
+        }
         let job = app_job();
         let out = JobOutput::App(AppRun {
             app: App::TransitiveClosure,
@@ -733,6 +743,7 @@ mod tests {
             cycles: 123_456,
             contention: contention.clone(),
             write_run: 1.25,
+            latency: latency.clone(),
         });
         let bytes = encode_entry(&encode_job(&job), &Ok(out));
         let back = decode_entry(&bytes, &job).unwrap().unwrap().unwrap();
@@ -745,6 +756,7 @@ mod tests {
         );
         assert_eq!(a.cycles, 123_456);
         assert_eq!(a.write_run.to_bits(), 1.25f64.to_bits());
+        assert_eq!(a.latency, latency);
     }
 
     #[test]
@@ -754,11 +766,14 @@ mod tests {
         with_cache_dir(Some(&dir), || {
             let job = counter_job(false);
             assert!(load(&job).is_none(), "cold store must miss");
+            let mut latency = LatencyHist::new();
+            latency.record_n(41, 16);
             let out = Ok(JobOutput::Counter(CounterPoint {
                 bar: BarSpec::new(SyncPolicy::Unc, Primitive::FetchPhi),
                 avg_cycles: 41.5,
                 updates: 16,
                 cycles: 664,
+                latency,
             }));
             store(&job, &out);
             let back = load(&job).expect("warm store must hit");
@@ -807,6 +822,7 @@ mod tests {
                 avg_cycles: 1.0,
                 updates: 1,
                 cycles: 1,
+                latency: LatencyHist::new(),
             }));
             store(&job, &out);
             let path = dir.join(file_name(&encode_job(&job)));

@@ -1,0 +1,122 @@
+//! `figures latency`: cycle-exact operation-latency percentile tables.
+//!
+//! Every experiment job already records a [`LatencyHist`] over the
+//! latency of each completed operation (see
+//! `dsm_machine::MachineStats::op_latency_hist`). This module merges
+//! those histograms per workload × implementation and renders one
+//! percentile table: p50/p90/p99/p99.9/max/mean cycles per operation.
+//!
+//! The counter workload is measured across every contention level of
+//! the Figure 3 sweep with one merged histogram per implementation;
+//! the applications reuse the Figure 2 runs (FAΦ under each coherence
+//! policy). Everything goes through the experiment [`runner`], so
+//! repeated requests are served from the result cache and the table is
+//! byte-identical at any worker count.
+//!
+//! Like `lockfree`, this artifact is deliberately *not* part of
+//! `figures all`: the committed paper artifacts predate it and must
+//! stay byte-identical. Request it by name.
+//!
+//! [`runner`]: crate::experiments::runner
+
+use crate::experiments::{apps, basic_bars, counters, CounterKind, Scale};
+use dsm_stats::LatencyHist;
+
+/// One row of the latency table: a workload × implementation cell and
+/// its merged operation-latency histogram.
+#[derive(Debug, Clone)]
+pub struct LatencyRow {
+    /// Row label, e.g. `counter [INV CAS]` or `Transitive Closure [UPD]`.
+    pub workload: String,
+    /// Merged cycle-exact latency histogram for every operation the
+    /// cell's run(s) completed.
+    pub hist: LatencyHist,
+}
+
+/// Builds the full table: the lock-free counter under each basic
+/// implementation (merged across the contention sweep), then the three
+/// applications under each coherence policy.
+pub fn run(scale: &Scale) -> Vec<LatencyRow> {
+    let bars = basic_bars();
+    let mut rows = Vec::new();
+    let graphs = counters::run_figure(CounterKind::LockFree, &bars, scale);
+    let mut merged: Vec<LatencyHist> = vec![LatencyHist::new(); bars.len()];
+    for g in &graphs {
+        for (i, p) in g.points.iter().enumerate() {
+            merged[i].merge(&p.latency);
+        }
+    }
+    for (bar, hist) in bars.iter().zip(merged) {
+        rows.push(LatencyRow {
+            workload: format!("counter [{}]", bar.label()),
+            hist,
+        });
+    }
+    for r in apps::fig2(scale) {
+        rows.push(LatencyRow {
+            workload: format!("{} [{}]", r.app.label(), r.bar.policy.label()),
+            hist: r.latency,
+        });
+    }
+    rows
+}
+
+/// The table rows (header first), CSV-shaped.
+pub fn csv_rows(rows: &[LatencyRow]) -> Vec<Vec<String>> {
+    let mut out = vec![{
+        let mut h = vec!["workload".to_string()];
+        h.extend(LatencyHist::quantile_header());
+        h
+    }];
+    for r in rows {
+        let mut row = vec![r.workload.clone()];
+        row.extend(r.hist.quantile_cells());
+        out.push(row);
+    }
+    out
+}
+
+/// Renders the aligned text table.
+pub fn render(rows: &[LatencyRow]) -> String {
+    dsm_stats::render_table(&csv_rows(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            procs: 4,
+            rounds: 4,
+            tc_size: 4,
+            wires: 8,
+            tasks: 8,
+        }
+    }
+
+    #[test]
+    fn table_covers_counters_and_apps_with_populated_histograms() {
+        let rows = run(&tiny());
+        // One counter row per basic bar, one app row per fig2 run
+        // (3 apps × 3 policies).
+        assert_eq!(rows.len(), basic_bars().len() + 9);
+        for r in &rows {
+            assert!(r.hist.total() > 0, "{}: empty histogram", r.workload);
+            assert!(
+                r.hist.percentile(50, 100) <= r.hist.percentile(99, 100),
+                "{}: non-monotone percentiles",
+                r.workload
+            );
+        }
+        let text = render(&rows);
+        assert!(text.contains("p50") && text.contains("p99.9"));
+        assert!(text.contains("counter [INV CAS]"));
+        assert!(text.contains("Transitive Closure [UPD]"));
+    }
+
+    #[test]
+    fn table_is_deterministic() {
+        assert_eq!(render(&run(&tiny())), render(&run(&tiny())));
+    }
+}

@@ -37,6 +37,8 @@ pub struct LockfreePoint {
     pub cycles: u64,
     /// Average cycles per completed operation.
     pub avg_cycles: f64,
+    /// Cycle-exact latency histogram over every operation of the run.
+    pub latency: dsm_stats::LatencyHist,
 }
 
 /// One structure's table: all primitive × policy points, primitive-major
@@ -191,6 +193,7 @@ pub(crate) fn prepare(
                 ops,
                 cycles: report.cycles.as_u64(),
                 avg_cycles: report.cycles.as_u64() as f64 / ops as f64,
+                latency: machine.stats().op_latency_hist.clone(),
             }))
         }),
     }

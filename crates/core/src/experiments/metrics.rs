@@ -1,0 +1,163 @@
+//! `figures metrics`: per-node mesh and protocol metrics for the
+//! applications.
+//!
+//! Runs each application once under the Figure 2 reference
+//! implementation (FAΦ, INV) with a sink-less tracer attached — every
+//! category enabled, no file output — and exports the
+//! [`NodeMetrics`] the tracing layer accumulates: messages and flits
+//! injected per node, home/cache service counts, transit and queue
+//! statistics, retired operations, retries, and state-transition
+//! counts.
+//!
+//! The runs are direct (not through the experiment runner's cache:
+//! the cached job outputs do not carry per-node metrics) with a fixed
+//! seed, so the table is a pure function of the scale — byte-identical
+//! across processes and at any `--jobs` setting, which
+//! `tests/latency_analysis.rs` asserts.
+//!
+//! Like `lockfree` and `latency`, this artifact is *not* part of
+//! `figures all`; request it by name.
+
+use crate::experiments::apps::{self, App};
+use crate::experiments::{BarSpec, Scale};
+use dsm_protocol::SyncPolicy;
+use dsm_stats::metrics::{metrics_row, render_node_metrics, NodeMetrics};
+use dsm_sync::Primitive;
+use dsm_trace::{Categories, TraceSpec};
+
+/// One application's per-node metrics.
+#[derive(Debug, Clone)]
+pub struct MetricsRun {
+    /// The application measured.
+    pub app: App,
+    /// Per-node metrics, indexed by node id.
+    pub metrics: Vec<NodeMetrics>,
+}
+
+/// A trace spec that attaches no sink: the tracer only accumulates
+/// [`NodeMetrics`], and nothing is written to disk.
+fn metrics_only_spec() -> TraceSpec {
+    TraceSpec {
+        perfetto: false,
+        out: None,
+        ring: None,
+        ring_out: None,
+        cats: Categories::all(),
+    }
+}
+
+/// Runs every application and collects its per-node metrics.
+///
+/// # Panics
+///
+/// Panics if a run fails or produces a wrong answer — the same
+/// output checks the runner applies are enforced here.
+pub fn run(scale: &Scale) -> Vec<MetricsRun> {
+    App::ALL
+        .into_iter()
+        .map(|app| {
+            let bar = BarSpec::new(SyncPolicy::Inv, Primitive::FetchPhi);
+            let mut prepared = apps::prepare(app, &bar, scale, 0);
+            prepared.machine.attach_tracer(&metrics_only_spec());
+            let report = prepared
+                .machine
+                .run(prepared.limit)
+                .unwrap_or_else(|e| panic!("{}: {e}", prepared.label));
+            let metrics = prepared
+                .machine
+                .tracer()
+                .expect("tracer attached above")
+                .metrics()
+                .to_vec();
+            // Run the job's own finish stage for its coherence and
+            // output validation; the assembled output is discarded.
+            (prepared.finish)(&mut prepared.machine, report)
+                .unwrap_or_else(|e| panic!("metrics run failed validation: {e:?}"));
+            MetricsRun { app, metrics }
+        })
+        .collect()
+}
+
+/// The CSV rows (header first): one row per `(app, node)`, plus a
+/// `total` row per app, matching [`render_node_metrics`]'s columns.
+pub fn csv_rows(runs: &[MetricsRun]) -> Vec<Vec<String>> {
+    let mut rows = vec![vec![
+        "app".to_string(),
+        "node".to_string(),
+        "msgs".to_string(),
+        "flits".to_string(),
+        "srv_home".to_string(),
+        "srv_cache".to_string(),
+        "transit_avg".to_string(),
+        "queue_avg".to_string(),
+        "queue_max".to_string(),
+        "ops".to_string(),
+        "retries".to_string(),
+        "dir_transitions".to_string(),
+        "cache_transitions".to_string(),
+    ]];
+    for r in runs {
+        let mut total = NodeMetrics::new();
+        for (i, m) in r.metrics.iter().enumerate() {
+            total.merge(m);
+            let mut row = vec![r.app.label().to_string()];
+            row.extend(metrics_row(&i.to_string(), m));
+            rows.push(row);
+        }
+        let mut row = vec![r.app.label().to_string()];
+        row.extend(metrics_row("total", &total));
+        rows.push(row);
+    }
+    rows
+}
+
+/// Renders one aligned metrics table per application.
+pub fn render(runs: &[MetricsRun]) -> String {
+    let mut out = String::new();
+    for r in runs {
+        out.push_str(r.app.label());
+        out.push('\n');
+        out.push_str(&render_node_metrics(&r.metrics));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            procs: 4,
+            rounds: 4,
+            tc_size: 4,
+            wires: 8,
+            tasks: 8,
+        }
+    }
+
+    #[test]
+    fn every_app_reports_active_nodes() {
+        let runs = run(&tiny());
+        assert_eq!(runs.len(), App::ALL.len());
+        for r in &runs {
+            assert_eq!(r.metrics.len(), 4);
+            let total: u64 = r.metrics.iter().map(|m| m.msgs_sent).sum();
+            assert!(total > 0, "{}: no messages recorded", r.app.label());
+            let ops: u64 = r.metrics.iter().map(|m| m.ops_retired).sum();
+            assert!(ops > 0, "{}: no ops recorded", r.app.label());
+        }
+        let text = render(&runs);
+        assert!(text.contains("Transitive Closure"));
+        assert!(text.contains("srv-home"));
+        let rows = csv_rows(&runs);
+        // Header + per app: 4 node rows + 1 total row.
+        assert_eq!(rows.len(), 1 + App::ALL.len() * 5);
+    }
+
+    #[test]
+    fn metrics_are_deterministic() {
+        assert_eq!(csv_rows(&run(&tiny())), csv_rows(&run(&tiny())));
+    }
+}

@@ -19,7 +19,9 @@ pub mod apps;
 pub mod checkpoint;
 pub mod counters;
 pub mod diskcache;
+pub mod latency;
 pub mod lockfree;
+pub mod metrics;
 pub mod repro;
 pub mod runner;
 pub mod scaling;

@@ -252,8 +252,13 @@ enum Event {
     /// each message through the heap four extra times.
     Deliver(Box<Msg>),
     /// A server (memory module or cache controller) finished processing
-    /// a message.
-    Process(Box<Msg>),
+    /// a message. The second field is the operation span the message
+    /// works for (0 when tracing is off or the flow is span-less); it
+    /// bridges the service-start → service-finish gap so protocol
+    /// handler output inherits the requester's span. Diagnostic-only:
+    /// it never influences simulation behaviour and is excluded from
+    /// [`Machine::state_digest`] like the tracer that produces it.
+    Process(Box<Msg>, u64),
     /// A processor is ready for its next program step.
     ProcStep(ProcId),
     /// A processor's outstanding operation completed.
@@ -276,6 +281,9 @@ struct ProcState {
     last_chain: Option<u32>,
     /// (op, issue time, tracked-as-sync) of the outstanding operation.
     current: Option<(MemOp, Cycle, bool)>,
+    /// The trace span of the outstanding operation (0 = none).
+    /// Diagnostic-only; excluded from [`Machine::state_digest`].
+    span: u64,
 }
 
 /// Builder for a [`Machine`].
@@ -447,6 +455,7 @@ impl MachineBuilder {
                 last: None,
                 last_chain: None,
                 current: None,
+                span: 0,
             })
             .collect();
         let injector = faults
@@ -966,7 +975,10 @@ impl Machine {
                 h.write_u8(0);
                 m.digest(h);
             }
-            Event::Process(m) => {
+            // The span word is deliberately not hashed: it is
+            // tracer-produced diagnostic state, and digests must agree
+            // between traced and untraced runs of the same simulation.
+            Event::Process(m, _span) => {
                 h.write_u8(1);
                 m.digest(h);
             }
@@ -1073,7 +1085,7 @@ impl Machine {
                 self.deliver(msg);
                 Ok(())
             }
-            Event::Process(msg) => self.process(msg),
+            Event::Process(msg, span) => self.process(msg, span),
         }
     }
 
@@ -1232,6 +1244,15 @@ impl Machine {
             self.stats.contention.begin(op.addr().as_u64(), p.as_u32());
         }
         self.procs[p.index()].current = Some((op, self.now, is_sync));
+        if let Some(tracer) = &mut self.tracer {
+            let span = tracer.span_begin(
+                self.now,
+                p,
+                op.label(),
+                op.addr().line(self.cfg.params.line_size),
+            );
+            self.procs[p.index()].span = span;
+        }
         let mut out = std::mem::take(&mut self.outbox);
         let completed = self.caches[p.index()]
             .start_op_with(op, sync_cfg.unwrap_or_default(), &mut out)
@@ -1241,6 +1262,11 @@ impl Machine {
             })?;
         self.route(&mut out);
         self.outbox = out;
+        // Back to "no span": anything sent later (fault repair,
+        // unrelated servicing) is not this operation's doing.
+        if let Some(tracer) = &mut self.tracer {
+            tracer.set_span_ctx(0);
+        }
         match completed {
             Some(outcome) => {
                 let latency = self.cfg.params.cache_hit;
@@ -1267,9 +1293,11 @@ impl Machine {
             });
         };
         self.last_retire = self.now;
-        let latency = (self.now - issued).as_u64() as f64;
+        let cycles = (self.now - issued).as_u64();
+        let latency = cycles as f64;
         self.stats.ops += 1;
         self.stats.op_latency.add(latency);
+        self.stats.op_latency_hist.record(cycles);
         if outcome.local {
             self.stats.local_ops += 1;
         }
@@ -1287,7 +1315,17 @@ impl Machine {
                 op.is_write() && outcome.result.succeeded(),
             );
         }
+        let span = std::mem::take(&mut self.procs[p.index()].span);
         if let Some(tracer) = &mut self.tracer {
+            let outcome_label = match outcome.result {
+                OpResult::CasDone { success: false, .. } => "cas-fail",
+                OpResult::ScDone { success: false } => "sc-fail",
+                OpResult::Loaded {
+                    reserved: false, ..
+                } if matches!(op, MemOp::LoadLinked { .. }) => "ll-unreserved",
+                _ => "ok",
+            };
+            tracer.span_end(self.now, p, span, outcome_label);
             if tracer.wants(Category::Op) {
                 tracer.op(
                     p,
@@ -1357,19 +1395,21 @@ impl Machine {
         let start = self.now.max(*busy);
         let finish = start + service;
         *busy = finish;
+        let mut span = 0;
         if let Some(tracer) = &mut self.tracer {
             if tracer.wants(Category::Msg) {
-                tracer.msg_service(
+                span = tracer.msg_service(
                     start,
                     finish,
                     msg.src,
                     msg.dst,
                     msg.kind.label(),
                     msg.kind.home_bound(),
+                    msg.kind.service_phase(),
                 );
             }
         }
-        self.events.push(finish, Event::Process(msg));
+        self.events.push(finish, Event::Process(msg, span));
     }
 
     /// Wraps a completion in a (pooled) box for the event queue.
@@ -1402,11 +1442,17 @@ impl Machine {
         taken
     }
 
-    fn process(&mut self, msg: Box<Msg>) -> Result<(), RunError> {
+    fn process(&mut self, msg: Box<Msg>, span: u64) -> Result<(), RunError> {
         let node = msg.dst.index();
         let dst = msg.dst;
         let line = msg.line;
         let msg = self.recycle(msg);
+        // Everything the handlers send below — forwards, invalidation
+        // fan-out, replies — is on behalf of the operation that caused
+        // this message, so those flows inherit its span.
+        if let Some(tracer) = &mut self.tracer {
+            tracer.set_span_ctx(span);
+        }
         // Coherence-state probes bracket the handler call; the flags are
         // false when tracing is off, so the probes cost nothing then.
         let want_state = self
@@ -1467,6 +1513,9 @@ impl Machine {
             }
         }
         self.outbox = out;
+        if let Some(tracer) = &mut self.tracer {
+            tracer.set_span_ctx(0);
+        }
         if self.paranoid {
             if let Some(violation) = check_line(&self.caches, &self.homes, &self.map, line)
                 .into_iter()

@@ -1,6 +1,8 @@
 //! Machine-level instrumentation.
 
-use dsm_stats::{ChainStats, ContentionTracker, Histogram, OnlineMean, WriteRunTracker};
+use dsm_stats::{
+    ChainStats, ContentionTracker, Histogram, LatencyHist, OnlineMean, WriteRunTracker,
+};
 
 /// Everything the machine measures during a run.
 ///
@@ -31,6 +33,10 @@ pub struct MachineStats {
     pub local_ops: u64,
     /// Histogram of sync-op latencies (bucketed by 10 cycles).
     pub sync_latency_hist: Histogram,
+    /// Cycle-exact log-bucketed latency histogram over *all* completed
+    /// operations: the percentile source (p50/p99/...) for the latency
+    /// tables and `figures analyze`.
+    pub op_latency_hist: LatencyHist,
 }
 
 impl MachineStats {
@@ -59,6 +65,7 @@ impl MachineStats {
         h.write_u64(self.sync_ops);
         h.write_u64(self.local_ops);
         self.sync_latency_hist.digest(h);
+        self.op_latency_hist.digest(h);
     }
 }
 

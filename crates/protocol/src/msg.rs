@@ -500,6 +500,25 @@ impl MsgKind {
             MsgKind::FwdNak => MsgClass::Nak,
         }
     }
+
+    /// The span-phase label for the service interval this message
+    /// causes at its destination, used by the latency decomposition:
+    /// home-bound messages occupy the directory (`"dir"`), and
+    /// cache-bound ones are split by what they do to the cache —
+    /// invalidation/update fan-out (`"inval"`), data replies
+    /// (`"reply"`), forwarded requests (`"fwd"`), or other controller
+    /// work (`"cachesvc"`).
+    pub fn service_phase(&self) -> &'static str {
+        if self.home_bound() {
+            return "dir";
+        }
+        match self.class() {
+            MsgClass::Invalidate | MsgClass::Update => "inval",
+            MsgClass::Reply => "reply",
+            MsgClass::Forward => "fwd",
+            _ => "cachesvc",
+        }
+    }
 }
 
 /// A coherence message in flight.

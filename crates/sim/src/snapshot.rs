@@ -30,7 +30,12 @@ pub const MAGIC: [u8; 8] = *b"DSMSNAP\0";
 
 /// The current container format version. Bump on any layout change;
 /// readers reject other versions with [`SnapshotError::BadVersion`].
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version history: v1 = initial container; v2 = cache-entry payloads
+/// carry a per-job latency histogram and the standalone `Histogram`
+/// payload kind exists. Old entries surface as `BadVersion`, get
+/// quarantined by their consumers, and are regenerated deterministically.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// What a container's payload encodes. Stored in the header so a
 /// checkpoint can never be misread as a cache entry or vice versa.
@@ -42,6 +47,8 @@ pub enum PayloadKind {
     CacheEntry,
     /// A minimized fault-schedule reproducer.
     Reproducer,
+    /// A standalone log-bucketed latency histogram (`dsm-stats`).
+    Histogram,
 }
 
 impl PayloadKind {
@@ -50,6 +57,7 @@ impl PayloadKind {
             PayloadKind::Checkpoint => 1,
             PayloadKind::CacheEntry => 2,
             PayloadKind::Reproducer => 3,
+            PayloadKind::Histogram => 4,
         }
     }
 
@@ -58,6 +66,7 @@ impl PayloadKind {
             1 => Some(PayloadKind::Checkpoint),
             2 => Some(PayloadKind::CacheEntry),
             3 => Some(PayloadKind::Reproducer),
+            4 => Some(PayloadKind::Histogram),
             _ => None,
         }
     }
@@ -68,6 +77,7 @@ impl PayloadKind {
             PayloadKind::Checkpoint => "checkpoint",
             PayloadKind::CacheEntry => "cache entry",
             PayloadKind::Reproducer => "reproducer",
+            PayloadKind::Histogram => "latency histogram",
         }
     }
 }

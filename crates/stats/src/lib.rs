@@ -21,6 +21,7 @@
 
 pub mod contention;
 pub mod histogram;
+pub mod latency;
 pub mod messages;
 pub mod metrics;
 pub mod table;
@@ -28,6 +29,7 @@ pub mod writerun;
 
 pub use contention::ContentionTracker;
 pub use histogram::Histogram;
+pub use latency::LatencyHist;
 pub use messages::{ChainStats, MsgClass};
 pub use metrics::NodeMetrics;
 pub use table::{render_bar_chart, render_csv, render_table};

@@ -101,7 +101,11 @@ pub fn render_node_metrics(nodes: &[NodeMetrics]) -> String {
     render_table(&rows)
 }
 
-fn metrics_row(name: &str, m: &NodeMetrics) -> Vec<String> {
+/// The table/CSV cells for one node, matching the header columns of
+/// [`render_node_metrics`]: messages, flits, home/cache services,
+/// transit and queue statistics, retired ops, retries and transition
+/// counts.
+pub fn metrics_row(name: &str, m: &NodeMetrics) -> Vec<String> {
     vec![
         name.to_string(),
         m.msgs_sent.to_string(),

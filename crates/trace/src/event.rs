@@ -142,6 +142,58 @@ pub enum TraceEvent {
         /// Parked requests + busy lines at that home.
         depth: u64,
     },
+    /// An injected memory operation began: the opening of an operation
+    /// span ([`Category::Span`]). Every message and server interval the
+    /// operation causes — including invalidation fan-out triggered at
+    /// the home — is attributed to the span via flow correlation, so a
+    /// span's child [`TraceEvent::SpanPhase`] events decompose its
+    /// latency.
+    SpanBegin {
+        /// Issue time (span open).
+        at: Cycle,
+        /// The span id (unique per tracer, never 0).
+        span: u64,
+        /// The issuing processor.
+        proc: ProcId,
+        /// Operation label (e.g. `"Cas"`, `"LoadLinked"`).
+        op: &'static str,
+        /// The cache line the operation targets.
+        line: LineAddr,
+    },
+    /// A child phase of an operation span ([`Category::Span`]): one
+    /// network hop (`"net"`), a wait behind a busy server (`"queue"`),
+    /// a directory service (`"dir"`), an invalidation delivery
+    /// (`"inval"`), a reply/forward delivery, or a cache-controller
+    /// service. Phases may overlap in time (invalidation fan-out is
+    /// parallel); the analyzer's critical-path decomposition clamps
+    /// them into additive components.
+    SpanPhase {
+        /// Phase start.
+        start: Cycle,
+        /// Phase end.
+        end: Cycle,
+        /// The owning span.
+        span: u64,
+        /// The node where the phase happened (server or receiver).
+        node: NodeId,
+        /// Phase label: `"net"`, `"queue"`, `"dir"`, `"inval"`,
+        /// `"reply"`, `"fwd"`, `"cachesvc"`.
+        phase: &'static str,
+    },
+    /// An operation span closed ([`Category::Span`]): the operation
+    /// retired, successfully or as a failed attempt the processor will
+    /// retry.
+    SpanEnd {
+        /// Retire time (span close).
+        at: Cycle,
+        /// The span id from the matching [`TraceEvent::SpanBegin`].
+        span: u64,
+        /// The issuing processor.
+        proc: ProcId,
+        /// `"ok"`, or the failure kind: `"cas-fail"`, `"sc-fail"`,
+        /// `"ll-unreserved"`.
+        outcome: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -156,6 +208,9 @@ impl TraceEvent {
                 Category::State
             }
             TraceEvent::QueueDepth { .. } => Category::Queue,
+            TraceEvent::SpanBegin { .. }
+            | TraceEvent::SpanPhase { .. }
+            | TraceEvent::SpanEnd { .. } => Category::Span,
         }
     }
 
@@ -167,8 +222,10 @@ impl TraceEvent {
             | TraceEvent::Reservation { at, .. }
             | TraceEvent::DirTransition { at, .. }
             | TraceEvent::CacheTransition { at, .. }
-            | TraceEvent::QueueDepth { at, .. } => at,
-            TraceEvent::MsgService { start, .. } => start,
+            | TraceEvent::QueueDepth { at, .. }
+            | TraceEvent::SpanBegin { at, .. }
+            | TraceEvent::SpanEnd { at, .. } => at,
+            TraceEvent::MsgService { start, .. } | TraceEvent::SpanPhase { start, .. } => start,
             TraceEvent::Op { issued, .. } => issued,
         }
     }
@@ -189,17 +246,20 @@ pub enum Category {
     Queue,
     /// Failed-attempt (retry) instants.
     Retry,
+    /// Operation spans: begin/end plus child phases.
+    Span,
 }
 
 impl Category {
     /// All categories, in spec order.
-    pub const ALL: [Category; 6] = [
+    pub const ALL: [Category; 7] = [
         Category::Msg,
         Category::Op,
         Category::State,
         Category::Resv,
         Category::Queue,
         Category::Retry,
+        Category::Span,
     ];
 
     /// The spec keyword for this category.
@@ -211,6 +271,7 @@ impl Category {
             Category::Resv => "resv",
             Category::Queue => "queue",
             Category::Retry => "retry",
+            Category::Span => "span",
         }
     }
 
@@ -222,6 +283,7 @@ impl Category {
             Category::Resv => 8,
             Category::Queue => 16,
             Category::Retry => 32,
+            Category::Span => 64,
         }
     }
 }
@@ -250,7 +312,7 @@ pub struct Categories {
 impl Categories {
     /// Every category enabled.
     pub fn all() -> Self {
-        Categories { bits: 0x3f }
+        Categories { bits: 0x7f }
     }
 
     /// No category enabled.
@@ -277,23 +339,42 @@ impl Default for Categories {
     }
 }
 
+/// The typed error of parsing a [`Categories`] list: the offending word
+/// is preserved so callers (and tests) can match on it instead of
+/// scraping a message string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownCategory {
+    /// The word that is not a category keyword.
+    pub word: String,
+}
+
+impl std::fmt::Display for UnknownCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown trace category `{}` (expected one of \
+             msg, op, state, resv, queue, retry, span)",
+            self.word
+        )
+    }
+}
+
+impl std::error::Error for UnknownCategory {}
+
 impl std::str::FromStr for Categories {
-    type Err = String;
+    type Err = UnknownCategory;
 
     /// Parses a `+`-separated category list, e.g. `"msg+state+queue"`.
-    fn from_str(s: &str) -> Result<Self, String> {
+    /// Unknown names are rejected with a typed [`UnknownCategory`]
+    /// error, never silently ignored.
+    fn from_str(s: &str) -> Result<Self, UnknownCategory> {
         let mut cats = Categories::none();
         for word in s.split('+') {
             let word = word.trim();
             let cat = Category::ALL
                 .into_iter()
                 .find(|c| c.keyword() == word)
-                .ok_or_else(|| {
-                    format!(
-                        "unknown trace category `{word}` (expected one of \
-                         msg, op, state, resv, queue, retry)"
-                    )
-                })?;
+                .ok_or_else(|| UnknownCategory { word: word.into() })?;
             cats = cats.with(cat);
         }
         Ok(cats)

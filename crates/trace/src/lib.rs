@@ -56,6 +56,7 @@
 //!     Cycle::new(118), Cycle::new(138),
 //!     NodeId::new(0), NodeId::new(3),
 //!     "GetX", true,
+//!     "dir",                      // span phase label for the service
 //! );
 //! tracer.op(ProcId::new(0), Cycle::new(100), Cycle::new(160), "Store", false, 2);
 //!
@@ -77,13 +78,13 @@ pub mod sink;
 pub mod spec;
 pub mod tracer;
 
-pub use event::{Categories, Category, StateLabel, TraceEvent};
+pub use event::{Categories, Category, StateLabel, TraceEvent, UnknownCategory};
 pub use history::{HistEvent, HistOp, HistRet, History};
 pub use linearize::{
     assert_linearizable, check, FifoQueueSpec, LifoStackSpec, Rejection, SeqSpec, SetSpec,
 };
 pub use perfetto::PerfettoSink;
-pub use ring::{RecordKind, RingRecord, RingSink};
+pub use ring::{RecordKind, RingFile, RingRecord, RingSink};
 pub use sink::TraceSink;
-pub use spec::TraceSpec;
+pub use spec::{SpecError, TraceSpec};
 pub use tracer::Tracer;

@@ -53,6 +53,19 @@ const TID_NET: u32 = 3;
 pub struct PerfettoSink {
     entries: String,
     any: bool,
+    /// Spans opened but not yet closed: the slice is emitted at
+    /// [`TraceEvent::SpanEnd`], when the duration and outcome are
+    /// known. BTreeMap for deterministic drain order.
+    open_spans: std::collections::BTreeMap<u64, OpenSpan>,
+}
+
+/// The [`TraceEvent::SpanBegin`] fields held until the matching end.
+#[derive(Debug, Clone, Copy)]
+struct OpenSpan {
+    ts: u64,
+    op: &'static str,
+    line: u64,
+    pid: u32,
 }
 
 impl PerfettoSink {
@@ -63,6 +76,7 @@ impl PerfettoSink {
         let mut s = PerfettoSink {
             entries: String::new(),
             any: false,
+            open_spans: std::collections::BTreeMap::new(),
         };
         for n in 0..nodes {
             s.push(&format!(
@@ -258,6 +272,70 @@ impl TraceSink for PerfettoSink {
                     pid = node.as_u32(),
                 );
                 self.push(&e);
+            }
+            TraceEvent::SpanBegin {
+                at,
+                span,
+                proc,
+                op,
+                line,
+            } => {
+                self.open_spans.insert(
+                    span,
+                    OpenSpan {
+                        ts: at.as_u64(),
+                        op,
+                        line: line.number(),
+                        pid: proc.as_u32(),
+                    },
+                );
+            }
+            TraceEvent::SpanPhase {
+                start,
+                end,
+                span,
+                node,
+                phase,
+            } => {
+                let tid = match phase {
+                    "net" => TID_NET,
+                    "dir" | "queue" => TID_HOME,
+                    _ => TID_CACHE,
+                };
+                let _ = write!(
+                    e,
+                    "{{\"name\":\"{phase}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{ts},\
+                     \"dur\":{dur},\"pid\":{pid},\"tid\":{tid},\
+                     \"args\":{{\"span\":{span}}}}}",
+                    ts = start.as_u64(),
+                    dur = (end - start).as_u64(),
+                    pid = node.as_u32(),
+                );
+                self.push(&e);
+            }
+            TraceEvent::SpanEnd {
+                at,
+                span,
+                proc: _,
+                outcome,
+            } => {
+                // A begin-less end can only come from hand-fed event
+                // streams; a real tracer always begins first.
+                if let Some(open) = self.open_spans.remove(&span) {
+                    let _ = write!(
+                        e,
+                        "{{\"name\":\"{op}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{ts},\
+                         \"dur\":{dur},\"pid\":{pid},\"tid\":{TID_CPU},\
+                         \"args\":{{\"span\":{span},\"line\":{line},\
+                         \"outcome\":\"{outcome}\"}}}}",
+                        op = open.op,
+                        ts = open.ts,
+                        dur = at.as_u64().saturating_sub(open.ts),
+                        pid = open.pid,
+                        line = open.line,
+                    );
+                    self.push(&e);
+                }
             }
         }
     }

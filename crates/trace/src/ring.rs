@@ -10,11 +10,15 @@
 use crate::event::TraceEvent;
 use crate::sink::TraceSink;
 use std::io;
+use std::path::Path;
 
 /// Magic bytes opening a serialized ring dump.
 pub const RING_MAGIC: &[u8; 8] = b"DSMTRING";
-/// Format version written after the magic.
-pub const RING_VERSION: u32 = 1;
+/// Format version written after the magic. History: v1 = the original
+/// eight record kinds; v2 added the span records (`SpanBegin`,
+/// `SpanPhase`, `SpanEnd`). The layout is otherwise unchanged, so the
+/// reader accepts both.
+pub const RING_VERSION: u32 = 2;
 
 /// Discriminants for [`RingRecord::kind`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +40,32 @@ pub enum RecordKind {
     CacheTransition = 6,
     /// A [`TraceEvent::QueueDepth`].
     QueueDepth = 7,
+    /// A [`TraceEvent::SpanBegin`] (format v2).
+    SpanBegin = 8,
+    /// A [`TraceEvent::SpanPhase`] (format v2).
+    SpanPhase = 9,
+    /// A [`TraceEvent::SpanEnd`] (format v2).
+    SpanEnd = 10,
+}
+
+impl RecordKind {
+    /// Decodes a discriminant byte, `None` if out of range.
+    pub fn from_u8(v: u8) -> Option<RecordKind> {
+        Some(match v {
+            0 => RecordKind::MsgSend,
+            1 => RecordKind::MsgService,
+            2 => RecordKind::Op,
+            3 => RecordKind::Retry,
+            4 => RecordKind::Reservation,
+            5 => RecordKind::DirTransition,
+            6 => RecordKind::CacheTransition,
+            7 => RecordKind::QueueDepth,
+            8 => RecordKind::SpanBegin,
+            9 => RecordKind::SpanPhase,
+            10 => RecordKind::SpanEnd,
+            _ => return None,
+        })
+    }
 }
 
 /// One fixed-width ring record. Field meaning depends on
@@ -51,6 +81,9 @@ pub enum RecordKind {
 /// | `DirTransition`   | at      | home   | from-state   | line       | `to_label<<32 \| to_n`   | from `n`   |
 /// | `CacheTransition` | at      | node   | from-state   | line       | `to_label<<32 \| to_n`   | from `n`   |
 /// | `QueueDepth`      | at      | home   | –            | depth      | 0                        | 0          |
+/// | `SpanBegin`       | at      | proc   | op label     | line       | span id                  | 0          |
+/// | `SpanPhase`       | start   | node   | phase        | end        | span id                  | 0          |
+/// | `SpanEnd`         | at      | proc   | outcome      | 0          | span id                  | 0          |
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RingRecord {
     /// Event timestamp in cycles.
@@ -82,6 +115,19 @@ impl RingRecord {
         out.extend_from_slice(&self.label.to_le_bytes());
         out.push(self.kind);
         out.push(0); // pad to 40
+    }
+
+    fn read_le(bytes: &[u8; Self::SIZE]) -> RingRecord {
+        let word = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+        RingRecord {
+            ts: word(0),
+            a: word(8),
+            b: word(16),
+            c: word(24),
+            node: u32::from_le_bytes(bytes[32..36].try_into().unwrap()),
+            label: u16::from_le_bytes(bytes[36..38].try_into().unwrap()),
+            kind: bytes[38],
+        }
     }
 }
 
@@ -267,6 +313,50 @@ impl TraceSink for RingSink {
                 label: 0,
                 kind: RecordKind::QueueDepth as u8,
             },
+            TraceEvent::SpanBegin {
+                at,
+                span,
+                proc,
+                op,
+                line,
+            } => RingRecord {
+                ts: at.as_u64(),
+                a: line.number(),
+                b: span,
+                c: 0,
+                node: proc.as_u32(),
+                label: self.label_idx(op),
+                kind: RecordKind::SpanBegin as u8,
+            },
+            TraceEvent::SpanPhase {
+                start,
+                end,
+                span,
+                node,
+                phase,
+            } => RingRecord {
+                ts: start.as_u64(),
+                a: end.as_u64(),
+                b: span,
+                c: 0,
+                node: node.as_u32(),
+                label: self.label_idx(phase),
+                kind: RecordKind::SpanPhase as u8,
+            },
+            TraceEvent::SpanEnd {
+                at,
+                span,
+                proc,
+                outcome,
+            } => RingRecord {
+                ts: at.as_u64(),
+                a: 0,
+                b: span,
+                c: 0,
+                node: proc.as_u32(),
+                label: self.label_idx(outcome),
+                kind: RecordKind::SpanEnd as u8,
+            },
         };
         self.push(rec);
     }
@@ -294,10 +384,129 @@ impl TraceSink for RingSink {
     }
 }
 
+/// A parsed ring dump, as written by [`RingSink::write_to`]: the
+/// analyzer-facing reader half of the format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingFile {
+    /// Format version the file declared (1 or 2).
+    pub version: u32,
+    /// Events the sink overwrote because the ring wrapped.
+    pub dropped: u64,
+    /// The label dictionary; [`RingRecord::label`] indexes into it.
+    pub labels: Vec<String>,
+    /// Retained records, oldest first.
+    pub records: Vec<RingRecord>,
+}
+
+impl RingFile {
+    /// Parses a serialized ring dump.
+    ///
+    /// Accepts format versions 1 and 2 (v1 files simply contain no span
+    /// records).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem: bad
+    /// magic, unsupported version, truncation, non-UTF-8 label, or an
+    /// out-of-range label/kind in a record.
+    pub fn parse(bytes: &[u8]) -> Result<RingFile, String> {
+        fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], String> {
+            let end = pos
+                .checked_add(n)
+                .filter(|&e| e <= bytes.len())
+                .ok_or_else(|| format!("truncated ring dump at byte {pos}"))?;
+            let s = &bytes[*pos..end];
+            *pos = end;
+            Ok(s)
+        }
+        fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+            Ok(u32::from_le_bytes(take(bytes, pos, 4)?.try_into().unwrap()))
+        }
+        fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
+            Ok(u64::from_le_bytes(take(bytes, pos, 8)?.try_into().unwrap()))
+        }
+        let mut pos = 0usize;
+        if take(bytes, &mut pos, 8)? != RING_MAGIC {
+            return Err("not a ring dump (bad magic)".into());
+        }
+        let version = take_u32(bytes, &mut pos)?;
+        if !(1..=RING_VERSION).contains(&version) {
+            return Err(format!(
+                "unsupported ring format version {version} (reader supports 1..={RING_VERSION})"
+            ));
+        }
+        let dropped = take_u64(bytes, &mut pos)?;
+        let n_labels = take_u32(bytes, &mut pos)? as usize;
+        let mut labels = Vec::with_capacity(n_labels.min(1 << 10));
+        for i in 0..n_labels {
+            let len = take_u32(bytes, &mut pos)? as usize;
+            let label = std::str::from_utf8(take(bytes, &mut pos, len)?)
+                .map_err(|_| format!("label {i} is not UTF-8"))?;
+            labels.push(label.to_owned());
+        }
+        let n_records = take_u64(bytes, &mut pos)? as usize;
+        let mut records = Vec::with_capacity(n_records.min(1 << 20));
+        for i in 0..n_records {
+            let raw: &[u8; RingRecord::SIZE] =
+                take(bytes, &mut pos, RingRecord::SIZE)?.try_into().unwrap();
+            let rec = RingRecord::read_le(raw);
+            if RecordKind::from_u8(rec.kind).is_none() {
+                return Err(format!("record {i} has unknown kind {}", rec.kind));
+            }
+            // QueueDepth writes label 0 even with an empty dictionary,
+            // so only labeled kinds are range-checked.
+            if rec.kind != RecordKind::QueueDepth as u8 && rec.label as usize >= labels.len() {
+                return Err(format!(
+                    "record {i} references label {} but the dictionary has {}",
+                    rec.label,
+                    labels.len()
+                ));
+            }
+            records.push(rec);
+        }
+        if pos != bytes.len() {
+            return Err(format!(
+                "{} trailing bytes after the last record",
+                bytes.len() - pos
+            ));
+        }
+        Ok(RingFile {
+            version,
+            dropped,
+            labels,
+            records,
+        })
+    }
+
+    /// Reads and parses a ring dump from `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors are returned as-is; parse failures come back as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn load(path: &Path) -> io::Result<RingFile> {
+        let bytes = std::fs::read(path)?;
+        RingFile::parse(&bytes).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })
+    }
+
+    /// The dictionary string a record's label index refers to.
+    pub fn label(&self, idx: u16) -> &str {
+        self.labels
+            .get(idx as usize)
+            .map(String::as_str)
+            .unwrap_or("?")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dsm_sim::{Cycle, ProcId};
+    use dsm_sim::{Cycle, LineAddr, NodeId, ProcId};
 
     fn op(issued: u64) -> TraceEvent {
         TraceEvent::Op {
@@ -346,6 +555,69 @@ mod tests {
             label: "cas-fail",
         });
         assert_eq!(ring.labels(), &["Load", "cas-fail"]);
+    }
+
+    #[test]
+    fn round_trips_through_the_reader() {
+        let mut ring = RingSink::new(16);
+        ring.record(&op(1));
+        ring.record(&TraceEvent::SpanBegin {
+            at: Cycle::new(2),
+            span: 1,
+            proc: ProcId::new(3),
+            op: "Cas",
+            line: LineAddr::new(7),
+        });
+        ring.record(&TraceEvent::SpanPhase {
+            start: Cycle::new(4),
+            end: Cycle::new(9),
+            span: 1,
+            node: NodeId::new(2),
+            phase: "net",
+        });
+        ring.record(&TraceEvent::SpanEnd {
+            at: Cycle::new(12),
+            span: 1,
+            proc: ProcId::new(3),
+            outcome: "ok",
+        });
+        let mut bytes = Vec::new();
+        ring.write_to(&mut bytes).unwrap();
+        let file = RingFile::parse(&bytes).unwrap();
+        assert_eq!(file.version, RING_VERSION);
+        assert_eq!(file.dropped, 0);
+        assert_eq!(file.labels, ["Load", "Cas", "net", "ok"]);
+        assert_eq!(file.records, ring.records());
+        let begin = &file.records[1];
+        assert_eq!(begin.kind, RecordKind::SpanBegin as u8);
+        assert_eq!(file.label(begin.label), "Cas");
+        assert_eq!((begin.a, begin.b, begin.node), (7, 1, 3));
+        let phase = &file.records[2];
+        assert_eq!((phase.ts, phase.a, phase.b), (4, 9, 1));
+        assert_eq!(file.label(phase.label), "net");
+    }
+
+    #[test]
+    fn reader_rejects_corrupt_dumps() {
+        let mut ring = RingSink::new(4);
+        ring.record(&op(5));
+        let mut bytes = Vec::new();
+        ring.write_to(&mut bytes).unwrap();
+
+        assert!(RingFile::parse(b"NOTARING").unwrap_err().contains("magic"));
+        assert!(RingFile::parse(&bytes[..bytes.len() - 3])
+            .unwrap_err()
+            .contains("truncated"));
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(RingFile::parse(&extra).unwrap_err().contains("trailing"));
+        let mut vers = bytes.clone();
+        vers[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(RingFile::parse(&vers).unwrap_err().contains("version"));
+        let mut kind = bytes.clone();
+        let kind_off = bytes.len() - 2;
+        kind[kind_off] = 200;
+        assert!(RingFile::parse(&kind).unwrap_err().contains("kind"));
     }
 
     #[test]

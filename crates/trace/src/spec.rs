@@ -1,6 +1,6 @@
 //! Parsing of `--trace[=SPEC]` / `DSM_TRACE` specifications.
 
-use crate::event::Categories;
+use crate::event::{Categories, UnknownCategory};
 use std::path::PathBuf;
 
 /// A parsed trace specification: which sinks to attach, where their
@@ -16,7 +16,7 @@ use std::path::PathBuf;
 /// * `ring`, `ring:CAP`, or `ring:CAP:PATH` — attach the binary ring
 ///   buffer, retaining `CAP` events (default 65536).
 /// * `cat:LIST` — record only the `+`-separated categories in `LIST`
-///   (`msg`, `op`, `state`, `resv`, `queue`, `retry`).
+///   (`msg`, `op`, `state`, `resv`, `queue`, `retry`, `span`).
 ///
 /// The empty string and the bare words `1`, `on`, `default` all mean
 /// "Perfetto sink, every category, default directory" — so
@@ -42,6 +42,79 @@ pub struct TraceSpec {
 /// Default ring capacity when `ring` is given without one.
 pub const DEFAULT_RING_CAPACITY: usize = 65_536;
 
+/// Why a trace specification failed to parse. Every variant carries the
+/// offending fragment, so callers can match on the failure mode instead
+/// of scraping a message string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// `perfetto:` with nothing after the colon.
+    PerfettoNeedsPath,
+    /// `ring:CAP` where `CAP` is not an unsigned integer.
+    BadRingCapacity {
+        /// The unparsable capacity text.
+        given: String,
+    },
+    /// `ring:0` — a ring that can hold nothing.
+    ZeroRingCapacity,
+    /// `ring:CAP:` with nothing after the second colon.
+    RingNeedsPath,
+    /// `cat` with no `:LIST`.
+    CatNeedsList,
+    /// A category word in `cat:LIST` is not a known category.
+    UnknownCategory(UnknownCategory),
+    /// A clause word is none of `perfetto`, `ring`, `cat`.
+    UnknownClause {
+        /// The unrecognized clause word.
+        clause: String,
+    },
+    /// The spec parsed but attaches no sink at all.
+    NoSink,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::PerfettoNeedsPath => {
+                write!(f, "`perfetto:` needs a path after the colon")
+            }
+            SpecError::BadRingCapacity { given } => {
+                write!(f, "bad ring capacity `{given}` (want an event count)")
+            }
+            SpecError::ZeroRingCapacity => write!(f, "ring capacity must be at least 1"),
+            SpecError::RingNeedsPath => {
+                write!(f, "`ring:CAP:` needs a path after the colon")
+            }
+            SpecError::CatNeedsList => {
+                write!(f, "`cat` needs a `+`-separated list, e.g. `cat:msg+op`")
+            }
+            SpecError::UnknownCategory(e) => write!(f, "{e}"),
+            SpecError::UnknownClause { clause } => write!(
+                f,
+                "unknown trace clause `{clause}` (expected `perfetto[:PATH]`, \
+                 `ring[:CAP[:PATH]]`, or `cat:LIST`)"
+            ),
+            SpecError::NoSink => {
+                write!(f, "trace spec enables no sink (add `perfetto` or `ring`)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpecError::UnknownCategory(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<UnknownCategory> for SpecError {
+    fn from(e: UnknownCategory) -> Self {
+        SpecError::UnknownCategory(e)
+    }
+}
+
 impl Default for TraceSpec {
     /// The spec produced by a bare `--trace`: Perfetto sink, all
     /// categories, default output directory, no ring.
@@ -61,7 +134,7 @@ impl TraceSpec {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable message on unknown clauses, unknown
+    /// Returns a typed [`SpecError`] on unknown clauses, unknown
     /// categories, or malformed capacities.
     ///
     /// # Examples
@@ -88,12 +161,22 @@ impl TraceSpec {
     /// assert!(!spec.perfetto);
     /// assert_eq!(spec.ring, Some(dsm_trace::spec::DEFAULT_RING_CAPACITY));
     ///
-    /// // Errors are descriptive.
-    /// assert!(TraceSpec::from_spec("bogus").is_err());
-    /// assert!(TraceSpec::from_spec("cat:msg+nope").is_err());
-    /// assert!(TraceSpec::from_spec("ring:zillion").is_err());
+    /// // Errors are typed.
+    /// use dsm_trace::spec::SpecError;
+    /// assert!(matches!(
+    ///     TraceSpec::from_spec("bogus"),
+    ///     Err(SpecError::UnknownClause { .. })
+    /// ));
+    /// assert!(matches!(
+    ///     TraceSpec::from_spec("cat:msg+nope"),
+    ///     Err(SpecError::UnknownCategory(_))
+    /// ));
+    /// assert!(matches!(
+    ///     TraceSpec::from_spec("ring:zillion"),
+    ///     Err(SpecError::BadRingCapacity { .. })
+    /// ));
     /// ```
-    pub fn from_spec(spec: &str) -> Result<TraceSpec, String> {
+    pub fn from_spec(spec: &str) -> Result<TraceSpec, SpecError> {
         let spec = spec.trim();
         if matches!(spec, "" | "1" | "on" | "default") {
             return Ok(TraceSpec::default());
@@ -116,7 +199,7 @@ impl TraceSpec {
                     out.perfetto = true;
                     if let Some(path) = rest {
                         if path.is_empty() {
-                            return Err("`perfetto:` needs a path after the colon".into());
+                            return Err(SpecError::PerfettoNeedsPath);
                         }
                         out.out = Some(PathBuf::from(path));
                     }
@@ -128,15 +211,17 @@ impl TraceSpec {
                             Some((c, p)) => (c, Some(p)),
                             None => (rest, None),
                         };
-                        cap = cap_str.parse::<usize>().map_err(|_| {
-                            format!("bad ring capacity `{cap_str}` (want an event count)")
-                        })?;
+                        cap = cap_str
+                            .parse::<usize>()
+                            .map_err(|_| SpecError::BadRingCapacity {
+                                given: cap_str.into(),
+                            })?;
                         if cap == 0 {
-                            return Err("ring capacity must be at least 1".into());
+                            return Err(SpecError::ZeroRingCapacity);
                         }
                         if let Some(path) = path {
                             if path.is_empty() {
-                                return Err("`ring:CAP:` needs a path after the colon".into());
+                                return Err(SpecError::RingNeedsPath);
                             }
                             out.ring_out = Some(PathBuf::from(path));
                         }
@@ -144,19 +229,18 @@ impl TraceSpec {
                     out.ring = Some(cap);
                 }
                 "cat" => {
-                    let list = rest.ok_or("`cat` needs a `+`-separated list, e.g. `cat:msg+op`")?;
+                    let list = rest.ok_or(SpecError::CatNeedsList)?;
                     out.cats = list.parse()?;
                 }
                 other => {
-                    return Err(format!(
-                        "unknown trace clause `{other}` (expected `perfetto[:PATH]`, \
-                         `ring[:CAP[:PATH]]`, or `cat:LIST`)"
-                    ));
+                    return Err(SpecError::UnknownClause {
+                        clause: other.into(),
+                    });
                 }
             }
         }
         if !out.perfetto && out.ring.is_none() {
-            return Err("trace spec enables no sink (add `perfetto` or `ring`)".into());
+            return Err(SpecError::NoSink);
         }
         Ok(out)
     }
@@ -196,14 +280,64 @@ mod tests {
         let spec = TraceSpec::from_spec("perfetto,cat:queue").unwrap();
         assert!(spec.cats.contains(Category::Queue));
         assert!(!spec.cats.contains(Category::Msg));
+        let spec = TraceSpec::from_spec("perfetto,cat:span+op").unwrap();
+        assert!(spec.cats.contains(Category::Span));
+        assert!(!spec.cats.contains(Category::Queue));
     }
 
     #[test]
-    fn errors_are_rejected() {
-        assert!(TraceSpec::from_spec("perfetto:").is_err());
-        assert!(TraceSpec::from_spec("ring:0").is_err());
-        assert!(TraceSpec::from_spec("ring:8:").is_err());
-        assert!(TraceSpec::from_spec("cat").is_err());
-        assert!(TraceSpec::from_spec("cat:msg,nothing").is_err());
+    fn errors_are_typed() {
+        assert_eq!(
+            TraceSpec::from_spec("perfetto:"),
+            Err(SpecError::PerfettoNeedsPath)
+        );
+        assert_eq!(
+            TraceSpec::from_spec("ring:0"),
+            Err(SpecError::ZeroRingCapacity)
+        );
+        assert_eq!(
+            TraceSpec::from_spec("ring:8:"),
+            Err(SpecError::RingNeedsPath)
+        );
+        assert_eq!(
+            TraceSpec::from_spec("ring:many"),
+            Err(SpecError::BadRingCapacity {
+                given: "many".into()
+            })
+        );
+        assert_eq!(TraceSpec::from_spec("cat"), Err(SpecError::CatNeedsList));
+        assert_eq!(
+            TraceSpec::from_spec("cat:msg,nothing"),
+            Err(SpecError::UnknownClause {
+                clause: "nothing".into()
+            })
+        );
+        assert_eq!(TraceSpec::from_spec("ring,cat:"), {
+            Err(SpecError::UnknownCategory(UnknownCategory {
+                word: "".into(),
+            }))
+        });
+    }
+
+    /// The satellite fix: an unknown category name inside `cat:LIST` is
+    /// a typed, matchable rejection — it must never be silently dropped
+    /// from the set.
+    #[test]
+    fn unknown_category_is_a_typed_rejection() {
+        match TraceSpec::from_spec("perfetto,cat:msg+typo+op") {
+            Err(SpecError::UnknownCategory(e)) => {
+                assert_eq!(e.word, "typo");
+                assert!(e.to_string().contains("`typo`"));
+            }
+            other => panic!("expected UnknownCategory, got {other:?}"),
+        }
+        // Same for the FromStr impl used directly.
+        let err = "msg+bogus".parse::<Categories>().unwrap_err();
+        assert_eq!(err.word, "bogus");
+    }
+
+    #[test]
+    fn no_sink_is_rejected() {
+        assert_eq!(TraceSpec::from_spec("cat:msg"), Err(SpecError::NoSink));
     }
 }

@@ -44,7 +44,24 @@ pub struct Tracer {
     /// send at the queue's front is always the one being delivered.
     pair_flows: StableHashMap<u64, VecDeque<u64>>,
     next_flow: u64,
+    /// The operation span the machine is currently working on behalf
+    /// of; messages sent while it is non-zero are attributed to it.
+    span_ctx: u64,
+    /// Span ids start at 1 so 0 can mean "no span" everywhere.
+    next_span: u64,
+    /// In-flight flow → owning span, plus the send/delivery times
+    /// needed to emit the `net` and `queue` phases at service time.
+    flow_spans: StableHashMap<u64, FlowCtx>,
     metrics: Vec<NodeMetrics>,
+}
+
+/// What [`Tracer::msg_service`] needs to reconstruct a flow's network
+/// and queueing phases: stored at send time, consumed at service time.
+#[derive(Debug, Clone, Copy)]
+struct FlowCtx {
+    span: u64,
+    sent: Cycle,
+    deliver_at: Cycle,
 }
 
 impl std::fmt::Debug for Tracer {
@@ -82,6 +99,9 @@ impl Tracer {
             }),
             pair_flows: StableHashMap::default(),
             next_flow: 0,
+            span_ctx: 0,
+            next_span: 1,
+            flow_spans: StableHashMap::default(),
             metrics: vec![NodeMetrics::new(); nodes as usize],
         }
     }
@@ -159,6 +179,12 @@ impl Tracer {
                     .queue_depth
                     .record(depth as usize);
             }
+            // Spans are derived views of the same activity the arms
+            // above already count; attributing them again would
+            // double-book the metrics.
+            TraceEvent::SpanBegin { .. }
+            | TraceEvent::SpanPhase { .. }
+            | TraceEvent::SpanEnd { .. } => {}
         }
     }
 
@@ -185,6 +211,16 @@ impl Tracer {
             .entry(Self::pair_key(src, dst))
             .or_default()
             .push_back(flow);
+        if self.span_ctx != 0 {
+            self.flow_spans.insert(
+                flow,
+                FlowCtx {
+                    span: self.span_ctx,
+                    sent: at,
+                    deliver_at,
+                },
+            );
+        }
         self.record(&TraceEvent::MsgSend {
             at,
             src,
@@ -202,6 +238,14 @@ impl Tracer {
     /// Records a delivered message being serviced at `dst`. The flow id
     /// is recovered from the per-pair FIFO the matching
     /// [`msg_send`](Tracer::msg_send) pushed onto.
+    ///
+    /// If the flow was sent on behalf of an operation span, the span's
+    /// child phases are emitted here — `net` (send → delivery), `queue`
+    /// (delivery → service start, when the server was busy) and the
+    /// service interval itself under `phase` — and the owning span id
+    /// is returned so the caller can thread it through the message's
+    /// processing. Returns 0 for span-less flows.
+    #[allow(clippy::too_many_arguments)]
     pub fn msg_service(
         &mut self,
         start: Cycle,
@@ -210,7 +254,8 @@ impl Tracer {
         dst: NodeId,
         kind: &'static str,
         home: bool,
-    ) {
+        phase: &'static str,
+    ) -> u64 {
         let flow = self
             .pair_flows
             .get_mut(&Self::pair_key(src, dst))
@@ -223,6 +268,80 @@ impl Tracer {
             kind,
             home,
             flow,
+        });
+        let Some(ctx) = self.flow_spans.remove(&flow) else {
+            return 0;
+        };
+        if ctx.deliver_at > ctx.sent {
+            self.record(&TraceEvent::SpanPhase {
+                start: ctx.sent,
+                end: ctx.deliver_at,
+                span: ctx.span,
+                node: dst,
+                phase: "net",
+            });
+        }
+        if start > ctx.deliver_at {
+            self.record(&TraceEvent::SpanPhase {
+                start: ctx.deliver_at,
+                end: start,
+                span: ctx.span,
+                node: dst,
+                phase: "queue",
+            });
+        }
+        self.record(&TraceEvent::SpanPhase {
+            start,
+            end: finish,
+            span: ctx.span,
+            node: dst,
+            phase,
+        });
+        ctx.span
+    }
+
+    /// Opens an operation span at issue time and makes it the current
+    /// span context, so every message sent until the context changes is
+    /// attributed to it. Returns the span id, or 0 when the `span`
+    /// category is disabled (the id is then safe to thread around — all
+    /// other span methods ignore span 0).
+    pub fn span_begin(&mut self, at: Cycle, proc: ProcId, op: &'static str, line: LineAddr) -> u64 {
+        if !self.wants(Category::Span) {
+            return 0;
+        }
+        let span = self.next_span;
+        self.next_span += 1;
+        self.record(&TraceEvent::SpanBegin {
+            at,
+            span,
+            proc,
+            op,
+            line,
+        });
+        self.span_ctx = span;
+        span
+    }
+
+    /// Sets the span on whose behalf subsequently sent messages are
+    /// working (0 = none). The machine brackets message processing with
+    /// this so protocol-generated traffic — forwards, invalidation
+    /// fan-out, replies — inherits the requesting operation's span.
+    pub fn set_span_ctx(&mut self, span: u64) {
+        self.span_ctx = span;
+    }
+
+    /// Closes an operation span. `outcome` is `"ok"` or the failure
+    /// kind (`"cas-fail"`, `"sc-fail"`, `"ll-unreserved"`). Ignored for
+    /// span 0.
+    pub fn span_end(&mut self, at: Cycle, proc: ProcId, span: u64, outcome: &'static str) {
+        if span == 0 {
+            return;
+        }
+        self.record(&TraceEvent::SpanEnd {
+            at,
+            span,
+            proc,
+            outcome,
         });
     }
 
@@ -424,8 +543,8 @@ mod tests {
         let f0 = t.msg_send(Cycle::new(1), a, b, line, "GetX", 1, 1, Cycle::new(10));
         let f1 = t.msg_send(Cycle::new(2), a, b, line, "GetS", 1, 1, Cycle::new(11));
         assert_eq!((f0, f1), (0, 1));
-        t.msg_service(Cycle::new(10), Cycle::new(30), a, b, "GetX", true);
-        t.msg_service(Cycle::new(30), Cycle::new(40), a, b, "GetS", true);
+        t.msg_service(Cycle::new(10), Cycle::new(30), a, b, "GetX", true, "dir");
+        t.msg_service(Cycle::new(30), Cycle::new(40), a, b, "GetS", true, "dir");
         let json = t.perfetto_json().unwrap();
         let summary = crate::perfetto::validate(&json).unwrap();
         assert_eq!(summary.flow_starts, 2);
@@ -467,6 +586,50 @@ mod tests {
         assert_eq!(m[2].queue_depth.max_value(), Some(3));
         assert_eq!(m[0].msgs_sent, 0);
         assert!(t.render_metrics().contains("total"));
+    }
+
+    #[test]
+    fn spans_attribute_flows_and_emit_phases() {
+        let mut t = Tracer::new(&spec("perfetto"), 2);
+        let a = NodeId::new(0);
+        let b = NodeId::new(1);
+        let line = LineAddr::new(9);
+        let span = t.span_begin(Cycle::new(5), ProcId::new(0), "Cas", line);
+        assert_eq!(span, 1);
+        // Sent inside the span context: attributed.
+        t.msg_send(Cycle::new(5), a, b, line, "GetX", 2, 1, Cycle::new(15));
+        t.set_span_ctx(0);
+        // Sent outside any span: not attributed.
+        t.msg_send(Cycle::new(6), b, a, line, "Wb", 2, 1, Cycle::new(16));
+        // Service starts late (queue wait 15..20), runs 20..34.
+        let got = t.msg_service(Cycle::new(20), Cycle::new(34), a, b, "GetX", true, "dir");
+        assert_eq!(got, span);
+        let got = t.msg_service(
+            Cycle::new(16),
+            Cycle::new(18),
+            b,
+            a,
+            "Wb",
+            false,
+            "cachesvc",
+        );
+        assert_eq!(got, 0);
+        t.span_end(Cycle::new(40), ProcId::new(0), span, "ok");
+        let json = t.perfetto_json().unwrap();
+        crate::perfetto::validate(&json).unwrap();
+        for needle in ["\"net\"", "\"queue\"", "\"dir\"", "\"Cas\""] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn span_begin_is_free_when_category_disabled() {
+        let mut t = Tracer::new(&spec("perfetto,cat:msg"), 2);
+        let span = t.span_begin(Cycle::new(0), ProcId::new(0), "Cas", LineAddr::new(1));
+        assert_eq!(span, 0);
+        t.span_end(Cycle::new(9), ProcId::new(0), span, "ok");
+        // No span events reached the sink.
+        assert!(!t.perfetto_json().unwrap().contains("span"));
     }
 
     #[test]
