@@ -12,7 +12,7 @@ use atomic_dsm::machine::{new_trace, Action, MachineBuilder, ProcCtx, TraceRecor
 use atomic_dsm::protocol::{MemOp, OpResult, SyncConfig, SyncPolicy};
 use atomic_dsm::sim::{Addr, Cycle, MachineConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::rc::Rc;
+use std::sync::Arc;
 
 const X: Addr = Addr::new(0x40);
 
@@ -58,11 +58,11 @@ fn record_solo(iters: u64) -> Vec<Action> {
             ..Default::default()
         },
     );
-    b.add_program(TraceRecorder::new(cas_counter(iters), Rc::clone(&trace)));
+    b.add_program(TraceRecorder::new(cas_counter(iters), Arc::clone(&trace)));
     b.add_program(|_: &mut ProcCtx<'_>| Action::Done);
     let mut m = b.build();
     m.run(Cycle::new(100_000_000)).unwrap();
-    let t = trace.borrow().clone();
+    let t = trace.lock().unwrap().clone();
     t
 }
 

@@ -7,10 +7,12 @@
 //! cargo run --release -p dsm-bench --bin figures -- all --csv out/    # also write CSV
 //! ```
 //!
-//! Artifacts: `table1`, `fig2`–`fig6`, `scaling`, `lockfree`,
-//! `latency`, `metrics`, `all` (`all` regenerates the committed paper
-//! artifacts and deliberately excludes `lockfree`, `latency` and
-//! `metrics` — request those tables by name).
+//! Artifacts: `table1`, `fig2`–`fig6`, `scaling`, `scaling-xl`,
+//! `lockfree`, `latency`, `metrics`, `all` (`all` regenerates the
+//! committed paper artifacts and deliberately excludes `scaling-xl`,
+//! `lockfree`, `latency` and `metrics` — request those tables by
+//! name). `scaling-xl` extends the scaling sweep to the beyond-paper
+//! 256- and 1024-node machines that the PDES engine makes tractable.
 //! `--paper` runs at the paper's 64-processor scale (slower); the
 //! default is a 16-processor scale with the same shape. `--csv DIR`
 //! additionally writes one CSV file per artifact into DIR; `--bars`
@@ -18,6 +20,10 @@
 //! figures are bar charts); `--jobs N` pins the experiment runner's
 //! worker count (default: `DSM_JOBS` or the machine's parallelism —
 //! output is identical either way, only wall-clock changes);
+//! `--workers N` shards every simulated machine across N PDES worker
+//! threads (`DSM_WORKERS`, the intra-run sibling of `--jobs` — see
+//! ARCHITECTURE.md). Every artifact is byte-identical across
+//! `--workers` settings; only wall-clock changes.
 //! `--faults[=SPEC]` turns on deterministic fault injection and
 //! `--paranoid` runs the protocol invariant checker after every
 //! transition (see EXPERIMENTS.md — both off by default, leaving every
@@ -202,6 +208,20 @@ fn main() {
                 std::process::exit(2);
             }
         });
+    // `--workers N` rides on the same env override the machine builder
+    // honors for `DSM_WORKERS`: every simulated machine in every job is
+    // sharded across N PDES worker threads. Results are byte-identical
+    // to serial runs (tests/pdes_identity.rs), so this is safe for the
+    // committed paper artifacts.
+    if let Some(i) = args.iter().position(|a| a == "--workers") {
+        match args.get(i + 1).map(|v| v.parse::<usize>()) {
+            Some(Ok(n)) if n >= 1 => std::env::set_var("DSM_WORKERS", n.to_string()),
+            _ => {
+                eprintln!("--workers takes a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
     let mut skip_next = false;
     let wanted: Vec<&str> = args
         .iter()
@@ -210,7 +230,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--csv" || *a == "--jobs" {
+            if *a == "--csv" || *a == "--jobs" || *a == "--workers" {
                 skip_next = true;
                 return false;
             }
@@ -218,10 +238,10 @@ fn main() {
         })
         .map(String::as_str)
         .collect();
-    // `lockfree`, `latency` and `metrics` are deliberately NOT part of
-    // `all`: the committed paper artifacts (results_paper.txt,
-    // results_csv/) predate them and must stay byte-identical. Request
-    // those tables by name.
+    // `scaling-xl`, `lockfree`, `latency` and `metrics` are
+    // deliberately NOT part of `all`: the committed paper artifacts
+    // (results_paper.txt, results_csv/) must stay byte-identical.
+    // Request those tables by name.
     let wanted: Vec<&str> = if wanted.is_empty() || wanted.contains(&"all") {
         vec!["table1", "fig2", "fig3", "fig4", "fig5", "fig6", "scaling"]
     } else {
@@ -369,6 +389,34 @@ fn main() {
                     }
                     write_csv(&csv_dir, "scaling", &rows);
                 }
+                "scaling-xl" => {
+                    println!(
+                        "## Scaling sweep (XL) — fully contended lock-free counter, 256/1024 processors\n"
+                    );
+                    // Few rounds: at 1024 fully-contended processors each
+                    // round is already ~1k counter updates.
+                    let lines = scaling::run_scaling_on(
+                        CounterKind::LockFree,
+                        s.rounds.min(4),
+                        &scaling::PROCS_XL,
+                    );
+                    println!("{}", scaling::render(&lines));
+                    let mut rows = vec![vec![
+                        "implementation".to_string(),
+                        "procs".to_string(),
+                        "avg_cycles".to_string(),
+                    ]];
+                    for line in &lines {
+                        for (p, pt) in &line.points {
+                            rows.push(vec![
+                                line.bar.label(),
+                                p.to_string(),
+                                format!("{:.2}", pt.avg_cycles),
+                            ]);
+                        }
+                    }
+                    write_csv(&csv_dir, "scaling_xl", &rows);
+                }
                 "lockfree" => {
                     println!(
                         "## Lock-free structures — cycles per operation (p={})\n",
@@ -413,7 +461,7 @@ fn main() {
                 }
                 other => {
                     eprintln!(
-                    "unknown artifact `{other}` (try: table1 fig2 fig3 fig4 fig5 fig6 scaling lockfree latency metrics all)"
+                    "unknown artifact `{other}` (try: table1 fig2 fig3 fig4 fig5 fig6 scaling scaling-xl lockfree latency metrics all)"
                 );
                     std::process::exit(2);
                 }

@@ -185,7 +185,7 @@ pub(crate) fn prepare(
                 .map_err(|e| SimFailure::deterministic(format!("{err_label}: coherence: {e}")))?;
             check_invariants(machine, &cfg, &run)
                 .map_err(|e| SimFailure::deterministic(format!("{err_label}: invariant: {e}")))?;
-            let ops = run.history.borrow().len() as u64;
+            let ops = run.history.lock().unwrap().len() as u64;
             Ok(JobOutput::Lockfree(LockfreePoint {
                 structure,
                 prim,

@@ -9,8 +9,8 @@ use crate::experiments::runner::{self, Job, JobOutput};
 use dsm_machine::{Action, MachineBuilder, ProcCtx};
 use dsm_protocol::{MemOp, SyncConfig, SyncPolicy};
 use dsm_sim::{Addr, Cycle, MachineConfig};
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 /// One row of Table 1.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,7 +76,7 @@ pub fn run() -> Vec<Table1Row> {
 /// (`prime0`), then processor 1 optionally primes it (`prime1`), then
 /// processor 1 performs the measured store. Returns the measured chain.
 fn measure(policy: SyncPolicy, prime0: Option<MemOp>, prime1: Option<MemOp>, store_by: u32) -> u32 {
-    let chain: Rc<Cell<u32>> = Rc::new(Cell::new(u32::MAX));
+    let chain: Arc<AtomicU32> = Arc::new(AtomicU32::new(u32::MAX));
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(4));
     b.register_sync(
         LINE,
@@ -86,7 +86,7 @@ fn measure(policy: SyncPolicy, prime0: Option<MemOp>, prime1: Option<MemOp>, sto
         },
     );
     for p in 0..4u32 {
-        let chain = Rc::clone(&chain);
+        let chain = Arc::clone(&chain);
         let mut stage = 0u32;
         b.add_program(move |ctx: &mut ProcCtx<'_>| {
             stage += 1;
@@ -123,7 +123,7 @@ fn measure(policy: SyncPolicy, prime0: Option<MemOp>, prime1: Option<MemOp>, sto
                 }
                 6 => {
                     if p == store_by {
-                        chain.set(ctx.last_chain.expect("store completed"));
+                        chain.store(ctx.last_chain.expect("store completed"), Ordering::Relaxed);
                     }
                     Action::Done
                 }
@@ -134,7 +134,7 @@ fn measure(policy: SyncPolicy, prime0: Option<MemOp>, prime1: Option<MemOp>, sto
     let mut m = b.build();
     m.run(Cycle::new(1_000_000))
         .expect("table-1 micro-run completes");
-    let c = chain.get();
+    let c = chain.load(Ordering::Relaxed);
     assert_ne!(c, u32::MAX, "measured store never ran");
     c
 }

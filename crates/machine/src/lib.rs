@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod machine;
+mod pdes;
 pub mod program;
 pub mod stats;
 pub mod trace;
@@ -297,13 +298,12 @@ mod tests {
 
     #[test]
     fn barrier_synchronizes_rounds() {
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::{Arc, Mutex};
         let nodes = 4u32;
-        let resume_times: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        let resume_times: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
         let mut b = MachineBuilder::new(MachineConfig::with_nodes(nodes));
         for p in 0..nodes {
-            let resume_times = Rc::clone(&resume_times);
+            let resume_times = Arc::clone(&resume_times);
             let mut stage = 0;
             b.add_program(move |ctx: &mut ProcCtx<'_>| {
                 stage += 1;
@@ -312,7 +312,7 @@ mod tests {
                     1 => Action::Compute(10 * (p as u64 + 1)),
                     2 => Action::Barrier(1),
                     3 => {
-                        resume_times.borrow_mut().push(ctx.now.as_u64());
+                        resume_times.lock().unwrap().push(ctx.now.as_u64());
                         Action::Done
                     }
                     _ => unreachable!(),
@@ -321,7 +321,7 @@ mod tests {
         }
         let mut m = b.build();
         m.run(Cycle::new(100_000)).unwrap();
-        let times = resume_times.borrow();
+        let times = resume_times.lock().unwrap();
         assert_eq!(times.len(), nodes as usize);
         assert!(
             times.windows(2).all(|w| w[0] == w[1]),
@@ -462,21 +462,21 @@ mod tests {
     fn init_word_seeds_memory() {
         let mut b = MachineBuilder::new(MachineConfig::with_nodes(2));
         b.init_word(Addr::new(0x40), 123);
-        let seen = std::rc::Rc::new(std::cell::Cell::new(0u64));
-        let seen2 = std::rc::Rc::clone(&seen);
+        let seen = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let seen2 = std::sync::Arc::clone(&seen);
         b.add_program(move |ctx: &mut ProcCtx<'_>| match ctx.last {
             None => Action::Op(MemOp::Load {
                 addr: Addr::new(0x40),
             }),
             Some(r) => {
-                seen2.set(r.value().unwrap());
+                seen2.store(r.value().unwrap(), std::sync::atomic::Ordering::Relaxed);
                 Action::Done
             }
         });
         b.add_program(|_: &mut ProcCtx<'_>| Action::Done);
         let mut m = b.build();
         m.run(LIMIT).unwrap();
-        assert_eq!(seen.get(), 123);
+        assert_eq!(seen.load(std::sync::atomic::Ordering::Relaxed), 123);
     }
 
     #[test]

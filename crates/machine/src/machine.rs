@@ -1,9 +1,29 @@
 //! The machine simulator: processors + cache controllers + home nodes +
 //! network, driven by a discrete-event loop.
+//!
+//! The engine is split in two layers:
+//!
+//! * [`Core`] — the shardable simulation state (a contiguous node
+//!   range: homes, caches, processors, network ports, per-node event
+//!   queue and statistics) plus the event dispatcher. A serial run uses
+//!   one full-range core; a PDES run ([`crate::pdes`]) splits the core
+//!   into per-worker shards and merges them back afterwards.
+//! * [`Machine`] — the public wrapper owning the run policy and the
+//!   serial-only instrumentation (tracer, fault injector, paranoid
+//!   checking, debug ring), which all force the serial path so the
+//!   parallel dispatcher never has to synchronize on them.
+//!
+//! Every event carries an explicit 128-bit tie-break key (see
+//! [`key_wire`] / [`key_local`] / [`key_barrier`]): same-cycle events
+//! dispatch in key order, the key of an event is derived only from
+//! deterministic per-node counters, and a key names the node it
+//! belongs to in its top bits. That is what makes the parallel engine
+//! bit-identical to the serial one — each shard dispatches exactly the
+//! subsequence of the serial dispatch order that touches its nodes.
 
 use crate::program::{Action, ProcCtx, Program};
-use crate::stats::MachineStats;
-use dsm_mesh::{LatencyNetwork, Mesh};
+use crate::stats::{merge_node_stats, MachineStats, NodeStats, SyncRec, SyncRecKind};
+use dsm_mesh::{Mesh, NetPorts};
 use dsm_protocol::{
     check_invariants, check_line, AddressMap, CacheNode, CacheState, DirState, HomeNode,
     InvariantViolation, MemOp, Msg, OpOutcome, OpResult, Outbox, ProtocolError, ProtocolErrorKind,
@@ -213,6 +233,10 @@ pub struct RunReport {
 /// [`StopRule::AfterEvents`] the replay coordinate of the checkpoint
 /// system — rebuilding the same machine and pausing after the same
 /// event count reproduces the paused state bit for bit.
+///
+/// A stop rule other than [`StopRule::None`] forces the serial engine
+/// (worker setting ignored): pause points are defined by the global
+/// event order, which only the serial loop observes directly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopRule {
     /// Never pause (equivalent to [`Machine::run`]).
@@ -242,14 +266,72 @@ impl RunOutcome {
     }
 }
 
+// ---------------------------------------------------------------------
+// Canonical event keys
+// ---------------------------------------------------------------------
+//
+// Every queued event carries a `u128` key with the layout
+//
+//   bits 96..128  node the event belongs to (dispatch shard)
+//   bits 88..96   rank: 0 = Wire, 1 = Deliver, 2 = local, 3 = barrier
+//   bits  0..88   rank-specific sub-key
+//
+// Same-cycle events dispatch in ascending key order. Because the node
+// occupies the top bits, the serial dispatch order visits same-cycle
+// events grouped by node — so a per-node (per-shard) dispatch order is
+// exactly the serial order restricted to that node, which is the
+// invariant the PDES engine rides on. Sub-keys come from per-node
+// monotone counters (the network's per-source launch sequence for
+// wire/deliver events, `Core::local_seq` for local events), never from
+// global state.
+
+/// Bit position of the rank field in an event key.
+pub(crate) const RANK_SHIFT: u32 = 88;
+
+/// Key of a [`Event::Wire`] arrival: destination node, rank 0, then
+/// `(src, launch_seq)` — the per-source FIFO coordinate.
+#[inline]
+pub(crate) fn key_wire(dst: NodeId, src: NodeId, seq: u64) -> u128 {
+    debug_assert!(seq < 1 << 56, "launch sequence overflow");
+    (u128::from(dst.as_u32()) << 96) | (u128::from(src.as_u32()) << 56) | u128::from(seq)
+}
+
+/// Key of a local event (`Process`, `ProcStep`, `OpDone`): node, rank
+/// 2, then the node's monotone local sequence number.
+#[inline]
+pub(crate) fn key_local(node: u32, seq: u64) -> u128 {
+    (u128::from(node) << 96) | (2u128 << RANK_SHIFT) | u128::from(seq)
+}
+
+/// Key of a barrier-release `ProcStep`: node, rank 3. Rank 3 sorts
+/// after every other same-cycle event of the node, which matches the
+/// serial engine where the release is pushed while dispatching the
+/// trigger event (the last arrival) and therefore runs after all
+/// already-queued same-cycle work.
+#[inline]
+pub(crate) fn key_barrier(node: u32) -> u128 {
+    (u128::from(node) << 96) | (3u128 << RANK_SHIFT) | u128::from(node)
+}
+
+/// The node (= dispatch shard coordinate) an event key belongs to.
+#[inline]
+pub(crate) fn key_node(key: u128) -> u32 {
+    (key >> 96) as u32
+}
+
 #[derive(Debug)]
-enum Event {
-    /// A message arrived at its destination's network exit.
+pub(crate) enum Event {
+    /// A message's head flit reached its destination's network exit
+    /// port (split-phase network, phase 2 pending): the destination
+    /// shard runs [`NetPorts::eject`] to serialize it through the exit
+    /// port and learn the delivery time.
+    Wire(Box<Msg>),
+    /// A message arrived at its destination (exit port included).
     ///
     /// Messages are boxed so a queue entry stays pointer-sized: every
-    /// message transits the queue twice (Deliver, then Process) and a
-    /// `Msg` is over a hundred bytes, so by-value events would memcpy
-    /// each message through the heap four extra times.
+    /// message transits the queue two or three times and a `Msg` is
+    /// over a hundred bytes, so by-value events would memcpy each
+    /// message through the heap several extra times.
     Deliver(Box<Msg>),
     /// A server (memory module or cache controller) finished processing
     /// a message. The second field is the operation span the message
@@ -271,6 +353,51 @@ enum Event {
     OpDone(ProcId, Box<OpOutcome>),
 }
 
+/// What a dispatched event did to the global run condition — the only
+/// two effects that need cross-shard coordination. The serial loop
+/// reacts by scanning for a barrier release; the PDES coordinator
+/// folds them into its generation bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Effect {
+    /// Nothing the scheduler needs to know about.
+    None,
+    /// A processor arrived at a barrier.
+    Arrived,
+    /// A processor terminated.
+    Finished,
+}
+
+/// The debug message-trace ring buffer: `(capacity, entries)`.
+pub(crate) type TraceRing = (usize, std::collections::VecDeque<String>);
+
+/// Everything a [`Core`] needs from its environment while dispatching:
+/// instrumentation (tracer, debug ring, fault jitter, paranoid flag)
+/// and the cross-shard message transport. The serial engine passes a
+/// [`SerialIo`] borrowing the machine's instrumentation; shards pass a
+/// transport that pushes into inter-worker channels and report no
+/// instrumentation (those modes force the serial path).
+pub(crate) trait ShardIo {
+    /// Fault-injected extra network delay for a message sent now.
+    fn jitter(&mut self, _now: Cycle) -> u64 {
+        0
+    }
+    /// The structured tracer, when tracing is on.
+    fn tracer(&mut self) -> Option<&mut Tracer> {
+        None
+    }
+    /// The debug message ring, when enabled.
+    fn ring(&mut self) -> Option<&mut TraceRing> {
+        None
+    }
+    /// Run the per-transition invariant checker.
+    fn paranoid(&self) -> bool {
+        false
+    }
+    /// Hand a message whose destination is outside this core's range to
+    /// the cross-shard transport, keyed for deterministic merge.
+    fn send_remote(&mut self, wire_at: Cycle, key: u128, msg: Msg);
+}
+
 struct ProcState {
     program: Box<dyn Program>,
     rng: SimRng,
@@ -286,250 +413,32 @@ struct ProcState {
     span: u64,
 }
 
-/// Builder for a [`Machine`].
+// ---------------------------------------------------------------------
+// Core: the shardable engine
+// ---------------------------------------------------------------------
+
+/// The shardable simulation state for a contiguous node range
+/// `[lo, hi)` plus the event dispatcher that advances it.
 ///
-/// # Example
-///
-/// ```
-/// use dsm_machine::{Action, MachineBuilder, ProcCtx};
-/// use dsm_protocol::MemOp;
-/// use dsm_sim::{Addr, MachineConfig};
-///
-/// let mut b = MachineBuilder::new(MachineConfig::with_nodes(4));
-/// for _ in 0..4 {
-///     b.add_program(|ctx: &mut ProcCtx<'_>| {
-///         if ctx.last.is_none() {
-///             Action::Op(MemOp::Load { addr: Addr::new(64) })
-///         } else {
-///             Action::Done
-///         }
-///     });
-/// }
-/// let mut machine = b.build();
-/// let report = machine.run(dsm_sim::Cycle::new(100_000)).unwrap();
-/// assert!(report.cycles > dsm_sim::Cycle::ZERO);
-/// ```
-pub struct MachineBuilder {
-    cfg: MachineConfig,
-    map: AddressMap,
-    programs: Vec<Box<dyn Program>>,
-    init: Vec<(Addr, Value)>,
-    llsc_pool: usize,
-    trace: Option<TraceSpec>,
-}
-
-thread_local! {
-    static FAULT_OVERRIDE: std::cell::RefCell<Option<FaultConfig>> =
-        const { std::cell::RefCell::new(None) };
-}
-
-/// Runs `f` with every machine built on this thread using exactly
-/// `faults` — overriding both the configuration's own fault settings
-/// and the `DSM_FAULTS`/`DSM_PARANOID` environment. The previous
-/// override (if any) is restored afterwards, also on panic.
-///
-/// Reproducer replay uses this to pin the exact fault settings of the
-/// original failing run without mutating the process environment, which
-/// would race with concurrently building machines on other threads.
-pub fn with_fault_config<R>(faults: FaultConfig, f: impl FnOnce() -> R) -> R {
-    struct Restore(Option<FaultConfig>);
-    impl Drop for Restore {
-        fn drop(&mut self) {
-            FAULT_OVERRIDE.with(|c| *c.borrow_mut() = self.0.take());
-        }
-    }
-    let _restore = Restore(FAULT_OVERRIDE.with(|c| c.borrow_mut().replace(faults)));
-    f()
-}
-
-impl MachineBuilder {
-    /// Starts building a machine with the given configuration.
-    pub fn new(cfg: MachineConfig) -> Self {
-        cfg.validate().expect("invalid machine configuration");
-        let line_size = cfg.params.line_size;
-        MachineBuilder {
-            cfg,
-            map: AddressMap::new(line_size),
-            programs: Vec::new(),
-            init: Vec::new(),
-            llsc_pool: 256,
-            trace: None,
-        }
-    }
-
-    /// Enables structured event tracing for the built machine (see
-    /// [`TraceSpec`] for sink and category selection). An explicit spec
-    /// set here takes precedence over the `DSM_TRACE` environment
-    /// variable.
-    pub fn with_trace(&mut self, spec: TraceSpec) -> &mut Self {
-        self.trace = Some(spec);
-        self
-    }
-
-    /// Registers the line containing `addr` as a synchronization line.
-    pub fn register_sync(&mut self, addr: Addr, config: SyncConfig) -> &mut Self {
-        self.map.register(addr, config);
-        self
-    }
-
-    /// Initializes a word of memory before the run.
-    pub fn init_word(&mut self, addr: Addr, value: Value) -> &mut Self {
-        self.init.push((addr, value));
-        self
-    }
-
-    /// Sets the linked-list reservation free-pool size per home node.
-    pub fn llsc_pool(&mut self, entries: usize) -> &mut Self {
-        self.llsc_pool = entries;
-        self
-    }
-
-    /// Adds the program for the next processor (programs are assigned in
-    /// order: the first added runs on processor 0).
-    pub fn add_program<P: Program + 'static>(&mut self, program: P) -> &mut Self {
-        self.programs.push(Box::new(program));
-        self
-    }
-
-    /// Builds the machine.
-    ///
-    /// When the configuration carries no fault settings, the
-    /// environment variables `DSM_FAULTS` (a
-    /// [`FaultConfig::from_spec`] string) and `DSM_PARANOID=1` are
-    /// honored as overrides, so a whole test suite can be run under
-    /// fault injection or paranoid invariant checking without code
-    /// changes. An explicit [`MachineConfig::faults`] always wins, and
-    /// a [`with_fault_config`] override on the building thread wins
-    /// over both (reproducer replay relies on this).
-    /// Likewise, when no trace spec was set with
-    /// [`with_trace`](MachineBuilder::with_trace), `DSM_TRACE` (a
-    /// [`TraceSpec::from_spec`] string) enables tracing.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the number of programs does not equal the number of
-    /// nodes, or if `DSM_FAULTS` / `DSM_TRACE` holds a malformed spec.
-    pub fn build(mut self) -> Machine {
-        assert_eq!(
-            self.programs.len(),
-            self.cfg.nodes as usize,
-            "one program per processor is required ({} programs for {} nodes)",
-            self.programs.len(),
-            self.cfg.nodes
-        );
-        let mut faults = self.cfg.faults.clone();
-        if let Some(pinned) = FAULT_OVERRIDE.with(|c| c.borrow().clone()) {
-            faults = pinned;
-        } else if !faults.is_active() {
-            if let Ok(spec) = std::env::var("DSM_FAULTS") {
-                faults = FaultConfig::from_spec(&spec)
-                    .unwrap_or_else(|e| panic!("invalid DSM_FAULTS spec: {e}"));
-            }
-            if std::env::var("DSM_PARANOID").is_ok_and(|v| v == "1") {
-                faults.paranoid = true;
-            }
-        }
-        // Record the *effective* fault settings on the machine, so the
-        // supervision layer can capture them into reproducer artifacts
-        // regardless of where they came from.
-        self.cfg.faults = faults.clone();
-        let trace_spec = self.trace.or_else(|| {
-            std::env::var("DSM_TRACE").ok().map(|spec| {
-                TraceSpec::from_spec(&spec)
-                    .unwrap_or_else(|e| panic!("invalid DSM_TRACE spec: {e}"))
-            })
-        });
-        let tracer = trace_spec.map(|spec| Box::new(Tracer::new(&spec, self.cfg.nodes)));
-        let mesh = Mesh::new(&self.cfg);
-        let net = LatencyNetwork::new(mesh, self.cfg.params.clone());
-        let mut seed_rng = SimRng::new(self.cfg.seed);
-        let procs: Vec<ProcState> = self
-            .programs
-            .into_iter()
-            .map(|program| ProcState {
-                program,
-                rng: seed_rng.fork(0xFACE),
-                done: false,
-                blocked: false,
-                waiting_barrier: None,
-                last: None,
-                last_chain: None,
-                current: None,
-                span: 0,
-            })
-            .collect();
-        let injector = faults
-            .any_faults()
-            .then(|| FaultInjector::new(faults.clone(), seed_rng.fork(0xFA17)));
-        let mut homes = Vec::with_capacity(self.cfg.nodes as usize);
-        let mut caches = Vec::with_capacity(self.cfg.nodes as usize);
-        // Each home serves roughly the lines that fit in one node's
-        // cache; each node can have a handful of events in flight
-        // (messages, processor steps, memory completions).
-        let resv_lines = self.cfg.cache.lines();
-        for n in 0..self.cfg.nodes {
-            let mut home = HomeNode::new(NodeId::new(n), self.cfg.params.line_size, self.llsc_pool);
-            home.reserve_lines(resv_lines);
-            homes.push(home);
-            let mut cc = CacheNode::new(NodeId::new(n), self.cfg.params.line_size, self.cfg.cache);
-            cc.set_nodes(self.cfg.nodes);
-            caches.push(cc);
-        }
-        let mut machine = Machine {
-            now: Cycle::ZERO,
-            events: EventQueue::with_capacity(self.cfg.nodes as usize * 8),
-            net,
-            homes,
-            caches,
-            procs,
-            mem_busy: vec![Cycle::ZERO; self.cfg.nodes as usize],
-            cache_busy: vec![Cycle::ZERO; self.cfg.nodes as usize],
-            stats: MachineStats::new(),
-            active: self.cfg.nodes as usize,
-            events_processed: 0,
-            trace: None,
-            tracer,
-            trace_files: Vec::new(),
-            map: self.map,
-            injector,
-            paranoid: faults.paranoid,
-            watchdog: faults.watchdog,
-            last_retire: Cycle::ZERO,
-            injected_evictions: 0,
-            injected_wipes: 0,
-            injected_corruptions: 0,
-            wall_limit: std::env::var("DSM_WALL_LIMIT")
-                .ok()
-                .and_then(|v| v.parse::<u64>().ok())
-                .filter(|&ms| ms > 0)
-                .map(Duration::from_millis),
-            paused: false,
-            outbox: Outbox::new(),
-            msg_pool: Vec::new(),
-            outcome_pool: Vec::new(),
-            cfg: self.cfg,
-        };
-        for (addr, value) in self.init {
-            machine.poke_word(addr, value);
-        }
-        for p in 0..machine.cfg.nodes {
-            machine
-                .events
-                .push(Cycle::ZERO, Event::ProcStep(ProcId::new(p)));
-        }
-        machine
-    }
-}
-
-/// The simulated 64-node DSM multiprocessor.
-///
-/// Construct with [`MachineBuilder`], then [`run`](Machine::run).
-pub struct Machine {
-    cfg: MachineConfig,
-    map: AddressMap,
-    now: Cycle,
-    events: EventQueue<Event>,
-    net: LatencyNetwork,
+/// A serial run owns one full-range core. A PDES run splits the core
+/// into per-worker shards ([`Core::split_off`]); each shard is a fully
+/// self-contained simulator for its nodes — its own event queue,
+/// network ports ([`NetPorts::split`]), statistics accumulators and
+/// recycling pools — communicating with other shards only through
+/// keyed cross-shard messages ([`ShardIo::send_remote`]) and the
+/// coordinator's barrier/termination protocol. [`Core::absorb`] puts
+/// the machine back together.
+pub(crate) struct Core {
+    /// First node owned by this core.
+    pub(crate) lo: u32,
+    /// One past the last node owned by this core.
+    pub(crate) hi: u32,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) map: AddressMap,
+    pub(crate) mesh: Mesh,
+    pub(crate) now: Cycle,
+    pub(crate) events: EventQueue<Event>,
+    pub(crate) ports: NetPorts,
     homes: Vec<HomeNode>,
     caches: Vec<CacheNode>,
     procs: Vec<ProcState>,
@@ -537,48 +446,30 @@ pub struct Machine {
     mem_busy: Vec<Cycle>,
     /// Per-node cache-controller server availability.
     cache_busy: Vec<Cycle>,
-    stats: MachineStats,
-    active: usize,
-    events_processed: u64,
-    /// Optional message-trace ring buffer (debugging aid).
-    trace: Option<(usize, std::collections::VecDeque<String>)>,
-    /// Structured event tracer (`--trace` / `DSM_TRACE`), boxed so the
-    /// disabled case costs one pointer in the machine and one
-    /// never-taken branch per instrumentation site.
-    tracer: Option<Box<Tracer>>,
-    /// Paths written by the last trace flush.
-    trace_files: Vec<PathBuf>,
-    /// Deterministic fault injector, present only when faults are on.
-    injector: Option<FaultInjector>,
-    /// Run the invariant checker after every protocol transition.
-    paranoid: bool,
-    /// Livelock watchdog window in cycles (0 = off).
-    watchdog: u64,
+    /// Per-node statistics, merged on demand (canonical node order).
+    pub(crate) nstats: Vec<NodeStats>,
+    /// Append-only log of sync begin/end records; replayed in canonical
+    /// coordinate order when global statistics are read.
+    pub(crate) sync_log: Vec<SyncRec>,
+    /// Per-node monotone sequence for local event keys.
+    local_seq: Vec<u64>,
+    /// Per-node monotone sequence for sync-log coordinates.
+    sync_seq: Vec<u64>,
+    /// Non-terminated processors in this core's range.
+    pub(crate) active: usize,
+    pub(crate) events_processed: u64,
     /// Last time a memory operation retired (watchdog bookkeeping).
-    last_retire: Cycle,
-    /// Evictions forced by the fault injector.
-    injected_evictions: u64,
-    /// Reservation wipes forced by the fault injector.
-    injected_wipes: u64,
-    /// Shared-to-exclusive corruptions forced by the fault injector.
-    injected_corruptions: u64,
-    /// Wall-clock budget per `run`/`run_until` call, if any.
-    wall_limit: Option<Duration>,
-    /// `true` between a stop-rule pause and the resuming call, so the
-    /// resume does not reset watchdog bookkeeping.
-    paused: bool,
-    /// Reusable outbox: protocol handlers fill it, [`route`](Machine::route)
+    pub(crate) last_retire: Cycle,
+    /// Reusable outbox: protocol handlers fill it, [`Core::route`]
     /// drains it in place, and the backing vector's capacity survives
     /// from event to event instead of being reallocated per dispatch.
     outbox: Outbox,
     /// Recycled message boxes: every in-flight message lives in a
     /// `Box<Msg>` (see [`Event`]), and at steady state the simulator
-    /// would otherwise pay a malloc/free pair per message. Boxes freed
-    /// by [`process`](Machine::process) are reused by
-    /// [`route`](Machine::route). The boxing is the point — these pools
-    /// hold ready-made heap allocations for [`Event`] payloads — so
-    /// clippy's vec_box (which assumes the indirection is accidental)
-    /// does not apply.
+    /// would otherwise pay a malloc/free pair per message. The boxing
+    /// is the point — these pools hold ready-made heap allocations for
+    /// [`Event`] payloads — so clippy's vec_box (which assumes the
+    /// indirection is accidental) does not apply.
     #[allow(clippy::vec_box)]
     msg_pool: Vec<Box<Msg>>,
     /// Recycled completion boxes, same idea as `msg_pool` but for
@@ -587,575 +478,145 @@ pub struct Machine {
     outcome_pool: Vec<Box<OpOutcome>>,
 }
 
-impl Machine {
-    /// The machine configuration.
-    pub fn config(&self) -> &MachineConfig {
-        &self.cfg
+/// Partitions `nodes` into `workers` contiguous shard ranges
+/// `(lo, count)`, remainder spread over the first shards.
+pub(crate) fn shard_bounds(nodes: u32, workers: usize) -> Vec<(u32, u32)> {
+    let w = (workers.max(1) as u32).min(nodes.max(1));
+    let base = nodes / w;
+    let rem = nodes % w;
+    let mut out = Vec::with_capacity(w as usize);
+    let mut lo = 0;
+    for i in 0..w {
+        let count = base + u32::from(i < rem);
+        out.push((lo, count));
+        lo += count;
+    }
+    out
+}
+
+/// Which shard of `bounds` owns `node`.
+pub(crate) fn shard_of(bounds: &[(u32, u32)], node: u32) -> usize {
+    bounds
+        .iter()
+        .position(|&(lo, count)| node >= lo && node < lo + count)
+        .expect("node outside every shard")
+}
+
+impl Core {
+    /// Local index of a node in this core's vectors.
+    #[inline]
+    fn li(&self, node: u32) -> usize {
+        debug_assert!(
+            node >= self.lo && node < self.hi,
+            "node {node} outside shard [{}, {})",
+            self.lo,
+            self.hi
+        );
+        (node - self.lo) as usize
     }
 
-    /// Current simulated time.
-    pub fn now(&self) -> Cycle {
-        self.now
+    /// `true` if this core simulates `node`.
+    #[inline]
+    fn owns(&self, node: u32) -> bool {
+        node >= self.lo && node < self.hi
     }
 
-    /// Accumulated statistics.
-    pub fn stats(&self) -> &MachineStats {
-        &self.stats
+    /// Pushes a local event with the node's next monotone key.
+    fn push_local(&mut self, at: Cycle, node: u32, event: Event) {
+        let i = self.li(node);
+        let key = key_local(node, self.local_seq[i]);
+        self.local_seq[i] += 1;
+        self.events.push_keyed(at, key, event);
     }
 
-    /// Network statistics.
-    pub fn network_stats(&self) -> &dsm_mesh::NetworkStats {
-        self.net.stats()
+    /// Accepts a cross-shard message from the transport: re-boxes it
+    /// from the local pool and queues its wire arrival under the
+    /// sender-assigned key.
+    pub(crate) fn push_remote(&mut self, wire_at: Cycle, key: u128, msg: Msg) {
+        let boxed = self.box_msg(msg);
+        self.events.push_keyed(wire_at, key, Event::Wire(boxed));
     }
 
-    /// Writes a word directly into its home memory (initialization /
-    /// between quiescent phases only).
-    pub fn poke_word(&mut self, addr: Addr, value: Value) {
-        let home = addr.line(self.cfg.params.line_size).home(self.cfg.nodes);
-        self.homes[home.index()].poke_word(addr, value);
-    }
-
-    /// Reads the current logical value of a word: the owner's cached
-    /// copy if the line is dirty, otherwise home memory. Only meaningful
-    /// when the machine is quiescent.
-    pub fn read_word(&self, addr: Addr) -> Value {
-        let line = addr.line(self.cfg.params.line_size);
-        let home = line.home(self.cfg.nodes);
-        if let DirState::Dirty(owner) = self.homes[home.index()].dir_state(line) {
-            if let Some(v) = self.caches[owner.index()].peek_word(addr) {
-                return v;
+    /// Wraps a message in a (pooled) box for the event queue.
+    fn box_msg(&mut self, msg: Msg) -> Box<Msg> {
+        match self.msg_pool.pop() {
+            Some(mut b) => {
+                *b = msg;
+                b
             }
-        }
-        self.homes[home.index()].peek_word(addr)
-    }
-
-    /// Runs until every processor terminates or `limit` is reached.
-    ///
-    /// # Errors
-    ///
-    /// [`RunError::CycleLimit`] if the limit was reached first,
-    /// [`RunError::Deadlock`] if the event queue drained with blocked
-    /// processors (a protocol/program bug), [`RunError::Livelock`] if the
-    /// watchdog window elapsed without an op retiring,
-    /// [`RunError::Protocol`] if a protocol engine reached an illegal
-    /// state, or [`RunError::Invariant`] if paranoid checking found a
-    /// violated invariant.
-    pub fn run(&mut self, limit: Cycle) -> Result<RunReport, RunError> {
-        match self.run_until(limit, StopRule::None)? {
-            RunOutcome::Done(report) => Ok(report),
-            RunOutcome::Paused(_) => unreachable!("StopRule::None never pauses"),
+            None => Box::new(msg),
         }
     }
 
-    /// Like [`run`](Machine::run), but pauses when `stop` fires (see
-    /// [`StopRule`]); call again to resume. Because pauses land on event
-    /// boundaries, a paused machine's [`state_digest`](Machine::state_digest)
-    /// equals the digest an uninterrupted run has at the same event
-    /// count — the property the checkpoint/restore layer verifies.
-    ///
-    /// # Errors
-    ///
-    /// The same errors as [`run`](Machine::run), plus
-    /// [`RunError::Timeout`] when a wall-clock budget
-    /// ([`set_wall_limit`](Machine::set_wall_limit) or `DSM_WALL_LIMIT`)
-    /// elapses before the run finishes or pauses.
-    pub fn run_until(&mut self, limit: Cycle, stop: StopRule) -> Result<RunOutcome, RunError> {
-        let result = self.run_inner(limit, stop);
-        // Traces are most valuable when a run fails (deadlock, protocol
-        // error), so flush on the error path too. A trace I/O failure
-        // must not masquerade as a simulation failure; report and move
-        // on.
-        if !matches!(result, Ok(RunOutcome::Paused(_))) {
-            if let Err(e) = self.flush_trace() {
-                eprintln!("warning: failed to write trace output: {e}");
+    /// Wraps a completion in a (pooled) box for the event queue.
+    fn box_outcome(&mut self, outcome: OpOutcome) -> Box<OpOutcome> {
+        match self.outcome_pool.pop() {
+            Some(mut b) => {
+                *b = outcome;
+                b
             }
-        }
-        result
-    }
-
-    /// `true` if `stop` fires at the current event count / time.
-    fn should_pause(&self, stop: StopRule) -> bool {
-        match stop {
-            StopRule::None => false,
-            StopRule::PauseAt(cycle) => self.now >= cycle,
-            StopRule::AfterEvents(n) => self.events_processed >= n,
+            None => Box::new(outcome),
         }
     }
 
-    /// Checks the wall-clock budget (every `WALL_CHECK_MASK + 1` events,
-    /// so the `Instant::now` syscall stays off the hot path).
-    fn check_wall(&self, started: Instant) -> Result<(), RunError> {
-        const WALL_CHECK_MASK: u64 = 8191;
-        let Some(budget) = self.wall_limit else {
-            return Ok(());
-        };
-        if self.events_processed & WALL_CHECK_MASK != 0 {
-            return Ok(());
-        }
-        let elapsed = started.elapsed();
-        if elapsed > budget {
-            return Err(RunError::Timeout {
-                at: self.now,
-                elapsed_ms: elapsed.as_millis() as u64,
-                limit_ms: budget.as_millis() as u64,
-            });
-        }
-        Ok(())
+    /// Moves the message out of its box and returns the box to the
+    /// recycling pool.
+    fn recycle(&mut self, mut msg: Box<Msg>) -> Msg {
+        let taken = std::mem::replace(
+            &mut *msg,
+            Msg {
+                src: NodeId::new(0),
+                dst: NodeId::new(0),
+                line: dsm_sim::LineAddr::new(0),
+                addr: dsm_sim::Addr::new(0),
+                proc: ProcId::new(0),
+                chain: 0,
+                kind: dsm_protocol::MsgKind::GetS,
+            },
+        );
+        self.msg_pool.push(msg);
+        taken
     }
 
-    fn run_inner(&mut self, limit: Cycle, stop: StopRule) -> Result<RunOutcome, RunError> {
-        let started = Instant::now();
-        if !self.paused {
-            self.last_retire = self.now;
-        }
-        self.paused = false;
-        while self.active > 0 {
-            let Some((at, event)) = self.events.pop() else {
-                return Err(RunError::Deadlock {
-                    at: self.now,
-                    active: self.active,
-                    procs: self.proc_dumps(),
-                });
-            };
-            debug_assert!(at >= self.now, "time ran backwards");
-            if at > limit {
-                return Err(RunError::CycleLimit {
-                    limit,
-                    active: self.active,
-                });
-            }
-            self.now = at;
-            self.events_processed += 1;
-            self.poll_faults();
-            self.check_watchdog()?;
-            self.check_wall(started)?;
-            self.dispatch(event)?;
-            if self.should_pause(stop) {
-                self.paused = true;
-                return Ok(RunOutcome::Paused(RunReport {
-                    cycles: self.now,
-                    events: self.events_processed,
-                }));
-            }
-        }
-        let finished = self.now;
-        // Drain in-flight traffic (e.g. final write-backs) so the
-        // machine is quiescent: read_word and validate_coherence see the
-        // committed state.
-        while let Some((at, event)) = self.events.pop() {
-            if at > limit {
-                return Err(RunError::CycleLimit { limit, active: 0 });
-            }
-            self.now = at;
-            self.events_processed += 1;
-            self.check_wall(started)?;
-            self.dispatch(event)?;
-            if self.should_pause(stop) {
-                self.paused = true;
-                return Ok(RunOutcome::Paused(RunReport {
-                    cycles: self.now,
-                    events: self.events_processed,
-                }));
-            }
-        }
-        if self.paranoid {
-            self.quiescence_check(finished)?;
-        }
-        Ok(RunOutcome::Done(RunReport {
-            cycles: finished,
-            events: self.events_processed,
-        }))
-    }
-
-    /// Sets (or clears) the wall-clock budget applied to each
-    /// [`run`](Machine::run) / [`run_until`](Machine::run_until) call,
-    /// overriding the `DSM_WALL_LIMIT` environment variable read at
-    /// build time.
-    pub fn set_wall_limit(&mut self, limit: Option<Duration>) {
-        self.wall_limit = limit;
-    }
-
-    /// Applies the window faults due at the current time, if any.
-    fn poll_faults(&mut self) {
-        let fired = match &mut self.injector {
-            Some(inj) => inj.poll(self.now.as_u64(), self.cfg.nodes),
-            None => return,
-        };
-        for fault in fired {
-            match fault {
-                FaultEvent::EvictLine { node } => {
-                    let mut out = std::mem::take(&mut self.outbox);
-                    if self.caches[node.index()].inject_evict(&mut out).is_some() {
-                        self.injected_evictions += 1;
-                    }
-                    self.route(&mut out);
-                    self.outbox = out;
-                }
-                FaultEvent::WipeReservations { node } => {
-                    self.homes[node.index()].wipe_reservations();
-                    self.injected_wipes += 1;
-                    if let Some(tracer) = &mut self.tracer {
-                        if tracer.wants(Category::Resv) {
-                            tracer.reservation(self.now, node, "wipe");
-                        }
-                    }
-                }
-                FaultEvent::CorruptLine { node } => {
-                    // Promote the first shared resident line (stable
-                    // iteration order, so replays corrupt the same
-                    // line). A cache with no shared line absorbs the
-                    // fault silently.
-                    let victim = self.caches[node.index()]
-                        .cached_lines()
-                        .find(|(_, s)| *s == CacheState::Shared)
-                        .map(|(l, _)| l);
-                    if let Some(line) = victim {
-                        if self.caches[node.index()].corrupt_promote_shared(line) {
-                            self.injected_corruptions += 1;
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Fails the run if events keep firing but no operation has retired
-    /// for a full watchdog window while at least one is outstanding.
-    fn check_watchdog(&mut self) -> Result<(), RunError> {
-        if self.watchdog == 0 {
-            return Ok(());
-        }
-        if !self.procs.iter().any(|s| s.current.is_some()) {
-            // Nothing outstanding (compute/barrier phases): progress is
-            // the program's business, not the protocol's.
-            self.last_retire = self.now;
-            return Ok(());
-        }
-        if (self.now - self.last_retire).as_u64() > self.watchdog {
-            return Err(RunError::Livelock {
-                at: self.now,
-                window: self.watchdog,
-                procs: self.proc_dumps(),
-            });
-        }
-        Ok(())
-    }
-
-    /// Snapshots every processor's blocked-on state for diagnostics.
-    fn proc_dumps(&self) -> Vec<ProcDump> {
-        self.procs
-            .iter()
-            .enumerate()
-            .map(|(i, s)| ProcDump {
-                proc: ProcId::new(i as u32),
-                op: s.current.map(|(op, _, _)| op),
-                addr: s.current.map(|(op, _, _)| op.addr()),
-                issued: s.current.map(|(_, at, _)| at),
-                barrier: s.waiting_barrier,
-            })
-            .collect()
-    }
-
-    /// Full paranoid sweep once the machine is quiescent: every global
-    /// invariant, message conservation (no half-done transaction may
-    /// survive a drained event queue), then the coherence oracle.
-    fn quiescence_check(&self, at: Cycle) -> Result<(), RunError> {
-        if let Some(violation) = check_invariants(&self.caches, &self.homes, &self.map)
-            .into_iter()
-            .next()
-        {
-            return Err(RunError::Invariant { at, violation });
-        }
-        for (i, cache) in self.caches.iter().enumerate() {
-            if cache.busy() {
-                return Err(RunError::Invariant {
-                    at,
-                    violation: InvariantViolation {
-                        invariant: "message-conservation",
-                        line: cache.pending_line(),
-                        nodes: vec![NodeId::new(i as u32)],
-                        detail: "cache still has an outstanding request at quiescence".into(),
-                    },
-                });
-            }
-        }
-        for (i, home) in self.homes.iter().enumerate() {
-            if home.busy_lines() > 0 || home.queued_requests() > 0 {
-                return Err(RunError::Invariant {
-                    at,
-                    violation: InvariantViolation {
-                        invariant: "message-conservation",
-                        line: None,
-                        nodes: vec![NodeId::new(i as u32)],
-                        detail: format!(
-                            "home still busy at quiescence ({} busy lines, {} queued requests)",
-                            home.busy_lines(),
-                            home.queued_requests()
-                        ),
-                    },
-                });
-            }
-        }
-        if let Err(detail) = self.validate_coherence() {
-            return Err(RunError::Invariant {
-                at,
-                violation: InvariantViolation {
-                    invariant: "coherence",
-                    line: None,
-                    nodes: Vec::new(),
-                    detail,
-                },
-            });
-        }
-        Ok(())
-    }
-
-    /// How many faults the injector has applied so far, as
-    /// `(forced evictions, reservation wipes, forced corruptions)`.
-    pub fn injected_faults(&self) -> (u64, u64, u64) {
-        (
-            self.injected_evictions,
-            self.injected_wipes,
-            self.injected_corruptions,
-        )
-    }
-
-    /// The fault schedule applied so far (`None` when faults are off) —
-    /// the raw material of reproducer shrinking.
-    pub fn fault_record(&self) -> Option<&FaultRecord> {
-        self.injector.as_ref().map(FaultInjector::record)
-    }
-
-    /// The *effective* fault configuration this machine was built with:
-    /// the explicit [`MachineConfig::faults`], a [`with_fault_config`]
-    /// override, or the `DSM_FAULTS`/`DSM_PARANOID` environment —
-    /// whichever won at build time. Reproducer artifacts capture this
-    /// so a replay pins identical fault behaviour.
-    pub fn fault_config(&self) -> &FaultConfig {
-        &self.cfg.faults
-    }
-
-    /// Installs (or clears) a candidate-index allow list on the fault
-    /// injector, restricting which drawn faults are *applied* without
-    /// changing the RNG draw sequence. No-op when faults are off.
-    /// Install before running — mid-run installation is sound (queries
-    /// are monotone) but makes the run depend on when the call happened.
-    pub fn set_fault_filter(&mut self, filter: Option<FaultFilter>) {
-        if let Some(inj) = &mut self.injector {
-            inj.set_filter(filter);
-        }
-    }
-
-    /// Total events dispatched since construction — the replay
-    /// coordinate used by checkpoints (see [`StopRule::AfterEvents`]).
-    pub fn events_processed(&self) -> u64 {
-        self.events_processed
-    }
-
-    /// A digest of the machine's complete dynamic state: simulated
-    /// time, the pending event queue, network ports, every cache, home
-    /// directory and memory line, LL/SC reservations, per-processor
-    /// progress and RNG streams, server availability, statistics, and
-    /// fault-injector position.
-    ///
-    /// Two machines built from the same configuration that have
-    /// dispatched the same event sequence produce equal digests; any
-    /// divergence in simulated state changes the digest. This is the
-    /// verification primitive of checkpoint/restore: a restored run
-    /// proves it reoccupied the checkpointed state by digest equality
-    /// before resuming. Diagnostic-only state (tracers, recycling
-    /// pools) is excluded — it cannot influence simulation results.
-    pub fn state_digest(&self) -> u64 {
-        let mut h = StableHasher::new();
-        h.write_u64(self.now.as_u64());
-        h.write_u64(self.events_processed);
-        h.write_usize(self.active);
-        self.events.digest_with(&mut h, |event, h| match event {
-            Event::Deliver(m) => {
-                h.write_u8(0);
-                m.digest(h);
-            }
-            // The span word is deliberately not hashed: it is
-            // tracer-produced diagnostic state, and digests must agree
-            // between traced and untraced runs of the same simulation.
-            Event::Process(m, _span) => {
-                h.write_u8(1);
-                m.digest(h);
-            }
-            Event::ProcStep(p) => {
-                h.write_u8(2);
-                h.write_u32(p.as_u32());
-            }
-            Event::OpDone(p, o) => {
-                h.write_u8(3);
-                h.write_u32(p.as_u32());
-                o.digest(h);
-            }
-        });
-        self.net.digest(&mut h);
-        h.write_usize(self.homes.len());
-        for home in &self.homes {
-            home.digest(&mut h);
-        }
-        for cache in &self.caches {
-            cache.digest(&mut h);
-        }
-        for proc in &self.procs {
-            for w in proc.rng.state() {
-                h.write_u64(w);
-            }
-            h.write_u8(proc.done as u8);
-            h.write_u8(proc.blocked as u8);
-            match proc.waiting_barrier {
-                Some(b) => {
-                    h.write_u8(1);
-                    h.write_u32(b);
-                }
-                None => h.write_u8(0),
-            }
-            match &proc.last {
-                Some(r) => {
-                    h.write_u8(1);
-                    r.digest(&mut h);
-                }
-                None => h.write_u8(0),
-            }
-            match proc.last_chain {
-                Some(c) => {
-                    h.write_u8(1);
-                    h.write_u32(c);
-                }
-                None => h.write_u8(0),
-            }
-            match &proc.current {
-                Some((op, at, sync)) => {
-                    h.write_u8(1);
-                    op.digest(&mut h);
-                    h.write_u64(at.as_u64());
-                    h.write_u8(*sync as u8);
-                }
-                None => h.write_u8(0),
-            }
-        }
-        for c in &self.mem_busy {
-            h.write_u64(c.as_u64());
-        }
-        for c in &self.cache_busy {
-            h.write_u64(c.as_u64());
-        }
-        self.stats.digest(&mut h);
-        h.write_u64(self.last_retire.as_u64());
-        h.write_u64(self.injected_evictions);
-        h.write_u64(self.injected_wipes);
-        h.write_u64(self.injected_corruptions);
-        match &self.injector {
-            Some(inj) => {
-                h.write_u8(1);
-                inj.digest(&mut h);
-            }
-            None => h.write_u8(0),
-        }
-        h.finish()
-    }
-
-    /// Runs the per-transition invariant checker over the whole machine
-    /// on demand (independent of paranoid mode).
-    pub fn check_invariants(&self) -> Vec<InvariantViolation> {
-        check_invariants(&self.caches, &self.homes, &self.map)
-    }
-
-    /// Test-only corruption hook: illegally promotes a Shared copy of
-    /// `line` at `node` to Exclusive, bypassing the protocol. Returns
-    /// whether the corruption was applied. Exists so tests can prove the
-    /// paranoid checker reports corruption as a structured diagnostic.
-    #[doc(hidden)]
-    pub fn corrupt_promote_shared(&mut self, node: NodeId, line: LineAddr) -> bool {
-        self.caches[node.index()].corrupt_promote_shared(line)
-    }
-
-    fn dispatch(&mut self, event: Event) -> Result<(), RunError> {
+    /// Dispatches one event. `key` is the event's queue key (needed to
+    /// derive the delivery key of a wire arrival).
+    pub(crate) fn dispatch(
+        &mut self,
+        key: u128,
+        event: Event,
+        io: &mut impl ShardIo,
+    ) -> Result<Effect, RunError> {
         match event {
-            Event::ProcStep(p) => self.proc_step(p),
+            Event::ProcStep(p) => self.proc_step(p, io),
             Event::OpDone(p, outcome) => {
                 let o = *outcome;
                 self.outcome_pool.push(outcome);
-                self.op_done(p, o)
+                self.op_done(p, o, io)?;
+                Ok(Effect::None)
+            }
+            Event::Wire(msg) => {
+                self.wire(key, msg, io);
+                Ok(Effect::None)
             }
             Event::Deliver(msg) => {
-                self.deliver(msg);
-                Ok(())
+                self.deliver(msg, io);
+                Ok(Effect::None)
             }
-            Event::Process(msg, span) => self.process(msg, span),
+            Event::Process(msg, span) => {
+                self.process(msg, span, io)?;
+                Ok(Effect::None)
+            }
         }
     }
 
-    /// Enables a message-trace ring buffer holding the last `capacity`
-    /// sends, each formatted as `time src->dst line kind`. Useful when
-    /// debugging protocol behaviour in tests.
-    pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = Some((
-            capacity,
-            std::collections::VecDeque::with_capacity(capacity),
-        ));
-    }
-
-    /// The trace entries recorded so far (oldest first); empty unless
-    /// [`enable_trace`](Machine::enable_trace) was called.
-    pub fn trace(&self) -> impl Iterator<Item = &str> {
-        self.trace
-            .iter()
-            .flat_map(|(_, q)| q.iter().map(String::as_str))
-    }
-
-    /// The structured event tracer, if tracing is enabled (via
-    /// [`MachineBuilder::with_trace`] or `DSM_TRACE`).
-    pub fn tracer(&self) -> Option<&Tracer> {
-        self.tracer.as_deref()
-    }
-
-    /// Mutable access to the tracer, e.g. to attach a custom
-    /// [`TraceSink`](dsm_trace::TraceSink) before running.
-    pub fn tracer_mut(&mut self) -> Option<&mut Tracer> {
-        self.tracer.as_deref_mut()
-    }
-
-    /// Attaches a tracer to an already-built machine, replacing any
-    /// existing one. Useful when the machine was constructed by a
-    /// workload builder that offers no [`MachineBuilder::with_trace`]
-    /// hook; attach before [`run`](Machine::run) or the trace will miss
-    /// everything already simulated.
-    pub fn attach_tracer(&mut self, spec: &TraceSpec) {
-        self.tracer = Some(Box::new(Tracer::new(spec, self.cfg.nodes)));
-    }
-
-    /// Writes the attached trace sinks to disk (no-op when tracing is
-    /// off). [`run`](Machine::run) calls this automatically on both the
-    /// success and error paths; calling it again is idempotent because
-    /// file names are content-addressed.
-    ///
-    /// # Errors
-    ///
-    /// Propagates I/O errors from writing the trace files.
-    pub fn flush_trace(&mut self) -> std::io::Result<Vec<PathBuf>> {
-        let Some(tracer) = &self.tracer else {
-            return Ok(Vec::new());
-        };
-        let paths = tracer.finish(self.cfg.seed)?;
-        self.trace_files.clone_from(&paths);
-        Ok(paths)
-    }
-
-    /// Paths written by the most recent trace flush (empty when tracing
-    /// is off).
-    pub fn trace_files(&self) -> &[PathBuf] {
-        &self.trace_files
-    }
-
     /// Routes freshly emitted messages into the network, draining the
-    /// outbox in place so its allocation is reusable.
-    fn route(&mut self, out: &mut Outbox) {
+    /// outbox in place so its allocation is reusable. Phase 1 of the
+    /// split-phase network: the *source* shard serializes the message
+    /// through its entry port and learns the wire-arrival time; the
+    /// destination shard finishes the job in [`Core::wire`].
+    fn route(&mut self, out: &mut Outbox, io: &mut impl ShardIo) {
         for msg in out.msgs.drain(..) {
-            if let Some((cap, q)) = &mut self.trace {
+            if let Some((cap, q)) = io.ring() {
                 if q.len() == *cap {
                     q.pop_front();
                 }
@@ -1168,18 +629,23 @@ impl Machine {
                     std::mem::discriminant(&msg.kind)
                 ));
             }
-            self.stats.msgs.count(msg.kind.class());
+            let src_li = self.li(msg.src.as_u32());
+            self.nstats[src_li].msgs.count(msg.kind.class());
             let flits = msg.flits(&self.cfg.params);
-            let deliver_at = match &mut self.injector {
-                Some(inj) => {
-                    let extra = inj.jitter(self.now.as_u64());
-                    self.net
-                        .send_jittered(self.now, msg.src, msg.dst, flits, extra)
-                }
-                None => self.net.send(self.now, msg.src, msg.dst, flits),
-            };
-            if let Some(tracer) = &mut self.tracer {
+            let extra = io.jitter(self.now);
+            let (wire_at, seq) = self.ports.launch(
+                &self.cfg.params,
+                &self.mesh,
+                self.now,
+                msg.src,
+                msg.dst,
+                flits,
+                extra,
+            );
+            if let Some(tracer) = io.tracer() {
                 if tracer.wants(Category::Msg) {
+                    // Wire arrival, not final delivery: the exit port is
+                    // the destination's business and unknown at launch.
                     tracer.msg_send(
                         self.now,
                         msg.src,
@@ -1188,25 +654,74 @@ impl Machine {
                         msg.kind.label(),
                         flits,
                         self.cfg.hops(msg.src, msg.dst),
-                        deliver_at,
+                        wire_at,
                     );
                 }
             }
-            let boxed = match self.msg_pool.pop() {
-                Some(mut b) => {
-                    *b = msg;
-                    b
-                }
-                None => Box::new(msg),
-            };
-            self.events.push(deliver_at, Event::Deliver(boxed));
+            let key = key_wire(msg.dst, msg.src, seq);
+            if self.owns(msg.dst.as_u32()) {
+                let boxed = self.box_msg(msg);
+                self.events.push_keyed(wire_at, key, Event::Wire(boxed));
+            } else {
+                io.send_remote(wire_at, key, msg);
+            }
         }
     }
 
-    fn proc_step(&mut self, p: ProcId) -> Result<(), RunError> {
-        let state = &mut self.procs[p.index()];
+    /// Phase 2 of the split-phase network: the destination serializes
+    /// the arrived message through its exit port. When the exit port is
+    /// free the message is delivered inline (no extra queue transit).
+    fn wire(&mut self, key: u128, msg: Box<Msg>, io: &mut impl ShardIo) {
+        let flits = msg.flits(&self.cfg.params);
+        let delivered = self
+            .ports
+            .eject(&self.cfg.params, self.now, msg.src, msg.dst, flits);
+        if delivered == self.now {
+            self.deliver(msg, io);
+        } else {
+            self.events
+                .push_keyed(delivered, key | (1u128 << RANK_SHIFT), Event::Deliver(msg));
+        }
+    }
+
+    /// A message reached its destination: queue it for the appropriate
+    /// server (memory module or cache controller).
+    fn deliver(&mut self, msg: Box<Msg>, io: &mut impl ShardIo) {
+        let node = self.li(msg.dst.as_u32());
+        let (busy, service) = if msg.kind.home_bound() {
+            (
+                &mut self.mem_busy[node],
+                self.cfg.params.dir_access + self.cfg.params.mem_access,
+            )
+        } else {
+            (&mut self.cache_busy[node], self.cfg.params.cache_ctrl)
+        };
+        let start = self.now.max(*busy);
+        let finish = start + service;
+        *busy = finish;
+        let mut span = 0;
+        if let Some(tracer) = io.tracer() {
+            if tracer.wants(Category::Msg) {
+                span = tracer.msg_service(
+                    start,
+                    finish,
+                    msg.src,
+                    msg.dst,
+                    msg.kind.label(),
+                    msg.kind.home_bound(),
+                    msg.kind.service_phase(),
+                );
+            }
+        }
+        let dst = msg.dst.as_u32();
+        self.push_local(finish, dst, Event::Process(msg, span));
+    }
+
+    fn proc_step(&mut self, p: ProcId, io: &mut impl ShardIo) -> Result<Effect, RunError> {
+        let i = self.li(p.as_u32());
+        let state = &mut self.procs[i];
         if state.done || state.blocked || state.waiting_barrier.is_some() {
-            return Ok(());
+            return Ok(Effect::None);
         }
         let action = {
             let mut ctx = ProcCtx {
@@ -1220,70 +735,87 @@ impl Machine {
         };
         match action {
             Action::Compute(cycles) => {
-                self.events.push(self.now + cycles, Event::ProcStep(p));
+                self.push_local(self.now + cycles, p.as_u32(), Event::ProcStep(p));
+                Ok(Effect::None)
             }
             Action::Barrier(id) => {
-                self.procs[p.index()].waiting_barrier = Some(id);
-                self.try_release_barrier();
+                self.procs[i].waiting_barrier = Some(id);
+                Ok(Effect::Arrived)
             }
             Action::Done => {
-                self.procs[p.index()].done = true;
+                self.procs[i].done = true;
                 self.active -= 1;
-                self.try_release_barrier();
+                Ok(Effect::Finished)
             }
-            Action::Op(op) => self.issue_op(p, op)?,
+            Action::Op(op) => {
+                self.issue_op(p, op, io)?;
+                Ok(Effect::None)
+            }
         }
-        Ok(())
     }
 
-    fn issue_op(&mut self, p: ProcId, op: MemOp) -> Result<(), RunError> {
+    fn issue_op(&mut self, p: ProcId, op: MemOp, io: &mut impl ShardIo) -> Result<(), RunError> {
         // One map lookup answers both "sync line?" and "which policy?".
         let sync_cfg = self.map.sync_config_for(op.addr());
         let is_sync = sync_cfg.is_some();
+        let i = self.li(p.as_u32());
         if is_sync {
-            self.stats.contention.begin(op.addr().as_u64(), p.as_u32());
+            let seq = self.sync_seq[i];
+            self.sync_seq[i] += 1;
+            self.sync_log.push(SyncRec {
+                at: self.now.as_u64(),
+                proc: p.as_u32(),
+                seq,
+                addr: op.addr().as_u64(),
+                kind: SyncRecKind::Begin,
+            });
         }
-        self.procs[p.index()].current = Some((op, self.now, is_sync));
-        if let Some(tracer) = &mut self.tracer {
+        self.procs[i].current = Some((op, self.now, is_sync));
+        if let Some(tracer) = io.tracer() {
             let span = tracer.span_begin(
                 self.now,
                 p,
                 op.label(),
                 op.addr().line(self.cfg.params.line_size),
             );
-            self.procs[p.index()].span = span;
+            self.procs[i].span = span;
         }
-        let mut out = std::mem::take(&mut self.outbox);
-        let completed = self.caches[p.index()]
+        let mut out = std::mem::replace(&mut self.outbox, Outbox::new());
+        let completed = self.caches[i]
             .start_op_with(op, sync_cfg.unwrap_or_default(), &mut out)
             .map_err(|error| RunError::Protocol {
                 at: self.now,
                 error,
             })?;
-        self.route(&mut out);
+        self.route(&mut out, io);
         self.outbox = out;
         // Back to "no span": anything sent later (fault repair,
         // unrelated servicing) is not this operation's doing.
-        if let Some(tracer) = &mut self.tracer {
+        if let Some(tracer) = io.tracer() {
             tracer.set_span_ctx(0);
         }
         match completed {
             Some(outcome) => {
                 let latency = self.cfg.params.cache_hit;
                 let boxed = self.box_outcome(outcome);
-                self.events
-                    .push(self.now + latency, Event::OpDone(p, boxed));
-                self.procs[p.index()].blocked = true;
+                self.push_local(self.now + latency, p.as_u32(), Event::OpDone(p, boxed));
+                self.procs[i].blocked = true;
             }
             None => {
-                self.procs[p.index()].blocked = true;
+                self.procs[i].blocked = true;
             }
         }
         Ok(())
     }
 
-    fn op_done(&mut self, p: ProcId, outcome: OpOutcome) -> Result<(), RunError> {
-        let Some((op, issued, is_sync)) = self.procs[p.index()].current.take() else {
+    fn op_done(
+        &mut self,
+        p: ProcId,
+        outcome: OpOutcome,
+        io: &mut impl ShardIo,
+    ) -> Result<(), RunError> {
+        let i = self.li(p.as_u32());
+        let Some((op, issued, is_sync)) = self.procs[i].current.take() else {
             return Err(RunError::Protocol {
                 at: self.now,
                 error: ProtocolError::new(
@@ -1295,28 +827,36 @@ impl Machine {
         self.last_retire = self.now;
         let cycles = (self.now - issued).as_u64();
         let latency = cycles as f64;
-        self.stats.ops += 1;
-        self.stats.op_latency.add(latency);
-        self.stats.op_latency_hist.record(cycles);
-        if outcome.local {
-            self.stats.local_ops += 1;
+        {
+            let ns = &mut self.nstats[i];
+            ns.ops += 1;
+            ns.op_latency.add(latency);
+            ns.op_latency_hist.record(cycles);
+            if outcome.local {
+                ns.local_ops += 1;
+            }
+            if is_sync {
+                ns.sync_ops += 1;
+                ns.sync_latency.add(latency);
+                ns.sync_latency_hist.record((latency / 10.0) as usize);
+                ns.msgs.record_chain(outcome.chain);
+            }
         }
         if is_sync {
-            self.stats.sync_ops += 1;
-            self.stats.sync_latency.add(latency);
-            self.stats
-                .sync_latency_hist
-                .record((latency / 10.0) as usize);
-            self.stats.msgs.record_chain(outcome.chain);
-            self.stats.contention.end(op.addr().as_u64(), p.as_u32());
-            self.stats.write_runs.access(
-                op.addr().as_u64(),
-                p.as_u32(),
-                op.is_write() && outcome.result.succeeded(),
-            );
+            let seq = self.sync_seq[i];
+            self.sync_seq[i] += 1;
+            self.sync_log.push(SyncRec {
+                at: self.now.as_u64(),
+                proc: p.as_u32(),
+                seq,
+                addr: op.addr().as_u64(),
+                kind: SyncRecKind::End {
+                    write: op.is_write() && outcome.result.succeeded(),
+                },
+            });
         }
-        let span = std::mem::take(&mut self.procs[p.index()].span);
-        if let Some(tracer) = &mut self.tracer {
+        let span = std::mem::take(&mut self.procs[i].span);
+        if let Some(tracer) = io.tracer() {
             let outcome_label = match outcome.result {
                 OpResult::CasDone { success: false, .. } => "cas-fail",
                 OpResult::ScDone { success: false } => "sc-fail",
@@ -1372,98 +912,34 @@ impl Machine {
                 }
             }
         }
-        let state = &mut self.procs[p.index()];
+        let state = &mut self.procs[i];
         state.blocked = false;
         state.last = Some(outcome.result);
         state.last_chain = Some(outcome.chain);
-        self.events
-            .push(self.now + self.cfg.params.issue, Event::ProcStep(p));
+        self.push_local(
+            self.now + self.cfg.params.issue,
+            p.as_u32(),
+            Event::ProcStep(p),
+        );
         Ok(())
     }
 
-    fn deliver(&mut self, msg: Box<Msg>) {
-        // Choose the server and its occupancy.
-        let node = msg.dst.index();
-        let (busy, service) = if msg.kind.home_bound() {
-            (
-                &mut self.mem_busy[node],
-                self.cfg.params.dir_access + self.cfg.params.mem_access,
-            )
-        } else {
-            (&mut self.cache_busy[node], self.cfg.params.cache_ctrl)
-        };
-        let start = self.now.max(*busy);
-        let finish = start + service;
-        *busy = finish;
-        let mut span = 0;
-        if let Some(tracer) = &mut self.tracer {
-            if tracer.wants(Category::Msg) {
-                span = tracer.msg_service(
-                    start,
-                    finish,
-                    msg.src,
-                    msg.dst,
-                    msg.kind.label(),
-                    msg.kind.home_bound(),
-                    msg.kind.service_phase(),
-                );
-            }
-        }
-        self.events.push(finish, Event::Process(msg, span));
-    }
-
-    /// Wraps a completion in a (pooled) box for the event queue.
-    fn box_outcome(&mut self, outcome: OpOutcome) -> Box<OpOutcome> {
-        match self.outcome_pool.pop() {
-            Some(mut b) => {
-                *b = outcome;
-                b
-            }
-            None => Box::new(outcome),
-        }
-    }
-
-    /// Moves the message out of its box and returns the box to the
-    /// recycling pool.
-    fn recycle(&mut self, mut msg: Box<Msg>) -> Msg {
-        let taken = std::mem::replace(
-            &mut *msg,
-            Msg {
-                src: NodeId::new(0),
-                dst: NodeId::new(0),
-                line: dsm_sim::LineAddr::new(0),
-                addr: dsm_sim::Addr::new(0),
-                proc: ProcId::new(0),
-                chain: 0,
-                kind: dsm_protocol::MsgKind::GetS,
-            },
-        );
-        self.msg_pool.push(msg);
-        taken
-    }
-
-    fn process(&mut self, msg: Box<Msg>, span: u64) -> Result<(), RunError> {
-        let node = msg.dst.index();
+    fn process(&mut self, msg: Box<Msg>, span: u64, io: &mut impl ShardIo) -> Result<(), RunError> {
+        let node = self.li(msg.dst.as_u32());
         let dst = msg.dst;
         let line = msg.line;
         let msg = self.recycle(msg);
         // Everything the handlers send below — forwards, invalidation
         // fan-out, replies — is on behalf of the operation that caused
         // this message, so those flows inherit its span.
-        if let Some(tracer) = &mut self.tracer {
+        if let Some(tracer) = io.tracer() {
             tracer.set_span_ctx(span);
         }
         // Coherence-state probes bracket the handler call; the flags are
         // false when tracing is off, so the probes cost nothing then.
-        let want_state = self
-            .tracer
-            .as_ref()
-            .is_some_and(|t| t.wants(Category::State));
-        let want_queue = self
-            .tracer
-            .as_ref()
-            .is_some_and(|t| t.wants(Category::Queue));
-        let mut out = std::mem::take(&mut self.outbox);
+        let want_state = io.tracer().is_some_and(|t| t.wants(Category::State));
+        let want_queue = io.tracer().is_some_and(|t| t.wants(Category::Queue));
+        let mut out = std::mem::replace(&mut self.outbox, Outbox::new());
         if msg.kind.home_bound() {
             let before = want_state.then(|| dir_label(self.homes[node].dir_state(line)));
             self.homes[node]
@@ -1475,7 +951,7 @@ impl Machine {
             if let Some(before) = before {
                 let after = dir_label(self.homes[node].dir_state(line));
                 if after != before {
-                    if let Some(tracer) = &mut self.tracer {
+                    if let Some(tracer) = io.tracer() {
                         tracer.dir_transition(self.now, dst, line, before, after);
                     }
                 }
@@ -1483,11 +959,11 @@ impl Machine {
             if want_queue {
                 let depth =
                     (self.homes[node].queued_requests() + self.homes[node].busy_lines()) as u64;
-                if let Some(tracer) = &mut self.tracer {
+                if let Some(tracer) = io.tracer() {
                     tracer.queue_depth(self.now, dst, depth);
                 }
             }
-            self.route(&mut out);
+            self.route(&mut out, io);
         } else {
             let proc = ProcId::new(msg.dst.as_u32());
             let before = want_state.then(|| cache_label(self.caches[node].cache_state(line)));
@@ -1501,22 +977,22 @@ impl Machine {
             if let Some(before) = before {
                 let after = cache_label(self.caches[node].cache_state(line));
                 if after != before {
-                    if let Some(tracer) = &mut self.tracer {
+                    if let Some(tracer) = io.tracer() {
                         tracer.cache_transition(self.now, dst, line, before, after);
                     }
                 }
             }
-            self.route(&mut out);
+            self.route(&mut out, io);
             if let Some(outcome) = completed {
                 let boxed = self.box_outcome(outcome);
-                self.events.push(self.now, Event::OpDone(proc, boxed));
+                self.push_local(self.now, proc.as_u32(), Event::OpDone(proc, boxed));
             }
         }
         self.outbox = out;
-        if let Some(tracer) = &mut self.tracer {
+        if let Some(tracer) = io.tracer() {
             tracer.set_span_ctx(0);
         }
-        if self.paranoid {
+        if io.paranoid() {
             if let Some(violation) = check_line(&self.caches, &self.homes, &self.map, line)
                 .into_iter()
                 .next()
@@ -1530,9 +1006,11 @@ impl Machine {
         Ok(())
     }
 
-    /// Releases the barrier if every non-terminated processor has
-    /// arrived (constant-time barrier: everyone resumes *now*).
-    fn try_release_barrier(&mut self) {
+    /// Serial-path barrier scan: releases the barrier if every
+    /// non-terminated processor has arrived. Requires the full node
+    /// range (the PDES coordinator does the equivalent scan globally).
+    pub(crate) fn try_release_barrier(&mut self) {
+        debug_assert_eq!(self.lo, 0, "serial barrier scan needs the whole machine");
         let mut waiting = 0;
         let mut id: Option<u32> = None;
         for s in &self.procs {
@@ -1553,13 +1031,1109 @@ impl Machine {
         if waiting == 0 {
             return;
         }
+        self.apply_barrier_release(self.now);
+    }
+
+    /// Resumes every locally waiting processor at `at` (rank-3 keys, so
+    /// the releases sort after all other same-cycle work of the node).
+    /// Returns how many processors were resumed.
+    pub(crate) fn apply_barrier_release(&mut self, at: Cycle) -> usize {
+        let lo = self.lo;
+        let mut resumed = 0;
         for (i, s) in self.procs.iter_mut().enumerate() {
             if !s.done && s.waiting_barrier.is_some() {
                 s.waiting_barrier = None;
+                let node = lo + i as u32;
                 self.events
-                    .push(self.now, Event::ProcStep(ProcId::new(i as u32)));
+                    .push_keyed(at, key_barrier(node), Event::ProcStep(ProcId::new(node)));
+                resumed += 1;
             }
         }
+        resumed
+    }
+
+    /// Count of locally waiting (non-done) processors.
+    pub(crate) fn waiting_count(&self) -> usize {
+        self.procs
+            .iter()
+            .filter(|s| !s.done && s.waiting_barrier.is_some())
+            .count()
+    }
+
+    /// `true` if any local processor has an operation outstanding.
+    pub(crate) fn any_outstanding(&self) -> bool {
+        self.procs.iter().any(|s| s.current.is_some())
+    }
+
+    /// Snapshots every local processor's blocked-on state.
+    pub(crate) fn proc_dumps(&self) -> Vec<ProcDump> {
+        self.procs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ProcDump {
+                proc: ProcId::new(self.lo + i as u32),
+                op: s.current.map(|(op, _, _)| op),
+                addr: s.current.map(|(op, _, _)| op.addr()),
+                issued: s.current.map(|(_, at, _)| at),
+                barrier: s.waiting_barrier,
+            })
+            .collect()
+    }
+
+    /// Splits a full-range core into per-shard cores for `bounds`,
+    /// leaving `self` an empty husk that [`Core::absorb`] refills.
+    /// Pending events are distributed by the node named in their key;
+    /// the sync log, recycling pools and the event counter go to shard
+    /// 0 (they are merged wholesale, not per node).
+    pub(crate) fn split_off(&mut self, bounds: &[(u32, u32)]) -> Vec<Core> {
+        assert_eq!(self.lo, 0, "only a whole machine can be split");
+        assert_eq!(self.hi, self.cfg.nodes, "only a whole machine can be split");
+        let ports = std::mem::replace(&mut self.ports, NetPorts::new_range(0, 0));
+        let mut port_shards = ports.split(bounds).into_iter();
+        let mut events = std::mem::replace(&mut self.events, EventQueue::new());
+        let mut per_shard: Vec<Vec<(Cycle, u128, Event)>> =
+            (0..bounds.len()).map(|_| Vec::new()).collect();
+        while let Some((at, key, e)) = events.pop_keyed() {
+            per_shard[shard_of(bounds, key_node(key))].push((at, key, e));
+        }
+        let mut out = Vec::with_capacity(bounds.len());
+        for (si, &(lo, count)) in bounds.iter().enumerate() {
+            let n = count as usize;
+            let mut q = EventQueue::with_capacity(n * 8);
+            for (at, key, e) in per_shard[si].drain(..) {
+                q.push_keyed(at, key, e);
+            }
+            let procs: Vec<ProcState> = self.procs.drain(..n).collect();
+            let active = procs.iter().filter(|s| !s.done).count();
+            out.push(Core {
+                lo,
+                hi: lo + count,
+                cfg: self.cfg.clone(),
+                map: self.map.clone(),
+                mesh: self.mesh.clone(),
+                now: self.now,
+                events: q,
+                ports: port_shards.next().expect("one port shard per bound"),
+                homes: self.homes.drain(..n).collect(),
+                caches: self.caches.drain(..n).collect(),
+                procs,
+                mem_busy: self.mem_busy.drain(..n).collect(),
+                cache_busy: self.cache_busy.drain(..n).collect(),
+                nstats: self.nstats.drain(..n).collect(),
+                sync_log: if si == 0 {
+                    std::mem::take(&mut self.sync_log)
+                } else {
+                    Vec::new()
+                },
+                local_seq: self.local_seq.drain(..n).collect(),
+                sync_seq: self.sync_seq.drain(..n).collect(),
+                active,
+                events_processed: if si == 0 { self.events_processed } else { 0 },
+                last_retire: self.last_retire,
+                outbox: if si == 0 {
+                    std::mem::replace(&mut self.outbox, Outbox::new())
+                } else {
+                    Outbox::new()
+                },
+                msg_pool: if si == 0 {
+                    std::mem::take(&mut self.msg_pool)
+                } else {
+                    Vec::new()
+                },
+                outcome_pool: if si == 0 {
+                    std::mem::take(&mut self.outcome_pool)
+                } else {
+                    Vec::new()
+                },
+            });
+        }
+        self.active = 0;
+        self.events_processed = 0;
+        out
+    }
+
+    /// Reassembles shard cores (in node order) into this husk.
+    pub(crate) fn absorb(&mut self, parts: Vec<Core>) {
+        let mut ports = Vec::with_capacity(parts.len());
+        for (si, mut p) in parts.into_iter().enumerate() {
+            assert_eq!(
+                p.lo,
+                self.homes.len() as u32,
+                "shards must be absorbed in node order"
+            );
+            self.now = self.now.max(p.now);
+            while let Some((at, key, e)) = p.events.pop_keyed() {
+                self.events.push_keyed(at, key, e);
+            }
+            ports.push(std::mem::replace(&mut p.ports, NetPorts::new_range(0, 0)));
+            self.homes.append(&mut p.homes);
+            self.caches.append(&mut p.caches);
+            self.procs.append(&mut p.procs);
+            self.mem_busy.append(&mut p.mem_busy);
+            self.cache_busy.append(&mut p.cache_busy);
+            self.nstats.append(&mut p.nstats);
+            self.sync_log.append(&mut p.sync_log);
+            self.local_seq.append(&mut p.local_seq);
+            self.sync_seq.append(&mut p.sync_seq);
+            self.active += p.active;
+            self.events_processed += p.events_processed;
+            self.last_retire = self.last_retire.max(p.last_retire);
+            if si == 0 {
+                self.outbox = std::mem::replace(&mut p.outbox, Outbox::new());
+                self.msg_pool = std::mem::take(&mut p.msg_pool);
+                self.outcome_pool = std::mem::take(&mut p.outcome_pool);
+            }
+        }
+        self.hi = self.homes.len() as u32;
+        self.ports = NetPorts::merge(ports);
+    }
+}
+
+/// [`ShardIo`] for the serial engine: borrows the machine's
+/// instrumentation (all of which forces the serial path, so the
+/// parallel dispatcher never sees any of it).
+struct SerialIo<'a> {
+    tracer: Option<&'a mut Tracer>,
+    ring: Option<&'a mut TraceRing>,
+    injector: Option<&'a mut FaultInjector>,
+    paranoid: bool,
+}
+
+impl ShardIo for SerialIo<'_> {
+    fn jitter(&mut self, now: Cycle) -> u64 {
+        match &mut self.injector {
+            Some(inj) => inj.jitter(now.as_u64()),
+            None => 0,
+        }
+    }
+    fn tracer(&mut self) -> Option<&mut Tracer> {
+        self.tracer.as_deref_mut()
+    }
+    fn ring(&mut self) -> Option<&mut TraceRing> {
+        self.ring.as_deref_mut()
+    }
+    fn paranoid(&self) -> bool {
+        self.paranoid
+    }
+    fn send_remote(&mut self, _wire_at: Cycle, _key: u128, _msg: Msg) {
+        unreachable!("the serial core owns every node; no message is remote")
+    }
+}
+
+/// Builder for a [`Machine`].
+///
+/// # Example
+///
+/// ```
+/// use dsm_machine::{Action, MachineBuilder, ProcCtx};
+/// use dsm_protocol::MemOp;
+/// use dsm_sim::{Addr, MachineConfig};
+///
+/// let mut b = MachineBuilder::new(MachineConfig::with_nodes(4));
+/// for _ in 0..4 {
+///     b.add_program(|ctx: &mut ProcCtx<'_>| {
+///         if ctx.last.is_none() {
+///             Action::Op(MemOp::Load { addr: Addr::new(64) })
+///         } else {
+///             Action::Done
+///         }
+///     });
+/// }
+/// let mut machine = b.build();
+/// let report = machine.run(dsm_sim::Cycle::new(100_000)).unwrap();
+/// assert!(report.cycles > dsm_sim::Cycle::ZERO);
+/// ```
+pub struct MachineBuilder {
+    cfg: MachineConfig,
+    map: AddressMap,
+    programs: Vec<Box<dyn Program>>,
+    init: Vec<(Addr, Value)>,
+    llsc_pool: usize,
+    trace: Option<TraceSpec>,
+    workers: Option<usize>,
+}
+
+thread_local! {
+    static FAULT_OVERRIDE: std::cell::RefCell<Option<FaultConfig>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with every machine built on this thread using exactly
+/// `faults` — overriding both the configuration's own fault settings
+/// and the `DSM_FAULTS`/`DSM_PARANOID` environment. The previous
+/// override (if any) is restored afterwards, also on panic.
+///
+/// Reproducer replay uses this to pin the exact fault settings of the
+/// original failing run without mutating the process environment, which
+/// would race with concurrently building machines on other threads.
+pub fn with_fault_config<R>(faults: FaultConfig, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<FaultConfig>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FAULT_OVERRIDE.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let _restore = Restore(FAULT_OVERRIDE.with(|c| c.borrow_mut().replace(faults)));
+    f()
+}
+
+impl MachineBuilder {
+    /// Starts building a machine with the given configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        cfg.validate().expect("invalid machine configuration");
+        let line_size = cfg.params.line_size;
+        MachineBuilder {
+            cfg,
+            map: AddressMap::new(line_size),
+            programs: Vec::new(),
+            init: Vec::new(),
+            llsc_pool: 256,
+            trace: None,
+            workers: None,
+        }
+    }
+
+    /// Enables structured event tracing for the built machine (see
+    /// [`TraceSpec`] for sink and category selection). An explicit spec
+    /// set here takes precedence over the `DSM_TRACE` environment
+    /// variable.
+    pub fn with_trace(&mut self, spec: TraceSpec) -> &mut Self {
+        self.trace = Some(spec);
+        self
+    }
+
+    /// Sets how many PDES worker threads the machine may use for a
+    /// single run (see [`Machine::set_workers`]). An explicit setting
+    /// takes precedence over the `DSM_WORKERS` environment variable;
+    /// the default is 1 (serial). Results are bit-identical across
+    /// worker counts.
+    pub fn with_workers(&mut self, workers: usize) -> &mut Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Registers the line containing `addr` as a synchronization line.
+    pub fn register_sync(&mut self, addr: Addr, config: SyncConfig) -> &mut Self {
+        self.map.register(addr, config);
+        self
+    }
+
+    /// Initializes a word of memory before the run.
+    pub fn init_word(&mut self, addr: Addr, value: Value) -> &mut Self {
+        self.init.push((addr, value));
+        self
+    }
+
+    /// Sets the linked-list reservation free-pool size per home node.
+    pub fn llsc_pool(&mut self, entries: usize) -> &mut Self {
+        self.llsc_pool = entries;
+        self
+    }
+
+    /// Adds the program for the next processor (programs are assigned in
+    /// order: the first added runs on processor 0).
+    pub fn add_program<P: Program + 'static>(&mut self, program: P) -> &mut Self {
+        self.programs.push(Box::new(program));
+        self
+    }
+
+    /// Builds the machine.
+    ///
+    /// When the configuration carries no fault settings, the
+    /// environment variables `DSM_FAULTS` (a
+    /// [`FaultConfig::from_spec`] string) and `DSM_PARANOID=1` are
+    /// honored as overrides, so a whole test suite can be run under
+    /// fault injection or paranoid invariant checking without code
+    /// changes. An explicit [`MachineConfig::faults`] always wins, and
+    /// a [`with_fault_config`] override on the building thread wins
+    /// over both (reproducer replay relies on this).
+    /// Likewise, when no trace spec was set with
+    /// [`with_trace`](MachineBuilder::with_trace), `DSM_TRACE` (a
+    /// [`TraceSpec::from_spec`] string) enables tracing, and when no
+    /// worker count was set with
+    /// [`with_workers`](MachineBuilder::with_workers), `DSM_WORKERS`
+    /// sets the PDES worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of programs does not equal the number of
+    /// nodes, or if `DSM_FAULTS` / `DSM_TRACE` / `DSM_WORKERS` holds a
+    /// malformed spec.
+    pub fn build(mut self) -> Machine {
+        assert_eq!(
+            self.programs.len(),
+            self.cfg.nodes as usize,
+            "one program per processor is required ({} programs for {} nodes)",
+            self.programs.len(),
+            self.cfg.nodes
+        );
+        let mut faults = self.cfg.faults.clone();
+        if let Some(pinned) = FAULT_OVERRIDE.with(|c| c.borrow().clone()) {
+            faults = pinned;
+        } else if !faults.is_active() {
+            if let Ok(spec) = std::env::var("DSM_FAULTS") {
+                faults = FaultConfig::from_spec(&spec)
+                    .unwrap_or_else(|e| panic!("invalid DSM_FAULTS spec: {e}"));
+            }
+            if std::env::var("DSM_PARANOID").is_ok_and(|v| v == "1") {
+                faults.paranoid = true;
+            }
+        }
+        // Record the *effective* fault settings on the machine, so the
+        // supervision layer can capture them into reproducer artifacts
+        // regardless of where they came from.
+        self.cfg.faults = faults.clone();
+        let trace_spec = self.trace.or_else(|| {
+            std::env::var("DSM_TRACE").ok().map(|spec| {
+                TraceSpec::from_spec(&spec)
+                    .unwrap_or_else(|e| panic!("invalid DSM_TRACE spec: {e}"))
+            })
+        });
+        let workers = self.workers.unwrap_or_else(|| {
+            std::env::var("DSM_WORKERS")
+                .ok()
+                .map(|v| {
+                    v.trim()
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| panic!("invalid DSM_WORKERS value: {v:?}"))
+                })
+                .unwrap_or(1)
+        });
+        let tracer = trace_spec.map(|spec| Box::new(Tracer::new(&spec, self.cfg.nodes)));
+        let mesh = Mesh::new(&self.cfg);
+        let mut seed_rng = SimRng::new(self.cfg.seed);
+        let procs: Vec<ProcState> = self
+            .programs
+            .into_iter()
+            .map(|program| ProcState {
+                program,
+                rng: seed_rng.fork(0xFACE),
+                done: false,
+                blocked: false,
+                waiting_barrier: None,
+                last: None,
+                last_chain: None,
+                current: None,
+                span: 0,
+            })
+            .collect();
+        let injector = faults
+            .any_faults()
+            .then(|| FaultInjector::new(faults.clone(), seed_rng.fork(0xFA17)));
+        let mut homes = Vec::with_capacity(self.cfg.nodes as usize);
+        let mut caches = Vec::with_capacity(self.cfg.nodes as usize);
+        // Each home serves roughly the lines that fit in one node's
+        // cache; each node can have a handful of events in flight
+        // (messages, processor steps, memory completions).
+        let resv_lines = self.cfg.cache.lines();
+        for n in 0..self.cfg.nodes {
+            let mut home = HomeNode::new(NodeId::new(n), self.cfg.params.line_size, self.llsc_pool);
+            home.reserve_lines(resv_lines);
+            homes.push(home);
+            let mut cc = CacheNode::new(NodeId::new(n), self.cfg.params.line_size, self.cfg.cache);
+            cc.set_nodes(self.cfg.nodes);
+            caches.push(cc);
+        }
+        let nodes = self.cfg.nodes;
+        let core = Core {
+            lo: 0,
+            hi: nodes,
+            map: self.map,
+            mesh,
+            now: Cycle::ZERO,
+            events: EventQueue::with_capacity(nodes as usize * 8),
+            ports: NetPorts::new(nodes),
+            homes,
+            caches,
+            procs,
+            mem_busy: vec![Cycle::ZERO; nodes as usize],
+            cache_busy: vec![Cycle::ZERO; nodes as usize],
+            nstats: vec![NodeStats::default(); nodes as usize],
+            sync_log: Vec::new(),
+            local_seq: vec![0; nodes as usize],
+            sync_seq: vec![0; nodes as usize],
+            active: nodes as usize,
+            events_processed: 0,
+            last_retire: Cycle::ZERO,
+            outbox: Outbox::new(),
+            msg_pool: Vec::new(),
+            outcome_pool: Vec::new(),
+            cfg: self.cfg,
+        };
+        let mut machine = Machine {
+            core,
+            trace: None,
+            tracer,
+            trace_files: Vec::new(),
+            injector,
+            paranoid: faults.paranoid,
+            watchdog: faults.watchdog,
+            injected_evictions: 0,
+            injected_wipes: 0,
+            injected_corruptions: 0,
+            wall_limit: std::env::var("DSM_WALL_LIMIT")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&ms| ms > 0)
+                .map(Duration::from_millis),
+            paused: false,
+            workers,
+        };
+        for (addr, value) in self.init {
+            machine.poke_word(addr, value);
+        }
+        for p in 0..machine.core.cfg.nodes {
+            machine
+                .core
+                .push_local(Cycle::ZERO, p, Event::ProcStep(ProcId::new(p)));
+        }
+        machine
+    }
+}
+
+/// The simulated DSM multiprocessor.
+///
+/// Construct with [`MachineBuilder`], then [`run`](Machine::run).
+pub struct Machine {
+    /// The shardable engine state (full range while not running in
+    /// parallel).
+    pub(crate) core: Core,
+    /// Optional message-trace ring buffer (debugging aid).
+    trace: Option<TraceRing>,
+    /// Structured event tracer (`--trace` / `DSM_TRACE`), boxed so the
+    /// disabled case costs one pointer in the machine and one
+    /// never-taken branch per instrumentation site.
+    tracer: Option<Box<Tracer>>,
+    /// Paths written by the last trace flush.
+    trace_files: Vec<PathBuf>,
+    /// Deterministic fault injector, present only when faults are on.
+    injector: Option<FaultInjector>,
+    /// Run the invariant checker after every protocol transition.
+    paranoid: bool,
+    /// Livelock watchdog window in cycles (0 = off).
+    watchdog: u64,
+    /// Evictions forced by the fault injector.
+    injected_evictions: u64,
+    /// Reservation wipes forced by the fault injector.
+    injected_wipes: u64,
+    /// Shared-to-exclusive corruptions forced by the fault injector.
+    injected_corruptions: u64,
+    /// Wall-clock budget per `run`/`run_until` call, if any.
+    wall_limit: Option<Duration>,
+    /// `true` between a stop-rule pause and the resuming call, so the
+    /// resume does not reset watchdog bookkeeping.
+    paused: bool,
+    /// Requested PDES worker count (1 = serial).
+    workers: usize,
+}
+
+impl Machine {
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.core.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.core.now
+    }
+
+    /// Accumulated statistics, merged from the per-node accumulators in
+    /// canonical node order (so the result is bit-identical regardless
+    /// of how many PDES workers produced them).
+    pub fn stats(&self) -> MachineStats {
+        merge_node_stats(&self.core.nstats, &self.core.sync_log)
+    }
+
+    /// Network statistics.
+    pub fn network_stats(&self) -> &dsm_mesh::NetworkStats {
+        self.core.ports.stats()
+    }
+
+    /// How many PDES worker threads [`run`](Machine::run) may use.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Sets how many PDES worker threads [`run`](Machine::run) may use
+    /// (1 = serial). The effective count is clamped to the node count,
+    /// and serial-only features (tracing, fault injection, paranoid
+    /// checking, the livelock watchdog, the debug ring, stop rules)
+    /// force the serial engine regardless — the parallel engine's
+    /// results are bit-identical, so this only affects wall-clock time.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// The worker count a run would actually use under `stop`:
+    /// serial-only instrumentation and stop rules override the setting.
+    fn effective_workers(&self, stop: StopRule) -> usize {
+        if self.workers <= 1
+            || self.tracer.is_some()
+            || self.injector.is_some()
+            || self.paranoid
+            || self.watchdog > 0
+            || self.trace.is_some()
+            || !matches!(stop, StopRule::None)
+            || self.core.active == 0
+        {
+            return 1;
+        }
+        self.workers.min(self.core.cfg.nodes as usize)
+    }
+
+    /// Writes a word directly into its home memory (initialization /
+    /// between quiescent phases only).
+    pub fn poke_word(&mut self, addr: Addr, value: Value) {
+        let home = addr
+            .line(self.core.cfg.params.line_size)
+            .home(self.core.cfg.nodes);
+        self.core.homes[home.index()].poke_word(addr, value);
+    }
+
+    /// Reads the current logical value of a word: the owner's cached
+    /// copy if the line is dirty, otherwise home memory. Only meaningful
+    /// when the machine is quiescent.
+    pub fn read_word(&self, addr: Addr) -> Value {
+        let line = addr.line(self.core.cfg.params.line_size);
+        let home = line.home(self.core.cfg.nodes);
+        if let DirState::Dirty(owner) = self.core.homes[home.index()].dir_state(line) {
+            if let Some(v) = self.core.caches[owner.index()].peek_word(addr) {
+                return v;
+            }
+        }
+        self.core.homes[home.index()].peek_word(addr)
+    }
+
+    /// Runs until every processor terminates or `limit` is reached,
+    /// using the configured worker count (see
+    /// [`set_workers`](Machine::set_workers)).
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::CycleLimit`] if the limit was reached first,
+    /// [`RunError::Deadlock`] if the event queue drained with blocked
+    /// processors (a protocol/program bug), [`RunError::Livelock`] if the
+    /// watchdog window elapsed without an op retiring,
+    /// [`RunError::Protocol`] if a protocol engine reached an illegal
+    /// state, or [`RunError::Invariant`] if paranoid checking found a
+    /// violated invariant.
+    pub fn run(&mut self, limit: Cycle) -> Result<RunReport, RunError> {
+        match self.run_until(limit, StopRule::None)? {
+            RunOutcome::Done(report) => Ok(report),
+            RunOutcome::Paused(_) => unreachable!("StopRule::None never pauses"),
+        }
+    }
+
+    /// Like [`run`](Machine::run), but pauses when `stop` fires (see
+    /// [`StopRule`]); call again to resume. Because pauses land on event
+    /// boundaries, a paused machine's [`state_digest`](Machine::state_digest)
+    /// equals the digest an uninterrupted run has at the same event
+    /// count — the property the checkpoint/restore layer verifies.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`run`](Machine::run), plus
+    /// [`RunError::Timeout`] when a wall-clock budget
+    /// ([`set_wall_limit`](Machine::set_wall_limit) or `DSM_WALL_LIMIT`)
+    /// elapses before the run finishes or pauses.
+    pub fn run_until(&mut self, limit: Cycle, stop: StopRule) -> Result<RunOutcome, RunError> {
+        let workers = self.effective_workers(stop);
+        let result = if workers > 1 {
+            crate::pdes::run_parallel(&mut self.core, limit, workers, self.wall_limit)
+                .map(RunOutcome::Done)
+        } else {
+            self.run_inner(limit, stop)
+        };
+        // Traces are most valuable when a run fails (deadlock, protocol
+        // error), so flush on the error path too. A trace I/O failure
+        // must not masquerade as a simulation failure; report and move
+        // on.
+        if !matches!(result, Ok(RunOutcome::Paused(_))) {
+            if let Err(e) = self.flush_trace() {
+                eprintln!("warning: failed to write trace output: {e}");
+            }
+        }
+        result
+    }
+
+    /// `true` if `stop` fires at the current event count / time.
+    fn should_pause(&self, stop: StopRule) -> bool {
+        match stop {
+            StopRule::None => false,
+            StopRule::PauseAt(cycle) => self.core.now >= cycle,
+            StopRule::AfterEvents(n) => self.core.events_processed >= n,
+        }
+    }
+
+    /// Checks the wall-clock budget (every `WALL_CHECK_MASK + 1` events,
+    /// so the `Instant::now` syscall stays off the hot path).
+    fn check_wall(&self, started: Instant) -> Result<(), RunError> {
+        const WALL_CHECK_MASK: u64 = 8191;
+        let Some(budget) = self.wall_limit else {
+            return Ok(());
+        };
+        if self.core.events_processed & WALL_CHECK_MASK != 0 {
+            return Ok(());
+        }
+        let elapsed = started.elapsed();
+        if elapsed > budget {
+            return Err(RunError::Timeout {
+                at: self.core.now,
+                elapsed_ms: elapsed.as_millis() as u64,
+                limit_ms: budget.as_millis() as u64,
+            });
+        }
+        Ok(())
+    }
+
+    /// Dispatches one event on the serial path, with the machine's
+    /// instrumentation wired in.
+    fn dispatch_serial(&mut self, key: u128, event: Event) -> Result<Effect, RunError> {
+        let mut io = SerialIo {
+            tracer: self.tracer.as_deref_mut(),
+            ring: self.trace.as_mut(),
+            injector: self.injector.as_mut(),
+            paranoid: self.paranoid,
+        };
+        self.core.dispatch(key, event, &mut io)
+    }
+
+    fn run_inner(&mut self, limit: Cycle, stop: StopRule) -> Result<RunOutcome, RunError> {
+        let started = Instant::now();
+        if !self.paused {
+            self.core.last_retire = self.core.now;
+        }
+        self.paused = false;
+        while self.core.active > 0 {
+            let Some((at, key, event)) = self.core.events.pop_keyed() else {
+                return Err(RunError::Deadlock {
+                    at: self.core.now,
+                    active: self.core.active,
+                    procs: self.core.proc_dumps(),
+                });
+            };
+            debug_assert!(at >= self.core.now, "time ran backwards");
+            if at > limit {
+                return Err(RunError::CycleLimit {
+                    limit,
+                    active: self.core.active,
+                });
+            }
+            self.core.now = at;
+            self.core.events_processed += 1;
+            self.poll_faults();
+            self.check_watchdog()?;
+            self.check_wall(started)?;
+            if self.dispatch_serial(key, event)? != Effect::None {
+                self.core.try_release_barrier();
+            }
+            if self.should_pause(stop) {
+                self.paused = true;
+                return Ok(RunOutcome::Paused(RunReport {
+                    cycles: self.core.now,
+                    events: self.core.events_processed,
+                }));
+            }
+        }
+        let finished = self.core.now;
+        // Drain in-flight traffic (e.g. final write-backs) so the
+        // machine is quiescent: read_word and validate_coherence see the
+        // committed state.
+        while let Some((at, key, event)) = self.core.events.pop_keyed() {
+            if at > limit {
+                return Err(RunError::CycleLimit { limit, active: 0 });
+            }
+            self.core.now = at;
+            self.core.events_processed += 1;
+            self.check_wall(started)?;
+            self.dispatch_serial(key, event)?;
+            if self.should_pause(stop) {
+                self.paused = true;
+                return Ok(RunOutcome::Paused(RunReport {
+                    cycles: self.core.now,
+                    events: self.core.events_processed,
+                }));
+            }
+        }
+        if self.paranoid {
+            self.quiescence_check(finished)?;
+        }
+        Ok(RunOutcome::Done(RunReport {
+            cycles: finished,
+            events: self.core.events_processed,
+        }))
+    }
+
+    /// Sets (or clears) the wall-clock budget applied to each
+    /// [`run`](Machine::run) / [`run_until`](Machine::run_until) call,
+    /// overriding the `DSM_WALL_LIMIT` environment variable read at
+    /// build time.
+    pub fn set_wall_limit(&mut self, limit: Option<Duration>) {
+        self.wall_limit = limit;
+    }
+
+    /// Applies the window faults due at the current time, if any.
+    fn poll_faults(&mut self) {
+        let fired = match &mut self.injector {
+            Some(inj) => inj.poll(self.core.now.as_u64(), self.core.cfg.nodes),
+            None => return,
+        };
+        for fault in fired {
+            match fault {
+                FaultEvent::EvictLine { node } => {
+                    let mut out = std::mem::replace(&mut self.core.outbox, Outbox::new());
+                    if self.core.caches[node.index()]
+                        .inject_evict(&mut out)
+                        .is_some()
+                    {
+                        self.injected_evictions += 1;
+                    }
+                    let mut io = SerialIo {
+                        tracer: self.tracer.as_deref_mut(),
+                        ring: self.trace.as_mut(),
+                        injector: self.injector.as_mut(),
+                        paranoid: self.paranoid,
+                    };
+                    self.core.route(&mut out, &mut io);
+                    self.core.outbox = out;
+                }
+                FaultEvent::WipeReservations { node } => {
+                    self.core.homes[node.index()].wipe_reservations();
+                    self.injected_wipes += 1;
+                    if let Some(tracer) = &mut self.tracer {
+                        if tracer.wants(Category::Resv) {
+                            tracer.reservation(self.core.now, node, "wipe");
+                        }
+                    }
+                }
+                FaultEvent::CorruptLine { node } => {
+                    // Promote the first shared resident line (stable
+                    // iteration order, so replays corrupt the same
+                    // line). A cache with no shared line absorbs the
+                    // fault silently.
+                    let victim = self.core.caches[node.index()]
+                        .cached_lines()
+                        .find(|(_, s)| *s == CacheState::Shared)
+                        .map(|(l, _)| l);
+                    if let Some(line) = victim {
+                        if self.core.caches[node.index()].corrupt_promote_shared(line) {
+                            self.injected_corruptions += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fails the run if events keep firing but no operation has retired
+    /// for a full watchdog window while at least one is outstanding.
+    fn check_watchdog(&mut self) -> Result<(), RunError> {
+        if self.watchdog == 0 {
+            return Ok(());
+        }
+        if !self.core.any_outstanding() {
+            // Nothing outstanding (compute/barrier phases): progress is
+            // the program's business, not the protocol's.
+            self.core.last_retire = self.core.now;
+            return Ok(());
+        }
+        if (self.core.now - self.core.last_retire).as_u64() > self.watchdog {
+            return Err(RunError::Livelock {
+                at: self.core.now,
+                window: self.watchdog,
+                procs: self.core.proc_dumps(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Full paranoid sweep once the machine is quiescent: every global
+    /// invariant, message conservation (no half-done transaction may
+    /// survive a drained event queue), then the coherence oracle.
+    fn quiescence_check(&self, at: Cycle) -> Result<(), RunError> {
+        if let Some(violation) =
+            check_invariants(&self.core.caches, &self.core.homes, &self.core.map)
+                .into_iter()
+                .next()
+        {
+            return Err(RunError::Invariant { at, violation });
+        }
+        for (i, cache) in self.core.caches.iter().enumerate() {
+            if cache.busy() {
+                return Err(RunError::Invariant {
+                    at,
+                    violation: InvariantViolation {
+                        invariant: "message-conservation",
+                        line: cache.pending_line(),
+                        nodes: vec![NodeId::new(i as u32)],
+                        detail: "cache still has an outstanding request at quiescence".into(),
+                    },
+                });
+            }
+        }
+        for (i, home) in self.core.homes.iter().enumerate() {
+            if home.busy_lines() > 0 || home.queued_requests() > 0 {
+                return Err(RunError::Invariant {
+                    at,
+                    violation: InvariantViolation {
+                        invariant: "message-conservation",
+                        line: None,
+                        nodes: vec![NodeId::new(i as u32)],
+                        detail: format!(
+                            "home still busy at quiescence ({} busy lines, {} queued requests)",
+                            home.busy_lines(),
+                            home.queued_requests()
+                        ),
+                    },
+                });
+            }
+        }
+        if let Err(detail) = self.validate_coherence() {
+            return Err(RunError::Invariant {
+                at,
+                violation: InvariantViolation {
+                    invariant: "coherence",
+                    line: None,
+                    nodes: Vec::new(),
+                    detail,
+                },
+            });
+        }
+        Ok(())
+    }
+
+    /// How many faults the injector has applied so far, as
+    /// `(forced evictions, reservation wipes, forced corruptions)`.
+    pub fn injected_faults(&self) -> (u64, u64, u64) {
+        (
+            self.injected_evictions,
+            self.injected_wipes,
+            self.injected_corruptions,
+        )
+    }
+
+    /// The fault schedule applied so far (`None` when faults are off) —
+    /// the raw material of reproducer shrinking.
+    pub fn fault_record(&self) -> Option<&FaultRecord> {
+        self.injector.as_ref().map(FaultInjector::record)
+    }
+
+    /// The *effective* fault configuration this machine was built with:
+    /// the explicit [`MachineConfig::faults`], a [`with_fault_config`]
+    /// override, or the `DSM_FAULTS`/`DSM_PARANOID` environment —
+    /// whichever won at build time. Reproducer artifacts capture this
+    /// so a replay pins identical fault behaviour.
+    pub fn fault_config(&self) -> &FaultConfig {
+        &self.core.cfg.faults
+    }
+
+    /// Installs (or clears) a candidate-index allow list on the fault
+    /// injector, restricting which drawn faults are *applied* without
+    /// changing the RNG draw sequence. No-op when faults are off.
+    /// Install before running — mid-run installation is sound (queries
+    /// are monotone) but makes the run depend on when the call happened.
+    pub fn set_fault_filter(&mut self, filter: Option<FaultFilter>) {
+        if let Some(inj) = &mut self.injector {
+            inj.set_filter(filter);
+        }
+    }
+
+    /// Total events dispatched since construction — the replay
+    /// coordinate used by checkpoints (see [`StopRule::AfterEvents`]).
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
+    }
+
+    /// A digest of the machine's complete dynamic state: simulated
+    /// time, the pending event queue, network ports, every cache, home
+    /// directory and memory line, LL/SC reservations, per-processor
+    /// progress and RNG streams, server availability, statistics, and
+    /// fault-injector position.
+    ///
+    /// Two machines built from the same configuration that have
+    /// dispatched the same event sequence produce equal digests; any
+    /// divergence in simulated state changes the digest — and a
+    /// parallel run's post-run digest equals the serial run's, because
+    /// the merged statistics and event keys are canonical.
+    /// Diagnostic-only state (tracers, recycling pools) is excluded —
+    /// it cannot influence simulation results.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u64(self.core.now.as_u64());
+        h.write_u64(self.core.events_processed);
+        h.write_usize(self.core.active);
+        self.core
+            .events
+            .digest_with(&mut h, |event, h| match event {
+                Event::Deliver(m) => {
+                    h.write_u8(0);
+                    m.digest(h);
+                }
+                // The span word is deliberately not hashed: it is
+                // tracer-produced diagnostic state, and digests must agree
+                // between traced and untraced runs of the same simulation.
+                Event::Process(m, _span) => {
+                    h.write_u8(1);
+                    m.digest(h);
+                }
+                Event::ProcStep(p) => {
+                    h.write_u8(2);
+                    h.write_u32(p.as_u32());
+                }
+                Event::OpDone(p, o) => {
+                    h.write_u8(3);
+                    h.write_u32(p.as_u32());
+                    o.digest(h);
+                }
+                Event::Wire(m) => {
+                    h.write_u8(4);
+                    m.digest(h);
+                }
+            });
+        self.core.ports.digest(&mut h);
+        h.write_usize(self.core.homes.len());
+        for home in &self.core.homes {
+            home.digest(&mut h);
+        }
+        for cache in &self.core.caches {
+            cache.digest(&mut h);
+        }
+        for proc in &self.core.procs {
+            for w in proc.rng.state() {
+                h.write_u64(w);
+            }
+            h.write_u8(proc.done as u8);
+            h.write_u8(proc.blocked as u8);
+            match proc.waiting_barrier {
+                Some(b) => {
+                    h.write_u8(1);
+                    h.write_u32(b);
+                }
+                None => h.write_u8(0),
+            }
+            match &proc.last {
+                Some(r) => {
+                    h.write_u8(1);
+                    r.digest(&mut h);
+                }
+                None => h.write_u8(0),
+            }
+            match proc.last_chain {
+                Some(c) => {
+                    h.write_u8(1);
+                    h.write_u32(c);
+                }
+                None => h.write_u8(0),
+            }
+            match &proc.current {
+                Some((op, at, sync)) => {
+                    h.write_u8(1);
+                    op.digest(&mut h);
+                    h.write_u64(at.as_u64());
+                    h.write_u8(*sync as u8);
+                }
+                None => h.write_u8(0),
+            }
+        }
+        for c in &self.core.mem_busy {
+            h.write_u64(c.as_u64());
+        }
+        for c in &self.core.cache_busy {
+            h.write_u64(c.as_u64());
+        }
+        self.stats().digest(&mut h);
+        h.write_u64(self.core.last_retire.as_u64());
+        h.write_u64(self.injected_evictions);
+        h.write_u64(self.injected_wipes);
+        h.write_u64(self.injected_corruptions);
+        match &self.injector {
+            Some(inj) => {
+                h.write_u8(1);
+                inj.digest(&mut h);
+            }
+            None => h.write_u8(0),
+        }
+        h.finish()
+    }
+
+    /// Runs the per-transition invariant checker over the whole machine
+    /// on demand (independent of paranoid mode).
+    pub fn check_invariants(&self) -> Vec<InvariantViolation> {
+        check_invariants(&self.core.caches, &self.core.homes, &self.core.map)
+    }
+
+    /// Test-only corruption hook: illegally promotes a Shared copy of
+    /// `line` at `node` to Exclusive, bypassing the protocol. Returns
+    /// whether the corruption was applied. Exists so tests can prove the
+    /// paranoid checker reports corruption as a structured diagnostic.
+    #[doc(hidden)]
+    pub fn corrupt_promote_shared(&mut self, node: NodeId, line: LineAddr) -> bool {
+        self.core.caches[node.index()].corrupt_promote_shared(line)
+    }
+
+    /// Enables a message-trace ring buffer holding the last `capacity`
+    /// sends, each formatted as `time src->dst line kind`. Useful when
+    /// debugging protocol behaviour in tests. Forces the serial engine.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some((
+            capacity,
+            std::collections::VecDeque::with_capacity(capacity),
+        ));
+    }
+
+    /// The trace entries recorded so far (oldest first); empty unless
+    /// [`enable_trace`](Machine::enable_trace) was called.
+    pub fn trace(&self) -> impl Iterator<Item = &str> {
+        self.trace
+            .iter()
+            .flat_map(|(_, q)| q.iter().map(String::as_str))
+    }
+
+    /// The structured event tracer, if tracing is enabled (via
+    /// [`MachineBuilder::with_trace`] or `DSM_TRACE`).
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_deref()
+    }
+
+    /// Mutable access to the tracer, e.g. to attach a custom
+    /// [`TraceSink`](dsm_trace::TraceSink) before running.
+    pub fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+        self.tracer.as_deref_mut()
+    }
+
+    /// Attaches a tracer to an already-built machine, replacing any
+    /// existing one. Useful when the machine was constructed by a
+    /// workload builder that offers no [`MachineBuilder::with_trace`]
+    /// hook; attach before [`run`](Machine::run) or the trace will miss
+    /// everything already simulated.
+    pub fn attach_tracer(&mut self, spec: &TraceSpec) {
+        self.tracer = Some(Box::new(Tracer::new(spec, self.core.cfg.nodes)));
+    }
+
+    /// Writes the attached trace sinks to disk (no-op when tracing is
+    /// off). [`run`](Machine::run) calls this automatically on both the
+    /// success and error paths; calling it again is idempotent because
+    /// file names are content-addressed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the trace files.
+    pub fn flush_trace(&mut self) -> std::io::Result<Vec<PathBuf>> {
+        let Some(tracer) = &self.tracer else {
+            return Ok(Vec::new());
+        };
+        let paths = tracer.finish(self.core.cfg.seed)?;
+        self.trace_files.clone_from(&paths);
+        Ok(paths)
+    }
+
+    /// Paths written by the most recent trace flush (empty when tracing
+    /// is off).
+    pub fn trace_files(&self) -> &[PathBuf] {
+        &self.trace_files
     }
 
     /// Checks coherence invariants. Only valid when the machine is
@@ -1573,7 +2147,7 @@ impl Machine {
     pub fn validate_coherence(&self) -> Result<(), String> {
         use std::collections::HashMap;
         let mut copies: HashMap<dsm_sim::LineAddr, Vec<(NodeId, CacheState)>> = HashMap::new();
-        for (i, cache) in self.caches.iter().enumerate() {
+        for (i, cache) in self.core.caches.iter().enumerate() {
             for (line, state) in cache.cached_lines() {
                 copies
                     .entry(line)
@@ -1598,8 +2172,8 @@ impl Machine {
                     exclusives[0]
                 ));
             }
-            let home = line.home(self.cfg.nodes);
-            let dir = self.homes[home.index()].dir_state(*line);
+            let home = line.home(self.core.cfg.nodes);
+            let dir = self.core.homes[home.index()].dir_state(*line);
             match (&dir, exclusives.first()) {
                 (DirState::Dirty(owner), Some(e)) if owner == e => {}
                 (DirState::Dirty(owner), _) => {
@@ -1616,12 +2190,12 @@ impl Machine {
                         }
                     }
                     // Shared copies must match memory.
-                    let base = line.base(self.cfg.params.line_size);
-                    for w in 0..(self.cfg.params.line_size / 8) {
+                    let base = line.base(self.core.cfg.params.line_size);
+                    for w in 0..(self.core.cfg.params.line_size / 8) {
                         let addr = base + w * 8;
-                        let mem = self.homes[home.index()].peek_word(addr);
+                        let mem = self.core.homes[home.index()].peek_word(addr);
                         for (n, _) in holders {
-                            let cached = self.caches[n.index()]
+                            let cached = self.core.caches[n.index()]
                                 .peek_word(addr)
                                 .expect("holder has the line");
                             if cached != mem {

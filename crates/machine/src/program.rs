@@ -62,15 +62,17 @@ impl ProcCtx<'_> {
 /// Programs are Mealy machines: each call to [`step`](Program::step)
 /// observes the result of the previous action (via [`ProcCtx::last`])
 /// and yields the next action. Shared results are best communicated to
-/// the experiment driver through `Rc<RefCell<...>>` handles captured by
-/// the program when it is built.
-pub trait Program {
+/// the experiment driver through `Arc<Mutex<...>>` handles captured by
+/// the program when it is built (programs must be `Send`: a
+/// partitioned machine steps each processor on its owning worker
+/// thread).
+pub trait Program: Send {
     /// Produces the next action. Called once at start (with
     /// `ctx.last == None`) and again after each action completes.
     fn step(&mut self, ctx: &mut ProcCtx<'_>) -> Action;
 }
 
-impl<F: FnMut(&mut ProcCtx<'_>) -> Action> Program for F {
+impl<F: FnMut(&mut ProcCtx<'_>) -> Action + Send> Program for F {
     fn step(&mut self, ctx: &mut ProcCtx<'_>) -> Action {
         self(ctx)
     }

@@ -13,15 +13,18 @@
 //! `ablation_tracedriven` in `dsm-bench` and the tests below.
 
 use crate::program::{Action, ProcCtx, Program};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A shared, growable recording of one processor's action stream.
-pub type Trace = Rc<RefCell<Vec<Action>>>;
+///
+/// Backed by `Arc<Mutex<..>>` (not `Rc<RefCell<..>>`) because programs
+/// must be `Send`: a partitioned machine (`DSM_WORKERS`) steps each
+/// processor on its owning worker thread.
+pub type Trace = Arc<Mutex<Vec<Action>>>;
 
 /// Creates an empty trace.
 pub fn new_trace() -> Trace {
-    Rc::new(RefCell::new(Vec::new()))
+    Arc::new(Mutex::new(Vec::new()))
 }
 
 /// Wraps a program, recording every action it takes.
@@ -40,7 +43,7 @@ impl<P> TraceRecorder<P> {
 impl<P: Program> Program for TraceRecorder<P> {
     fn step(&mut self, ctx: &mut ProcCtx<'_>) -> Action {
         let action = self.inner.step(ctx);
-        self.trace.borrow_mut().push(action);
+        self.trace.lock().unwrap().push(action);
         action
     }
 }
@@ -128,12 +131,12 @@ mod tests {
                 ..Default::default()
             },
         );
-        b.add_program(TraceRecorder::new(cas_counter(iters), Rc::clone(&trace)));
+        b.add_program(TraceRecorder::new(cas_counter(iters), Arc::clone(&trace)));
         b.add_program(|_: &mut ProcCtx<'_>| Action::Done);
         let mut m = b.build();
         m.run(Cycle::new(10_000_000)).unwrap();
         assert_eq!(m.read_word(X), iters);
-        let t = trace.borrow().clone();
+        let t = trace.lock().unwrap().clone();
         t
     }
 

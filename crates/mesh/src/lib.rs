@@ -42,6 +42,8 @@ pub mod latency;
 pub mod topology;
 pub mod wormhole;
 
-pub use latency::{LatencyNetwork, NetworkStats};
+pub use latency::{
+    base_latency, min_remote_lookahead, pair_lookahead, LatencyNetwork, NetPorts, NetworkStats,
+};
 pub use topology::Mesh;
 pub use wormhole::{FlitNetwork, FlitNetworkParams};

@@ -23,15 +23,21 @@ const WHEEL_MASK: usize = WHEEL_SIZE - 1;
 /// A priority queue of timestamped events with deterministic ordering.
 ///
 /// Events are returned in nondecreasing time order; events scheduled for
-/// the same cycle are returned in the order they were inserted. This
-/// total order makes every simulation run reproducible bit-for-bit from
-/// its inputs, which the experiment harness relies on.
+/// the same cycle are returned in ascending **key** order. Callers that
+/// use plain [`EventQueue::push`] get an auto-incremented insertion
+/// sequence as the key, i.e. FIFO within a cycle — the historical
+/// behaviour. Callers that need an ordering reproducible across
+/// differently-partitioned producers (the PDES engine) stamp their own
+/// canonical keys via [`EventQueue::push_keyed`]. Either way the total
+/// order makes every simulation run reproducible bit-for-bit from its
+/// inputs, which the experiment harness relies on.
 ///
-/// Internally every event carries a global insertion sequence number,
-/// and both the wheel buckets (FIFO deques, so bucket order *is*
-/// sequence order) and the far heap (ordered by `(cycle, seq)`) respect
-/// it, so the wheel/heap split is invisible to callers: the pop order is
-/// identical to a single `(cycle, seq)`-ordered heap.
+/// Internally both the wheel buckets (kept sorted ascending by key, so
+/// peeking and popping the next key are O(1); pushes append in O(1) in
+/// the common case of ascending same-cycle arrivals and binary-insert
+/// otherwise) and the far heap (ordered by `(cycle, key)`) respect the
+/// key, so the wheel/heap split is invisible to callers: the pop order
+/// is identical to a single `(cycle, key)`-ordered heap.
 ///
 /// # Example
 ///
@@ -49,8 +55,10 @@ const WHEEL_MASK: usize = WHEEL_SIZE - 1;
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     /// Near-future buckets; the bucket for cycle `t` (when `t` is within
-    /// `[base, base + WHEEL_SIZE)`) is `wheel[t & WHEEL_MASK]`.
-    wheel: Vec<VecDeque<(u64, E)>>,
+    /// `[base, base + WHEEL_SIZE)`) is `wheel[t & WHEEL_MASK]`. Each
+    /// bucket holds events of a single cycle sorted ascending by
+    /// tie-break key, so the front is always the next event to pop.
+    wheel: Vec<VecDeque<(u128, E)>>,
     /// The earliest cycle the wheel can currently hold. Only moves
     /// forward.
     base: u64,
@@ -65,7 +73,7 @@ pub struct EventQueue<E> {
 
 #[derive(Debug, Clone)]
 struct Entry<E> {
-    key: Reverse<(Cycle, u64)>,
+    key: Reverse<(Cycle, u128)>,
     event: E,
 }
 
@@ -107,21 +115,42 @@ impl<E> EventQueue<E> {
         q
     }
 
-    /// Schedules `event` to fire at time `at`.
+    /// Schedules `event` to fire at time `at`, tie-broken within the
+    /// cycle by the auto-incremented insertion sequence (FIFO).
     pub fn push(&mut self, at: Cycle, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.push_keyed(at, seq as u128, event);
+    }
+
+    /// Schedules `event` to fire at time `at` with an explicit same-cycle
+    /// tie-break `key`. Events sharing a cycle pop in ascending key
+    /// order; keys must be unique within a cycle for the order to be
+    /// total. The PDES engine stamps canonical keys so that the pop
+    /// order is a pure function of simulated causality, independent of
+    /// how pushes were distributed across shards.
+    pub fn push_keyed(&mut self, at: Cycle, key: u128, event: E) {
         let t = at.as_u64();
         if self.wheel_len == 0 && t >= self.base {
             // Empty wheel: slide the window so it starts at `t`.
             self.base = t;
         }
         if t >= self.base && t - self.base < WHEEL_SIZE as u64 {
-            self.wheel[t as usize & WHEEL_MASK].push_back((seq, event));
+            let bucket = &mut self.wheel[t as usize & WHEEL_MASK];
+            // Follow-on events are pushed while draining events in
+            // ascending key order, so same-cycle arrivals are usually
+            // ascending too: appending keeps the bucket sorted for
+            // free. Out-of-order arrivals binary-insert.
+            if bucket.back().is_none_or(|&(k, _)| k < key) {
+                bucket.push_back((key, event));
+            } else {
+                let pos = bucket.partition_point(|&(k, _)| k < key);
+                bucket.insert(pos, (key, event));
+            }
             self.wheel_len += 1;
         } else {
             self.far.push(Entry {
-                key: Reverse((at, seq)),
+                key: Reverse((at, key)),
                 event,
             });
         }
@@ -129,19 +158,14 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        // Earliest wheel event: advance `base` over empty buckets (each
-        // bucket is passed at most once per run, so this is amortized
-        // O(1)) until the first nonempty one.
-        let wheel_key = if self.wheel_len > 0 {
-            loop {
-                if let Some(&(seq, _)) = self.wheel[self.base as usize & WHEEL_MASK].front() {
-                    break Some((self.base, seq));
-                }
-                self.base += 1;
-            }
-        } else {
-            None
-        };
+        self.pop_keyed().map(|(at, _, e)| (at, e))
+    }
+
+    /// Like [`EventQueue::pop`], but also returns the event's tie-break
+    /// key. The PDES engine uses the key to derive follow-on event keys
+    /// (e.g. a wire arrival's key seeds its delivery's key).
+    pub fn pop_keyed(&mut self) -> Option<(Cycle, u128, E)> {
+        let wheel_key = self.earliest_wheel_key();
         let far_key = self.far.peek().map(|e| ((e.key.0 .0).as_u64(), e.key.0 .1));
         let take_wheel = match (wheel_key, far_key) {
             (None, None) => return None,
@@ -150,11 +174,7 @@ impl<E> EventQueue<E> {
             (Some(w), Some(f)) => w < f,
         };
         if take_wheel {
-            let (_, event) = self.wheel[self.base as usize & WHEEL_MASK]
-                .pop_front()
-                .expect("nonempty bucket");
-            self.wheel_len -= 1;
-            Some((Cycle::new(self.base), event))
+            Some(self.take_wheel_min())
         } else {
             let e = self.far.pop().expect("nonempty far heap");
             let at = e.key.0 .0;
@@ -163,7 +183,100 @@ impl<E> EventQueue<E> {
                 // simulated time, so future near-term pushes use it.
                 self.base = self.base.max(at.as_u64());
             }
-            Some((at, e.event))
+            Some((at, e.key.0 .1, e.event))
+        }
+    }
+
+    /// Removes and returns the minimum-key event of the bucket `base`
+    /// currently rests on — the sorted bucket's front, O(1).
+    fn take_wheel_min(&mut self) -> (Cycle, u128, E) {
+        let bucket = &mut self.wheel[self.base as usize & WHEEL_MASK];
+        let (key, event) = bucket.pop_front().expect("nonempty bucket");
+        self.wheel_len -= 1;
+        (Cycle::new(self.base), key, event)
+    }
+
+    /// Advances the wheel window over leading empty buckets until it
+    /// rests on the earliest wheel event, and returns that event's
+    /// `(cycle, key)`. Advancing is amortized O(1) (each bucket is
+    /// skipped at most once per run); the minimum key is the resting
+    /// sorted bucket's front, O(1).
+    fn earliest_wheel_key(&mut self) -> Option<(u64, u128)> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        loop {
+            let bucket = &self.wheel[self.base as usize & WHEEL_MASK];
+            if let Some(&(key, _)) = bucket.front() {
+                return Some((self.base, key));
+            }
+            self.base += 1;
+        }
+    }
+
+    /// Returns the time of the earliest pending event without removing
+    /// it, advancing the wheel window so repeated calls are amortized
+    /// O(1). This is the cheap bound the PDES scheduler publishes as its
+    /// local clock; see [`EventQueue::pop_before`] for the matching
+    /// bounded drain.
+    pub fn peek_horizon(&mut self) -> Option<Cycle> {
+        let wheel = self.earliest_wheel_key();
+        let far = self.far.peek().map(|e| ((e.key.0 .0).as_u64(), e.key.0 .1));
+        match (wheel, far) {
+            (Some(w), Some(f)) => Some(Cycle::new(w.min(f).0)),
+            (Some(w), None) => Some(Cycle::new(w.0)),
+            (None, Some(f)) => Some(Cycle::new(f.0)),
+            (None, None) => None,
+        }
+    }
+
+    /// Removes and returns the earliest event **strictly before**
+    /// `horizon`, or `None` if the queue is empty or its earliest event
+    /// is at or past the horizon. Events at or beyond the horizon are
+    /// left untouched (no pop-and-push-back), so a conservative PDES
+    /// worker can drain its safe window directly against the wheel.
+    ///
+    /// `pop_before(Cycle::MAX)`-style calls with a far horizon behave
+    /// exactly like [`EventQueue::pop`].
+    pub fn pop_before(&mut self, horizon: Cycle) -> Option<(Cycle, E)> {
+        self.pop_before_keyed(horizon).map(|(at, _, e)| (at, e))
+    }
+
+    /// Like [`EventQueue::pop_before`], but also returns the tie-break
+    /// key — the bounded drain used by PDES shard loops.
+    pub fn pop_before_keyed(&mut self, horizon: Cycle) -> Option<(Cycle, u128, E)> {
+        let wheel_key = self.earliest_wheel_key();
+        let far_key = self.far.peek().map(|e| ((e.key.0 .0).as_u64(), e.key.0 .1));
+        let take_wheel = match (wheel_key, far_key) {
+            (None, None) => return None,
+            (Some(w), None) => {
+                if w.0 >= horizon.as_u64() {
+                    return None;
+                }
+                true
+            }
+            (None, Some(f)) => {
+                if f.0 >= horizon.as_u64() {
+                    return None;
+                }
+                false
+            }
+            (Some(w), Some(f)) => {
+                if w.min(f).0 >= horizon.as_u64() {
+                    return None;
+                }
+                w < f
+            }
+        };
+        if take_wheel {
+            Some(self.take_wheel_min())
+        } else {
+            let e = self.far.pop().expect("nonempty far heap");
+            let at = e.key.0 .0;
+            if self.wheel_len == 0 {
+                self.base = self.base.max(at.as_u64());
+            }
+            Some((at, e.key.0 .1, e.event))
         }
     }
 
@@ -200,25 +313,28 @@ impl<E> EventQueue<E> {
     /// Feeds the queue's complete pending-event state into `h`, using
     /// `f` to hash each event payload.
     ///
-    /// Events are visited in pop order — `(cycle, insertion sequence)`
-    /// — and each is hashed together with its cycle and sequence
-    /// number, so two queues digest equal iff they would pop the
-    /// identical timestamped event stream. The wheel/heap split, the
-    /// window base and bucket layout are implementation details and do
-    /// not enter the digest. The insertion counter *is* included: it
-    /// determines the tie-break order of all future pushes.
+    /// Events are visited in pop order — `(cycle, key)` — and each is
+    /// hashed together with its cycle and key, so two queues digest
+    /// equal iff they would pop the identical timestamped event stream.
+    /// The wheel/heap split, the window base and bucket layout are
+    /// implementation details and do not enter the digest. The
+    /// insertion counter *is* included: it determines the tie-break
+    /// order of future auto-keyed pushes.
     pub fn digest_with(&self, h: &mut StableHasher, mut f: impl FnMut(&E, &mut StableHasher)) {
         h.write_u64(self.next_seq);
         h.write_usize(self.len());
         if self.wheel_len > 0 {
             // The window is exactly WHEEL_SIZE cycles wide, so each
-            // bucket holds events of a single cycle and walking the
-            // window in time order visits wheel events in pop order.
+            // bucket holds events of a single cycle; walk the window in
+            // time order and each bucket in key order to visit wheel
+            // events in pop order.
             for i in 0..WHEEL_SIZE as u64 {
                 let t = self.base + i;
-                for (seq, event) in &self.wheel[t as usize & WHEEL_MASK] {
+                let bucket = &self.wheel[t as usize & WHEEL_MASK];
+                for (key, event) in bucket.iter() {
                     h.write_u64(t);
-                    h.write_u64(*seq);
+                    h.write_u64((*key >> 64) as u64);
+                    h.write_u64(*key as u64);
                     f(event, h);
                 }
             }
@@ -227,8 +343,36 @@ impl<E> EventQueue<E> {
         far.sort_by_key(|e| e.key.0);
         for e in far {
             h.write_u64(e.key.0 .0.as_u64());
-            h.write_u64(e.key.0 .1);
+            h.write_u64((e.key.0 .1 >> 64) as u64);
+            h.write_u64(e.key.0 .1 as u64);
             f(&e.event, h);
+        }
+    }
+
+    /// Visits every pending event in pop order — `(cycle, key)` —
+    /// without consuming the queue.
+    ///
+    /// Unlike [`EventQueue::digest_with`] this exposes neither the
+    /// insertion counter nor the wheel layout, so two queues that hold
+    /// the same timestamped pending events visit identically even when
+    /// their push histories differ. The partitioned machine's
+    /// canonical state digest is built on this: at quiescence every
+    /// shard's queue is empty and visits nothing, regardless of how
+    /// many shards the run used.
+    pub fn visit_pending(&self, mut f: impl FnMut(Cycle, &E)) {
+        if self.wheel_len > 0 {
+            for i in 0..WHEEL_SIZE as u64 {
+                let t = self.base + i;
+                let bucket = &self.wheel[t as usize & WHEEL_MASK];
+                for (_, event) in bucket.iter() {
+                    f(Cycle::new(t), event);
+                }
+            }
+        }
+        let mut far: Vec<&Entry<E>> = self.far.iter().collect();
+        far.sort_by_key(|e| e.key.0);
+        for e in far {
+            f(e.key.0 .0, &e.event);
         }
     }
 
@@ -279,6 +423,40 @@ mod tests {
         for i in 0..100 {
             assert_eq!(q.pop().unwrap().1, i);
         }
+    }
+
+    #[test]
+    fn keyed_pushes_pop_in_key_order_regardless_of_insertion() {
+        let mut q = EventQueue::new();
+        // Same cycle, keys inserted out of order: pop order follows keys.
+        q.push_keyed(Cycle::new(5), 30, "c");
+        q.push_keyed(Cycle::new(5), 10, "a");
+        q.push_keyed(Cycle::new(5), 20, "b");
+        // A far-future keyed event plus a same-cycle wheel/far mix.
+        q.push_keyed(Cycle::new(5000), 1, "far-b");
+        q.push_keyed(Cycle::new(5000), 0, "far-a");
+        assert_eq!(q.pop_keyed(), Some((Cycle::new(5), 10, "a")));
+        assert_eq!(q.pop_keyed(), Some((Cycle::new(5), 20, "b")));
+        assert_eq!(q.pop_keyed(), Some((Cycle::new(5), 30, "c")));
+        assert_eq!(q.pop_keyed(), Some((Cycle::new(5000), 0, "far-a")));
+        assert_eq!(q.pop_keyed(), Some((Cycle::new(5000), 1, "far-b")));
+        assert_eq!(q.pop_keyed(), None);
+    }
+
+    #[test]
+    fn keyed_digest_independent_of_insertion_order() {
+        let digest = |pushes: &[(u64, u128)]| {
+            let mut q = EventQueue::new();
+            for &(t, k) in pushes {
+                q.push_keyed(Cycle::new(t), k, k as u64);
+            }
+            let mut h = StableHasher::new();
+            q.digest_with(&mut h, |e, h| h.write_u64(*e));
+            h.finish()
+        };
+        let a = digest(&[(7, 3), (7, 1), (9, 2), (7, 2)]);
+        let b = digest(&[(7, 1), (7, 2), (7, 3), (9, 2)]);
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -359,6 +537,22 @@ mod tests {
             let Reverse((at, _, idx)) = self.heap.pop()?;
             Some((at, self.events[idx].take().expect("popped once")))
         }
+
+        fn pop_before(&mut self, horizon: Cycle) -> Option<(Cycle, E)> {
+            if self
+                .heap
+                .peek()
+                .is_some_and(|Reverse((at, _, _))| *at < horizon)
+            {
+                self.pop()
+            } else {
+                None
+            }
+        }
+
+        fn peek_horizon(&self) -> Option<Cycle> {
+            self.heap.peek().map(|Reverse((at, _, _))| *at)
+        }
     }
 
     #[test]
@@ -406,6 +600,92 @@ mod tests {
         // Drain the remainder.
         loop {
             let a = wheel.pop();
+            let b = heap.pop();
+            assert_eq!(a, b, "divergence during drain");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn pop_before_respects_horizon_boundary() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(5), "at5");
+        q.push(Cycle::new(7), "at7");
+        // Horizon is exclusive: an event at the horizon stays queued.
+        assert_eq!(q.pop_before(Cycle::new(5)), None);
+        assert_eq!(q.peek_horizon(), Some(Cycle::new(5)));
+        assert_eq!(q.pop_before(Cycle::new(6)), Some((Cycle::new(5), "at5")));
+        assert_eq!(q.pop_before(Cycle::new(6)), None);
+        assert_eq!(q.len(), 1);
+        // A far-future horizon behaves like pop().
+        assert_eq!(
+            q.pop_before(Cycle::new(u64::MAX)),
+            Some((Cycle::new(7), "at7"))
+        );
+        assert_eq!(q.peek_horizon(), None);
+    }
+
+    /// Wheel-vs-heap equivalence for the bounded-drain API: drive both
+    /// implementations with an identical randomized schedule of pushes
+    /// and horizon-bounded pops (horizons chosen to land before,
+    /// between, at, and beyond pending events, including past the wheel
+    /// window so the far heap participates) and demand identical
+    /// observable behaviour. This pins the PDES-facing guarantee that
+    /// `pop_before`/`peek_horizon` never reorder or lose events
+    /// relative to a plain `(cycle, seq)` heap.
+    #[test]
+    fn bounded_drain_equivalent_to_reference_heap() {
+        let mut h = StableHasher::new();
+        h.write_str("event-queue-bounded-drain");
+        h.write_u64(9);
+        let mut rng = SimRng::new(h.finish());
+
+        let mut wheel: EventQueue<u64> = EventQueue::new();
+        let mut heap: HeapQueue<u64> = HeapQueue::new();
+        let mut now = 0u64;
+        let mut next_id = 0u64;
+        for step in 0..50_000u64 {
+            match rng.range(10) {
+                0..=4 => {
+                    let delta = match rng.range(20) {
+                        0 => rng.range(10_000), // past the wheel horizon
+                        1..=4 => 0,             // same-cycle burst
+                        _ => rng.range(200),
+                    };
+                    let at = Cycle::new(now + delta);
+                    wheel.push(at, next_id);
+                    heap.push(at, next_id);
+                    next_id += 1;
+                }
+                5..=8 => {
+                    // A PDES-style safe window: drain everything before
+                    // a horizon a few cycles ahead of the current time.
+                    let horizon = Cycle::new(now + rng.range(64));
+                    loop {
+                        let a = wheel.pop_before(horizon);
+                        let b = heap.pop_before(horizon);
+                        assert_eq!(a, b, "bounded divergence at step {step}");
+                        match a {
+                            Some((at, _)) => now = at.as_u64(),
+                            None => break,
+                        }
+                    }
+                    assert_eq!(wheel.peek_horizon(), heap.peek_horizon());
+                }
+                _ => {
+                    let a = wheel.pop();
+                    let b = heap.pop();
+                    assert_eq!(a, b, "unbounded divergence at step {step}");
+                    if let Some((at, _)) = a {
+                        now = at.as_u64();
+                    }
+                }
+            }
+        }
+        loop {
+            let a = wheel.pop_before(Cycle::new(u64::MAX));
             let b = heap.pop();
             assert_eq!(a, b, "divergence during drain");
             if a.is_none() {

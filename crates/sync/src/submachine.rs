@@ -24,7 +24,7 @@ pub enum Step {
 /// The first call to [`step`](SubMachine::step) receives `last == None`;
 /// each later call receives the result of the operation the sub-machine
 /// requested (or `None` after a [`Step::Compute`]).
-pub trait SubMachine {
+pub trait SubMachine: Send {
     /// Advances the fragment.
     fn step(&mut self, last: Option<OpResult>, rng: &mut SimRng) -> Step;
 }

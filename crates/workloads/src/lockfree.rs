@@ -16,7 +16,7 @@
 //! response stamped with simulated cycles — so the same run that
 //! produces a throughput number can be fed to the linearizability
 //! checker in [`dsm_trace::linearize`]. Recording happens entirely on
-//! the host side (an `Rc<RefCell<…>>` shared with the programs) and
+//! the host side (an `Arc<Mutex<…>>` shared with the programs) and
 //! never issues memory operations, so it cannot perturb timing:
 //! benchmark results are identical with the history kept or thrown
 //! away.
@@ -30,9 +30,8 @@ use dsm_sync::{
     ShmAlloc, Step, SubMachine,
 };
 use dsm_trace::{HistEvent, HistOp, HistRet, History};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Which lock-free structure a run exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -106,7 +105,7 @@ pub struct LfLayout {
 pub struct LfRun {
     /// The complete operation history (populated while the machine
     /// runs; complete once `Machine::run` returns).
-    pub history: Rc<RefCell<History>>,
+    pub history: Arc<Mutex<History>>,
     /// The memory layout.
     pub layout: LfLayout,
 }
@@ -143,7 +142,7 @@ struct QueueProg {
     next_node: usize,
     seq: u64,
     active: Option<(QAct, u64)>,
-    hist: Rc<RefCell<History>>,
+    hist: Arc<Mutex<History>>,
 }
 
 impl Program for QueueProg {
@@ -168,7 +167,7 @@ impl Program for QueueProg {
                                 },
                             ),
                         };
-                        self.hist.borrow_mut().push(HistEvent {
+                        self.hist.lock().unwrap().push(HistEvent {
                             proc: self.proc,
                             invoked: *invoked,
                             responded: ctx.now.as_u64(),
@@ -216,7 +215,7 @@ struct SetProg {
     next_node: usize,
     key_space: u64,
     active: Option<(SAct, u64)>,
-    hist: Rc<RefCell<History>>,
+    hist: Arc<Mutex<History>>,
 }
 
 impl Program for SetProg {
@@ -251,7 +250,7 @@ impl Program for SetProg {
                                 HistRet::Bool(m.found().expect("finished")),
                             ),
                         };
-                        self.hist.borrow_mut().push(HistEvent {
+                        self.hist.lock().unwrap().push(HistEvent {
                             proc: self.proc,
                             invoked: *invoked,
                             responded: ctx.now.as_u64(),
@@ -294,7 +293,7 @@ pub fn build_lockfree(mcfg: MachineConfig, cfg: &LfConfig) -> (Machine, LfRun) {
     assert!(cfg.key_space > 0, "key space must be non-empty");
     let procs = mcfg.nodes;
     let mut alloc = ShmAlloc::new(mcfg.params.line_size, procs);
-    let history: Rc<RefCell<History>> = Rc::default();
+    let history: Arc<Mutex<History>> = Arc::default();
 
     // Per-processor fresh-node pools (nodes are never recycled — see
     // the dsm_sync::lockfree module docs).
@@ -334,7 +333,7 @@ pub fn build_lockfree(mcfg: MachineConfig, cfg: &LfConfig) -> (Machine, LfRun) {
 
     for p in 0..procs {
         let pool = pools[p as usize].clone();
-        let hist = Rc::clone(&history);
+        let hist = Arc::clone(&history);
         match cfg.structure {
             LfStructure::Queue => {
                 b.add_program(QueueProg {
@@ -433,7 +432,7 @@ pub fn set_chains(m: &Machine, layout: &LfLayout) -> Vec<Vec<(u64, bool)>> {
 ///   bucket, and key conservation (a key is live in memory iff its
 ///   successful inserts outnumber its successful removes).
 pub fn check_invariants(m: &Machine, cfg: &LfConfig, run: &LfRun) -> Result<(), String> {
-    let hist = run.history.borrow();
+    let hist = run.history.lock().unwrap();
     match cfg.structure {
         LfStructure::Queue => {
             let mut enq: HashMap<u64, i64> = HashMap::new();
@@ -583,7 +582,7 @@ mod tests {
                 for policy in SyncPolicy::ALL {
                     let c = cfg(structure, prim, policy);
                     let (m, r) = run(&c, 4);
-                    let ops = r.history.borrow().len();
+                    let ops = r.history.lock().unwrap().len();
                     let expected = match structure {
                         LfStructure::Queue => 4 * 2 * c.ops_per_proc as usize,
                         _ => 4 * c.ops_per_proc as usize,
@@ -608,14 +607,14 @@ mod tests {
     fn queue_history_is_linearizable_smoke() {
         let c = cfg(LfStructure::Queue, LinkPrim::EmulLlsc, SyncPolicy::Inv);
         let (_m, r) = run(&c, 4);
-        check(&FifoQueueSpec, &r.history.borrow()).expect("linearizable");
+        check(&FifoQueueSpec, &r.history.lock().unwrap()).expect("linearizable");
     }
 
     #[test]
     fn map_history_is_linearizable_smoke() {
         let c = cfg(LfStructure::Map, LinkPrim::CasPlain, SyncPolicy::Unc);
         let (_m, r) = run(&c, 4);
-        check(&SetSpec, &r.history.borrow()).expect("linearizable");
+        check(&SetSpec, &r.history.lock().unwrap()).expect("linearizable");
     }
 
     #[test]
@@ -630,7 +629,7 @@ mod tests {
         let c = cfg(LfStructure::Queue, LinkPrim::Llsc, SyncPolicy::Inv);
         let (m, r) = run(&c, 2);
         // Sabotage the history: pretend one more value was enqueued.
-        r.history.borrow_mut().push(HistEvent {
+        r.history.lock().unwrap().push(HistEvent {
             proc: 0,
             invoked: 0,
             responded: 1,

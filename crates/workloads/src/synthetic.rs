@@ -386,7 +386,8 @@ mod tests {
         cfg.contention = 8;
         cfg.rounds = 10;
         let (m, _) = run(&cfg, 8);
-        let h = m.stats().contention.histogram();
+        let stats = m.stats();
+        let h = stats.contention.histogram();
         assert!(
             h.max_value().unwrap() >= 4,
             "high contention must be observed"

@@ -475,7 +475,8 @@ mod tests {
         let cfg = tc_config(Primitive::FetchPhi, SyncPolicy::Unc, 16);
         let (mut m, _, _) = build_tclosure(MachineConfig::with_nodes(16), &cfg);
         m.run(LIMIT).unwrap();
-        let h = m.stats().contention.histogram();
+        let stats = m.stats();
+        let h = stats.contention.histogram();
         assert!(h.total() > 0);
         // Barrier-released processors hit the counter together: some
         // accesses must observe contention above 2.

@@ -14,8 +14,7 @@ use atomic_dsm::sim::{Addr, Cycle, MachineConfig};
 use atomic_dsm::sync::stack::{unpack_node, StackPop, StackPrim, StackPush};
 use atomic_dsm::sync::{ShmAlloc, Step, SubMachine};
 use atomic_dsm::{SyncConfig, SyncPolicy};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 fn stack_run(prim: StackPrim, nodes: u32, per_proc: u64) -> (u64, u64, u64) {
     let mut alloc = ShmAlloc::new(32, nodes);
@@ -23,8 +22,8 @@ fn stack_run(prim: StackPrim, nodes: u32, per_proc: u64) -> (u64, u64, u64) {
     let node_addrs: Vec<Vec<Addr>> = (0..nodes)
         .map(|_| (0..per_proc).map(|_| alloc.array(2)).collect())
         .collect();
-    let pops = Rc::new(RefCell::new(0u64));
-    let retries = Rc::new(RefCell::new(0u64));
+    let pops = Arc::new(Mutex::new(0u64));
+    let retries = Arc::new(Mutex::new(0u64));
 
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(nodes));
     b.register_sync(
@@ -36,8 +35,8 @@ fn stack_run(prim: StackPrim, nodes: u32, per_proc: u64) -> (u64, u64, u64) {
     );
     for p in 0..nodes {
         let mine = node_addrs[p as usize].clone();
-        let pops = Rc::clone(&pops);
-        let retries = Rc::clone(&retries);
+        let pops = Arc::clone(&pops);
+        let retries = Arc::clone(&retries);
         let mut round = 0usize;
         let mut pushing = true;
         let mut push: Option<StackPush> = None;
@@ -48,7 +47,7 @@ fn stack_run(prim: StackPrim, nodes: u32, per_proc: u64) -> (u64, u64, u64) {
                     Step::Op(op) => return Action::Op(op),
                     Step::Compute(c) => return Action::Compute(c),
                     Step::Done => {
-                        *retries.borrow_mut() += m.retries;
+                        *retries.lock().unwrap() += m.retries;
                         push = None;
                     }
                 }
@@ -59,9 +58,9 @@ fn stack_run(prim: StackPrim, nodes: u32, per_proc: u64) -> (u64, u64, u64) {
                     Step::Compute(c) => return Action::Compute(c),
                     Step::Done => {
                         if m.popped().is_some() {
-                            *pops.borrow_mut() += 1;
+                            *pops.lock().unwrap() += 1;
                         }
-                        *retries.borrow_mut() += m.retries;
+                        *retries.lock().unwrap() += m.retries;
                         pop = None;
                     }
                 }
@@ -92,7 +91,11 @@ fn stack_run(prim: StackPrim, nodes: u32, per_proc: u64) -> (u64, u64, u64) {
         cursor = m.read_word(Addr::new(cursor));
     }
     let _ = survivors;
-    let result = (report.cycles.as_u64(), *pops.borrow(), *retries.borrow());
+    let result = (
+        report.cycles.as_u64(),
+        *pops.lock().unwrap(),
+        *retries.lock().unwrap(),
+    );
     result
 }
 

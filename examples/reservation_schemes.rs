@@ -46,10 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
         );
         b.llsc_pool(8); // a deliberately small linked-list free pool
-        let local_fails = std::rc::Rc::new(std::cell::Cell::new(0u64));
+        let local_fails = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
         for _ in 0..PROCS {
             let mut left = ITERS;
-            let local_fails = std::rc::Rc::clone(&local_fails);
+            let local_fails = std::sync::Arc::clone(&local_fails);
             b.add_program(move |ctx: &mut ProcCtx<'_>| match ctx.last {
                 None => Action::Op(MemOp::LoadLinked { addr: counter }),
                 Some(OpResult::Loaded {
@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     if !r {
                         // A beyond-limit LL: the SC is doomed, so fail it
                         // locally (no network traffic) and retry the LL.
-                        local_fails.set(local_fails.get() + 1);
+                        local_fails.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         return Action::Op(MemOp::LoadLinked { addr: counter });
                     }
                     Action::Op(MemOp::StoreConditional {
@@ -90,7 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             name,
             report.cycles.as_u64(),
             s.msgs.total_messages(),
-            local_fails.get(),
+            local_fails.load(std::sync::atomic::Ordering::Relaxed),
             report.cycles.as_u64() as f64 / (PROCS as u64 * ITERS) as f64,
         );
     }

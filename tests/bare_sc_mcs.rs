@@ -14,8 +14,7 @@ use atomic_dsm::sim::{Addr, Cycle, MachineConfig};
 use atomic_dsm::sync::{
     McsAcquire, McsLock, McsQnode, McsRelease, PrimChoice, Primitive, Step, SubMachine,
 };
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 const LOCK: Addr = Addr::new(0x40);
 const COUNTER: Addr = Addr::new(0x80);
@@ -29,12 +28,12 @@ fn sync_cfg() -> SyncConfig {
 }
 
 fn run(nodes: u32, active: u32, iters: u64, bare: bool) -> (u64, u64, u64) {
-    let bare_hits = Rc::new(RefCell::new(0u64));
+    let bare_hits = Arc::new(Mutex::new(0u64));
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(nodes));
     b.register_sync(LOCK, sync_cfg());
     for p in 0..active {
         let qnode = McsQnode::at(Addr::new(0x1000 + p as u64 * 64));
-        let bare_hits = Rc::clone(&bare_hits);
+        let bare_hits = Arc::clone(&bare_hits);
         let choice = PrimChoice::plain(Primitive::Llsc);
         let mut left = iters;
         let mut acq: Option<McsAcquire> = None;
@@ -57,7 +56,7 @@ fn run(nodes: u32, active: u32, iters: u64, bare: bool) -> (u64, u64, u64) {
                     Step::Op(op) => return Action::Op(op),
                     Step::Compute(c) => return Action::Compute(c),
                     Step::Done => {
-                        *bare_hits.borrow_mut() += m.bare_sc_hits;
+                        *bare_hits.lock().unwrap() += m.bare_sc_hits;
                         rel = None;
                     }
                 }
@@ -95,7 +94,7 @@ fn run(nodes: u32, active: u32, iters: u64, bare: bool) -> (u64, u64, u64) {
                     left -= 1;
                     // Space acquisitions out so releases are usually
                     // uncontended (the bare SC's win scenario).
-                    return Action::Compute(200);
+                    return Action::Compute(500);
                 }
                 _ => unreachable!(),
             }
@@ -112,7 +111,7 @@ fn run(nodes: u32, active: u32, iters: u64, bare: bool) -> (u64, u64, u64) {
         active as u64 * iters,
         "lock lost an update"
     );
-    let hits = *bare_hits.borrow();
+    let hits = *bare_hits.lock().unwrap();
     (m.stats().msgs.total_messages(), m.stats().sync_ops, hits)
 }
 
@@ -161,14 +160,14 @@ fn bare_sc_still_helps_with_mild_contention() {
 fn bare_sc_falls_back_safely_under_contention() {
     // With zero compute spacing, successors enqueue during critical
     // sections; bare SCs fail and fall back — exactness must hold.
-    let bare_hits = Rc::new(RefCell::new(0u64));
+    let bare_hits = Arc::new(Mutex::new(0u64));
     let nodes = 8u32;
     let iters = 15u64;
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(nodes));
     b.register_sync(LOCK, sync_cfg());
     for p in 0..nodes {
         let qnode = McsQnode::at(Addr::new(0x1000 + p as u64 * 64));
-        let bare_hits = Rc::clone(&bare_hits);
+        let bare_hits = Arc::clone(&bare_hits);
         let choice = PrimChoice::plain(Primitive::Llsc);
         let mut left = iters;
         let mut acq: Option<McsAcquire> = None;
@@ -193,7 +192,7 @@ fn bare_sc_falls_back_safely_under_contention() {
                     Step::Op(op) => return Action::Op(op),
                     Step::Compute(c) => return Action::Compute(c),
                     Step::Done => {
-                        *bare_hits.borrow_mut() += m.bare_sc_hits;
+                        *bare_hits.lock().unwrap() += m.bare_sc_hits;
                         rel = None;
                         left -= 1;
                     }
@@ -211,5 +210,5 @@ fn bare_sc_falls_back_safely_under_contention() {
     assert_eq!(m.read_word(LOCK), 0, "queue fully drained");
     // Under this much contention some bare SCs fail; the point is that
     // no handoff was ever lost (the run completed and drained).
-    let _ = *bare_hits.borrow();
+    let _ = *bare_hits.lock().unwrap();
 }

@@ -13,9 +13,8 @@ use atomic_dsm::sim::{Addr, Cycle, FaultConfig, MachineConfig};
 use atomic_dsm::sync::stack::{unpack_node, StackPop, StackPrim, StackPush};
 use atomic_dsm::sync::{Primitive, ShmAlloc, Step, SubMachine};
 use proptest::prelude::*;
-use std::cell::RefCell;
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 const LIMIT: Cycle = Cycle::new(200_000_000);
 
@@ -233,7 +232,7 @@ fn lockfree_stack_survives_heavy_faults() {
         .map(|_| (0..per_proc).map(|_| alloc.array(2)).collect())
         .collect();
 
-    let popped: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let popped: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
     let mut mcfg = MachineConfig::with_nodes(nodes);
     // The light preset, not heavy: heavy's wipe storm (a reservation
     // wipe every ~4k cycles per node) can legally starve the stack's
@@ -249,7 +248,7 @@ fn lockfree_stack_survives_heavy_faults() {
 
     for p in 0..nodes {
         let my_nodes = node_addrs[p as usize].clone();
-        let popped = Rc::clone(&popped);
+        let popped = Arc::clone(&popped);
         let mut round = 0usize;
         let mut pushing = true;
         let mut push: Option<StackPush> = None;
@@ -268,7 +267,7 @@ fn lockfree_stack_survives_heavy_faults() {
                     Step::Compute(c) => return Action::Compute(c),
                     Step::Done => {
                         if let Some(n) = m.popped() {
-                            popped.borrow_mut().push(n);
+                            popped.lock().unwrap().push(n);
                         }
                         pop = None;
                     }
@@ -308,7 +307,7 @@ fn lockfree_stack_survives_heavy_faults() {
     }
     let all_nodes: HashSet<u64> = node_addrs.iter().flatten().map(|a| a.as_u64()).collect();
     let mut seen = HashSet::new();
-    for &n in popped.borrow().iter().chain(remaining.iter()) {
+    for &n in popped.lock().unwrap().iter().chain(remaining.iter()) {
         assert!(all_nodes.contains(&n), "unknown node {n:#x}");
         assert!(seen.insert(n), "node {n:#x} duplicated under faults!");
     }

@@ -25,8 +25,8 @@ use atomic_dsm::trace::{
     Rejection, SetSpec,
 };
 use atomic_dsm::workloads::{build_lockfree, check_invariants, LfConfig, LfStructure};
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
 
 const LIMIT: Cycle = Cycle::new(5_000_000_000);
 
@@ -77,7 +77,7 @@ fn run_and_check(structure: LfStructure, prim: LinkPrim, policy: SyncPolicy, fau
     m.validate_coherence()
         .unwrap_or_else(|e| panic!("{label}: {e}"));
     check_invariants(&m, &cfg, &run).unwrap_or_else(|e| panic!("{label}: {e}"));
-    let hist = run.history.borrow();
+    let hist = run.history.lock().unwrap();
     match structure {
         LfStructure::Queue => assert_linearizable(&label, &FifoQueueSpec, &hist),
         LfStructure::List | LfStructure::Map => assert_linearizable(&label, &SetSpec, &hist),
@@ -163,8 +163,8 @@ enum Expect {
 /// with real invocation/response cycle stamps.
 fn scripted(
     steps: Vec<SStep>,
-    phase: Rc<Cell<u32>>,
-    hist: Rc<RefCell<History>>,
+    phase: Arc<AtomicU32>,
+    hist: Arc<Mutex<History>>,
     proc: u32,
 ) -> impl FnMut(&mut ProcCtx<'_>) -> Action {
     let mut idx = 0usize;
@@ -195,13 +195,13 @@ fn scripted(
                     return Action::Op(*op);
                 }
                 SStep::Wait(p) => {
-                    if phase.get() < *p {
+                    if phase.load(Ordering::Relaxed) < *p {
                         return Action::Compute(8);
                     }
                     idx += 1;
                 }
                 SStep::Set(p) => {
-                    phase.set(*p);
+                    phase.store(*p, Ordering::Relaxed);
                     idx += 1;
                 }
                 SStep::Begin => {
@@ -209,7 +209,7 @@ fn scripted(
                     idx += 1;
                 }
                 SStep::Record(op, ret) => {
-                    hist.borrow_mut().push(HistEvent {
+                    hist.lock().unwrap().push(HistEvent {
                         proc,
                         invoked,
                         responded: ctx.now.as_u64(),
@@ -244,12 +244,12 @@ fn aba_buggy_stack_pop_is_rejected() {
     let y = alloc.array(2);
     let (xv, yv) = (x.as_u64(), y.as_u64());
 
-    let phase = Rc::new(Cell::new(0u32));
-    let hist: Rc<RefCell<History>> = Rc::default();
+    let phase = Arc::new(AtomicU32::new(0));
+    let hist: Arc<Mutex<History>> = Arc::default();
     // Seed: stack is X (bottom) then Y (top), recorded as two
     // sequential pushes that precede every machine operation.
     for (t, v) in [(0u64, xv), (1, yv)] {
-        hist.borrow_mut().push(HistEvent {
+        hist.lock().unwrap().push(HistEvent {
             proc: 0,
             invoked: t,
             responded: t,
@@ -345,8 +345,13 @@ fn aba_buggy_stack_pop_is_rejected() {
         SStep::Record(HistOp::Pop, HistRet::Value(xv)),
     ];
 
-    b.add_program(scripted(victim, Rc::clone(&phase), Rc::clone(&hist), 0));
-    b.add_program(scripted(interferer, Rc::clone(&phase), Rc::clone(&hist), 1));
+    b.add_program(scripted(victim, Arc::clone(&phase), Arc::clone(&hist), 0));
+    b.add_program(scripted(
+        interferer,
+        Arc::clone(&phase),
+        Arc::clone(&hist),
+        1,
+    ));
 
     let mut m = b.build();
     m.run(LIMIT).expect("directed ABA schedule completes");
@@ -354,7 +359,7 @@ fn aba_buggy_stack_pop_is_rejected() {
 
     // X was pushed once and popped twice: no linearization can exist.
     // 2 seeded pushes + 1 victim pop + 4 interferer ops = 7 events.
-    let hist = hist.borrow();
+    let hist = hist.lock().unwrap();
     assert_eq!(hist.len(), 7);
     match check(&LifoStackSpec, &hist) {
         Err(Rejection::NotLinearizable { total, .. }) => assert_eq!(total, 7),

@@ -5,8 +5,7 @@
 use atomic_dsm::machine::{Action, MachineBuilder, ProcCtx};
 use atomic_dsm::protocol::{LlscScheme, MemOp, OpResult, SyncConfig, SyncPolicy};
 use atomic_dsm::sim::{Addr, Cycle, MachineConfig};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 const X: Addr = Addr::new(0x40);
 const LIMIT: Cycle = Cycle::new(10_000_000);
@@ -16,7 +15,7 @@ const LIMIT: Cycle = Cycle::new(10_000_000);
 #[test]
 fn sc_fails_after_intervening_remote_write() {
     for policy in [SyncPolicy::Inv, SyncPolicy::Unc] {
-        let outcome: Rc<RefCell<Option<bool>>> = Rc::new(RefCell::new(None));
+        let outcome: Arc<Mutex<Option<bool>>> = Arc::new(Mutex::new(None));
         let mut b = MachineBuilder::new(MachineConfig::with_nodes(2));
         b.register_sync(
             X,
@@ -26,7 +25,7 @@ fn sc_fails_after_intervening_remote_write() {
             },
         );
 
-        let out = Rc::clone(&outcome);
+        let out = Arc::clone(&outcome);
         let mut stage = 0;
         b.add_program(move |ctx: &mut ProcCtx<'_>| {
             stage += 1;
@@ -46,7 +45,7 @@ fn sc_fails_after_intervening_remote_write() {
                     let OpResult::ScDone { success } = ctx.result() else {
                         panic!()
                     };
-                    *out.borrow_mut() = Some(success);
+                    *out.lock().unwrap() = Some(success);
                     Action::Done
                 }
                 _ => unreachable!(),
@@ -66,7 +65,7 @@ fn sc_fails_after_intervening_remote_write() {
         let mut m = b.build();
         m.run(LIMIT).unwrap();
         assert_eq!(
-            *outcome.borrow(),
+            *outcome.lock().unwrap(),
             Some(false),
             "{policy}: SC after an intervening write must fail"
         );
@@ -82,8 +81,8 @@ fn sc_fails_after_intervening_remote_write() {
 #[test]
 fn aba_fails_sc_but_fools_cas() {
     // Part 1: SC fails under ABA (bit-vector reservations, UNC).
-    let sc_result: Rc<RefCell<Option<bool>>> = Rc::new(RefCell::new(None));
-    let cas_result: Rc<RefCell<Option<bool>>> = Rc::new(RefCell::new(None));
+    let sc_result: Arc<Mutex<Option<bool>>> = Arc::new(Mutex::new(None));
+    let cas_result: Arc<Mutex<Option<bool>>> = Arc::new(Mutex::new(None));
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(2));
     b.register_sync(
         X,
@@ -94,8 +93,8 @@ fn aba_fails_sc_but_fools_cas() {
     );
     b.init_word(X, 1);
 
-    let sc_out = Rc::clone(&sc_result);
-    let cas_out = Rc::clone(&cas_result);
+    let sc_out = Arc::clone(&sc_result);
+    let cas_out = Arc::clone(&cas_result);
     let mut stage = 0;
     b.add_program(move |ctx: &mut ProcCtx<'_>| {
         stage += 1;
@@ -112,7 +111,7 @@ fn aba_fails_sc_but_fools_cas() {
                 let OpResult::ScDone { success } = ctx.result() else {
                     panic!()
                 };
-                *sc_out.borrow_mut() = Some(success);
+                *sc_out.lock().unwrap() = Some(success);
                 // Now try CAS with the originally observed value 1.
                 Action::Op(MemOp::Cas {
                     addr: X,
@@ -124,7 +123,7 @@ fn aba_fails_sc_but_fools_cas() {
                 let OpResult::CasDone { success, .. } = ctx.result() else {
                     panic!()
                 };
-                *cas_out.borrow_mut() = Some(success);
+                *cas_out.lock().unwrap() = Some(success);
                 Action::Done
             }
             _ => unreachable!(),
@@ -145,12 +144,12 @@ fn aba_fails_sc_but_fools_cas() {
     let mut m = b.build();
     m.run(LIMIT).unwrap();
     assert_eq!(
-        *sc_result.borrow(),
+        *sc_result.lock().unwrap(),
         Some(false),
         "SC must detect the ABA writes"
     );
     assert_eq!(
-        *cas_result.borrow(),
+        *cas_result.lock().unwrap(),
         Some(true),
         "CAS cannot detect ABA — this is §2.2's pointer problem"
     );
@@ -161,7 +160,7 @@ fn aba_fails_sc_but_fools_cas() {
 /// LL — the §3.1 optimization that saves the MCS release an access.
 #[test]
 fn bare_sc_with_serial_numbers() {
-    let result: Rc<RefCell<Vec<bool>>> = Rc::new(RefCell::new(Vec::new()));
+    let result: Arc<Mutex<Vec<bool>>> = Arc::new(Mutex::new(Vec::new()));
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(2));
     b.register_sync(
         X,
@@ -171,7 +170,7 @@ fn bare_sc_with_serial_numbers() {
             ..Default::default()
         },
     );
-    let out = Rc::clone(&result);
+    let out = Arc::clone(&result);
     let mut stage = 0;
     b.add_program(move |ctx: &mut ProcCtx<'_>| {
         stage += 1;
@@ -186,7 +185,7 @@ fn bare_sc_with_serial_numbers() {
                 let OpResult::ScDone { success } = ctx.result() else {
                     panic!()
                 };
-                out.borrow_mut().push(success);
+                out.lock().unwrap().push(success);
                 // A bare SC with a stale serial: fails.
                 Action::Op(MemOp::StoreConditional {
                     addr: X,
@@ -198,7 +197,7 @@ fn bare_sc_with_serial_numbers() {
                 let OpResult::ScDone { success } = ctx.result() else {
                     panic!()
                 };
-                out.borrow_mut().push(success);
+                out.lock().unwrap().push(success);
                 Action::Done
             }
             _ => unreachable!(),
@@ -207,7 +206,7 @@ fn bare_sc_with_serial_numbers() {
     b.add_program(|_: &mut ProcCtx<'_>| Action::Done);
     let mut m = b.build();
     m.run(LIMIT).unwrap();
-    assert_eq!(*result.borrow(), vec![true, false]);
+    assert_eq!(*result.lock().unwrap(), vec![true, false]);
     assert_eq!(m.read_word(X), 11);
 }
 
@@ -216,7 +215,7 @@ fn bare_sc_with_serial_numbers() {
 /// then "fail locally without causing any network traffic".
 #[test]
 fn beyond_limit_ll_reports_failure_indicator() {
-    let flags: Rc<RefCell<Vec<bool>>> = Rc::new(RefCell::new(Vec::new()));
+    let flags: Arc<Mutex<Vec<bool>>> = Arc::new(Mutex::new(Vec::new()));
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(4));
     b.register_sync(
         X,
@@ -227,7 +226,7 @@ fn beyond_limit_ll_reports_failure_indicator() {
         },
     );
     for p in 0..4u32 {
-        let flags = Rc::clone(&flags);
+        let flags = Arc::clone(&flags);
         let mut stage = 0;
         b.add_program(move |ctx: &mut ProcCtx<'_>| {
             stage += 1;
@@ -243,7 +242,7 @@ fn beyond_limit_ll_reports_failure_indicator() {
                 }
                 2 => {
                     if let Some(OpResult::Loaded { reserved, .. }) = ctx.last {
-                        flags.borrow_mut().push(reserved);
+                        flags.lock().unwrap().push(reserved);
                     }
                     Action::Barrier(0)
                 }
@@ -256,7 +255,7 @@ fn beyond_limit_ll_reports_failure_indicator() {
                 }
                 4 => {
                     if let Some(OpResult::Loaded { reserved, .. }) = ctx.last {
-                        flags.borrow_mut().push(reserved);
+                        flags.lock().unwrap().push(reserved);
                     }
                     Action::Barrier(1)
                 }
@@ -269,7 +268,7 @@ fn beyond_limit_ll_reports_failure_indicator() {
                 }
                 6 => {
                     if let Some(OpResult::Loaded { reserved, .. }) = ctx.last {
-                        flags.borrow_mut().push(reserved);
+                        flags.lock().unwrap().push(reserved);
                     }
                     Action::Done
                 }
@@ -281,7 +280,7 @@ fn beyond_limit_ll_reports_failure_indicator() {
     m.run(LIMIT).unwrap();
     // p0 and p1 reserved; p2 was beyond the limit. (Each proc records
     // only its own LL's flag; barriers order them 0, 1, 2.)
-    assert_eq!(*flags.borrow(), vec![true, true, false]);
+    assert_eq!(*flags.lock().unwrap(), vec![true, true, false]);
 }
 
 /// A failed local SC (no reservation) must not generate any network

@@ -61,7 +61,7 @@ fn fingerprint(structure: LfStructure, trace: bool) -> (String, u64) {
         m.attach_tracer(&spec);
     }
     let report = m.run(Cycle::new(5_000_000_000)).expect("run completes");
-    let rendered = run.history.borrow().render();
+    let rendered = run.history.lock().unwrap().render();
     (rendered, report.cycles.as_u64())
 }
 

@@ -63,7 +63,7 @@ fn run_sample(
         .unwrap_or_else(|e| panic!("{label}: {e}"));
     check_invariants(&m, &cfg, &run).unwrap_or_else(|e| panic!("{label}: {e}"));
 
-    let hist = run.history.borrow();
+    let hist = run.history.lock().unwrap();
     assert!(
         hist.len() <= MAX_OPS,
         "{label}: workload sized over the checker cap ({} ops)",

@@ -17,9 +17,8 @@ use atomic_dsm::sync::{ShmAlloc, Step, SubMachine};
 use atomic_dsm::trace::linearize::MAX_OPS;
 use atomic_dsm::trace::{assert_linearizable, HistEvent, HistOp, HistRet, History, LifoStackSpec};
 use atomic_dsm::{SyncConfig, SyncPolicy};
-use std::cell::RefCell;
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 const LIMIT: Cycle = Cycle::new(5_000_000_000);
 
@@ -30,8 +29,8 @@ fn run_stress(prim: StackPrim, policy: SyncPolicy, nodes: u32, per_proc: u64) {
         .map(|_| (0..per_proc).map(|_| alloc.array(2)).collect())
         .collect();
 
-    let popped: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
-    let hist: Rc<RefCell<History>> = Rc::default();
+    let popped: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let hist: Arc<Mutex<History>> = Arc::default();
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(nodes));
     b.register_sync(
         top,
@@ -43,8 +42,8 @@ fn run_stress(prim: StackPrim, policy: SyncPolicy, nodes: u32, per_proc: u64) {
 
     for p in 0..nodes {
         let my_nodes = node_addrs[p as usize].clone();
-        let popped = Rc::clone(&popped);
-        let hist = Rc::clone(&hist);
+        let popped = Arc::clone(&popped);
+        let hist = Arc::clone(&hist);
         let mut round = 0usize;
         let mut pushing = true;
         let mut invoked = 0u64;
@@ -56,7 +55,7 @@ fn run_stress(prim: StackPrim, policy: SyncPolicy, nodes: u32, per_proc: u64) {
                     Step::Op(op) => return Action::Op(op),
                     Step::Compute(c) => return Action::Compute(c),
                     Step::Done => {
-                        hist.borrow_mut().push(HistEvent {
+                        hist.lock().unwrap().push(HistEvent {
                             proc: p,
                             invoked,
                             responded: ctx.now.as_u64(),
@@ -74,12 +73,12 @@ fn run_stress(prim: StackPrim, policy: SyncPolicy, nodes: u32, per_proc: u64) {
                     Step::Done => {
                         let ret = match m.popped() {
                             Some(n) => {
-                                popped.borrow_mut().push(n);
+                                popped.lock().unwrap().push(n);
                                 HistRet::Value(n)
                             }
                             None => HistRet::Empty,
                         };
-                        hist.borrow_mut().push(HistEvent {
+                        hist.lock().unwrap().push(HistEvent {
                             proc: p,
                             invoked,
                             responded: ctx.now.as_u64(),
@@ -128,7 +127,7 @@ fn run_stress(prim: StackPrim, policy: SyncPolicy, nodes: u32, per_proc: u64) {
     // the stack.
     let all_nodes: HashSet<u64> = node_addrs.iter().flatten().map(|a| a.as_u64()).collect();
     let mut seen = HashSet::new();
-    for &n in popped.borrow().iter().chain(remaining.iter()) {
+    for &n in popped.lock().unwrap().iter().chain(remaining.iter()) {
         assert!(
             all_nodes.contains(&n),
             "{prim:?}/{policy}: unknown node {n:#x}"
@@ -146,7 +145,7 @@ fn run_stress(prim: StackPrim, policy: SyncPolicy, nodes: u32, per_proc: u64) {
     // Replay the cycle-stamped history through the linearizability
     // oracle whenever it fits the checker's cap (the 16×16 stress run
     // records 512 ops and exercises conservation only).
-    let hist = hist.borrow();
+    let hist = hist.lock().unwrap();
     assert_eq!(hist.len(), (nodes as usize) * (per_proc as usize) * 2);
     if hist.len() <= MAX_OPS {
         let name = format!("stack-{prim:?}-{policy}-n{nodes}");

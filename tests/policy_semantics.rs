@@ -4,8 +4,7 @@
 use atomic_dsm::machine::{Action, MachineBuilder, ProcCtx};
 use atomic_dsm::protocol::{MemOp, PhiOp, SyncConfig, SyncPolicy};
 use atomic_dsm::sim::{Addr, Cycle, MachineConfig};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 const X: Addr = Addr::new(0x40);
 const LIMIT: Cycle = Cycle::new(10_000_000);
@@ -17,8 +16,8 @@ const LIMIT: Cycle = Cycle::new(10_000_000);
 #[test]
 fn upd_keeps_read_copies_fresh_and_local() {
     for (policy, expect_hit) in [(SyncPolicy::Upd, true), (SyncPolicy::Inv, false)] {
-        let second_read_chain: Rc<RefCell<Option<u32>>> = Rc::new(RefCell::new(None));
-        let value_seen: Rc<RefCell<Option<u64>>> = Rc::new(RefCell::new(None));
+        let second_read_chain: Arc<Mutex<Option<u32>>> = Arc::new(Mutex::new(None));
+        let value_seen: Arc<Mutex<Option<u64>>> = Arc::new(Mutex::new(None));
         let mut b = MachineBuilder::new(MachineConfig::with_nodes(2));
         b.register_sync(
             X,
@@ -28,8 +27,8 @@ fn upd_keeps_read_copies_fresh_and_local() {
             },
         );
 
-        let chain_out = Rc::clone(&second_read_chain);
-        let value_out = Rc::clone(&value_seen);
+        let chain_out = Arc::clone(&second_read_chain);
+        let value_out = Arc::clone(&value_seen);
         let mut stage = 0;
         b.add_program(move |ctx: &mut ProcCtx<'_>| {
             stage += 1;
@@ -39,8 +38,8 @@ fn upd_keeps_read_copies_fresh_and_local() {
                 3 => Action::Barrier(1),
                 4 => Action::Op(MemOp::Load { addr: X }),
                 5 => {
-                    *chain_out.borrow_mut() = ctx.last_chain;
-                    *value_out.borrow_mut() = ctx.last.and_then(|r| r.value());
+                    *chain_out.lock().unwrap() = ctx.last_chain;
+                    *value_out.lock().unwrap() = ctx.last.and_then(|r| r.value());
                     Action::Done
                 }
                 _ => unreachable!(),
@@ -60,11 +59,11 @@ fn upd_keeps_read_copies_fresh_and_local() {
         let mut m = b.build();
         m.run(LIMIT).unwrap();
         assert_eq!(
-            *value_seen.borrow(),
+            *value_seen.lock().unwrap(),
             Some(7),
             "{policy}: reader must see the new value"
         );
-        let chain = second_read_chain.borrow().expect("read completed");
+        let chain = second_read_chain.lock().unwrap().expect("read completed");
         if expect_hit {
             assert_eq!(
                 chain, 0,
@@ -83,7 +82,7 @@ fn upd_keeps_read_copies_fresh_and_local() {
 /// messages (the read analogue of Table 1's remote-exclusive store).
 #[test]
 fn read_of_remote_dirty_line_takes_four_messages() {
-    let chain: Rc<RefCell<Option<u32>>> = Rc::new(RefCell::new(None));
+    let chain: Arc<Mutex<Option<u32>>> = Arc::new(Mutex::new(None));
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(4));
     b.register_sync(
         X,
@@ -105,7 +104,7 @@ fn read_of_remote_dirty_line_takes_four_messages() {
         }
     });
     // P1 reads it.
-    let chain_out = Rc::clone(&chain);
+    let chain_out = Arc::clone(&chain);
     let mut stage = 0;
     b.add_program(move |ctx: &mut ProcCtx<'_>| {
         stage += 1;
@@ -114,7 +113,7 @@ fn read_of_remote_dirty_line_takes_four_messages() {
             2 => Action::Op(MemOp::Load { addr: X }),
             3 => {
                 assert_eq!(ctx.last.and_then(|r| r.value()), Some(3));
-                *chain_out.borrow_mut() = ctx.last_chain;
+                *chain_out.lock().unwrap() = ctx.last_chain;
                 Action::Done
             }
             _ => unreachable!(),
@@ -134,7 +133,7 @@ fn read_of_remote_dirty_line_takes_four_messages() {
     let mut m = b.build();
     m.run(LIMIT).unwrap();
     assert_eq!(
-        chain.borrow().expect("read completed"),
+        chain.lock().unwrap().expect("read completed"),
         4,
         "requester -> home -> owner -> home -> requester"
     );
@@ -180,7 +179,7 @@ fn unc_never_hits() {
 /// the home.
 #[test]
 fn ownership_ping_pong_is_symmetric() {
-    let chains: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+    let chains: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(2));
     b.register_sync(
         X,
@@ -190,7 +189,7 @@ fn ownership_ping_pong_is_symmetric() {
         },
     );
     for p in 0..2u32 {
-        let chains = Rc::clone(&chains);
+        let chains = Arc::clone(&chains);
         let mut round = 0u32;
         // Phases per round: 0 = maybe-write, 1 = barrier, then repeat.
         let mut phase = 0u8;
@@ -211,7 +210,7 @@ fn ownership_ping_pong_is_symmetric() {
                 }
                 1 => {
                     if let Some(c) = ctx.last_chain.take() {
-                        chains.borrow_mut().push(c);
+                        chains.lock().unwrap().push(c);
                     }
                     phase = 2;
                     return Action::Barrier(round % 2);
@@ -226,7 +225,7 @@ fn ownership_ping_pong_is_symmetric() {
     let mut m = b.build();
     m.run(LIMIT).unwrap();
     assert_eq!(m.read_word(X), 6);
-    let chains = chains.borrow();
+    let chains = chains.lock().unwrap();
     // The very first write finds the line uncached (chain 2); every
     // subsequent write must reclaim it from the other owner (chain 4).
     assert_eq!(chains.len(), 6);
@@ -243,7 +242,7 @@ fn ownership_ping_pong_is_symmetric() {
 /// observe each other's writes out of order.
 #[test]
 fn upd_writer_waits_for_update_acks() {
-    let chains: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+    let chains: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(3));
     b.register_sync(
         X,
@@ -263,7 +262,7 @@ fn upd_writer_waits_for_update_acks() {
             _ => unreachable!(),
         }
     });
-    let chains_out = Rc::clone(&chains);
+    let chains_out = Arc::clone(&chains);
     let mut stage = 0;
     b.add_program(move |ctx: &mut ProcCtx<'_>| {
         stage += 1;
@@ -271,7 +270,7 @@ fn upd_writer_waits_for_update_acks() {
             1 => Action::Barrier(0),
             2 => Action::Op(MemOp::Store { addr: X, value: 1 }),
             3 => {
-                chains_out.borrow_mut().push(ctx.last_chain.unwrap());
+                chains_out.lock().unwrap().push(ctx.last_chain.unwrap());
                 Action::Done
             }
             _ => unreachable!(),
@@ -290,6 +289,6 @@ fn upd_writer_waits_for_update_acks() {
     m.run(LIMIT).unwrap();
     // Table 1: UPD store to cached data = 3 serialized messages
     // (request -> update -> ack); the writer waited for the ack.
-    assert_eq!(*chains.borrow(), vec![3]);
+    assert_eq!(*chains.lock().unwrap(), vec![3]);
     m.validate_coherence().unwrap();
 }

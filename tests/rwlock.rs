@@ -8,8 +8,7 @@ use atomic_dsm::sim::{Cycle, MachineConfig};
 use atomic_dsm::sync::rwlock::{ReadAcquire, ReadRelease, WriteAcquire, WriteRelease};
 use atomic_dsm::sync::{Primitive, ShmAlloc, Step, SubMachine};
 use atomic_dsm::{SyncConfig, SyncPolicy};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 const LIMIT: Cycle = Cycle::new(5_000_000_000);
 
@@ -24,8 +23,8 @@ fn run(prim: Primitive, policy: SyncPolicy, writers: u32, readers: u32, iters: u
     let d1 = alloc.word();
     let d2 = alloc.word();
 
-    let torn: Rc<RefCell<Vec<(u64, u64)>>> = Rc::new(RefCell::new(Vec::new()));
-    let reads_done = Rc::new(RefCell::new(0u64));
+    let torn: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let reads_done = Arc::new(Mutex::new(0u64));
     let mut b = MachineBuilder::new(MachineConfig::with_nodes(nodes));
     b.register_sync(
         lock,
@@ -45,8 +44,8 @@ fn run(prim: Primitive, policy: SyncPolicy, writers: u32, readers: u32, iters: u
 
     for p in 0..nodes {
         let is_writer = p < writers;
-        let torn = Rc::clone(&torn);
-        let reads_done = Rc::clone(&reads_done);
+        let torn = Arc::clone(&torn);
+        let reads_done = Arc::clone(&reads_done);
         let mut left = iters;
         let mut frag = Frag::None;
         let mut stage = 0u8;
@@ -103,9 +102,9 @@ fn run(prim: Primitive, policy: SyncPolicy, writers: u32, readers: u32, iters: u
                     4 => {
                         let v2 = ctx.last.take().expect("d2 read").value().expect("value");
                         if v1 != v2 {
-                            torn.borrow_mut().push((v1, v2));
+                            torn.lock().unwrap().push((v1, v2));
                         }
-                        *reads_done.borrow_mut() += 1;
+                        *reads_done.lock().unwrap() += 1;
                         frag = Frag::RR(ReadRelease::new(lock, prim));
                     }
                     5 => {
@@ -122,11 +121,11 @@ fn run(prim: Primitive, policy: SyncPolicy, writers: u32, readers: u32, iters: u
     m.run(LIMIT).expect("rwlock run completes");
     m.validate_coherence().unwrap();
     assert!(
-        torn.borrow().is_empty(),
+        torn.lock().unwrap().is_empty(),
         "{prim}/{policy}: torn reads observed: {:?}",
-        torn.borrow()
+        torn.lock().unwrap()
     );
-    assert_eq!(*reads_done.borrow(), readers as u64 * iters);
+    assert_eq!(*reads_done.lock().unwrap(), readers as u64 * iters);
     assert_eq!(m.read_word(lock), 0, "lock fully released");
 }
 
