@@ -45,6 +45,8 @@
 //! assert_eq!(parts.values().sum::<u64>(), span.latency());
 //! ```
 
+#![deny(missing_docs)]
+
 use dsm_stats::LatencyHist;
 use dsm_trace::{RecordKind, RingFile};
 use std::collections::BTreeMap;

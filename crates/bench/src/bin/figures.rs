@@ -8,11 +8,18 @@
 //! ```
 //!
 //! Artifacts: `table1`, `fig2`–`fig6`, `scaling`, `scaling-xl`,
-//! `lockfree`, `latency`, `metrics`, `all` (`all` regenerates the
-//! committed paper artifacts and deliberately excludes `scaling-xl`,
-//! `lockfree`, `latency` and `metrics` — request those tables by
-//! name). `scaling-xl` extends the scaling sweep to the beyond-paper
-//! 256- and 1024-node machines that the PDES engine makes tractable.
+//! `lockfree`, `latency`, `metrics`, `modern`, `all` (`all`
+//! regenerates the committed paper artifacts and deliberately excludes
+//! `scaling-xl`, `lockfree`, `latency`, `metrics` and `modern` —
+//! request those tables by name). `scaling-xl` extends the scaling
+//! sweep to the beyond-paper 256- and 1024-node machines that the PDES
+//! engine makes tractable. `modern` is the modern-architecture
+//! ablation — "Table 1 on a 2020s machine" (see RESULTS.md): chain
+//! tables, counter sweeps and a false-sharing table across the
+//! MESI(F)/NUMA/hierarchical/wide-line variant matrix plus home-node
+//! atomics. `--proto=SPEC` instead applies one variant spec (the
+//! `DSM_PROTO` grammar, e.g. `--proto=hier,clusters=4,penalty=32`) to
+//! every machine of the *requested* baseline artifacts.
 //! `--paper` runs at the paper's 64-processor scale (slower); the
 //! default is a 16-processor scale with the same shape. `--csv DIR`
 //! additionally writes one CSV file per artifact into DIR; `--bars`
@@ -47,7 +54,8 @@
 //! writes `analyze_latency.csv` / `analyze_decomposition.csv`.
 
 use atomic_dsm::experiments::{
-    apps, counters, latency, lockfree, metrics, paper_bars, runner, scaling, table1, CounterKind,
+    apps, counters, latency, lockfree, metrics, modern, paper_bars, runner, scaling, table1,
+    CounterKind,
 };
 use dsm_bench::scale;
 use std::path::PathBuf;
@@ -190,6 +198,12 @@ fn main() {
                 std::process::exit(2);
             }
             std::env::set_var("DSM_TRACE", spec);
+        } else if let Some(spec) = a.strip_prefix("--proto=") {
+            if let Err(e) = atomic_dsm::sim::ProtoSpec::from_spec(spec) {
+                eprintln!("--proto: {e}");
+                std::process::exit(2);
+            }
+            std::env::set_var("DSM_PROTO", spec);
         }
     }
     let csv_dir: Option<PathBuf> = args
@@ -238,7 +252,7 @@ fn main() {
         })
         .map(String::as_str)
         .collect();
-    // `scaling-xl`, `lockfree`, `latency` and `metrics` are
+    // `scaling-xl`, `lockfree`, `latency`, `metrics` and `modern` are
     // deliberately NOT part of `all`: the committed paper artifacts
     // (results_paper.txt, results_csv/) must stay byte-identical.
     // Request those tables by name.
@@ -459,9 +473,18 @@ fn main() {
                     println!("{}", metrics::render(&runs));
                     write_csv(&csv_dir, "metrics", &metrics::csv_rows(&runs));
                 }
+                "modern" => {
+                    println!(
+                        "## Modern-architecture ablation — \"Table 1 on a 2020s machine\" (p={})\n",
+                        s.procs
+                    );
+                    let report = modern::run(&s);
+                    println!("{}", modern::render(&report));
+                    write_csv(&csv_dir, "modern", &modern::csv_rows(&report));
+                }
                 other => {
                     eprintln!(
-                    "unknown artifact `{other}` (try: table1 fig2 fig3 fig4 fig5 fig6 scaling scaling-xl lockfree latency metrics all)"
+                    "unknown artifact `{other}` (try: table1 fig2 fig3 fig4 fig5 fig6 scaling scaling-xl lockfree latency metrics modern all)"
                 );
                     std::process::exit(2);
                 }

@@ -44,7 +44,7 @@ use crate::experiments::runner::{
 use crate::experiments::{BarSpec, CounterKind, Scale};
 use dsm_protocol::{CasVariant, LlscScheme, SyncPolicy};
 use dsm_sim::snapshot::{self, ByteReader, ByteWriter, PayloadKind, SnapshotError};
-use dsm_sim::{FaultConfig, MachineConfig, StableHasher};
+use dsm_sim::{FaultConfig, MachineConfig, ProtoVariant, StableHasher};
 use dsm_stats::{Histogram, LatencyHist};
 use dsm_sync::{LinkPrim, Primitive};
 use dsm_workloads::LfStructure;
@@ -238,6 +238,7 @@ fn put_bar(w: &mut ByteWriter, b: &BarSpec) {
         }
         LlscScheme::SerialNumber => w.put_u8(3),
     }
+    w.put_bool(b.home_atomics);
 }
 
 fn take_bar(r: &mut ByteReader<'_>) -> Result<BarSpec, SnapshotError> {
@@ -270,6 +271,7 @@ fn take_bar(r: &mut ByteReader<'_>) -> Result<BarSpec, SnapshotError> {
         load_exclusive,
         drop_copy,
         llsc,
+        home_atomics: r.take_bool()?,
     })
 }
 
@@ -288,9 +290,16 @@ fn put_mcfg(w: &mut ByteWriter, m: &MachineConfig) {
         p.flit_cycle,
         p.header_flits,
         p.issue,
+        p.cluster_penalty,
     ] {
         w.put_u64(v);
     }
+    w.put_u8(match m.proto {
+        ProtoVariant::Dash => 0,
+        ProtoVariant::MesiF => 1,
+        ProtoVariant::Hier => 2,
+    });
+    w.put_u32(m.clusters);
     w.put_u64(m.cache.sets as u64);
     w.put_u64(m.cache.ways as u64);
     w.put_u64(m.seed);
@@ -316,6 +325,14 @@ fn take_mcfg(r: &mut ByteReader<'_>) -> Result<MachineConfig, SnapshotError> {
     m.params.flit_cycle = r.take_u64()?;
     m.params.header_flits = r.take_u64()?;
     m.params.issue = r.take_u64()?;
+    m.params.cluster_penalty = r.take_u64()?;
+    m.proto = match r.take_u8()? {
+        0 => ProtoVariant::Dash,
+        1 => ProtoVariant::MesiF,
+        2 => ProtoVariant::Hier,
+        t => return Err(bad_tag("proto variant", t)),
+    };
+    m.clusters = r.take_u32()?;
     m.cache.sets = r.take_u64()? as usize;
     m.cache.ways = r.take_u64()? as usize;
     m.seed = r.take_u64()?;

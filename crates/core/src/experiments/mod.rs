@@ -10,6 +10,7 @@
 //! | Figure 6 (application elapsed time) | [`apps::fig6`] |
 //! | Scaling sweep (beyond the paper) | [`scaling::run_scaling`] |
 //! | Lock-free structure tables (beyond the paper) | [`lockfree::run_tables`] |
+//! | Modern-architecture ablation (beyond the paper) | [`modern::run`] |
 //!
 //! Absolute cycle counts depend on latency constants the paper does not
 //! publish; the quantities to compare are *shapes*: which bar wins,
@@ -22,6 +23,7 @@ pub mod diskcache;
 pub mod latency;
 pub mod lockfree;
 pub mod metrics;
+pub mod modern;
 pub mod repro;
 pub mod runner;
 pub mod scaling;
@@ -86,6 +88,10 @@ pub struct BarSpec {
     pub drop_copy: bool,
     /// Memory-side LL/SC reservation scheme (UNC/UPD policies).
     pub llsc: LlscScheme,
+    /// Execute FAΦ/CAS in memory at the home node while keeping the
+    /// line cacheable for ordinary loads (INV policy only) — the modern
+    /// "remote atomics" implementation point, beyond the paper.
+    pub home_atomics: bool,
 }
 
 impl BarSpec {
@@ -98,6 +104,7 @@ impl BarSpec {
             load_exclusive: false,
             drop_copy: false,
             llsc: LlscScheme::BitVector,
+            home_atomics: false,
         }
     }
 
@@ -121,15 +128,23 @@ impl BarSpec {
             LlscScheme::Limited(k) => s.push_str(&format!(" @lim{k}")),
             LlscScheme::SerialNumber => s.push_str(" @serial"),
         }
+        if self.home_atomics {
+            s.push_str(" @home");
+        }
         s
     }
 
     /// The per-line synchronization configuration this bar implies.
     pub fn sync_config(&self) -> SyncConfig {
+        debug_assert!(
+            !self.home_atomics || self.prim.supports_home_atomics(),
+            "home atomics require a single-round-trip primitive"
+        );
         SyncConfig {
             policy: self.policy,
             cas_variant: self.cas_variant,
             llsc: self.llsc,
+            home_atomics: self.home_atomics,
         }
     }
 

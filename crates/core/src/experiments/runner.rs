@@ -49,7 +49,7 @@ use crate::experiments::{
 };
 use dsm_machine::{Machine, RunError, RunReport};
 use dsm_protocol::{CasVariant, LlscScheme, SyncPolicy};
-use dsm_sim::{Cycle, MachineConfig, StableHasher};
+use dsm_sim::{Cycle, MachineConfig, ProtoVariant, StableHasher};
 use dsm_sync::{LinkPrim, Primitive};
 use dsm_workloads::LfStructure;
 use std::cell::Cell;
@@ -289,6 +289,25 @@ fn put_machine(h: &mut StableHasher, m: &MachineConfig) {
     }
     h.write_usize(m.cache.sets);
     h.write_usize(m.cache.ways);
+    // Protocol-variant fields are hashed only when non-default, so
+    // every pre-existing job fingerprint (and therefore every committed
+    // golden artifact) is byte-for-byte unchanged.
+    if m.proto != ProtoVariant::Dash {
+        h.write_u8(0xA0);
+        h.write_u8(match m.proto {
+            ProtoVariant::Dash => 0,
+            ProtoVariant::MesiF => 1,
+            ProtoVariant::Hier => 2,
+        });
+    }
+    if m.clusters != 1 {
+        h.write_u8(0xA1);
+        h.write_u32(m.clusters);
+    }
+    if m.params.cluster_penalty != 0 {
+        h.write_u8(0xA2);
+        h.write_u64(m.params.cluster_penalty);
+    }
 }
 
 fn put_bar(h: &mut StableHasher, b: &BarSpec) {
@@ -317,6 +336,11 @@ fn put_bar(h: &mut StableHasher, b: &BarSpec) {
             h.write_u8(k);
         }
         LlscScheme::SerialNumber => h.write_u8(3),
+    }
+    // Non-default-only, like the machine's protocol-variant fields:
+    // bars without home atomics keep their historical fingerprints.
+    if b.home_atomics {
+        h.write_u8(0xB7);
     }
 }
 

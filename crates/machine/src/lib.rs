@@ -35,7 +35,7 @@
 //! assert_eq!(m.read_word(counter), 40);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod machine;
 mod pdes;

@@ -31,7 +31,7 @@ use dsm_protocol::{
 };
 use dsm_sim::{
     Addr, Cycle, EventQueue, FaultConfig, FaultEvent, FaultFilter, FaultInjector, FaultRecord,
-    LineAddr, MachineConfig, NodeId, ProcId, SimRng, StableHasher,
+    LineAddr, MachineConfig, NodeId, ProcId, ProtoSpec, ProtoVariant, SimRng, StableHasher,
 };
 use dsm_trace::{Category, StateLabel, TraceSpec, Tracer};
 use std::fmt;
@@ -1251,6 +1251,9 @@ pub struct MachineBuilder {
     llsc_pool: usize,
     trace: Option<TraceSpec>,
     workers: Option<usize>,
+    /// `DSM_PROTO` carried an `hna` clause: flip every registered
+    /// INV-policy sync line to home-node atomics at build time.
+    hna: bool,
 }
 
 thread_local! {
@@ -1279,7 +1282,33 @@ pub fn with_fault_config<R>(faults: FaultConfig, f: impl FnOnce() -> R) -> R {
 
 impl MachineBuilder {
     /// Starts building a machine with the given configuration.
-    pub fn new(cfg: MachineConfig) -> Self {
+    ///
+    /// When the configuration carries the default protocol settings
+    /// (DASH variant, one cluster, no cluster penalty), the `DSM_PROTO`
+    /// environment variable — a [`ProtoSpec::from_spec`] string such as
+    /// `mesif` or `hier,clusters=4,penalty=20` — is applied as an
+    /// override, mirroring how `DSM_FAULTS` works. Its `hna` clause is
+    /// remembered and flips every INV-policy sync line registered with
+    /// [`register_sync`](Self::register_sync) to home-node atomics when
+    /// [`build`](Self::build) runs. Explicit non-default configuration
+    /// always wins over the environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `DSM_PROTO` holds a
+    /// malformed spec.
+    pub fn new(mut cfg: MachineConfig) -> Self {
+        let mut hna = false;
+        let proto_is_default =
+            cfg.proto == ProtoVariant::Dash && cfg.clusters == 1 && cfg.params.cluster_penalty == 0;
+        if proto_is_default {
+            if let Ok(spec) = std::env::var("DSM_PROTO") {
+                let spec = ProtoSpec::from_spec(&spec)
+                    .unwrap_or_else(|e| panic!("invalid DSM_PROTO spec: {e}"));
+                spec.apply(&mut cfg);
+                hna = spec.home_atomics;
+            }
+        }
         cfg.validate().expect("invalid machine configuration");
         let line_size = cfg.params.line_size;
         MachineBuilder {
@@ -1290,6 +1319,7 @@ impl MachineBuilder {
             llsc_pool: 256,
             trace: None,
             workers: None,
+            hna,
         }
     }
 
@@ -1427,10 +1457,20 @@ impl MachineBuilder {
         // Each home serves roughly the lines that fit in one node's
         // cache; each node can have a handful of events in flight
         // (messages, processor steps, memory completions).
+        if self.hna {
+            self.map.enable_home_atomics();
+        }
         let resv_lines = self.cfg.cache.lines();
+        let (mesh_width, _) = self.cfg.mesh_dims();
         for n in 0..self.cfg.nodes {
             let mut home = HomeNode::new(NodeId::new(n), self.cfg.params.line_size, self.llsc_pool);
             home.reserve_lines(resv_lines);
+            home.set_topology(
+                self.cfg.proto,
+                mesh_width,
+                self.cfg.nodes,
+                self.cfg.clusters,
+            );
             homes.push(home);
             let mut cc = CacheNode::new(NodeId::new(n), self.cfg.params.line_size, self.cfg.cache);
             cc.set_nodes(self.cfg.nodes);

@@ -216,9 +216,17 @@ impl NetPorts {
         *entry = depart + occupancy;
 
         // Wire: pipelined wormhole — head flit takes hop_delay per hop,
-        // the tail follows `flits` flit-times behind.
+        // the tail follows `flits` flit-times behind. Crossing a NUMA
+        // cluster boundary adds the configured penalty (0 on the
+        // paper's flat machine). The penalty only *increases* latency,
+        // so the PDES lookahead bound remains conservative.
         let hops = mesh.hops(src, dst) as u64;
-        let wire_arrival = depart + hops * params.hop_delay + occupancy;
+        let numa = if mesh.same_cluster(src, dst) {
+            0
+        } else {
+            params.cluster_penalty
+        };
+        let wire_arrival = depart + hops * params.hop_delay + occupancy + numa;
         self.stats.total_latency += (wire_arrival - now).as_u64();
         (wire_arrival, seq)
     }
@@ -338,7 +346,12 @@ pub fn base_latency(
         return Cycle::new(params.flit_cycle);
     }
     let hops = mesh.hops(src, dst) as u64;
-    Cycle::new(hops * params.hop_delay + flits * params.flit_cycle)
+    let numa = if mesh.same_cluster(src, dst) {
+        0
+    } else {
+        params.cluster_penalty
+    };
+    Cycle::new(hops * params.hop_delay + flits * params.flit_cycle + numa)
 }
 
 /// The entry/exit-contention network model used for all paper results.
@@ -630,6 +643,34 @@ mod tests {
         let (_, s1) = ports.launch(&p, &mesh, Cycle::ZERO, NodeId::new(0), NodeId::new(2), 2, 0);
         let (_, s2) = ports.launch(&p, &mesh, Cycle::ZERO, NodeId::new(3), NodeId::new(0), 2, 0);
         assert_eq!((s0, s1, s2), (0, 1, 0));
+    }
+
+    #[test]
+    fn cluster_penalty_charges_only_boundary_crossings() {
+        let mut cfg = MachineConfig::with_nodes(16);
+        cfg.clusters = 4;
+        cfg.params.cluster_penalty = 25;
+        let mut n = LatencyNetwork::new(Mesh::new(&cfg), cfg.params.clone());
+        // Nodes 0..4 form cluster 0; node 4 starts cluster 1.
+        let intra = n.send(Cycle::ZERO, NodeId::new(0), NodeId::new(1), 2);
+        let inter = n.send(Cycle::new(1000), NodeId::new(0), NodeId::new(4), 2);
+        // Same hop count (0->1 is 1 hop; 0->4 is 1 hop on a 4x4 mesh),
+        // so the whole difference is the penalty.
+        assert_eq!(inter - Cycle::new(1000), intra + 25);
+        assert_eq!(
+            n.base_latency(NodeId::new(0), NodeId::new(4), 2).as_u64(),
+            intra.as_u64() + 25
+        );
+        // Lookahead stays a valid lower bound: the penalty only adds.
+        let q = min_remote_lookahead(&cfg.params);
+        assert!(intra.as_u64() >= q);
+        // A flat machine with a configured penalty charges nothing.
+        let flat = MachineConfig::with_nodes(16);
+        let mut m = LatencyNetwork::new(Mesh::new(&flat), cfg.params.clone());
+        assert_eq!(
+            m.send(Cycle::ZERO, NodeId::new(0), NodeId::new(4), 2),
+            intra
+        );
     }
 
     #[test]

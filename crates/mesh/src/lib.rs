@@ -36,7 +36,7 @@
 //! assert!(arrival > Cycle::ZERO);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod latency;
 pub mod topology;

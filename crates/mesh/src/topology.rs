@@ -26,6 +26,9 @@ use dsm_sim::{MachineConfig, NodeId};
 pub struct Mesh {
     width: u32,
     height: u32,
+    /// NUMA cluster count (contiguous node-id blocks of equal size);
+    /// 1 on the paper's flat machine.
+    clusters: u32,
 }
 
 /// One of the four mesh directions (plus local delivery), used by the
@@ -56,17 +59,39 @@ impl Mesh {
         Mesh {
             width: w,
             height: h,
+            clusters: cfg.clusters.max(1),
         }
     }
 
-    /// Builds a mesh directly from its dimensions.
+    /// Builds a mesh directly from its dimensions (one flat cluster).
     ///
     /// # Panics
     ///
     /// Panics if either dimension is zero.
     pub fn with_dims(width: u32, height: u32) -> Self {
         assert!(width > 0 && height > 0, "mesh dimensions must be positive");
-        Mesh { width, height }
+        Mesh {
+            width,
+            height,
+            clusters: 1,
+        }
+    }
+
+    /// NUMA cluster count (1 on a flat machine).
+    pub fn clusters(&self) -> u32 {
+        self.clusters
+    }
+
+    /// The NUMA cluster `node` belongs to (contiguous id blocks, same
+    /// partition as [`dsm_sim::MachineConfig::cluster_of`]).
+    pub fn cluster_of(&self, node: NodeId) -> u32 {
+        node.as_u32() / (self.nodes() / self.clusters).max(1)
+    }
+
+    /// `true` when a message between the two nodes stays inside one
+    /// NUMA cluster (always true on a flat machine).
+    pub fn same_cluster(&self, a: NodeId, b: NodeId) -> bool {
+        self.cluster_of(a) == self.cluster_of(b)
     }
 
     /// Mesh width (number of columns).

@@ -66,6 +66,21 @@ impl AddressMap {
         self.sync.insert(line, config);
     }
 
+    /// Turns on home-node atomics for every registered INV-policy line
+    /// (the `DSM_PROTO=hna` machine-wide override). UNC/UPD lines
+    /// already execute atomics at memory and are left untouched.
+    /// Returns the number of lines flipped.
+    pub fn enable_home_atomics(&mut self) -> usize {
+        let mut flipped = 0;
+        for cfg in self.sync.values_mut() {
+            if cfg.policy == crate::types::SyncPolicy::Inv && !cfg.home_atomics {
+                cfg.home_atomics = true;
+                flipped += 1;
+            }
+        }
+        flipped
+    }
+
     /// `true` if `line` is outside the range any sync line occupies.
     #[inline]
     fn out_of_range(&self, line: LineAddr) -> bool {

@@ -362,7 +362,7 @@ impl CacheNode {
         Ok(match cfg.policy {
             SyncPolicy::Unc => self.start_unc(op, out),
             SyncPolicy::Upd => self.start_upd(op, out),
-            SyncPolicy::Inv => self.start_inv(op, cfg.cas_variant, out)?,
+            SyncPolicy::Inv => self.start_inv(op, cfg, out)?,
         })
     }
 
@@ -476,11 +476,37 @@ impl CacheNode {
     fn start_inv(
         &mut self,
         op: MemOp,
-        cas: CasVariant,
+        cfg: SyncConfig,
         out: &mut Outbox,
     ) -> Result<Option<OpOutcome>, ProtocolError> {
+        let cas = cfg.cas_variant;
         let addr = op.addr();
         let line = addr.line(self.line_size);
+        // Home-node atomics: Φ/CAS execute at the home memory without
+        // migrating the line. Any local copy is given up first: an
+        // exclusive copy carries the current data home via write-back
+        // (same-channel FIFO keeps it ahead of the request); a shared
+        // copy is dropped silently — the home prunes our sharer bit
+        // while serving the operation. Loads, stores and LL/SC below
+        // keep their normal INV handling.
+        if cfg.home_atomics && matches!(op, MemOp::FetchPhi { .. } | MemOp::Cas { .. }) {
+            let mem_op = match op {
+                MemOp::FetchPhi { op: phi, .. } => MemAtomicOp::Phi { op: phi },
+                MemOp::Cas { expected, new, .. } => MemAtomicOp::Cas { expected, new },
+                _ => unreachable!("gated on FetchPhi | Cas"),
+            };
+            self.resv.invalidate_line(line);
+            if let Some(l) = self.cache.remove(line) {
+                if l.state == CacheState::Exclusive {
+                    let msg = self.request(addr, MsgKind::WriteBack { data: l.data });
+                    out.send(msg);
+                }
+            }
+            let msg = self.request(addr, MsgKind::AtomicMem { op: mem_op });
+            out.send(msg);
+            self.alloc_mshr(op);
+            return Ok(None);
+        }
         // Loads hit in any state, so one LRU-updating probe suffices —
         // this is the simulator's single most common path. Write-type
         // ops below still pre-check the state: a shared-state hit takes
@@ -657,6 +683,10 @@ impl CacheNode {
                 self.handle_sharer_msg(msg, out)?;
                 Ok(None)
             }
+            MsgKind::FwdShare { .. } => {
+                self.handle_fwd_share(msg, out)?;
+                Ok(None)
+            }
             MsgKind::FwdGetS | MsgKind::FwdGetX | MsgKind::FwdCas { .. } => {
                 // Defer the intervention if we are mid-transaction on
                 // this line with the exclusive grant already received but
@@ -706,6 +736,70 @@ impl CacheNode {
             kind: ack_kind,
         });
         Ok(())
+    }
+
+    /// A MESI(F)/hierarchical forward: supply our clean shared copy
+    /// directly to the requester (confirming to the home off the
+    /// critical path), or NAK if the line was silently evicted.
+    fn handle_fwd_share(&mut self, msg: Msg, out: &mut Outbox) -> Result<(), ProtocolError> {
+        let MsgKind::FwdShare { requester } = msg.kind else {
+            return Err(self.err(
+                ProtocolErrorKind::UnexpectedMessage,
+                msg.line,
+                format!("handle_fwd_share got {:?}", msg.kind),
+            ));
+        };
+        match self.cache.state(msg.line) {
+            None => {
+                // Shared copies evict silently, so the directory can
+                // hold a stale sharer: decline and let memory serve.
+                out.send(Msg {
+                    src: self.node,
+                    dst: msg.src,
+                    line: msg.line,
+                    addr: msg.addr,
+                    proc: msg.proc,
+                    chain: msg.chain + 1,
+                    kind: MsgKind::FwdNak,
+                });
+                Ok(())
+            }
+            Some(CacheState::Shared) => {
+                let data = self
+                    .cache
+                    .peek(msg.line)
+                    .expect("state() checked residency")
+                    .data
+                    .clone();
+                // Data leg goes straight to the requester — this is the
+                // third (and last) message on its critical path.
+                out.send(Msg {
+                    src: self.node,
+                    dst: requester,
+                    line: msg.line,
+                    addr: msg.addr,
+                    proc: msg.proc,
+                    chain: msg.chain + 1,
+                    kind: MsgKind::DataS { data },
+                });
+                // Confirmation back to the home releases the line.
+                out.send(Msg {
+                    src: self.node,
+                    dst: msg.src,
+                    line: msg.line,
+                    addr: msg.addr,
+                    proc: msg.proc,
+                    chain: msg.chain + 1,
+                    kind: MsgKind::FwdShareAck,
+                });
+                Ok(())
+            }
+            Some(state) => Err(self.err(
+                ProtocolErrorKind::DirectoryMismatch,
+                msg.line,
+                format!("FwdShare at a cache holding the line {state:?}"),
+            )),
+        }
     }
 
     fn handle_intervention(&mut self, msg: Msg, out: &mut Outbox) -> Result<(), ProtocolError> {
@@ -1047,6 +1141,165 @@ mod tests {
             chain,
             kind,
         }
+    }
+
+    fn hna_cfg() -> SyncConfig {
+        SyncConfig {
+            policy: SyncPolicy::Inv,
+            home_atomics: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn home_atomic_drops_a_shared_copy_silently() {
+        let mut c = cc();
+        let mut out = Outbox::new();
+        // Acquire a shared copy via a load (loads keep INV handling).
+        c.start_op_with(MemOp::Load { addr: A }, hna_cfg(), &mut out)
+            .unwrap();
+        out.drain();
+        c.handle(reply(MsgKind::DataS { data: data(5) }, 2), &mut out)
+            .unwrap();
+        assert_eq!(c.cache_state(LINE), Some(CacheState::Shared));
+
+        // Φ routes to the home; the shared copy is given up.
+        let done = c
+            .start_op_with(
+                MemOp::FetchPhi {
+                    addr: A,
+                    op: PhiOp::Add(1),
+                },
+                hna_cfg(),
+                &mut out,
+            )
+            .unwrap();
+        assert!(done.is_none());
+        let sent = out.drain();
+        assert_eq!(sent.len(), 1);
+        assert!(matches!(
+            sent[0].kind,
+            MsgKind::AtomicMem {
+                op: MemAtomicOp::Phi { .. }
+            }
+        ));
+        assert!(c.cache_state(LINE).is_none());
+
+        let done = c
+            .handle(
+                reply(
+                    MsgKind::AtomicReply {
+                        result: OpResult::Fetched { old: 5 },
+                        acks: 0,
+                        data: None,
+                    },
+                    2,
+                ),
+                &mut out,
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(done.result, OpResult::Fetched { old: 5 });
+        assert_eq!(done.chain, 2);
+        assert!(c.cache_state(LINE).is_none(), "no copy migrates back");
+    }
+
+    #[test]
+    fn home_atomic_writes_back_an_exclusive_copy_first() {
+        let mut c = cc();
+        let mut out = Outbox::new();
+        // Acquire the line exclusively via a plain store.
+        c.start_op_with(MemOp::Store { addr: A, value: 3 }, hna_cfg(), &mut out)
+            .unwrap();
+        out.drain();
+        c.handle(
+            reply(
+                MsgKind::DataX {
+                    data: data(0),
+                    acks: 0,
+                },
+                2,
+            ),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(c.cache_state(LINE), Some(CacheState::Exclusive));
+
+        // CAS: the dirty copy travels home ahead of the request on the
+        // same channel, so the home executes against current data.
+        c.start_op_with(
+            MemOp::Cas {
+                addr: A,
+                expected: 3,
+                new: 9,
+            },
+            hna_cfg(),
+            &mut out,
+        )
+        .unwrap();
+        let sent = out.drain();
+        assert_eq!(sent.len(), 2);
+        match &sent[0].kind {
+            MsgKind::WriteBack { data } => assert_eq!(data.word(A), 3),
+            other => panic!("expected WriteBack first, got {other:?}"),
+        }
+        assert!(matches!(
+            sent[1].kind,
+            MsgKind::AtomicMem {
+                op: MemAtomicOp::Cas { .. }
+            }
+        ));
+        assert_eq!(sent[0].dst, sent[1].dst, "same src→home FIFO channel");
+        assert!(c.cache_state(LINE).is_none());
+    }
+
+    #[test]
+    fn fwd_share_supplies_requester_and_acks_home() {
+        let mut c = cc();
+        let mut out = Outbox::new();
+        // Hold a shared copy.
+        c.start_op_with(MemOp::Load { addr: A }, SyncConfig::default(), &mut out)
+            .unwrap();
+        out.drain();
+        c.handle(reply(MsgKind::DataS { data: data(7) }, 2), &mut out)
+            .unwrap();
+
+        let requester = NodeId::new(3);
+        let mut fwd = reply(MsgKind::FwdShare { requester }, 2);
+        fwd.proc = ProcId::new(3);
+        assert!(c.handle(fwd, &mut out).unwrap().is_none());
+        let sent = out.drain();
+        assert_eq!(sent.len(), 2);
+        let data_leg = sent
+            .iter()
+            .find(|m| matches!(m.kind, MsgKind::DataS { .. }))
+            .unwrap();
+        assert_eq!(data_leg.dst, requester);
+        assert_eq!(data_leg.chain, 3, "read from a sharer = 3 messages");
+        let ack_leg = sent
+            .iter()
+            .find(|m| matches!(m.kind, MsgKind::FwdShareAck))
+            .unwrap();
+        assert_eq!(ack_leg.dst, LINE.home(NODES));
+        // The forwarder keeps its copy.
+        assert_eq!(c.cache_state(LINE), Some(CacheState::Shared));
+    }
+
+    #[test]
+    fn fwd_share_on_an_absent_line_naks() {
+        let mut c = cc();
+        let mut out = Outbox::new();
+        let fwd = reply(
+            MsgKind::FwdShare {
+                requester: NodeId::new(3),
+            },
+            2,
+        );
+        assert!(c.handle(fwd, &mut out).unwrap().is_none());
+        let sent = out.drain();
+        assert_eq!(sent.len(), 1);
+        assert!(matches!(sent[0].kind, MsgKind::FwdNak));
+        assert_eq!(sent[0].dst, LINE.home(NODES));
     }
 
     #[test]

@@ -62,6 +62,17 @@ pub enum BusyKind {
         /// Deny or Share variant.
         variant: crate::types::CasVariant,
     },
+    /// A read miss was forwarded to a clean sharer (MESI(F) /
+    /// hierarchical variants); the home is waiting for its
+    /// [`crate::MsgKind::FwdShareAck`] (or a NAK).
+    Share {
+        /// The sharer asked to supply the data.
+        forwarder: NodeId,
+    },
+    /// A home-node atomic hit a dirty line; the owner's copy was
+    /// recalled ([`crate::MsgKind::FwdGetX`]) so the operation can
+    /// execute against current memory.
+    Atomic,
 }
 
 /// In-flight intervention bookkeeping for a busy line.
@@ -100,6 +111,11 @@ impl BusyKind {
                 h.write_u8(2);
                 variant.digest(h);
             }
+            BusyKind::Share { forwarder } => {
+                h.write_u8(3);
+                h.write_u32(forwarder.as_u32());
+            }
+            BusyKind::Atomic => h.write_u8(4),
         }
     }
 }

@@ -17,7 +17,7 @@ use crate::msg::{MemAtomicOp, Msg, MsgKind};
 use crate::nodeset::NodeSet;
 use crate::reservation::ReservationStore;
 use crate::types::{CasVariant, OpResult, SyncPolicy, Value};
-use dsm_sim::{LineAddr, NodeId, StableHashMap};
+use dsm_sim::{LineAddr, NodeId, ProtoVariant, StableHashMap};
 
 /// Messages emitted by a protocol engine during one handling step.
 ///
@@ -82,6 +82,14 @@ pub struct HomeNode {
     dir: StableHashMap<LineAddr, DirEntry>,
     mem: StableHashMap<LineAddr, LineData>,
     resv: ReservationStore,
+    /// Protocol variant (forwarding behaviour); [`ProtoVariant::Dash`]
+    /// — the paper's base protocol — by default.
+    proto: ProtoVariant,
+    /// Mesh width, for nearest-sharer selection under MESI(F). Zero
+    /// until [`set_topology`](Self::set_topology) is called.
+    mesh_width: u32,
+    /// Nodes per NUMA cluster (whole machine when flat).
+    cluster_size: u32,
 }
 
 impl HomeNode {
@@ -97,6 +105,60 @@ impl HomeNode {
             dir: StableHashMap::default(),
             mem: StableHashMap::default(),
             resv: ReservationStore::new(llsc_pool),
+            proto: ProtoVariant::Dash,
+            mesh_width: 0,
+            cluster_size: 0,
+        }
+    }
+
+    /// Installs the protocol variant and the machine geometry the
+    /// directory needs for forwarder selection: mesh width (nearest
+    /// sharer under MESI(F)) and the node-count/cluster-count pair
+    /// (cluster-local sharers under the hierarchical variant). Under the
+    /// default [`ProtoVariant::Dash`] the geometry is unused and the
+    /// home behaves exactly as the paper's base protocol.
+    pub fn set_topology(
+        &mut self,
+        proto: ProtoVariant,
+        mesh_width: u32,
+        nodes: u32,
+        clusters: u32,
+    ) {
+        self.proto = proto;
+        self.mesh_width = mesh_width;
+        self.cluster_size = (nodes / clusters.max(1)).max(1);
+    }
+
+    /// Manhattan distance on the mesh this home was configured with.
+    fn mesh_hops(&self, a: NodeId, b: NodeId) -> u32 {
+        let w = self.mesh_width.max(1);
+        let (ax, ay) = (a.as_u32() % w, a.as_u32() / w);
+        let (bx, by) = (b.as_u32() % w, b.as_u32() / w);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    fn same_cluster(&self, a: NodeId, b: NodeId) -> bool {
+        let cs = self.cluster_size.max(1);
+        a.as_u32() / cs == b.as_u32() / cs
+    }
+
+    /// Picks the sharer that should supply a read miss directly, or
+    /// `None` to serve from memory (always `None` under DASH).
+    fn select_forwarder(&self, sharers: &NodeSet, requester: NodeId) -> Option<NodeId> {
+        match self.proto {
+            ProtoVariant::Dash => None,
+            // MESI(F)-style: the sharer closest to the requester
+            // supplies the line (ties broken by lowest node id).
+            ProtoVariant::MesiF => sharers
+                .iter()
+                .filter(|&n| n != requester)
+                .min_by_key(|&n| (self.mesh_hops(n, requester), n.as_u32())),
+            // Hierarchical: only a sharer inside the requester's NUMA
+            // cluster is worth asking; otherwise memory is no farther.
+            ProtoVariant::Hier => sharers
+                .iter()
+                .filter(|&n| n != requester && self.same_cluster(n, requester))
+                .min_by_key(|&n| (self.mesh_hops(n, requester), n.as_u32())),
         }
     }
 
@@ -290,6 +352,7 @@ impl HomeNode {
                 Ok(())
             }
             MsgKind::FwdNak => self.handle_fwd_nak(msg, map, out),
+            MsgKind::FwdShareAck => self.handle_share_ack(msg, map, out),
             MsgKind::XferData { .. } | MsgKind::SwbData { .. } | MsgKind::OwnerCasFail { .. } => {
                 self.handle_owner_response(msg, map, out)
             }
@@ -360,6 +423,17 @@ impl HomeNode {
     fn handle_gets(&mut self, msg: Msg, out: &mut Outbox) {
         match *self.dir_state(msg.line) {
             DirState::Uncached | DirState::Shared(_) => {
+                // MESI(F)/hierarchical variants: a clean sharer may
+                // supply the line cache-to-cache instead of memory.
+                let forwarder = match self.dir_state(msg.line) {
+                    DirState::Shared(sharers) => self.select_forwarder(sharers, msg.src),
+                    _ => None,
+                };
+                if let Some(f) = forwarder {
+                    let fwd = MsgKind::FwdShare { requester: msg.src };
+                    self.begin_intervention(msg, BusyKind::Share { forwarder: f }, fwd, f, out);
+                    return;
+                }
                 let mut sharers = match self.take_state(msg.line) {
                     DirState::Shared(s) => s,
                     _ => NodeSet::new(),
@@ -532,6 +606,29 @@ impl HomeNode {
         let cfg = map.config_for_line(msg.line);
         let line = msg.line;
         let addr = msg.addr;
+        if cfg.policy == SyncPolicy::Inv {
+            // Home-node atomics (the modern fourth implementation
+            // point): the cache controller only routes Φ/CAS here when
+            // `home_atomics` is set; everything else keeps INV handling.
+            debug_assert!(
+                cfg.home_atomics,
+                "INV lines execute atomics in caches unless home_atomics is set"
+            );
+            debug_assert!(
+                matches!(op, MemAtomicOp::Phi { .. } | MemAtomicOp::Cas { .. }),
+                "home-node atomics are Φ/CAS only"
+            );
+            // A dirty copy holds the current data: recall it first so
+            // the operation executes against up-to-date memory. The
+            // recall and transfer legs count on the critical path
+            // (request is re-handled with chain+2 once the owner
+            // responds), giving the same 4-message cost as a remote
+            // exclusive access in Table 1.
+            if let DirState::Dirty(owner) = *self.dir_state(line) {
+                self.begin_intervention(msg, BusyKind::Atomic, MsgKind::FwdGetX, owner, out);
+                return Ok(());
+            }
+        }
         let word = self.mem_line(line).word(addr);
         let (result, wrote) = match op {
             MemAtomicOp::Load => (
@@ -646,14 +743,41 @@ impl HomeNode {
                 let reply = self.reply_to(&msg, MsgKind::AtomicReply { result, acks, data });
                 out.send(reply);
             }
-            SyncPolicy::Unc | SyncPolicy::Inv => {
-                // UNC: caching disabled, plain request/reply. (INV lines
-                // never generate AtomicMem messages.)
-                debug_assert_eq!(
-                    cfg.policy,
-                    SyncPolicy::Unc,
-                    "INV lines execute atomics in caches"
+            SyncPolicy::Inv => {
+                // Home-node atomics. The operation already executed
+                // against memory above; stale shared copies (read-only
+                // loads cache normally on HNA lines) must be
+                // invalidated when the operation wrote. The requester
+                // holds no copy — it dropped any shared copy when it
+                // issued — so it collects the acks and the line ends
+                // uncached, ready for the next in-memory operation.
+                let others: Vec<NodeId> = match self.take_state(line) {
+                    DirState::Shared(s) => s.iter().filter(|&n| n != msg.src).collect(),
+                    _ => Vec::new(),
+                };
+                let acks = if wrote {
+                    self.send_invs(&msg, &others, out);
+                    others.len() as u32
+                } else if !others.is_empty() {
+                    // Nothing written: existing copies stay valid.
+                    let sharers = others.iter().copied().collect::<NodeSet>();
+                    self.set_state(line, DirState::Shared(sharers));
+                    0
+                } else {
+                    0
+                };
+                let reply = self.reply_to(
+                    &msg,
+                    MsgKind::AtomicReply {
+                        result,
+                        acks,
+                        data: None,
+                    },
                 );
+                out.send(reply);
+            }
+            SyncPolicy::Unc => {
+                // UNC: caching disabled, plain request/reply.
                 let reply = self.reply_to(
                     &msg,
                     MsgKind::AtomicReply {
@@ -751,6 +875,31 @@ impl HomeNode {
                 .on_line(msg.line)
                 .at(node)
             })?;
+        if let BusyKind::Share { forwarder } = &busy.kind {
+            let forwarder = *forwarder;
+            // The clean sharer silently evicted its copy; unlike an
+            // exclusive owner there is no write-back to wait for.
+            // Forget the stale sharer and re-serve the read from
+            // memory; the wasted forward + NAK legs stay on the
+            // request's critical path.
+            let busy = self
+                .dir
+                .get_mut(&msg.line)
+                .and_then(|e| e.busy.take())
+                .expect("checked busy above");
+            if let Some(entry) = self.dir.get_mut(&msg.line) {
+                if let DirState::Shared(s) = &mut entry.state {
+                    s.remove(forwarder);
+                    if s.is_empty() {
+                        entry.state = DirState::Uncached;
+                    }
+                }
+            }
+            let mut request = busy.request;
+            request.chain += 2;
+            self.handle_request(request, map, out)?;
+            return self.drain_waiters(msg.line, map, out);
+        }
         busy.got_nak = true;
         if busy.got_writeback {
             self.resolve_after_owner_gone(msg.line, map, out)?;
@@ -758,6 +907,49 @@ impl HomeNode {
         // Otherwise wait: the owner's write-back is in flight and must
         // arrive (E lines always write back when dropped or evicted).
         Ok(())
+    }
+
+    /// A [`MsgKind::FwdShare`] forwarder confirms it supplied the data:
+    /// record the requester as a sharer and release the line.
+    fn handle_share_ack(
+        &mut self,
+        msg: Msg,
+        map: &AddressMap,
+        out: &mut Outbox,
+    ) -> Result<(), ProtocolError> {
+        let busy = self
+            .dir
+            .get_mut(&msg.line)
+            .and_then(|e| e.busy.take())
+            .ok_or_else(|| {
+                self.err(
+                    ProtocolErrorKind::MissingRequest,
+                    msg.line,
+                    format!("FwdShareAck from {} without an intervention", msg.src),
+                )
+            })?;
+        let BusyKind::Share { forwarder } = &busy.kind else {
+            return Err(self.err(
+                ProtocolErrorKind::DirectoryMismatch,
+                msg.line,
+                format!("FwdShareAck does not match intervention {:?}", busy.kind),
+            ));
+        };
+        let forwarder = *forwarder;
+        if forwarder != msg.src {
+            return Err(self.err(
+                ProtocolErrorKind::DirectoryMismatch,
+                msg.line,
+                format!("FwdShareAck from {} but {forwarder} was asked", msg.src),
+            ));
+        }
+        let mut sharers = match self.take_state(msg.line) {
+            DirState::Shared(s) => s,
+            _ => NodeSet::new(),
+        };
+        sharers.insert(busy.request.src);
+        self.set_state(msg.line, DirState::Shared(sharers));
+        self.drain_waiters(msg.line, map, out)
     }
 
     /// The forwarded-to owner turned out to have written the line back:
@@ -904,6 +1096,16 @@ impl HomeNode {
                         share_data,
                     },
                 });
+            }
+            (BusyKind::Atomic, MsgKind::XferData { data }) => {
+                // Home-node atomic recalled a dirty copy: memory is now
+                // current, so re-run the operation here. The recall and
+                // transfer legs ride on the request's critical path.
+                *self.mem_line(msg.line) = data;
+                self.set_state(msg.line, DirState::Uncached);
+                let mut request = req;
+                request.chain += 2;
+                self.handle_request(request, map, out)?;
             }
             (kind, resp) => {
                 return Err(self.err(
@@ -1452,6 +1654,251 @@ mod tests {
             }
             ref other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn mesif_forwards_read_to_sharer_and_acks() {
+        let mut h = home();
+        h.set_topology(ProtoVariant::MesiF, 8, 64, 1);
+        h.poke_word(A, 9);
+        handle(&mut h, req(R1, MsgKind::GetS));
+
+        // Second reader: the existing sharer supplies the line.
+        let out = handle(&mut h, req(R2, MsgKind::GetS));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, R1);
+        assert_eq!(out[0].chain, 2);
+        match out[0].kind {
+            MsgKind::FwdShare { requester } => assert_eq!(requester, R2),
+            ref other => panic!("expected FwdShare, got {other:?}"),
+        }
+        assert!(h.is_busy(LINE));
+
+        // Forwarder confirms; requester becomes a sharer, line released.
+        let mut ack = req(R1, MsgKind::FwdShareAck);
+        ack.chain = 3;
+        let out = handle(&mut h, ack);
+        assert!(out.is_empty(), "the data leg went straight to R2");
+        assert!(!h.is_busy(LINE));
+        match h.dir_state(LINE) {
+            DirState::Shared(s) => assert!(s.contains(R1) && s.contains(R2)),
+            other => panic!("expected Shared, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mesif_stale_sharer_nak_falls_back_to_memory() {
+        let mut h = home();
+        h.set_topology(ProtoVariant::MesiF, 8, 64, 1);
+        h.poke_word(A, 13);
+        handle(&mut h, req(R1, MsgKind::GetS));
+        handle(&mut h, req(R2, MsgKind::GetS)); // FwdShare to R1, busy
+
+        // R1 silently evicted: NAK. Home serves memory with the wasted
+        // forward + NAK legs on the critical path.
+        let mut nak = req(R1, MsgKind::FwdNak);
+        nak.chain = 3;
+        let out = handle(&mut h, nak);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, R2);
+        assert_eq!(out[0].chain, 4);
+        match &out[0].kind {
+            MsgKind::DataS { data } => assert_eq!(data.word(A), 13),
+            other => panic!("expected DataS, got {other:?}"),
+        }
+        assert!(!h.is_busy(LINE));
+        match h.dir_state(LINE) {
+            DirState::Shared(s) => {
+                assert!(!s.contains(R1), "stale sharer pruned");
+                assert!(s.contains(R2));
+            }
+            other => panic!("expected Shared, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hier_forwards_only_within_the_cluster() {
+        let mut h = home();
+        // 64 nodes, 4 clusters of 16: node 1 and node 2 share cluster
+        // 0; node 20 lives in cluster 1.
+        h.set_topology(ProtoVariant::Hier, 8, 64, 4);
+        handle(&mut h, req(R1, MsgKind::GetS));
+
+        // Remote-cluster reader: no eligible forwarder, memory serves.
+        let out = handle(&mut h, req(NodeId::new(20), MsgKind::GetS));
+        assert!(matches!(out[0].kind, MsgKind::DataS { .. }));
+
+        // Same-cluster reader: the cluster-local sharer forwards.
+        let out = handle(&mut h, req(R2, MsgKind::GetS));
+        assert!(matches!(out[0].kind, MsgKind::FwdShare { .. }));
+        assert_eq!(out[0].dst, R1);
+    }
+
+    fn hna_map() -> AddressMap {
+        let mut m = AddressMap::new(32);
+        m.register(
+            A,
+            crate::types::SyncConfig {
+                policy: SyncPolicy::Inv,
+                home_atomics: true,
+                ..Default::default()
+            },
+        );
+        m
+    }
+
+    fn handle_hna(h: &mut HomeNode, m: Msg) -> Vec<Msg> {
+        let mut out = Outbox::new();
+        h.handle(m, &hna_map(), &mut out).unwrap();
+        out.drain()
+    }
+
+    #[test]
+    fn home_atomic_on_uncached_line_is_two_messages() {
+        let mut h = home();
+        h.poke_word(A, 40);
+        let out = handle_hna(
+            &mut h,
+            req(
+                R1,
+                MsgKind::AtomicMem {
+                    op: MemAtomicOp::Phi {
+                        op: crate::types::PhiOp::Add(2),
+                    },
+                },
+            ),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].chain, 2, "uncached home-node atomic = 2 messages");
+        match out[0].kind {
+            MsgKind::AtomicReply {
+                result: OpResult::Fetched { old },
+                acks,
+                ref data,
+            } => {
+                assert_eq!(old, 40);
+                assert_eq!(acks, 0);
+                assert!(data.is_none());
+            }
+            ref other => panic!("expected AtomicReply, got {other:?}"),
+        }
+        assert_eq!(h.peek_word(A), 42);
+        assert_eq!(h.dir_state(LINE), &DirState::Uncached);
+    }
+
+    #[test]
+    fn home_atomic_invalidates_stale_sharers() {
+        let mut h = home();
+        // R2 holds a read-only copy (loads cache normally on HNA lines).
+        handle_hna(&mut h, req(R2, MsgKind::GetS));
+        let out = handle_hna(
+            &mut h,
+            req(
+                R1,
+                MsgKind::AtomicMem {
+                    op: MemAtomicOp::Phi {
+                        op: crate::types::PhiOp::Add(1),
+                    },
+                },
+            ),
+        );
+        assert_eq!(out.len(), 2);
+        let inv = out
+            .iter()
+            .find(|m| matches!(m.kind, MsgKind::Inv { .. }))
+            .unwrap();
+        assert_eq!(inv.dst, R2);
+        match inv.kind {
+            MsgKind::Inv { requester } => assert_eq!(requester, R1),
+            _ => unreachable!(),
+        }
+        let reply = out
+            .iter()
+            .find(|m| matches!(m.kind, MsgKind::AtomicReply { .. }))
+            .unwrap();
+        match reply.kind {
+            MsgKind::AtomicReply { acks, .. } => assert_eq!(acks, 1),
+            _ => unreachable!(),
+        }
+        assert_eq!(h.dir_state(LINE), &DirState::Uncached);
+    }
+
+    #[test]
+    fn failed_home_cas_leaves_sharers_alone() {
+        let mut h = home();
+        handle_hna(&mut h, req(R2, MsgKind::GetS));
+        let out = handle_hna(
+            &mut h,
+            req(
+                R1,
+                MsgKind::AtomicMem {
+                    op: MemAtomicOp::Cas {
+                        expected: 99,
+                        new: 1,
+                    },
+                },
+            ),
+        );
+        assert_eq!(out.len(), 1, "nothing written: no invalidations");
+        match out[0].kind {
+            MsgKind::AtomicReply {
+                result: OpResult::CasDone { success, .. },
+                acks,
+                ..
+            } => {
+                assert!(!success);
+                assert_eq!(acks, 0);
+            }
+            ref other => panic!("expected AtomicReply, got {other:?}"),
+        }
+        match h.dir_state(LINE) {
+            DirState::Shared(s) => assert!(s.contains(R2), "copy still valid"),
+            other => panic!("expected Shared, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn home_atomic_recalls_dirty_line_then_executes() {
+        let mut h = home();
+        // R2 owns the line exclusively (e.g. via a plain store).
+        handle_hna(&mut h, req(R2, MsgKind::GetX { from_shared: false }));
+        let out = handle_hna(
+            &mut h,
+            req(
+                R1,
+                MsgKind::AtomicMem {
+                    op: MemAtomicOp::Phi {
+                        op: crate::types::PhiOp::Add(1),
+                    },
+                },
+            ),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, R2);
+        assert!(matches!(out[0].kind, MsgKind::FwdGetX));
+        assert!(h.is_busy(LINE));
+
+        // Owner transfers its (dirty) copy; the operation then runs
+        // against current memory: 4 serialized messages, as for a
+        // remote-exclusive access in Table 1.
+        let mut data = LineData::zeroed(32);
+        data.set_word(A, 70);
+        let mut xfer = req(R2, MsgKind::XferData { data });
+        xfer.chain = 3;
+        let out = handle_hna(&mut h, xfer);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, R1);
+        assert_eq!(out[0].chain, 4);
+        match out[0].kind {
+            MsgKind::AtomicReply {
+                result: OpResult::Fetched { old },
+                ..
+            } => assert_eq!(old, 70),
+            ref other => panic!("expected AtomicReply, got {other:?}"),
+        }
+        assert_eq!(h.peek_word(A), 71);
+        assert_eq!(h.dir_state(LINE), &DirState::Uncached);
+        assert!(!h.is_busy(LINE));
     }
 
     #[test]

@@ -212,6 +212,15 @@ pub enum MsgKind {
         /// Deny or Share behaviour on failure.
         variant: CasVariant,
     },
+    /// MESI(F)/hierarchical read forwarding: a clean sharer is asked to
+    /// send its copy directly to `requester` (and confirm to the home
+    /// with [`MsgKind::FwdShareAck`]). Unlike [`MsgKind::FwdGetS`] the
+    /// target keeps its copy; if it silently evicted the line it
+    /// answers [`MsgKind::FwdNak`] and the home serves memory instead.
+    FwdShare {
+        /// Node the data should be sent to.
+        requester: NodeId,
+    },
 
     // ---- owner -> home intervention responses ----
     /// Owner invalidated itself; here is the line.
@@ -237,6 +246,10 @@ pub enum MsgKind {
     },
     /// Owner no longer has the line (it is being written back).
     FwdNak,
+    /// Forwarder confirms a [`MsgKind::FwdShare`]: it sent its copy to
+    /// the requester, which the directory should now record as a
+    /// sharer.
+    FwdShareAck,
 
     // ---- third party -> requester ----
     /// Invalidation acknowledgment.
@@ -258,7 +271,9 @@ impl MsgKind {
             | MsgKind::Inv { .. }
             | MsgKind::FwdGetS
             | MsgKind::FwdGetX
+            | MsgKind::FwdShare { .. }
             | MsgKind::FwdNak
+            | MsgKind::FwdShareAck
             | MsgKind::InvAck
             | MsgKind::UpdAck => 0,
             MsgKind::CasHome { .. } | MsgKind::FwdCas { .. } => 16,
@@ -312,6 +327,7 @@ impl MsgKind {
                 | MsgKind::SwbData { .. }
                 | MsgKind::OwnerCasFail { .. }
                 | MsgKind::FwdNak
+                | MsgKind::FwdShareAck
         )
     }
 
@@ -338,6 +354,8 @@ impl MsgKind {
             MsgKind::FwdGetS => "FwdGetS",
             MsgKind::FwdGetX => "FwdGetX",
             MsgKind::FwdCas { .. } => "FwdCas",
+            MsgKind::FwdShare { .. } => "FwdShare",
+            MsgKind::FwdShareAck => "FwdShareAck",
             MsgKind::XferData { .. } => "XferData",
             MsgKind::SwbData { .. } => "SwbData",
             MsgKind::OwnerCasFail { .. } => "OwnerCasFail",
@@ -470,6 +488,11 @@ impl MsgKind {
             MsgKind::FwdNak => h.write_u8(22),
             MsgKind::InvAck => h.write_u8(23),
             MsgKind::UpdAck => h.write_u8(24),
+            MsgKind::FwdShare { requester } => {
+                h.write_u8(25);
+                h.write_u32(requester.as_u32());
+            }
+            MsgKind::FwdShareAck => h.write_u8(26),
         }
     }
 
@@ -488,7 +511,10 @@ impl MsgKind {
             | MsgKind::CasFail { .. }
             | MsgKind::AtomicReply { .. }
             | MsgKind::ScInvReply { .. } => MsgClass::Reply,
-            MsgKind::FwdGetS | MsgKind::FwdGetX | MsgKind::FwdCas { .. } => MsgClass::Forward,
+            MsgKind::FwdGetS
+            | MsgKind::FwdGetX
+            | MsgKind::FwdCas { .. }
+            | MsgKind::FwdShare { .. } => MsgClass::Forward,
             MsgKind::Inv { .. } => MsgClass::Invalidate,
             MsgKind::Update { .. } => MsgClass::Update,
             MsgKind::InvAck | MsgKind::UpdAck => MsgClass::Ack,
@@ -496,7 +522,8 @@ impl MsgKind {
             | MsgKind::DropShared
             | MsgKind::XferData { .. }
             | MsgKind::SwbData { .. }
-            | MsgKind::OwnerCasFail { .. } => MsgClass::WriteBack,
+            | MsgKind::OwnerCasFail { .. }
+            | MsgKind::FwdShareAck => MsgClass::WriteBack,
             MsgKind::FwdNak => MsgClass::Nak,
         }
     }

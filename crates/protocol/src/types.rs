@@ -389,6 +389,14 @@ pub struct SyncConfig {
     pub cas_variant: CasVariant,
     /// How memory-side LL/SC reservations are kept.
     pub llsc: LlscScheme,
+    /// Home-node atomics (ARM-LSE / NIC-side style, the modern fourth
+    /// implementation point): fetch-and-Φ and compare-and-swap on this
+    /// line execute at the home memory *without migrating the line*,
+    /// even under the [`SyncPolicy::Inv`] policy. Loads, stores and
+    /// LL/SC keep their normal INV handling; the flag is meaningless
+    /// (and ignored) under UNC/UPD, whose atomics already execute at
+    /// the memory. Default `false` — the paper's 1995 machine.
+    pub home_atomics: bool,
 }
 
 impl Default for SyncConfig {
@@ -397,6 +405,7 @@ impl Default for SyncConfig {
             policy: SyncPolicy::Inv,
             cas_variant: CasVariant::Plain,
             llsc: LlscScheme::BitVector,
+            home_atomics: false,
         }
     }
 }

@@ -47,6 +47,12 @@ pub struct SimParams {
     pub header_flits: u64,
     /// Cycles the processor needs to issue an operation.
     pub issue: u64,
+    /// Extra wire latency paid by every message whose source and
+    /// destination lie in different NUMA clusters (see
+    /// [`MachineConfig::clusters`]). 0 — the default, and the paper's
+    /// flat machine — adds nothing anywhere, keeping every committed
+    /// artifact byte-identical.
+    pub cluster_penalty: u64,
 }
 
 impl SimParams {
@@ -95,6 +101,145 @@ impl Default for SimParams {
             flit_cycle: 1,
             header_flits: 1,
             issue: 1,
+            cluster_penalty: 0,
+        }
+    }
+}
+
+/// Which directory-protocol variant the home nodes run.
+///
+/// The base protocol is the paper's DASH-style write-invalidate
+/// directory. The other variants model 2020s coherence features for the
+/// modern-architecture ablations (`figures modern`); they change *who
+/// supplies data on a read miss to a shared line*, nothing else, so
+/// every result under [`ProtoVariant::Dash`] is byte-identical to the
+/// pre-variant simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProtoVariant {
+    /// The paper's base protocol: the home memory supplies all read
+    /// misses.
+    #[default]
+    Dash,
+    /// MESI(F)-style forwarding: on a read miss to a shared line, the
+    /// home forwards the request to the sharer nearest the requester
+    /// (fewest mesh hops, lowest node id on ties), which supplies the
+    /// data cache-to-cache.
+    MesiF,
+    /// Two-level hierarchical NUMA directory: like [`ProtoVariant::MesiF`],
+    /// but the home only forwards to a sharer inside the *requester's
+    /// cluster*, so the data leg never crosses the inter-cluster
+    /// interconnect; with no cluster-local sharer it falls back to the
+    /// home memory like the base protocol.
+    Hier,
+}
+
+impl ProtoVariant {
+    /// The label used in `figures modern` tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtoVariant::Dash => "DASH",
+            ProtoVariant::MesiF => "MESI(F)",
+            ProtoVariant::Hier => "HIER",
+        }
+    }
+}
+
+/// A parsed `DSM_PROTO` / `--proto` specification: protocol/topology
+/// overrides applied to every machine built while it is in force.
+///
+/// The grammar is a comma-separated list of clauses:
+///
+/// * `dash` | `mesif` | `hier` — directory variant (default `dash`);
+/// * `hna` — execute fetch-and-Φ / compare-and-swap on INV-policy sync
+///   lines at the home memory, without line migration (ARM-LSE-style
+///   in-memory remote atomics);
+/// * `clusters=N` — partition the nodes into `N` equal NUMA clusters
+///   of contiguous ids;
+/// * `penalty=N` — extra cycles per inter-cluster message;
+/// * `line=N` — cache line size in bytes (power of two).
+///
+/// # Example
+///
+/// ```
+/// use dsm_sim::{ProtoSpec, ProtoVariant};
+///
+/// let s = ProtoSpec::from_spec("hier,clusters=4,penalty=32").unwrap();
+/// assert_eq!(s.variant, ProtoVariant::Hier);
+/// assert_eq!((s.clusters, s.penalty), (Some(4), Some(32)));
+/// assert!(!s.home_atomics);
+/// assert!(ProtoSpec::from_spec("bogus").is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProtoSpec {
+    /// Directory variant to run.
+    pub variant: ProtoVariant,
+    /// Execute INV-line atomics at the home memory (no line migration).
+    pub home_atomics: bool,
+    /// NUMA cluster count override, if given.
+    pub clusters: Option<u32>,
+    /// Inter-cluster penalty override in cycles, if given.
+    pub penalty: Option<u64>,
+    /// Line-size override in bytes, if given.
+    pub line_size: Option<u64>,
+}
+
+impl ProtoSpec {
+    /// Parses a spec string (see the type-level grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed clause.
+    pub fn from_spec(spec: &str) -> Result<Self, String> {
+        let mut out = ProtoSpec::default();
+        for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            match clause.split_once('=') {
+                None => match clause {
+                    "dash" => out.variant = ProtoVariant::Dash,
+                    "mesif" => out.variant = ProtoVariant::MesiF,
+                    "hier" => out.variant = ProtoVariant::Hier,
+                    "hna" => out.home_atomics = true,
+                    other => return Err(format!("unknown proto clause {other:?}")),
+                },
+                Some((key, val)) => {
+                    let n: u64 = val
+                        .parse()
+                        .map_err(|_| format!("clause {clause:?}: {val:?} is not a number"))?;
+                    match key {
+                        "clusters" => {
+                            if n == 0 {
+                                return Err("clusters must be positive".into());
+                            }
+                            out.clusters = Some(n as u32);
+                        }
+                        "penalty" => out.penalty = Some(n),
+                        "line" => {
+                            if !n.is_power_of_two() {
+                                return Err(format!("line size {n} is not a power of two"));
+                            }
+                            out.line_size = Some(n);
+                        }
+                        other => return Err(format!("unknown proto key {other:?}")),
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies the overrides to a machine configuration (unset clauses
+    /// leave the corresponding fields untouched). The `hna` flag is not
+    /// applied here — it concerns per-line sync configs, which the
+    /// machine builder owns.
+    pub fn apply(&self, cfg: &mut MachineConfig) {
+        cfg.proto = self.variant;
+        if let Some(c) = self.clusters {
+            cfg.clusters = c;
+        }
+        if let Some(p) = self.penalty {
+            cfg.params.cluster_penalty = p;
+        }
+        if let Some(l) = self.line_size {
+            cfg.params.line_size = l;
         }
     }
 }
@@ -165,6 +310,15 @@ pub struct MachineConfig {
     pub cache: CacheParams,
     /// Seed for all randomized behaviour (backoff jitter, workloads).
     pub seed: u64,
+    /// Directory-protocol variant the home nodes run (default: the
+    /// paper's DASH-style base protocol).
+    pub proto: ProtoVariant,
+    /// Number of NUMA clusters the nodes are partitioned into
+    /// (contiguous id blocks of equal size; `nodes` must be a
+    /// multiple). 1 — the default — is the paper's flat machine, and
+    /// with [`SimParams::cluster_penalty`] = 0 the partition has no
+    /// observable effect.
+    pub clusters: u32,
     /// Fault injection and self-checking knobs; the default disables
     /// everything, leaving the simulated machine's behaviour (and every
     /// derived paper artifact) byte-identical to a faults-free build.
@@ -190,8 +344,23 @@ impl MachineConfig {
             params: SimParams::default(),
             cache: CacheParams::default(),
             seed: 0x5EED,
+            proto: ProtoVariant::Dash,
+            clusters: 1,
             faults: FaultConfig::default(),
         }
+    }
+
+    /// The NUMA cluster `node` belongs to: nodes are partitioned into
+    /// [`clusters`](MachineConfig::clusters) contiguous id blocks of
+    /// equal size. With 1 cluster every node answers 0.
+    pub fn cluster_of(&self, node: NodeId) -> u32 {
+        node.as_u32() / (self.nodes / self.clusters.max(1)).max(1)
+    }
+
+    /// `true` if both nodes lie in the same NUMA cluster (always true
+    /// on the default flat machine).
+    pub fn same_cluster(&self, a: NodeId, b: NodeId) -> bool {
+        self.cluster_of(a) == self.cluster_of(b)
     }
 
     /// Returns (width, height) of the mesh.
@@ -226,6 +395,12 @@ impl MachineConfig {
             return Err(format!(
                 "mesh width {} does not tile {} nodes",
                 self.mesh_width, self.nodes
+            ));
+        }
+        if self.clusters == 0 || !self.nodes.is_multiple_of(self.clusters) {
+            return Err(format!(
+                "cluster count {} does not partition {} nodes",
+                self.clusters, self.nodes
             ));
         }
         self.params.validate()?;
@@ -304,5 +479,60 @@ mod tests {
         let mut cfg = MachineConfig::default();
         cfg.faults.evict_per_10k = 50_000;
         assert!(cfg.validate().is_err());
+
+        let cfg = MachineConfig {
+            clusters: 7, // does not divide 64
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn clusters_partition_contiguous_blocks() {
+        let mut cfg = MachineConfig::with_nodes(16);
+        cfg.clusters = 4;
+        cfg.validate().unwrap();
+        assert_eq!(cfg.cluster_of(NodeId::new(0)), 0);
+        assert_eq!(cfg.cluster_of(NodeId::new(3)), 0);
+        assert_eq!(cfg.cluster_of(NodeId::new(4)), 1);
+        assert_eq!(cfg.cluster_of(NodeId::new(15)), 3);
+        assert!(cfg.same_cluster(NodeId::new(4), NodeId::new(7)));
+        assert!(!cfg.same_cluster(NodeId::new(3), NodeId::new(4)));
+        // The default flat machine puts everyone in cluster 0.
+        let flat = MachineConfig::with_nodes(16);
+        assert!(flat.same_cluster(NodeId::new(0), NodeId::new(15)));
+    }
+
+    #[test]
+    fn proto_spec_grammar() {
+        let s = ProtoSpec::from_spec("mesif").unwrap();
+        assert_eq!(s.variant, ProtoVariant::MesiF);
+        assert!(s.clusters.is_none() && s.penalty.is_none() && s.line_size.is_none());
+
+        let s = ProtoSpec::from_spec("hna,clusters=2,penalty=40,line=128").unwrap();
+        assert!(s.home_atomics);
+        assert_eq!(s.clusters, Some(2));
+        assert_eq!(s.penalty, Some(40));
+        assert_eq!(s.line_size, Some(128));
+
+        assert!(ProtoSpec::from_spec("line=24").is_err());
+        assert!(ProtoSpec::from_spec("clusters=0").is_err());
+        assert!(ProtoSpec::from_spec("warp=9").is_err());
+        assert!(ProtoSpec::from_spec("mesi").is_err());
+
+        let mut cfg = MachineConfig::with_nodes(16);
+        s.apply(&mut cfg);
+        assert_eq!(cfg.proto, ProtoVariant::Dash);
+        assert_eq!(cfg.clusters, 2);
+        assert_eq!(cfg.params.cluster_penalty, 40);
+        assert_eq!(cfg.params.line_size, 128);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn variant_labels() {
+        assert_eq!(ProtoVariant::Dash.label(), "DASH");
+        assert_eq!(ProtoVariant::MesiF.label(), "MESI(F)");
+        assert_eq!(ProtoVariant::Hier.label(), "HIER");
     }
 }

@@ -47,7 +47,7 @@ pub mod rng;
 pub mod snapshot;
 pub mod time;
 
-pub use config::{CacheParams, MachineConfig, SimParams};
+pub use config::{CacheParams, MachineConfig, ProtoSpec, ProtoVariant, SimParams};
 pub use event::EventQueue;
 pub use fault::{FaultConfig, FaultEvent, FaultFilter, FaultInjector, FaultRecord, InjectedFault};
 pub use hash::{StableBuildHasher, StableHashMap, StableHasher};

@@ -26,6 +26,20 @@ impl Primitive {
             Primitive::Cas => "CAS",
         }
     }
+
+    /// `true` if this primitive can execute at the home memory without
+    /// migrating the line (`SyncConfig::home_atomics` — the modern
+    /// ARM-LSE-style *fourth* implementation point, beyond the paper's
+    /// cached/uncached/LL-SC trio). FAΦ and CAS are single round-trip
+    /// read-modify-writes and qualify; LL/SC is split across two
+    /// operations whose reservation is inherently cache-side, so it
+    /// does not.
+    pub fn supports_home_atomics(self) -> bool {
+        match self {
+            Primitive::FetchPhi | Primitive::Cas => true,
+            Primitive::Llsc => false,
+        }
+    }
 }
 
 impl std::fmt::Display for Primitive {
@@ -81,6 +95,13 @@ mod tests {
         assert_eq!(Primitive::FetchPhi.label(), "FAP");
         assert_eq!(Primitive::Llsc.label(), "LLSC");
         assert_eq!(format!("{}", Primitive::Cas), "CAS");
+    }
+
+    #[test]
+    fn home_atomics_cover_the_single_round_trip_primitives() {
+        assert!(Primitive::FetchPhi.supports_home_atomics());
+        assert!(Primitive::Cas.supports_home_atomics());
+        assert!(!Primitive::Llsc.supports_home_atomics());
     }
 
     #[test]

@@ -42,6 +42,7 @@ fn random_mix_machine(
                 } else {
                     LlscScheme::SerialNumber
                 },
+                home_atomics: false,
             },
         );
     }

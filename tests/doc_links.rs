@@ -1,0 +1,156 @@
+//! Offline markdown link checker over the documentation tree (the CI
+//! substitute for a network link checker): every relative link in the
+//! top-level docs must point at a file that exists in the repository,
+//! and every `#anchor` into a checked document must match one of its
+//! headings. External `http(s)`/`mailto` links are out of scope — the
+//! build is offline by design.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+/// The documents under guard. RESULTS.md is the modern-architecture
+/// write-up; the rest are the long-standing doc tree.
+const DOCS: [&str; 6] = [
+    "README.md",
+    "ARCHITECTURE.md",
+    "EXPERIMENTS.md",
+    "RESULTS.md",
+    "ROADMAP.md",
+    "CHANGELOG.md",
+];
+
+fn repo_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/core; the docs live two levels up.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+/// Extracts inline markdown link targets: `[text](target)` and
+/// `![alt](target)`. Code fences are skipped so shell snippets with
+/// `](` sequences cannot produce false positives.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i + 1 < bytes.len() {
+            if bytes[i] == b']' && bytes[i + 1] == b'(' {
+                let rest = &line[i + 2..];
+                if let Some(end) = rest.find(')') {
+                    let target = rest[..end].split_whitespace().next().unwrap_or("");
+                    if !target.is_empty() {
+                        out.push(target.to_string());
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// GitHub-style heading slugs: lowercase, punctuation dropped, spaces
+/// to hyphens.
+fn anchors(text: &str) -> HashSet<String> {
+    let mut out = HashSet::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence || !line.starts_with('#') {
+            continue;
+        }
+        let heading = line.trim_start_matches('#').trim();
+        let slug: String = heading
+            .chars()
+            .filter_map(|c| match c {
+                'A'..='Z' => Some(c.to_ascii_lowercase()),
+                'a'..='z' | '0'..='9' | '-' | '_' => Some(c),
+                ' ' => Some('-'),
+                _ => None,
+            })
+            .collect();
+        out.insert(slug);
+    }
+    out
+}
+
+#[test]
+fn all_docs_exist_and_every_relative_link_resolves() {
+    let root = repo_root();
+    let mut errors = Vec::new();
+    let mut doc_anchors: Vec<(String, HashSet<String>)> = Vec::new();
+    for doc in DOCS {
+        match std::fs::read_to_string(root.join(doc)) {
+            Ok(text) => doc_anchors.push((doc.to_string(), anchors(&text))),
+            Err(e) => errors.push(format!("{doc}: unreadable ({e})")),
+        }
+    }
+    for doc in DOCS {
+        let Ok(text) = std::fs::read_to_string(root.join(doc)) else {
+            continue;
+        };
+        for target in link_targets(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue; // external; offline build cannot verify
+            }
+            let (path_part, anchor) = match target.split_once('#') {
+                Some((p, a)) => (p, Some(a)),
+                None => (target.as_str(), None),
+            };
+            // Resolve the file part (empty = same document).
+            let file = if path_part.is_empty() {
+                doc.to_string()
+            } else {
+                path_part.to_string()
+            };
+            let resolved = root.join(&file);
+            if !resolved.exists() {
+                errors.push(format!(
+                    "{doc}: broken link `{target}` ({file} does not exist)"
+                ));
+                continue;
+            }
+            // Verify anchors into documents we parsed.
+            if let Some(anchor) = anchor {
+                if let Some((_, slugs)) = doc_anchors.iter().find(|(d, _)| *d == file) {
+                    if !slugs.contains(anchor) {
+                        errors.push(format!(
+                            "{doc}: broken anchor `{target}` (no heading slugs to `{anchor}` in {file})"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        errors.is_empty(),
+        "documentation link rot:\n  {}",
+        errors.join("\n  ")
+    );
+}
+
+#[test]
+fn link_extractor_understands_the_grammar() {
+    let text =
+        "See [docs](EXPERIMENTS.md#env-vars) and ![img](a/b.png).\n```\nnot [a](link.md)\n```\n";
+    assert_eq!(link_targets(text), ["EXPERIMENTS.md#env-vars", "a/b.png"]);
+    let slugs = anchors("# Hello, World!\n## `figures modern` artifact\n");
+    assert!(slugs.contains("hello-world"));
+    assert!(slugs.contains("figures-modern-artifact"));
+}
